@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation study of the estimator's design choices (the aspects the
+ * paper argues for in Secs. II-III): per-configuration voltage
+ * modelling, the Eq. 12 monotonicity constraint, the non-negativity
+ * prior, memory-voltage freedom, and the idle-row weighting.
+ *
+ * Expected: removing voltage modelling hurts the most on the devices
+ * with wide V-F ranges (the non-linear Fig. 2 behaviour is exactly
+ * what V = 1 cannot express).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+double
+validationMae(const bench::FittedDevice &fd,
+              const model::EstimationResult &fit,
+              const std::vector<model::AppMeasurement> &apps)
+{
+    model::Predictor predictor(fit.model);
+    std::vector<double> pred, meas;
+    for (const auto &app : apps) {
+        for (std::size_t i = 0; i < app.configs.size(); ++i) {
+            pred.push_back(
+                    predictor.at(app.util, app.configs[i]).total_w);
+            meas.push_back(app.power_w[i]);
+        }
+    }
+    (void)fd;
+    return bench::mape(pred, meas);
+}
+
+} // namespace
+
+int
+main()
+{
+    using bench::fitDevice;
+
+    struct Variant
+    {
+        const char *name;
+        model::EstimatorOptions opts;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"full model (paper)", {}});
+    {
+        model::EstimatorOptions o;
+        o.fit_voltages = false;
+        variants.push_back({"no voltage modelling (V=1)", o});
+    }
+    {
+        model::EstimatorOptions o;
+        o.monotonic_voltages = false;
+        variants.push_back({"no Eq.12 monotonicity", o});
+    }
+    {
+        model::EstimatorOptions o;
+        o.fit_mem_voltage = false;
+        variants.push_back({"memory voltage pinned to 1", o});
+    }
+    {
+        model::EstimatorOptions o;
+        o.nonnegative = false;
+        variants.push_back({"plain LS (signed coefficients)", o});
+    }
+    {
+        model::EstimatorOptions o;
+        o.idle_row_weight = 1.0;
+        variants.push_back({"idle row weight = 1", o});
+    }
+
+    TextTable t({"Estimator variant", "Titan Xp MAE [%]",
+                 "GTX Titan X MAE [%]", "Fit RMSE TX [W]",
+                 "Iter. TX"});
+    t.setTitle("Ablation: estimator design choices "
+               "(validation-set accuracy)");
+
+    // Campaign + measurements once per device; re-fit per variant.
+    auto xp = fitDevice(gpu::DeviceKind::TitanXp);
+    auto tx = fitDevice(gpu::DeviceKind::GtxTitanX);
+    const auto xp_apps = bench::measureValidationSet(*xp.board);
+    const auto tx_apps = bench::measureValidationSet(*tx.board);
+
+    for (const auto &v : variants) {
+        const model::ModelEstimator est(v.opts);
+        const auto fit_xp = est.estimate(xp.data);
+        const auto fit_tx = est.estimate(tx.data);
+        t.addRow({v.name,
+                  TextTable::num(validationMae(xp, fit_xp, xp_apps),
+                                 1),
+                  TextTable::num(validationMae(tx, fit_tx, tx_apps),
+                                 1),
+                  TextTable::num(fit_tx.rmse_w, 1),
+                  std::to_string(fit_tx.iterations)});
+    }
+    t.print(std::cout);
+    bench::saveCsv(t, "ablation_voltage");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared plumbing for the experiment-reproduction binaries: build a
+ * simulated board, run the training campaign, fit the model, and
+ * measure the validation applications — the steps every figure and
+ * table of Sec. V starts from.
+ */
+
+#ifndef GPUPM_BENCH_COMMON_HH
+#define GPUPM_BENCH_COMMON_HH
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/campaign.hh"
+#include "core/predictor.hh"
+#include "workloads/workloads.hh"
+
+namespace gpupm
+{
+namespace bench
+{
+
+/** One device taken through training + estimation. */
+struct FittedDevice
+{
+    std::unique_ptr<sim::PhysicalGpu> board;
+    model::TrainingData data;
+    model::EstimationResult fit;
+
+    const gpu::DeviceDescriptor &desc() const
+    {
+        return board->descriptor();
+    }
+};
+
+/** Run the Sec. V-A campaign and Sec. III-D estimation for a device. */
+inline FittedDevice
+fitDevice(gpu::DeviceKind kind, int power_repetitions = 5)
+{
+    FittedDevice fd;
+    fd.board = std::make_unique<sim::PhysicalGpu>(kind);
+    model::CampaignOptions opts;
+    opts.power_repetitions = power_repetitions;
+    fd.data = model::runTrainingCampaign(*fd.board,
+                                         ubench::buildSuite(), opts);
+    fd.fit = model::ModelEstimator().estimate(fd.data);
+    return fd;
+}
+
+/** Measure every Fig. 7/10 validation application on a board. */
+inline std::vector<model::AppMeasurement>
+measureValidationSet(const sim::PhysicalGpu &board,
+                     int power_repetitions = 5)
+{
+    model::CampaignOptions opts;
+    opts.power_repetitions = power_repetitions;
+    std::vector<model::AppMeasurement> out;
+    for (const auto &w : workloads::fullValidationSet())
+        out.push_back(model::measureApp(
+                board, w.demand, board.descriptor().allConfigs(),
+                opts));
+    return out;
+}
+
+/**
+ * Persist a rendered table as CSV under ./bench_csv/ so every figure's
+ * data is plot-ready. Failures to write (e.g. read-only CWD) are
+ * reported but never abort an experiment.
+ */
+inline void
+saveCsv(const TextTable &table, const std::string &name)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("bench_csv", ec);
+    std::ofstream f("bench_csv/" + name + ".csv");
+    if (!f) {
+        gpupm::warn("cannot write bench_csv/", name, ".csv");
+        return;
+    }
+    table.printCsv(f);
+}
+
+/** Mean absolute percentage error of a prediction/measurement pair. */
+inline double
+mape(const std::vector<double> &pred, const std::vector<double> &meas)
+{
+    return stats::meanAbsPercentError(pred, meas);
+}
+
+} // namespace bench
+} // namespace gpupm
+
+#endif // GPUPM_BENCH_COMMON_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Google-benchmark timings of the pipeline stages. The paper reports
+ * the estimation converging in < 50 iterations, about 30 s on a 2013
+ * laptop CPU; the anchor here is that model construction stays
+ * interactive and prediction is effectively free (the property the
+ * DVFS-management use case relies on).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+const model::TrainingData &
+titanxData()
+{
+    static const model::TrainingData data = [] {
+        sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+        model::CampaignOptions opts;
+        opts.power_repetitions = 3;
+        return model::runTrainingCampaign(board, ubench::buildSuite(),
+                                          opts);
+    }();
+    return data;
+}
+
+void
+BM_EstimatorFit(benchmark::State &state)
+{
+    const auto &data = titanxData();
+    const model::ModelEstimator est;
+    int iterations = 0;
+    for (auto _ : state) {
+        auto fit = est.estimate(data);
+        iterations = fit.iterations;
+        benchmark::DoNotOptimize(fit.rmse_w);
+    }
+    state.counters["iterations"] = iterations;
+}
+BENCHMARK(BM_EstimatorFit)->Unit(benchmark::kMillisecond);
+
+void
+BM_Prediction(benchmark::State &state)
+{
+    const auto &data = titanxData();
+    static const model::EstimationResult fit =
+            model::ModelEstimator().estimate(data);
+    gpu::ComponentArray u{};
+    u[1] = 0.5;
+    u[6] = 0.7;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &cfg = data.configs[i++ % data.configs.size()];
+        benchmark::DoNotOptimize(
+                fit.model.predict(u, cfg).total_w);
+    }
+}
+BENCHMARK(BM_Prediction);
+
+void
+BM_FullVfSweep(benchmark::State &state)
+{
+    const auto &data = titanxData();
+    static const model::EstimationResult fit =
+            model::ModelEstimator().estimate(data);
+    const model::Predictor pred(fit.model);
+    gpu::ComponentArray u{};
+    u[1] = 0.5;
+    u[6] = 0.7;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pred.sweep(u).size());
+}
+BENCHMARK(BM_FullVfSweep)->Unit(benchmark::kMicrosecond);
+
+void
+BM_TrainingCampaign(benchmark::State &state)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto suite = ubench::buildSuite();
+    model::CampaignOptions opts;
+    opts.power_repetitions = 3;
+    for (auto _ : state) {
+        auto data = model::runTrainingCampaign(board, suite, opts);
+        benchmark::DoNotOptimize(data.power_w.size());
+    }
+}
+BENCHMARK(BM_TrainingCampaign)->Unit(benchmark::kMillisecond);
+
+void
+BM_ProfilerCollect(benchmark::State &state)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    cupti::Profiler prof(board, 1);
+    const auto app = workloads::blackScholes();
+    const auto cfg = board.descriptor().referenceConfig();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+                prof.profile(app.demand, cfg).acycles);
+}
+BENCHMARK(BM_ProfilerCollect);
+
+void
+BM_AnalyticExecute(benchmark::State &state)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto app = workloads::blackScholes();
+    const auto cfg = board.descriptor().referenceConfig();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+                board.execute(app.demand, cfg).time_s);
+}
+BENCHMARK(BM_AnalyticExecute);
+
+void
+BM_SmCycleSim(benchmark::State &state)
+{
+    const auto &dev =
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+    const auto mb = ubench::makeArithmetic(ubench::Family::SP, 64);
+    for (auto _ : state) {
+        sim::SmCycleSim simr(dev, {975, 3505}, 32);
+        benchmark::DoNotOptimize(simr.run(*mb.loop).cycles);
+    }
+}
+BENCHMARK(BM_SmCycleSim)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Fig. 10: utilization and per-component power breakdown of
+ * the validation benchmarks on the GTX Titan X at two V-F
+ * configurations, (975, 3505) and (975, 810) MHz.
+ *
+ * Shape targets: MAE ~5.2% at the reference and ~8.8% at the low
+ * memory clock; the constant share is ~80 W at the reference and
+ * ~50 W at 810 MHz; DRAM power varies strongly between the two
+ * configurations while the core components stay nearly constant.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace gpupm;
+    using bench::fitDevice;
+
+    auto fd = fitDevice(gpu::DeviceKind::GtxTitanX);
+    model::Predictor predictor(fd.fit.model);
+    const auto apps = bench::measureValidationSet(*fd.board);
+
+    for (int fm : {3505, 810}) {
+        const gpu::FreqConfig cfg{975, fm};
+        TextTable t({"Application", "Measured [W]", "Model [W]",
+                     "Constant", "INT", "SP", "DP", "SF", "Shared",
+                     "L2", "DRAM"});
+        t.setTitle("Fig. 10: power breakdown at (975, " +
+                   std::to_string(fm) + ") MHz");
+        std::vector<double> pred, meas;
+        double constant_w = 0.0;
+        for (const auto &app : apps) {
+            const auto p = predictor.at(app.util, cfg);
+            constant_w = p.constant_w;
+            double measured = 0.0;
+            for (std::size_t i = 0; i < app.configs.size(); ++i)
+                if (app.configs[i] == cfg)
+                    measured = app.power_w[i];
+            pred.push_back(p.total_w);
+            meas.push_back(measured);
+            std::vector<std::string> row = {
+                app.name, TextTable::num(measured, 1),
+                TextTable::num(p.total_w, 1),
+                TextTable::num(p.constant_w, 1)};
+            for (double w : p.component_w)
+                row.push_back(TextTable::num(w, 1));
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        bench::saveCsv(t, "fig10_fmem" + std::to_string(fm));
+        std::cout << "constant share: " << TextTable::num(constant_w, 1)
+                  << " W  (paper: ~80 W at 3505, ~50 W at 810)\n";
+        std::cout << "MAE at this configuration: "
+                  << TextTable::num(bench::mape(pred, meas), 1)
+                  << "%  (paper: 5.2% / 8.8%)\n\n";
+    }
+    return 0;
+}

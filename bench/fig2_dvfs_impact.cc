@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Fig. 2: DVFS impact on the power consumption of
+ * BlackScholes and CUTCP on the GTX Titan X — measured power across
+ * the core-frequency range at fmem = 3505 and 810 MHz, plus the
+ * per-component utilizations at the reference configuration.
+ *
+ * Shape targets: BlackScholes ~181 W at the reference, dropping ~52%
+ * when fmem goes 3505 -> 810; CUTCP ~135 W dropping ~24%; power is
+ * visibly non-linear in fcore (implicit voltage scaling).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace gpupm;
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto &desc = board.descriptor();
+
+    model::CampaignOptions opts;
+    opts.power_repetitions = 5;
+
+    for (const auto &app :
+         {workloads::blackScholes(), workloads::cutcp()}) {
+        // Utilizations at the reference configuration (right side of
+        // the paper's figure).
+        const auto meas = model::measureApp(
+                board, app.demand, desc.allConfigs(), opts);
+        std::cout << "\n=== " << app.name
+                  << " (measured at fcore=975 MHz, fmem=3505 MHz)\n";
+        std::cout << "per-component utilization:";
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i) {
+            std::cout << "  "
+                      << componentName(static_cast<gpu::Component>(i))
+                      << "=" << TextTable::num(meas.util[i], 2);
+        }
+        std::cout << "\n\n";
+
+        TextTable t({"fcore [MHz]", "P @ fmem=3505 [W]",
+                     "P @ fmem=810 [W]"});
+        t.setTitle("Fig. 2: average power vs core frequency, " +
+                   app.name);
+        double p_ref = 0.0, p_low = 0.0;
+        for (int fc : desc.core_freqs_mhz) {
+            double p3505 = 0.0, p810 = 0.0;
+            for (std::size_t i = 0; i < meas.configs.size(); ++i) {
+                if (meas.configs[i].core_mhz != fc)
+                    continue;
+                if (meas.configs[i].mem_mhz == 3505)
+                    p3505 = meas.power_w[i];
+                if (meas.configs[i].mem_mhz == 810)
+                    p810 = meas.power_w[i];
+            }
+            if (fc == desc.default_core_mhz) {
+                p_ref = p3505;
+                p_low = p810;
+            }
+            t.addRow({std::to_string(fc), TextTable::num(p3505, 1),
+                      TextTable::num(p810, 1)});
+        }
+        t.print(std::cout);
+        bench::saveCsv(t, "fig2_" + app.name);
+        std::cout << app.name << " at default core clock: "
+                  << TextTable::num(p_ref, 0) << " W -> "
+                  << TextTable::num(p_low, 0) << " W when fmem 3505 -> "
+                  << "810 MHz ("
+                  << TextTable::num(100.0 * (p_ref - p_low) / p_ref, 0)
+                  << "% drop; paper: 52% for BlackScholes, 24% for "
+                     "CUTCP)\n";
+    }
+    return 0;
+}

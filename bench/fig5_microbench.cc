@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Fig. 5: per-component utilization rates (A) and the
+ * model's per-component power breakdown against measured power (B) for
+ * the 83-microbenchmark suite on the GTX Titan X at the default
+ * configuration.
+ *
+ * Shape targets: each family's intensity sweep trades memory for
+ * compute utilization; the constant (utilization-independent) power
+ * contributes ~80 W; the maximum dynamic share is roughly half the
+ * total (paper: 49%).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace gpupm;
+    using bench::fitDevice;
+
+    auto fd = fitDevice(gpu::DeviceKind::GtxTitanX);
+    const auto ref = fd.desc().referenceConfig();
+    const std::size_t ref_ci = fd.data.configIndex(ref);
+    const auto suite = ubench::buildSuite();
+
+    TextTable a({"Microbenchmark", "INT", "SP", "DP", "SF", "Shared",
+                 "L2", "DRAM"});
+    a.setTitle("Fig. 5A: utilization rates at (975, 3505) MHz");
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        std::vector<std::string> row = {suite[b].name};
+        for (double u : fd.data.utils[b])
+            row.push_back(TextTable::num(u, 2));
+        a.addRow(row);
+    }
+    a.print(std::cout);
+    bench::saveCsv(a, "fig5a_utilizations");
+
+    TextTable t({"Microbenchmark", "Measured [W]", "Model [W]",
+                 "Constant", "INT", "SP", "DP", "SF", "Shared", "L2",
+                 "DRAM"});
+    t.setTitle("\nFig. 5B: per-component power breakdown at "
+               "(975, 3505) MHz");
+    std::vector<double> pred, meas;
+    double max_dynamic_share = 0.0;
+    double constant_w = 0.0;
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        const auto p = fd.fit.model.predict(fd.data.utils[b], ref);
+        constant_w = p.constant_w;
+        const double dyn = p.total_w - p.constant_w;
+        if (p.total_w > 0.0)
+            max_dynamic_share =
+                    std::max(max_dynamic_share, dyn / p.total_w);
+        pred.push_back(p.total_w);
+        meas.push_back(fd.data.power_w[b][ref_ci]);
+        std::vector<std::string> row = {
+            suite[b].name,
+            TextTable::num(fd.data.power_w[b][ref_ci], 1),
+            TextTable::num(p.total_w, 1),
+            TextTable::num(p.constant_w, 1)};
+        for (double w : p.component_w)
+            row.push_back(TextTable::num(w, 1));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    bench::saveCsv(t, "fig5b_breakdown");
+
+    std::cout << "\nconstant (utilization-independent) power at the "
+                 "reference: "
+              << TextTable::num(constant_w, 1)
+              << " W  (paper: ~84 W)\n";
+    std::cout << "maximum dynamic-power share across the suite: "
+              << TextTable::num(100.0 * max_dynamic_share, 0)
+              << "%  (paper: ~49%)\n";
+    std::cout << "suite fit MAE at the reference configuration: "
+              << TextTable::num(bench::mape(pred, meas), 1) << "%\n";
+    return 0;
+}

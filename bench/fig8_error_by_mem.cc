@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig. 8: per-application mean prediction error on the GTX
+ * Titan X, one panel per memory frequency (all 16 core levels each).
+ *
+ * Shape targets: MAE ~4.8-5.4% at the three high memory clocks,
+ * growing to ~8.7% at the 810 MHz clock furthest from the reference;
+ * overall ~6.0%.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace gpupm;
+    using bench::fitDevice;
+
+    auto fd = fitDevice(gpu::DeviceKind::GtxTitanX);
+    model::Predictor predictor(fd.fit.model);
+    const auto apps = bench::measureValidationSet(*fd.board);
+
+    std::vector<double> all_pred, all_meas;
+
+    for (int fm : fd.desc().mem_freqs_mhz) {
+        TextTable t({"Application", "Mean error [%]",
+                     "Mean abs error [%]"});
+        t.setTitle("Fig. 8: core sweep [" +
+                   std::to_string(fd.desc().minCoreMhz()) + ":" +
+                   std::to_string(fd.desc().maxCoreMhz()) +
+                   "] MHz at fmem = " + std::to_string(fm) + " MHz");
+        std::vector<double> panel_pred, panel_meas;
+        for (const auto &app : apps) {
+            std::vector<double> ap, am;
+            for (std::size_t i = 0; i < app.configs.size(); ++i) {
+                if (app.configs[i].mem_mhz != fm)
+                    continue;
+                ap.push_back(predictor.at(app.util, app.configs[i])
+                                     .total_w);
+                am.push_back(app.power_w[i]);
+            }
+            panel_pred.insert(panel_pred.end(), ap.begin(), ap.end());
+            panel_meas.insert(panel_meas.end(), am.begin(), am.end());
+            t.addRow({app.name,
+                      TextTable::num(
+                              stats::meanPercentError(ap, am), 1),
+                      TextTable::num(bench::mape(ap, am), 1)});
+        }
+        t.print(std::cout);
+        bench::saveCsv(t, "fig8_fmem" + std::to_string(fm));
+        std::cout << "panel MAE: "
+                  << TextTable::num(
+                             bench::mape(panel_pred, panel_meas), 1)
+                  << "%  (paper: 4.9% at 3505 MHz ... 8.7% at 810 "
+                     "MHz)\n\n";
+        all_pred.insert(all_pred.end(), panel_pred.begin(),
+                        panel_pred.end());
+        all_meas.insert(all_meas.end(), panel_meas.begin(),
+                        panel_meas.end());
+    }
+
+    std::cout << "overall MAE across the 2x core / 4x memory range: "
+              << TextTable::num(bench::mape(all_pred, all_meas), 1)
+              << "%  (paper: 6.0%)\n";
+    return 0;
+}

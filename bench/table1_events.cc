@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Table I: the performance events required to compute the
+ * model's metrics on each device, including the undisclosed numeric
+ * ("W") events and their per-device ID prefixes.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hh"
+#include "cupti/events.hh"
+
+int
+main()
+{
+    using namespace gpupm;
+    using namespace gpupm::cupti;
+
+    TextTable t({"Metric", "Titan Xp", "GTX Titan X", "Tesla K40c"});
+    t.setTitle("Table I: Performance events per metric "
+               "(W-prefix: 352321 / 335544 / 318767)");
+
+    const auto names = [](gpu::DeviceKind kind, Metric m) {
+        std::ostringstream os;
+        const auto &events = EventTable::get(kind).eventsFor(m);
+        for (std::size_t i = 0; i < events.size(); ++i)
+            os << (i ? ", " : "") << events[i].name;
+        return os.str();
+    };
+
+    for (Metric m : kAllMetrics) {
+        t.addRow({std::string(metricName(m)),
+                  names(gpu::DeviceKind::TitanXp, m),
+                  names(gpu::DeviceKind::GtxTitanX, m),
+                  names(gpu::DeviceKind::TeslaK40c, m)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nAggregation (Sec. III-C): multi-event metrics are "
+                 "summed; sector counters are 32 B, shared\n"
+                 "transactions 128 B; warp counts are per-SM averages "
+                 "for Eq. 8; the combined SP/INT warp\n"
+                 "count is split by the InstINT/InstSP ratio "
+                 "(Eq. 10).\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Application-analysis use case (Sec. V-B "Use cases", item 2): use
+ * the per-component power breakdown to find an application's power
+ * bottleneck — the power-oriented counterpart of the usual
+ * performance profiling.
+ *
+ * The example profiles two variants of the same computation — a naive
+ * global-memory kernel and a shared-memory-tiled rewrite — and shows
+ * how the breakdown shifts from DRAM-dominated to compute-dominated,
+ * and what each variant's power would be across the V-F space.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/campaign.hh"
+#include "core/metrics.hh"
+#include "core/predictor.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+/** Naive stencil: every input element re-read from DRAM. */
+sim::KernelDemand
+naiveStencil()
+{
+    workloads::UtilSignature sig;
+    sig.util[componentIndex(Component::SP)] = 0.22;
+    sig.util[componentIndex(Component::Int)] = 0.15;
+    sig.util[componentIndex(Component::L2)] = 0.55;
+    sig.util[componentIndex(Component::Dram)] = 0.88;
+    return workloads::demandFromSignature("stencil-naive", sig);
+}
+
+/** Tiled stencil: inputs staged through shared memory. */
+sim::KernelDemand
+tiledStencil()
+{
+    workloads::UtilSignature sig;
+    sig.util[componentIndex(Component::SP)] = 0.45;
+    sig.util[componentIndex(Component::Int)] = 0.22;
+    sig.util[componentIndex(Component::Shared)] = 0.55;
+    sig.util[componentIndex(Component::L2)] = 0.25;
+    sig.util[componentIndex(Component::Dram)] = 0.24;
+    return workloads::demandFromSignature("stencil-tiled", sig);
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto &desc = board.descriptor();
+
+    std::printf("building the power model...\n");
+    const auto data =
+            model::runTrainingCampaign(board, ubench::buildSuite());
+    const auto fit = model::ModelEstimator().estimate(data);
+    model::Predictor predictor(fit.model);
+    cupti::Profiler profiler(board, 77);
+
+    for (const auto &demand : {naiveStencil(), tiledStencil()}) {
+        const auto rm =
+                profiler.profile(demand, desc.referenceConfig());
+        const auto util = model::utilizationsFromMetrics(
+                rm, desc, desc.referenceConfig());
+        const auto p = predictor.at(util, desc.referenceConfig());
+
+        TextTable t({"component", "utilization", "power [W]",
+                     "share of dynamic [%]"});
+        t.setTitle("\n" + demand.name + " @ (975, 3505) MHz — total " +
+                   TextTable::num(p.total_w, 1) + " W (constant " +
+                   TextTable::num(p.constant_w, 1) + " W)");
+        const double dyn =
+                std::max(1e-9, p.total_w - p.constant_w);
+        std::size_t bottleneck = 0;
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i) {
+            if (p.component_w[i] > p.component_w[bottleneck])
+                bottleneck = i;
+            t.addRow({std::string(gpu::componentName(
+                              static_cast<gpu::Component>(i))),
+                      TextTable::num(util[i], 2),
+                      TextTable::num(p.component_w[i], 1),
+                      TextTable::num(100.0 * p.component_w[i] / dyn,
+                                     0)});
+        }
+        t.print(std::cout);
+        std::printf("power bottleneck: %s\n",
+                    std::string(gpu::componentName(
+                            static_cast<gpu::Component>(bottleneck)))
+                            .c_str());
+
+        // Where would DVFS take this kernel?
+        const auto best = predictor.lowestPower(util);
+        std::printf("lowest-power configuration: (%d, %d) MHz at "
+                    "%.1f W\n",
+                    best.cfg.core_mhz, best.cfg.mem_mhz,
+                    best.prediction.total_w);
+    }
+
+    std::printf("\nTakeaway: the tiled variant trades DRAM power for "
+                "SP/shared power; its DRAM clock can be dropped with "
+                "little cost, while the naive variant cannot.\n");
+    return 0;
+}

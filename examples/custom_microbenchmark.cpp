@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Authoring a new microbenchmark the way the paper presents them: as
+ * PTX (Fig. 4). The example parses a PTX kernel, runs it through both
+ * performance models (the cycle-level SM simulator and the analytic
+ * substrate), measures its power on the board, and checks the fitted
+ * model's prediction for it — the workflow for extending the training
+ * suite with new component-stressing kernels.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/campaign.hh"
+#include "core/metrics.hh"
+#include "core/predictor.hh"
+#include "sim/ptx.hh"
+
+namespace
+{
+
+/** A new mixed SP + special-function microbenchmark, in PTX. */
+const char *kMyKernel = R"(
+    ld.global.f32  %f1, [%rd1];
+    mov.f32  %f2, %f1;
+LOOP:
+    fma.rn.f32  %f3, %f1, %f1, %f2;
+    fma.rn.f32  %f4, %f2, %f2, %f1;
+    sin.approx.f32  %f5, %f3;
+    lg2.approx.f32  %f6, %f4;
+    add.s32  %r5, %r5, 1;
+    setp.lt.s32  %p1, %r5, 256;
+    bra  LOOP;
+    st.global.f32  [%rd1], %f5;
+)";
+
+} // namespace
+
+int
+main()
+{
+    using namespace gpupm;
+
+    // Parse the PTX into both representations.
+    const auto loop = sim::parsePtxKernel(kMyKernel);
+    const auto demand =
+            sim::demandFromLoop(loop, 1 << 20, "sp-sf-mix");
+    std::printf("parsed kernel: %zu prologue + %zu body x %llu trips "
+                "+ %zu epilogue instructions\n",
+                loop.prologue.size(), loop.body.size(),
+                static_cast<unsigned long long>(loop.trip_count),
+                loop.epilogue.size());
+
+    const auto &dev =
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+
+    // Cycle-level view of one SM.
+    sim::SmCycleSim cyc(dev, dev.referenceConfig(), 48);
+    const auto res = cyc.run(loop);
+    std::printf("\ncycle-level SM simulation: %llu cycles\n",
+                static_cast<unsigned long long>(res.cycles));
+    for (gpu::Component c : gpu::kComputeUnits)
+        std::printf("  %s utilization: %.2f\n",
+                    std::string(gpu::componentName(c)).c_str(),
+                    res.util[gpu::componentIndex(c)]);
+
+    // Board-level: measure its power and compare with the model.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    std::printf("\nbuilding the power model...\n");
+    const auto data =
+            model::runTrainingCampaign(board, ubench::buildSuite());
+    const auto fit = model::ModelEstimator().estimate(data);
+    model::Predictor predictor(fit.model);
+
+    cupti::Profiler profiler(board, 42);
+    const auto rm = profiler.profile(demand, dev.referenceConfig());
+    const auto util = model::utilizationsFromMetrics(
+            rm, dev, dev.referenceConfig());
+
+    nvml::Device nv(board, 43);
+    TextTable t({"fcore", "fmem", "measured [W]", "predicted [W]"});
+    t.setTitle("sp-sf-mix across a few configurations");
+    for (const gpu::FreqConfig cfg :
+         {gpu::FreqConfig{975, 3505}, gpu::FreqConfig{595, 3505},
+          gpu::FreqConfig{1164, 3505}, gpu::FreqConfig{975, 810}}) {
+        nv.setApplicationClocks(cfg.mem_mhz, cfg.core_mhz);
+        const auto m = nv.measureKernelPower(demand, 5);
+        t.addRow({std::to_string(cfg.core_mhz),
+                  std::to_string(cfg.mem_mhz),
+                  TextTable::num(m.power_w, 1),
+                  TextTable::num(predictor.at(util, cfg).total_w,
+                                 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}

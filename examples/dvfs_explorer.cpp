@@ -1,0 +1,122 @@
+/**
+ * @file
+ * DVFS-management use case (Sec. V-B "Use cases", item 3): pick the
+ * best V-F configuration for a kernel without executing it anywhere
+ * but at the reference configuration.
+ *
+ * The model predicts power at every supported configuration from one
+ * profiling pass; a simple bottleneck-scaling latency estimate (the
+ * kernel's measured reference time stretched by the dominant domain's
+ * clock ratio) turns that into energy and energy-delay estimates. The
+ * example then verifies the chosen configurations against the
+ * simulated board's ground truth.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/campaign.hh"
+#include "core/latency_scaler.hh"
+#include "core/metrics.hh"
+#include "core/predictor.hh"
+#include "workloads/workloads.hh"
+
+using namespace gpupm;
+
+int
+main()
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto &desc = board.descriptor();
+
+    std::printf("building the power model (83 microbenchmarks x %zu "
+                "configs)...\n",
+                desc.allConfigs().size());
+    const auto data =
+            model::runTrainingCampaign(board, ubench::buildSuite());
+    const auto fit = model::ModelEstimator().estimate(data);
+    model::Predictor predictor(fit.model);
+
+    for (const auto &app :
+         {workloads::blackScholes(), workloads::cutcp()}) {
+        // One profiling pass at the reference configuration only.
+        cupti::Profiler profiler(board, 5);
+        const auto rm =
+                profiler.profile(app.demand, desc.referenceConfig());
+        const auto util = model::utilizationsFromMetrics(
+                rm, desc, desc.referenceConfig());
+        const double t_ref = rm.time_s;
+
+        // Rank every configuration by predicted energy.
+        struct Choice
+        {
+            gpu::FreqConfig cfg;
+            double power_w, time_s, energy_j, edp;
+        };
+        const model::LatencyScaler scaler(desc.referenceConfig());
+        std::vector<Choice> choices;
+        for (const auto &cfg : desc.allConfigs()) {
+            const double p = predictor.at(util, cfg).total_w;
+            const double t = scaler.scaledTime(t_ref, util, cfg);
+            choices.push_back({cfg, p, t, p * t, p * t * t});
+        }
+        const auto by_energy = *std::min_element(
+                choices.begin(), choices.end(),
+                [](const Choice &a, const Choice &b) {
+                    return a.energy_j < b.energy_j;
+                });
+        const auto by_edp = *std::min_element(
+                choices.begin(), choices.end(),
+                [](const Choice &a, const Choice &b) {
+                    return a.edp < b.edp;
+                });
+
+        TextTable t({"objective", "fcore", "fmem", "pred. power [W]",
+                     "pred. time [ms]", "pred. energy [J]"});
+        t.setTitle("\n" + app.name + ": configuration choice "
+                   "(profiled once at the reference)");
+        const auto addChoice = [&](const char *label,
+                                   const Choice &c) {
+            t.addRow({label, std::to_string(c.cfg.core_mhz),
+                      std::to_string(c.cfg.mem_mhz),
+                      TextTable::num(c.power_w, 1),
+                      TextTable::num(1e3 * c.time_s, 2),
+                      TextTable::num(c.energy_j, 3)});
+        };
+        const auto ref_it = std::find_if(
+                choices.begin(), choices.end(), [&](const Choice &c) {
+                    return c.cfg == desc.referenceConfig();
+                });
+        addChoice("reference (default)", *ref_it);
+        addChoice("min energy", by_energy);
+        addChoice("min energy-delay", by_edp);
+        t.print(std::cout);
+
+        // The full power/performance Pareto frontier the DVFS manager
+        // would choose from.
+        TextTable pf({"fcore", "fmem", "pred. power [W]",
+                      "pred. slowdown"});
+        pf.setTitle(app.name + ": power/performance Pareto frontier");
+        for (const auto &ppt : predictor.paretoFrontier(util))
+            pf.addRow({std::to_string(ppt.cfg.core_mhz),
+                       std::to_string(ppt.cfg.mem_mhz),
+                       TextTable::num(ppt.power_w, 1),
+                       TextTable::num(ppt.slowdown, 3)});
+        pf.print(std::cout);
+
+        // Verify against the ground truth the model never saw.
+        const auto verify = [&](const Choice &c) {
+            const auto prof = board.execute(app.demand, c.cfg);
+            const auto p = board.truePower(prof, c.cfg);
+            return p.total_w * prof.time_s;
+        };
+        const double e_ref = verify(*ref_it);
+        const double e_best = verify(by_energy);
+        std::printf("ground truth: energy at reference %.3f J, at the "
+                    "chosen config %.3f J (%.0f%% saved)\n",
+                    e_ref, e_best, 100.0 * (e_ref - e_best) / e_ref);
+    }
+    return 0;
+}

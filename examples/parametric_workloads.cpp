@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Describing your own application to the model, from first
+ * principles: flop and byte counts as a function of the problem size,
+ * with DRAM traffic derived by the working-set cache model. The
+ * example sweeps four classic kernels (GEMM, 5-point stencil, STREAM
+ * triad, CSR SpMV) over problem sizes and asks the fitted model where
+ * each one's power goes and which V-F configuration minimizes its
+ * energy.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/campaign.hh"
+#include "core/latency_scaler.hh"
+#include "core/metrics.hh"
+#include "core/predictor.hh"
+#include "workloads/parametric.hh"
+
+int
+main()
+{
+    using namespace gpupm;
+
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto &desc = board.descriptor();
+    const auto ref = desc.referenceConfig();
+
+    std::printf("building the power model...\n");
+    const auto data =
+            model::runTrainingCampaign(board, ubench::buildSuite());
+    const auto fit = model::ModelEstimator().estimate(data);
+    model::Predictor predictor(fit.model);
+    const model::LatencyScaler scaler(ref);
+    cupti::Profiler profiler(board, 61);
+    nvml::Device dev(board, 62);
+
+    const std::vector<sim::KernelDemand> kernels = {
+        workloads::gemm(64, desc),
+        workloads::gemm(512, desc),
+        workloads::gemm(4096, desc),
+        workloads::stencil2d(4096, desc),
+        workloads::streamTriad(1 << 26, desc),
+        workloads::reduction(1 << 24, desc),
+        workloads::spmv(1 << 20, 1 << 24, desc),
+    };
+
+    TextTable t({"kernel", "measured [W]", "predicted [W]",
+                 "dominant component", "min-energy config",
+                 "energy saved [%]"});
+    t.setTitle("first-principles kernels through the fitted model");
+
+    for (const auto &k : kernels) {
+        const auto rm = profiler.profile(k, ref);
+        const auto util =
+                model::utilizationsFromMetrics(rm, desc, ref);
+        const auto p = predictor.at(util, ref);
+        const auto m = dev.measureKernelPower(k, 5);
+
+        std::size_t dom = 0;
+        for (std::size_t i = 1; i < gpu::kNumComponents; ++i)
+            if (p.component_w[i] > p.component_w[dom])
+                dom = i;
+
+        // Minimum predicted energy under a 15% slowdown budget.
+        gpu::FreqConfig best = ref;
+        double best_e = 1e300;
+        for (const auto &cfg : desc.allConfigs()) {
+            const double slow = scaler.slowdown(util, cfg);
+            if (slow > 1.15)
+                continue;
+            const double e = predictor.at(util, cfg).total_w * slow;
+            if (e < best_e) {
+                best_e = e;
+                best = cfg;
+            }
+        }
+        const double e_ref = p.total_w;
+        const double saved = 100.0 * (e_ref - best_e) / e_ref;
+
+        t.addRow({k.name, TextTable::num(m.power_w, 1),
+                  TextTable::num(p.total_w, 1),
+                  std::string(gpu::componentName(
+                          static_cast<gpu::Component>(dom))),
+                  std::to_string(best.core_mhz) + "/" +
+                          std::to_string(best.mem_mhz),
+                  TextTable::num(saved, 1)});
+    }
+    t.print(std::cout);
+
+    std::printf("\nThe GEMM sweep reproduces the Fig. 9 story from "
+                "first principles: a 64x64 launch cannot fill the "
+                "device, 512x512 is mid-utilization, and 4096x4096 "
+                "saturates the SP units.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Quickstart: build a DVFS-aware power model for the GTX Titan X and
+ * predict an application's power across the V-F space.
+ *
+ * Walks the full paper pipeline:
+ *   1. run the 83-microbenchmark training campaign (CUPTI events at
+ *      the reference configuration, NVML power everywhere);
+ *   2. estimate the model with the Sec. III-D iterative algorithm;
+ *   3. profile an unseen application (BlackScholes) once, at the
+ *      reference configuration;
+ *   4. predict its power at every supported configuration and compare
+ *      against measurements.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/campaign.hh"
+#include "core/metrics.hh"
+#include "core/predictor.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace gpupm;
+
+    // The "hardware": a simulated GTX Titan X board.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const gpu::DeviceDescriptor &dev = board.descriptor();
+    std::printf("device: %s (%s, %d SMs, TDP %.0f W)\n",
+                dev.name.c_str(),
+                std::string(architectureName(dev.architecture)).c_str(),
+                dev.num_sms, dev.tdp_w);
+
+    // 1. Training campaign over the microbenchmark suite.
+    const auto suite = ubench::buildSuite();
+    std::printf("running training campaign: %zu microbenchmarks x %zu "
+                "V-F configs...\n",
+                suite.size(), dev.allConfigs().size());
+    const model::TrainingData data =
+            model::runTrainingCampaign(board, suite);
+
+    // 2. Model estimation (Sec. III-D).
+    const model::ModelEstimator estimator;
+    const model::EstimationResult fit = estimator.estimate(data);
+    std::printf("estimator: %d iterations, converged=%s, fit RMSE "
+                "%.2f W\n",
+                fit.iterations, fit.converged ? "yes" : "no",
+                fit.rmse_w);
+    const auto &p = fit.model.params();
+    std::printf("  beta = [%.1f %.1f %.1f %.1f] W | W/GHz\n", p.beta0,
+                p.beta1, p.beta2, p.beta3);
+    std::printf("  omega =");
+    for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+        std::printf(" %s:%.1f",
+                    std::string(gpu::componentName(
+                            static_cast<gpu::Component>(i))).c_str(),
+                    p.omega[i]);
+    std::printf(" W/GHz\n");
+
+    // Fitted vs true core voltage at the reference memory clock.
+    model::Predictor predictor(fit.model);
+    std::printf("\ncore voltage at fmem=%d MHz (fitted vs true):\n",
+                dev.default_mem_mhz);
+    for (const auto &[fc, v] :
+         predictor.coreVoltageCurve(dev.default_mem_mhz)) {
+        std::printf("  %4d MHz: V=%.3f  (true %.3f)\n", fc, v,
+                    board.trueCoreVoltageNorm(fc));
+    }
+
+    // 3. Profile one unseen application at the reference config.
+    const workloads::Workload app = workloads::blackScholes();
+    const auto meas =
+            model::measureApp(board, app.demand, dev.allConfigs());
+
+    // 4. Predict everywhere, compare against measurements.
+    std::vector<double> pred, measd;
+    for (std::size_t i = 0; i < meas.configs.size(); ++i) {
+        pred.push_back(
+                predictor.at(meas.util, meas.configs[i]).total_w);
+        measd.push_back(meas.power_w[i]);
+    }
+    std::printf("\n%s over %zu configurations: MAE %.1f%%\n",
+                app.name.c_str(), pred.size(),
+                stats::meanAbsPercentError(pred, measd));
+
+    TextTable t({"fcore", "fmem", "measured W", "predicted W"});
+    t.setTitle("BlackScholes power across memory clocks "
+               "(core at reference)");
+    for (std::size_t i = 0; i < meas.configs.size(); ++i) {
+        if (meas.configs[i].core_mhz != dev.default_core_mhz)
+            continue;
+        t.addRow({std::to_string(meas.configs[i].core_mhz),
+                  std::to_string(meas.configs[i].mem_mhz),
+                  TextTable::num(measd[i], 1),
+                  TextTable::num(pred[i], 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Rebuild the library, run the full test suite and regenerate every
+# table/figure of the paper's evaluation (EXPERIMENTS.md describes the
+# expected outcomes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "==================================================="
+    echo "== $b"
+    echo "==================================================="
+    "$b"
+done

@@ -1,0 +1,231 @@
+#include "baselines.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "linalg/lstsq.hh"
+
+namespace gpupm
+{
+namespace baselines
+{
+
+using gpu::Component;
+using gpu::componentIndex;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace
+{
+
+constexpr std::array<Component, 6> kCoreComponents = {
+    Component::Int, Component::SP, Component::DP,
+    Component::SF, Component::Shared, Component::L2,
+};
+
+/**
+ * Shared trainer for the per-domain regressions: fit
+ * P = b0 + gc(fc)*(b1 + sum w_i u_i) + gm(fm)*(b3 + w_mem u_dram)
+ * where gc/gm are the domain frequency transforms (identity for Abe,
+ * cubic-core for the GPUWattch-style variant).
+ */
+template <typename Gc, typename Gm>
+model::ModelParams
+fitDomainRegression(const model::TrainingData &data,
+                    const std::vector<std::size_t> &config_subset,
+                    Gc gc, Gm gm)
+{
+    const std::size_t nb = data.utils.size();
+    // Features: 1, gc, gc*u_core(6), gm, gm*u_dram  -> 10 columns.
+    const std::size_t ncols = 2 + kCoreComponents.size() + 2;
+    Matrix a(nb * config_subset.size(), ncols);
+    Vector rhs(nb * config_subset.size());
+
+    std::size_t row = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+        for (std::size_t ci : config_subset) {
+            const auto &cfg = data.configs[ci];
+            const double fc = gc(1e-3 * cfg.core_mhz);
+            const double fm = gm(1e-3 * cfg.mem_mhz);
+            std::size_t col = 0;
+            a(row, col++) = 1.0;
+            a(row, col++) = fc;
+            for (Component c : kCoreComponents)
+                a(row, col++) =
+                        fc * data.utils[b][componentIndex(c)];
+            a(row, col++) = fm;
+            a(row, col++) =
+                    fm *
+                    data.utils[b][componentIndex(Component::Dram)];
+            rhs[row] = data.power_w[b][ci];
+            ++row;
+        }
+    }
+
+    const Vector x = linalg::leastSquares(a, rhs);
+
+    model::ModelParams p;
+    std::size_t col = 0;
+    p.beta0 = x[col++];
+    p.beta1 = x[col++];
+    for (Component c : kCoreComponents)
+        p.omega[componentIndex(c)] = x[col++];
+    p.beta3 = x[col++];
+    p.omega[componentIndex(Component::Dram)] = x[col++];
+    p.beta2 = 0.0; // merged into beta0 (no voltage split to resolve)
+    return p;
+}
+
+template <typename Gc, typename Gm>
+double
+predictDomainRegression(const model::ModelParams &p,
+                        const gpu::ComponentArray &util,
+                        const gpu::FreqConfig &cfg, Gc gc, Gm gm)
+{
+    const double fc = gc(1e-3 * cfg.core_mhz);
+    const double fm = gm(1e-3 * cfg.mem_mhz);
+    double core = p.beta1;
+    for (Component c : kCoreComponents)
+        core += p.omega[componentIndex(c)] * util[componentIndex(c)];
+    const double mem =
+            p.beta3 + p.omega[componentIndex(Component::Dram)] *
+                              util[componentIndex(Component::Dram)];
+    return p.beta0 + fc * core + fm * mem;
+}
+
+/** Pick <= n roughly evenly spaced values from a sorted unique set. */
+std::vector<int>
+pickSpread(std::vector<int> values, std::size_t n)
+{
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()),
+                 values.end());
+    if (values.size() <= n)
+        return values;
+    std::vector<int> out;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx =
+                i * (values.size() - 1) / (n - 1);
+        out.push_back(values[idx]);
+    }
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace
+
+AbeLinearModel
+AbeLinearModel::train(const model::TrainingData &data)
+{
+    // Abe et al. train on 3 core and 3 memory frequencies.
+    std::vector<int> cores, mems;
+    for (const auto &cfg : data.configs) {
+        cores.push_back(cfg.core_mhz);
+        mems.push_back(cfg.mem_mhz);
+    }
+    const auto core_sel = pickSpread(cores, 3);
+    const auto mem_sel = pickSpread(mems, 3);
+
+    std::vector<std::size_t> subset;
+    for (std::size_t ci = 0; ci < data.configs.size(); ++ci) {
+        const auto &cfg = data.configs[ci];
+        const bool core_in =
+                std::find(core_sel.begin(), core_sel.end(),
+                          cfg.core_mhz) != core_sel.end();
+        const bool mem_in =
+                std::find(mem_sel.begin(), mem_sel.end(),
+                          cfg.mem_mhz) != mem_sel.end();
+        if (core_in && mem_in)
+            subset.push_back(ci);
+    }
+    GPUPM_ASSERT(!subset.empty(), "no training subset");
+
+    AbeLinearModel m;
+    const auto id = [](double f) { return f; };
+    m.params_ = fitDomainRegression(data, subset, id, id);
+    return m;
+}
+
+double
+AbeLinearModel::predict(const gpu::ComponentArray &util,
+                        const gpu::FreqConfig &cfg) const
+{
+    const auto id = [](double f) { return f; };
+    return predictDomainRegression(params_, util, cfg, id, id);
+}
+
+CubicScalingModel
+CubicScalingModel::train(const model::TrainingData &data)
+{
+    std::vector<std::size_t> all(data.configs.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+
+    CubicScalingModel m;
+    m.reference_ = data.reference;
+    const double fcr = 1e-3 * data.reference.core_mhz;
+    // V ~ f on the core domain => dynamic ~ f^3; memory stays linear
+    // (its voltage genuinely does not scale).
+    const auto gc = [fcr](double f) { return f * f * f / (fcr * fcr); };
+    const auto gm = [](double f) { return f; };
+    m.params_ = fitDomainRegression(data, all, gc, gm);
+    return m;
+}
+
+double
+CubicScalingModel::predict(const gpu::ComponentArray &util,
+                           const gpu::FreqConfig &cfg) const
+{
+    const double fcr = 1e-3 * reference_.core_mhz;
+    const auto gc = [fcr](double f) { return f * f * f / (fcr * fcr); };
+    const auto gm = [](double f) { return f; };
+    return predictDomainRegression(params_, util, cfg, gc, gm);
+}
+
+RefScalingModel
+RefScalingModel::train(const model::TrainingData &data)
+{
+    RefScalingModel m;
+    m.reference_ = data.reference;
+    const std::size_t ref_ci = data.configIndex(data.reference);
+
+    // P(cfg)/P(ref) = s + c * fc/fcr + m * fm/fmr over all
+    // microbenchmarks and configs.
+    Matrix a(data.utils.size() * data.configs.size(), 3);
+    Vector rhs(data.utils.size() * data.configs.size());
+    std::size_t row = 0;
+    for (std::size_t b = 0; b < data.utils.size(); ++b) {
+        const double pref = data.power_w[b][ref_ci];
+        for (std::size_t ci = 0; ci < data.configs.size(); ++ci) {
+            const auto &cfg = data.configs[ci];
+            a(row, 0) = 1.0;
+            a(row, 1) = static_cast<double>(cfg.core_mhz) /
+                        data.reference.core_mhz;
+            a(row, 2) = static_cast<double>(cfg.mem_mhz) /
+                        data.reference.mem_mhz;
+            rhs[row] = pref > 0.0 ? data.power_w[b][ci] / pref : 1.0;
+            ++row;
+        }
+    }
+    const Vector x = linalg::leastSquares(a, rhs);
+    m.s_ = x[0];
+    m.c_ = x[1];
+    m.m_ = x[2];
+    return m;
+}
+
+double
+RefScalingModel::predict(double ref_power_w,
+                         const gpu::FreqConfig &cfg) const
+{
+    const double rc = static_cast<double>(cfg.core_mhz) /
+                      reference_.core_mhz;
+    const double rm = static_cast<double>(cfg.mem_mhz) /
+                      reference_.mem_mhz;
+    return ref_power_w * (s_ + c_ * rc + m_ * rm);
+}
+
+} // namespace baselines
+} // namespace gpupm

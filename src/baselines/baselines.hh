@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Prior-art comparison models (Sec. VI of the paper).
+ *
+ * - AbeLinearModel: the Abe et al. [14] approach — per-domain power
+ *   linear in the domain frequency with event-derived utilizations,
+ *   no voltage modelling, plain least squares trained on a 3x3
+ *   frequency subset. The paper reports 15/14/23.5% errors for this
+ *   family.
+ * - CubicScalingModel: the classic V-proportional-to-f assumption
+ *   behind GPUWattch-style DVFS scaling [12]: core dynamic power
+ *   scales with (f/f_ref)^3.
+ * - RefScalingModel: application-agnostic scaling of the measured
+ *   reference power, P(cfg) = P_ref * (s + c*fc/fcr + m*fm/fmr) —
+ *   what a counters-free DVFS governor would use.
+ */
+
+#ifndef GPUPM_BASELINES_BASELINES_HH
+#define GPUPM_BASELINES_BASELINES_HH
+
+#include "core/estimator.hh"
+
+namespace gpupm
+{
+namespace baselines
+{
+
+/** Abe et al.-style per-domain linear-frequency regression. */
+class AbeLinearModel
+{
+  public:
+    /**
+     * Train on a 3-core x 3-mem frequency subset of the campaign (the
+     * paper's baseline methodology), falling back to every available
+     * frequency when fewer exist.
+     */
+    static AbeLinearModel train(const model::TrainingData &data);
+
+    /** Predict total power at a configuration. */
+    double predict(const gpu::ComponentArray &util,
+                   const gpu::FreqConfig &cfg) const;
+
+  private:
+    // Same feature layout as the proposed model with V = 1.
+    model::ModelParams params_{};
+};
+
+/** V-proportional-to-f cubic-scaling model. */
+class CubicScalingModel
+{
+  public:
+    /** Train over the full campaign. */
+    static CubicScalingModel train(const model::TrainingData &data);
+
+    double predict(const gpu::ComponentArray &util,
+                   const gpu::FreqConfig &cfg) const;
+
+  private:
+    model::ModelParams params_{};
+    gpu::FreqConfig reference_{};
+};
+
+/** Reference-power scaling without counters. */
+class RefScalingModel
+{
+  public:
+    static RefScalingModel train(const model::TrainingData &data);
+
+    /**
+     * Predict from the application's measured power at the reference
+     * configuration.
+     */
+    double predict(double ref_power_w, const gpu::FreqConfig &cfg) const;
+
+  private:
+    double s_ = 0.0; ///< static share
+    double c_ = 0.0; ///< core-scaling share
+    double m_ = 0.0; ///< memory-scaling share
+    gpu::FreqConfig reference_{};
+};
+
+} // namespace baselines
+} // namespace gpupm
+
+#endif // GPUPM_BASELINES_BASELINES_HH

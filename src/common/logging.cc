@@ -1,0 +1,38 @@
+#include "logging.hh"
+
+#include <stdexcept>
+
+namespace gpupm
+{
+namespace detail
+{
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    // Throwing (rather than calling std::abort) keeps panics testable:
+    // gtest death tests and EXPECT_THROW both observe the failure.
+    throw std::logic_error(concat("panic: ", file, ":", line, ": ", msg));
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw std::runtime_error(concat("fatal: ", file, ":", line, ": ",
+                                    msg));
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace gpupm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (a gpupm bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config, bad
+ *            arguments); exits with an error code.
+ * warn()   — something is questionable but execution can continue.
+ * inform() — a normal status message.
+ */
+
+#ifndef GPUPM_COMMON_LOGGING_HH
+#define GPUPM_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gpupm
+{
+
+namespace detail
+{
+
+/** Stream a pack of arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    static_cast<void>((os << ... << std::forward<Args>(args)));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on a violated internal invariant. */
+#define GPUPM_PANIC(...) \
+    ::gpupm::detail::panicImpl(__FILE__, __LINE__, \
+                               ::gpupm::detail::concat(__VA_ARGS__))
+
+/** Exit on an unrecoverable user error. */
+#define GPUPM_FATAL(...) \
+    ::gpupm::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::gpupm::detail::concat(__VA_ARGS__))
+
+/** Fatal user error when a condition holds. */
+#define GPUPM_FATAL_IF(cond, ...) \
+    do { \
+        if (cond) { \
+            ::gpupm::detail::fatalImpl(__FILE__, __LINE__, \
+                    ::gpupm::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Panic unless a condition holds. */
+#define GPUPM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::gpupm::detail::panicImpl(__FILE__, __LINE__, \
+                ::gpupm::detail::concat("assertion '", #cond, \
+                                        "' failed: ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace gpupm
+
+#endif // GPUPM_COMMON_LOGGING_HH

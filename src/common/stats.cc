@@ -1,0 +1,187 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace gpupm
+{
+namespace stats
+{
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+median(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::vector<double> v(xs.begin(), xs.end());
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    if (n % 2 == 1)
+        return v[n / 2];
+    return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+minimum(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maximum(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::span<const double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    GPUPM_ASSERT(p >= 0.0 && p <= 100.0, "percentile p=", p);
+    std::vector<double> v(xs.begin(), xs.end());
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1)
+        return v.front();
+    const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double
+meanAbsPercentError(std::span<const double> predicted,
+                    std::span<const double> measured)
+{
+    GPUPM_ASSERT(predicted.size() == measured.size(),
+                 "size mismatch ", predicted.size(), " vs ",
+                 measured.size());
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        if (measured[i] == 0.0)
+            continue;
+        s += std::abs(predicted[i] - measured[i]) / std::abs(measured[i]);
+        ++n;
+    }
+    return n ? 100.0 * s / static_cast<double>(n) : 0.0;
+}
+
+double
+meanPercentError(std::span<const double> predicted,
+                 std::span<const double> measured)
+{
+    GPUPM_ASSERT(predicted.size() == measured.size(),
+                 "size mismatch ", predicted.size(), " vs ",
+                 measured.size());
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        if (measured[i] == 0.0)
+            continue;
+        s += (predicted[i] - measured[i]) / measured[i];
+        ++n;
+    }
+    return n ? 100.0 * s / static_cast<double>(n) : 0.0;
+}
+
+double
+rmse(std::span<const double> predicted, std::span<const double> measured)
+{
+    GPUPM_ASSERT(predicted.size() == measured.size(),
+                 "size mismatch ", predicted.size(), " vs ",
+                 measured.size());
+    if (predicted.empty())
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - measured[i];
+        s += d * d;
+    }
+    return std::sqrt(s / static_cast<double>(predicted.size()));
+}
+
+double
+pearson(std::span<const double> xs, std::span<const double> ys)
+{
+    GPUPM_ASSERT(xs.size() == ys.size(), "size mismatch ", xs.size(),
+                 " vs ", ys.size());
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    sumsq_ += x * x;
+}
+
+double
+Accumulator::mean() const
+{
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    const double m = mean();
+    const double var = sumsq_ / static_cast<double>(n_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+} // namespace stats
+} // namespace gpupm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Summary statistics used throughout the experiment harnesses: mean,
+ * median, mean absolute (percentage) error, extrema and percentiles.
+ */
+
+#ifndef GPUPM_COMMON_STATS_HH
+#define GPUPM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpupm
+{
+namespace stats
+{
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(std::span<const double> xs);
+
+/** Median (average of middle two for even sizes); 0 for empty input. */
+double median(std::span<const double> xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(std::span<const double> xs);
+
+/** Smallest element; 0 for an empty input. */
+double minimum(std::span<const double> xs);
+
+/** Largest element; 0 for an empty input. */
+double maximum(std::span<const double> xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ * 0 for an empty input.
+ */
+double percentile(std::span<const double> xs, double p);
+
+/**
+ * Mean absolute percentage error between predictions and reference
+ * values, in percent: mean(|pred - meas| / meas) * 100.
+ * Entries whose measured value is zero are skipped.
+ */
+double meanAbsPercentError(std::span<const double> predicted,
+                           std::span<const double> measured);
+
+/**
+ * Signed mean percentage error in percent:
+ * mean((pred - meas) / meas) * 100. Zero-measured entries are skipped.
+ */
+double meanPercentError(std::span<const double> predicted,
+                        std::span<const double> measured);
+
+/** Root mean square error between two equally sized series. */
+double rmse(std::span<const double> predicted,
+            std::span<const double> measured);
+
+/** Pearson correlation coefficient; 0 when either side is constant. */
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/** Running accumulator for streams whose length is not known upfront. */
+class Accumulator
+{
+  public:
+    /** Insert one sample. */
+    void add(double x);
+
+    /** Number of samples so far. */
+    std::size_t count() const { return n_; }
+
+    /** Mean of samples so far; 0 when empty. */
+    double mean() const;
+
+    /** Population standard deviation so far; 0 for fewer than two. */
+    double stddev() const;
+
+    /** Smallest sample so far; 0 when empty. */
+    double minimum() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample so far; 0 when empty. */
+    double maximum() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace stats
+} // namespace gpupm
+
+#endif // GPUPM_COMMON_STATS_HH

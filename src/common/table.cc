@@ -1,0 +1,96 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace gpupm
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    GPUPM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    GPUPM_ASSERT(cells.size() == headers_.size(),
+                 "row has ", cells.size(), " cells, expected ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    const auto rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    const auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << cells[c]
+               << std::string(widths[c] - cells[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    const auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            // Quote cells containing separators.
+            if (cells[c].find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : cells[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cells[c];
+            }
+        }
+        os << '\n';
+    };
+    line(headers_);
+    for (const auto &row : rows_)
+        line(row);
+}
+
+} // namespace gpupm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the bench harnesses to print the
+ * paper's tables and figure series in a uniform, diff-friendly format.
+ */
+
+#ifndef GPUPM_COMMON_TABLE_HH
+#define GPUPM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpupm
+{
+
+/** Column-aligned ASCII table with an optional title. */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Optional table title printed above the header row. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding, no title). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gpupm
+
+#endif // GPUPM_COMMON_TABLE_HH

@@ -1,0 +1,44 @@
+#include "backend.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+SimulatedBackend::SimulatedBackend(const sim::PhysicalGpu &board,
+                                   std::uint64_t seed)
+    : board_(board), profiler_(board, seed), device_(board, seed + 1)
+{}
+
+const gpu::DeviceDescriptor &
+SimulatedBackend::descriptor() const
+{
+    return board_.descriptor();
+}
+
+cupti::RawMetrics
+SimulatedBackend::profileKernel(const sim::KernelDemand &kernel,
+                                const gpu::FreqConfig &cfg)
+{
+    return profiler_.profile(kernel, cfg);
+}
+
+nvml::PowerMeasurement
+SimulatedBackend::measurePower(const sim::KernelDemand &kernel,
+                               const gpu::FreqConfig &cfg,
+                               int repetitions, double min_duration_s)
+{
+    device_.setApplicationClocks(cfg.mem_mhz, cfg.core_mhz);
+    return device_.measureKernelPower(kernel, repetitions,
+                                      min_duration_s);
+}
+
+double
+SimulatedBackend::measureIdlePower(const gpu::FreqConfig &cfg)
+{
+    device_.setApplicationClocks(cfg.mem_mhz, cfg.core_mhz);
+    return device_.measureIdlePower();
+}
+
+} // namespace model
+} // namespace gpupm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Host-side measurement backend abstraction.
+ *
+ * The training campaign needs exactly three capabilities from the
+ * machine it runs on: profile a kernel's Table I events at a
+ * configuration, measure a kernel's average power at a configuration
+ * (Sec. V-A methodology), and measure idle power. This interface
+ * isolates those capabilities so the same campaign code drives either
+ * the simulated substrate (SimulatedBackend, used throughout this
+ * repository) or a real CUDA/CUPTI/NVML stack (a deployment
+ * implements MeasurementBackend over the vendor libraries and
+ * dispatches kernels by their KernelDemand name).
+ */
+
+#ifndef GPUPM_CORE_BACKEND_HH
+#define GPUPM_CORE_BACKEND_HH
+
+#include <memory>
+
+#include "cupti/profiler.hh"
+#include "nvml/device.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+/** Abstract host measurement stack. */
+class MeasurementBackend
+{
+  public:
+    virtual ~MeasurementBackend() = default;
+
+    /** Device under measurement. */
+    virtual const gpu::DeviceDescriptor &descriptor() const = 0;
+
+    /** Collect the aggregated Table I metrics of one kernel launch. */
+    virtual cupti::RawMetrics
+    profileKernel(const sim::KernelDemand &kernel,
+                  const gpu::FreqConfig &cfg) = 0;
+
+    /**
+     * Median average power of the kernel at the configuration,
+     * following the Sec. V-A repetition/sampling methodology.
+     */
+    virtual nvml::PowerMeasurement
+    measurePower(const sim::KernelDemand &kernel,
+                 const gpu::FreqConfig &cfg, int repetitions,
+                 double min_duration_s) = 0;
+
+    /** Average idle power at the configuration. */
+    virtual double measureIdlePower(const gpu::FreqConfig &cfg) = 0;
+};
+
+/** The backend over the simulated substrate. */
+class SimulatedBackend : public MeasurementBackend
+{
+  public:
+    /**
+     * @param board  simulated device.
+     * @param seed   seeds the profiling and sensor noise streams.
+     */
+    explicit SimulatedBackend(const sim::PhysicalGpu &board,
+                              std::uint64_t seed = 42);
+
+    const gpu::DeviceDescriptor &descriptor() const override;
+
+    cupti::RawMetrics profileKernel(const sim::KernelDemand &kernel,
+                                    const gpu::FreqConfig &cfg)
+            override;
+
+    nvml::PowerMeasurement measurePower(const sim::KernelDemand &kernel,
+                                        const gpu::FreqConfig &cfg,
+                                        int repetitions,
+                                        double min_duration_s)
+            override;
+
+    double measureIdlePower(const gpu::FreqConfig &cfg) override;
+
+  private:
+    const sim::PhysicalGpu &board_;
+    cupti::Profiler profiler_;
+    nvml::Device device_;
+};
+
+} // namespace model
+} // namespace gpupm
+
+#endif // GPUPM_CORE_BACKEND_HH

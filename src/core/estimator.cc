@@ -1,0 +1,378 @@
+#include "estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "gpu/components.hh"
+#include "linalg/isotonic.hh"
+#include "linalg/lstsq.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+using gpu::Component;
+using gpu::componentIndex;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace
+{
+
+/** Feature layout of the coefficient fit. */
+constexpr std::size_t kFeatBeta0 = 0;
+constexpr std::size_t kFeatBeta1 = 1;
+constexpr std::size_t kFeatBeta2 = 2;
+constexpr std::size_t kFeatBeta3 = 3;
+constexpr std::size_t kFeatOmega = 4; // 6 core components, then DRAM
+constexpr std::size_t kNumFeatures = kFeatOmega + gpu::kNumComponents;
+
+/** Core-domain components in feature order (everything but DRAM). */
+constexpr std::array<Component, 6> kCoreComponents = {
+    Component::Int, Component::SP, Component::DP,
+    Component::SF, Component::Shared, Component::L2,
+};
+
+/** Golden-section minimization of a unimodal 1-D function. */
+template <typename F>
+double
+minimize1d(F f, double lo, double hi, int iters = 80)
+{
+    constexpr double phi = 0.6180339887498949;
+    double a = lo, b = hi;
+    double x1 = b - phi * (b - a);
+    double x2 = a + phi * (b - a);
+    double f1 = f(x1), f2 = f(x2);
+    for (int i = 0; i < iters; ++i) {
+        if (f1 < f2) {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - phi * (b - a);
+            f1 = f(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + phi * (b - a);
+            f2 = f(x2);
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+} // namespace
+
+std::size_t
+TrainingData::configIndex(const gpu::FreqConfig &cfg) const
+{
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        if (configs[i] == cfg)
+            return i;
+    GPUPM_PANIC("configuration (", cfg.core_mhz, ", ", cfg.mem_mhz,
+                ") not in training data");
+}
+
+ModelEstimator::ModelEstimator(EstimatorOptions opts) : opts_(opts)
+{
+    GPUPM_ASSERT(opts_.max_iterations >= 1, "need >= 1 iteration");
+    GPUPM_ASSERT(opts_.v_min > 0.0 && opts_.v_max > opts_.v_min,
+                 "bad voltage search range");
+}
+
+namespace
+{
+
+/** Idle rows are the all-zero-utilization microbenchmarks. */
+bool
+isIdleRow(const gpu::ComponentArray &util)
+{
+    for (double u : util)
+        if (u != 0.0)
+            return false;
+    return true;
+}
+
+} // namespace
+
+ModelParams
+ModelEstimator::fitCoefficients(
+        const TrainingData &data,
+        const std::vector<VoltagePair> &voltages,
+        const std::vector<std::size_t> &config_subset) const
+{
+    const std::size_t nb = data.utils.size();
+    Matrix a(nb * config_subset.size(), kNumFeatures);
+    Vector rhs(nb * config_subset.size());
+
+    std::size_t row = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+        const double rw = std::sqrt(
+                isIdleRow(data.utils[b]) ? opts_.idle_row_weight : 1.0);
+        for (std::size_t ci : config_subset) {
+            const gpu::FreqConfig &cfg = data.configs[ci];
+            const VoltagePair &v = voltages[ci];
+            const double fc = 1e-3 * cfg.core_mhz;
+            const double fm = 1e-3 * cfg.mem_mhz;
+            const double vc2fc = v.core * v.core * fc;
+            const double vm2fm = v.mem * v.mem * fm;
+
+            a(row, kFeatBeta0) = rw * v.core;
+            a(row, kFeatBeta1) = rw * vc2fc;
+            a(row, kFeatBeta2) = rw * v.mem;
+            a(row, kFeatBeta3) = rw * vm2fm;
+            for (std::size_t k = 0; k < kCoreComponents.size(); ++k) {
+                const std::size_t u =
+                        componentIndex(kCoreComponents[k]);
+                a(row, kFeatOmega + k) = rw * vc2fc * data.utils[b][u];
+            }
+            a(row, kFeatOmega + kCoreComponents.size()) =
+                    rw * vm2fm *
+                    data.utils[b][componentIndex(Component::Dram)];
+            rhs[row] = rw * data.power_w[b][ci];
+            ++row;
+        }
+    }
+
+    Vector x;
+    if (opts_.nonnegative) {
+        x = linalg::nnlsRidge(a, rhs, opts_.ridge);
+    } else {
+        x = linalg::leastSquares(a, rhs);
+    }
+
+    ModelParams p;
+    p.beta0 = x[kFeatBeta0];
+    p.beta1 = x[kFeatBeta1];
+    p.beta2 = x[kFeatBeta2];
+    p.beta3 = x[kFeatBeta3];
+    for (std::size_t k = 0; k < kCoreComponents.size(); ++k)
+        p.omega[componentIndex(kCoreComponents[k])] =
+                x[kFeatOmega + k];
+    p.omega[componentIndex(Component::Dram)] =
+            x[kFeatOmega + kCoreComponents.size()];
+    return p;
+}
+
+std::vector<VoltagePair>
+ModelEstimator::fitVoltages(const TrainingData &data,
+                            const ModelParams &params,
+                            const std::vector<VoltagePair> &start) const
+{
+    const std::size_t nb = data.utils.size();
+    const std::size_t nc = data.configs.size();
+
+    // Per-microbenchmark aggregates: A_b (core) and B_b (memory).
+    std::vector<double> core_agg(nb), mem_agg(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+        double s = params.beta1;
+        for (Component c : kCoreComponents)
+            s += params.omega[componentIndex(c)] *
+                 data.utils[b][componentIndex(c)];
+        core_agg[b] = s;
+        mem_agg[b] = params.beta3 +
+                     params.omega[componentIndex(Component::Dram)] *
+                     data.utils[b][componentIndex(Component::Dram)];
+    }
+
+    const std::size_t ref_ci = data.configIndex(data.reference);
+    std::vector<VoltagePair> v(nc);
+
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+        if (ci == ref_ci)
+            continue; // pinned at (1, 1): the Eq. 5 normalization
+        const gpu::FreqConfig &cfg = data.configs[ci];
+        const double fc = 1e-3 * cfg.core_mhz;
+        const double fm = 1e-3 * cfg.mem_mhz;
+
+        const auto config_sse = [&](double vc, double vm) {
+            double s = 0.0;
+            for (std::size_t b = 0; b < nb; ++b) {
+                const double pred = params.beta0 * vc +
+                                    vc * vc * fc * core_agg[b] +
+                                    params.beta2 * vm +
+                                    vm * vm * fm * mem_agg[b];
+                const double r = data.power_w[b][ci] - pred;
+                const double w = isIdleRow(data.utils[b])
+                                         ? opts_.idle_row_weight
+                                         : 1.0;
+                s += w * r * r;
+            }
+            return s;
+        };
+
+        // Coordinate descent over the (vc, vm) quartic, warm-started
+        // from the previous outer iterate.
+        double vc = start[ci].core, vm = start[ci].mem;
+        for (int round = 0; round < 4; ++round) {
+            vc = minimize1d(
+                    [&](double x) { return config_sse(x, vm); },
+                    opts_.v_min, opts_.v_max);
+            if (opts_.fit_mem_voltage) {
+                vm = minimize1d(
+                        [&](double x) { return config_sse(vc, x); },
+                        opts_.v_min, opts_.v_max);
+            }
+        }
+        v[ci] = {vc, vm};
+    }
+
+    if (!opts_.monotonic_voltages)
+        return v;
+
+    // Eq. 12 projection: V̄ must be non-decreasing in its domain's
+    // frequency. The reference configuration is given an overwhelming
+    // weight so pooling cannot move its pinned value.
+    const auto weight_of = [&](std::size_t ci) {
+        return ci == ref_ci ? 1e9 : 1.0;
+    };
+
+    // Core voltage along fcore, separately for each memory frequency.
+    std::map<int, std::vector<std::size_t>> by_mem;
+    for (std::size_t ci = 0; ci < nc; ++ci)
+        by_mem[data.configs[ci].mem_mhz].push_back(ci);
+    for (auto &[fm, group] : by_mem) {
+        std::sort(group.begin(), group.end(),
+                  [&](std::size_t x, std::size_t y) {
+                      return data.configs[x].core_mhz <
+                             data.configs[y].core_mhz;
+                  });
+        std::vector<double> vals, w;
+        for (std::size_t ci : group) {
+            vals.push_back(v[ci].core);
+            w.push_back(weight_of(ci));
+        }
+        const auto fitted = linalg::isotonicNonDecreasing(vals, w);
+        for (std::size_t k = 0; k < group.size(); ++k)
+            v[group[k]].core = fitted[k];
+    }
+
+    // Memory voltage along fmem, separately for each core frequency.
+    std::map<int, std::vector<std::size_t>> by_core;
+    for (std::size_t ci = 0; ci < nc; ++ci)
+        by_core[data.configs[ci].core_mhz].push_back(ci);
+    for (auto &[fc, group] : by_core) {
+        std::sort(group.begin(), group.end(),
+                  [&](std::size_t x, std::size_t y) {
+                      return data.configs[x].mem_mhz <
+                             data.configs[y].mem_mhz;
+                  });
+        std::vector<double> vals, w;
+        for (std::size_t ci : group) {
+            vals.push_back(v[ci].mem);
+            w.push_back(weight_of(ci));
+        }
+        const auto fitted = linalg::isotonicNonDecreasing(vals, w);
+        for (std::size_t k = 0; k < group.size(); ++k)
+            v[group[k]].mem = fitted[k];
+    }
+
+    // Keep the reference exactly pinned.
+    v[ref_ci] = {1.0, 1.0};
+    return v;
+}
+
+double
+ModelEstimator::sse(const TrainingData &data, const ModelParams &params,
+                    const std::vector<VoltagePair> &voltages) const
+{
+    DvfsPowerModel m(data.device, data.reference, params);
+    double s = 0.0;
+    for (std::size_t b = 0; b < data.utils.size(); ++b) {
+        for (std::size_t ci = 0; ci < data.configs.size(); ++ci) {
+            const auto pred = m.predictWithVoltages(
+                    data.utils[b], data.configs[ci], voltages[ci]);
+            const double r = data.power_w[b][ci] - pred.total_w;
+            s += r * r;
+        }
+    }
+    return s;
+}
+
+EstimationResult
+ModelEstimator::estimate(const TrainingData &data) const
+{
+    GPUPM_ASSERT(!data.utils.empty(), "no training microbenchmarks");
+    GPUPM_ASSERT(data.power_w.size() == data.utils.size(),
+                 "power rows (", data.power_w.size(),
+                 ") != microbenchmarks (", data.utils.size(), ")");
+    for (const auto &row : data.power_w)
+        GPUPM_ASSERT(row.size() == data.configs.size(),
+                     "power row size mismatch");
+
+    const std::size_t nc = data.configs.size();
+    const std::size_t ref_ci = data.configIndex(data.reference);
+
+    // Step 1: initial coefficient fit on {F1, F2, F3} with V̄ = 1
+    // (Eq. 11). F2 perturbs the core clock, F3 the memory clock.
+    std::vector<std::size_t> subset = {ref_ci};
+    const auto push_if = [&](auto pred) {
+        for (std::size_t ci = 0; ci < nc; ++ci) {
+            if (ci != ref_ci && pred(data.configs[ci])) {
+                subset.push_back(ci);
+                return;
+            }
+        }
+    };
+    push_if([&](const gpu::FreqConfig &c) {
+        return c.mem_mhz == data.reference.mem_mhz &&
+               c.core_mhz < data.reference.core_mhz;
+    });
+    push_if([&](const gpu::FreqConfig &c) {
+        return c.core_mhz == data.reference.core_mhz &&
+               c.mem_mhz != data.reference.mem_mhz;
+    });
+
+    std::vector<VoltagePair> voltages(nc); // all (1, 1)
+    ModelParams params = fitCoefficients(data, voltages, subset);
+
+    EstimationResult res;
+    res.sse_history.push_back(sse(data, params, voltages));
+
+    // All-config index list for step 3.
+    std::vector<std::size_t> all(nc);
+    for (std::size_t i = 0; i < nc; ++i)
+        all[i] = i;
+
+    if (!opts_.fit_voltages) {
+        // Ablation: single step-3 pass with V̄ ≡ 1.
+        params = fitCoefficients(data, voltages, all);
+        res.sse_history.push_back(sse(data, params, voltages));
+        res.iterations = 1;
+        res.converged = true;
+    } else {
+        for (int it = 0; it < opts_.max_iterations; ++it) {
+            // Step 2: voltages given coefficients.
+            voltages = fitVoltages(data, params, voltages);
+            // Step 3: coefficients given voltages, all configs.
+            params = fitCoefficients(data, voltages, all);
+
+            const double s = sse(data, params, voltages);
+            const double prev = res.sse_history.back();
+            res.sse_history.push_back(s);
+            res.iterations = it + 1;
+            // Relative improvement test with an absolute floor of
+            // 1 W^2 so near-perfect (noise-free) fits also terminate.
+            if (std::abs(prev - s) <=
+                opts_.tolerance * std::max(prev, 1.0)) {
+                res.converged = true;
+                break;
+            }
+        }
+    }
+
+    res.model = DvfsPowerModel(data.device, data.reference, params);
+    for (std::size_t ci = 0; ci < nc; ++ci)
+        res.model.setVoltages(data.configs[ci], voltages[ci]);
+
+    const double n = static_cast<double>(data.utils.size()) *
+                     static_cast<double>(nc);
+    res.rmse_w = std::sqrt(res.sse_history.back() / n);
+    return res;
+}
+
+} // namespace model
+} // namespace gpupm

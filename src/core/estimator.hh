@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The Sec. III-D iterative model-estimation algorithm.
+ *
+ * Inputs: the training measurements of the microbenchmark suite — one
+ * utilization vector per microbenchmark (profiled at the reference
+ * configuration) and one measured average power per (microbenchmark,
+ * V-F configuration) pair.
+ *
+ * The coefficients X and the per-configuration normalized voltages V̄
+ * are coupled (Eqs. 6-7 are bilinear in them), so a single least
+ * squares is rank-deficient; the algorithm alternates:
+ *
+ *  1. initialize X assuming V̄ = 1 on the reference configuration and
+ *     two perturbed configurations (Eq. 11);
+ *  2. per configuration, fit (V̄core, V̄mem) with the monotonicity
+ *     constraint V̄(f1) >= V̄(f2) for f1 > f2 (Eq. 12, enforced by
+ *     pool-adjacent-violators);
+ *  3. refit X by (non-negative, lightly ridged) least squares over all
+ *     configurations with the voltages fixed;
+ *  4. iterate 2-3 until the fit converges or an iteration cap is hit
+ *     (the paper observes convergence in < 50 iterations).
+ */
+
+#ifndef GPUPM_CORE_ESTIMATOR_HH
+#define GPUPM_CORE_ESTIMATOR_HH
+
+#include <vector>
+
+#include "core/power_model.hh"
+#include "gpu/device.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+/** Training measurements of one microbenchmark suite campaign. */
+struct TrainingData
+{
+    gpu::DeviceKind device = gpu::DeviceKind::GtxTitanX;
+    gpu::FreqConfig reference{};
+    /** All measured configurations. */
+    std::vector<gpu::FreqConfig> configs;
+    /** Per-microbenchmark utilizations at the reference config. */
+    std::vector<gpu::ComponentArray> utils;
+    /** Measured power, power[b][c] for microbenchmark b, config c. */
+    std::vector<std::vector<double>> power_w;
+
+    /** Index of a configuration in configs (fatal when absent). */
+    std::size_t configIndex(const gpu::FreqConfig &cfg) const;
+};
+
+/** Estimation options (defaults reproduce the paper's setup). */
+struct EstimatorOptions
+{
+    int max_iterations = 50;
+    /** Relative SSE improvement below which iteration stops. */
+    double tolerance = 2e-4;
+    /** Ridge weight of the coefficient fit (resolves the static-term
+     *  degeneracy of the V̄ = 1 initialization). */
+    double ridge = 1e-3;
+    /** Enforce non-negative coefficients (physical prior). */
+    bool nonnegative = true;
+    /** Fit per-configuration voltages (false = V̄ ≡ 1 ablation). */
+    bool fit_voltages = true;
+    /** Enforce the Eq. 12 monotonicity constraint. */
+    bool monotonic_voltages = true;
+    /** Allow the memory voltage to scale (false pins V̄mem = 1). */
+    bool fit_mem_voltage = true;
+    /** Voltage search range around the reference value (supply
+     *  voltages cannot fall arbitrarily — boards keep a retention
+     *  floor). */
+    double v_min = 0.7;
+    double v_max = 1.7;
+    /**
+     * Least-squares weight of the idle (all-zero-utilization)
+     * microbenchmark rows. Idle power pins the per-V-F-level constant
+     * terms exactly — it has no counter noise and no utilization drift
+     * — so it earns more weight than one row among 83.
+     */
+    double idle_row_weight = 8.0;
+};
+
+/** Estimation outcome. */
+struct EstimationResult
+{
+    DvfsPowerModel model;
+    int iterations = 0;
+    bool converged = false;
+    double rmse_w = 0.0;         ///< final fit RMSE over all samples
+    std::vector<double> sse_history;
+};
+
+/** The iterative heuristic estimator. */
+class ModelEstimator
+{
+  public:
+    explicit ModelEstimator(EstimatorOptions opts = {});
+
+    /** Run the full Sec. III-D algorithm. */
+    EstimationResult estimate(const TrainingData &data) const;
+
+  private:
+    /** Steps 1/3: coefficient fit with voltages fixed. */
+    ModelParams fitCoefficients(
+            const TrainingData &data,
+            const std::vector<VoltagePair> &voltages,
+            const std::vector<std::size_t> &config_subset) const;
+
+    /** Step 2: per-configuration voltage fit + monotonic projection,
+     *  warm-started from the previous iterate. */
+    std::vector<VoltagePair> fitVoltages(
+            const TrainingData &data, const ModelParams &params,
+            const std::vector<VoltagePair> &start) const;
+
+    /** Total squared error of a (params, voltages) pair. */
+    double sse(const TrainingData &data, const ModelParams &params,
+               const std::vector<VoltagePair> &voltages) const;
+
+    EstimatorOptions opts_;
+};
+
+} // namespace model
+} // namespace gpupm
+
+#endif // GPUPM_CORE_ESTIMATOR_HH

@@ -1,0 +1,132 @@
+#include "governor.hh"
+
+#include "common/logging.hh"
+#include "core/metrics.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+OnlineGovernor::OnlineGovernor(const DvfsPowerModel &model,
+                               nvml::Device &device,
+                               cupti::Profiler &profiler,
+                               GovernorPolicy policy)
+    : model_(model),
+      device_(device),
+      profiler_(profiler),
+      policy_(policy),
+      scaler_(model.reference())
+{
+    if (policy_.objective == GovernorObjective::PowerCap) {
+        GPUPM_ASSERT(policy_.power_cap_w > 0.0,
+                     "PowerCap objective needs a positive budget");
+    }
+    GPUPM_ASSERT(policy_.max_slowdown >= 1.0,
+                 "max_slowdown below 1 is unsatisfiable");
+}
+
+GovernorDecision
+OnlineGovernor::decide(const gpu::ComponentArray &util) const
+{
+    const GovernorDecision *best = nullptr;
+    GovernorDecision candidate, chosen;
+    double best_score = 0.0;
+
+    for (const auto &[key, v] : model_.voltageTable()) {
+        const gpu::FreqConfig cfg{key.first, key.second};
+        candidate.cfg = cfg;
+        candidate.predicted_power_w =
+                model_.predict(util, cfg).total_w;
+        candidate.predicted_slowdown = scaler_.slowdown(util, cfg);
+        if (candidate.predicted_slowdown > policy_.max_slowdown)
+            continue;
+
+        double score = 0.0;
+        switch (policy_.objective) {
+          case GovernorObjective::MinPower:
+            score = candidate.predicted_power_w;
+            break;
+          case GovernorObjective::MinEnergy:
+            score = candidate.predicted_power_w *
+                    candidate.predicted_slowdown;
+            break;
+          case GovernorObjective::MinEnergyDelay:
+            score = candidate.predicted_power_w *
+                    candidate.predicted_slowdown *
+                    candidate.predicted_slowdown;
+            break;
+          case GovernorObjective::PowerCap:
+            if (candidate.predicted_power_w > policy_.power_cap_w)
+                continue;
+            // Fastest under the cap.
+            score = candidate.predicted_slowdown;
+            break;
+        }
+        if (!best || score < best_score) {
+            chosen = candidate;
+            best = &chosen;
+            best_score = score;
+        }
+    }
+
+    if (!best) {
+        // Nothing satisfies the constraints: fall back to the most
+        // frugal configuration available.
+        warn("governor: no configuration satisfies the policy; "
+             "falling back to minimum predicted power");
+        GovernorPolicy relaxed;
+        relaxed.objective = GovernorObjective::MinPower;
+        OnlineGovernor tmp(model_, device_, profiler_, relaxed);
+        return tmp.decide(util);
+    }
+    return chosen;
+}
+
+GovernorDecision
+OnlineGovernor::onKernelLaunch(const sim::KernelDemand &demand)
+{
+    GPUPM_ASSERT(!demand.name.empty(), "governor needs kernel names");
+
+    if (auto it = cache_.find(demand.name); it != cache_.end()) {
+        CacheEntry &entry = it->second;
+        const bool stale =
+                policy_.reprofile_period > 0 &&
+                ++entry.launches_since_profile >=
+                        policy_.reprofile_period;
+        if (!stale) {
+            GovernorDecision d = entry.decision;
+            d.from_cache = true;
+            device_.setApplicationClocks(d.cfg.mem_mhz,
+                                         d.cfg.core_mhz);
+            return d;
+        }
+        cache_.erase(it); // phase may have changed: re-profile
+    }
+
+    // First sight: profile one invocation at the reference
+    // configuration (the events that feed Eqs. 8-10 are only
+    // meaningful there).
+    const gpu::FreqConfig ref = model_.reference();
+    device_.setApplicationClocks(ref.mem_mhz, ref.core_mhz);
+    const auto rm = profiler_.profile(demand, ref);
+    const auto util = utilizationsFromMetrics(
+            rm, device_.descriptor(), ref);
+
+    GovernorDecision d = decide(util);
+    device_.setApplicationClocks(d.cfg.mem_mhz, d.cfg.core_mhz);
+    cache_[demand.name] = {d, 0};
+    return d;
+}
+
+std::optional<GovernorDecision>
+OnlineGovernor::cachedDecision(const std::string &kernel_name) const
+{
+    auto it = cache_.find(kernel_name);
+    if (it == cache_.end())
+        return std::nullopt;
+    return it->second.decision;
+}
+
+} // namespace model
+} // namespace gpupm

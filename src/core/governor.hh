@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Online DVFS governor — the Sec. VII future-work direction,
+ * implemented: "taking advantage of the iterative nature of many of
+ * the most common GPU applications, by measuring the performance
+ * events during the first call to a GPU kernel and then using the
+ * power prediction to determine the frequency/voltage configuration
+ * that best suits that kernel."
+ *
+ * The governor owns a fitted model. On the first invocation of a
+ * kernel it profiles the events (at the reference configuration),
+ * derives the utilization vector, sweeps the model over every
+ * supported configuration under the chosen objective, and applies the
+ * winner through the NVML facade; subsequent invocations run at the
+ * chosen configuration with no further profiling cost.
+ */
+
+#ifndef GPUPM_CORE_GOVERNOR_HH
+#define GPUPM_CORE_GOVERNOR_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/latency_scaler.hh"
+#include "core/power_model.hh"
+#include "cupti/profiler.hh"
+#include "nvml/device.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+/** Optimization objective of the governor. */
+enum class GovernorObjective
+{
+    MinPower,      ///< lowest predicted power, any slowdown
+    MinEnergy,     ///< lowest predicted power x time
+    MinEnergyDelay,///< lowest predicted power x time^2
+    PowerCap,      ///< fastest configuration under a power budget
+};
+
+/** Per-kernel decision record. */
+struct GovernorDecision
+{
+    gpu::FreqConfig cfg{};          ///< chosen configuration
+    double predicted_power_w = 0.0;
+    double predicted_slowdown = 1.0; ///< vs the reference config
+    bool from_cache = false;        ///< repeat invocation
+};
+
+/** Governor policy knobs. */
+struct GovernorPolicy
+{
+    GovernorObjective objective = GovernorObjective::MinEnergy;
+    /** Budget for the PowerCap objective, watts. */
+    double power_cap_w = 0.0;
+    /** Maximum acceptable slowdown vs the reference (e.g. 1.10). */
+    double max_slowdown = 1e9;
+    /**
+     * Re-profile a kernel after this many cached launches (0 = never).
+     * Iterative applications drift between phases; periodic
+     * re-profiling lets the governor follow them at a bounded cost.
+     */
+    int reprofile_period = 0;
+};
+
+/** The online per-kernel DVFS governor. */
+class OnlineGovernor
+{
+  public:
+    /**
+     * @param model  fitted DVFS-aware power model for the device.
+     * @param device  NVML handle used to apply the chosen clocks.
+     * @param profiler  CUPTI session used for first-call profiling.
+     * @param policy  optimization objective and constraints.
+     */
+    OnlineGovernor(const DvfsPowerModel &model, nvml::Device &device,
+                   cupti::Profiler &profiler, GovernorPolicy policy);
+
+    /**
+     * Handle one kernel invocation: profile on first sight (the
+     * device is switched to the reference configuration for that one
+     * call), decide, apply the chosen clocks, and report the
+     * decision. Keyed by the kernel's name.
+     */
+    GovernorDecision onKernelLaunch(const sim::KernelDemand &demand);
+
+    /** Decision currently cached for a kernel, if any. */
+    std::optional<GovernorDecision>
+    cachedDecision(const std::string &kernel_name) const;
+
+    /** Forget all cached decisions (e.g. after a phase change). */
+    void reset() { cache_.clear(); }
+
+    const GovernorPolicy &policy() const { return policy_; }
+
+  private:
+    GovernorDecision decide(const gpu::ComponentArray &util) const;
+
+    struct CacheEntry
+    {
+        GovernorDecision decision;
+        int launches_since_profile = 0;
+    };
+
+    const DvfsPowerModel &model_;
+    nvml::Device &device_;
+    cupti::Profiler &profiler_;
+    GovernorPolicy policy_;
+    LatencyScaler scaler_;
+    std::map<std::string, CacheEntry> cache_;
+};
+
+} // namespace model
+} // namespace gpupm
+
+#endif // GPUPM_CORE_GOVERNOR_HH

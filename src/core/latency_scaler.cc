@@ -1,0 +1,64 @@
+#include "latency_scaler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "gpu/components.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+using gpu::Component;
+using gpu::componentIndex;
+
+LatencyScaler::LatencyScaler(gpu::FreqConfig reference,
+                             double overlap_p)
+    : reference_(reference), overlap_p_(overlap_p)
+{
+    GPUPM_ASSERT(reference.core_mhz > 0 && reference.mem_mhz > 0,
+                 "bad reference configuration");
+    GPUPM_ASSERT(overlap_p >= 1.0, "p-norm exponent must be >= 1");
+}
+
+double
+LatencyScaler::slowdown(const gpu::ComponentArray &util,
+                        const gpu::FreqConfig &cfg) const
+{
+    GPUPM_ASSERT(cfg.core_mhz > 0 && cfg.mem_mhz > 0,
+                 "bad target configuration");
+    const double rc =
+            static_cast<double>(reference_.core_mhz) / cfg.core_mhz;
+    const double rm =
+            static_cast<double>(reference_.mem_mhz) / cfg.mem_mhz;
+
+    double sum_ref = 0.0, sum_cfg = 0.0;
+    for (std::size_t i = 0; i < gpu::kNumComponents; ++i) {
+        const double r =
+                i == componentIndex(Component::Dram) ? rm : rc;
+        sum_ref += std::pow(util[i], overlap_p_);
+        sum_cfg += std::pow(util[i] * r, overlap_p_);
+    }
+    // Whatever the counters do not account for scales with fcore.
+    const double slack_p = std::max(0.0, 1.0 - sum_ref);
+    sum_cfg += slack_p * std::pow(rc, overlap_p_);
+    // Normalize so the reference configuration maps to exactly 1 even
+    // when noisy counters over-commit the utilization vector
+    // (sum_ref > 1).
+    const double denom = std::max(1.0, sum_ref);
+    return std::pow(sum_cfg / denom, 1.0 / overlap_p_);
+}
+
+double
+LatencyScaler::scaledTime(double time_ref_s,
+                          const gpu::ComponentArray &util,
+                          const gpu::FreqConfig &cfg) const
+{
+    GPUPM_ASSERT(time_ref_s >= 0.0, "negative reference time");
+    return time_ref_s * slowdown(util, cfg);
+}
+
+} // namespace model
+} // namespace gpupm

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * First-order execution-time scaling across V-F configurations.
+ *
+ * The power model alone ranks configurations by power; energy and
+ * energy-delay objectives additionally need the execution time at
+ * each configuration. At the reference configuration each Eq. 8/9
+ * utilization is the component's share of the execution time, so
+ * scaling every share by its domain's clock ratio and re-taking the
+ * smooth maximum gives a counters-only latency estimate — the same
+ * bottleneck structure the substrate uses, but driven purely by
+ * host-visible quantities. This enables the paper's DVFS-management
+ * use case end-to-end and is the building block of the Sec. VII
+ * future-work online governor.
+ */
+
+#ifndef GPUPM_CORE_LATENCY_SCALER_HH
+#define GPUPM_CORE_LATENCY_SCALER_HH
+
+#include "gpu/device.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+/** Counters-only execution-time scaling model. */
+class LatencyScaler
+{
+  public:
+    /**
+     * @param reference  configuration the utilizations were measured
+     *                   at.
+     * @param overlap_p  smooth-maximum exponent (matches the
+     *                   bottleneck structure of GPU kernels).
+     */
+    explicit LatencyScaler(gpu::FreqConfig reference,
+                           double overlap_p = 6.0);
+
+    /**
+     * Predicted execution time at cfg for a kernel that took
+     * time_ref_s at the reference with the given utilizations.
+     * Unobserved slack (exposed latency, issue) scales with the core
+     * clock.
+     */
+    double scaledTime(double time_ref_s,
+                      const gpu::ComponentArray &util,
+                      const gpu::FreqConfig &cfg) const;
+
+    /** Relative slowdown factor (scaledTime / time_ref). */
+    double slowdown(const gpu::ComponentArray &util,
+                    const gpu::FreqConfig &cfg) const;
+
+    gpu::FreqConfig reference() const { return reference_; }
+
+  private:
+    gpu::FreqConfig reference_;
+    double overlap_p_;
+};
+
+} // namespace model
+} // namespace gpupm
+
+#endif // GPUPM_CORE_LATENCY_SCALER_HH

@@ -1,0 +1,70 @@
+#include "metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+using gpu::Component;
+using gpu::componentIndex;
+
+gpu::ComponentArray
+utilizationsFromMetrics(const cupti::RawMetrics &rm,
+                        const gpu::DeviceDescriptor &dev,
+                        const gpu::FreqConfig &cfg)
+{
+    GPUPM_ASSERT(rm.time_s > 0.0, "metrics carry no kernel time");
+
+    gpu::ComponentArray u{};
+
+    if (rm.acycles > 0.0) {
+        // Eq. 10: split the combined SP/INT warp count by the executed
+        // instruction mix.
+        const double inst_total = rm.inst_int + rm.inst_sp;
+        const double warps_int =
+                inst_total > 0.0
+                        ? rm.warps_sp_int * rm.inst_int / inst_total
+                        : 0.0;
+        const double warps_sp =
+                inst_total > 0.0
+                        ? rm.warps_sp_int * rm.inst_sp / inst_total
+                        : 0.0;
+
+        // Eq. 8 for the four compute-unit classes.
+        const auto eq8 = [&](Component c, double warps) {
+            return warps * dev.warp_size /
+                   (rm.acycles * dev.unitsPerSm(c));
+        };
+        u[componentIndex(Component::Int)] =
+                eq8(Component::Int, warps_int);
+        u[componentIndex(Component::SP)] = eq8(Component::SP, warps_sp);
+        u[componentIndex(Component::DP)] =
+                eq8(Component::DP, rm.warps_dp);
+        u[componentIndex(Component::SF)] =
+                eq8(Component::SF, rm.warps_sf);
+    }
+
+    // Eq. 9 for the memory levels: achieved vs peak bandwidth.
+    const auto eq9 = [&](Component c, double bytes) {
+        return bytes / rm.time_s / dev.peakBandwidth(c, cfg);
+    };
+    u[componentIndex(Component::Shared)] =
+            eq9(Component::Shared,
+                rm.shared_ld_bytes + rm.shared_st_bytes);
+    u[componentIndex(Component::L2)] =
+            eq9(Component::L2, rm.l2_rd_bytes + rm.l2_wr_bytes);
+    u[componentIndex(Component::Dram)] =
+            eq9(Component::Dram, rm.dram_rd_bytes + rm.dram_wr_bytes);
+
+    // Counter noise can nudge a saturated component past 1.
+    for (double &x : u)
+        x = std::clamp(x, 0.0, 1.0);
+    return u;
+}
+
+} // namespace model
+} // namespace gpupm

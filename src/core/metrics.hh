@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Hardware utilization metrics (Sec. III-B/III-C, Eqs. 8-10).
+ *
+ * Converts the aggregated Table I raw metrics of one profiled kernel
+ * into the per-component utilization vector the power model consumes:
+ *
+ *   U_x = AWarps_x * WarpSize / (ACycles * UnitsPerSM_x)   (Eq. 8)
+ *   U_y = ABand_y / PeakBand_y                             (Eq. 9)
+ *
+ * with the combined SP/INT warp counter disambiguated by the ratio of
+ * executed thread-level instructions (Eq. 10).
+ */
+
+#ifndef GPUPM_CORE_METRICS_HH
+#define GPUPM_CORE_METRICS_HH
+
+#include "cupti/profiler.hh"
+#include "gpu/device.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+/**
+ * Compute the Eq. 8-10 utilization vector from profiled raw metrics.
+ *
+ * @param rm   aggregated Table I metrics of one kernel launch.
+ * @param dev  the profiled device.
+ * @param cfg  the configuration the kernel was profiled at (the
+ *             reference configuration in the paper's methodology).
+ * @return  per-component utilizations, clamped to [0, 1].
+ */
+gpu::ComponentArray utilizationsFromMetrics(
+        const cupti::RawMetrics &rm, const gpu::DeviceDescriptor &dev,
+        const gpu::FreqConfig &cfg);
+
+} // namespace model
+} // namespace gpupm
+
+#endif // GPUPM_CORE_METRICS_HH

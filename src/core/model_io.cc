@@ -1,0 +1,127 @@
+#include "model_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    GPUPM_FATAL_IF(!in, "cannot open '", path, "' for reading");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    GPUPM_FATAL_IF(!out, "cannot open '", path, "' for writing");
+    out << text;
+    GPUPM_FATAL_IF(!out, "write to '", path, "' failed");
+}
+
+} // namespace
+
+void
+saveModel(const DvfsPowerModel &model, const std::string &path)
+{
+    writeFile(path, model.serialize());
+}
+
+DvfsPowerModel
+loadModel(const std::string &path)
+{
+    return DvfsPowerModel::deserialize(readFile(path));
+}
+
+std::string
+serializeTrainingData(const TrainingData &data)
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "gpupm-campaign v1\n";
+    os << "device " << static_cast<int>(data.device) << "\n";
+    os << "reference " << data.reference.core_mhz << " "
+       << data.reference.mem_mhz << "\n";
+    os << "configs " << data.configs.size() << "\n";
+    for (const auto &cfg : data.configs)
+        os << cfg.core_mhz << " " << cfg.mem_mhz << "\n";
+    os << "benchmarks " << data.utils.size() << "\n";
+    for (std::size_t b = 0; b < data.utils.size(); ++b) {
+        for (double u : data.utils[b])
+            os << u << " ";
+        os << "\n";
+        for (double p : data.power_w[b])
+            os << p << " ";
+        os << "\n";
+    }
+    return os.str();
+}
+
+TrainingData
+deserializeTrainingData(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string tag, version;
+    is >> tag >> version;
+    GPUPM_FATAL_IF(tag != "gpupm-campaign" || version != "v1",
+                   "not a gpupm campaign file");
+
+    TrainingData data;
+    int kind = 0;
+    is >> tag >> kind;
+    GPUPM_FATAL_IF(tag != "device", "expected 'device'");
+    GPUPM_FATAL_IF(kind < 0 || kind > 2, "bad device kind ", kind);
+    data.device = static_cast<gpu::DeviceKind>(kind);
+
+    is >> tag >> data.reference.core_mhz >> data.reference.mem_mhz;
+    GPUPM_FATAL_IF(tag != "reference", "expected 'reference'");
+
+    std::size_t nc = 0;
+    is >> tag >> nc;
+    GPUPM_FATAL_IF(tag != "configs", "expected 'configs'");
+    data.configs.resize(nc);
+    for (auto &cfg : data.configs)
+        is >> cfg.core_mhz >> cfg.mem_mhz;
+
+    std::size_t nb = 0;
+    is >> tag >> nb;
+    GPUPM_FATAL_IF(tag != "benchmarks", "expected 'benchmarks'");
+    data.utils.resize(nb);
+    data.power_w.assign(nb, std::vector<double>(nc));
+    for (std::size_t b = 0; b < nb; ++b) {
+        for (double &u : data.utils[b])
+            is >> u;
+        for (double &p : data.power_w[b])
+            is >> p;
+    }
+    GPUPM_FATAL_IF(is.fail(), "truncated campaign file");
+    return data;
+}
+
+void
+saveTrainingData(const TrainingData &data, const std::string &path)
+{
+    writeFile(path, serializeTrainingData(data));
+}
+
+TrainingData
+loadTrainingData(const std::string &path)
+{
+    return deserializeTrainingData(readFile(path));
+}
+
+} // namespace model
+} // namespace gpupm

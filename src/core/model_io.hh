@@ -1,0 +1,47 @@
+/**
+ * @file
+ * File persistence for models and training campaigns.
+ *
+ * A real deployment separates the expensive measurement campaign from
+ * model fitting and from prediction-time use: the campaign output and
+ * the fitted model are both persisted as plain text so they can be
+ * archived, diffed and shipped (the virtual-sensor use case ships a
+ * model file to machines that have no sensor at all).
+ */
+
+#ifndef GPUPM_CORE_MODEL_IO_HH
+#define GPUPM_CORE_MODEL_IO_HH
+
+#include <string>
+
+#include "core/estimator.hh"
+#include "core/power_model.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+/** Write a fitted model to a file (fatal on I/O failure). */
+void saveModel(const DvfsPowerModel &model, const std::string &path);
+
+/** Read a model written by saveModel (fatal on I/O or parse error). */
+DvfsPowerModel loadModel(const std::string &path);
+
+/** Serialize a training campaign to text. */
+std::string serializeTrainingData(const TrainingData &data);
+
+/** Parse serializeTrainingData output (fatal on error). */
+TrainingData deserializeTrainingData(const std::string &text);
+
+/** Write a training campaign to a file (fatal on I/O failure). */
+void saveTrainingData(const TrainingData &data,
+                      const std::string &path);
+
+/** Read a campaign written by saveTrainingData. */
+TrainingData loadTrainingData(const std::string &path);
+
+} // namespace model
+} // namespace gpupm
+
+#endif // GPUPM_CORE_MODEL_IO_HH

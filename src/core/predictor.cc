@@ -1,0 +1,123 @@
+#include "predictor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+Predictor::Predictor(const DvfsPowerModel &model) : model_(model) {}
+
+PowerPrediction
+Predictor::at(const gpu::ComponentArray &util,
+              const gpu::FreqConfig &cfg) const
+{
+    return model_.predict(util, cfg);
+}
+
+std::vector<SweepPoint>
+Predictor::sweep(const gpu::ComponentArray &util) const
+{
+    std::vector<SweepPoint> out;
+    out.reserve(model_.voltageTable().size());
+    for (const auto &[key, v] : model_.voltageTable()) {
+        const gpu::FreqConfig cfg{key.first, key.second};
+        out.push_back({cfg, model_.predict(util, cfg)});
+    }
+    return out;
+}
+
+SweepPoint
+Predictor::lowestPower(const gpu::ComponentArray &util, int min_core_mhz,
+                       int min_mem_mhz) const
+{
+    std::vector<SweepPoint> pts = sweep(util);
+    GPUPM_ASSERT(!pts.empty(), "model has no fitted configurations");
+    const SweepPoint *best = nullptr;
+    for (const SweepPoint &p : pts) {
+        if (p.cfg.core_mhz < min_core_mhz ||
+            p.cfg.mem_mhz < min_mem_mhz) {
+            continue;
+        }
+        if (!best ||
+            p.prediction.total_w < best->prediction.total_w) {
+            best = &p;
+        }
+    }
+    GPUPM_ASSERT(best, "no configuration satisfies the clock floors (",
+                 min_core_mhz, ", ", min_mem_mhz, ") MHz");
+    return *best;
+}
+
+std::vector<std::pair<int, double>>
+Predictor::coreVoltageCurve(int mem_mhz) const
+{
+    std::vector<std::pair<int, double>> out;
+    for (const auto &[key, v] : model_.voltageTable())
+        if (key.second == mem_mhz)
+            out.emplace_back(key.first, v.core);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Predictor::ParetoPoint>
+Predictor::paretoFrontier(const gpu::ComponentArray &util) const
+{
+    const LatencyScaler scaler(model_.reference());
+    std::vector<ParetoPoint> pts;
+    for (const auto &[key, v] : model_.voltageTable()) {
+        const gpu::FreqConfig cfg{key.first, key.second};
+        pts.push_back({cfg, model_.predict(util, cfg).total_w,
+                       scaler.slowdown(util, cfg)});
+    }
+    // Sort by power; walk keeping strictly improving slowdown.
+    std::sort(pts.begin(), pts.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  return a.power_w < b.power_w;
+              });
+    std::vector<ParetoPoint> frontier;
+    double best_slowdown = 1e300;
+    for (const ParetoPoint &p : pts) {
+        if (p.slowdown < best_slowdown - 1e-12) {
+            frontier.push_back(p);
+            best_slowdown = p.slowdown;
+        }
+    }
+    return frontier;
+}
+
+PowerPrediction
+Predictor::atWeighted(const std::vector<WeightedKernel> &kernels,
+                      const gpu::FreqConfig &cfg) const
+{
+    GPUPM_ASSERT(!kernels.empty(), "no kernels to predict");
+    const LatencyScaler scaler(model_.reference());
+
+    PowerPrediction out;
+    double total_time = 0.0;
+    for (const WeightedKernel &k : kernels) {
+        const double t = scaler.scaledTime(k.time_ref_s, k.util, cfg);
+        const PowerPrediction p = model_.predict(k.util, cfg);
+        out.total_w += p.total_w * t;
+        out.constant_w += p.constant_w * t;
+        out.core_w += p.core_w * t;
+        out.mem_w += p.mem_w * t;
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+            out.component_w[i] += p.component_w[i] * t;
+        total_time += t;
+    }
+    GPUPM_ASSERT(total_time > 0.0, "zero total predicted time");
+    out.total_w /= total_time;
+    out.constant_w /= total_time;
+    out.core_w /= total_time;
+    out.mem_w /= total_time;
+    for (double &w : out.component_w)
+        w /= total_time;
+    return out;
+}
+
+} // namespace model
+} // namespace gpupm

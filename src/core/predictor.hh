@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Application-level prediction front end (Sec. III-E).
+ *
+ * Given a fitted model and one profiling pass at the reference
+ * configuration, the predictor produces the application's power at
+ * every supported V-F configuration and its per-component breakdown —
+ * the quantities behind Figs. 7-10 and the paper's DVFS-management use
+ * case.
+ */
+
+#ifndef GPUPM_CORE_PREDICTOR_HH
+#define GPUPM_CORE_PREDICTOR_HH
+
+#include <vector>
+
+#include "core/latency_scaler.hh"
+#include "core/power_model.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+/** Power predicted at one configuration. */
+struct SweepPoint
+{
+    gpu::FreqConfig cfg;
+    PowerPrediction prediction;
+};
+
+/** Sweep and ranking helpers over a fitted model. */
+class Predictor
+{
+  public:
+    explicit Predictor(const DvfsPowerModel &model);
+
+    /** Predict at a single configuration. */
+    PowerPrediction at(const gpu::ComponentArray &util,
+                       const gpu::FreqConfig &cfg) const;
+
+    /** Predict over every configuration in the model's table. */
+    std::vector<SweepPoint> sweep(const gpu::ComponentArray &util) const;
+
+    /**
+     * Lowest-power configuration whose core and memory clocks are at
+     * least the given floors — the paper's DVFS-management use case
+     * searches this space without executing the kernel anywhere but at
+     * the reference configuration.
+     */
+    SweepPoint lowestPower(const gpu::ComponentArray &util,
+                           int min_core_mhz = 0,
+                           int min_mem_mhz = 0) const;
+
+    /** Fitted core-voltage curve at a memory clock (Fig. 6 series). */
+    std::vector<std::pair<int, double>>
+    coreVoltageCurve(int mem_mhz) const;
+
+    /** One point of the power/performance Pareto frontier. */
+    struct ParetoPoint
+    {
+        gpu::FreqConfig cfg{};
+        double power_w = 0.0;
+        double slowdown = 1.0; ///< predicted, vs the reference config
+    };
+
+    /**
+     * Non-dominated (power, slowdown) configurations for a kernel:
+     * every point is strictly better than any other configuration in
+     * at least one of the two objectives. Sorted by ascending power
+     * (descending slowdown). The DVFS-management use case picks from
+     * this set directly.
+     */
+    std::vector<ParetoPoint>
+    paretoFrontier(const gpu::ComponentArray &util) const;
+
+    /** One kernel of a multi-kernel application. */
+    struct WeightedKernel
+    {
+        gpu::ComponentArray util{}; ///< reference-config utilizations
+        double time_ref_s = 0.0;    ///< reference-config duration
+    };
+
+    /**
+     * Predict a multi-kernel application's power (Sec. V-A): the
+     * kernels' predictions weighted by their predicted relative
+     * execution times at the target configuration.
+     */
+    PowerPrediction atWeighted(
+            const std::vector<WeightedKernel> &kernels,
+            const gpu::FreqConfig &cfg) const;
+
+    const DvfsPowerModel &model() const { return model_; }
+
+  private:
+    const DvfsPowerModel &model_;
+};
+
+} // namespace model
+} // namespace gpupm
+
+#endif // GPUPM_CORE_PREDICTOR_HH

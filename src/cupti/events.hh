@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The Table I performance-event registry.
+ *
+ * Each device exposes a different set of raw events for the same
+ * logical metric; some are the named events NVIDIA discloses, others
+ * are the undisclosed numeric-ID events the paper uncovered
+ * experimentally (the "W" events, prefixed 352321 on the Titan Xp,
+ * 335544 on the GTX Titan X and 318767 on the Tesla K40c). The
+ * profiler synthesizes counts for exactly these events, and the model
+ * aggregates them exactly as Sec. III-C describes (multi-event sums,
+ * plus the Eq. 10 SP/INT disambiguation).
+ */
+
+#ifndef GPUPM_CUPTI_EVENTS_HH
+#define GPUPM_CUPTI_EVENTS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hh"
+
+namespace gpupm
+{
+namespace cupti
+{
+
+/** Stable numeric identifier of one raw event. */
+using EventId = std::uint64_t;
+
+/** Logical metric a group of raw events feeds (Table I rows). */
+enum class Metric
+{
+    ActiveCycles,
+    L2ReadQueries,
+    L2WriteQueries,
+    SharedLoadTrans,
+    SharedStoreTrans,
+    DramReadSectors,
+    DramWriteSectors,
+    WarpsSpInt,   ///< combined SP/INT warp count (indistinguishable)
+    WarpsDp,
+    WarpsSf,
+    InstInt,      ///< thread-level integer instructions (Eq. 10)
+    InstSp,       ///< thread-level SP instructions (Eq. 10)
+};
+
+/** All metrics, for iteration. */
+inline constexpr std::array<Metric, 12> kAllMetrics = {
+    Metric::ActiveCycles, Metric::L2ReadQueries, Metric::L2WriteQueries,
+    Metric::SharedLoadTrans, Metric::SharedStoreTrans,
+    Metric::DramReadSectors, Metric::DramWriteSectors,
+    Metric::WarpsSpInt, Metric::WarpsDp, Metric::WarpsSf,
+    Metric::InstInt, Metric::InstSp,
+};
+
+/** Display name of a metric. */
+std::string_view metricName(Metric m);
+
+/** One raw event as exposed by the (simulated) CUPTI interface. */
+struct EventDesc
+{
+    EventId id = 0;
+    std::string name; ///< disclosed name, or "W<n>" for numeric events
+};
+
+/** Bytes per L2/DRAM sector transaction. */
+inline constexpr double kSectorBytes = 32.0;
+
+/** Bytes per shared-memory transaction (32 lanes x 4 B). */
+inline constexpr double kSharedTransBytes = 128.0;
+
+/** Per-device registry mapping metrics to their raw events. */
+class EventTable
+{
+  public:
+    /** Registry for one of the evaluated devices. */
+    static const EventTable &get(gpu::DeviceKind kind);
+
+    /** Raw events feeding a metric (one or more). */
+    const std::vector<EventDesc> &eventsFor(Metric m) const;
+
+    /** Every raw event the device exposes. */
+    std::vector<EventDesc> allEvents() const;
+
+    /** The device's undisclosed-event ID prefix (Table I footnote). */
+    std::uint64_t wPrefix() const { return w_prefix_; }
+
+  private:
+    EventTable(std::uint64_t w_prefix,
+               std::map<Metric, std::vector<EventDesc>> table)
+        : w_prefix_(w_prefix), table_(std::move(table))
+    {}
+
+    static EventTable makeTitanXp();
+    static EventTable makeGtxTitanX();
+    static EventTable makeTeslaK40c();
+
+    std::uint64_t w_prefix_;
+    std::map<Metric, std::vector<EventDesc>> table_;
+};
+
+} // namespace cupti
+} // namespace gpupm
+
+#endif // GPUPM_CUPTI_EVENTS_HH

@@ -1,0 +1,261 @@
+#include "profiler.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace cupti
+{
+
+double
+Profiler::biasSigma(gpu::Architecture arch)
+{
+    // The paper attributes the K40c's larger model error to "a reduced
+    // accuracy of the hardware events" on Kepler (Sec. V-B); the two
+    // newer architectures expose much cleaner counters.
+    switch (arch) {
+      case gpu::Architecture::Pascal: return 0.030;
+      case gpu::Architecture::Maxwell: return 0.022;
+      case gpu::Architecture::Kepler: return 0.090;
+      default: return 0.05;
+    }
+}
+
+double
+Profiler::warpLeak(gpu::Architecture arch)
+{
+    switch (arch) {
+      case gpu::Architecture::Pascal: return 0.12;
+      case gpu::Architecture::Maxwell: return 0.06;
+      case gpu::Architecture::Kepler: return 0.50;
+      default: return 0.1;
+    }
+}
+
+double
+Profiler::memLeak(gpu::Architecture arch)
+{
+    switch (arch) {
+      case gpu::Architecture::Pascal: return 0.05;
+      case gpu::Architecture::Maxwell: return 0.025;
+      case gpu::Architecture::Kepler: return 0.22;
+      default: return 0.05;
+    }
+}
+
+double
+Profiler::stallSkew(gpu::Architecture arch)
+{
+    switch (arch) {
+      case gpu::Architecture::Pascal: return 0.03;
+      case gpu::Architecture::Maxwell: return 0.02;
+      case gpu::Architecture::Kepler: return 0.30;
+      default: return 0.05;
+    }
+}
+
+double
+Profiler::distortionSensitivity(gpu::Architecture arch)
+{
+    switch (arch) {
+      case gpu::Architecture::Pascal: return 1.00;
+      case gpu::Architecture::Maxwell: return 0.30;
+      case gpu::Architecture::Kepler: return 2.80;
+      default: return 0.5;
+    }
+}
+
+double
+Profiler::dpLeak(gpu::Architecture arch)
+{
+    switch (arch) {
+      case gpu::Architecture::Pascal: return 0.003;
+      case gpu::Architecture::Maxwell: return 0.002;
+      case gpu::Architecture::Kepler: return 0.12;
+      default: return 0.01;
+    }
+}
+
+Profiler::Profiler(const sim::PhysicalGpu &board, std::uint64_t seed)
+    : board_(board),
+      table_(EventTable::get(board.descriptor().kind)),
+      read_noise_(Rng(seed).split(17))
+{
+    Rng bias_rng = Rng(seed).split(3);
+    const double sigma = biasSigma(board.descriptor().architecture);
+    for (const EventDesc &ev : table_.allEvents()) {
+        double b = bias_rng.normal(1.0, sigma);
+        // A counter cannot under-report to (or below) zero.
+        bias_[ev.id] = std::max(0.5, b);
+    }
+}
+
+double
+Profiler::biasOf(EventId id) const
+{
+    auto it = bias_.find(id);
+    GPUPM_ASSERT(it != bias_.end(), "unknown event id ", id);
+    return it->second;
+}
+
+double
+Profiler::readCount(EventId id, double true_value)
+{
+    if (true_value <= 0.0)
+        return 0.0;
+    const double noisy =
+            true_value * biasOf(id) * read_noise_.normal(1.0, 0.004);
+    return std::max(0.0, noisy);
+}
+
+std::vector<std::vector<EventId>>
+Profiler::collectionPasses() const
+{
+    // Greedy partition of the full Table I event set into groups of at
+    // most kCountersPerPass (the CUPTI event-group capacity), keeping
+    // a metric's events in one pass where possible so subpartition
+    // sums are internally consistent.
+    std::vector<std::vector<EventId>> passes;
+    std::vector<EventId> current;
+    for (Metric m : kAllMetrics) {
+        const auto &events = table_.eventsFor(m);
+        if (current.size() + events.size() > kCountersPerPass &&
+            !current.empty()) {
+            passes.push_back(current);
+            current.clear();
+        }
+        for (const EventDesc &ev : events)
+            current.push_back(ev.id);
+    }
+    if (!current.empty())
+        passes.push_back(current);
+    return passes;
+}
+
+EventSnapshot
+Profiler::collect(const sim::KernelDemand &demand,
+                  const gpu::FreqConfig &cfg)
+{
+    const sim::ExecutionProfile prof = board_.execute(demand, cfg);
+
+    EventSnapshot snap;
+
+    // True per-event values, before any counter is read.
+    std::map<EventId, double> truth;
+    const auto emit = [&](Metric m, double device_total) {
+        const auto &events = table_.eventsFor(m);
+        const double share =
+                device_total / static_cast<double>(events.size());
+        for (const EventDesc &ev : events)
+            truth[ev.id] = share;
+    };
+
+    // Cross-event leakage: the undisclosed warp counters also count a
+    // share of the other issued instructions, and the memory sector
+    // counters a share of the adjacent level's traffic.
+    const gpu::Architecture arch = board_.descriptor().architecture;
+    const double wleak = warpLeak(arch);
+    const double mleak = memLeak(arch);
+
+    const double stall_frac =
+            std::max(0.0, 1.0 - prof.util_issue);
+    // Replay/divergence-driven distortion: replays multiply both the
+    // issued-warp events and the memory transaction counters on
+    // fragile-counter devices.
+    const double dist = 1.0 + distortionSensitivity(arch) *
+                                      demand.counter_distortion;
+    emit(Metric::ActiveCycles,
+         prof.active_cycles * (1.0 + stallSkew(arch) * stall_frac));
+    emit(Metric::L2ReadQueries,
+         dist * (demand.bytes_l2_rd + mleak * demand.bytes_shared_ld) /
+                 kSectorBytes);
+    emit(Metric::L2WriteQueries,
+         dist * (demand.bytes_l2_wr + mleak * demand.bytes_shared_st) /
+                 kSectorBytes);
+    emit(Metric::SharedLoadTrans,
+         (demand.bytes_shared_ld + mleak * demand.bytes_l2_rd) /
+                 kSharedTransBytes);
+    emit(Metric::SharedStoreTrans,
+         (demand.bytes_shared_st + mleak * demand.bytes_l2_wr) /
+                 kSharedTransBytes);
+    emit(Metric::DramReadSectors,
+         dist * (demand.bytes_dram_rd + mleak * demand.bytes_l2_rd) /
+                 kSectorBytes);
+    emit(Metric::DramWriteSectors,
+         dist * (demand.bytes_dram_wr + mleak * demand.bytes_l2_wr) /
+                 kSectorBytes);
+    emit(Metric::WarpsSpInt,
+         dist * (demand.warps_int + demand.warps_sp +
+                 wleak * demand.warps_other));
+    emit(Metric::WarpsDp,
+         dist * (demand.warps_dp +
+                 dpLeak(arch) * (demand.warps_int + demand.warps_sp) +
+                 0.1 * wleak * demand.warps_other));
+    emit(Metric::WarpsSf,
+         dist * (demand.warps_sf + 0.2 * wleak * demand.warps_other));
+    const double ws = board_.descriptor().warp_size;
+    emit(Metric::InstInt, demand.warps_int * ws);
+    emit(Metric::InstSp, demand.warps_sp * ws);
+
+    // CUPTI kernel replay: one pass per event group. Every pass
+    // re-runs the kernel with its own timing jitter; the reported
+    // duration is the mean over passes.
+    double time_sum = 0.0;
+    const auto passes = collectionPasses();
+    for (const auto &pass : passes) {
+        time_sum += prof.time_s * read_noise_.normal(1.0, 0.002);
+        for (EventId id : pass)
+            snap.counts[id] = readCount(id, truth.at(id));
+    }
+    snap.kernel_time_s = time_sum / static_cast<double>(passes.size());
+
+    return snap;
+}
+
+RawMetrics
+Profiler::aggregate(const EventSnapshot &snap) const
+{
+    const auto sum = [&](Metric m) {
+        double s = 0.0;
+        for (const EventDesc &ev : table_.eventsFor(m)) {
+            auto it = snap.counts.find(ev.id);
+            if (it != snap.counts.end())
+                s += it->second;
+        }
+        return s;
+    };
+
+    const double sms = board_.descriptor().num_sms;
+
+    RawMetrics rm;
+    rm.time_s = snap.kernel_time_s;
+    rm.acycles = sum(Metric::ActiveCycles);
+    rm.l2_rd_bytes = sum(Metric::L2ReadQueries) * kSectorBytes;
+    rm.l2_wr_bytes = sum(Metric::L2WriteQueries) * kSectorBytes;
+    rm.shared_ld_bytes =
+            sum(Metric::SharedLoadTrans) * kSharedTransBytes;
+    rm.shared_st_bytes =
+            sum(Metric::SharedStoreTrans) * kSharedTransBytes;
+    rm.dram_rd_bytes = sum(Metric::DramReadSectors) * kSectorBytes;
+    rm.dram_wr_bytes = sum(Metric::DramWriteSectors) * kSectorBytes;
+    // Warp counts enter Eq. 8 as per-SM averages; the raw counters are
+    // device totals.
+    rm.warps_sp_int = sum(Metric::WarpsSpInt) / sms;
+    rm.warps_dp = sum(Metric::WarpsDp) / sms;
+    rm.warps_sf = sum(Metric::WarpsSf) / sms;
+    rm.inst_int = sum(Metric::InstInt);
+    rm.inst_sp = sum(Metric::InstSp);
+    return rm;
+}
+
+RawMetrics
+Profiler::profile(const sim::KernelDemand &demand,
+                  const gpu::FreqConfig &cfg)
+{
+    return aggregate(collect(demand, cfg));
+}
+
+} // namespace cupti
+} // namespace gpupm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Simulated CUPTI profiling session.
+ *
+ * The profiler runs a kernel on the simulated board and synthesizes the
+ * raw Table I event counts a CUPTI event-group collection would return,
+ * including the per-device counter inaccuracy the paper blames for the
+ * Tesla K40c's higher model error: every event carries a fixed
+ * device-specific multiplicative bias (drawn once per profiler) plus a
+ * small per-read noise.
+ *
+ * Aggregation follows Sec. III-C: multi-event metrics (the L2/DRAM
+ * subpartition counters) are summed, sector/transaction counts are
+ * converted to bytes, and warp counts are averaged per SM so they can
+ * enter Eq. 8 directly.
+ */
+
+#ifndef GPUPM_CUPTI_PROFILER_HH
+#define GPUPM_CUPTI_PROFILER_HH
+
+#include <map>
+
+#include "common/random.hh"
+#include "cupti/events.hh"
+#include "sim/physical_gpu.hh"
+
+namespace gpupm
+{
+namespace cupti
+{
+
+/** Raw counter values from one profiled kernel launch. */
+struct EventSnapshot
+{
+    std::map<EventId, double> counts;
+    double kernel_time_s = 0.0; ///< host-measured kernel duration
+};
+
+/** Table I metrics after the aggregation step, pre-Eq. 8/9 inputs. */
+struct RawMetrics
+{
+    double acycles = 0.0;        ///< per-SM average active cycles
+    double l2_rd_bytes = 0.0;    ///< device-total L2 read bytes
+    double l2_wr_bytes = 0.0;
+    double shared_ld_bytes = 0.0;
+    double shared_st_bytes = 0.0;
+    double dram_rd_bytes = 0.0;
+    double dram_wr_bytes = 0.0;
+    double warps_sp_int = 0.0;   ///< per-SM average combined SP/INT
+    double warps_dp = 0.0;       ///< per-SM average DP warps
+    double warps_sf = 0.0;       ///< per-SM average SF warps
+    double inst_int = 0.0;       ///< thread-level INT instructions
+    double inst_sp = 0.0;        ///< thread-level SP instructions
+    double time_s = 0.0;         ///< kernel duration
+};
+
+/** Simulated CUPTI session against one board. */
+class Profiler
+{
+  public:
+    /**
+     * Hardware counter slots available per collection pass. Real
+     * CUPTI can only service a handful of events concurrently; larger
+     * sets require kernel replay across multiple passes.
+     */
+    static constexpr std::size_t kCountersPerPass = 8;
+
+    /**
+     * @param board  the simulated device to profile on.
+     * @param seed   seeds the per-event bias and read noise streams.
+     */
+    Profiler(const sim::PhysicalGpu &board, std::uint64_t seed = 1);
+
+    /**
+     * Run a kernel at a configuration and collect all Table I events.
+     * The event set exceeds the per-pass counter capacity, so the
+     * kernel is replayed once per event group (CUPTI kernel replay);
+     * each pass reads its own group and the reported duration is the
+     * mean over passes.
+     */
+    EventSnapshot collect(const sim::KernelDemand &demand,
+                          const gpu::FreqConfig &cfg);
+
+    /** The event groups collect() replays over (exposed for tests). */
+    std::vector<std::vector<EventId>> collectionPasses() const;
+
+    /** Sec. III-C aggregation of a snapshot into metric inputs. */
+    RawMetrics aggregate(const EventSnapshot &snap) const;
+
+    /** Convenience: collect + aggregate in one step. */
+    RawMetrics profile(const sim::KernelDemand &demand,
+                       const gpu::FreqConfig &cfg);
+
+    /** The fixed bias applied to an event (exposed for tests). */
+    double biasOf(EventId id) const;
+
+  private:
+    /** Architecture-specific counter accuracy (std of the bias). */
+    static double biasSigma(gpu::Architecture arch);
+
+    /**
+     * Architecture-specific cross-event leakage: the fraction of
+     * unrelated activity an undisclosed counter picks up (warp events
+     * absorbing other issued instructions, DRAM sector counters
+     * absorbing L2 traffic). Unlike a fixed bias, leakage depends on
+     * the *workload's* composition, so the model fit cannot absorb it
+     * — this is the paper's "reduced accuracy of the hardware events"
+     * on the Kepler device.
+     */
+    static double warpLeak(gpu::Architecture arch);
+    static double memLeak(gpu::Architecture arch);
+
+    /**
+     * Stall sensitivity of the active-cycles event: Kepler's counter
+     * semantics differ while warps are stalled, so the reported cycle
+     * count inflates with the kernel's stall fraction — deflating every
+     * Eq. 8 utilization by a workload-dependent factor.
+     */
+    static double stallSkew(gpu::Architecture arch);
+
+    /**
+     * Leak of combined SP/INT warp activity into the DP warp event.
+     * Negligible on Maxwell/Pascal (4 DP lanes per SM), but on Kepler
+     * (64 DP lanes, the largest dynamic coefficient) the undisclosed
+     * W141 event picks up a share of the FMA traffic, producing large
+     * workload-dependent utilization errors.
+     */
+    static double dpLeak(gpu::Architecture arch);
+
+    /**
+     * How strongly the device's warp events respond to a kernel's
+     * counter_distortion (replays, divergence, atomics). Kepler's
+     * undisclosed events are the most fragile.
+     */
+    static double distortionSensitivity(gpu::Architecture arch);
+
+    double readCount(EventId id, double true_value);
+
+    const sim::PhysicalGpu &board_;
+    const EventTable &table_;
+    std::map<EventId, double> bias_;
+    Rng read_noise_;
+};
+
+} // namespace cupti
+} // namespace gpupm
+
+#endif // GPUPM_CUPTI_PROFILER_HH

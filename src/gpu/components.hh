@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The architectural components whose utilization the model tracks
+ * (Sec. III-B of the paper): INT, SP, DP and SF execution units, shared
+ * memory, L2 cache (core domain) and DRAM (memory domain).
+ */
+
+#ifndef GPUPM_GPU_COMPONENTS_HH
+#define GPUPM_GPU_COMPONENTS_HH
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace gpupm
+{
+namespace gpu
+{
+
+/** Modelled GPU components, in the order used across the library. */
+enum class Component : std::size_t
+{
+    Int = 0,     ///< integer units
+    SP,          ///< single-precision floating-point units
+    DP,          ///< double-precision floating-point units
+    SF,          ///< special-function units
+    Shared,      ///< shared memory
+    L2,          ///< L2 cache (core domain)
+    Dram,        ///< device memory (memory domain)
+    NumComponents,
+};
+
+/** Number of modelled components. */
+inline constexpr std::size_t kNumComponents =
+        static_cast<std::size_t>(Component::NumComponents);
+
+/** Components in the core V-F domain (everything except DRAM). */
+inline constexpr std::size_t kNumCoreComponents = kNumComponents - 1;
+
+/** Compute-unit components, the x of Eq. 8. */
+inline constexpr std::array<Component, 4> kComputeUnits = {
+    Component::Int, Component::SP, Component::DP, Component::SF,
+};
+
+/** Memory-hierarchy components, the y of Eq. 9. */
+inline constexpr std::array<Component, 3> kMemoryLevels = {
+    Component::L2, Component::Shared, Component::Dram,
+};
+
+/** Short display name for a component. */
+constexpr std::string_view
+componentName(Component c)
+{
+    switch (c) {
+      case Component::Int: return "INT";
+      case Component::SP: return "SP";
+      case Component::DP: return "DP";
+      case Component::SF: return "SF";
+      case Component::Shared: return "Shared";
+      case Component::L2: return "L2";
+      case Component::Dram: return "DRAM";
+      default: return "?";
+    }
+}
+
+/** Index helper. */
+constexpr std::size_t
+componentIndex(Component c)
+{
+    return static_cast<std::size_t>(c);
+}
+
+/** Fixed-size per-component value bundle (utilizations, powers, ...). */
+using ComponentArray = std::array<double, kNumComponents>;
+
+} // namespace gpu
+} // namespace gpupm
+
+#endif // GPUPM_GPU_COMPONENTS_HH

@@ -1,0 +1,187 @@
+#include "device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace gpu
+{
+
+std::string_view
+architectureName(Architecture arch)
+{
+    switch (arch) {
+      case Architecture::Pascal: return "Pascal";
+      case Architecture::Maxwell: return "Maxwell";
+      case Architecture::Kepler: return "Kepler";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+DeviceDescriptor
+makeTitanXp()
+{
+    DeviceDescriptor d;
+    d.name = "Titan Xp";
+    d.kind = DeviceKind::TitanXp;
+    d.architecture = Architecture::Pascal;
+    d.compute_capability = "6.1";
+    // NVIDIA driver does not allow lower memory levels (Table II note).
+    d.mem_freqs_mhz = {5705, 4705};
+    // 22 core levels over [582:1911]; the driver's table is uniform on
+    // either side of the 1404 MHz default.
+    d.core_freqs_mhz = {
+        582, 645, 708, 772, 835, 898, 961, 1025, 1088, 1151, 1214,
+        1278, 1341, 1404, 1467, 1531, 1594, 1658, 1721, 1784, 1848,
+        1911,
+    };
+    d.default_core_mhz = 1404;
+    d.default_mem_mhz = 5705;
+    d.num_sms = 30;
+    d.sp_int_units_per_sm = 128;
+    d.dp_units_per_sm = 4;
+    d.sf_units_per_sm = 32;
+    d.tdp_w = 250.0;
+    d.l2_bytes_per_cycle = 768.0;
+    d.l2_capacity_bytes = 3.0 * 1024 * 1024;
+    return d;
+}
+
+DeviceDescriptor
+makeGtxTitanX()
+{
+    DeviceDescriptor d;
+    d.name = "GTX Titan X";
+    d.kind = DeviceKind::GtxTitanX;
+    d.architecture = Architecture::Maxwell;
+    d.compute_capability = "5.2";
+    d.mem_freqs_mhz = {4005, 3505, 3300, 810};
+    // 16 uniform levels over [595:1164]; 975 (default) and 1126 (the
+    // Fig. 9 TDP-fallback level) are table entries.
+    d.core_freqs_mhz = {
+        595, 633, 671, 709, 747, 785, 823, 861, 899, 937, 975, 1013,
+        1051, 1089, 1126, 1164,
+    };
+    d.default_core_mhz = 975;
+    d.default_mem_mhz = 3505;
+    d.num_sms = 24;
+    d.sp_int_units_per_sm = 128;
+    d.dp_units_per_sm = 4;
+    d.sf_units_per_sm = 32;
+    d.tdp_w = 250.0;
+    d.l2_bytes_per_cycle = 512.0;
+    d.l2_capacity_bytes = 3.0 * 1024 * 1024;
+    return d;
+}
+
+DeviceDescriptor
+makeTeslaK40c()
+{
+    DeviceDescriptor d;
+    d.name = "Tesla K40c";
+    d.kind = DeviceKind::TeslaK40c;
+    d.architecture = Architecture::Kepler;
+    d.compute_capability = "3.5";
+    // Single non-idle memory level (Sec. V-A).
+    d.mem_freqs_mhz = {3004};
+    d.core_freqs_mhz = {666, 745, 810, 875};
+    d.default_core_mhz = 875;
+    d.default_mem_mhz = 3004;
+    d.num_sms = 15;
+    d.sp_int_units_per_sm = 192;
+    d.dp_units_per_sm = 64;
+    d.sf_units_per_sm = 32;
+    d.tdp_w = 235.0;
+    d.l2_bytes_per_cycle = 384.0;
+    d.l2_capacity_bytes = 1.5 * 1024 * 1024;
+    return d;
+}
+
+} // namespace
+
+const DeviceDescriptor &
+DeviceDescriptor::get(DeviceKind kind)
+{
+    static const DeviceDescriptor xp = makeTitanXp();
+    static const DeviceDescriptor tx = makeGtxTitanX();
+    static const DeviceDescriptor k40 = makeTeslaK40c();
+    switch (kind) {
+      case DeviceKind::TitanXp: return xp;
+      case DeviceKind::GtxTitanX: return tx;
+      case DeviceKind::TeslaK40c: return k40;
+    }
+    GPUPM_PANIC("unknown device kind");
+}
+
+std::vector<FreqConfig>
+DeviceDescriptor::allConfigs() const
+{
+    std::vector<FreqConfig> out;
+    out.reserve(mem_freqs_mhz.size() * core_freqs_mhz.size());
+    for (int fm : mem_freqs_mhz)
+        for (int fc : core_freqs_mhz)
+            out.push_back({fc, fm});
+    return out;
+}
+
+bool
+DeviceDescriptor::supports(const FreqConfig &cfg) const
+{
+    const bool core_ok =
+            std::find(core_freqs_mhz.begin(), core_freqs_mhz.end(),
+                      cfg.core_mhz) != core_freqs_mhz.end();
+    const bool mem_ok =
+            std::find(mem_freqs_mhz.begin(), mem_freqs_mhz.end(),
+                      cfg.mem_mhz) != mem_freqs_mhz.end();
+    return core_ok && mem_ok;
+}
+
+int
+DeviceDescriptor::unitsPerSm(Component unit) const
+{
+    switch (unit) {
+      case Component::Int:
+      case Component::SP:
+        return sp_int_units_per_sm;
+      case Component::DP:
+        return dp_units_per_sm;
+      case Component::SF:
+        return sf_units_per_sm;
+      default:
+        GPUPM_PANIC("unitsPerSm: ", componentName(unit),
+                    " is not a compute unit");
+    }
+}
+
+double
+DeviceDescriptor::peakWarpsPerSecond(Component unit, int core_mhz) const
+{
+    const double f_hz = 1e6 * core_mhz;
+    return f_hz * num_sms * unitsPerSm(unit) / warp_size;
+}
+
+double
+DeviceDescriptor::peakBandwidth(Component level,
+                                const FreqConfig &cfg) const
+{
+    switch (level) {
+      case Component::Dram:
+        return 1e6 * cfg.mem_mhz * mem_bus_bytes;
+      case Component::Shared:
+        // 32 banks x 4 bytes per cycle per SM.
+        return 1e6 * cfg.core_mhz * num_sms * shared_banks * 4.0;
+      case Component::L2:
+        return 1e6 * cfg.core_mhz * l2_bytes_per_cycle;
+      default:
+        GPUPM_PANIC("peakBandwidth: ", componentName(level),
+                    " is not a memory level");
+    }
+}
+
+} // namespace gpu
+} // namespace gpupm

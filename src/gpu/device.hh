@@ -1,0 +1,133 @@
+/**
+ * @file
+ * GPU device descriptors: every Table II characteristic of the three
+ * devices the paper evaluates (Titan Xp / Pascal, GTX Titan X / Maxwell,
+ * Tesla K40c / Kepler), plus the peak-throughput and peak-bandwidth
+ * calculators of Sec. III-C.
+ *
+ * Frequencies are expressed in MHz throughout the library (matching the
+ * paper's tables); conversions to GHz happen only inside power formulas.
+ */
+
+#ifndef GPUPM_GPU_DEVICE_HH
+#define GPUPM_GPU_DEVICE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpu/components.hh"
+
+namespace gpupm
+{
+namespace gpu
+{
+
+/** NVIDIA microarchitecture generations covered by the paper. */
+enum class Architecture
+{
+    Pascal,
+    Maxwell,
+    Kepler,
+};
+
+/** Display name of an architecture. */
+std::string_view architectureName(Architecture arch);
+
+/** The three evaluated devices. */
+enum class DeviceKind
+{
+    TitanXp,
+    GtxTitanX,
+    TeslaK40c,
+};
+
+/** All device kinds, in the paper's presentation order. */
+inline constexpr std::array<DeviceKind, 3> kAllDevices = {
+    DeviceKind::TitanXp, DeviceKind::GtxTitanX, DeviceKind::TeslaK40c,
+};
+
+/** One (fcore, fmem) operating point, MHz. */
+struct FreqConfig
+{
+    int core_mhz = 0;
+    int mem_mhz = 0;
+
+    bool operator==(const FreqConfig &) const = default;
+};
+
+/** Static description of a GPU device (the paper's Table II row). */
+class DeviceDescriptor
+{
+  public:
+    /** Build the descriptor for one of the three evaluated devices. */
+    static const DeviceDescriptor &get(DeviceKind kind);
+
+    std::string name;            ///< marketing name
+    DeviceKind kind;             ///< which evaluated device
+    Architecture architecture;   ///< microarchitecture
+    std::string compute_capability;
+
+    std::vector<int> mem_freqs_mhz;   ///< supported memory clocks, desc.
+    std::vector<int> core_freqs_mhz;  ///< supported core clocks, asc.
+    int default_core_mhz = 0;    ///< reference core clock
+    int default_mem_mhz = 0;     ///< reference memory clock
+
+    int warp_size = 32;          ///< threads per warp
+    int num_sms = 0;             ///< streaming multiprocessors
+    int mem_bus_bytes = 48;      ///< memory bus width, bytes/cycle
+    int shared_banks = 32;       ///< shared-memory banks per SM
+    int sp_int_units_per_sm = 0; ///< combined SP/INT lanes per SM
+    int dp_units_per_sm = 0;     ///< DP lanes per SM
+    int sf_units_per_sm = 0;     ///< SFU lanes per SM
+    double tdp_w = 0.0;          ///< board power limit, watts
+
+    /**
+     * Device-wide L2 bytes/core-cycle. The paper determines the L2 peak
+     * experimentally (Sec. III-C); this field holds the value produced
+     * by that calibration (see calibrateL2PeakBandwidth()).
+     */
+    double l2_bytes_per_cycle = 0.0;
+
+    /** L2 cache capacity, bytes (drives the working-set miss model). */
+    double l2_capacity_bytes = 0.0;
+
+    /** Reference configuration (default clocks). */
+    FreqConfig referenceConfig() const
+    {
+        return {default_core_mhz, default_mem_mhz};
+    }
+
+    /** Full V-F grid: every supported (core, mem) pair. */
+    std::vector<FreqConfig> allConfigs() const;
+
+    /** Whether a configuration is in the supported tables. */
+    bool supports(const FreqConfig &cfg) const;
+
+    /** Execution lanes per SM for a compute unit (Eq. 8 UnitsPerSM). */
+    int unitsPerSm(Component unit) const;
+
+    /**
+     * Peak warp throughput of a compute unit, device-wide, in
+     * warps/second: fcore * numSMs * unitsPerSM / warpSize.
+     */
+    double peakWarpsPerSecond(Component unit, int core_mhz) const;
+
+    /**
+     * Peak bandwidth of a memory level in bytes/second (Sec. III-C,
+     * PeakBand = f * Bytes/Cycle). DRAM scales with the memory clock;
+     * shared and L2 scale with the core clock.
+     */
+    double peakBandwidth(Component level, const FreqConfig &cfg) const;
+
+    /** Lowest supported core clock, MHz. */
+    int minCoreMhz() const { return core_freqs_mhz.front(); }
+
+    /** Highest supported core clock, MHz. */
+    int maxCoreMhz() const { return core_freqs_mhz.back(); }
+};
+
+} // namespace gpu
+} // namespace gpupm
+
+#endif // GPUPM_GPU_DEVICE_HH

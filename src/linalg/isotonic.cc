@@ -1,0 +1,70 @@
+#include "isotonic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace linalg
+{
+
+std::vector<double>
+isotonicNonDecreasing(const std::vector<double> &xs,
+                      const std::vector<double> &weights)
+{
+    const std::size_t n = xs.size();
+    if (n == 0)
+        return {};
+    GPUPM_ASSERT(weights.empty() || weights.size() == n,
+                 "weights size ", weights.size(), " vs ", n);
+
+    // Blocks of pooled values: (mean, weight, count).
+    struct Block
+    {
+        double mean;
+        double weight;
+        std::size_t count;
+    };
+    std::vector<Block> blocks;
+    blocks.reserve(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double w = weights.empty() ? 1.0 : weights[i];
+        GPUPM_ASSERT(w >= 0.0, "negative weight at ", i);
+        blocks.push_back({xs[i], w, 1});
+        // Merge while the tail violates monotonicity.
+        while (blocks.size() >= 2) {
+            Block &b = blocks[blocks.size() - 1];
+            Block &a = blocks[blocks.size() - 2];
+            if (a.mean <= b.mean)
+                break;
+            const double tw = a.weight + b.weight;
+            const double m = tw > 0.0
+                ? (a.mean * a.weight + b.mean * b.weight) / tw
+                : 0.5 * (a.mean + b.mean);
+            a = {m, tw, a.count + b.count};
+            blocks.pop_back();
+        }
+    }
+
+    std::vector<double> out;
+    out.reserve(n);
+    for (const Block &b : blocks)
+        out.insert(out.end(), b.count, b.mean);
+    return out;
+}
+
+std::vector<double>
+isotonicNonIncreasing(const std::vector<double> &xs,
+                      const std::vector<double> &weights)
+{
+    std::vector<double> flipped(xs.rbegin(), xs.rend());
+    std::vector<double> wflip(weights.rbegin(), weights.rend());
+    std::vector<double> fitted = isotonicNonDecreasing(flipped, wflip);
+    std::reverse(fitted.begin(), fitted.end());
+    return fitted;
+}
+
+} // namespace linalg
+} // namespace gpupm

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Isotonic regression (pool-adjacent-violators) used to enforce the
+ * Eq. 12 constraint of the paper: for frequencies f1 > f2 the fitted
+ * normalized voltages must satisfy V̄(f1) >= V̄(f2).
+ */
+
+#ifndef GPUPM_LINALG_ISOTONIC_HH
+#define GPUPM_LINALG_ISOTONIC_HH
+
+#include <vector>
+
+namespace gpupm
+{
+namespace linalg
+{
+
+/**
+ * Weighted isotonic regression: find the non-decreasing sequence y
+ * minimizing sum_i w_i (y_i - x_i)^2 (PAVA, O(n)).
+ *
+ * @param xs  input sequence, ordered by the constraint axis
+ *            (ascending frequency).
+ * @param weights  optional per-point weights; empty means all 1.
+ * @return  non-decreasing fitted sequence of the same length.
+ */
+std::vector<double> isotonicNonDecreasing(
+        const std::vector<double> &xs,
+        const std::vector<double> &weights = {});
+
+/** Convenience wrapper fitting a non-increasing sequence. */
+std::vector<double> isotonicNonIncreasing(
+        const std::vector<double> &xs,
+        const std::vector<double> &weights = {});
+
+} // namespace linalg
+} // namespace gpupm
+
+#endif // GPUPM_LINALG_ISOTONIC_HH

@@ -1,0 +1,264 @@
+#include "lstsq.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gpupm
+{
+namespace linalg
+{
+
+namespace
+{
+
+/**
+ * In-place Householder QR with column pivoting on a copy of A.
+ * Returns the permutation and effective numerical rank; b is replaced
+ * by Q^T b.
+ */
+struct QrPivot
+{
+    Matrix r;                      // upper-triangular factor (in place)
+    Vector qtb;                    // Q^T b
+    std::vector<std::size_t> perm; // column permutation
+    std::size_t rank = 0;
+};
+
+QrPivot
+factorize(const Matrix &a, const Vector &b, double rcond)
+{
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    GPUPM_ASSERT(b.size() == m, "lstsq rhs dimension ", b.size(),
+                 " != rows ", m);
+    GPUPM_ASSERT(m >= 1 && n >= 1, "empty system");
+
+    QrPivot qr;
+    qr.r = a;
+    qr.qtb = b;
+    qr.perm.resize(n);
+    std::iota(qr.perm.begin(), qr.perm.end(), std::size_t{0});
+
+    // Running squared column norms for pivot selection.
+    std::vector<double> colnorm(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c)
+        for (std::size_t r = 0; r < m; ++r)
+            colnorm[c] += qr.r(r, c) * qr.r(r, c);
+
+    const std::size_t steps = std::min(m, n);
+    double first_pivot = 0.0;
+
+    for (std::size_t k = 0; k < steps; ++k) {
+        // Pivot: bring the column with the largest remaining norm to k.
+        std::size_t best = k;
+        for (std::size_t c = k + 1; c < n; ++c)
+            if (colnorm[c] > colnorm[best])
+                best = c;
+        if (best != k) {
+            for (std::size_t r = 0; r < m; ++r)
+                std::swap(qr.r(r, k), qr.r(r, best));
+            std::swap(colnorm[k], colnorm[best]);
+            std::swap(qr.perm[k], qr.perm[best]);
+        }
+
+        // Householder reflection for column k.
+        double alpha = 0.0;
+        for (std::size_t r = k; r < m; ++r)
+            alpha += qr.r(r, k) * qr.r(r, k);
+        alpha = std::sqrt(alpha);
+        if (alpha == 0.0) {
+            colnorm[k] = 0.0;
+            continue;
+        }
+        if (qr.r(k, k) > 0.0)
+            alpha = -alpha;
+
+        if (k == 0)
+            first_pivot = std::abs(alpha);
+        if (std::abs(alpha) <= rcond * first_pivot) {
+            // Numerically rank-deficient from here on.
+            break;
+        }
+
+        std::vector<double> v(m - k);
+        v[0] = qr.r(k, k) - alpha;
+        for (std::size_t r = k + 1; r < m; ++r)
+            v[r - k] = qr.r(r, k);
+        double vnorm2 = 0.0;
+        for (double x : v)
+            vnorm2 += x * x;
+        if (vnorm2 == 0.0) {
+            qr.rank = k + 1;
+            continue;
+        }
+
+        qr.r(k, k) = alpha;
+        for (std::size_t r = k + 1; r < m; ++r)
+            qr.r(r, k) = 0.0;
+
+        // Apply reflection to remaining columns and to b.
+        for (std::size_t c = k + 1; c < n; ++c) {
+            double dot = 0.0;
+            for (std::size_t r = k; r < m; ++r)
+                dot += v[r - k] * qr.r(r, c);
+            const double scale = 2.0 * dot / vnorm2;
+            for (std::size_t r = k; r < m; ++r)
+                qr.r(r, c) -= scale * v[r - k];
+        }
+        {
+            double dot = 0.0;
+            for (std::size_t r = k; r < m; ++r)
+                dot += v[r - k] * qr.qtb[r];
+            const double scale = 2.0 * dot / vnorm2;
+            for (std::size_t r = k; r < m; ++r)
+                qr.qtb[r] -= scale * v[r - k];
+        }
+
+        // Update running column norms.
+        for (std::size_t c = k + 1; c < n; ++c)
+            colnorm[c] = std::max(0.0,
+                                  colnorm[c] - qr.r(k, c) * qr.r(k, c));
+
+        qr.rank = k + 1;
+    }
+
+    return qr;
+}
+
+} // namespace
+
+Vector
+leastSquares(const Matrix &a, const Vector &b, double rcond)
+{
+    const std::size_t n = a.cols();
+    QrPivot qr = factorize(a, b, rcond);
+
+    // Back-substitute over the leading rank-by-rank triangle.
+    Vector y(n, 0.0);
+    for (std::size_t ii = qr.rank; ii-- > 0;) {
+        double s = qr.qtb[ii];
+        for (std::size_t c = ii + 1; c < qr.rank; ++c)
+            s -= qr.r(ii, c) * y[c];
+        y[ii] = s / qr.r(ii, ii);
+    }
+
+    Vector x(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        x[qr.perm[i]] = y[i];
+    return x;
+}
+
+Vector
+nnls(const Matrix &a, const Vector &b, std::size_t max_iter)
+{
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    GPUPM_ASSERT(b.size() == m, "nnls rhs dimension mismatch");
+    if (max_iter == 0)
+        max_iter = 3 * n + 30;
+
+    // Lawson–Hanson: grow an active (positive) set P greedily by the
+    // most positive gradient of the residual, solving the free LS
+    // subproblem on P each step and stepping back to the boundary when
+    // a coefficient would go negative.
+    std::vector<bool> in_p(n, false);
+    Vector x(n, 0.0);
+
+    const Matrix at = a.transposed();
+    const double tol = 1e-10 * (1.0 + b.norm());
+
+    for (std::size_t outer = 0; outer < max_iter; ++outer) {
+        // w = A^T (b - A x)
+        Vector resid = b - a * x;
+        Vector w = at * resid;
+
+        std::size_t best = n;
+        double best_w = tol;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!in_p[j] && w[j] > best_w) {
+                best_w = w[j];
+                best = j;
+            }
+        }
+        if (best == n)
+            break; // KKT satisfied.
+        in_p[best] = true;
+
+        // Inner loop: solve on P, trim negatives.
+        for (std::size_t inner = 0; inner <= max_iter; ++inner) {
+            std::vector<std::size_t> p;
+            for (std::size_t j = 0; j < n; ++j)
+                if (in_p[j])
+                    p.push_back(j);
+
+            Matrix ap(m, p.size());
+            for (std::size_t r = 0; r < m; ++r)
+                for (std::size_t c = 0; c < p.size(); ++c)
+                    ap(r, c) = a(r, p[c]);
+            Vector z = leastSquares(ap, b);
+
+            bool all_positive = true;
+            for (double v : z.data())
+                if (v <= 0.0)
+                    all_positive = false;
+            if (all_positive) {
+                for (std::size_t j = 0; j < n; ++j)
+                    x[j] = 0.0;
+                for (std::size_t c = 0; c < p.size(); ++c)
+                    x[p[c]] = z[c];
+                break;
+            }
+
+            // Step from x toward z, stopping at the first boundary.
+            double alpha = 1.0;
+            for (std::size_t c = 0; c < p.size(); ++c) {
+                if (z[c] <= 0.0) {
+                    const double xj = x[p[c]];
+                    const double denom = xj - z[c];
+                    if (denom > 0.0)
+                        alpha = std::min(alpha, xj / denom);
+                }
+            }
+            for (std::size_t c = 0; c < p.size(); ++c)
+                x[p[c]] += alpha * (z[c] - x[p[c]]);
+            for (std::size_t c = 0; c < p.size(); ++c)
+                if (x[p[c]] <= tol) {
+                    x[p[c]] = 0.0;
+                    in_p[p[c]] = false;
+                }
+        }
+    }
+    return x;
+}
+
+Vector
+nnlsRidge(const Matrix &a, const Vector &b, double ridge)
+{
+    GPUPM_ASSERT(ridge >= 0.0, "negative ridge ", ridge);
+    if (ridge == 0.0)
+        return nnls(a, b);
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    Matrix aug(m + n, n);
+    Vector rhs(m + n, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < n; ++c)
+            aug(r, c) = a(r, c);
+        rhs[r] = b[r];
+    }
+    const double s = std::sqrt(ridge);
+    for (std::size_t j = 0; j < n; ++j)
+        aug(m + j, j) = s;
+    return nnls(aug, rhs);
+}
+
+double
+residualSumSquares(const Matrix &a, const Vector &x, const Vector &b)
+{
+    Vector r = a * x - b;
+    return r.dot(r);
+}
+
+} // namespace linalg
+} // namespace gpupm

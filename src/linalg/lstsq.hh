@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Linear least-squares solvers.
+ *
+ * The Sec. III-D estimator alternates two least-squares subproblems; the
+ * coefficient fit (steps 1 and 3) uses either unconstrained QR least
+ * squares or non-negative least squares (the physical coefficients
+ * β0, β1, ωi are capacitance/leakage aggregates and cannot be negative).
+ */
+
+#ifndef GPUPM_LINALG_LSTSQ_HH
+#define GPUPM_LINALG_LSTSQ_HH
+
+#include "matrix.hh"
+
+namespace gpupm
+{
+namespace linalg
+{
+
+/**
+ * Solve min_x ||A x - b||_2 via Householder QR with column pivoting.
+ *
+ * Rank-deficient systems are handled by zeroing the trailing pivots
+ * (a basic solution, not the minimum-norm one), which is the behaviour
+ * the alternating estimator needs: unidentifiable coefficients stay 0
+ * instead of exploding.
+ *
+ * @param a  m-by-n design matrix, m >= 1.
+ * @param b  right-hand side of dimension m.
+ * @param rcond  relative condition cutoff for rank detection.
+ * @return  solution vector of dimension n.
+ */
+Vector leastSquares(const Matrix &a, const Vector &b,
+                    double rcond = 1e-12);
+
+/**
+ * Solve min_x ||A x - b||_2 subject to x >= 0 (Lawson–Hanson active-set
+ * NNLS).
+ *
+ * @param a  m-by-n design matrix.
+ * @param b  right-hand side of dimension m.
+ * @param max_iter  iteration cap (0 means 3*n).
+ * @return  non-negative solution vector of dimension n.
+ */
+Vector nnls(const Matrix &a, const Vector &b, std::size_t max_iter = 0);
+
+/**
+ * Solve min_x ||A x - b||_2 + ridge * ||x||_2 with x >= 0, by augmenting
+ * the system with sqrt(ridge)*I rows. A small ridge keeps the
+ * alternating fit stable when microbenchmark utilizations are nearly
+ * collinear.
+ */
+Vector nnlsRidge(const Matrix &a, const Vector &b, double ridge);
+
+/** Residual sum of squares ||A x - b||^2. */
+double residualSumSquares(const Matrix &a, const Vector &x,
+                          const Vector &b);
+
+} // namespace linalg
+} // namespace gpupm
+
+#endif // GPUPM_LINALG_LSTSQ_HH

@@ -1,0 +1,184 @@
+#include "matrix.hh"
+
+#include <cmath>
+
+namespace gpupm
+{
+namespace linalg
+{
+
+double &
+Vector::at(std::size_t i)
+{
+    GPUPM_ASSERT(i < data_.size(), "vector index ", i, " >= ",
+                 data_.size());
+    return data_[i];
+}
+
+double
+Vector::at(std::size_t i) const
+{
+    GPUPM_ASSERT(i < data_.size(), "vector index ", i, " >= ",
+                 data_.size());
+    return data_[i];
+}
+
+double
+Vector::dot(const Vector &other) const
+{
+    GPUPM_ASSERT(size() == other.size(), "dot: ", size(), " vs ",
+                 other.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < size(); ++i)
+        s += data_[i] * other.data_[i];
+    return s;
+}
+
+double
+Vector::norm() const
+{
+    return std::sqrt(dot(*this));
+}
+
+Vector
+Vector::operator+(const Vector &other) const
+{
+    GPUPM_ASSERT(size() == other.size(), "add: ", size(), " vs ",
+                 other.size());
+    Vector out(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Vector
+Vector::operator-(const Vector &other) const
+{
+    GPUPM_ASSERT(size() == other.size(), "sub: ", size(), " vs ",
+                 other.size());
+    Vector out(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out[i] = data_[i] - other.data_[i];
+    return out;
+}
+
+Vector
+Vector::operator*(double s) const
+{
+    Vector out(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out[i] = data_[i] * s;
+    return out;
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto &r : rows) {
+        GPUPM_ASSERT(r.size() == cols_, "ragged initializer row");
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    GPUPM_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+                 ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    GPUPM_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+                 ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+Vector
+Matrix::operator*(const Vector &x) const
+{
+    GPUPM_ASSERT(x.size() == cols_, "matvec: ", cols_, " vs ", x.size());
+    Vector y(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            s += data_[r * cols_ + c] * x[c];
+        y[r] = s;
+    }
+    return y;
+}
+
+Matrix
+Matrix::operator*(const Matrix &other) const
+{
+    GPUPM_ASSERT(cols_ == other.rows_, "matmul: ", rows_, "x", cols_,
+                 " * ", other.rows_, "x", other.cols_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = data_[r * cols_ + k];
+            if (a == 0.0)
+                continue;
+            for (std::size_t c = 0; c < other.cols_; ++c)
+                out(r, c) += a * other(k, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = data_[r * cols_ + c];
+    return out;
+}
+
+Vector
+Matrix::row(std::size_t r) const
+{
+    GPUPM_ASSERT(r < rows_, "row ", r, " >= ", rows_);
+    Vector v(cols_);
+    for (std::size_t c = 0; c < cols_; ++c)
+        v[c] = data_[r * cols_ + c];
+    return v;
+}
+
+Vector
+Matrix::col(std::size_t c) const
+{
+    GPUPM_ASSERT(c < cols_, "col ", c, " >= ", cols_);
+    Vector v(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        v[r] = data_[r * cols_ + c];
+    return v;
+}
+
+void
+Matrix::appendRow(const Vector &r)
+{
+    if (rows_ == 0 && cols_ == 0)
+        cols_ = r.size();
+    GPUPM_ASSERT(r.size() == cols_, "appendRow: ", r.size(), " vs ",
+                 cols_);
+    data_.insert(data_.end(), r.data().begin(), r.data().end());
+    ++rows_;
+}
+
+} // namespace linalg
+} // namespace gpupm

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Dense double-precision vector and matrix types.
+ *
+ * The estimator (Sec. III-D of the paper) needs ordinary dense linear
+ * algebra at modest sizes (hundreds of rows, ~10 columns), so this is a
+ * deliberately small, owning, row-major implementation rather than a
+ * binding to an external BLAS.
+ */
+
+#ifndef GPUPM_LINALG_MATRIX_HH
+#define GPUPM_LINALG_MATRIX_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace linalg
+{
+
+/** Owning dense vector of doubles. */
+class Vector
+{
+  public:
+    Vector() = default;
+
+    /** Zero vector of the given dimension. */
+    explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+    /** Vector with all entries set to fill. */
+    Vector(std::size_t n, double fill) : data_(n, fill) {}
+
+    /** Construct from a braced list of values. */
+    Vector(std::initializer_list<double> values) : data_(values) {}
+
+    /** Dimension. */
+    std::size_t size() const { return data_.size(); }
+
+    double &operator[](std::size_t i) { return data_[i]; }
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    /** Bounds-checked access (panics out of range). */
+    double &at(std::size_t i);
+    double at(std::size_t i) const;
+
+    /** Underlying storage. */
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+    /** Dot product; dimensions must agree. */
+    double dot(const Vector &other) const;
+
+    /** Euclidean norm. */
+    double norm() const;
+
+    /** Elementwise sum; dimensions must agree. */
+    Vector operator+(const Vector &other) const;
+
+    /** Elementwise difference; dimensions must agree. */
+    Vector operator-(const Vector &other) const;
+
+    /** Scalar product. */
+    Vector operator*(double s) const;
+
+  private:
+    std::vector<double> data_;
+};
+
+/** Owning dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero matrix of the given shape. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    /** Construct from nested braces: {{1,2},{3,4}}. */
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    /** Identity matrix of order n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Bounds-checked access (panics out of range). */
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Matrix-vector product; x.size() must equal cols(). */
+    Vector operator*(const Vector &x) const;
+
+    /** Matrix-matrix product; this->cols() must equal other.rows(). */
+    Matrix operator*(const Matrix &other) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Copy of row r as a vector. */
+    Vector row(std::size_t r) const;
+
+    /** Copy of column c as a vector. */
+    Vector col(std::size_t c) const;
+
+    /** Append a row; must match cols() (sets cols() when empty). */
+    void appendRow(const Vector &r);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace linalg
+} // namespace gpupm
+
+#endif // GPUPM_LINALG_MATRIX_HH

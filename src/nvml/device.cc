@@ -1,0 +1,145 @@
+#include "device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace gpupm
+{
+namespace nvml
+{
+
+Device::Device(const sim::PhysicalGpu &board, std::uint64_t seed)
+    : board_(board),
+      clocks_(board.descriptor().referenceConfig()),
+      power_limit_w_(board.descriptor().tdp_w),
+      noise_(Rng(seed).split(7))
+{}
+
+void
+Device::setPowerLimit(double watts)
+{
+    const double tdp = board_.descriptor().tdp_w;
+    GPUPM_FATAL_IF(watts < 100.0 || watts > tdp,
+                   "power limit ", watts, " W outside [100, ", tdp,
+                   "] W");
+    power_limit_w_ = watts;
+}
+
+void
+Device::setApplicationClocks(int mem_mhz, int core_mhz)
+{
+    const gpu::FreqConfig cfg{core_mhz, mem_mhz};
+    if (!board_.descriptor().supports(cfg)) {
+        GPUPM_FATAL("unsupported application clocks (", core_mhz, ", ",
+                    mem_mhz, ") MHz on ", board_.descriptor().name);
+    }
+    clocks_ = cfg;
+}
+
+double
+Device::refreshPeriodMs() const
+{
+    // Estimated sensor refresh periods from Sec. V-A.
+    switch (board_.descriptor().kind) {
+      case gpu::DeviceKind::TitanXp: return 35.0;
+      case gpu::DeviceKind::GtxTitanX: return 100.0;
+      case gpu::DeviceKind::TeslaK40c: return 15.0;
+    }
+    GPUPM_PANIC("unknown device kind");
+}
+
+double
+Device::sampleSensor(double true_power_w)
+{
+    // Board sensors show proportional noise plus a small absolute
+    // floor; NVML reports milliwatts, so quantize there.
+    const double noisy = true_power_w +
+                         noise_.normal(0.0, 0.006 * true_power_w + 0.3);
+    return std::max(0.0, std::round(noisy * 1000.0) / 1000.0);
+}
+
+gpu::FreqConfig
+Device::effectiveClocksFor(const sim::KernelDemand &demand) const
+{
+    const gpu::DeviceDescriptor &desc = board_.descriptor();
+    gpu::FreqConfig cfg = clocks_;
+    // Walk down the core table until the true power respects TDP
+    // (the driver's automatic fallback observed in Fig. 9).
+    auto it = std::find(desc.core_freqs_mhz.rbegin(),
+                        desc.core_freqs_mhz.rend(), cfg.core_mhz);
+    GPUPM_ASSERT(it != desc.core_freqs_mhz.rend(),
+                 "current core clock not in table");
+    for (; it != desc.core_freqs_mhz.rend(); ++it) {
+        cfg.core_mhz = *it;
+        const auto prof = board_.execute(demand, cfg);
+        if (board_.truePower(prof, cfg).total_w <= power_limit_w_)
+            return cfg;
+    }
+    // Even the lowest level violates TDP; the board throttles there.
+    cfg.core_mhz = desc.core_freqs_mhz.front();
+    return cfg;
+}
+
+PowerMeasurement
+Device::measureKernelPower(const sim::KernelDemand &demand,
+                           int repetitions, double min_duration_s)
+{
+    GPUPM_ASSERT(repetitions >= 1, "repetitions must be >= 1");
+    GPUPM_ASSERT(!demand.empty(),
+                 "measureKernelPower needs a kernel; use "
+                 "measureIdlePower for the idle case");
+
+    const gpu::DeviceDescriptor &desc = board_.descriptor();
+
+    PowerMeasurement m;
+    m.effective = effectiveClocksFor(demand);
+    m.tdp_limited = m.effective.core_mhz != clocks_.core_mhz;
+
+    const sim::ExecutionProfile prof =
+            board_.execute(demand, m.effective);
+    m.kernel_time_s = prof.time_s;
+    const double true_power = board_.truePower(prof, m.effective).total_w;
+
+    // Pick the repetition count so the run lasts at least
+    // min_duration_s at the *fastest* configuration (Sec. V-A), so the
+    // same count works across the whole sweep.
+    const gpu::FreqConfig fastest{desc.maxCoreMhz(),
+                                  desc.mem_freqs_mhz.front()};
+    const double t_fastest =
+            board_.execute(demand, fastest).time_s;
+    const auto reps = static_cast<int>(
+            std::ceil(min_duration_s / std::max(t_fastest, 1e-9)));
+    m.run_duration_s = prof.time_s * reps;
+
+    const double refresh_s = refreshPeriodMs() / 1000.0;
+    m.samples_per_run = std::max(
+            1, static_cast<int>(m.run_duration_s / refresh_s));
+
+    std::vector<double> run_means;
+    run_means.reserve(repetitions);
+    for (int r = 0; r < repetitions; ++r) {
+        stats::Accumulator acc;
+        for (int s = 0; s < m.samples_per_run; ++s)
+            acc.add(sampleSensor(true_power));
+        run_means.push_back(acc.mean());
+    }
+    m.power_w = stats::median(run_means);
+    return m;
+}
+
+double
+Device::measureIdlePower(int samples)
+{
+    GPUPM_ASSERT(samples >= 1, "samples must be >= 1");
+    const double true_power = board_.idlePower(clocks_).total_w;
+    stats::Accumulator acc;
+    for (int s = 0; s < samples; ++s)
+        acc.add(sampleSensor(true_power));
+    return acc.mean();
+}
+
+} // namespace nvml
+} // namespace gpupm

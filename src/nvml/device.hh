@@ -1,0 +1,113 @@
+/**
+ * @file
+ * NVML-style host facade over the simulated board.
+ *
+ * Mirrors how the paper drives real devices (Sec. V-A): application
+ * clocks are set only to entries of the supported tables (the voltage
+ * follows automatically and invisibly), power is read from a sensor
+ * that refreshes every 35 ms (Titan Xp), 100 ms (GTX Titan X) or 15 ms
+ * (Tesla K40c), kernels are repeated until the run lasts at least one
+ * second at the fastest configuration, the run's samples are averaged,
+ * and the whole measurement is repeated 10 times with the median
+ * reported. The board also enforces TDP by automatically falling back
+ * to the closest core frequency that does not violate it (the Fig. 9
+ * footnote behaviour).
+ */
+
+#ifndef GPUPM_NVML_DEVICE_HH
+#define GPUPM_NVML_DEVICE_HH
+
+#include "common/random.hh"
+#include "sim/physical_gpu.hh"
+
+namespace gpupm
+{
+namespace nvml
+{
+
+/** One averaged power measurement of a kernel at a configuration. */
+struct PowerMeasurement
+{
+    double power_w = 0.0;        ///< median-of-runs average power
+    double kernel_time_s = 0.0;  ///< single-launch execution time
+    double run_duration_s = 0.0; ///< total repeated-run duration
+    int samples_per_run = 0;     ///< sensor samples averaged per run
+    gpu::FreqConfig effective;   ///< clocks after any TDP fallback
+    bool tdp_limited = false;    ///< true when the board down-clocked
+};
+
+/** Host-side handle to one simulated device. */
+class Device
+{
+  public:
+    /**
+     * @param board  simulated board to drive.
+     * @param seed   seeds the sensor-noise stream.
+     */
+    explicit Device(const sim::PhysicalGpu &board,
+                    std::uint64_t seed = 99);
+
+    /** Device descriptor (Table II data). */
+    const gpu::DeviceDescriptor &descriptor() const
+    {
+        return board_.descriptor();
+    }
+
+    /**
+     * Set application clocks. Fatal when the pair is not in the
+     * supported tables — the NVIDIA driver rejects such requests.
+     */
+    void setApplicationClocks(int mem_mhz, int core_mhz);
+
+    /** Currently requested clocks. */
+    gpu::FreqConfig currentClocks() const { return clocks_; }
+
+    /**
+     * Board power-management limit (the NVML
+     * SetPowerManagementLimit facility). Defaults to the TDP; the
+     * board's automatic clock fallback honours the lower of the two.
+     * Fatal outside the board's supported range [100 W, TDP].
+     */
+    void setPowerLimit(double watts);
+
+    /** Current power-management limit, watts. */
+    double powerLimit() const { return power_limit_w_; }
+
+    /** Sensor refresh period for this device, milliseconds. */
+    double refreshPeriodMs() const;
+
+    /**
+     * Measure the average power of a kernel at the current clocks,
+     * following the paper's methodology (repeat to >= min_duration at
+     * the fastest configuration, average samples, median of
+     * repetitions).
+     */
+    PowerMeasurement measureKernelPower(const sim::KernelDemand &demand,
+                                        int repetitions = 10,
+                                        double min_duration_s = 1.0);
+
+    /** Average idle power at the current clocks (awake, no kernel). */
+    double measureIdlePower(int samples = 20);
+
+    /**
+     * Core clock actually applied when running the demand at the
+     * requested clocks: the highest table entry at or below the request
+     * whose true power respects TDP.
+     */
+    gpu::FreqConfig effectiveClocksFor(const sim::KernelDemand &demand)
+            const;
+
+  private:
+    /** One noisy instantaneous sensor reading of a true power. */
+    double sampleSensor(double true_power_w);
+
+    const sim::PhysicalGpu &board_;
+    gpu::FreqConfig clocks_;
+    double power_limit_w_;
+    Rng noise_;
+};
+
+} // namespace nvml
+} // namespace gpupm
+
+#endif // GPUPM_NVML_DEVICE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Working-set L2 miss model.
+ *
+ * The substrate's kernel demands carry L2 and DRAM traffic as separate
+ * quantities; when a kernel is authored from its *access pattern*
+ * (total L2 traffic + working-set size) instead, this helper derives
+ * the DRAM traffic: a working set resident in the L2 produces only the
+ * cold fill, and beyond the capacity the steady-state hit probability
+ * of a capacity-limited cache under far-reuse access approaches
+ * capacity/working-set, so misses grow smoothly toward streaming.
+ *
+ * This is the mechanism behind the paper's "Input data size"
+ * discussion (Sec. V-B, Fig. 9): a kernel whose input fits in the L2
+ * uses the DRAM differently than the same kernel on a larger input.
+ */
+
+#ifndef GPUPM_SIM_CACHE_MODEL_HH
+#define GPUPM_SIM_CACHE_MODEL_HH
+
+#include "gpu/device.hh"
+#include "sim/kernel.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+/** Fraction of L2 accesses missing to DRAM for a working set. */
+double l2MissRate(double working_set_bytes,
+                  const gpu::DeviceDescriptor &dev);
+
+/**
+ * Derive the DRAM traffic of a demand from its L2 traffic and
+ * working-set size, overwriting bytes_dram_rd/wr.
+ *
+ * @param demand  kernel with authored L2 traffic.
+ * @param working_set_bytes  distinct bytes the kernel touches.
+ * @param dev  device whose L2 capacity applies.
+ */
+KernelDemand applyCacheModel(KernelDemand demand,
+                             double working_set_bytes,
+                             const gpu::DeviceDescriptor &dev);
+
+} // namespace sim
+} // namespace gpupm
+
+#endif // GPUPM_SIM_CACHE_MODEL_HH

@@ -1,0 +1,305 @@
+#include "device_cycle_sim.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/pipeline_detail.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+using gpu::Component;
+using gpu::componentIndex;
+
+namespace
+{
+
+using detail::TokenBucket;
+using detail::latencyOf;
+using detail::unitOf;
+
+/** Per-warp execution state. */
+struct Warp
+{
+    bool active = false;
+    int block = -1;              // owning block id
+    std::size_t phase = 0;       // 0 prologue, 1 body, 2 epilogue
+    std::size_t pc = 0;
+    std::uint64_t trips_left = 0;
+    std::uint64_t ready_at = 0;
+    std::uint64_t chain_ready = 0;
+    bool done = false;
+};
+
+/** Per-SM pipeline state. */
+struct Sm
+{
+    Sm(const gpu::DeviceDescriptor &dev, double warp_size)
+        : int_units(dev.sp_int_units_per_sm / warp_size),
+          sp_units(dev.sp_int_units_per_sm / warp_size),
+          dp_units(dev.dp_units_per_sm / warp_size),
+          sf_units(dev.sf_units_per_sm / warp_size),
+          shared_bw(dev.shared_banks * 4.0),
+          l2_bw(dev.l2_bytes_per_cycle / dev.num_sms)
+    {}
+
+    TokenBucket int_units, sp_units, dp_units, sf_units;
+    TokenBucket shared_bw, l2_bw;
+    std::vector<Warp> warps;
+    int resident_blocks = 0;
+
+    void
+    tick()
+    {
+        int_units.tick();
+        sp_units.tick();
+        dp_units.tick();
+        sf_units.tick();
+        shared_bw.tick();
+        l2_bw.tick();
+    }
+
+    TokenBucket *
+    bucketFor(InstrClass cls)
+    {
+        switch (cls) {
+          case InstrClass::Int: return &int_units;
+          case InstrClass::SP: return &sp_units;
+          case InstrClass::DP: return &dp_units;
+          case InstrClass::SF: return &sf_units;
+          default: return nullptr;
+        }
+    }
+};
+
+const std::vector<Instr> &
+phaseInstrs(const LoopKernel &k, std::size_t phase)
+{
+    switch (phase) {
+      case 0: return k.prologue;
+      case 1: return k.body;
+      default: return k.epilogue;
+    }
+}
+
+/** Initialize a warp at the start of the kernel. */
+void
+resetWarp(Warp &w, const LoopKernel &kernel, int block)
+{
+    w.active = true;
+    w.block = block;
+    w.phase = 0;
+    w.pc = 0;
+    w.trips_left = std::max<std::uint64_t>(kernel.trip_count, 1);
+    w.ready_at = 0;
+    w.chain_ready = 0;
+    w.done = false;
+    if (kernel.prologue.empty()) {
+        w.phase = kernel.body.empty() || kernel.trip_count == 0 ? 2
+                                                                : 1;
+        if (w.phase == 2 && kernel.epilogue.empty())
+            w.done = true;
+    }
+}
+
+} // namespace
+
+DeviceCycleSim::DeviceCycleSim(const gpu::DeviceDescriptor &dev,
+                               const gpu::FreqConfig &cfg)
+    : dev_(dev), cfg_(cfg)
+{
+    GPUPM_ASSERT(cfg.core_mhz > 0 && cfg.mem_mhz > 0,
+                 "bad configuration");
+}
+
+DeviceSimResult
+DeviceCycleSim::run(const LoopKernel &kernel,
+                    const LaunchConfig &launch,
+                    std::uint64_t max_cycles)
+{
+    GPUPM_ASSERT(launch.blocks >= 1 && launch.warps_per_block >= 1 &&
+                         launch.blocks_per_sm >= 1,
+                 "bad launch configuration");
+
+    const double ws = dev_.warp_size;
+    std::vector<Sm> sms(dev_.num_sms, Sm(dev_, ws));
+    for (auto &sm : sms)
+        sm.warps.resize(static_cast<std::size_t>(
+                launch.warps_per_block * launch.blocks_per_sm));
+
+    // One shared DRAM pool for the whole board, in bytes per *core*
+    // cycle.
+    const double clock_ratio =
+            static_cast<double>(cfg_.mem_mhz) / cfg_.core_mhz;
+    TokenBucket dram_bw(dev_.mem_bus_bytes * clock_ratio);
+
+    // Block scheduler state.
+    int next_block = 0;
+    int blocks_done = 0;
+    std::vector<int> block_live_warps(launch.blocks, 0);
+
+    const auto place_block = [&](Sm &sm) {
+        if (next_block >= launch.blocks ||
+            sm.resident_blocks >= launch.blocks_per_sm)
+            return false;
+        const int block = next_block++;
+        int live = 0, placed = 0;
+        for (auto &w : sm.warps) {
+            if (placed == launch.warps_per_block)
+                break;
+            if (w.active)
+                continue;
+            resetWarp(w, kernel, block);
+            ++placed;
+            if (w.done)
+                w.active = false; // degenerate empty kernel
+            else
+                ++live;
+        }
+        if (live == 0) {
+            // Empty kernel: the block retires immediately.
+            ++blocks_done;
+        } else {
+            block_live_warps[block] = live;
+            ++sm.resident_blocks;
+        }
+        return true;
+    };
+
+    // Initial placement: fill every SM up to its block limit.
+    for (auto &sm : sms)
+        while (place_block(sm)) {
+        }
+
+    DeviceSimResult result;
+    gpu::ComponentArray warps_issued{};
+    double bytes_dram = 0.0, bytes_l2 = 0.0, bytes_shared = 0.0;
+    std::uint64_t issued_total = 0;
+    std::uint64_t busy_sm_cycles = 0;
+    const int issue_slots = 4;
+    std::uint64_t cycle = 0;
+
+    for (; blocks_done < launch.blocks && cycle < max_cycles;
+         ++cycle) {
+        dram_bw.tick();
+        for (std::size_t s = 0; s < sms.size(); ++s) {
+            Sm &sm = sms[s];
+            sm.tick();
+            if (sm.resident_blocks > 0)
+                ++busy_sm_cycles;
+
+            int slots = issue_slots;
+            for (std::size_t k = 0;
+                 k < sm.warps.size() && slots > 0; ++k) {
+                Warp &w = sm.warps[(cycle + k) % sm.warps.size()];
+                if (!w.active || w.ready_at > cycle)
+                    continue;
+                const auto &instrs = phaseInstrs(kernel, w.phase);
+                if (w.pc >= instrs.size()) {
+                    if (w.phase == 1 && --w.trips_left > 0) {
+                        w.pc = 0;
+                    } else {
+                        ++w.phase;
+                        w.pc = 0;
+                        while (w.phase < 3 &&
+                               phaseInstrs(kernel, w.phase).empty())
+                            ++w.phase;
+                        if (w.phase == 3) {
+                            // Warp retires; maybe the block does too.
+                            w.active = false;
+                            if (--block_live_warps[w.block] == 0) {
+                                ++blocks_done;
+                                --sm.resident_blocks;
+                                place_block(sm);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                const Instr &ins = instrs[w.pc];
+                if (ins.depends_on_prev && w.chain_ready > cycle)
+                    continue;
+
+                if (TokenBucket *bucket = sm.bucketFor(ins.cls)) {
+                    if (!bucket->take(1.0))
+                        continue;
+                } else if (ins.cls == InstrClass::SharedLd ||
+                           ins.cls == InstrClass::SharedSt) {
+                    // Bank conflicts serialize into extra
+                    // transactions.
+                    if (!sm.shared_bw.take(ins.bytes *
+                                           ins.conflict_ways))
+                        continue;
+                    bytes_shared += ins.bytes;
+                } else if (ins.cls == InstrClass::GlobalLd ||
+                           ins.cls == InstrClass::GlobalSt) {
+                    const bool needs_dram =
+                            !ins.l2_resident && ins.bytes > 0.0;
+                    if (!sm.l2_bw.can(ins.bytes) ||
+                        (needs_dram && !dram_bw.can(ins.bytes)))
+                        continue;
+                    sm.l2_bw.take(ins.bytes);
+                    bytes_l2 += ins.bytes;
+                    if (needs_dram) {
+                        dram_bw.take(ins.bytes);
+                        bytes_dram += ins.bytes;
+                    }
+                }
+
+                --slots;
+                ++issued_total;
+                const Component unit = unitOf(ins.cls);
+                if (unit != Component::NumComponents &&
+                    unit != Component::Shared &&
+                    unit != Component::L2)
+                    warps_issued[componentIndex(unit)] += 1.0;
+
+                w.chain_ready = cycle + latencyOf(ins.cls);
+                w.ready_at = cycle + 1;
+                ++w.pc;
+            }
+        }
+    }
+
+    GPUPM_ASSERT(blocks_done == launch.blocks,
+                 "device simulation exceeded cycle budget (",
+                 max_cycles, ")");
+
+    result.cycles = cycle;
+    result.time_s = static_cast<double>(cycle) /
+                    (1e6 * cfg_.core_mhz);
+    if (cycle == 0)
+        return result;
+
+    // Eq. 8 for the compute units (device-wide averages).
+    const double sm_cycles =
+            static_cast<double>(cycle) * dev_.num_sms;
+    for (Component c : gpu::kComputeUnits) {
+        const std::size_t i = componentIndex(c);
+        result.util[i] = warps_issued[i] * dev_.warp_size /
+                         (sm_cycles * dev_.unitsPerSm(c));
+    }
+    // Eq. 9 for the memory levels.
+    result.util[componentIndex(Component::Shared)] =
+            bytes_shared /
+            (result.time_s *
+             dev_.peakBandwidth(Component::Shared, cfg_));
+    result.util[componentIndex(Component::L2)] =
+            bytes_l2 /
+            (result.time_s * dev_.peakBandwidth(Component::L2, cfg_));
+    result.util[componentIndex(Component::Dram)] =
+            bytes_dram /
+            (result.time_s *
+             dev_.peakBandwidth(Component::Dram, cfg_));
+
+    result.issue_util = static_cast<double>(issued_total) /
+                        (sm_cycles * issue_slots);
+    result.occupancy = static_cast<double>(busy_sm_cycles) /
+                       sm_cycles;
+    return result;
+}
+
+} // namespace sim
+} // namespace gpupm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Device-level cycle-approximate simulator.
+ *
+ * Extends the single-SM pipeline model to a whole board: a grid of
+ * thread blocks is scheduled over all SMs (a new block replaces a
+ * finished one as long as work remains), every SM has its own
+ * execution-unit and shared-memory throughput, and DRAM bandwidth is
+ * one *shared* token pool — the mechanism behind device-level effects
+ * the per-SM model cannot express:
+ *
+ *  - DRAM contention: memory-heavy kernels slow down super-linearly
+ *    as more SMs compete for the same bus;
+ *  - the scheduling tail: grids that are not a multiple of the SM
+ *    count leave SMs idle at the end of the kernel;
+ *  - occupancy: few resident warps per SM expose latency.
+ *
+ * Used for cross-validating the analytic substrate at the device
+ * level and for studying block-scheduling effects; the experiment
+ * harnesses themselves run on the (much faster) analytic model.
+ */
+
+#ifndef GPUPM_SIM_DEVICE_CYCLE_SIM_HH
+#define GPUPM_SIM_DEVICE_CYCLE_SIM_HH
+
+#include <cstdint>
+
+#include "gpu/device.hh"
+#include "sim/sm_cycle_sim.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+/** Launch geometry of a device-level run. */
+struct LaunchConfig
+{
+    int blocks = 1;          ///< thread blocks in the grid
+    int warps_per_block = 8; ///< resident warps contributed per block
+    /** Max blocks resident per SM at once (occupancy limit). */
+    int blocks_per_sm = 2;
+};
+
+/** Result of a device-level simulation. */
+struct DeviceSimResult
+{
+    std::uint64_t cycles = 0;       ///< core cycles to drain the grid
+    double time_s = 0.0;            ///< cycles / fcore
+    /** Eq. 8/9-style utilizations over the whole run. */
+    gpu::ComponentArray util{};
+    double issue_util = 0.0;
+    /** Fraction of SM-cycles with at least one resident block. */
+    double occupancy = 0.0;
+};
+
+/** Whole-board cycle-approximate execution model. */
+class DeviceCycleSim
+{
+  public:
+    DeviceCycleSim(const gpu::DeviceDescriptor &dev,
+                   const gpu::FreqConfig &cfg);
+
+    /** Run a grid of the given kernel to completion. */
+    DeviceSimResult run(const LoopKernel &kernel,
+                        const LaunchConfig &launch,
+                        std::uint64_t max_cycles = 400'000'000);
+
+  private:
+    const gpu::DeviceDescriptor &dev_;
+    gpu::FreqConfig cfg_;
+};
+
+} // namespace sim
+} // namespace gpupm
+
+#endif // GPUPM_SIM_DEVICE_CYCLE_SIM_HH

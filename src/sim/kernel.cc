@@ -1,0 +1,43 @@
+#include "kernel.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+bool
+KernelDemand::empty() const
+{
+    return totalWarpInstructions() == 0.0 && bytes_dram_rd == 0.0 &&
+           bytes_dram_wr == 0.0 && bytes_l2_rd == 0.0 &&
+           bytes_l2_wr == 0.0 && bytes_shared_ld == 0.0 &&
+           bytes_shared_st == 0.0 && latency_cycles == 0.0;
+}
+
+KernelDemand
+KernelDemand::scaled(double s) const
+{
+    KernelDemand d = *this;
+    d.warps_int *= s;
+    d.warps_sp *= s;
+    d.warps_dp *= s;
+    d.warps_sf *= s;
+    d.warps_other *= s;
+    d.bytes_dram_rd *= s;
+    d.bytes_dram_wr *= s;
+    d.bytes_l2_rd *= s;
+    d.bytes_l2_wr *= s;
+    d.bytes_shared_ld *= s;
+    d.bytes_shared_st *= s;
+    d.latency_cycles *= s;
+    return d;
+}
+
+double
+KernelDemand::totalWarpInstructions() const
+{
+    return warps_int + warps_sp + warps_dp + warps_sf + warps_other;
+}
+
+} // namespace sim
+} // namespace gpupm

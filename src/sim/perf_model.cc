@@ -1,0 +1,92 @@
+#include "perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+using gpu::Component;
+using gpu::componentIndex;
+
+AnalyticPerfModel::AnalyticPerfModel(double overlap_p, int issue_slots)
+    : overlap_p_(overlap_p), issue_slots_(issue_slots)
+{
+    GPUPM_ASSERT(overlap_p >= 1.0, "p-norm exponent must be >= 1, got ",
+                 overlap_p);
+    GPUPM_ASSERT(issue_slots >= 1, "issue slots must be >= 1");
+}
+
+ExecutionProfile
+AnalyticPerfModel::execute(const gpu::DeviceDescriptor &dev,
+                           const KernelDemand &demand,
+                           const gpu::FreqConfig &cfg) const
+{
+    GPUPM_ASSERT(cfg.core_mhz > 0 && cfg.mem_mhz > 0,
+                 "non-positive frequency");
+
+    ExecutionProfile prof;
+    if (demand.empty())
+        return prof;
+
+    const double fc_hz = 1e6 * cfg.core_mhz;
+
+    // Per-resource service times.
+    gpu::ComponentArray t{};
+    t[componentIndex(Component::Int)] =
+            demand.warps_int /
+            dev.peakWarpsPerSecond(Component::Int, cfg.core_mhz);
+    t[componentIndex(Component::SP)] =
+            demand.warps_sp /
+            dev.peakWarpsPerSecond(Component::SP, cfg.core_mhz);
+    t[componentIndex(Component::DP)] =
+            demand.warps_dp /
+            dev.peakWarpsPerSecond(Component::DP, cfg.core_mhz);
+    t[componentIndex(Component::SF)] =
+            demand.warps_sf /
+            dev.peakWarpsPerSecond(Component::SF, cfg.core_mhz);
+    t[componentIndex(Component::Shared)] =
+            (demand.bytes_shared_ld + demand.bytes_shared_st) /
+            dev.peakBandwidth(Component::Shared, cfg);
+    t[componentIndex(Component::L2)] =
+            (demand.bytes_l2_rd + demand.bytes_l2_wr) /
+            dev.peakBandwidth(Component::L2, cfg);
+    t[componentIndex(Component::Dram)] =
+            (demand.bytes_dram_rd + demand.bytes_dram_wr) /
+            dev.peakBandwidth(Component::Dram, cfg);
+
+    const double t_issue =
+            demand.totalWarpInstructions() /
+            (fc_hz * dev.num_sms * issue_slots_);
+    const double t_latency = demand.latency_cycles / fc_hz;
+
+    // Smooth maximum over all contributors.
+    double sum_p = std::pow(t_latency, overlap_p_) +
+                   std::pow(t_issue, overlap_p_);
+    for (double ti : t)
+        sum_p += std::pow(ti, overlap_p_);
+    const double time = std::pow(sum_p, 1.0 / overlap_p_);
+    GPUPM_ASSERT(time > 0.0, "zero execution time for non-empty demand");
+
+    prof.time_s = time;
+    prof.active_cycles = time * fc_hz;
+    for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+        prof.util[i] = t[i] / time;
+    prof.util_issue = t_issue / time;
+
+    prof.achieved_bw[componentIndex(Component::Shared)] =
+            (demand.bytes_shared_ld + demand.bytes_shared_st) / time;
+    prof.achieved_bw[componentIndex(Component::L2)] =
+            (demand.bytes_l2_rd + demand.bytes_l2_wr) / time;
+    prof.achieved_bw[componentIndex(Component::Dram)] =
+            (demand.bytes_dram_rd + demand.bytes_dram_wr) / time;
+
+    return prof;
+}
+
+} // namespace sim
+} // namespace gpupm

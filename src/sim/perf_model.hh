@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytic steady-state performance model of a GPU.
+ *
+ * Execution time at a V-F configuration is the smooth maximum (p-norm)
+ * of the per-resource service times: each compute-unit class, each
+ * memory level, the issue stage, and the exposed-latency floor. The
+ * smooth maximum models the imperfect overlap of real kernels — the
+ * bottleneck resource therefore saturates near (but not at) 1.0
+ * utilization, matching the measured behaviour in the paper's Fig. 2
+ * and Fig. 5A.
+ *
+ * Because DRAM service time scales with fmem while everything else
+ * scales with fcore, utilizations shift with the configuration exactly
+ * the way they do on hardware: a DRAM-bound kernel stretched by a lower
+ * memory clock idles its core units, which is the physical effect
+ * behind the paper's error growth away from the reference configuration
+ * (Fig. 8).
+ */
+
+#ifndef GPUPM_SIM_PERF_MODEL_HH
+#define GPUPM_SIM_PERF_MODEL_HH
+
+#include "gpu/device.hh"
+#include "sim/kernel.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+/** Outcome of executing one kernel at one V-F configuration. */
+struct ExecutionProfile
+{
+    double time_s = 0.0;            ///< kernel execution time
+    gpu::ComponentArray util{};     ///< true utilization per component
+    double util_issue = 0.0;        ///< issue-stage activity (hidden)
+    double active_cycles = 0.0;     ///< per-SM active core cycles
+
+    /** Achieved bandwidth of a memory level, bytes/s. */
+    gpu::ComponentArray achieved_bw{};
+};
+
+/** Analytic multi-resource bottleneck performance model. */
+class AnalyticPerfModel
+{
+  public:
+    /**
+     * @param overlap_p  p-norm exponent of the smooth maximum; larger
+     *                   means better compute/memory overlap. 6 matches
+     *                   the bottleneck utilizations (~0.85-0.92)
+     *                   observed on real devices.
+     * @param issue_slots  warp instructions issuable per SM per cycle;
+     *                      6 reflects four schedulers with dual-issue
+     *                      headroom, so a saturated FMA stream is not
+     *                      artificially issue-bound.
+     */
+    explicit AnalyticPerfModel(double overlap_p = 6.0,
+                               int issue_slots = 6);
+
+    /** Execute a kernel demand at a configuration. */
+    ExecutionProfile execute(const gpu::DeviceDescriptor &dev,
+                             const KernelDemand &demand,
+                             const gpu::FreqConfig &cfg) const;
+
+    /** The p-norm exponent in use. */
+    double overlapP() const { return overlap_p_; }
+
+    /** Warp instructions issuable per SM per cycle. */
+    int issueSlots() const { return issue_slots_; }
+
+  private:
+    double overlap_p_;
+    int issue_slots_;
+};
+
+} // namespace sim
+} // namespace gpupm
+
+#endif // GPUPM_SIM_PERF_MODEL_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Ground-truth "silicon": the hidden physical power model of each
+ * simulated device.
+ *
+ * This class plays the role the actual GPU board plays in the paper:
+ * given a kernel and a V-F configuration it produces the *true* average
+ * power, computed from the true (frequency-dependent) utilizations, the
+ * true voltage curves and the true per-component coefficients. The
+ * estimator under test only ever observes this through the NVML facade
+ * (noisy, sampled power) and the CUPTI facade (noisy counters at the
+ * reference configuration) — it must recover these hidden parameters.
+ *
+ * The true power follows the same structural decomposition the paper
+ * argues from Eqs. 1-2 (static ~ V, constant-per-level ~ V^2 f, dynamic
+ * ~ V^2 f U), plus a deliberately unmodelled term driven by issue-stage
+ * activity that no Table I event exposes — the paper's "power of other
+ * non-modelled GPU components".
+ */
+
+#ifndef GPUPM_SIM_PHYSICAL_GPU_HH
+#define GPUPM_SIM_PHYSICAL_GPU_HH
+
+#include "gpu/device.hh"
+#include "sim/kernel.hh"
+#include "sim/perf_model.hh"
+#include "sim/voltage.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+/** Hidden physical coefficients of one device. */
+struct GroundTruth
+{
+    double static_core_w = 0.0;   ///< core static power at Vref, W
+    double idle_core_w_ghz = 0.0; ///< core V^2 f idle coefficient, W/GHz
+    double static_mem_w = 0.0;    ///< memory static power at Vref, W
+    double idle_mem_w_ghz = 0.0;  ///< memory V^2 f idle coeff, W/GHz
+
+    /**
+     * Dynamic coefficient per modelled component, W/GHz at full
+     * utilization and reference voltage. The DRAM slot belongs to the
+     * memory domain; all others to the core domain.
+     */
+    gpu::ComponentArray gamma_w_ghz{};
+
+    /** Hidden issue-activity coefficient (unmodelled power), W/GHz. */
+    double gamma_issue_w_ghz = 0.0;
+
+    /**
+     * Active-residency coefficient, W/GHz: dynamic power the SMs burn
+     * whenever a kernel is resident, even while every warp is stalled
+     * on memory (scheduler polling, scoreboards, clock trees). This is
+     * why a memory-stretched kernel does not see its core power drop
+     * proportionally to its utilization on real boards.
+     */
+    double gamma_active_w_ghz = 0.0;
+
+    /** True core-domain V(f). */
+    VoltageCurve core_voltage = VoltageCurve::constant(1.0);
+    /** True memory-domain V(f) (constant on all three devices). */
+    VoltageCurve mem_voltage = VoltageCurve::constant(1.35);
+
+    /**
+     * Thermal feedback (disabled by default). When the thermal
+     * resistance is non-zero, the steady-state die temperature is
+     * T = ambient + R * P, and the static power grows with
+     * temperature (leakage): static *= 1 + k * (T - ambient). The
+     * paper's model (like most event-based models) has no temperature
+     * input, so enabling this creates a power component it cannot
+     * explain — the substrate's built-in limitation study.
+     */
+    double thermal_resistance_c_w = 0.0; ///< deg C per watt
+    double ambient_c = 25.0;             ///< ambient temperature
+    double leakage_temp_coeff = 0.0;     ///< static fraction per deg C
+};
+
+/** Per-domain/per-component decomposition of a true power sample. */
+struct TruePowerBreakdown
+{
+    double total_w = 0.0;
+    double constant_w = 0.0;       ///< static + idle, both domains
+    double core_dynamic_w = 0.0;   ///< modelled core components
+    double mem_dynamic_w = 0.0;    ///< DRAM dynamic
+    double hidden_w = 0.0;         ///< unmodelled issue-driven power
+    gpu::ComponentArray component_w{};
+    /** Steady-state die temperature (ambient when thermal feedback is
+     *  disabled). */
+    double temperature_c = 25.0;
+};
+
+/** The simulated board: descriptor + ground truth + perf model. */
+class PhysicalGpu
+{
+  public:
+    /** Build the simulated board for one of the evaluated devices. */
+    explicit PhysicalGpu(gpu::DeviceKind kind);
+
+    /** Build with explicit ground truth (for tests and ablations). */
+    PhysicalGpu(const gpu::DeviceDescriptor &desc, GroundTruth truth,
+                AnalyticPerfModel perf = AnalyticPerfModel());
+
+    const gpu::DeviceDescriptor &descriptor() const { return desc_; }
+    const GroundTruth &groundTruth() const { return truth_; }
+    const AnalyticPerfModel &perfModel() const { return perf_; }
+
+    /** Execute a kernel, returning its true execution profile. */
+    ExecutionProfile execute(const KernelDemand &demand,
+                             const gpu::FreqConfig &cfg) const;
+
+    /** True average power while running the given profile. */
+    TruePowerBreakdown truePower(const ExecutionProfile &prof,
+                                 const gpu::FreqConfig &cfg) const;
+
+    /** True power with the GPU awake but no kernel resident. */
+    TruePowerBreakdown idlePower(const gpu::FreqConfig &cfg) const;
+
+    /** True normalized core voltage at a core frequency. */
+    double trueCoreVoltageNorm(int core_mhz) const;
+
+    /** True normalized memory voltage at a memory frequency. */
+    double trueMemVoltageNorm(int mem_mhz) const;
+
+    /** Default ground truth used for a device kind. */
+    static GroundTruth defaultGroundTruth(gpu::DeviceKind kind);
+
+  private:
+    gpu::DeviceDescriptor desc_;
+    GroundTruth truth_;
+    AnalyticPerfModel perf_;
+};
+
+} // namespace sim
+} // namespace gpupm
+
+#endif // GPUPM_SIM_PHYSICAL_GPU_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Internal pieces shared by the cycle-approximate execution models
+ * (single-SM and device-level): instruction classification, latency
+ * table and the debt-capable throughput token bucket. Not part of the
+ * public API.
+ */
+
+#ifndef GPUPM_SIM_PIPELINE_DETAIL_HH
+#define GPUPM_SIM_PIPELINE_DETAIL_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "gpu/components.hh"
+#include "sim/sm_cycle_sim.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+namespace detail
+{
+
+/** Execution-unit component behind an instruction class
+ *  (NumComponents for issue-only instructions). */
+inline gpu::Component
+unitOf(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::Int: return gpu::Component::Int;
+      case InstrClass::SP: return gpu::Component::SP;
+      case InstrClass::DP: return gpu::Component::DP;
+      case InstrClass::SF: return gpu::Component::SF;
+      case InstrClass::SharedLd:
+      case InstrClass::SharedSt:
+        return gpu::Component::Shared;
+      case InstrClass::GlobalLd:
+      case InstrClass::GlobalSt:
+        return gpu::Component::L2;
+      case InstrClass::Control:
+      default:
+        return gpu::Component::NumComponents;
+    }
+}
+
+/** Result-availability latency in core cycles. */
+inline std::uint64_t
+latencyOf(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::Int: return 6;
+      case InstrClass::SP: return 6;
+      case InstrClass::DP: return 8;
+      case InstrClass::SF: return 12;
+      case InstrClass::SharedLd: return 28;
+      case InstrClass::SharedSt: return 4;
+      case InstrClass::GlobalLd: return 380;
+      case InstrClass::GlobalSt: return 8;
+      case InstrClass::Control: return 1;
+      default: return 1;
+    }
+}
+
+/**
+ * Fractional-capacity token bucket (units-per-cycle throughput).
+ * Requests larger than one cycle's refill drive the balance negative
+ * (debt); the resource refuses further requests until repaid — a
+ * multi-cycle occupancy model that cannot deadlock wide transactions.
+ */
+class TokenBucket
+{
+  public:
+    explicit TokenBucket(double per_cycle) : per_cycle_(per_cycle)
+    {
+        GPUPM_ASSERT(per_cycle > 0.0, "zero-throughput resource");
+    }
+
+    /** Refill at the start of a cycle. */
+    void
+    tick()
+    {
+        tokens_ = std::min(tokens_ + per_cycle_, 4.0 * per_cycle_);
+    }
+
+    /** Whether a request may issue now (no outstanding debt). */
+    bool
+    can(double amount) const
+    {
+        return amount <= 0.0 || tokens_ > 0.0;
+    }
+
+    /** Try to draw the given amount; false when in debt. */
+    bool
+    take(double amount)
+    {
+        if (!can(amount))
+            return false;
+        tokens_ -= amount;
+        return true;
+    }
+
+  private:
+    double per_cycle_;
+    double tokens_ = 0.0;
+};
+
+} // namespace detail
+} // namespace sim
+} // namespace gpupm
+
+#endif // GPUPM_SIM_PIPELINE_DETAIL_HH

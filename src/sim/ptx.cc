@@ -1,0 +1,331 @@
+#include "ptx.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+namespace
+{
+
+/** One tokenized PTX statement. */
+struct PtxStmt
+{
+    std::string opcode;              ///< full dotted opcode
+    std::vector<std::string> args;   ///< operands, brackets stripped
+    std::string label;               ///< non-empty for "NAME:" lines
+    bool is_branch = false;
+    std::string branch_target;
+};
+
+/** Strip comments and whitespace; empty string when nothing left. */
+std::string
+cleanLine(std::string line)
+{
+    if (const auto pos = line.find("//"); pos != std::string::npos)
+        line.erase(pos);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = line.find_last_not_of(" \t\r");
+    return line.substr(first, last - first + 1);
+}
+
+PtxStmt
+tokenize(const std::string &line)
+{
+    PtxStmt s;
+    // Label line: "NAME:".
+    if (line.back() == ':' &&
+        line.find_first_of(" \t") == std::string::npos) {
+        s.label = line.substr(0, line.size() - 1);
+        return s;
+    }
+
+    std::string body = line;
+    if (body.back() == ';')
+        body.pop_back();
+
+    std::istringstream is(body);
+    is >> s.opcode;
+    if (s.opcode == "bra" || s.opcode.starts_with("bra.")) {
+        s.is_branch = true;
+        is >> s.branch_target;
+        return s;
+    }
+
+    std::string rest;
+    std::getline(is, rest);
+    // Split operands on commas; strip brackets and spaces.
+    std::string cur;
+    for (char c : rest + ",") {
+        if (c == ',') {
+            std::string arg;
+            for (char ac : cur)
+                if (!std::isspace(static_cast<unsigned char>(ac)) &&
+                    ac != '[' && ac != ']')
+                    arg += ac;
+            if (!arg.empty())
+                s.args.push_back(arg);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    return s;
+}
+
+/** Bytes per thread for a PTX type suffix. */
+double
+typeBytes(const std::string &opcode)
+{
+    double width = 4.0;
+    if (opcode.find(".f64") != std::string::npos ||
+        opcode.find(".s64") != std::string::npos ||
+        opcode.find(".u64") != std::string::npos ||
+        opcode.find(".b64") != std::string::npos)
+        width = 8.0;
+    if (opcode.find(".v2.") != std::string::npos)
+        width *= 2.0;
+    if (opcode.find(".v4.") != std::string::npos)
+        width *= 4.0;
+    return width;
+}
+
+/** Classify a non-memory opcode. */
+InstrClass
+classify(const std::string &op)
+{
+    static const char *sf_ops[] = {"sin", "cos", "lg2", "ex2",
+                                   "sqrt", "rsqrt", "rcp"};
+    const std::string stem = op.substr(0, op.find('.'));
+    for (const char *sf : sf_ops)
+        if (stem == sf)
+            return InstrClass::SF;
+
+    static const char *arith[] = {"add", "sub", "mul", "mad",
+                                  "fma", "div", "min", "max",
+                                  "abs", "neg"};
+    bool is_arith = false;
+    for (const char *a : arith)
+        if (stem == a)
+            is_arith = true;
+    if (!is_arith)
+        return InstrClass::Control; // mov, cvt, setp, selp, ...
+
+    if (op.find(".f64") != std::string::npos)
+        return InstrClass::DP;
+    if (op.find(".f32") != std::string::npos ||
+        op.find(".f16") != std::string::npos)
+        return InstrClass::SP;
+    return InstrClass::Int; // .s32/.u32/.b32/...
+}
+
+/** Destination register of a statement ("" when none). */
+std::string
+destOf(const PtxStmt &s)
+{
+    if (s.args.empty() || s.opcode.starts_with("st.") ||
+        s.opcode.starts_with("setp") || s.is_branch)
+        return "";
+    return s.args.front();
+}
+
+/** Whether any source operand of s reads the given register. */
+bool
+readsRegister(const PtxStmt &s, const std::string &reg)
+{
+    if (reg.empty())
+        return false;
+    const std::size_t first_src =
+            s.opcode.starts_with("st.") ? 0 : 1;
+    for (std::size_t i = first_src; i < s.args.size(); ++i)
+        if (s.args[i] == reg)
+            return true;
+    return false;
+}
+
+Instr
+toInstr(const PtxStmt &s, bool depends)
+{
+    Instr ins;
+    ins.depends_on_prev = depends;
+    const double warp_bytes = 32.0 * typeBytes(s.opcode);
+    if (s.opcode.starts_with("ld.global")) {
+        ins.cls = InstrClass::GlobalLd;
+        ins.bytes = warp_bytes;
+    } else if (s.opcode.starts_with("st.global")) {
+        ins.cls = InstrClass::GlobalSt;
+        ins.bytes = warp_bytes;
+    } else if (s.opcode.starts_with("ld.shared")) {
+        ins.cls = InstrClass::SharedLd;
+        ins.bytes = warp_bytes;
+    } else if (s.opcode.starts_with("st.shared")) {
+        ins.cls = InstrClass::SharedSt;
+        ins.bytes = warp_bytes;
+    } else {
+        ins.cls = classify(s.opcode);
+    }
+    return ins;
+}
+
+/** Parse a literal integer; 0 when not a number. */
+std::uint64_t
+parseInt(const std::string &s)
+{
+    if (s.empty())
+        return 0;
+    for (char c : s)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return 0;
+    return std::stoull(s);
+}
+
+} // namespace
+
+LoopKernel
+parsePtxKernel(const std::string &text,
+               std::uint64_t trip_count_override)
+{
+    std::vector<PtxStmt> stmts;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::string clean = cleanLine(line);
+        if (clean.empty())
+            continue;
+        stmts.push_back(tokenize(clean));
+    }
+    GPUPM_FATAL_IF(stmts.empty(), "empty PTX kernel");
+
+    // Find the loop: the first backward branch to a seen label.
+    std::map<std::string, std::size_t> labels;
+    std::size_t loop_begin = stmts.size(), loop_end = stmts.size();
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+        if (!stmts[i].label.empty()) {
+            labels[stmts[i].label] = i;
+        } else if (stmts[i].is_branch) {
+            auto it = labels.find(stmts[i].branch_target);
+            GPUPM_FATAL_IF(it == labels.end(),
+                           "branch to unknown or forward label '",
+                           stmts[i].branch_target, "'");
+            loop_begin = it->second;
+            loop_end = i;
+            break;
+        }
+    }
+
+    // Infer the trip count from the loop bookkeeping: the setp's
+    // bound divided by the total per-iteration increment of the
+    // compared register.
+    std::uint64_t trips = trip_count_override;
+    if (trips == 0 && loop_end < stmts.size()) {
+        std::string counter;
+        std::uint64_t bound = 0;
+        for (std::size_t i = loop_begin; i < loop_end; ++i) {
+            const PtxStmt &s = stmts[i];
+            if (s.opcode.starts_with("setp") && s.args.size() >= 3) {
+                counter = s.args[1];
+                bound = parseInt(s.args[2]);
+            }
+        }
+        if (!counter.empty() && bound > 0) {
+            std::uint64_t step = 0;
+            for (std::size_t i = loop_begin; i < loop_end; ++i) {
+                const PtxStmt &s = stmts[i];
+                if (s.opcode.starts_with("add") &&
+                    s.args.size() >= 3 && s.args[0] == counter) {
+                    step += parseInt(s.args[2]);
+                }
+            }
+            if (step > 0)
+                trips = (bound + step - 1) / step;
+        }
+    }
+    if (trips == 0)
+        trips = 1;
+
+    // Assemble phases with register-dependency tracking.
+    LoopKernel k;
+    k.trip_count = trips;
+    std::string prev_dest;
+    const auto emit = [&](std::vector<Instr> &out, const PtxStmt &s) {
+        if (!s.label.empty() || s.is_branch) {
+            if (s.is_branch)
+                out.push_back({InstrClass::Control, 0.0, true, false});
+            prev_dest.clear();
+            return;
+        }
+        out.push_back(toInstr(s, readsRegister(s, prev_dest)));
+        prev_dest = destOf(s);
+    };
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+        if (i < loop_begin)
+            emit(k.prologue, stmts[i]);
+        else if (i <= loop_end && loop_end < stmts.size())
+            emit(k.body, stmts[i]);
+        else
+            emit(k.epilogue, stmts[i]);
+    }
+    return k;
+}
+
+KernelDemand
+demandFromLoop(const LoopKernel &kernel, double threads,
+               const std::string &name)
+{
+    GPUPM_ASSERT(threads >= 32.0, "need at least one warp");
+    const double warps = threads / 32.0;
+
+    KernelDemand d;
+    d.name = name;
+    const auto account = [&](const Instr &ins, double times) {
+        const double n = warps * times;
+        switch (ins.cls) {
+          case InstrClass::Int: d.warps_int += n; break;
+          case InstrClass::SP: d.warps_sp += n; break;
+          case InstrClass::DP: d.warps_dp += n; break;
+          case InstrClass::SF: d.warps_sf += n; break;
+          case InstrClass::SharedLd:
+            d.warps_other += n;
+            d.bytes_shared_ld += n * ins.bytes;
+            break;
+          case InstrClass::SharedSt:
+            d.warps_other += n;
+            d.bytes_shared_st += n * ins.bytes;
+            break;
+          case InstrClass::GlobalLd:
+            d.warps_other += n;
+            d.bytes_l2_rd += n * ins.bytes;
+            if (!ins.l2_resident)
+                d.bytes_dram_rd += n * ins.bytes;
+            break;
+          case InstrClass::GlobalSt:
+            d.warps_other += n;
+            d.bytes_l2_wr += n * ins.bytes;
+            if (!ins.l2_resident)
+                d.bytes_dram_wr += n * ins.bytes;
+            break;
+          case InstrClass::Control:
+            d.warps_other += n;
+            break;
+        }
+    };
+    for (const Instr &ins : kernel.prologue)
+        account(ins, 1.0);
+    for (const Instr &ins : kernel.body)
+        account(ins, static_cast<double>(kernel.trip_count));
+    for (const Instr &ins : kernel.epilogue)
+        account(ins, 1.0);
+    return d;
+}
+
+} // namespace sim
+} // namespace gpupm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PTX-subset kernel frontend.
+ *
+ * The paper specifies its microbenchmarks at the PTX level (Fig. 4:
+ * four fused-multiply-add chains, 32-wide unrolling, add/setp/bra
+ * bookkeeping). This module parses that PTX subset into the
+ * LoopKernel representation the cycle-level SM simulator executes and
+ * into the aggregate KernelDemand the analytic substrate consumes, so
+ * new microbenchmarks can be authored exactly the way the paper
+ * presents them.
+ *
+ * Supported instruction classes:
+ *  - arithmetic: add/sub/mul/mad/fma/div on .f32 (SP), .f64 (DP) and
+ *    .s32/.u32/.b32 (INT);
+ *  - transcendental: sin/cos/lg2/ex2/sqrt/rsqrt .approx (SF);
+ *  - memory: ld.global/st.global (L2+DRAM), ld.shared/st.shared;
+ *  - everything else (mov, cvt, setp, bra, labels) issues only.
+ *
+ * Loop structure: the region between a label and the backward `bra`
+ * to it is the loop body; the trip count is inferred from the
+ * `setp`/`add` bookkeeping (bound / per-iteration increment) or can
+ * be overridden.
+ */
+
+#ifndef GPUPM_SIM_PTX_HH
+#define GPUPM_SIM_PTX_HH
+
+#include <string>
+
+#include "sim/kernel.hh"
+#include "sim/sm_cycle_sim.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+/** Parse a PTX-subset kernel body into a LoopKernel. Fatal on
+ *  malformed input.
+ *
+ * @param text  PTX text (comments with // are ignored).
+ * @param trip_count_override  when non-zero, overrides the inferred
+ *                             loop trip count.
+ */
+LoopKernel parsePtxKernel(const std::string &text,
+                          std::uint64_t trip_count_override = 0);
+
+/**
+ * Derive the device-wide aggregate demand of launching a LoopKernel
+ * over the given number of threads (32 threads per warp; memory
+ * instruction bytes are per warp).
+ *
+ * @param kernel  parsed kernel.
+ * @param threads  total launched threads.
+ * @param name  kernel name for the demand.
+ * @param l2_resident_global  account global traffic as L2-only
+ *                            (working set fits in L2).
+ */
+KernelDemand demandFromLoop(const LoopKernel &kernel, double threads,
+                            const std::string &name);
+
+} // namespace sim
+} // namespace gpupm
+
+#endif // GPUPM_SIM_PTX_HH

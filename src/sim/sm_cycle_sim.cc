@@ -1,0 +1,206 @@
+#include "sm_cycle_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/pipeline_detail.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+using gpu::Component;
+using gpu::componentIndex;
+
+namespace
+{
+
+using detail::TokenBucket;
+using detail::latencyOf;
+using detail::unitOf;
+
+/** Per-warp program counter state. */
+struct WarpState
+{
+    std::size_t phase = 0;       // 0 prologue, 1 body, 2 epilogue, 3 done
+    std::size_t pc = 0;          // index within current phase
+    std::uint64_t trips_left = 0;
+    std::uint64_t ready_at = 0;  // cycle when next issue may happen
+    std::uint64_t chain_ready = 0; // when the previous result lands
+};
+
+const std::vector<Instr> &
+phaseInstrs(const LoopKernel &k, std::size_t phase)
+{
+    switch (phase) {
+      case 0: return k.prologue;
+      case 1: return k.body;
+      default: return k.epilogue;
+    }
+}
+
+} // namespace
+
+SmCycleSim::SmCycleSim(const gpu::DeviceDescriptor &dev,
+                       const gpu::FreqConfig &cfg, int num_warps)
+    : dev_(dev), cfg_(cfg), num_warps_(num_warps)
+{
+    GPUPM_ASSERT(num_warps >= 1, "need at least one warp");
+}
+
+SmSimResult
+SmCycleSim::run(const LoopKernel &kernel, std::uint64_t max_cycles)
+{
+    // Per-cycle unit capacities (warps/cycle for compute, bytes/cycle
+    // for memory paths). Global traffic shares the per-SM slice of the
+    // device DRAM budget, scaled by the clock ratio since the SM is
+    // clocked at fcore but DRAM at fmem.
+    const double ws = dev_.warp_size;
+    TokenBucket int_units(dev_.sp_int_units_per_sm / ws);
+    TokenBucket sp_units(dev_.sp_int_units_per_sm / ws);
+    TokenBucket dp_units(dev_.dp_units_per_sm / ws);
+    TokenBucket sf_units(dev_.sf_units_per_sm / ws);
+    TokenBucket shared_bw(dev_.shared_banks * 4.0);
+    const double clock_ratio =
+            static_cast<double>(cfg_.mem_mhz) / cfg_.core_mhz;
+    TokenBucket dram_bw(dev_.mem_bus_bytes * clock_ratio /
+                        dev_.num_sms);
+    TokenBucket l2_bw(dev_.l2_bytes_per_cycle / dev_.num_sms);
+
+    auto bucket_for = [&](InstrClass cls) -> TokenBucket * {
+        switch (cls) {
+          case InstrClass::Int: return &int_units;
+          case InstrClass::SP: return &sp_units;
+          case InstrClass::DP: return &dp_units;
+          case InstrClass::SF: return &sf_units;
+          default: return nullptr;
+        }
+    };
+
+    std::vector<WarpState> warps(num_warps_);
+    std::size_t done = 0;
+    for (auto &w : warps) {
+        w.trips_left = std::max<std::uint64_t>(kernel.trip_count, 1);
+        if (kernel.prologue.empty()) {
+            w.phase = kernel.body.empty() || kernel.trip_count == 0
+                              ? 2
+                              : 1;
+            if (w.phase == 2 && kernel.epilogue.empty())
+                w.phase = 3;
+        }
+        if (w.phase == 3)
+            ++done;
+    }
+
+    SmSimResult result;
+    const int issue_slots = 4;
+    std::uint64_t issued_total = 0;
+    std::uint64_t cycle = 0;
+
+    for (; done < warps.size() && cycle < max_cycles; ++cycle) {
+        int_units.tick();
+        sp_units.tick();
+        dp_units.tick();
+        sf_units.tick();
+        shared_bw.tick();
+        dram_bw.tick();
+        l2_bw.tick();
+
+        int slots = issue_slots;
+        // Greedy round-robin over warps starting at a rotating origin
+        // so no warp starves.
+        for (std::size_t k = 0; k < warps.size() && slots > 0; ++k) {
+            WarpState &w = warps[(cycle + k) % warps.size()];
+            if (w.phase == 3 || w.ready_at > cycle)
+                continue;
+            const auto &instrs = phaseInstrs(kernel, w.phase);
+            if (w.pc >= instrs.size()) {
+                // Advance phase.
+                if (w.phase == 1 && --w.trips_left > 0) {
+                    w.pc = 0;
+                } else {
+                    ++w.phase;
+                    w.pc = 0;
+                    while (w.phase < 3 &&
+                           phaseInstrs(kernel, w.phase).empty())
+                        ++w.phase;
+                    if (w.phase == 1 && kernel.trip_count == 0)
+                        w.phase = 2;
+                    if (w.phase == 3)
+                        ++done;
+                }
+                continue;
+            }
+            const Instr &ins = instrs[w.pc];
+            if (ins.depends_on_prev && w.chain_ready > cycle)
+                continue;
+
+            // Unit throughput for compute classes.
+            if (TokenBucket *bucket = bucket_for(ins.cls)) {
+                if (!bucket->take(1.0))
+                    continue;
+            } else if (ins.cls == InstrClass::SharedLd ||
+                       ins.cls == InstrClass::SharedSt) {
+                // Bank conflicts serialize into extra transactions.
+                if (!shared_bw.take(ins.bytes * ins.conflict_ways))
+                    continue;
+            } else if (ins.cls == InstrClass::GlobalLd ||
+                       ins.cls == InstrClass::GlobalSt) {
+                // Global accesses consume both L2 and DRAM bandwidth
+                // (the microbenchmarks are sized to miss in L2 unless
+                // flagged with zero DRAM bytes).
+                // Draw L2 and (unless resident) DRAM tokens
+                // atomically so a short DRAM budget cannot leak L2
+                // tokens.
+                const bool needs_dram =
+                        !ins.l2_resident && ins.bytes > 0.0;
+                if (!l2_bw.can(ins.bytes) ||
+                    (needs_dram && !dram_bw.can(ins.bytes))) {
+                    continue;
+                }
+                l2_bw.take(ins.bytes);
+                if (needs_dram)
+                    dram_bw.take(ins.bytes);
+            }
+
+            // Issue.
+            --slots;
+            ++issued_total;
+            const Component unit = unitOf(ins.cls);
+            if (unit != Component::NumComponents)
+                result.warps_issued[componentIndex(unit)] += 1.0;
+            if (ins.cls == InstrClass::GlobalLd ||
+                ins.cls == InstrClass::GlobalSt) {
+                result.warps_issued[componentIndex(Component::Dram)] +=
+                        1.0;
+            }
+
+            w.chain_ready = cycle + latencyOf(ins.cls);
+            w.ready_at = cycle + 1; // one issue per warp per cycle
+            ++w.pc;
+        }
+    }
+
+    GPUPM_ASSERT(done == warps.size(),
+                 "SM simulation exceeded cycle budget (", max_cycles,
+                 ")");
+
+    result.cycles = cycle;
+    if (cycle == 0)
+        return result;
+
+    // Eq. 8 utilizations for the compute units.
+    for (Component c : gpu::kComputeUnits) {
+        const std::size_t i = componentIndex(c);
+        result.util[i] = result.warps_issued[i] * dev_.warp_size /
+                         (static_cast<double>(cycle) * dev_.unitsPerSm(c));
+    }
+    result.issue_util = static_cast<double>(issued_total) /
+                        (static_cast<double>(cycle) * issue_slots);
+    return result;
+}
+
+} // namespace sim
+} // namespace gpupm

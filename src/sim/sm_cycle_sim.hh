@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cycle-approximate simulator of a single streaming multiprocessor.
+ *
+ * The analytic model (perf_model.hh) is the substrate the experiment
+ * harnesses run on; this simulator provides an independent, lower-level
+ * cross-check. It executes the *actual loop bodies* of the Fig. 3/4
+ * microbenchmarks — warps issuing dependent instructions through
+ * throughput-limited unit pipelines with memory latencies and
+ * bandwidth budgets — and reports the same Eq. 8-style utilizations,
+ * which the tests compare against the analytic prediction.
+ */
+
+#ifndef GPUPM_SIM_SM_CYCLE_SIM_HH
+#define GPUPM_SIM_SM_CYCLE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/device.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+/** Instruction classes understood by the SM pipeline model. */
+enum class InstrClass
+{
+    Int,       ///< integer ALU op
+    SP,        ///< single-precision FMA
+    DP,        ///< double-precision FMA
+    SF,        ///< transcendental (SFU)
+    SharedLd,  ///< shared-memory load
+    SharedSt,  ///< shared-memory store
+    GlobalLd,  ///< global load (L2 + DRAM)
+    GlobalSt,  ///< global store (L2 + DRAM)
+    Control,   ///< branch / address / move (issue only)
+};
+
+/** One static instruction in a loop body. */
+struct Instr
+{
+    InstrClass cls = InstrClass::Int;
+    /** Bytes moved per warp for memory classes (typ. 128 = 32 x 4B). */
+    double bytes = 0.0;
+    /**
+     * True when the instruction depends on the previous one in the
+     * body. Independent chains (the 4 registers of Fig. 3a) set false.
+     */
+    bool depends_on_prev = true;
+    /** Global access served by the L2 without touching DRAM. */
+    bool l2_resident = false;
+    /**
+     * Shared-memory bank-conflict degree: an n-way conflict
+     * serializes the access into n bank transactions, consuming n
+     * times the bank bandwidth (1 = conflict-free, the Fig. 3c
+     * design goal).
+     */
+    int conflict_ways = 1;
+};
+
+/** A kernel body as executed per warp. */
+struct LoopKernel
+{
+    std::vector<Instr> prologue;  ///< executed once (initial loads)
+    std::vector<Instr> body;      ///< executed trip_count times
+    std::vector<Instr> epilogue;  ///< executed once (final store)
+    std::uint64_t trip_count = 1;
+};
+
+/** Result of simulating one SM. */
+struct SmSimResult
+{
+    std::uint64_t cycles = 0;      ///< total core cycles
+    /** Eq. 8 utilization per compute unit plus memory levels. */
+    gpu::ComponentArray util{};
+    /** Warp-instructions issued per component class. */
+    gpu::ComponentArray warps_issued{};
+    double issue_util = 0.0;       ///< fraction of issue slots used
+};
+
+/** Cycle-approximate single-SM execution model. */
+class SmCycleSim
+{
+  public:
+    /**
+     * @param dev  device whose per-SM resources are modelled.
+     * @param cfg  operating point (fmem/fcore sets the DRAM budget).
+     * @param num_warps  resident warps on the SM.
+     */
+    SmCycleSim(const gpu::DeviceDescriptor &dev,
+               const gpu::FreqConfig &cfg, int num_warps);
+
+    /** Run every warp to completion and report utilizations. */
+    SmSimResult run(const LoopKernel &kernel,
+                    std::uint64_t max_cycles = 200'000'000);
+
+  private:
+    const gpu::DeviceDescriptor &dev_;
+    gpu::FreqConfig cfg_;
+    int num_warps_;
+};
+
+} // namespace sim
+} // namespace gpupm
+
+#endif // GPUPM_SIM_SM_CYCLE_SIM_HH

@@ -1,0 +1,54 @@
+#include "voltage.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+VoltageCurve
+VoltageCurve::constant(double volts)
+{
+    GPUPM_ASSERT(volts > 0.0, "non-positive voltage");
+    return VoltageCurve(0.0, volts, 0.0);
+}
+
+VoltageCurve
+VoltageCurve::twoRegion(double knee_mhz, double v_floor, double v_top,
+                        double top_mhz)
+{
+    GPUPM_ASSERT(top_mhz > knee_mhz, "top frequency below knee");
+    GPUPM_ASSERT(v_top >= v_floor, "top voltage below floor");
+    const double slope = (v_top - v_floor) / (top_mhz - knee_mhz);
+    return VoltageCurve(knee_mhz, v_floor, slope);
+}
+
+VoltageCurve
+VoltageCurve::quantized(double step_v) const
+{
+    GPUPM_ASSERT(step_v >= 0.0, "negative quantization step");
+    VoltageCurve out = *this;
+    out.step_v_ = step_v;
+    return out;
+}
+
+double
+VoltageCurve::volts(double f_mhz) const
+{
+    double v = f_mhz <= knee_mhz_
+                       ? v_floor_
+                       : v_floor_ + slope_ * (f_mhz - knee_mhz_);
+    if (step_v_ > 0.0) {
+        // Snap up to the next supply step (the regulator must cover
+        // the required voltage).
+        const double steps = std::ceil((v - 1e-12) / step_v_);
+        v = steps * step_v_;
+    }
+    return v;
+}
+
+} // namespace sim
+} // namespace gpupm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ground-truth voltage-frequency curves.
+ *
+ * The paper's Fig. 6 measurements show two regions for the core supply
+ * voltage of modern NVIDIA GPUs: a constant floor at low frequencies
+ * and a linear ramp above a knee frequency. The ground truth encodes
+ * exactly that shape; the estimator never sees it and has to recover it
+ * from power measurements alone.
+ */
+
+#ifndef GPUPM_SIM_VOLTAGE_HH
+#define GPUPM_SIM_VOLTAGE_HH
+
+namespace gpupm
+{
+namespace sim
+{
+
+/** Piecewise (flat, then linear) V(f) curve. */
+class VoltageCurve
+{
+  public:
+    /** A constant-voltage curve (the memory domain case). */
+    static VoltageCurve constant(double volts);
+
+    /**
+     * Flat-then-linear curve.
+     *
+     * @param knee_mhz  frequency below which the voltage is flat.
+     * @param v_floor   voltage in the flat region, volts.
+     * @param v_top     voltage at top_mhz, volts.
+     * @param top_mhz   highest supported frequency.
+     */
+    static VoltageCurve twoRegion(double knee_mhz, double v_floor,
+                                  double v_top, double top_mhz);
+
+    /**
+     * Staircase variant: the same flat+linear envelope, but quantized
+     * to discrete supply steps (real DVFS tables map several adjacent
+     * frequency bins to one voltage level). step_v = 0 disables
+     * quantization.
+     */
+    VoltageCurve quantized(double step_v) const;
+
+    /** Absolute voltage at a frequency, volts. */
+    double volts(double f_mhz) const;
+
+    /** Voltage normalized to the voltage at a reference frequency. */
+    double normalized(double f_mhz, double ref_mhz) const
+    {
+        return volts(f_mhz) / volts(ref_mhz);
+    }
+
+    /** Knee frequency (0 for constant curves). */
+    double kneeMhz() const { return knee_mhz_; }
+
+  private:
+    VoltageCurve(double knee_mhz, double v_floor, double slope)
+        : knee_mhz_(knee_mhz), v_floor_(v_floor), slope_(slope)
+    {}
+
+    double knee_mhz_;
+    double v_floor_;
+    double slope_;        // volts per MHz above the knee
+    double step_v_ = 0.0; // quantization step (0 = continuous)
+};
+
+} // namespace sim
+} // namespace gpupm
+
+#endif // GPUPM_SIM_VOLTAGE_HH

@@ -1,0 +1,234 @@
+#include "cuda_source.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace ubench
+{
+
+namespace
+{
+
+/** Intensity knob parsed back from the microbenchmark name. */
+int
+knobOf(const Microbenchmark &mb)
+{
+    const auto pos = mb.name.find_last_of("NK");
+    GPUPM_ASSERT(pos != std::string::npos &&
+                         pos + 1 < mb.name.size(),
+                 "no knob in name '", mb.name, "'");
+    return std::stoi(mb.name.substr(pos + 1));
+}
+
+std::string
+sanitized(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    return out;
+}
+
+/** Fig. 3a: the INT / SP / DP arithmetic template. */
+std::string
+arithmeticSource(const Microbenchmark &mb, const char *type)
+{
+    std::ostringstream os;
+    const int n = knobOf(mb);
+    os << "__global__ void ubench_" << sanitized(mb.name)
+       << "(const " << type << " *A, " << type << " *B)\n"
+       << "{\n"
+       << "    const int threadId = blockIdx.x * blockDim.x + "
+          "threadIdx.x;\n"
+       << "    " << type << " r0, r1, r2, r3;\n"
+       << "    r0 = A[threadId];\n"
+       << "    r1 = r2 = r3 = r0;\n"
+       << "#pragma unroll 8\n"
+       << "    for (int i = 0; i < " << n << "; i++) {\n"
+       << "        r0 = r0 * r0 + r1;\n"
+       << "        r1 = r1 * r1 + r2;\n"
+       << "        r2 = r2 * r2 + r3;\n"
+       << "        r3 = r3 * r3 + r0;\n"
+       << "    }\n"
+       << "    B[threadId] = r0;\n"
+       << "}\n";
+    return os.str();
+}
+
+/** Fig. 3b: the special-function template. */
+std::string
+sfSource(const Microbenchmark &mb)
+{
+    std::ostringstream os;
+    const int n = knobOf(mb);
+    os << "__global__ void ubench_" << sanitized(mb.name)
+       << "(const float *A, float *B)\n"
+       << "{\n"
+       << "    const int threadId = blockIdx.x * blockDim.x + "
+          "threadIdx.x;\n"
+       << "    float r0, r1, r2, r3;\n"
+       << "    r0 = A[threadId];\n"
+       << "    r1 = r2 = r3 = r0;\n"
+       << "    for (int i = 0; i < " << n << "; i++) {\n"
+       << "        r0 = __logf(r1);\n"
+       << "        r1 = __cosf(r2);\n"
+       << "        r2 = __logf(r3);\n"
+       << "        r3 = __sinf(r0);\n"
+       << "    }\n"
+       << "    B[threadId] = r0;\n"
+       << "}\n";
+    return os.str();
+}
+
+/** Fig. 3c: the shared-memory template with the INT-blend knob. */
+std::string
+sharedSource(const Microbenchmark &mb)
+{
+    std::ostringstream os;
+    const int k = knobOf(mb);
+    os << "#define THREADS 256\n"
+       << "__global__ void ubench_" << sanitized(mb.name)
+       << "(float *cdout)\n"
+       << "{\n"
+       << "    __shared__ float shared[THREADS];\n"
+       << "    const int threadId = threadIdx.x;\n"
+       << "    float r0 = 0.f;\n"
+       << "    int acc = threadId;\n"
+       << "    for (int i = 0; i < 256; i++) {\n"
+       << "        r0 = shared[threadId];\n"
+       << "        shared[THREADS - threadId - 1] = r0;\n";
+    for (int j = 0; j < k; ++j)
+        os << "        acc = acc * 33 + " << (j + 1) << ";\n";
+    os << "    }\n"
+       << "    cdout[threadId] = r0 + acc;\n"
+       << "}\n";
+    return os.str();
+}
+
+/** Fig. 3d: the L2 template ([26]-style resident working set). */
+std::string
+l2Source(const Microbenchmark &mb)
+{
+    std::ostringstream os;
+    const int k = knobOf(mb);
+    os << "__global__ void ubench_" << sanitized(mb.name)
+       << "(const float *cdin, float *cdout)\n"
+       << "{\n"
+       << "    const int threadId = blockIdx.x * blockDim.x + "
+          "threadIdx.x;\n"
+       << "    float r0 = 0.f;\n"
+       << "    int acc = threadId;\n"
+       << "    // working set sized to stay resident in the L2\n"
+       << "    for (int i = 0; i < 128; i++) {\n"
+       << "        r0 = cdin[threadId];\n"
+       << "        cdout[threadId] = r0;\n";
+    for (int j = 0; j < k; ++j)
+        os << "        acc = acc * 33 + " << (j + 1) << ";\n";
+    os << "    }\n"
+       << "    cdout[threadId] = r0 + acc;\n"
+       << "}\n";
+    return os.str();
+}
+
+/** Fig. 3e: the DRAM streaming template with the FMA-blend knob. */
+std::string
+dramSource(const Microbenchmark &mb)
+{
+    std::ostringstream os;
+    const int k = knobOf(mb);
+    os << "__global__ void ubench_" << sanitized(mb.name)
+       << "(const float *A, float *B, int stride)\n"
+       << "{\n"
+       << "    const int threadId = blockIdx.x * blockDim.x + "
+          "threadIdx.x;\n"
+       << "    float r0 = 0.f, r1 = 1.f;\n"
+       << "    for (int i = 0; i < 256; i++) {\n"
+       << "        r0 = A[threadId + i * stride];\n";
+    for (int j = 0; j < k; ++j)
+        os << "        r1 = r1 * r1 + r0;\n";
+    os << "    }\n"
+       << "    B[threadId] = r0 + r1;\n"
+       << "}\n";
+    return os.str();
+}
+
+/** Mix kernels: emitted as a documented combination. */
+std::string
+mixSource(const Microbenchmark &mb)
+{
+    std::ostringstream os;
+    os << "// " << mb.name << ": combined-component kernel; the\n"
+       << "// simulator blend is documented by its demand ratios.\n"
+       << "__global__ void ubench_" << sanitized(mb.name)
+       << "(const float *A, float *B)\n"
+       << "{\n"
+       << "    const int threadId = blockIdx.x * blockDim.x + "
+          "threadIdx.x;\n"
+       << "    __shared__ float sh[256];\n"
+       << "    float r0 = A[threadId], r1 = r0;\n"
+       << "    int acc = threadId;\n"
+       << "    for (int i = 0; i < 256; i++) {\n"
+       << "        r0 = r0 * r0 + r1;           // SP\n"
+       << "        acc = acc * 33 + i;          // INT\n"
+       << "        sh[threadIdx.x] = r0;        // shared\n"
+       << "        r1 = A[(threadId + i) & 0xffff] + sh[255 - "
+          "threadIdx.x];\n"
+       << "    }\n"
+       << "    B[threadId] = r0 + r1 + acc;\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+cudaSource(const Microbenchmark &mb)
+{
+    switch (mb.family) {
+      case Family::Int:
+        return arithmeticSource(mb, "int");
+      case Family::SP:
+        return arithmeticSource(mb, "float");
+      case Family::DP:
+        return arithmeticSource(mb, "double");
+      case Family::SF:
+        return sfSource(mb);
+      case Family::Shared:
+        return sharedSource(mb);
+      case Family::L2:
+        return l2Source(mb);
+      case Family::Dram:
+        return dramSource(mb);
+      case Family::Mix:
+        return mixSource(mb);
+      case Family::Idle:
+        GPUPM_FATAL("the Idle microbenchmark has no kernel");
+    }
+    GPUPM_PANIC("unknown family");
+}
+
+std::string
+cudaSuiteSource()
+{
+    std::ostringstream os;
+    os << "// Auto-generated by gpupm: the 83-microbenchmark training "
+          "suite\n"
+       << "// (Sec. IV / Fig. 3 of the paper). Compile with nvcc; "
+          "each kernel\n"
+       << "// is launched over 2^20 threads.\n\n";
+    std::size_t kernels = 0;
+    for (const auto &mb : buildSuite()) {
+        if (mb.family == Family::Idle)
+            continue;
+        os << cudaSource(mb) << "\n";
+        ++kernels;
+    }
+    os << "// " << kernels << " kernels.\n";
+    return os.str();
+}
+
+} // namespace ubench
+} // namespace gpupm

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CUDA-source emission for the microbenchmark suite.
+ *
+ * The paper's artifact distributes its 83 microbenchmarks as CUDA
+ * kernels (Fig. 3 shows the patterns). This module generates that
+ * source from the same parameterization the simulator consumes, so
+ * the identical suite can be compiled and run on real hardware: each
+ * family maps to one of the Fig. 3 templates with the intensity knob
+ * substituted in.
+ */
+
+#ifndef GPUPM_UBENCH_CUDA_SOURCE_HH
+#define GPUPM_UBENCH_CUDA_SOURCE_HH
+
+#include <string>
+
+#include "ubench/suite.hh"
+
+namespace gpupm
+{
+namespace ubench
+{
+
+/**
+ * CUDA C source of one microbenchmark kernel (Fig. 3 template of its
+ * family with the intensity knob substituted). Fatal for the Idle
+ * entry, which has no kernel by definition.
+ */
+std::string cudaSource(const Microbenchmark &mb);
+
+/** Complete .cu file with every non-idle kernel of the suite plus a
+ *  launch table. */
+std::string cudaSuiteSource();
+
+} // namespace ubench
+} // namespace gpupm
+
+#endif // GPUPM_UBENCH_CUDA_SOURCE_HH

@@ -1,0 +1,43 @@
+#include "l2_calibration.hh"
+
+#include "common/logging.hh"
+#include "cupti/profiler.hh"
+#include "ubench/suite.hh"
+
+namespace gpupm
+{
+namespace ubench
+{
+
+L2Calibration
+calibrateL2PeakBandwidth(const sim::PhysicalGpu &board,
+                         std::uint64_t seed)
+{
+    const gpu::DeviceDescriptor &desc = board.descriptor();
+    const gpu::FreqConfig ref = desc.referenceConfig();
+    cupti::Profiler profiler(board, seed);
+
+    L2Calibration cal;
+    const auto family = buildFamily(Family::L2);
+    GPUPM_ASSERT(!family.empty(), "no L2 microbenchmarks");
+
+    for (const Microbenchmark &mb : family) {
+        const auto rm = profiler.profile(mb.demand, ref);
+        if (rm.time_s <= 0.0)
+            continue;
+        const double achieved =
+                (rm.l2_rd_bytes + rm.l2_wr_bytes) / rm.time_s;
+        if (achieved > cal.peak_bandwidth) {
+            cal.peak_bandwidth = achieved;
+            // Recover the knob from the "L2-K<n>" name.
+            cal.best_knob =
+                    std::stoi(mb.name.substr(mb.name.find('K') + 1));
+        }
+    }
+    cal.bytes_per_cycle =
+            cal.peak_bandwidth / (1e6 * ref.core_mhz);
+    return cal;
+}
+
+} // namespace ubench
+} // namespace gpupm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Experimental L2 peak-bandwidth calibration (Sec. III-C).
+ *
+ * The paper: "The L2 cache peak bandwidth cannot be computed as
+ * trivially [as DRAM/shared] ... Hence, it was experimentally
+ * determined with a set of specific L2 microbenchmarks." This module
+ * performs that calibration against a board: it profiles the L2
+ * microbenchmark family, computes each kernel's achieved L2 bandwidth
+ * from the Table I sector-query events and the measured duration, and
+ * reports the maximum — the normalization constant Eq. 9 needs.
+ */
+
+#ifndef GPUPM_UBENCH_L2_CALIBRATION_HH
+#define GPUPM_UBENCH_L2_CALIBRATION_HH
+
+#include <cstdint>
+
+#include "sim/physical_gpu.hh"
+
+namespace gpupm
+{
+namespace ubench
+{
+
+/** Result of the L2 calibration run. */
+struct L2Calibration
+{
+    /** Highest achieved L2 bandwidth across the family, bytes/s. */
+    double peak_bandwidth = 0.0;
+    /** The same, expressed in bytes per core cycle. */
+    double bytes_per_cycle = 0.0;
+    /** Which family member achieved it (intensity knob value). */
+    int best_knob = 0;
+};
+
+/**
+ * Run the L2 microbenchmark family at the reference configuration and
+ * determine the device's peak L2 bandwidth from the observed events.
+ *
+ * @param board  device under calibration.
+ * @param seed   profiling-noise seed.
+ */
+L2Calibration calibrateL2PeakBandwidth(const sim::PhysicalGpu &board,
+                                       std::uint64_t seed = 7);
+
+} // namespace ubench
+} // namespace gpupm
+
+#endif // GPUPM_UBENCH_L2_CALIBRATION_HH

@@ -1,0 +1,380 @@
+#include "suite.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpupm
+{
+namespace ubench
+{
+
+using sim::Instr;
+using sim::InstrClass;
+using sim::KernelDemand;
+using sim::LoopKernel;
+
+namespace
+{
+
+constexpr double kWarps = kThreads / 32.0;
+/** Loop bookkeeping instructions per 32 unrolled ops (Fig. 4). */
+constexpr double kLoopOverheadPer32 = 3.0;
+
+/** Iteration-count sweeps per family (family sizes from Fig. 5). */
+const std::vector<int> kIntSweep = {4, 8, 16, 32, 48, 64, 96,
+                                    128, 192, 256, 384, 512};
+const std::vector<int> kSpSweep = {4, 8, 16, 32, 64, 96, 128,
+                                   192, 256, 384, 512};
+const std::vector<int> kDpSweep = {1, 2, 3, 4, 6, 8, 12,
+                                   16, 24, 32, 48, 64};
+const std::vector<int> kSfSweep = {2, 4, 8, 16, 32, 64, 128, 256};
+const std::vector<int> kL2Sweep = {0, 2, 4, 8, 16, 32, 64,
+                                   96, 128, 192};
+const std::vector<int> kSharedSweep = {0, 1, 2, 4, 6, 8, 12,
+                                       16, 24, 32};
+const std::vector<int> kDramSweep = {0, 1, 2, 4, 8, 16, 24,
+                                     32, 48, 64, 96, 128};
+
+InstrClass
+unitClass(Family f)
+{
+    switch (f) {
+      case Family::Int: return InstrClass::Int;
+      case Family::SP: return InstrClass::SP;
+      case Family::DP: return InstrClass::DP;
+      case Family::SF: return InstrClass::SF;
+      default: GPUPM_PANIC("not an arithmetic family");
+    }
+}
+
+double &
+warpsSlot(Family f, KernelDemand &d)
+{
+    switch (f) {
+      case Family::Int: return d.warps_int;
+      case Family::SP: return d.warps_sp;
+      case Family::DP: return d.warps_dp;
+      case Family::SF: return d.warps_sf;
+      default: GPUPM_PANIC("not an arithmetic family");
+    }
+}
+
+/** Fig. 4 loop body: 8 unrolled iterations of the 4 FMA chains plus
+ *  the add/setp/bra bookkeeping. */
+LoopKernel
+arithmeticLoop(Family family, int n_iters, double elem_bytes)
+{
+    LoopKernel k;
+    const double warp_bytes = 32.0 * elem_bytes;
+    k.prologue = {
+        {InstrClass::GlobalLd, warp_bytes, false, false},
+        {InstrClass::Control, 0.0, true, false},
+        {InstrClass::Control, 0.0, false, false},
+        {InstrClass::Control, 0.0, false, false},
+    };
+    const InstrClass cls = unitClass(family);
+    for (int unrolled = 0; unrolled < 8; ++unrolled)
+        for (int chain = 0; chain < 4; ++chain)
+            k.body.push_back({cls, 0.0, false, false});
+    k.body.push_back({InstrClass::Control, 0.0, false, false});
+    k.body.push_back({InstrClass::Control, 0.0, true, false});
+    k.body.push_back({InstrClass::Control, 0.0, true, false});
+    k.trip_count = std::max(1, n_iters / 8);
+    k.epilogue = {{InstrClass::GlobalSt, warp_bytes, true, false}};
+    return k;
+}
+
+} // namespace
+
+std::string_view
+familyName(Family f)
+{
+    switch (f) {
+      case Family::Int: return "INT";
+      case Family::SP: return "SP";
+      case Family::DP: return "DP";
+      case Family::SF: return "SF";
+      case Family::L2: return "L2";
+      case Family::Shared: return "Shared";
+      case Family::Dram: return "DRAM";
+      case Family::Mix: return "MIX";
+      case Family::Idle: return "Idle";
+      default: return "?";
+    }
+}
+
+Microbenchmark
+makeArithmetic(Family family, int n_iters)
+{
+    GPUPM_ASSERT(n_iters >= 1, "need at least one iteration");
+    const double elem_bytes = family == Family::DP ? 8.0 : 4.0;
+
+    Microbenchmark mb;
+    mb.family = family;
+    mb.name = std::string(familyName(family)) + "-N" +
+              std::to_string(n_iters);
+
+    KernelDemand &d = mb.demand;
+    d.name = mb.name;
+    // Fig. 3a/3b: 4 dependent-chain ops per loop iteration, one
+    // load/store pair per thread.
+    const double ops = 4.0 * n_iters;
+    warpsSlot(family, d) = kWarps * ops;
+    d.warps_other =
+            kWarps * (ops * kLoopOverheadPer32 / 32.0 + 5.0);
+    d.bytes_dram_rd = kThreads * elem_bytes;
+    d.bytes_dram_wr = kThreads * elem_bytes;
+    d.bytes_l2_rd = d.bytes_dram_rd;
+    d.bytes_l2_wr = d.bytes_dram_wr;
+
+    mb.loop = arithmeticLoop(family, n_iters, elem_bytes);
+    return mb;
+}
+
+Microbenchmark
+makeShared(int int_ops_per_access)
+{
+    GPUPM_ASSERT(int_ops_per_access >= 0, "negative op count");
+    constexpr double iters = 256.0;
+
+    Microbenchmark mb;
+    mb.family = Family::Shared;
+    mb.name = "Shared-K" + std::to_string(int_ops_per_access);
+
+    KernelDemand &d = mb.demand;
+    d.name = mb.name;
+    // Fig. 3c: one conflict-free shared load + store per iteration,
+    // plus the intensity knob's integer work.
+    d.bytes_shared_ld = kThreads * 4.0 * iters;
+    d.bytes_shared_st = kThreads * 4.0 * iters;
+    d.warps_int = kWarps * iters * (1.0 + int_ops_per_access);
+    d.warps_other = kWarps * iters * 2.25; // ld + st + bookkeeping
+    d.bytes_dram_rd = kThreads * 4.0;
+    d.bytes_dram_wr = kThreads * 4.0;
+    d.bytes_l2_rd = d.bytes_dram_rd;
+    d.bytes_l2_wr = d.bytes_dram_wr;
+
+    LoopKernel k;
+    k.body = {
+        {InstrClass::SharedLd, 128.0, false, false},
+        {InstrClass::SharedSt, 128.0, true, false},
+    };
+    for (int i = 0; i < int_ops_per_access + 1; ++i)
+        k.body.push_back({InstrClass::Int, 0.0, false, false});
+    k.body.push_back({InstrClass::Control, 0.0, false, false});
+    k.trip_count = static_cast<std::uint64_t>(iters);
+    k.epilogue = {{InstrClass::GlobalSt, 128.0, true, false}};
+    mb.loop = k;
+    return mb;
+}
+
+Microbenchmark
+makeL2(int int_ops_per_access)
+{
+    GPUPM_ASSERT(int_ops_per_access >= 0, "negative op count");
+    constexpr double iters = 128.0;
+
+    Microbenchmark mb;
+    mb.family = Family::L2;
+    mb.name = "L2-K" + std::to_string(int_ops_per_access);
+
+    KernelDemand &d = mb.demand;
+    d.name = mb.name;
+    // Fig. 3d: pointer-chase-free copy loop over an L2-resident
+    // working set ([26]-style access pattern).
+    d.bytes_l2_rd = kThreads * 4.0 * iters;
+    d.bytes_l2_wr = kThreads * 4.0 * iters;
+    d.warps_int = kWarps * iters * int_ops_per_access;
+    d.warps_other = kWarps * iters * 2.25; // ld + st + bookkeeping
+    // Cold fill of the working set only.
+    d.bytes_dram_rd = kThreads * 4.0;
+    d.bytes_dram_wr = kThreads * 4.0;
+
+    LoopKernel k;
+    k.body = {
+        {InstrClass::GlobalLd, 128.0, false, true},
+        {InstrClass::GlobalSt, 128.0, true, true},
+    };
+    for (int i = 0; i < int_ops_per_access; ++i)
+        k.body.push_back({InstrClass::Int, 0.0, false, false});
+    k.body.push_back({InstrClass::Control, 0.0, false, false});
+    k.trip_count = static_cast<std::uint64_t>(iters);
+    mb.loop = k;
+    return mb;
+}
+
+Microbenchmark
+makeDram(int fmas_per_load)
+{
+    GPUPM_ASSERT(fmas_per_load >= 0, "negative op count");
+    constexpr double iters = 256.0;
+
+    Microbenchmark mb;
+    mb.family = Family::Dram;
+    mb.name = "DRAM-K" + std::to_string(fmas_per_load);
+
+    KernelDemand &d = mb.demand;
+    d.name = mb.name;
+    // Fig. 3e: streaming load per iteration with a small FMA blend;
+    // fewer FMAs -> lower arithmetic intensity -> higher DRAM load.
+    d.bytes_dram_rd = kThreads * 4.0 * iters;
+    d.bytes_l2_rd = d.bytes_dram_rd;
+    d.bytes_dram_wr = kThreads * 4.0;
+    d.bytes_l2_wr = d.bytes_dram_wr;
+    d.warps_sp = kWarps * iters * fmas_per_load;
+    d.warps_other =
+            kWarps * iters *
+            (1.0 + fmas_per_load * kLoopOverheadPer32 / 32.0 + 0.25);
+
+    LoopKernel k;
+    k.body = {{InstrClass::GlobalLd, 128.0, false, false}};
+    for (int i = 0; i < fmas_per_load; ++i)
+        k.body.push_back({InstrClass::SP, 0.0, false, false});
+    k.body.push_back({InstrClass::Control, 0.0, false, false});
+    k.trip_count = static_cast<std::uint64_t>(iters);
+    k.epilogue = {{InstrClass::GlobalSt, 128.0, true, false}};
+    mb.loop = k;
+    return mb;
+}
+
+namespace
+{
+
+/**
+ * Hand-assembled component blends for the 7 Mix microbenchmarks,
+ * authored as target utilizations at the GTX Titan X reference
+ * configuration (the same inversion the validation workloads use, so
+ * the blends stress several components simultaneously instead of one
+ * demand term swamping the rest). The resulting absolute demands run
+ * unchanged on every device.
+ */
+std::vector<Microbenchmark>
+buildMixes()
+{
+    struct Blend
+    {
+        const char *name;
+        double u_int, u_sp, u_dp, u_sf, u_sh, u_l2, u_dram;
+    };
+    // The last blend is the near-TDP "everything" case that produces
+    // the suite's maximum dynamic-power share (Fig. 5B).
+    const std::vector<Blend> blends = {
+        {"MIX-SpShared", 0.10, 0.60, 0.00, 0.00, 0.80, 0.15, 0.20},
+        {"MIX-IntL2", 0.50, 0.10, 0.00, 0.00, 0.00, 0.80, 0.15},
+        {"MIX-SpDram", 0.12, 0.50, 0.00, 0.00, 0.00, 0.30, 0.85},
+        {"MIX-DpDram", 0.05, 0.05, 0.70, 0.00, 0.00, 0.25, 0.60},
+        {"MIX-SfShared", 0.15, 0.10, 0.00, 0.70, 0.60, 0.10, 0.12},
+        {"MIX-IntSpDram", 0.40, 0.40, 0.00, 0.00, 0.00, 0.30, 0.60},
+        {"MIX-All", 0.35, 0.60, 0.05, 0.30, 0.50, 0.50, 0.60},
+    };
+
+    const gpu::DeviceDescriptor &ref_dev =
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+    const gpu::FreqConfig ref = ref_dev.referenceConfig();
+    constexpr double time_s = 0.01;
+
+    std::vector<Microbenchmark> out;
+    for (const Blend &b : blends) {
+        Microbenchmark mb;
+        mb.family = Family::Mix;
+        mb.name = b.name;
+        KernelDemand &d = mb.demand;
+        d.name = mb.name;
+        const auto unit = [&](gpu::Component c, double u) {
+            return u * ref_dev.peakWarpsPerSecond(c, ref.core_mhz) *
+                   time_s;
+        };
+        d.warps_int = unit(gpu::Component::Int, b.u_int);
+        d.warps_sp = unit(gpu::Component::SP, b.u_sp);
+        d.warps_dp = unit(gpu::Component::DP, b.u_dp);
+        d.warps_sf = unit(gpu::Component::SF, b.u_sf);
+        d.warps_other =
+                0.12 * (d.warps_int + d.warps_sp + d.warps_dp +
+                        d.warps_sf);
+        const auto level = [&](gpu::Component c, double u) {
+            return u * ref_dev.peakBandwidth(c, ref) * time_s;
+        };
+        d.bytes_shared_ld =
+                0.5 * level(gpu::Component::Shared, b.u_sh);
+        d.bytes_shared_st = d.bytes_shared_ld;
+        d.bytes_l2_rd = 0.7 * level(gpu::Component::L2, b.u_l2);
+        d.bytes_l2_wr = 0.3 * level(gpu::Component::L2, b.u_l2);
+        d.bytes_dram_rd = 0.7 * level(gpu::Component::Dram, b.u_dram);
+        d.bytes_dram_wr = 0.3 * level(gpu::Component::Dram, b.u_dram);
+        out.push_back(std::move(mb));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Microbenchmark>
+buildFamily(Family family)
+{
+    std::vector<Microbenchmark> out;
+    switch (family) {
+      case Family::Int:
+        for (int n : kIntSweep)
+            out.push_back(makeArithmetic(Family::Int, n));
+        break;
+      case Family::SP:
+        for (int n : kSpSweep)
+            out.push_back(makeArithmetic(Family::SP, n));
+        break;
+      case Family::DP:
+        for (int n : kDpSweep)
+            out.push_back(makeArithmetic(Family::DP, n));
+        break;
+      case Family::SF:
+        for (int n : kSfSweep)
+            out.push_back(makeArithmetic(Family::SF, n));
+        break;
+      case Family::L2:
+        for (int k : kL2Sweep)
+            out.push_back(makeL2(k));
+        break;
+      case Family::Shared:
+        for (int k : kSharedSweep)
+            out.push_back(makeShared(k));
+        break;
+      case Family::Dram:
+        for (int k : kDramSweep)
+            out.push_back(makeDram(k));
+        break;
+      case Family::Mix:
+        out = buildMixes();
+        break;
+      case Family::Idle: {
+        Microbenchmark idle;
+        idle.family = Family::Idle;
+        idle.name = "Idle";
+        idle.demand.name = "Idle";
+        out.push_back(std::move(idle));
+        break;
+      }
+    }
+    return out;
+}
+
+std::vector<Microbenchmark>
+buildSuite()
+{
+    // Fig. 5 presentation order: INT, SP, DP, SF, L2, Shared, DRAM,
+    // MIX, and the awake-but-idle case. 83 microbenchmarks in total.
+    std::vector<Microbenchmark> suite;
+    for (Family f : {Family::Int, Family::SP, Family::DP, Family::SF,
+                     Family::L2, Family::Shared, Family::Dram,
+                     Family::Mix, Family::Idle}) {
+        auto fam = buildFamily(f);
+        suite.insert(suite.end(),
+                     std::make_move_iterator(fam.begin()),
+                     std::make_move_iterator(fam.end()));
+    }
+    GPUPM_ASSERT(suite.size() == 83, "suite has ", suite.size(),
+                 " entries, expected 83");
+    return suite;
+}
+
+} // namespace ubench
+} // namespace gpupm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The 83-microbenchmark training suite (Sec. IV of the paper).
+ *
+ * Family sizes follow Fig. 5: 12 INT, 11 SP, 12 DP, 8 SF, 10 L2,
+ * 10 Shared, 12 DRAM, 7 Mix, plus the Idle case — 83 in total. Each
+ * microbenchmark mirrors one of the Fig. 3 kernels: a per-thread loop
+ * whose arithmetic-intensity knob (the paper's N, or the FMAs-per-load
+ * count of the DRAM variant) sweeps the utilization of the stressed
+ * component while starving the rest.
+ *
+ * Every microbenchmark carries both the aggregate KernelDemand the
+ * analytic substrate consumes and, for the loop families, the literal
+ * LoopKernel body (the Fig. 4 PTX shape: 4 independent FMA chains,
+ * 8-deep unroll, loop bookkeeping) for the cycle-level cross-check.
+ */
+
+#ifndef GPUPM_UBENCH_SUITE_HH
+#define GPUPM_UBENCH_SUITE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hh"
+#include "sim/sm_cycle_sim.hh"
+
+namespace gpupm
+{
+namespace ubench
+{
+
+/** Microbenchmark families of the suite. */
+enum class Family
+{
+    Int,
+    SP,
+    DP,
+    SF,
+    L2,
+    Shared,
+    Dram,
+    Mix,
+    Idle,
+};
+
+/** Display name of a family. */
+std::string_view familyName(Family f);
+
+/** One microbenchmark of the suite. */
+struct Microbenchmark
+{
+    std::string name;
+    Family family = Family::Idle;
+    sim::KernelDemand demand;
+    /** Loop-level body for the cycle simulator (loop families only). */
+    std::optional<sim::LoopKernel> loop;
+};
+
+/** Total threads launched by every non-idle microbenchmark. */
+inline constexpr double kThreads = 1 << 20;
+
+/** Build one arithmetic-family microbenchmark (Fig. 3a/3b) with the
+ *  given iteration count N. */
+Microbenchmark makeArithmetic(Family family, int n_iters);
+
+/** Build one shared-memory microbenchmark (Fig. 3c); the intensity
+ *  knob adds integer work between shared accesses. */
+Microbenchmark makeShared(int int_ops_per_access);
+
+/** Build one L2 microbenchmark (Fig. 3d) with a given compute blend. */
+Microbenchmark makeL2(int int_ops_per_access);
+
+/** Build one DRAM microbenchmark (Fig. 3e) with the given
+ *  FMAs-per-load count. */
+Microbenchmark makeDram(int fmas_per_load);
+
+/** The full 83-benchmark suite, in the Fig. 5 presentation order. */
+std::vector<Microbenchmark> buildSuite();
+
+/** Suite entries of one family. */
+std::vector<Microbenchmark> buildFamily(Family family);
+
+} // namespace ubench
+} // namespace gpupm
+
+#endif // GPUPM_UBENCH_SUITE_HH

@@ -1,0 +1,83 @@
+#include "multi_kernel.hh"
+
+#include "gpu/components.hh"
+#include "workloads.hh"
+
+namespace gpupm
+{
+namespace workloads
+{
+
+using gpu::Component;
+using gpu::componentIndex;
+
+namespace
+{
+
+/** Signature-based kernel builder with an explicit time share. */
+sim::KernelDemand
+kernel(const std::string &name, double u_int, double u_sp, double u_dp,
+       double u_sf, double u_sh, double u_l2, double u_dram,
+       double time_s)
+{
+    UtilSignature sig;
+    sig.util[componentIndex(Component::Int)] = u_int;
+    sig.util[componentIndex(Component::SP)] = u_sp;
+    sig.util[componentIndex(Component::DP)] = u_dp;
+    sig.util[componentIndex(Component::SF)] = u_sf;
+    sig.util[componentIndex(Component::Shared)] = u_sh;
+    sig.util[componentIndex(Component::L2)] = u_l2;
+    sig.util[componentIndex(Component::Dram)] = u_dram;
+    sig.other_frac = 0.2;
+    return demandFromSignature(name, sig, time_s);
+}
+
+} // namespace
+
+std::vector<MultiKernelApp>
+multiKernelApps()
+{
+    std::vector<MultiKernelApp> out;
+
+    // SRAD: a memory-heavy gradient extraction followed by a shorter
+    // compute-heavy update.
+    out.push_back(
+            {"SRAD-multi",
+             {kernel("srad_extract", 0.18, 0.30, 0.0, 0.02, 0.03,
+                     0.52, 0.70, 0.030),
+              kernel("srad_update", 0.25, 0.55, 0.0, 0.00, 0.10, 0.40,
+                     0.25, 0.012)}});
+
+    // K-Means: long membership scan (DRAM-bound) + short centroid
+    // accumulation (INT/L2).
+    out.push_back(
+            {"KMEANS-multi",
+             {kernel("kmeans_membership", 0.22, 0.20, 0.0, 0.0, 0.02,
+                     0.50, 0.80, 0.040),
+              kernel("kmeans_sums", 0.45, 0.15, 0.0, 0.0, 0.08, 0.55,
+                     0.30, 0.008)}});
+
+    // ParticleFilter: SF-flavoured likelihood, a tiny normalize, and
+    // an INT-heavy resample.
+    out.push_back(
+            {"PF-multi",
+             {kernel("pf_likelihood", 0.20, 0.35, 0.0, 0.15, 0.04,
+                     0.35, 0.30, 0.020),
+              kernel("pf_normalize", 0.10, 0.15, 0.0, 0.0, 0.02, 0.20,
+                     0.15, 0.004),
+              kernel("pf_resample", 0.50, 0.10, 0.0, 0.0, 0.03, 0.45,
+                     0.35, 0.012)}});
+
+    // 3MM: three chained GEMMs of similar shape.
+    MultiKernelApp mm{"3MM-multi", {}};
+    for (int i = 0; i < 3; ++i)
+        mm.kernels.push_back(kernel("mm" + std::to_string(i + 1),
+                                    0.18, 0.52, 0.0, 0.0, 0.11, 0.72,
+                                    0.24, 0.015));
+    out.push_back(std::move(mm));
+
+    return out;
+}
+
+} // namespace workloads
+} // namespace gpupm

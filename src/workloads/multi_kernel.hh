@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Multi-kernel applications.
+ *
+ * Several Table III benchmarks launch more than one kernel (SRAD,
+ * K-Means, ParticleFilter, the Polybench -MM chains). The paper's
+ * methodology (Sec. V-A): "For benchmarks with multiple kernels the
+ * total power consumption was obtained by weighting the consumption of
+ * each kernel with its relative execution time." This module provides
+ * the application container and the composite variants of the
+ * validation benchmarks.
+ */
+
+#ifndef GPUPM_WORKLOADS_MULTI_KERNEL_HH
+#define GPUPM_WORKLOADS_MULTI_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hh"
+
+namespace gpupm
+{
+namespace workloads
+{
+
+/** An application consisting of several kernels run back-to-back. */
+struct MultiKernelApp
+{
+    std::string name;
+    std::vector<sim::KernelDemand> kernels;
+};
+
+/**
+ * Composite versions of the multi-kernel Table III applications:
+ * SRAD (extract + reduce/update), K-Means (membership + sums),
+ * ParticleFilter (likelihood + normalize + resample) and 3MM
+ * (three chained GEMMs).
+ */
+std::vector<MultiKernelApp> multiKernelApps();
+
+} // namespace workloads
+} // namespace gpupm
+
+#endif // GPUPM_WORKLOADS_MULTI_KERNEL_HH

@@ -1,0 +1,167 @@
+#include "parametric.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/cache_model.hh"
+
+namespace gpupm
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr double kWarp = 32.0;
+/** Register-blocking factor of the tiled GEMM inner loop. */
+constexpr double kRegBlock = 16.0;
+/** Kernel launch overhead, core cycles. */
+constexpr double kLaunchCycles = 8000.0;
+
+/**
+ * Exposed-latency floor for a grid of `blocks` thread blocks: launch
+ * overhead plus, when the grid cannot fill every SM, the work of the
+ * critical block serialized on the occupied SMs only.
+ */
+double
+underfillLatency(double unit_warps, double blocks,
+                 const gpu::DeviceDescriptor &dev)
+{
+    double lat = kLaunchCycles;
+    if (blocks < dev.num_sms && blocks > 0.0) {
+        // 4 warps/cycle per SM on `blocks` SMs.
+        lat += unit_warps / (4.0 * blocks);
+    }
+    return lat;
+}
+
+} // namespace
+
+sim::KernelDemand
+gemm(int n, const gpu::DeviceDescriptor &dev, int tile)
+{
+    GPUPM_ASSERT(n >= 1 && tile >= 1, "bad GEMM parameters");
+    const double nn = static_cast<double>(n);
+
+    sim::KernelDemand d;
+    d.name = "gemm-" + std::to_string(n);
+    // 2 n^3 flops as fused multiply-adds.
+    d.warps_sp = nn * nn * nn / kWarp;
+    // Tiled operands staged through shared memory, amortized by
+    // register blocking.
+    d.bytes_shared_ld = 2.0 * 4.0 * nn * nn * nn / kRegBlock;
+    d.bytes_shared_st = 2.0 * 4.0 * nn * nn * tile / tile; // tile fill
+    // Each K-tile pass re-reads the A and B panels from global memory
+    // once per tile row/column of blocks.
+    d.bytes_l2_rd = 2.0 * 4.0 * nn * nn * nn / tile;
+    d.bytes_l2_wr = 4.0 * nn * nn;
+    // Address arithmetic and loop bookkeeping.
+    d.warps_int = 0.15 * d.warps_sp;
+    d.warps_other = 0.15 * d.warps_sp;
+
+    // GEMM's reuse is structured, not random: with cache blocking at
+    // edge b (3 b^2 floats resident), the communication lower bound
+    // gives ~2 n^3 / b words of DRAM traffic plus the cold/output
+    // n^2-scale terms. The L2 acts as the blocking level.
+    const double b = std::sqrt(dev.l2_capacity_bytes / (3.0 * 4.0));
+    d.bytes_dram_rd = std::max(2.0 * 4.0 * nn * nn,
+                               2.0 * 4.0 * nn * nn * nn / b);
+    d.bytes_dram_rd = std::min(d.bytes_dram_rd, d.bytes_l2_rd);
+    d.bytes_dram_wr = 4.0 * nn * nn;
+
+    // Small grids cannot fill the device (the Fig. 9 64x64 case).
+    const double blocks = std::ceil(nn / tile) * std::ceil(nn / tile);
+    d.latency_cycles = underfillLatency(d.warps_sp, blocks, dev);
+    return d;
+}
+
+sim::KernelDemand
+stencil2d(int n, const gpu::DeviceDescriptor &dev)
+{
+    GPUPM_ASSERT(n >= 1, "bad stencil size");
+    const double cells = static_cast<double>(n) * n;
+
+    sim::KernelDemand d;
+    d.name = "stencil2d-" + std::to_string(n);
+    d.warps_sp = 5.0 * cells / kWarp;
+    d.bytes_l2_rd = 5.0 * 4.0 * cells;
+    d.bytes_l2_wr = 4.0 * cells;
+    d.warps_int = 2.0 * cells / kWarp;       // index arithmetic
+    d.warps_other = 6.0 * cells / kWarp;     // the loads and the store
+
+    d.latency_cycles = kLaunchCycles;
+    const double working_set = 2.0 * 4.0 * cells;
+    return sim::applyCacheModel(d, working_set, dev);
+}
+
+sim::KernelDemand
+streamTriad(int n, const gpu::DeviceDescriptor &dev)
+{
+    GPUPM_ASSERT(n >= 1, "bad stream size");
+    const double nn = static_cast<double>(n);
+
+    sim::KernelDemand d;
+    d.name = "triad-" + std::to_string(n);
+    d.warps_sp = nn / kWarp; // one FMA per element
+    d.bytes_l2_rd = 2.0 * 4.0 * nn;
+    d.bytes_l2_wr = 4.0 * nn;
+    d.warps_other = 3.0 * nn / kWarp;
+
+    d.latency_cycles = kLaunchCycles;
+    const double working_set = 3.0 * 4.0 * nn;
+    return sim::applyCacheModel(d, working_set, dev);
+}
+
+sim::KernelDemand
+reduction(int n, const gpu::DeviceDescriptor &dev)
+{
+    GPUPM_ASSERT(n >= 2, "bad reduction size");
+    const double nn = static_cast<double>(n);
+
+    sim::KernelDemand d;
+    d.name = "reduce-" + std::to_string(n);
+    d.warps_sp = nn / kWarp; // n-1 adds
+    d.bytes_l2_rd = 4.0 * nn;
+    // Tree levels exchange partials through shared memory.
+    d.bytes_shared_ld = 2.0 * 4.0 * nn / kWarp;
+    d.bytes_shared_st = 2.0 * 4.0 * nn / kWarp;
+    d.warps_other = nn / kWarp;
+    d.latency_cycles = kLaunchCycles;
+
+    return sim::applyCacheModel(d, 4.0 * nn, dev);
+}
+
+sim::KernelDemand
+spmv(int n, long long nnz, const gpu::DeviceDescriptor &dev)
+{
+    GPUPM_ASSERT(n >= 1 && nnz >= n, "bad SpMV parameters");
+    const double nn = static_cast<double>(n);
+    const double z = static_cast<double>(nnz);
+
+    sim::KernelDemand d;
+    d.name = "spmv-" + std::to_string(n);
+    d.warps_sp = z / kWarp; // one FMA per non-zero
+    d.warps_int = 2.0 * z / kWarp; // column/row index handling
+
+    // Streaming arrays (values, column indices, row pointers, y) miss
+    // always; the gathered x vector enjoys reuse governed by its own
+    // working set.
+    const double stream_rd = 4.0 * z /*vals*/ + 4.0 * z /*colidx*/ +
+                             4.0 * nn /*rowptr*/;
+    const double x_traffic = 4.0 * z;
+    const double x_miss = sim::l2MissRate(4.0 * nn, dev);
+
+    d.bytes_l2_rd = stream_rd + x_traffic;
+    d.bytes_l2_wr = 4.0 * nn;
+    d.bytes_dram_rd =
+            stream_rd + std::max(x_miss * x_traffic, 4.0 * nn);
+    d.bytes_dram_wr = 4.0 * nn;
+    d.warps_other = 4.0 * z / kWarp;
+    d.latency_cycles = kLaunchCycles;
+    return d;
+}
+
+} // namespace workloads
+} // namespace gpupm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parametric first-principles workload generators.
+ *
+ * Unlike the signature-authored Table III set (whose utilizations are
+ * calibrated to the paper's printed values), these kernels derive
+ * their demands from the algorithm itself: flop and byte counts as a
+ * function of the problem size, with DRAM traffic produced by the
+ * working-set L2 miss model. They exercise the "input data size"
+ * dimension of Sec. V-B for arbitrary sizes and give users a template
+ * for describing their own applications to the model.
+ */
+
+#ifndef GPUPM_WORKLOADS_PARAMETRIC_HH
+#define GPUPM_WORKLOADS_PARAMETRIC_HH
+
+#include "gpu/device.hh"
+#include "sim/kernel.hh"
+
+namespace gpupm
+{
+namespace workloads
+{
+
+/**
+ * Tiled SGEMM, C = A*B with n-by-n matrices: 2n^3 flops, inputs
+ * staged through shared memory with tile-sized reuse, n^2-scale
+ * working set.
+ *
+ * @param n  matrix dimension.
+ * @param dev  device whose L2 capacity shapes the DRAM traffic.
+ * @param tile  square tile edge (shared-memory blocking factor).
+ */
+sim::KernelDemand gemm(int n, const gpu::DeviceDescriptor &dev,
+                       int tile = 128);
+
+/**
+ * 5-point Jacobi stencil over an n-by-n single-precision grid:
+ * 5 flops and 5 reads + 1 write per cell, 2n^2 floats of working set.
+ */
+sim::KernelDemand stencil2d(int n, const gpu::DeviceDescriptor &dev);
+
+/** STREAM triad a = b + s*c over n elements: 2 flops, 3 accesses. */
+sim::KernelDemand streamTriad(int n, const gpu::DeviceDescriptor &dev);
+
+/**
+ * Tree reduction over n single-precision elements: n-1 adds, one
+ * streaming read pass, negligible output.
+ */
+sim::KernelDemand reduction(int n, const gpu::DeviceDescriptor &dev);
+
+/**
+ * CSR SpMV with nnz non-zeros over an n-row matrix: 2 flops per
+ * non-zero, irregular value/column reads, dense vector reuse governed
+ * by the cache model.
+ */
+sim::KernelDemand spmv(int n, long long nnz,
+                       const gpu::DeviceDescriptor &dev);
+
+} // namespace workloads
+} // namespace gpupm
+
+#endif // GPUPM_WORKLOADS_PARAMETRIC_HH

@@ -1,0 +1,241 @@
+#include "workloads.hh"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "gpu/device.hh"
+#include "sim/perf_model.hh"
+
+namespace gpupm
+{
+namespace workloads
+{
+
+using gpu::Component;
+using gpu::componentIndex;
+
+sim::KernelDemand
+demandFromSignature(const std::string &name, const UtilSignature &sig,
+                    double time_s)
+{
+    GPUPM_ASSERT(time_s > 0.0, "non-positive target time");
+    const gpu::DeviceDescriptor &dev =
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+    const gpu::FreqConfig ref = dev.referenceConfig();
+    const sim::AnalyticPerfModel perf;
+    const double p = perf.overlapP();
+
+    sim::KernelDemand d;
+    d.name = name;
+
+    // Unit demands: U_x * peak_rate * T.
+    const auto unit_warps = [&](Component c) {
+        return sig.util[componentIndex(c)] *
+               dev.peakWarpsPerSecond(c, ref.core_mhz) * time_s;
+    };
+    d.warps_int = unit_warps(Component::Int);
+    d.warps_sp = unit_warps(Component::SP);
+    d.warps_dp = unit_warps(Component::DP);
+    d.warps_sf = unit_warps(Component::SF);
+    d.warps_other = sig.other_frac *
+                    (d.warps_int + d.warps_sp + d.warps_dp +
+                     d.warps_sf);
+
+    const auto level_bytes = [&](Component c) {
+        return sig.util[componentIndex(c)] * dev.peakBandwidth(c, ref) *
+               time_s;
+    };
+    const double l2 = level_bytes(Component::L2);
+    d.bytes_l2_rd = sig.rd_frac * l2;
+    d.bytes_l2_wr = (1.0 - sig.rd_frac) * l2;
+    const double dram = level_bytes(Component::Dram);
+    d.bytes_dram_rd = sig.rd_frac * dram;
+    d.bytes_dram_wr = (1.0 - sig.rd_frac) * dram;
+    const double sh = level_bytes(Component::Shared);
+    d.bytes_shared_ld = 0.5 * sh;
+    d.bytes_shared_st = 0.5 * sh;
+
+    // Exposed latency sized so the p-norm of all service-time shares
+    // equals 1, i.e. the execution time lands exactly on time_s and
+    // every utilization on its target.
+    const double fc_hz = 1e6 * ref.core_mhz;
+    const double u_issue = d.totalWarpInstructions() /
+                           (fc_hz * dev.num_sms * perf.issueSlots()) /
+                           time_s;
+    double sum_p = std::pow(u_issue, p);
+    for (double u : sig.util)
+        sum_p += std::pow(u, p);
+    if (sum_p < 1.0) {
+        const double lambda = std::pow(1.0 - sum_p, 1.0 / p);
+        d.latency_cycles = lambda * time_s * fc_hz;
+    } else {
+        warn("signature '", name, "' over-commits the reference ",
+             "configuration (p-sum ", sum_p, "); utilizations will ",
+             "deflate");
+    }
+    return d;
+}
+
+namespace
+{
+
+/** Compact builder for the signature tables below. */
+Workload
+make(const char *name, const char *suite, double u_int, double u_sp,
+     double u_dp, double u_sf, double u_sh, double u_l2, double u_dram,
+     double other_frac = 0.15, double time_s = 0.02)
+{
+    UtilSignature sig;
+    sig.util[componentIndex(Component::Int)] = u_int;
+    sig.util[componentIndex(Component::SP)] = u_sp;
+    sig.util[componentIndex(Component::DP)] = u_dp;
+    sig.util[componentIndex(Component::SF)] = u_sf;
+    sig.util[componentIndex(Component::Shared)] = u_sh;
+    sig.util[componentIndex(Component::L2)] = u_l2;
+    sig.util[componentIndex(Component::Dram)] = u_dram;
+    sig.other_frac = other_frac;
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.demand = demandFromSignature(name, sig, time_s);
+    // Deterministic per-application replay/divergence signature in
+    // [-0.25, +0.35]; real kernels differ widely in how much replay
+    // traffic they generate.
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : w.name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    w.demand.counter_distortion =
+            -0.25 + 0.60 * static_cast<double>(h % 10000) / 10000.0;
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+validationSet()
+{
+    // Signatures at the GTX Titan X reference configuration. Labelled
+    // values in Figs. 2/10 are matched where the paper prints them;
+    // the rest follow the known behaviour of the original benchmarks.
+    //                 name      suite        INT   SP    DP    SF    SH    L2    DRAM
+    std::vector<Workload> v;
+    v.push_back(make("STCL", "Rodinia", 0.15, 0.20, 0.00, 0.00, 0.02,
+                     0.30, 0.80, 0.45));
+    v.push_back(make("BCKP", "Rodinia", 0.14, 0.30, 0.00, 0.00, 0.30,
+                     0.35, 0.50, 0.25));
+    v.push_back(make("LUD", "Rodinia", 0.20, 0.35, 0.00, 0.00, 0.49,
+                     0.14, 0.11, 0.35));
+    v.push_back(make("2MM", "Polybench", 0.19, 0.49, 0.00, 0.00, 0.13,
+                     0.68, 0.30, 0.10));
+    v.push_back(make("FDTD", "Polybench", 0.20, 0.30, 0.00, 0.00, 0.02,
+                     0.52, 0.71, 0.30));
+    v.push_back(make("SYRK", "Polybench", 0.25, 0.37, 0.00, 0.00, 0.05,
+                     0.86, 0.14, 0.12));
+    v.push_back(make("CORR", "Polybench", 0.35, 0.30, 0.00, 0.00, 0.04,
+                     0.58, 0.17, 0.40));
+    v.push_back(make("GEMM", "Polybench", 0.20, 0.52, 0.00, 0.00, 0.10,
+                     0.69, 0.14, 0.08));
+    v.push_back(make("GESUMV", "Polybench", 0.13, 0.19, 0.00, 0.00,
+                     0.02, 0.56, 0.83, 0.28));
+    v.push_back(make("GRAMS", "Polybench", 0.17, 0.24, 0.00, 0.00,
+                     0.03, 0.61, 0.19, 0.50));
+    v.push_back(make("SYRK_D", "Polybench", 0.12, 0.05, 0.85, 0.00,
+                     0.04, 0.20, 0.12, 0.15));
+    v.push_back(make("3MM", "Polybench", 0.18, 0.52, 0.00, 0.00, 0.11,
+                     0.72, 0.24, 0.09));
+    v.push_back(make("GAUSS", "Rodinia", 0.11, 0.12, 0.00, 0.00, 0.02,
+                     0.25, 0.23, 0.55));
+    v.push_back(make("HOTS", "Rodinia", 0.20, 0.47, 0.00, 0.00, 0.25,
+                     0.30, 0.30, 0.18));
+    v.push_back(make("COVAR", "Polybench", 0.50, 0.23, 0.00, 0.00,
+                     0.03, 0.64, 0.21, 0.30));
+    v.push_back(make("PF_N", "Rodinia", 0.51, 0.15, 0.00, 0.00, 0.03,
+                     0.47, 0.30, 0.48));
+    v.push_back(make("PF_F", "Rodinia", 0.25, 0.30, 0.00, 0.04, 0.05,
+                     0.35, 0.25, 0.38));
+    v.push_back(make("K-M", "Rodinia", 0.26, 0.20, 0.00, 0.00, 0.02,
+                     0.52, 0.71, 0.33));
+    v.push_back(make("K-M_2", "Rodinia", 0.11, 0.10, 0.00, 0.00, 0.02,
+                     0.24, 0.83, 0.20));
+    v.push_back(make("SRAD_1", "Rodinia", 0.19, 0.35, 0.00, 0.02,
+                     0.03, 0.51, 0.61, 0.26));
+    v.push_back(make("SRAD_2", "Rodinia", 0.23, 0.30, 0.00, 0.00,
+                     0.04, 0.47, 0.54, 0.42));
+    v.push_back(make("3DCNV", "Polybench", 0.17, 0.26, 0.00, 0.00,
+                     0.02, 0.56, 0.72, 0.22));
+    // BlackScholes: the Fig. 2A per-component labels.
+    v.push_back(make("BLCKSC", "CUDA SDK", 0.10, 0.25, 0.00, 0.19,
+                     0.02, 0.47, 0.85, 0.15));
+    v.push_back(make("CGUM", "CUDA SDK", 0.11, 0.14, 0.00, 0.00, 0.02,
+                     0.37, 0.86, 0.35));
+    v.push_back(make("LBM", "Parboil", 0.14, 0.26, 0.00, 0.00, 0.02,
+                     0.58, 0.92, 0.24));
+    // CUTCP: the Fig. 2B per-component labels.
+    v.push_back(make("CUTCP", "Parboil", 0.15, 0.28, 0.00, 0.11, 0.51,
+                     0.15, 0.17, 0.20));
+    GPUPM_ASSERT(v.size() == 26, "validation set has ", v.size(),
+                 " entries, expected 26");
+    return v;
+}
+
+std::vector<Workload>
+fullValidationSet()
+{
+    std::vector<Workload> v = validationSet();
+    v.push_back(matrixMulCublas(4096));
+    v.back().name = "CUBLAS";
+    return v;
+}
+
+Workload
+matrixMulCublas(int n)
+{
+    // Fig. 9: the SP / shared / L2 / DRAM utilizations grow with the
+    // input size as the GEMM shifts from launch-latency-bound tiles to
+    // a dense compute-bound sweep.
+    Workload w;
+    switch (n) {
+      case 64:
+        w = make("CUBLAS-64", "CUDA SDK", 0.06, 0.12, 0.00, 0.00, 0.12,
+                 0.50, 0.28, 0.15, 0.002);
+        break;
+      case 512:
+        w = make("CUBLAS-512", "CUDA SDK", 0.10, 0.58, 0.00, 0.00,
+                 0.30, 0.28, 0.13, 0.12, 0.005);
+        break;
+      case 4096:
+        w = make("CUBLAS-4096", "CUDA SDK", 0.25, 0.92, 0.00, 0.00,
+                 0.60, 0.38, 0.23, 0.05, 0.05);
+        break;
+      default:
+        GPUPM_FATAL("matrixMulCublas sizes are 64, 512 and 4096; got ",
+                    n);
+    }
+    return w;
+}
+
+Workload
+blackScholes()
+{
+    auto v = validationSet();
+    for (auto &w : v)
+        if (w.name == "BLCKSC")
+            return w;
+    GPUPM_PANIC("BLCKSC missing from the validation set");
+}
+
+Workload
+cutcp()
+{
+    auto v = validationSet();
+    for (auto &w : v)
+        if (w.name == "CUTCP")
+            return w;
+    GPUPM_PANIC("CUTCP missing from the validation set");
+}
+
+} // namespace workloads
+} // namespace gpupm

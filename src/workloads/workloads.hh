@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The validation applications of the paper's Table III, expressed as
+ * synthetic kernel demands.
+ *
+ * Each application is authored as a *utilization signature*: the
+ * per-component utilization it exhibits on the GTX Titan X at the
+ * reference configuration (975, 3505) MHz, taken from the values the
+ * paper reports in Figs. 2, 9 and 10 where labelled and from the
+ * qualitative behaviour of the original benchmarks elsewhere. The
+ * signature is inverted through the analytic performance model into a
+ * resource demand, after which the workload behaves physically on every
+ * device and configuration: utilizations shift with frequency, other
+ * devices see different bottlenecks, and no model-side quantity is ever
+ * fed directly into the estimator.
+ */
+
+#ifndef GPUPM_WORKLOADS_WORKLOADS_HH
+#define GPUPM_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/components.hh"
+#include "sim/kernel.hh"
+
+namespace gpupm
+{
+namespace workloads
+{
+
+/** One validation application. */
+struct Workload
+{
+    std::string name;   ///< figure-axis abbreviation (e.g. "BLCKSC")
+    std::string suite;  ///< Rodinia / Parboil / Polybench / CUDA SDK
+    sim::KernelDemand demand;
+};
+
+/** Target utilization signature used to author a workload. */
+struct UtilSignature
+{
+    gpu::ComponentArray util{};   ///< target utilizations at reference
+    double other_frac = 0.15;     ///< extra issue traffic vs unit work
+    /** Read share of the DRAM / L2 traffic. */
+    double rd_frac = 0.7;
+};
+
+/**
+ * Invert a utilization signature into a kernel demand through the
+ * analytic model at the GTX Titan X reference configuration. The
+ * exposed-latency term is sized so the execution time matches the
+ * signature exactly (utilizations come out at their target values).
+ *
+ * @param name  kernel name.
+ * @param sig   target signature.
+ * @param time_s  execution time of one launch at the reference.
+ */
+sim::KernelDemand demandFromSignature(const std::string &name,
+                                      const UtilSignature &sig,
+                                      double time_s = 0.02);
+
+/** The 26 validation applications (the Fig. 8 x-axis set). */
+std::vector<Workload> validationSet();
+
+/** Validation set plus matrixMulCUBLAS (the Fig. 7/10 set). */
+std::vector<Workload> fullValidationSet();
+
+/** matrixMulCUBLAS with n-by-n inputs (Fig. 9: 64, 512, 4096). */
+Workload matrixMulCublas(int n);
+
+/** The Fig. 2 subjects. */
+Workload blackScholes();
+Workload cutcp();
+
+} // namespace workloads
+} // namespace gpupm
+
+#endif // GPUPM_WORKLOADS_WORKLOADS_HH

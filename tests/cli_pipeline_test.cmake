@@ -1,0 +1,66 @@
+# Drives the gpupm CLI through campaign -> fit -> info -> predict ->
+# sweep, checking exit codes and that the file formats round-trip.
+file(MAKE_DIRECTORY ${WORK})
+
+execute_process(COMMAND ${CLI} campaign titanx ${WORK}/tx.campaign
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "campaign failed: ${rc}")
+endif()
+
+execute_process(COMMAND ${CLI} fit ${WORK}/tx.campaign ${WORK}/tx.model
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fit failed: ${rc}")
+endif()
+
+execute_process(COMMAND ${CLI} info ${WORK}/tx.model
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "info failed: ${rc}")
+endif()
+if(NOT out MATCHES "GTX Titan X")
+    message(FATAL_ERROR "info output missing device name: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} predict ${WORK}/tx.model BLCKSC 595 810
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "predict failed: ${rc}")
+endif()
+if(NOT out MATCHES "BLCKSC @ \\(595, 810\\)")
+    message(FATAL_ERROR "predict output unexpected: ${out}")
+endif()
+
+# Off-grid prediction goes through voltage interpolation.
+execute_process(COMMAND ${CLI} predict ${WORK}/tx.model CUTCP 700 3505
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "off-grid predict failed: ${rc}")
+endif()
+
+execute_process(COMMAND ${CLI} sweep ${WORK}/tx.model GEMM
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep failed: ${rc}")
+endif()
+
+# Unknown application must fail cleanly.
+execute_process(COMMAND ${CLI} predict ${WORK}/tx.model NOPE
+                RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "unknown app should fail")
+endif()
+
+# CUDA export emits all 82 kernels.
+execute_process(COMMAND ${CLI} export-cuda ${WORK}/suite.cu
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "export-cuda failed: ${rc}")
+endif()
+file(READ ${WORK}/suite.cu cu)
+string(REGEX MATCHALL "__global__" kernels "${cu}")
+list(LENGTH kernels nk)
+if(NOT nk EQUAL 82)
+    message(FATAL_ERROR "expected 82 kernels, got ${nk}")
+endif()

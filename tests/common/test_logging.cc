@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests of the logging / error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(GPUPM_PANIC("boom"), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(GPUPM_FATAL("bad input"), std::runtime_error);
+}
+
+TEST(Logging, PanicMessageCarriesLocationAndText)
+{
+    try {
+        GPUPM_PANIC("value was ", 42);
+        FAIL() << "expected panic";
+    } catch (const std::logic_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("panic"), std::string::npos);
+        EXPECT_NE(msg.find("value was 42"), std::string::npos);
+        EXPECT_NE(msg.find("test_logging.cc"), std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(GPUPM_ASSERT(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Logging, AssertThrowsOnFalseWithCondition)
+{
+    try {
+        GPUPM_ASSERT(false, "context ", 7);
+        FAIL() << "expected panic";
+    } catch (const std::logic_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("assertion"), std::string::npos);
+        EXPECT_NE(msg.find("context 7"), std::string::npos);
+    }
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(gpupm::warn("just a warning ", 1));
+    EXPECT_NO_THROW(gpupm::inform("status ", 2.5));
+}
+
+TEST(Logging, ConcatJoinsHeterogeneousArguments)
+{
+    EXPECT_EQ(gpupm::detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(gpupm::detail::concat(), "");
+}
+
+} // namespace

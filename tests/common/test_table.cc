@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests of the ASCII table / CSV emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace
+{
+
+using gpupm::TextTable;
+
+TEST(Table, PrintsAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| long-name"), std::string::npos);
+    // All rendered lines between rules have equal width.
+    std::istringstream is(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << "ragged line: " << line;
+    }
+}
+
+TEST(Table, TitlePrintedWhenSet)
+{
+    TextTable t({"c"});
+    t.setTitle("My Table");
+    t.addRow({"x"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str().rfind("My Table", 0), 0u);
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, EmptyHeaderPanics)
+{
+    EXPECT_THROW(TextTable({}), std::logic_error);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, CsvBasic)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters)
+{
+    TextTable t({"a"});
+    t.addRow({"x,y"});
+    t.addRow({"he said \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""),
+              std::string::npos);
+}
+
+TEST(Table, RowsCount)
+{
+    TextTable t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests of the online DVFS governor (the Sec. VII future-work
+ * feature): first-call profiling, decision caching, objective and
+ * constraint behaviour, verified against the board's ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hh"
+#include "core/governor.hh"
+#include "core/metrics.hh"
+#include "core/predictor.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+struct GovernorFixture : public ::testing::Test
+{
+    static const model::EstimationResult &
+    fitted()
+    {
+        static const model::EstimationResult fit = [] {
+            sim::PhysicalGpu b(gpu::DeviceKind::GtxTitanX);
+            model::CampaignOptions o;
+            o.power_repetitions = 3;
+            auto data = model::runTrainingCampaign(
+                    b, ubench::buildSuite(), o);
+            return model::ModelEstimator().estimate(data);
+        }();
+        return fit;
+    }
+
+    sim::PhysicalGpu board{gpu::DeviceKind::GtxTitanX};
+    nvml::Device device{board, 31};
+    cupti::Profiler profiler{board, 32};
+};
+
+TEST_F(GovernorFixture, FirstCallProfilesAndCaches)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::MinEnergy;
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+
+    const auto app = workloads::blackScholes();
+    EXPECT_FALSE(gov.cachedDecision(app.demand.name).has_value());
+
+    const auto first = gov.onKernelLaunch(app.demand);
+    EXPECT_FALSE(first.from_cache);
+    EXPECT_TRUE(gov.cachedDecision(app.demand.name).has_value());
+
+    const auto second = gov.onKernelLaunch(app.demand);
+    EXPECT_TRUE(second.from_cache);
+    EXPECT_EQ(second.cfg, first.cfg);
+    // The device now runs at the chosen clocks.
+    EXPECT_EQ(device.currentClocks(), first.cfg);
+}
+
+TEST_F(GovernorFixture, MemoryBoundKernelKeepsMemoryClockHigh)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::MinEnergy;
+    policy.max_slowdown = 1.10;
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+    // BlackScholes is DRAM-bound: dropping fmem would blow the
+    // slowdown budget, so the governor must keep it at/near the top.
+    const auto d = gov.onKernelLaunch(workloads::blackScholes().demand);
+    EXPECT_GE(d.cfg.mem_mhz, 3300);
+    EXPECT_LE(d.predicted_slowdown, 1.10 + 1e-9);
+}
+
+TEST_F(GovernorFixture, ComputeBoundKernelCanDropMemoryClock)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::MinEnergy;
+    policy.max_slowdown = 1.10;
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+    // CUTCP barely touches DRAM: the energy-optimal choice drops the
+    // memory clock.
+    const auto d = gov.onKernelLaunch(workloads::cutcp().demand);
+    EXPECT_LT(d.cfg.mem_mhz, 3505);
+}
+
+TEST_F(GovernorFixture, PowerCapIsRespectedOnGroundTruth)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::PowerCap;
+    policy.power_cap_w = 120.0;
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+
+    for (const auto &w :
+         {workloads::blackScholes(), workloads::cutcp()}) {
+        const auto d = gov.onKernelLaunch(w.demand);
+        EXPECT_LE(d.predicted_power_w, 120.0);
+        // True power at the chosen configuration honours the cap
+        // within the model's error band (which reaches ~15-20% at the
+        // configurations furthest from the reference — Fig. 8).
+        const auto prof = board.execute(w.demand, d.cfg);
+        const double truth = board.truePower(prof, d.cfg).total_w;
+        EXPECT_LE(truth, 120.0 * 1.25) << w.name;
+    }
+}
+
+TEST_F(GovernorFixture, PowerCapPicksFastestUnderBudget)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::PowerCap;
+    policy.power_cap_w = 150.0;
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+    const auto d = gov.onKernelLaunch(workloads::cutcp().demand);
+    // Any configuration with strictly faster predicted execution must
+    // violate the budget.
+    model::Predictor pred(fitted().model);
+    const model::LatencyScaler scaler(fitted().model.reference());
+    // Re-derive the utilization the governor saw.
+    cupti::Profiler p2(board, 32);
+    const auto rm = p2.profile(workloads::cutcp().demand,
+                               board.descriptor().referenceConfig());
+    const auto util = model::utilizationsFromMetrics(
+            rm, board.descriptor(),
+            board.descriptor().referenceConfig());
+    for (const auto &pt : pred.sweep(util)) {
+        const double slow = scaler.slowdown(util, pt.cfg);
+        if (slow < d.predicted_slowdown - 1e-9) {
+            EXPECT_GT(pt.prediction.total_w, 150.0);
+        }
+    }
+}
+
+TEST_F(GovernorFixture, MinEnergySavesEnergyOnGroundTruth)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::MinEnergy;
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+    const auto app = workloads::cutcp();
+    const auto d = gov.onKernelLaunch(app.demand);
+
+    const auto ref = board.descriptor().referenceConfig();
+    const auto ref_prof = board.execute(app.demand, ref);
+    const double e_ref =
+            board.truePower(ref_prof, ref).total_w * ref_prof.time_s;
+    const auto prof = board.execute(app.demand, d.cfg);
+    const double e_gov =
+            board.truePower(prof, d.cfg).total_w * prof.time_s;
+    EXPECT_LT(e_gov, e_ref);
+}
+
+TEST_F(GovernorFixture, ImpossibleConstraintsFallBackGracefully)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::PowerCap;
+    policy.power_cap_w = 1.0; // nothing satisfies this
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+    const auto d = gov.onKernelLaunch(workloads::cutcp().demand);
+    // Falls back to the minimum-power configuration.
+    EXPECT_GT(d.predicted_power_w, 1.0);
+    EXPECT_EQ(d.cfg.core_mhz, board.descriptor().minCoreMhz());
+}
+
+TEST_F(GovernorFixture, ResetForgetsDecisions)
+{
+    model::OnlineGovernor gov(fitted().model, device, profiler, {});
+    const auto app = workloads::cutcp();
+    gov.onKernelLaunch(app.demand);
+    ASSERT_TRUE(gov.cachedDecision(app.demand.name).has_value());
+    gov.reset();
+    EXPECT_FALSE(gov.cachedDecision(app.demand.name).has_value());
+}
+
+TEST_F(GovernorFixture, InvalidPoliciesPanic)
+{
+    model::GovernorPolicy bad_cap;
+    bad_cap.objective = model::GovernorObjective::PowerCap;
+    bad_cap.power_cap_w = 0.0;
+    EXPECT_THROW(model::OnlineGovernor(fitted().model, device,
+                                       profiler, bad_cap),
+                 std::logic_error);
+    model::GovernorPolicy bad_slow;
+    bad_slow.max_slowdown = 0.5;
+    EXPECT_THROW(model::OnlineGovernor(fitted().model, device,
+                                       profiler, bad_slow),
+                 std::logic_error);
+}
+
+TEST_F(GovernorFixture, AnonymousKernelPanics)
+{
+    model::OnlineGovernor gov(fitted().model, device, profiler, {});
+    sim::KernelDemand anon;
+    anon.warps_sp = 1e9;
+    EXPECT_THROW(gov.onKernelLaunch(anon), std::logic_error);
+}
+
+} // namespace
+
+namespace
+{
+
+TEST_F(GovernorFixture, MinPowerPicksTheFloorConfiguration)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::MinPower;
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+    const auto d = gov.onKernelLaunch(workloads::cutcp().demand);
+    // Unconstrained minimum power lives at the lowest clocks.
+    EXPECT_EQ(d.cfg.core_mhz, board.descriptor().minCoreMhz());
+    EXPECT_EQ(d.cfg.mem_mhz,
+              board.descriptor().mem_freqs_mhz.back());
+}
+
+TEST_F(GovernorFixture, EnergyDelayPrefersFasterConfigsThanEnergy)
+{
+    model::GovernorPolicy e_policy;
+    e_policy.objective = model::GovernorObjective::MinEnergy;
+    model::GovernorPolicy edp_policy;
+    edp_policy.objective = model::GovernorObjective::MinEnergyDelay;
+
+    model::OnlineGovernor e_gov(fitted().model, device, profiler,
+                                e_policy);
+    model::OnlineGovernor edp_gov(fitted().model, device, profiler,
+                                  edp_policy);
+    const auto app = workloads::cutcp();
+    const auto de = e_gov.onKernelLaunch(app.demand);
+    const auto dedp = edp_gov.onKernelLaunch(app.demand);
+    // EDP weights delay twice: it never chooses a slower point than
+    // the pure-energy objective.
+    EXPECT_LE(dedp.predicted_slowdown,
+              de.predicted_slowdown + 1e-9);
+}
+
+TEST_F(GovernorFixture, DistinctKernelsGetDistinctDecisions)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::MinEnergy;
+    policy.max_slowdown = 1.10;
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+    const auto mem_bound =
+            gov.onKernelLaunch(workloads::blackScholes().demand);
+    const auto compute_bound =
+            gov.onKernelLaunch(workloads::cutcp().demand);
+    // A DRAM-bound and a shared-bound kernel must not land on the
+    // same memory clock under a tight slowdown budget.
+    EXPECT_NE(mem_bound.cfg.mem_mhz, compute_bound.cfg.mem_mhz);
+}
+
+} // namespace
+
+namespace
+{
+
+TEST_F(GovernorFixture, ReprofilingFollowsPhaseChanges)
+{
+    model::GovernorPolicy policy;
+    policy.objective = model::GovernorObjective::MinEnergy;
+    policy.max_slowdown = 1.10;
+    policy.reprofile_period = 3;
+    model::OnlineGovernor gov(fitted().model, device, profiler,
+                              policy);
+
+    // Phase 1: a compute-bound kernel named "solver".
+    auto phase1 = workloads::cutcp().demand;
+    phase1.name = "solver";
+    const auto d1 = gov.onKernelLaunch(phase1);
+    EXPECT_FALSE(d1.from_cache);
+    EXPECT_TRUE(gov.onKernelLaunch(phase1).from_cache);
+    EXPECT_TRUE(gov.onKernelLaunch(phase1).from_cache);
+
+    // Phase change: the same kernel name becomes DRAM-bound. The next
+    // launch crosses the re-profile period and re-decides.
+    auto phase2 = workloads::blackScholes().demand;
+    phase2.name = "solver";
+    const auto d2 = gov.onKernelLaunch(phase2);
+    EXPECT_FALSE(d2.from_cache);
+    // A DRAM-bound phase cannot keep the low memory clock.
+    EXPECT_GT(d2.cfg.mem_mhz, d1.cfg.mem_mhz);
+}
+
+TEST_F(GovernorFixture, NoReprofilingByDefault)
+{
+    model::OnlineGovernor gov(fitted().model, device, profiler, {});
+    const auto app = workloads::cutcp();
+    gov.onKernelLaunch(app.demand);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(gov.onKernelLaunch(app.demand).from_cache);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests of the counters-only execution-time scaling model, including
+ * a cross-check against the substrate's ground-truth timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/latency_scaler.hh"
+#include "sim/physical_gpu.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+const gpu::FreqConfig kRef{975, 3505};
+
+TEST(LatencyScaler, IdentityAtReference)
+{
+    model::LatencyScaler s(kRef);
+    gpu::ComponentArray u{};
+    u[componentIndex(Component::SP)] = 0.7;
+    u[componentIndex(Component::Dram)] = 0.5;
+    EXPECT_NEAR(s.slowdown(u, kRef), 1.0, 1e-9);
+    EXPECT_NEAR(s.scaledTime(0.02, u, kRef), 0.02, 1e-12);
+}
+
+TEST(LatencyScaler, ComputeBoundScalesWithCoreClock)
+{
+    model::LatencyScaler s(kRef);
+    gpu::ComponentArray u{};
+    u[componentIndex(Component::SP)] = 0.95;
+    const double slow = s.slowdown(u, {595, 3505});
+    EXPECT_NEAR(slow, 975.0 / 595.0, 0.12);
+    // Memory clock changes barely matter for this kernel.
+    EXPECT_NEAR(s.slowdown(u, {975, 810}), 1.0, 0.15);
+}
+
+TEST(LatencyScaler, MemoryBoundScalesWithMemClock)
+{
+    model::LatencyScaler s(kRef);
+    gpu::ComponentArray u{};
+    u[componentIndex(Component::Dram)] = 0.95;
+    const double slow = s.slowdown(u, {975, 810});
+    EXPECT_NEAR(slow, 3505.0 / 810.0, 0.5);
+    EXPECT_NEAR(s.slowdown(u, {595, 3505}), 1.0, 0.35);
+}
+
+TEST(LatencyScaler, IdleSlackScalesWithCoreClock)
+{
+    // A kernel with no counted activity is latency-bound: time scales
+    // with 1/fcore.
+    model::LatencyScaler s(kRef);
+    gpu::ComponentArray u{};
+    EXPECT_NEAR(s.slowdown(u, {595, 3505}), 975.0 / 595.0, 1e-9);
+}
+
+TEST(LatencyScaler, FasterClocksNeverSlowDown)
+{
+    model::LatencyScaler s(kRef);
+    gpu::ComponentArray u{};
+    u[componentIndex(Component::SP)] = 0.5;
+    u[componentIndex(Component::Dram)] = 0.5;
+    EXPECT_LE(s.slowdown(u, {1164, 4005}), 1.0 + 1e-9);
+    EXPECT_GE(s.slowdown(u, {595, 810}), 1.0);
+}
+
+TEST(LatencyScaler, CrossCheckAgainstGroundTruthTiming)
+{
+    // Predicted slowdowns of the validation workloads must track the
+    // substrate's actual execution-time ratios.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const model::LatencyScaler s(kRef);
+    for (const auto &w : workloads::validationSet()) {
+        const auto ref_prof = board.execute(w.demand, kRef);
+        for (const gpu::FreqConfig cfg :
+             {gpu::FreqConfig{595, 3505}, gpu::FreqConfig{975, 810},
+              gpu::FreqConfig{1164, 4005}}) {
+            const auto prof = board.execute(w.demand, cfg);
+            const double truth = prof.time_s / ref_prof.time_s;
+            const double pred = s.slowdown(ref_prof.util, cfg);
+            EXPECT_NEAR(pred, truth, 0.25 * truth)
+                    << w.name << " at (" << cfg.core_mhz << ","
+                    << cfg.mem_mhz << ")";
+        }
+    }
+}
+
+TEST(LatencyScaler, InvalidInputsPanic)
+{
+    EXPECT_THROW(model::LatencyScaler({0, 3505}), std::logic_error);
+    EXPECT_THROW(model::LatencyScaler(kRef, 0.5), std::logic_error);
+    model::LatencyScaler s(kRef);
+    EXPECT_THROW(s.slowdown(gpu::ComponentArray{}, {0, 0}),
+                 std::logic_error);
+    EXPECT_THROW(s.scaledTime(-1.0, gpu::ComponentArray{}, kRef),
+                 std::logic_error);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Hand-computed checks of the Eq. 8-10 utilization metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+const gpu::DeviceDescriptor &titanx()
+{
+    return gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+}
+
+TEST(Metrics, Eq8HandComputed)
+{
+    // GTX Titan X: 128 SP/INT lanes -> 4 warps/cycle at saturation.
+    cupti::RawMetrics rm;
+    rm.time_s = 1.0;
+    rm.acycles = 1e9;
+    rm.warps_sp_int = 2e9;  // per-SM: half of the 4e9 saturation count
+    rm.inst_int = 0.0;
+    rm.inst_sp = 1.0; // all SP
+    const auto u = model::utilizationsFromMetrics(
+            rm, titanx(), titanx().referenceConfig());
+    EXPECT_NEAR(u[componentIndex(Component::SP)], 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(u[componentIndex(Component::Int)], 0.0);
+}
+
+TEST(Metrics, Eq10SplitsByInstructionMix)
+{
+    cupti::RawMetrics rm;
+    rm.time_s = 1.0;
+    rm.acycles = 1e9;
+    rm.warps_sp_int = 2e9;
+    rm.inst_int = 3.0e6;
+    rm.inst_sp = 1.0e6;
+    const auto u = model::utilizationsFromMetrics(
+            rm, titanx(), titanx().referenceConfig());
+    // 3:1 split of the 0.5 combined utilization.
+    EXPECT_NEAR(u[componentIndex(Component::Int)], 0.375, 1e-9);
+    EXPECT_NEAR(u[componentIndex(Component::SP)], 0.125, 1e-9);
+}
+
+TEST(Metrics, Eq8DpAndSfUseTheirUnitCounts)
+{
+    cupti::RawMetrics rm;
+    rm.time_s = 1.0;
+    rm.acycles = 1e9;
+    // 4 DP lanes -> 0.125 warps/cycle saturation.
+    rm.warps_dp = 0.0625e9;
+    // 32 SF lanes -> 1 warp/cycle saturation.
+    rm.warps_sf = 0.5e9;
+    const auto u = model::utilizationsFromMetrics(
+            rm, titanx(), titanx().referenceConfig());
+    EXPECT_NEAR(u[componentIndex(Component::DP)], 0.5, 1e-9);
+    EXPECT_NEAR(u[componentIndex(Component::SF)], 0.5, 1e-9);
+}
+
+TEST(Metrics, Eq9BandwidthRatios)
+{
+    const auto ref = titanx().referenceConfig();
+    cupti::RawMetrics rm;
+    rm.time_s = 0.5;
+    rm.acycles = 1.0; // avoid the zero-cycles guard
+    rm.dram_rd_bytes =
+            0.3 * titanx().peakBandwidth(Component::Dram, ref) * 0.5;
+    rm.dram_wr_bytes =
+            0.1 * titanx().peakBandwidth(Component::Dram, ref) * 0.5;
+    rm.l2_rd_bytes =
+            0.25 * titanx().peakBandwidth(Component::L2, ref) * 0.5;
+    rm.shared_ld_bytes =
+            0.2 * titanx().peakBandwidth(Component::Shared, ref) * 0.5;
+    const auto u = model::utilizationsFromMetrics(rm, titanx(), ref);
+    EXPECT_NEAR(u[componentIndex(Component::Dram)], 0.4, 1e-9);
+    EXPECT_NEAR(u[componentIndex(Component::L2)], 0.25, 1e-9);
+    EXPECT_NEAR(u[componentIndex(Component::Shared)], 0.2, 1e-9);
+}
+
+TEST(Metrics, OverflowingCountersClampToOne)
+{
+    const auto ref = titanx().referenceConfig();
+    cupti::RawMetrics rm;
+    rm.time_s = 1.0;
+    rm.acycles = 1e9;
+    rm.warps_sp_int = 100e9; // absurdly over-reported
+    rm.inst_sp = 1.0;
+    rm.dram_rd_bytes =
+            5.0 * titanx().peakBandwidth(Component::Dram, ref);
+    const auto u = model::utilizationsFromMetrics(rm, titanx(), ref);
+    EXPECT_DOUBLE_EQ(u[componentIndex(Component::SP)], 1.0);
+    EXPECT_DOUBLE_EQ(u[componentIndex(Component::Dram)], 1.0);
+}
+
+TEST(Metrics, ZeroCyclesYieldsZeroComputeUtilization)
+{
+    cupti::RawMetrics rm;
+    rm.time_s = 1.0;
+    rm.acycles = 0.0;
+    rm.warps_sp_int = 1e9;
+    const auto u = model::utilizationsFromMetrics(
+            rm, titanx(), titanx().referenceConfig());
+    EXPECT_DOUBLE_EQ(u[componentIndex(Component::SP)], 0.0);
+    EXPECT_DOUBLE_EQ(u[componentIndex(Component::Int)], 0.0);
+}
+
+TEST(Metrics, MissingTimePanics)
+{
+    cupti::RawMetrics rm;
+    rm.time_s = 0.0;
+    EXPECT_THROW(model::utilizationsFromMetrics(
+                         rm, titanx(), titanx().referenceConfig()),
+                 std::logic_error);
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of model / campaign persistence and off-grid voltage
+ * interpolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/campaign.hh"
+#include "core/model_io.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+const model::TrainingData &
+campaign()
+{
+    static const model::TrainingData data = [] {
+        sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+        model::CampaignOptions o;
+        o.power_repetitions = 2;
+        return model::runTrainingCampaign(board, ubench::buildSuite(),
+                                          o);
+    }();
+    return data;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ModelIo, CampaignRoundTripsExactly)
+{
+    const auto &data = campaign();
+    const auto parsed = model::deserializeTrainingData(
+            model::serializeTrainingData(data));
+    EXPECT_EQ(parsed.device, data.device);
+    EXPECT_EQ(parsed.reference, data.reference);
+    ASSERT_EQ(parsed.configs.size(), data.configs.size());
+    ASSERT_EQ(parsed.utils.size(), data.utils.size());
+    for (std::size_t b = 0; b < data.utils.size(); ++b) {
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+            EXPECT_NEAR(parsed.utils[b][i], data.utils[b][i], 1e-9);
+        for (std::size_t c = 0; c < data.configs.size(); ++c)
+            EXPECT_NEAR(parsed.power_w[b][c], data.power_w[b][c],
+                        1e-6);
+    }
+}
+
+TEST(ModelIo, CampaignFileRoundTrip)
+{
+    const std::string path = tempPath("gpupm_test.campaign");
+    model::saveTrainingData(campaign(), path);
+    const auto loaded = model::loadTrainingData(path);
+    EXPECT_EQ(loaded.configs.size(), campaign().configs.size());
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, ModelFileRoundTrip)
+{
+    const auto fit = model::ModelEstimator().estimate(campaign());
+    const std::string path = tempPath("gpupm_test.model");
+    model::saveModel(fit.model, path);
+    const auto loaded = model::loadModel(path);
+    gpu::ComponentArray u{};
+    u[componentIndex(Component::SP)] = 0.6;
+    u[componentIndex(Component::Dram)] = 0.4;
+    for (const auto &cfg :
+         gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX)
+                 .allConfigs()) {
+        EXPECT_NEAR(loaded.predict(u, cfg).total_w,
+                    fit.model.predict(u, cfg).total_w, 1e-6);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingFilesAreFatal)
+{
+    EXPECT_THROW(model::loadModel("/nonexistent/path.model"),
+                 std::runtime_error);
+    EXPECT_THROW(model::loadTrainingData("/nonexistent/c.campaign"),
+                 std::runtime_error);
+    EXPECT_THROW(model::deserializeTrainingData("garbage"),
+                 std::runtime_error);
+}
+
+TEST(Interpolation, ExactOnGridPointsMatchesTable)
+{
+    const auto fit = model::ModelEstimator().estimate(campaign());
+    for (const auto &[key, v] : fit.model.voltageTable()) {
+        const auto iv = fit.model.voltagesInterpolated(
+                {key.first, key.second});
+        EXPECT_DOUBLE_EQ(iv.core, v.core);
+        EXPECT_DOUBLE_EQ(iv.mem, v.mem);
+    }
+}
+
+TEST(Interpolation, BetweenGridPointsIsBracketed)
+{
+    const auto fit = model::ModelEstimator().estimate(campaign());
+    // Between the 937 and 975 MHz core levels at the reference
+    // memory clock.
+    const auto lo = fit.model.voltages({937, 3505});
+    const auto hi = fit.model.voltages({975, 3505});
+    const auto mid = fit.model.voltagesInterpolated({956, 3505});
+    EXPECT_GE(mid.core, std::min(lo.core, hi.core) - 1e-12);
+    EXPECT_LE(mid.core, std::max(lo.core, hi.core) + 1e-12);
+}
+
+TEST(Interpolation, ClampsBeyondTableEdges)
+{
+    const auto fit = model::ModelEstimator().estimate(campaign());
+    const auto below = fit.model.voltagesInterpolated({100, 3505});
+    EXPECT_DOUBLE_EQ(below.core,
+                     fit.model.voltages({595, 3505}).core);
+    const auto above = fit.model.voltagesInterpolated({3000, 3505});
+    EXPECT_DOUBLE_EQ(above.core,
+                     fit.model.voltages({1164, 3505}).core);
+}
+
+TEST(Interpolation, HeldOutConfigsPredictAccurately)
+{
+    // Train on the even-indexed core clocks only; predict the odd
+    // ones through interpolation. The accuracy should degrade only
+    // mildly versus the fully fitted model — the use case 4
+    // "fine-grained V-F perturbations" scenario.
+    const auto &full = campaign();
+    model::TrainingData sparse;
+    sparse.device = full.device;
+    sparse.reference = full.reference;
+    std::vector<std::size_t> kept;
+    const auto &dev =
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+    for (std::size_t ci = 0; ci < full.configs.size(); ++ci) {
+        const auto &cfg = full.configs[ci];
+        const auto it = std::find(dev.core_freqs_mhz.begin(),
+                                  dev.core_freqs_mhz.end(),
+                                  cfg.core_mhz);
+        const auto idx = std::distance(dev.core_freqs_mhz.begin(), it);
+        if (idx % 2 == 0 || cfg == full.reference) {
+            sparse.configs.push_back(cfg);
+            kept.push_back(ci);
+        }
+    }
+    sparse.utils = full.utils;
+    sparse.power_w.resize(full.utils.size());
+    for (std::size_t b = 0; b < full.utils.size(); ++b)
+        for (std::size_t ci : kept)
+            sparse.power_w[b].push_back(full.power_w[b][ci]);
+
+    const auto fit = model::ModelEstimator().estimate(sparse);
+
+    // Evaluate the fit on the held-out configurations of the full
+    // campaign via interpolated voltages.
+    double err = 0.0;
+    std::size_t n = 0;
+    for (std::size_t b = 0; b < full.utils.size(); ++b) {
+        for (std::size_t ci = 0; ci < full.configs.size(); ++ci) {
+            const auto &cfg = full.configs[ci];
+            if (fit.model.hasVoltages(cfg))
+                continue; // not held out
+            const double pred = fit.model
+                                        .predictInterpolated(
+                                                full.utils[b], cfg)
+                                        .total_w;
+            err += std::abs(pred - full.power_w[b][ci]) /
+                   full.power_w[b][ci];
+            ++n;
+        }
+    }
+    ASSERT_GT(n, 0u);
+    EXPECT_LT(100.0 * err / n, 10.0);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests of the Table I event registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cupti/events.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using namespace gpupm::cupti;
+
+TEST(Events, WPrefixesMatchTableIFootnote)
+{
+    EXPECT_EQ(EventTable::get(gpu::DeviceKind::TitanXp).wPrefix(),
+              352321u);
+    EXPECT_EQ(EventTable::get(gpu::DeviceKind::GtxTitanX).wPrefix(),
+              335544u);
+    EXPECT_EQ(EventTable::get(gpu::DeviceKind::TeslaK40c).wPrefix(),
+              318767u);
+}
+
+TEST(Events, TitanXpUndisclosedEventNumbers)
+{
+    const auto &t = EventTable::get(gpu::DeviceKind::TitanXp);
+    const auto &spint = t.eventsFor(Metric::WarpsSpInt);
+    ASSERT_EQ(spint.size(), 2u);
+    EXPECT_EQ(spint[0].name, "W580");
+    EXPECT_EQ(spint[1].name, "W581");
+    EXPECT_EQ(t.eventsFor(Metric::WarpsDp)[0].name, "W584");
+    EXPECT_EQ(t.eventsFor(Metric::WarpsSf)[0].name, "W560");
+    EXPECT_EQ(t.eventsFor(Metric::InstInt)[0].name, "W831");
+    EXPECT_EQ(t.eventsFor(Metric::InstSp)[0].name, "W829");
+}
+
+TEST(Events, GtxTitanXUndisclosedEventNumbers)
+{
+    const auto &t = EventTable::get(gpu::DeviceKind::GtxTitanX);
+    EXPECT_EQ(t.eventsFor(Metric::WarpsSpInt)[0].name, "W361");
+    EXPECT_EQ(t.eventsFor(Metric::WarpsSpInt)[1].name, "W362");
+    EXPECT_EQ(t.eventsFor(Metric::WarpsDp)[0].name, "W364");
+    EXPECT_EQ(t.eventsFor(Metric::WarpsSf)[0].name, "W359");
+    EXPECT_EQ(t.eventsFor(Metric::InstInt)[0].name, "W504");
+    EXPECT_EQ(t.eventsFor(Metric::InstSp)[0].name, "W502");
+}
+
+TEST(Events, TeslaK40cUndisclosedEventNumbers)
+{
+    const auto &t = EventTable::get(gpu::DeviceKind::TeslaK40c);
+    const auto &spint = t.eventsFor(Metric::WarpsSpInt);
+    ASSERT_EQ(spint.size(), 4u);
+    EXPECT_EQ(spint[0].name, "W131");
+    EXPECT_EQ(spint[1].name, "W134");
+    EXPECT_EQ(spint[2].name, "W136");
+    EXPECT_EQ(spint[3].name, "W137");
+    EXPECT_EQ(t.eventsFor(Metric::WarpsDp)[0].name, "W141");
+    EXPECT_EQ(t.eventsFor(Metric::WarpsSf)[0].name, "W133");
+    EXPECT_EQ(t.eventsFor(Metric::InstInt)[0].name, "W205");
+    EXPECT_EQ(t.eventsFor(Metric::InstSp)[0].name, "W203");
+}
+
+TEST(Events, K40cExposesFourL2SubpartitionsOthersTwo)
+{
+    EXPECT_EQ(EventTable::get(gpu::DeviceKind::TeslaK40c)
+                      .eventsFor(Metric::L2ReadQueries)
+                      .size(),
+              4u);
+    EXPECT_EQ(EventTable::get(gpu::DeviceKind::GtxTitanX)
+                      .eventsFor(Metric::L2ReadQueries)
+                      .size(),
+              2u);
+    EXPECT_EQ(EventTable::get(gpu::DeviceKind::TitanXp)
+                      .eventsFor(Metric::L2ReadQueries)
+                      .size(),
+              2u);
+}
+
+TEST(Events, K40cSharedEventsUseL1Names)
+{
+    const auto &t = EventTable::get(gpu::DeviceKind::TeslaK40c);
+    EXPECT_EQ(t.eventsFor(Metric::SharedLoadTrans)[0].name,
+              "l1_shared_ld_transactions");
+    const auto &tx = EventTable::get(gpu::DeviceKind::GtxTitanX);
+    EXPECT_EQ(tx.eventsFor(Metric::SharedLoadTrans)[0].name,
+              "shared_ld_transactions");
+}
+
+class EventsAllDevices
+    : public ::testing::TestWithParam<gpu::DeviceKind>
+{
+};
+
+TEST_P(EventsAllDevices, EveryMetricHasEvents)
+{
+    const auto &t = EventTable::get(GetParam());
+    for (Metric m : kAllMetrics)
+        EXPECT_FALSE(t.eventsFor(m).empty()) << metricName(m);
+}
+
+TEST_P(EventsAllDevices, EventIdsAreUnique)
+{
+    const auto &t = EventTable::get(GetParam());
+    std::set<EventId> seen;
+    for (const auto &ev : t.allEvents())
+        EXPECT_TRUE(seen.insert(ev.id).second)
+                << "duplicate id " << ev.id << " (" << ev.name << ")";
+}
+
+TEST_P(EventsAllDevices, WEventIdsCarryDevicePrefix)
+{
+    const auto &t = EventTable::get(GetParam());
+    for (const auto &ev : t.allEvents()) {
+        if (ev.name.starts_with("W")) {
+            EXPECT_EQ(ev.id / 1000, t.wPrefix()) << ev.name;
+        }
+    }
+}
+
+TEST_P(EventsAllDevices, DramSectorEventsSplitOverTwoPartitions)
+{
+    const auto &t = EventTable::get(GetParam());
+    EXPECT_EQ(t.eventsFor(Metric::DramReadSectors).size(), 2u);
+    EXPECT_EQ(t.eventsFor(Metric::DramWriteSectors).size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableI, EventsAllDevices,
+                         ::testing::Values(gpu::DeviceKind::TitanXp,
+                                           gpu::DeviceKind::GtxTitanX,
+                                           gpu::DeviceKind::TeslaK40c));
+
+TEST(Events, MetricNamesAreStable)
+{
+    EXPECT_EQ(metricName(Metric::ActiveCycles), "ACycles");
+    EXPECT_EQ(metricName(Metric::WarpsSpInt), "WarpsSP/INT");
+}
+
+} // namespace

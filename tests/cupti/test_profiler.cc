@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests of the simulated CUPTI profiling session: aggregation
+ * identities, determinism, and the per-architecture counter fidelity
+ * ordering the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cupti/profiler.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+sim::KernelDemand
+probeKernel()
+{
+    sim::KernelDemand d;
+    d.name = "probe";
+    d.warps_int = 1e9;
+    d.warps_sp = 3e9;
+    d.warps_dp = 1e7;
+    d.warps_sf = 5e7;
+    d.warps_other = 5e8;
+    d.bytes_l2_rd = 4e9;
+    d.bytes_l2_wr = 2e9;
+    d.bytes_dram_rd = 2e9;
+    d.bytes_dram_wr = 1e9;
+    d.bytes_shared_ld = 1e9;
+    d.bytes_shared_st = 1e9;
+    return d;
+}
+
+TEST(Profiler, AggregationRecoversDemandOnCleanDevice)
+{
+    // On the Maxwell board (small bias/leak) the aggregated metrics
+    // should track the true demand within a few percent.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    cupti::Profiler prof(board, 1);
+    const auto d = probeKernel();
+    const auto rm =
+            prof.profile(d, board.descriptor().referenceConfig());
+
+    EXPECT_NEAR(rm.dram_rd_bytes / d.bytes_dram_rd, 1.0, 0.15);
+    EXPECT_NEAR(rm.l2_rd_bytes / d.bytes_l2_rd, 1.0, 0.15);
+    EXPECT_NEAR(rm.shared_ld_bytes / d.bytes_shared_ld, 1.0, 0.15);
+    const double sms = board.descriptor().num_sms;
+    EXPECT_NEAR(rm.warps_sp_int * sms /
+                        (d.warps_int + d.warps_sp),
+                1.0, 0.2);
+    EXPECT_GT(rm.time_s, 0.0);
+    EXPECT_GT(rm.acycles, 0.0);
+}
+
+TEST(Profiler, Eq10InputsPreserveInstructionRatio)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    cupti::Profiler prof(board, 1);
+    const auto d = probeKernel();
+    const auto rm =
+            prof.profile(d, board.descriptor().referenceConfig());
+    // inst_sp / inst_int should track warps_sp / warps_int = 3.
+    EXPECT_NEAR(rm.inst_sp / rm.inst_int, 3.0, 0.4);
+}
+
+TEST(Profiler, SameSeedSameSnapshot)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    cupti::Profiler a(board, 7), b(board, 7);
+    const auto d = probeKernel();
+    const auto cfg = board.descriptor().referenceConfig();
+    const auto sa = a.collect(d, cfg);
+    const auto sb = b.collect(d, cfg);
+    ASSERT_EQ(sa.counts.size(), sb.counts.size());
+    for (const auto &[id, v] : sa.counts)
+        EXPECT_DOUBLE_EQ(v, sb.counts.at(id));
+}
+
+TEST(Profiler, BiasIsFixedPerEvent)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::TeslaK40c);
+    cupti::Profiler prof(board, 3);
+    const auto &table =
+            cupti::EventTable::get(gpu::DeviceKind::TeslaK40c);
+    const auto id = table.eventsFor(cupti::Metric::WarpsDp)[0].id;
+    const double b1 = prof.biasOf(id);
+    const double b2 = prof.biasOf(id);
+    EXPECT_DOUBLE_EQ(b1, b2);
+    EXPECT_GT(b1, 0.4);
+    EXPECT_LT(b1, 1.6);
+}
+
+TEST(Profiler, UnknownEventIdPanics)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    cupti::Profiler prof(board, 3);
+    EXPECT_THROW(prof.biasOf(999999999), std::logic_error);
+}
+
+TEST(Profiler, KeplerCountersAreLessFaithfulThanMaxwell)
+{
+    // Average absolute deviation of the aggregated warp metric from
+    // the true demand, over several seeds: the Kepler board must be
+    // markedly worse (the paper's explanation for its higher error).
+    const auto fidelity = [](gpu::DeviceKind kind) {
+        sim::PhysicalGpu board(kind);
+        const auto d = probeKernel();
+        double err = 0.0;
+        const int n = 12;
+        for (int seed = 1; seed <= n; ++seed) {
+            cupti::Profiler prof(board, seed);
+            const auto rm = prof.profile(
+                    d, board.descriptor().referenceConfig());
+            const double truth =
+                    (d.warps_int + d.warps_sp) /
+                    board.descriptor().num_sms;
+            err += std::abs(rm.warps_sp_int - truth) / truth;
+        }
+        return err / n;
+    };
+    const double kepler = fidelity(gpu::DeviceKind::TeslaK40c);
+    const double maxwell = fidelity(gpu::DeviceKind::GtxTitanX);
+    EXPECT_GT(kepler, 1.5 * maxwell);
+}
+
+TEST(Profiler, DistortionShiftsWarpAndMemoryCounts)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::TeslaK40c);
+    cupti::Profiler prof(board, 5);
+    auto base = probeKernel();
+    auto distorted = probeKernel();
+    distorted.counter_distortion = 0.3;
+    const auto cfg = board.descriptor().referenceConfig();
+    const auto rb = prof.aggregate(prof.collect(base, cfg));
+    const auto rd = prof.aggregate(prof.collect(distorted, cfg));
+    EXPECT_GT(rd.warps_sp_int, rb.warps_sp_int * 1.3);
+    EXPECT_GT(rd.dram_rd_bytes, rb.dram_rd_bytes * 1.3);
+    // Instruction (Eq. 10) events are replay-immune.
+    EXPECT_NEAR(rd.inst_sp / rb.inst_sp, 1.0, 0.05);
+}
+
+TEST(Profiler, ZeroDemandYieldsZeroCounts)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    cupti::Profiler prof(board, 5);
+    sim::KernelDemand d;
+    d.name = "tiny";
+    d.warps_sp = 1e6; // only SP work
+    const auto rm =
+            prof.profile(d, board.descriptor().referenceConfig());
+    // The DP counter may pick up a tiny SP/INT leak, nothing more.
+    const double sms = board.descriptor().num_sms;
+    EXPECT_LT(rm.warps_dp * sms, 0.01 * d.warps_sp);
+    EXPECT_DOUBLE_EQ(rm.dram_rd_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(rm.shared_ld_bytes, 0.0);
+}
+
+} // namespace
+
+namespace
+{
+
+TEST(Profiler, CollectionRequiresMultiplePasses)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    cupti::Profiler prof(board, 2);
+    const auto passes = prof.collectionPasses();
+    // Table I exceeds one pass of counters on every device.
+    EXPECT_GE(passes.size(), 2u);
+    std::size_t total = 0;
+    for (const auto &p : passes) {
+        EXPECT_LE(p.size(), cupti::Profiler::kCountersPerPass);
+        EXPECT_FALSE(p.empty());
+        total += p.size();
+    }
+    // Every registered event is collected exactly once.
+    EXPECT_EQ(total, cupti::EventTable::get(gpu::DeviceKind::GtxTitanX)
+                             .allEvents()
+                             .size());
+}
+
+TEST(Profiler, PassesCoverEveryEventOnAllDevices)
+{
+    for (auto kind :
+         {gpu::DeviceKind::TitanXp, gpu::DeviceKind::GtxTitanX,
+          gpu::DeviceKind::TeslaK40c}) {
+        sim::PhysicalGpu board(kind);
+        cupti::Profiler prof(board, 2);
+        std::set<cupti::EventId> seen;
+        for (const auto &p : prof.collectionPasses())
+            for (auto id : p)
+                EXPECT_TRUE(seen.insert(id).second);
+        for (const auto &ev :
+             cupti::EventTable::get(kind).allEvents())
+            EXPECT_TRUE(seen.count(ev.id)) << ev.name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests of the Table II device descriptors and the Sec. III-C peak
+ * calculators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+
+namespace
+{
+
+using namespace gpupm::gpu;
+
+TEST(Device, TitanXpTableII)
+{
+    const auto &d = DeviceDescriptor::get(DeviceKind::TitanXp);
+    EXPECT_EQ(d.name, "Titan Xp");
+    EXPECT_EQ(d.architecture, Architecture::Pascal);
+    EXPECT_EQ(d.compute_capability, "6.1");
+    EXPECT_EQ(d.mem_freqs_mhz, (std::vector<int>{5705, 4705}));
+    EXPECT_EQ(d.core_freqs_mhz.size(), 22u);
+    EXPECT_EQ(d.core_freqs_mhz.front(), 582);
+    EXPECT_EQ(d.core_freqs_mhz.back(), 1911);
+    EXPECT_EQ(d.default_core_mhz, 1404);
+    EXPECT_EQ(d.default_mem_mhz, 5705);
+    EXPECT_EQ(d.num_sms, 30);
+    EXPECT_EQ(d.sp_int_units_per_sm, 128);
+    EXPECT_EQ(d.dp_units_per_sm, 4);
+    EXPECT_EQ(d.sf_units_per_sm, 32);
+    EXPECT_DOUBLE_EQ(d.tdp_w, 250.0);
+}
+
+TEST(Device, GtxTitanXTableII)
+{
+    const auto &d = DeviceDescriptor::get(DeviceKind::GtxTitanX);
+    EXPECT_EQ(d.architecture, Architecture::Maxwell);
+    EXPECT_EQ(d.compute_capability, "5.2");
+    EXPECT_EQ(d.mem_freqs_mhz, (std::vector<int>{4005, 3505, 3300,
+                                                 810}));
+    EXPECT_EQ(d.core_freqs_mhz.size(), 16u);
+    EXPECT_EQ(d.core_freqs_mhz.front(), 595);
+    EXPECT_EQ(d.core_freqs_mhz.back(), 1164);
+    EXPECT_EQ(d.default_core_mhz, 975);
+    EXPECT_EQ(d.default_mem_mhz, 3505);
+    EXPECT_EQ(d.num_sms, 24);
+    EXPECT_DOUBLE_EQ(d.tdp_w, 250.0);
+    // The Fig. 9 TDP-fallback level must be a table entry.
+    EXPECT_TRUE(d.supports({1126, 3505}));
+}
+
+TEST(Device, TeslaK40cTableII)
+{
+    const auto &d = DeviceDescriptor::get(DeviceKind::TeslaK40c);
+    EXPECT_EQ(d.architecture, Architecture::Kepler);
+    EXPECT_EQ(d.compute_capability, "3.5");
+    EXPECT_EQ(d.mem_freqs_mhz, (std::vector<int>{3004}));
+    EXPECT_EQ(d.core_freqs_mhz.size(), 4u);
+    EXPECT_EQ(d.default_core_mhz, 875);
+    EXPECT_EQ(d.num_sms, 15);
+    EXPECT_EQ(d.sp_int_units_per_sm, 192);
+    EXPECT_EQ(d.dp_units_per_sm, 64);
+    EXPECT_DOUBLE_EQ(d.tdp_w, 235.0);
+}
+
+class AllDevices : public ::testing::TestWithParam<DeviceKind>
+{
+};
+
+TEST_P(AllDevices, CommonCharacteristics)
+{
+    const auto &d = DeviceDescriptor::get(GetParam());
+    EXPECT_EQ(d.warp_size, 32);
+    EXPECT_EQ(d.mem_bus_bytes, 48);
+    EXPECT_EQ(d.shared_banks, 32);
+    EXPECT_EQ(d.sf_units_per_sm, 32);
+    EXPECT_GT(d.l2_bytes_per_cycle, 0.0);
+}
+
+TEST_P(AllDevices, CoreFrequencyTableIsStrictlyIncreasing)
+{
+    const auto &d = DeviceDescriptor::get(GetParam());
+    for (std::size_t i = 1; i < d.core_freqs_mhz.size(); ++i)
+        EXPECT_LT(d.core_freqs_mhz[i - 1], d.core_freqs_mhz[i]);
+    EXPECT_EQ(d.minCoreMhz(), d.core_freqs_mhz.front());
+    EXPECT_EQ(d.maxCoreMhz(), d.core_freqs_mhz.back());
+}
+
+TEST_P(AllDevices, DefaultsAreTableEntries)
+{
+    const auto &d = DeviceDescriptor::get(GetParam());
+    EXPECT_TRUE(d.supports(d.referenceConfig()));
+}
+
+TEST_P(AllDevices, AllConfigsIsFullCross)
+{
+    const auto &d = DeviceDescriptor::get(GetParam());
+    const auto configs = d.allConfigs();
+    EXPECT_EQ(configs.size(),
+              d.core_freqs_mhz.size() * d.mem_freqs_mhz.size());
+    for (const auto &cfg : configs)
+        EXPECT_TRUE(d.supports(cfg));
+}
+
+TEST_P(AllDevices, SupportsRejectsOffTableClocks)
+{
+    const auto &d = DeviceDescriptor::get(GetParam());
+    EXPECT_FALSE(d.supports({d.default_core_mhz + 1,
+                             d.default_mem_mhz}));
+    EXPECT_FALSE(d.supports({d.default_core_mhz, 1}));
+}
+
+TEST_P(AllDevices, PeakWarpRateScalesWithUnitsAndClock)
+{
+    const auto &d = DeviceDescriptor::get(GetParam());
+    const int f = d.default_core_mhz;
+    const double sp = d.peakWarpsPerSecond(Component::SP, f);
+    const double dp = d.peakWarpsPerSecond(Component::DP, f);
+    EXPECT_NEAR(sp / dp,
+                static_cast<double>(d.sp_int_units_per_sm) /
+                        d.dp_units_per_sm,
+                1e-9);
+    // Doubling the clock doubles the rate.
+    EXPECT_NEAR(d.peakWarpsPerSecond(Component::SP, 2 * f), 2.0 * sp,
+                1e-3);
+    // Hand check: fc * SMs * units / warpSize.
+    EXPECT_NEAR(sp,
+                1e6 * f * d.num_sms * d.sp_int_units_per_sm / 32.0,
+                1.0);
+}
+
+TEST_P(AllDevices, PeakBandwidthFollowsSecIIIC)
+{
+    const auto &d = DeviceDescriptor::get(GetParam());
+    const FreqConfig ref = d.referenceConfig();
+    // PeakBand = f * Bytes/Cycle (Sec. III-C).
+    EXPECT_NEAR(d.peakBandwidth(Component::Dram, ref),
+                1e6 * ref.mem_mhz * d.mem_bus_bytes, 1.0);
+    EXPECT_NEAR(d.peakBandwidth(Component::Shared, ref),
+                1e6 * ref.core_mhz * d.num_sms * 128.0, 1.0);
+    EXPECT_NEAR(d.peakBandwidth(Component::L2, ref),
+                1e6 * ref.core_mhz * d.l2_bytes_per_cycle, 1.0);
+    // DRAM scales with fmem only; shared/L2 with fcore only.
+    FreqConfig low_mem = ref;
+    low_mem.mem_mhz = d.mem_freqs_mhz.back();
+    EXPECT_NEAR(d.peakBandwidth(Component::Shared, low_mem),
+                d.peakBandwidth(Component::Shared, ref), 1.0);
+}
+
+TEST_P(AllDevices, UnitQueriesRejectMemoryLevels)
+{
+    const auto &d = DeviceDescriptor::get(GetParam());
+    EXPECT_THROW(d.unitsPerSm(Component::Dram), std::logic_error);
+    EXPECT_THROW(d.peakBandwidth(Component::SP, d.referenceConfig()),
+                 std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, AllDevices,
+                         ::testing::Values(DeviceKind::TitanXp,
+                                           DeviceKind::GtxTitanX,
+                                           DeviceKind::TeslaK40c));
+
+TEST(Device, ArchitectureNames)
+{
+    EXPECT_EQ(architectureName(Architecture::Pascal), "Pascal");
+    EXPECT_EQ(architectureName(Architecture::Maxwell), "Maxwell");
+    EXPECT_EQ(architectureName(Architecture::Kepler), "Kepler");
+}
+
+TEST(Device, ComponentNamesAndIndices)
+{
+    EXPECT_EQ(componentName(Component::Int), "INT");
+    EXPECT_EQ(componentName(Component::Dram), "DRAM");
+    EXPECT_EQ(componentIndex(Component::Int), 0u);
+    EXPECT_EQ(gpupm::gpu::kNumComponents, 7u);
+}
+
+} // namespace

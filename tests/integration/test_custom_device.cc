@@ -1,0 +1,114 @@
+/**
+ * @file
+ * End-to-end pipeline on a *custom* device: the library is not
+ * hard-wired to the three evaluated boards. A user adds a new GPU by
+ * filling a DeviceDescriptor and (for simulation) a GroundTruth; the
+ * campaign, estimator and predictor run unchanged.
+ *
+ * The custom board here is a laptop-class Maxwell part: fewer SMs,
+ * lower clocks, a narrower V-F table and a lower TDP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "core/campaign.hh"
+#include "core/predictor.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+gpu::DeviceDescriptor
+laptopMaxwell()
+{
+    // Start from the desktop part and shrink it.
+    gpu::DeviceDescriptor d =
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+    d.name = "GTX 970M (custom)";
+    d.num_sms = 10;
+    d.core_freqs_mhz = {540, 675, 810, 924, 1038};
+    d.default_core_mhz = 924;
+    d.mem_freqs_mhz = {2505, 1253};
+    d.default_mem_mhz = 2505;
+    d.tdp_w = 100.0;
+    d.l2_bytes_per_cycle = 256.0;
+    return d;
+}
+
+sim::GroundTruth
+laptopTruth()
+{
+    auto t = sim::PhysicalGpu::defaultGroundTruth(
+            gpu::DeviceKind::GtxTitanX);
+    // Scale the desktop coefficients to the smaller chip.
+    t.static_core_w *= 0.4;
+    t.idle_core_w_ghz *= 0.5;
+    t.static_mem_w *= 0.5;
+    t.idle_mem_w_ghz *= 0.5;
+    for (double &g : t.gamma_w_ghz)
+        g *= 0.45;
+    t.gamma_issue_w_ghz *= 0.45;
+    t.gamma_active_w_ghz *= 0.45;
+    t.core_voltage =
+            sim::VoltageCurve::twoRegion(700.0, 0.90, 1.15, 1038.0);
+    return t;
+}
+
+TEST(CustomDevice, FullPipelineWorksOnANewBoard)
+{
+    const gpu::DeviceDescriptor desc = laptopMaxwell();
+    sim::PhysicalGpu board(desc, laptopTruth());
+
+    model::CampaignOptions opts;
+    opts.power_repetitions = 3;
+    const auto data = model::runTrainingCampaign(
+            board, ubench::buildSuite(), opts);
+    EXPECT_EQ(data.configs.size(), 10u); // 5 core x 2 mem
+
+    const auto fit = model::ModelEstimator().estimate(data);
+    EXPECT_LE(fit.iterations, 50);
+    EXPECT_LT(fit.rmse_w, 6.0);
+
+    // Validate on unseen applications.
+    model::Predictor predictor(fit.model);
+    std::vector<double> pred, meas;
+    for (const auto &w : workloads::validationSet()) {
+        const auto m = model::measureApp(board, w.demand,
+                                         desc.allConfigs(), opts);
+        for (std::size_t i = 0; i < m.configs.size(); ++i) {
+            pred.push_back(
+                    predictor.at(m.util, m.configs[i]).total_w);
+            meas.push_back(m.power_w[i]);
+        }
+    }
+    const double mae = stats::meanAbsPercentError(pred, meas);
+    EXPECT_LT(mae, 9.0);
+    // The small board's power scale is realistic.
+    EXPECT_LT(stats::maximum(meas), desc.tdp_w * 1.1);
+    EXPECT_GT(stats::minimum(meas), 10.0);
+}
+
+TEST(CustomDevice, VoltageKneeRecoveredOnTheCustomBoard)
+{
+    const gpu::DeviceDescriptor desc = laptopMaxwell();
+    sim::PhysicalGpu board(desc, laptopTruth());
+    model::CampaignOptions opts;
+    opts.power_repetitions = 3;
+    const auto data = model::runTrainingCampaign(
+            board, ubench::buildSuite(), opts);
+    const auto fit = model::ModelEstimator().estimate(data);
+    std::vector<double> fitted, truth;
+    for (int fc : desc.core_freqs_mhz) {
+        fitted.push_back(
+                fit.model.voltages({fc, desc.default_mem_mhz}).core);
+        truth.push_back(board.trueCoreVoltageNorm(fc));
+    }
+    EXPECT_GT(stats::pearson(fitted, truth), 0.95);
+}
+
+} // namespace

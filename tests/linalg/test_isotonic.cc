@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit and property tests of the PAVA isotonic regression used for the
+ * Eq. 12 voltage-monotonicity constraint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.hh"
+#include "linalg/isotonic.hh"
+
+namespace
+{
+
+using gpupm::Rng;
+using gpupm::linalg::isotonicNonDecreasing;
+using gpupm::linalg::isotonicNonIncreasing;
+
+TEST(Isotonic, AlreadyMonotoneIsUnchanged)
+{
+    const std::vector<double> xs = {1.0, 2.0, 2.0, 5.0};
+    EXPECT_EQ(isotonicNonDecreasing(xs), xs);
+}
+
+TEST(Isotonic, SingleViolationPools)
+{
+    const std::vector<double> xs = {1.0, 3.0, 2.0};
+    const auto y = isotonicNonDecreasing(xs);
+    EXPECT_DOUBLE_EQ(y[0], 1.0);
+    EXPECT_DOUBLE_EQ(y[1], 2.5);
+    EXPECT_DOUBLE_EQ(y[2], 2.5);
+}
+
+TEST(Isotonic, FullyDecreasingPoolsToMean)
+{
+    const std::vector<double> xs = {3.0, 2.0, 1.0};
+    const auto y = isotonicNonDecreasing(xs);
+    for (double v : y)
+        EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Isotonic, EmptyInput)
+{
+    EXPECT_TRUE(isotonicNonDecreasing({}).empty());
+}
+
+TEST(Isotonic, WeightsBiasPooledValue)
+{
+    const std::vector<double> xs = {3.0, 1.0};
+    const std::vector<double> w = {3.0, 1.0};
+    const auto y = isotonicNonDecreasing(xs, w);
+    // Pooled mean = (3*3 + 1*1) / 4 = 2.5.
+    EXPECT_DOUBLE_EQ(y[0], 2.5);
+    EXPECT_DOUBLE_EQ(y[1], 2.5);
+}
+
+TEST(Isotonic, HugeWeightPinsValue)
+{
+    const std::vector<double> xs = {1.5, 1.0, 2.0};
+    const std::vector<double> w = {1e9, 1.0, 1.0};
+    const auto y = isotonicNonDecreasing(xs, w);
+    EXPECT_NEAR(y[0], 1.5, 1e-6);
+}
+
+TEST(Isotonic, NonIncreasingVariant)
+{
+    const std::vector<double> xs = {1.0, 3.0, 2.0};
+    const auto y = isotonicNonIncreasing(xs);
+    for (std::size_t i = 1; i < y.size(); ++i)
+        EXPECT_LE(y[i], y[i - 1] + 1e-12);
+}
+
+TEST(Isotonic, WeightSizeMismatchPanics)
+{
+    EXPECT_THROW(isotonicNonDecreasing({1.0, 2.0}, {1.0}),
+                 std::logic_error);
+}
+
+/** Property sweep over random inputs. */
+class IsotonicProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IsotonicProperty, Invariants)
+{
+    Rng rng(GetParam() * 7919);
+    const std::size_t n = 2 + rng.below(40);
+    std::vector<double> xs(n);
+    for (double &x : xs)
+        x = rng.uniform(0.0, 10.0);
+
+    const auto y = isotonicNonDecreasing(xs);
+    ASSERT_EQ(y.size(), n);
+
+    // 1. Output is non-decreasing.
+    for (std::size_t i = 1; i < n; ++i)
+        EXPECT_LE(y[i - 1], y[i] + 1e-12);
+
+    // 2. Idempotence.
+    EXPECT_EQ(isotonicNonDecreasing(y), y);
+
+    // 3. Mean preservation (equal weights).
+    const double mx = std::accumulate(xs.begin(), xs.end(), 0.0);
+    const double my = std::accumulate(y.begin(), y.end(), 0.0);
+    EXPECT_NEAR(mx, my, 1e-9);
+
+    // 4. The fit never leaves the input range.
+    const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+    for (double v : y) {
+        EXPECT_GE(v, *lo - 1e-12);
+        EXPECT_LE(v, *hi + 1e-12);
+    }
+
+    // 5. Optimality via a local perturbation check: nudging any block
+    // value must not decrease the SSE while keeping monotonicity.
+    const auto sse = [&](const std::vector<double> &f) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            s += (f[i] - xs[i]) * (f[i] - xs[i]);
+        return s;
+    };
+    const double base = sse(y);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (double eps : {-1e-4, 1e-4}) {
+            std::vector<double> z = y;
+            z[i] += eps;
+            bool monotone = true;
+            for (std::size_t k = 1; k < n; ++k)
+                if (z[k - 1] > z[k] + 1e-15)
+                    monotone = false;
+            if (monotone) {
+                EXPECT_GE(sse(z), base - 1e-9);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSequences, IsotonicProperty,
+                         ::testing::Range(1, 26));
+
+} // namespace

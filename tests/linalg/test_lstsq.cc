@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit and property tests of the least-squares solvers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "linalg/lstsq.hh"
+
+namespace
+{
+
+using gpupm::Rng;
+using gpupm::linalg::Matrix;
+using gpupm::linalg::Vector;
+
+TEST(LeastSquares, ExactSquareSystem)
+{
+    Matrix a = {{2.0, 0.0}, {0.0, 4.0}};
+    Vector b = {6.0, 8.0};
+    Vector x = gpupm::linalg::leastSquares(a, b);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedRecoversGenerator)
+{
+    // y = 2 + 3 t sampled with no noise.
+    Matrix a(10, 2);
+    Vector b(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        const double t = static_cast<double>(i);
+        a(i, 0) = 1.0;
+        a(i, 1) = t;
+        b[i] = 2.0 + 3.0 * t;
+    }
+    Vector x = gpupm::linalg::leastSquares(a, b);
+    EXPECT_NEAR(x[0], 2.0, 1e-10);
+    EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquares, ResidualOrthogonalToColumns)
+{
+    Rng rng(4);
+    Matrix a(20, 3);
+    Vector b(20);
+    for (std::size_t r = 0; r < 20; ++r) {
+        for (std::size_t c = 0; c < 3; ++c)
+            a(r, c) = rng.normal();
+        b[r] = rng.normal();
+    }
+    Vector x = gpupm::linalg::leastSquares(a, b);
+    Vector resid = a * x - b;
+    Matrix at = a.transposed();
+    Vector g = at * resid;
+    for (std::size_t c = 0; c < 3; ++c)
+        EXPECT_NEAR(g[c], 0.0, 1e-9);
+}
+
+TEST(LeastSquares, RankDeficientZerosRedundantCoefficient)
+{
+    // Two identical columns: a basic solution should not explode.
+    Matrix a(6, 2);
+    Vector b(6);
+    for (std::size_t r = 0; r < 6; ++r) {
+        a(r, 0) = static_cast<double>(r + 1);
+        a(r, 1) = static_cast<double>(r + 1);
+        b[r] = 2.0 * static_cast<double>(r + 1);
+    }
+    Vector x = gpupm::linalg::leastSquares(a, b);
+    EXPECT_NEAR(x[0] + x[1], 2.0, 1e-9);
+    EXPECT_LT(std::abs(x[0]), 10.0);
+    EXPECT_LT(std::abs(x[1]), 10.0);
+}
+
+TEST(LeastSquares, DimensionMismatchPanics)
+{
+    Matrix a(3, 2);
+    Vector b(4);
+    EXPECT_THROW(gpupm::linalg::leastSquares(a, b), std::logic_error);
+}
+
+TEST(Nnls, MatchesUnconstrainedWhenInterior)
+{
+    Matrix a = {{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+    Vector b = {1.0, 2.0, 3.0};
+    Vector u = gpupm::linalg::leastSquares(a, b);
+    Vector n = gpupm::linalg::nnls(a, b);
+    ASSERT_GT(u[0], 0.0);
+    ASSERT_GT(u[1], 0.0);
+    EXPECT_NEAR(n[0], u[0], 1e-8);
+    EXPECT_NEAR(n[1], u[1], 1e-8);
+}
+
+TEST(Nnls, ClampsNegativeComponent)
+{
+    // Unconstrained solution has a negative coefficient; NNLS must
+    // return 0 there.
+    Matrix a = {{1.0, 1.0}, {1.0, 1.0}, {0.0, 1.0}};
+    Vector b = {1.0, 1.0, -2.0};
+    Vector n = gpupm::linalg::nnls(a, b);
+    EXPECT_GE(n[0], 0.0);
+    EXPECT_GE(n[1], 0.0);
+    EXPECT_DOUBLE_EQ(n[1], 0.0);
+}
+
+TEST(Nnls, AllZeroWhenRhsNegative)
+{
+    Matrix a = {{1.0}, {1.0}};
+    Vector b = {-1.0, -2.0};
+    Vector n = gpupm::linalg::nnls(a, b);
+    EXPECT_DOUBLE_EQ(n[0], 0.0);
+}
+
+/** Property sweep: NNLS never returns negatives and never beats the
+ *  unconstrained optimum. */
+class NnlsProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NnlsProperty, NonNegativeAndBounded)
+{
+    Rng rng(GetParam());
+    const std::size_t m = 12 + rng.below(10);
+    const std::size_t n = 2 + rng.below(5);
+    Matrix a(m, n);
+    Vector b(m);
+    for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = rng.normal();
+        b[r] = rng.normal();
+    }
+    Vector x = gpupm::linalg::nnls(a, b);
+    for (std::size_t c = 0; c < n; ++c)
+        EXPECT_GE(x[c], 0.0);
+    const double rss_nnls = gpupm::linalg::residualSumSquares(a, x, b);
+    Vector u = gpupm::linalg::leastSquares(a, b);
+    const double rss_ls = gpupm::linalg::residualSumSquares(a, u, b);
+    EXPECT_GE(rss_nnls, rss_ls - 1e-9);
+    // And no worse than the zero solution.
+    EXPECT_LE(rss_nnls, b.dot(b) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, NnlsProperty,
+                         ::testing::Range(1, 21));
+
+TEST(NnlsRidge, ShrinksDegenerateSplit)
+{
+    // Identical columns: ridge splits the weight instead of picking an
+    // arbitrary basic solution.
+    Matrix a(4, 2);
+    Vector b(4);
+    for (std::size_t r = 0; r < 4; ++r) {
+        a(r, 0) = 1.0;
+        a(r, 1) = 1.0;
+        b[r] = 4.0;
+    }
+    Vector x = gpupm::linalg::nnlsRidge(a, b, 1e-6);
+    EXPECT_NEAR(x[0] + x[1], 4.0, 1e-3);
+    EXPECT_NEAR(x[0], x[1], 1e-3);
+}
+
+TEST(NnlsRidge, ZeroRidgeDelegates)
+{
+    Matrix a = {{1.0, 0.0}, {0.0, 1.0}};
+    Vector b = {1.0, 2.0};
+    Vector x = gpupm::linalg::nnlsRidge(a, b, 0.0);
+    EXPECT_NEAR(x[0], 1.0, 1e-9);
+    EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(NnlsRidge, NegativeRidgePanics)
+{
+    Matrix a(1, 1);
+    Vector b(1);
+    EXPECT_THROW(gpupm::linalg::nnlsRidge(a, b, -1.0),
+                 std::logic_error);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests of the dense vector/matrix types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hh"
+
+namespace
+{
+
+using gpupm::linalg::Matrix;
+using gpupm::linalg::Vector;
+
+TEST(Vector, ConstructionAndAccess)
+{
+    Vector v(3);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
+    Vector f(2, 7.0);
+    EXPECT_DOUBLE_EQ(f[1], 7.0);
+    Vector il = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(il[2], 3.0);
+}
+
+TEST(Vector, AtBoundsChecks)
+{
+    Vector v(2);
+    EXPECT_NO_THROW(v.at(1));
+    EXPECT_THROW(v.at(2), std::logic_error);
+}
+
+TEST(Vector, DotAndNorm)
+{
+    Vector a = {1.0, 2.0, 2.0};
+    Vector b = {2.0, 0.0, 1.0};
+    EXPECT_DOUBLE_EQ(a.dot(b), 4.0);
+    EXPECT_DOUBLE_EQ(a.norm(), 3.0);
+}
+
+TEST(Vector, DotDimensionMismatchPanics)
+{
+    Vector a(2), b(3);
+    EXPECT_THROW(a.dot(b), std::logic_error);
+}
+
+TEST(Vector, Arithmetic)
+{
+    Vector a = {1.0, 2.0};
+    Vector b = {3.0, 5.0};
+    Vector s = a + b;
+    EXPECT_DOUBLE_EQ(s[0], 4.0);
+    EXPECT_DOUBLE_EQ(s[1], 7.0);
+    Vector d = b - a;
+    EXPECT_DOUBLE_EQ(d[0], 2.0);
+    Vector m = a * 2.5;
+    EXPECT_DOUBLE_EQ(m[1], 5.0);
+}
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, InitializerList)
+{
+    Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerPanics)
+{
+    EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::logic_error);
+}
+
+TEST(Matrix, Identity)
+{
+    Matrix i = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, MatVec)
+{
+    Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+    Vector x = {1.0, 1.0};
+    Vector y = m * x;
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MatVecDimensionPanics)
+{
+    Matrix m(2, 2);
+    Vector x(3);
+    EXPECT_THROW(m * x, std::logic_error);
+}
+
+TEST(Matrix, MatMul)
+{
+    Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b = {{0.0, 1.0}, {1.0, 0.0}};
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, Transpose)
+{
+    Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, RowAndColExtraction)
+{
+    Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+    Vector r = m.row(1);
+    EXPECT_DOUBLE_EQ(r[0], 3.0);
+    Vector c = m.col(1);
+    EXPECT_DOUBLE_EQ(c[0], 2.0);
+    EXPECT_DOUBLE_EQ(c[1], 4.0);
+    EXPECT_THROW(m.row(2), std::logic_error);
+    EXPECT_THROW(m.col(2), std::logic_error);
+}
+
+TEST(Matrix, AppendRow)
+{
+    Matrix m;
+    m.appendRow({1.0, 2.0});
+    m.appendRow({3.0, 4.0});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+    EXPECT_THROW(m.appendRow({1.0}), std::logic_error);
+}
+
+} // namespace

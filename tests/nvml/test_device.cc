@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests of the NVML-style host facade: clock control, sampled power
+ * measurement, TDP fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvml/device.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+sim::KernelDemand
+moderateKernel()
+{
+    sim::KernelDemand d;
+    d.name = "moderate";
+    d.warps_sp = 2e9;
+    d.bytes_dram_rd = 2e9;
+    d.bytes_l2_rd = 2e9;
+    return d;
+}
+
+TEST(NvmlDevice, StartsAtReferenceClocks)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board);
+    EXPECT_EQ(dev.currentClocks().core_mhz, 975);
+    EXPECT_EQ(dev.currentClocks().mem_mhz, 3505);
+}
+
+TEST(NvmlDevice, SetApplicationClocksValidatesTable)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board);
+    EXPECT_NO_THROW(dev.setApplicationClocks(810, 595));
+    EXPECT_EQ(dev.currentClocks().core_mhz, 595);
+    EXPECT_EQ(dev.currentClocks().mem_mhz, 810);
+    // The NVIDIA driver rejects off-table requests.
+    EXPECT_THROW(dev.setApplicationClocks(3505, 1000),
+                 std::runtime_error);
+    EXPECT_THROW(dev.setApplicationClocks(2000, 975),
+                 std::runtime_error);
+}
+
+TEST(NvmlDevice, RefreshPeriodsMatchSecVA)
+{
+    sim::PhysicalGpu xp(gpu::DeviceKind::TitanXp);
+    sim::PhysicalGpu tx(gpu::DeviceKind::GtxTitanX);
+    sim::PhysicalGpu k40(gpu::DeviceKind::TeslaK40c);
+    EXPECT_DOUBLE_EQ(nvml::Device(xp).refreshPeriodMs(), 35.0);
+    EXPECT_DOUBLE_EQ(nvml::Device(tx).refreshPeriodMs(), 100.0);
+    EXPECT_DOUBLE_EQ(nvml::Device(k40).refreshPeriodMs(), 15.0);
+}
+
+TEST(NvmlDevice, MeasurementTracksTruePower)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board, 11);
+    const auto d = moderateKernel();
+    const auto m = dev.measureKernelPower(d);
+    const auto prof = board.execute(d, m.effective);
+    const double truth = board.truePower(prof, m.effective).total_w;
+    EXPECT_NEAR(m.power_w, truth, 0.05 * truth);
+    EXPECT_GT(m.samples_per_run, 0);
+    EXPECT_GE(m.run_duration_s, 0.9);
+}
+
+TEST(NvmlDevice, MeasurementRepeatsToMinimumDuration)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board, 11);
+    const auto m = dev.measureKernelPower(moderateKernel(), 3, 2.0);
+    EXPECT_GE(m.run_duration_s, 1.9);
+}
+
+TEST(NvmlDevice, IdlePowerMatchesGroundTruth)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board, 11);
+    dev.setApplicationClocks(810, 595);
+    const double idle = dev.measureIdlePower();
+    const double truth = board.idlePower({595, 810}).total_w;
+    EXPECT_NEAR(idle, truth, 0.05 * truth + 1.0);
+}
+
+TEST(NvmlDevice, TdpFallbackDownclocksHotKernel)
+{
+    // A kernel saturating every component at the top clocks exceeds
+    // 250 W; the board must fall back to a lower core level
+    // (the Fig. 9 footnote behaviour).
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto &desc = board.descriptor();
+    sim::KernelDemand hot;
+    hot.name = "hot";
+    const gpu::FreqConfig top{desc.maxCoreMhz(), 4005};
+    const double t = 0.01;
+    hot.warps_sp = 0.95 * desc.peakWarpsPerSecond(gpu::Component::SP,
+                                                  top.core_mhz) * t;
+    hot.warps_int = 0.4 * desc.peakWarpsPerSecond(gpu::Component::Int,
+                                                  top.core_mhz) * t;
+    hot.warps_sf = 0.5 * desc.peakWarpsPerSecond(gpu::Component::SF,
+                                                 top.core_mhz) * t;
+    hot.bytes_dram_rd =
+            0.9 * desc.peakBandwidth(gpu::Component::Dram, top) * t;
+    hot.bytes_l2_rd =
+            0.8 * desc.peakBandwidth(gpu::Component::L2, top) * t;
+    hot.bytes_shared_ld =
+            0.6 * desc.peakBandwidth(gpu::Component::Shared, top) * t;
+
+    nvml::Device dev(board, 13);
+    dev.setApplicationClocks(4005, desc.maxCoreMhz());
+    const auto m = dev.measureKernelPower(hot, 3);
+    EXPECT_TRUE(m.tdp_limited);
+    EXPECT_LT(m.effective.core_mhz, desc.maxCoreMhz());
+    // The effective configuration respects TDP.
+    const auto prof = board.execute(hot, m.effective);
+    EXPECT_LE(board.truePower(prof, m.effective).total_w,
+              desc.tdp_w + 1e-6);
+    // A gentle kernel at the same clocks is not limited.
+    const auto gentle = dev.measureKernelPower(moderateKernel(), 3);
+    EXPECT_FALSE(gentle.tdp_limited);
+}
+
+TEST(NvmlDevice, MeasuringEmptyKernelPanics)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board);
+    EXPECT_THROW(dev.measureKernelPower(sim::KernelDemand{}),
+                 std::logic_error);
+}
+
+TEST(NvmlDevice, MeasurementIsDeterministicPerSeed)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device a(board, 21), b(board, 21), c(board, 22);
+    const auto d = moderateKernel();
+    EXPECT_DOUBLE_EQ(a.measureKernelPower(d, 3).power_w,
+                     b.measureKernelPower(d, 3).power_w);
+    EXPECT_NE(a.measureKernelPower(d, 3).power_w,
+              c.measureKernelPower(d, 3).power_w);
+}
+
+} // namespace
+
+namespace
+{
+
+TEST(NvmlDevice, PowerLimitDefaultsToTdpAndValidatesRange)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board);
+    EXPECT_DOUBLE_EQ(dev.powerLimit(), 250.0);
+    EXPECT_NO_THROW(dev.setPowerLimit(180.0));
+    EXPECT_DOUBLE_EQ(dev.powerLimit(), 180.0);
+    EXPECT_THROW(dev.setPowerLimit(50.0), std::runtime_error);
+    EXPECT_THROW(dev.setPowerLimit(400.0), std::runtime_error);
+}
+
+TEST(NvmlDevice, LowerPowerLimitForcesDeeperClockFallback)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto &desc = board.descriptor();
+    sim::KernelDemand warm = [] {
+        sim::KernelDemand d;
+        d.name = "warm";
+        d.warps_sp = 4e9;
+        d.warps_int = 1e9;
+        d.bytes_dram_rd = 4e9;
+        d.bytes_l2_rd = 5e9;
+        d.bytes_shared_ld = 2e9;
+        return d;
+    }();
+
+    nvml::Device dev(board, 17);
+    dev.setApplicationClocks(desc.default_mem_mhz, desc.maxCoreMhz());
+    const auto unlimited = dev.measureKernelPower(warm, 3);
+
+    dev.setPowerLimit(150.0);
+    const auto limited = dev.measureKernelPower(warm, 3);
+    EXPECT_TRUE(limited.tdp_limited);
+    EXPECT_LT(limited.effective.core_mhz,
+              unlimited.effective.core_mhz);
+    // The measured power honours the limit.
+    EXPECT_LE(limited.power_w, 150.0 * 1.05);
+}
+
+} // namespace

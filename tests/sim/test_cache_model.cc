@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of the working-set L2 miss model and its effect on power.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvml/device.hh"
+#include "sim/cache_model.hh"
+#include "sim/physical_gpu.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+const gpu::DeviceDescriptor &titanx()
+{
+    return gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+}
+
+sim::KernelDemand
+l2HeavyKernel()
+{
+    sim::KernelDemand d;
+    d.name = "cache-probe";
+    d.warps_sp = 2e9;
+    d.bytes_l2_rd = 8e9;
+    d.bytes_l2_wr = 2e9;
+    return d;
+}
+
+TEST(CacheModel, ResidentWorkingSetHasZeroMissRate)
+{
+    EXPECT_DOUBLE_EQ(sim::l2MissRate(1 << 20, titanx()), 0.0);
+    EXPECT_DOUBLE_EQ(
+            sim::l2MissRate(titanx().l2_capacity_bytes, titanx()),
+            0.0);
+}
+
+TEST(CacheModel, MissRateGrowsTowardStreaming)
+{
+    const double c = titanx().l2_capacity_bytes;
+    EXPECT_NEAR(sim::l2MissRate(2.0 * c, titanx()), 0.5, 1e-12);
+    EXPECT_NEAR(sim::l2MissRate(10.0 * c, titanx()), 0.9, 1e-12);
+    double prev = 0.0;
+    for (double ws = c; ws < 64.0 * c; ws *= 2.0) {
+        const double m = sim::l2MissRate(ws, titanx());
+        EXPECT_GE(m, prev);
+        EXPECT_LE(m, 1.0);
+        prev = m;
+    }
+}
+
+TEST(CacheModel, ResidentKernelOnlyColdFills)
+{
+    const double ws = 1 << 20; // 1 MiB, resident
+    const auto d =
+            sim::applyCacheModel(l2HeavyKernel(), ws, titanx());
+    // Cold fill bounded by the working set, split by the rd share.
+    EXPECT_NEAR(d.bytes_dram_rd + d.bytes_dram_wr, ws, 1.0);
+    EXPECT_LT(d.bytes_dram_rd, d.bytes_l2_rd);
+}
+
+TEST(CacheModel, StreamingKernelMissesEverything)
+{
+    const double ws = 1e9; // far beyond the 3 MiB L2
+    const auto d =
+            sim::applyCacheModel(l2HeavyKernel(), ws, titanx());
+    const double miss = sim::l2MissRate(ws, titanx());
+    EXPECT_NEAR(d.bytes_dram_rd, miss * 8e9, 1e6);
+    EXPECT_NEAR(d.bytes_dram_wr, miss * 2e9, 1e6);
+}
+
+TEST(CacheModel, SpillingToDramRaisesPowerThenStretchesExecution)
+{
+    // The Fig. 9 mechanism: the same kernel on a growing input spills
+    // to DRAM. Power rises from the resident case to the first
+    // spilling sizes (DRAM dynamic power turns on); at extreme
+    // working sets the kernel becomes bandwidth-bound and *stretches*,
+    // idling the core units — so total power is not monotone, but the
+    // DRAM utilization is.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board, 3);
+    const auto cfg = titanx().referenceConfig();
+
+    const auto resident =
+            sim::applyCacheModel(l2HeavyKernel(), 0.5e6, titanx());
+    const auto spilling =
+            sim::applyCacheModel(l2HeavyKernel(), 8e6, titanx());
+    EXPECT_GT(dev.measureKernelPower(spilling, 3).power_w,
+              dev.measureKernelPower(resident, 3).power_w + 5.0);
+
+    double prev_util = -1.0;
+    for (double ws : {0.5e6, 2e6, 8e6, 32e6, 128e6}) {
+        const auto d =
+                sim::applyCacheModel(l2HeavyKernel(), ws, titanx());
+        const auto prof = board.execute(d, cfg);
+        const double u = prof.util[gpu::componentIndex(
+                gpu::Component::Dram)];
+        EXPECT_GE(u, prev_util - 1e-9) << "ws=" << ws;
+        prev_util = u;
+    }
+}
+
+TEST(CacheModel, InvalidInputsPanic)
+{
+    EXPECT_THROW(sim::l2MissRate(-1.0, titanx()), std::logic_error);
+    gpu::DeviceDescriptor broken = titanx();
+    broken.l2_capacity_bytes = 0.0;
+    EXPECT_THROW(sim::l2MissRate(1e6, broken), std::logic_error);
+}
+
+} // namespace

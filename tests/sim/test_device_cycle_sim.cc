@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests of the device-level cycle simulator: block scheduling, DRAM
+ * contention, tail effects, occupancy, and cross-validation against
+ * both the single-SM simulator and the analytic substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/device_cycle_sim.hh"
+#include "sim/perf_model.hh"
+#include "sim/ptx.hh"
+#include "ubench/suite.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+const gpu::DeviceDescriptor &titanx()
+{
+    return gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+}
+
+/** A launch filling every SM exactly once. */
+sim::LaunchConfig
+fullLaunch(int blocks_per_sm = 1)
+{
+    sim::LaunchConfig l;
+    l.blocks = titanx().num_sms * blocks_per_sm;
+    l.warps_per_block = 16;
+    l.blocks_per_sm = blocks_per_sm;
+    return l;
+}
+
+TEST(DeviceCycleSim, ComputeKernelSaturatesAllSms)
+{
+    const auto mb = ubench::makeArithmetic(ubench::Family::SP, 256);
+    sim::DeviceCycleSim dsim(titanx(), {975, 3505});
+    const auto res = dsim.run(*mb.loop, fullLaunch(2));
+    EXPECT_GT(res.util[componentIndex(Component::SP)], 0.6);
+    EXPECT_GT(res.occupancy, 0.95);
+}
+
+TEST(DeviceCycleSim, MatchesSingleSmOnUniformComputeLoad)
+{
+    // With one identical block per SM and no shared resources in
+    // play, the device result must match the single-SM simulator.
+    const auto mb = ubench::makeArithmetic(ubench::Family::Int, 256);
+    sim::SmCycleSim single(titanx(), {975, 3505}, 16);
+    const auto one = single.run(*mb.loop);
+    sim::DeviceCycleSim dsim(titanx(), {975, 3505});
+    const auto dev = dsim.run(*mb.loop, fullLaunch(1));
+    EXPECT_NEAR(dev.util[componentIndex(Component::Int)],
+                one.util[componentIndex(Component::Int)], 0.1);
+    EXPECT_NEAR(static_cast<double>(dev.cycles) / one.cycles, 1.0,
+                0.15);
+}
+
+TEST(DeviceCycleSim, DramIsSharedAcrossSms)
+{
+    // A streaming kernel on 1 SM gets the full bus; on 24 SMs each
+    // gets a slice: per-SM progress must slow down by roughly the SM
+    // count while total DRAM utilization saturates.
+    const auto mb = ubench::makeDram(0);
+    sim::DeviceCycleSim dsim(titanx(), {975, 3505});
+
+    sim::LaunchConfig one_sm;
+    one_sm.blocks = 1;
+    one_sm.warps_per_block = 16;
+    one_sm.blocks_per_sm = 1;
+    const auto alone = dsim.run(*mb.loop, one_sm);
+
+    const auto full = dsim.run(*mb.loop, fullLaunch(1));
+    // 24 blocks move 24x the data but take only ~3x as long: a lone
+    // block is limited by its SM's L2 slice (~21 B/cycle), while the
+    // full grid saturates the shared DRAM bus (~7 B/cycle/SM).
+    EXPECT_GT(full.cycles, 2 * alone.cycles);
+    EXPECT_LT(full.cycles, 5 * alone.cycles);
+    EXPECT_GT(full.util[componentIndex(Component::Dram)], 0.75);
+    // The lone block cannot come close to saturating the bus.
+    EXPECT_LT(alone.util[componentIndex(Component::Dram)], 0.25);
+}
+
+TEST(DeviceCycleSim, SchedulingTailLowersOccupancy)
+{
+    // 25 blocks on 24 SMs: the last block runs alone.
+    const auto mb = ubench::makeArithmetic(ubench::Family::SP, 128);
+    sim::DeviceCycleSim dsim(titanx(), {975, 3505});
+    auto even = fullLaunch(1); // 24 blocks
+    auto tail = even;
+    tail.blocks = titanx().num_sms + 1;
+    const auto r_even = dsim.run(*mb.loop, even);
+    const auto r_tail = dsim.run(*mb.loop, tail);
+    // Roughly double the time for 1/24 more work.
+    EXPECT_GT(r_tail.cycles, 1.6 * r_even.cycles);
+    EXPECT_LT(r_tail.occupancy, 0.7);
+    EXPECT_LT(r_tail.util[componentIndex(Component::SP)],
+              r_even.util[componentIndex(Component::SP)]);
+}
+
+TEST(DeviceCycleSim, MoreResidentBlocksHideLatency)
+{
+    // A latency-heavy kernel (dependent SF chain) benefits from
+    // higher occupancy.
+    const auto k = sim::parsePtxKernel(R"(
+LOOP:
+  sin.approx.f32 %f1, %f0;
+  cos.approx.f32 %f2, %f1;
+  add.s32 %r5, %r5, 1;
+  setp.lt.s32 %p1, %r5, 64;
+  bra LOOP;
+)");
+    sim::DeviceCycleSim dsim(titanx(), {975, 3505});
+    sim::LaunchConfig low;
+    low.blocks = titanx().num_sms;
+    low.warps_per_block = 2;
+    low.blocks_per_sm = 1;
+    sim::LaunchConfig high = low;
+    high.blocks = titanx().num_sms * 4;
+    high.blocks_per_sm = 4;
+    const auto r_low = dsim.run(k, low);
+    const auto r_high = dsim.run(k, high);
+    // 4x the work in far less than 4x the time.
+    EXPECT_LT(static_cast<double>(r_high.cycles),
+              2.5 * static_cast<double>(r_low.cycles));
+}
+
+TEST(DeviceCycleSim, LowerMemClockStretchesStreamingGrid)
+{
+    const auto mb = ubench::makeDram(0);
+    sim::DeviceCycleSim hi(titanx(), {975, 3505});
+    sim::DeviceCycleSim lo(titanx(), {975, 810});
+    const auto rh = hi.run(*mb.loop, fullLaunch(1));
+    const auto rl = lo.run(*mb.loop, fullLaunch(1));
+    const double stretch =
+            static_cast<double>(rl.cycles) / rh.cycles;
+    EXPECT_GT(stretch, 2.8);
+    EXPECT_LT(stretch, 6.0);
+}
+
+TEST(DeviceCycleSim, CrossValidatesAnalyticModelDeviceWide)
+{
+    // Device-level utilizations of a saturating launch agree with the
+    // analytic model's prediction for the equivalent demand.
+    const sim::AnalyticPerfModel perf;
+    for (auto family : {ubench::Family::SP, ubench::Family::Dram}) {
+        const auto mb =
+                family == ubench::Family::SP
+                        ? ubench::makeArithmetic(family, 512)
+                        : ubench::makeDram(0);
+        sim::DeviceCycleSim dsim(titanx(), {975, 3505});
+        const auto dres = dsim.run(*mb.loop, fullLaunch(2));
+        const auto ares = perf.execute(titanx(), mb.demand,
+                                       {975, 3505});
+        const Component c = family == ubench::Family::SP
+                                    ? Component::SP
+                                    : Component::Dram;
+        EXPECT_NEAR(dres.util[componentIndex(c)],
+                    ares.util[componentIndex(c)], 0.25)
+                << ubench::familyName(family);
+    }
+}
+
+TEST(DeviceCycleSim, InvalidLaunchPanics)
+{
+    sim::DeviceCycleSim dsim(titanx(), {975, 3505});
+    sim::LaunchConfig bad;
+    bad.blocks = 0;
+    EXPECT_THROW(dsim.run(sim::LoopKernel{}, bad), std::logic_error);
+    EXPECT_THROW(sim::DeviceCycleSim(titanx(), {0, 0}),
+                 std::logic_error);
+}
+
+TEST(DeviceCycleSim, CycleBudgetPanics)
+{
+    const auto mb = ubench::makeArithmetic(ubench::Family::SP, 512);
+    sim::DeviceCycleSim dsim(titanx(), {975, 3505});
+    EXPECT_THROW(dsim.run(*mb.loop, fullLaunch(1), 10),
+                 std::logic_error);
+}
+
+} // namespace

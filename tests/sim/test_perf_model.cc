@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests of the analytic bottleneck performance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "sim/perf_model.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+const gpu::DeviceDescriptor &titanx()
+{
+    return gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+}
+
+sim::KernelDemand
+spOnly(double warps)
+{
+    sim::KernelDemand d;
+    d.name = "sp-only";
+    d.warps_sp = warps;
+    return d;
+}
+
+TEST(PerfModel, EmptyDemandTakesNoTime)
+{
+    sim::AnalyticPerfModel perf;
+    const auto prof = perf.execute(titanx(), {}, {975, 3505});
+    EXPECT_DOUBLE_EQ(prof.time_s, 0.0);
+    for (double u : prof.util)
+        EXPECT_DOUBLE_EQ(u, 0.0);
+}
+
+TEST(PerfModel, PureComputeBoundBySpUnits)
+{
+    sim::AnalyticPerfModel perf;
+    const auto prof = perf.execute(titanx(), spOnly(1e9), {975, 3505});
+    // Time is close to the SP service time.
+    const double t_sp = 1e9 / titanx().peakWarpsPerSecond(
+                                      Component::SP, 975);
+    EXPECT_GT(prof.time_s, t_sp);
+    EXPECT_LT(prof.time_s, 1.15 * t_sp);
+    // SP is the near-saturated bottleneck.
+    EXPECT_GT(prof.util[componentIndex(Component::SP)], 0.85);
+    EXPECT_LE(prof.util[componentIndex(Component::SP)], 1.0);
+    EXPECT_DOUBLE_EQ(prof.util[componentIndex(Component::Dram)], 0.0);
+}
+
+TEST(PerfModel, UtilizationsAlwaysInUnitInterval)
+{
+    sim::AnalyticPerfModel perf;
+    sim::KernelDemand d;
+    d.name = "mixed";
+    d.warps_sp = 5e8;
+    d.warps_int = 3e8;
+    d.warps_dp = 1e7;
+    d.warps_sf = 1e8;
+    d.warps_other = 2e8;
+    d.bytes_dram_rd = 1e9;
+    d.bytes_l2_rd = 2e9;
+    d.bytes_shared_ld = 1e9;
+    d.latency_cycles = 1e8;
+    for (const auto &cfg : titanx().allConfigs()) {
+        const auto prof = perf.execute(titanx(), d, cfg);
+        for (double u : prof.util) {
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+        EXPECT_GE(prof.util_issue, 0.0);
+        EXPECT_LE(prof.util_issue, 1.0);
+    }
+}
+
+TEST(PerfModel, ComputeTimeScalesInverselyWithCoreClock)
+{
+    sim::AnalyticPerfModel perf;
+    const auto fast = perf.execute(titanx(), spOnly(1e9), {1164, 3505});
+    const auto slow = perf.execute(titanx(), spOnly(1e9), {595, 3505});
+    EXPECT_NEAR(slow.time_s / fast.time_s, 1164.0 / 595.0, 1e-6);
+}
+
+TEST(PerfModel, MemoryBoundKernelStretchesWithMemClock)
+{
+    sim::AnalyticPerfModel perf;
+    sim::KernelDemand d;
+    d.name = "stream";
+    d.bytes_dram_rd = 4e9;
+    d.bytes_l2_rd = 4e9;
+    const auto hi = perf.execute(titanx(), d, {975, 3505});
+    const auto lo = perf.execute(titanx(), d, {975, 810});
+    // Time stretches roughly with the 4.33x clock ratio.
+    EXPECT_NEAR(lo.time_s / hi.time_s, 3505.0 / 810.0, 0.2);
+    // DRAM stays the bottleneck at both points.
+    EXPECT_GT(lo.util[componentIndex(Component::Dram)], 0.9);
+}
+
+TEST(PerfModel, MixedKernelShiftsBottleneckWithMemClock)
+{
+    // Compute-bound at the reference, memory-bound at the low clock:
+    // the core-unit utilization must collapse when memory stretches
+    // the execution (the Fig. 8 drift mechanism).
+    sim::AnalyticPerfModel perf;
+    sim::KernelDemand d = spOnly(1e9);
+    const double t_sp =
+            1e9 / titanx().peakWarpsPerSecond(Component::SP, 975);
+    d.bytes_dram_rd = 0.5 * t_sp *
+                      titanx().peakBandwidth(Component::Dram,
+                                             {975, 3505});
+    d.bytes_l2_rd = d.bytes_dram_rd;
+
+    const auto ref = perf.execute(titanx(), d, {975, 3505});
+    const auto low = perf.execute(titanx(), d, {975, 810});
+    EXPECT_GT(ref.util[componentIndex(Component::SP)], 0.8);
+    EXPECT_LT(low.util[componentIndex(Component::SP)],
+              0.6 * ref.util[componentIndex(Component::SP)]);
+    EXPECT_GT(low.util[componentIndex(Component::Dram)], 0.85);
+}
+
+TEST(PerfModel, LatencyFloorDominatesSmallKernels)
+{
+    sim::AnalyticPerfModel perf;
+    sim::KernelDemand d;
+    d.name = "latency";
+    d.latency_cycles = 1e9;
+    d.warps_sp = 1e6; // negligible work
+    const auto prof = perf.execute(titanx(), d, {975, 3505});
+    EXPECT_NEAR(prof.time_s, 1e9 / 0.975e9, 0.05);
+    EXPECT_LT(prof.util[componentIndex(Component::SP)], 0.05);
+}
+
+TEST(PerfModel, ActiveCyclesEqualTimeTimesClock)
+{
+    sim::AnalyticPerfModel perf;
+    const auto prof = perf.execute(titanx(), spOnly(1e8), {785, 3505});
+    EXPECT_NEAR(prof.active_cycles, prof.time_s * 785e6, 1.0);
+}
+
+TEST(PerfModel, AchievedBandwidthConsistent)
+{
+    sim::AnalyticPerfModel perf;
+    sim::KernelDemand d;
+    d.name = "bw";
+    d.bytes_dram_rd = 3e9;
+    d.bytes_dram_wr = 1e9;
+    d.bytes_l2_rd = 4e9;
+    const auto prof = perf.execute(titanx(), d, {975, 3505});
+    EXPECT_NEAR(prof.achieved_bw[componentIndex(Component::Dram)],
+                4e9 / prof.time_s, 1.0);
+    // Achieved bandwidth never exceeds the peak.
+    EXPECT_LE(prof.achieved_bw[componentIndex(Component::Dram)],
+              titanx().peakBandwidth(Component::Dram, {975, 3505}) *
+                      (1.0 + 1e-9));
+}
+
+TEST(PerfModel, LargerOverlapExponentShortensExecution)
+{
+    sim::KernelDemand d = spOnly(1e9);
+    d.bytes_dram_rd =
+            1e9 / titanx().peakWarpsPerSecond(Component::SP, 975) *
+            titanx().peakBandwidth(Component::Dram, {975, 3505});
+    d.bytes_l2_rd = d.bytes_dram_rd;
+    const auto loose =
+            sim::AnalyticPerfModel(2.0).execute(titanx(), d,
+                                                {975, 3505});
+    const auto tight =
+            sim::AnalyticPerfModel(12.0).execute(titanx(), d,
+                                                 {975, 3505});
+    EXPECT_GT(loose.time_s, tight.time_s);
+}
+
+TEST(PerfModel, InvalidParametersPanic)
+{
+    EXPECT_THROW(sim::AnalyticPerfModel(0.5), std::logic_error);
+    EXPECT_THROW(sim::AnalyticPerfModel(6.0, 0), std::logic_error);
+    sim::AnalyticPerfModel perf;
+    EXPECT_THROW(perf.execute(titanx(), spOnly(1.0), {0, 3505}),
+                 std::logic_error);
+}
+
+TEST(PerfModel, DemandScalingIsLinearInTime)
+{
+    sim::AnalyticPerfModel perf;
+    sim::KernelDemand d = spOnly(1e9);
+    d.bytes_dram_rd = 1e9;
+    d.bytes_l2_rd = 1e9;
+    const auto one = perf.execute(titanx(), d, {975, 3505});
+    const auto two = perf.execute(titanx(), d.scaled(2.0),
+                                  {975, 3505});
+    EXPECT_NEAR(two.time_s, 2.0 * one.time_s, 1e-9);
+    // Utilizations are scale-invariant.
+    for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+        EXPECT_NEAR(two.util[i], one.util[i], 1e-9);
+}
+
+} // namespace

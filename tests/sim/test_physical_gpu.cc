@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests of the ground-truth physical power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/physical_gpu.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+sim::KernelDemand
+busyKernel()
+{
+    sim::KernelDemand d;
+    d.name = "busy";
+    d.warps_sp = 5e9;
+    d.warps_int = 2e9;
+    d.bytes_dram_rd = 5e9;
+    d.bytes_l2_rd = 6e9;
+    d.warps_other = 1e9;
+    return d;
+}
+
+class PhysicalGpuAll : public ::testing::TestWithParam<gpu::DeviceKind>
+{
+  protected:
+    sim::PhysicalGpu board{GetParam()};
+};
+
+TEST_P(PhysicalGpuAll, IdlePowerPositiveAndBelowTdp)
+{
+    for (const auto &cfg : board.descriptor().allConfigs()) {
+        const auto idle = board.idlePower(cfg);
+        EXPECT_GT(idle.total_w, 5.0);
+        EXPECT_LT(idle.total_w, board.descriptor().tdp_w);
+        EXPECT_DOUBLE_EQ(idle.total_w, idle.constant_w);
+        EXPECT_DOUBLE_EQ(idle.core_dynamic_w, 0.0);
+        EXPECT_DOUBLE_EQ(idle.hidden_w, 0.0);
+    }
+}
+
+TEST_P(PhysicalGpuAll, LoadedPowerExceedsIdle)
+{
+    const auto cfg = board.descriptor().referenceConfig();
+    const auto prof = board.execute(busyKernel(), cfg);
+    const auto p = board.truePower(prof, cfg);
+    EXPECT_GT(p.total_w, board.idlePower(cfg).total_w + 10.0);
+}
+
+TEST_P(PhysicalGpuAll, BreakdownSumsToTotal)
+{
+    const auto cfg = board.descriptor().referenceConfig();
+    const auto prof = board.execute(busyKernel(), cfg);
+    const auto p = board.truePower(prof, cfg);
+    EXPECT_NEAR(p.total_w,
+                p.constant_w + p.core_dynamic_w + p.mem_dynamic_w +
+                        p.hidden_w,
+                1e-9);
+    double comp_sum = 0.0;
+    for (double w : p.component_w)
+        comp_sum += w;
+    EXPECT_NEAR(comp_sum, p.core_dynamic_w + p.mem_dynamic_w, 1e-9);
+}
+
+TEST_P(PhysicalGpuAll, IdlePowerRisesWithCoreClock)
+{
+    const auto &d = board.descriptor();
+    double prev = 0.0;
+    for (int fc : d.core_freqs_mhz) {
+        const double w =
+                board.idlePower({fc, d.default_mem_mhz}).total_w;
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST_P(PhysicalGpuAll, TrueCoreVoltageIsOneAtReference)
+{
+    EXPECT_DOUBLE_EQ(board.trueCoreVoltageNorm(
+                             board.descriptor().default_core_mhz),
+                     1.0);
+    EXPECT_DOUBLE_EQ(board.trueMemVoltageNorm(
+                             board.descriptor().default_mem_mhz),
+                     1.0);
+}
+
+TEST_P(PhysicalGpuAll, VoltageCurveIsMonotone)
+{
+    const auto &d = board.descriptor();
+    double prev = 0.0;
+    for (int fc : d.core_freqs_mhz) {
+        const double v = board.trueCoreVoltageNorm(fc);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST_P(PhysicalGpuAll, MemVoltageConstantAcrossMemClocks)
+{
+    // The paper observed no memory-voltage scaling on any device.
+    const auto &d = board.descriptor();
+    for (int fm : d.mem_freqs_mhz)
+        EXPECT_DOUBLE_EQ(board.trueMemVoltageNorm(fm), 1.0);
+}
+
+TEST_P(PhysicalGpuAll, UnsupportedConfigPanics)
+{
+    EXPECT_THROW(board.execute(busyKernel(), {123, 456}),
+                 std::logic_error);
+}
+
+TEST_P(PhysicalGpuAll, PeakLoadStaysNearTdpScale)
+{
+    // A kernel saturating everything at the top clocks should land in
+    // the same ballpark as the board's TDP (not 10x off).
+    const auto &d = board.descriptor();
+    sim::KernelDemand sat;
+    sat.name = "saturate";
+    const gpu::FreqConfig top{d.maxCoreMhz(), d.mem_freqs_mhz.front()};
+    const double t = 0.01;
+    sat.warps_sp =
+            0.9 * d.peakWarpsPerSecond(Component::SP, top.core_mhz) * t;
+    sat.warps_int = 0.15 * d.peakWarpsPerSecond(Component::Int,
+                                                top.core_mhz) * t;
+    sat.bytes_dram_rd =
+            0.9 * d.peakBandwidth(Component::Dram, top) * t;
+    sat.bytes_l2_rd = 0.7 * d.peakBandwidth(Component::L2, top) * t;
+    sat.bytes_shared_ld =
+            0.5 * d.peakBandwidth(Component::Shared, top) * t;
+    const auto prof = board.execute(sat, top);
+    const auto p = board.truePower(prof, top);
+    EXPECT_GT(p.total_w, 0.6 * d.tdp_w);
+    EXPECT_LT(p.total_w, 1.6 * d.tdp_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, PhysicalGpuAll,
+                         ::testing::Values(gpu::DeviceKind::TitanXp,
+                                           gpu::DeviceKind::GtxTitanX,
+                                           gpu::DeviceKind::TeslaK40c));
+
+TEST(PhysicalGpu, TitanXAnchorsMatchPaperFigures)
+{
+    // The GTX Titan X ground truth is calibrated against the paper's
+    // printed anchors.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+
+    // Fig. 10: constant (idle-like) power ~80 W at (975, 3505) and
+    // ~50 W at (975, 810).
+    EXPECT_NEAR(board.idlePower({975, 3505}).total_w, 80.0, 10.0);
+    EXPECT_NEAR(board.idlePower({975, 810}).total_w, 50.0, 8.0);
+}
+
+TEST(PhysicalGpu, CustomGroundTruthIsUsed)
+{
+    gpu::DeviceDescriptor desc =
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+    sim::GroundTruth t;
+    t.static_core_w = 100.0;
+    t.core_voltage = sim::VoltageCurve::constant(1.0);
+    t.mem_voltage = sim::VoltageCurve::constant(1.0);
+    sim::PhysicalGpu board(desc, t);
+    EXPECT_NEAR(board.idlePower({975, 3505}).total_w, 100.0, 1e-9);
+}
+
+} // namespace
+
+namespace
+{
+
+TEST(PhysicalGpu, ThermalFeedbackRaisesStaticPower)
+{
+    auto truth = sim::PhysicalGpu::defaultGroundTruth(
+            gpu::DeviceKind::GtxTitanX);
+    truth.thermal_resistance_c_w = 0.3;
+    truth.leakage_temp_coeff = 0.005;
+    sim::PhysicalGpu hot(
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX),
+            truth);
+    sim::PhysicalGpu cold(gpu::DeviceKind::GtxTitanX);
+
+    const auto cfg = hot.descriptor().referenceConfig();
+    const auto prof = hot.execute(busyKernel(), cfg);
+    const auto ph = hot.truePower(prof, cfg);
+    const auto pc = cold.truePower(prof, cfg);
+    EXPECT_GT(ph.total_w, pc.total_w);
+    EXPECT_GT(ph.temperature_c, 50.0);
+    EXPECT_DOUBLE_EQ(pc.temperature_c, 25.0);
+    // The increase sits in the constant (static) share.
+    EXPECT_GT(ph.constant_w, pc.constant_w);
+    EXPECT_NEAR(ph.core_dynamic_w, pc.core_dynamic_w, 1e-9);
+}
+
+TEST(PhysicalGpu, ThermalFixedPointMatchesClosedForm)
+{
+    // With static s0, other d, temperature T = amb + R*P and
+    // static(T) = s0*(1 + k*(T-amb)):  P = (d + s0) / (1 - s0*k*R).
+    auto truth = sim::PhysicalGpu::defaultGroundTruth(
+            gpu::DeviceKind::GtxTitanX);
+    truth.thermal_resistance_c_w = 0.2;
+    truth.leakage_temp_coeff = 0.004;
+    sim::PhysicalGpu board(
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX),
+            truth);
+    sim::PhysicalGpu base(gpu::DeviceKind::GtxTitanX);
+
+    const auto cfg = board.descriptor().referenceConfig();
+    const auto prof = board.execute(busyKernel(), cfg);
+    const auto p0 = base.truePower(prof, cfg);
+    const double s0 = p0.constant_w;
+    const double d = p0.total_w - s0;
+    const double expect = (d + s0) / (1.0 - s0 * 0.004 * 0.2);
+    EXPECT_NEAR(board.truePower(prof, cfg).total_w, expect, 0.1);
+}
+
+TEST(PhysicalGpu, HotterKernelsRunHotter)
+{
+    auto truth = sim::PhysicalGpu::defaultGroundTruth(
+            gpu::DeviceKind::GtxTitanX);
+    truth.thermal_resistance_c_w = 0.25;
+    truth.leakage_temp_coeff = 0.004;
+    sim::PhysicalGpu board(
+            gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX),
+            truth);
+    const auto cfg = board.descriptor().referenceConfig();
+    const auto idle = board.idlePower(cfg);
+    const auto prof = board.execute(busyKernel(), cfg);
+    const auto busy = board.truePower(prof, cfg);
+    EXPECT_GT(busy.temperature_c, idle.temperature_c + 10.0);
+}
+
+} // namespace

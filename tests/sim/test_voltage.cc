@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests of the ground-truth voltage curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/voltage.hh"
+
+namespace
+{
+
+using gpupm::sim::VoltageCurve;
+
+TEST(Voltage, ConstantCurve)
+{
+    const auto c = VoltageCurve::constant(1.35);
+    EXPECT_DOUBLE_EQ(c.volts(100.0), 1.35);
+    EXPECT_DOUBLE_EQ(c.volts(5000.0), 1.35);
+    EXPECT_DOUBLE_EQ(c.normalized(810.0, 3505.0), 1.0);
+}
+
+TEST(Voltage, TwoRegionShape)
+{
+    const auto v = VoltageCurve::twoRegion(700.0, 0.95, 1.24, 1164.0);
+    // Flat below the knee.
+    EXPECT_DOUBLE_EQ(v.volts(500.0), 0.95);
+    EXPECT_DOUBLE_EQ(v.volts(700.0), 0.95);
+    // Linear above, hitting the anchors.
+    EXPECT_DOUBLE_EQ(v.volts(1164.0), 1.24);
+    const double mid = v.volts(932.0);
+    EXPECT_GT(mid, 0.95);
+    EXPECT_LT(mid, 1.24);
+    // Linearity: midpoint of the ramp is the mean of the endpoints.
+    EXPECT_NEAR(v.volts(0.5 * (700.0 + 1164.0)), 0.5 * (0.95 + 1.24),
+                1e-12);
+}
+
+TEST(Voltage, MonotoneNonDecreasing)
+{
+    const auto v = VoltageCurve::twoRegion(700.0, 0.95, 1.24, 1164.0);
+    double prev = 0.0;
+    for (int f = 300; f <= 1300; f += 25) {
+        const double x = v.volts(f);
+        EXPECT_GE(x, prev);
+        prev = x;
+    }
+}
+
+TEST(Voltage, NormalizedIsOneAtReference)
+{
+    const auto v = VoltageCurve::twoRegion(700.0, 0.95, 1.24, 1164.0);
+    EXPECT_DOUBLE_EQ(v.normalized(975.0, 975.0), 1.0);
+    EXPECT_LT(v.normalized(595.0, 975.0), 1.0);
+    EXPECT_GT(v.normalized(1164.0, 975.0), 1.0);
+}
+
+TEST(Voltage, KneeAccessor)
+{
+    const auto v = VoltageCurve::twoRegion(700.0, 0.95, 1.24, 1164.0);
+    EXPECT_DOUBLE_EQ(v.kneeMhz(), 700.0);
+    EXPECT_DOUBLE_EQ(VoltageCurve::constant(1.0).kneeMhz(), 0.0);
+}
+
+TEST(Voltage, InvalidCurvesPanic)
+{
+    EXPECT_THROW(VoltageCurve::constant(0.0), std::logic_error);
+    EXPECT_THROW(VoltageCurve::twoRegion(1200.0, 0.9, 1.2, 1000.0),
+                 std::logic_error);
+    EXPECT_THROW(VoltageCurve::twoRegion(700.0, 1.3, 1.2, 1164.0),
+                 std::logic_error);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests of the CUDA-source emitter: structural checks against the
+ * Fig. 3 templates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ubench/cuda_source.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+TEST(CudaSource, ArithmeticTemplateMatchesFig3a)
+{
+    const auto mb = ubench::makeArithmetic(ubench::Family::SP, 64);
+    const std::string src = ubench::cudaSource(mb);
+    EXPECT_NE(src.find("__global__ void ubench_SP_N64"),
+              std::string::npos);
+    EXPECT_NE(src.find("float r0, r1, r2, r3;"), std::string::npos);
+    EXPECT_NE(src.find("for (int i = 0; i < 64; i++)"),
+              std::string::npos);
+    EXPECT_NE(src.find("r0 = r0 * r0 + r1;"), std::string::npos);
+    EXPECT_NE(src.find("B[threadId] = r0;"), std::string::npos);
+}
+
+TEST(CudaSource, TypesFollowFamily)
+{
+    EXPECT_NE(ubench::cudaSource(
+                      ubench::makeArithmetic(ubench::Family::Int, 8))
+                      .find("int r0, r1, r2, r3;"),
+              std::string::npos);
+    EXPECT_NE(ubench::cudaSource(
+                      ubench::makeArithmetic(ubench::Family::DP, 8))
+                      .find("double r0, r1, r2, r3;"),
+              std::string::npos);
+}
+
+TEST(CudaSource, SfUsesTranscendentals)
+{
+    const auto mb = ubench::makeArithmetic(ubench::Family::SF, 16);
+    const std::string src = ubench::cudaSource(mb);
+    EXPECT_NE(src.find("__logf"), std::string::npos);
+    EXPECT_NE(src.find("__sinf"), std::string::npos);
+    EXPECT_NE(src.find("__cosf"), std::string::npos);
+}
+
+TEST(CudaSource, SharedTemplateMatchesFig3c)
+{
+    const std::string src = ubench::cudaSource(ubench::makeShared(2));
+    EXPECT_NE(src.find("__shared__ float shared[THREADS];"),
+              std::string::npos);
+    EXPECT_NE(src.find("shared[THREADS - threadId - 1] = r0;"),
+              std::string::npos);
+    // The intensity knob adds exactly two integer ops per iteration.
+    std::size_t count = 0, pos = 0;
+    while ((pos = src.find("acc = acc * 33 +", pos)) !=
+           std::string::npos) {
+        ++count;
+        ++pos;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(CudaSource, DramTemplateStreams)
+{
+    const std::string src = ubench::cudaSource(ubench::makeDram(4));
+    EXPECT_NE(src.find("A[threadId + i * stride]"),
+              std::string::npos);
+    std::size_t count = 0, pos = 0;
+    while ((pos = src.find("r1 = r1 * r1 + r0;", pos)) !=
+           std::string::npos) {
+        ++count;
+        ++pos;
+    }
+    EXPECT_EQ(count, 4u);
+}
+
+TEST(CudaSource, IdleHasNoKernel)
+{
+    const auto idle = ubench::buildFamily(ubench::Family::Idle);
+    EXPECT_THROW(ubench::cudaSource(idle.front()),
+                 std::runtime_error);
+}
+
+TEST(CudaSource, SuiteFileContainsEveryKernelOnce)
+{
+    const std::string all = ubench::cudaSuiteSource();
+    for (const auto &mb : ubench::buildSuite()) {
+        if (mb.family == ubench::Family::Idle)
+            continue;
+        std::string marker = "ubench_";
+        for (char c : mb.name)
+            marker += std::isalnum(static_cast<unsigned char>(c))
+                              ? c
+                              : '_';
+        const auto first = all.find(marker + "(");
+        EXPECT_NE(first, std::string::npos) << mb.name;
+        EXPECT_EQ(all.find(marker + "(", first + 1),
+                  std::string::npos)
+                << mb.name << " emitted twice";
+    }
+    EXPECT_NE(all.find("// 82 kernels."), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests of the experimental L2 peak-bandwidth calibration
+ * (Sec. III-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ubench/l2_calibration.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+class L2CalibrationAll
+    : public ::testing::TestWithParam<gpu::DeviceKind>
+{
+};
+
+TEST_P(L2CalibrationAll, RecoversDescriptorPeakWithinBand)
+{
+    sim::PhysicalGpu board(GetParam());
+    const auto cal = ubench::calibrateL2PeakBandwidth(board);
+    // The streaming microbenchmarks achieve most (but never more than
+    // ~counter-noise above) of the true capability.
+    const double truth = board.descriptor().l2_bytes_per_cycle;
+    EXPECT_GT(cal.bytes_per_cycle, 0.75 * truth);
+    EXPECT_LT(cal.bytes_per_cycle, 1.25 * truth);
+}
+
+TEST_P(L2CalibrationAll, StreamingEndOfFamilyWins)
+{
+    // The maximum bandwidth comes from the streaming-dominated end of
+    // the family (small intensity knobs); counter noise may shuffle
+    // the exact winner, but never to the compute-bound end.
+    sim::PhysicalGpu board(GetParam());
+    const auto cal = ubench::calibrateL2PeakBandwidth(board);
+    EXPECT_LE(cal.best_knob, 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, L2CalibrationAll,
+                         ::testing::Values(gpu::DeviceKind::TitanXp,
+                                           gpu::DeviceKind::GtxTitanX,
+                                           gpu::DeviceKind::TeslaK40c));
+
+TEST(L2Calibration, DeterministicPerSeed)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto a = ubench::calibrateL2PeakBandwidth(board, 3);
+    const auto b = ubench::calibrateL2PeakBandwidth(board, 3);
+    EXPECT_DOUBLE_EQ(a.peak_bandwidth, b.peak_bandwidth);
+}
+
+} // namespace

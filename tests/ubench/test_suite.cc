@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests of the 83-microbenchmark suite: composition, the
+ * arithmetic-intensity sweep behaviour of Fig. 5A, and per-family
+ * stress targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/perf_model.hh"
+#include "ubench/suite.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+const gpu::DeviceDescriptor &titanx()
+{
+    return gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+}
+
+gpu::ComponentArray
+utilAtRef(const sim::KernelDemand &d)
+{
+    static const sim::AnalyticPerfModel perf;
+    return perf.execute(titanx(), d, titanx().referenceConfig()).util;
+}
+
+TEST(Suite, HasExactly83Microbenchmarks)
+{
+    EXPECT_EQ(ubench::buildSuite().size(), 83u);
+}
+
+TEST(Suite, FamilySizesMatchFig5)
+{
+    const std::map<ubench::Family, std::size_t> expected = {
+        {ubench::Family::Int, 12},  {ubench::Family::SP, 11},
+        {ubench::Family::DP, 12},   {ubench::Family::SF, 8},
+        {ubench::Family::L2, 10},   {ubench::Family::Shared, 10},
+        {ubench::Family::Dram, 12}, {ubench::Family::Mix, 7},
+        {ubench::Family::Idle, 1},
+    };
+    std::map<ubench::Family, std::size_t> counts;
+    for (const auto &mb : ubench::buildSuite())
+        counts[mb.family]++;
+    EXPECT_EQ(counts, expected);
+}
+
+TEST(Suite, NamesAreUnique)
+{
+    std::map<std::string, int> seen;
+    for (const auto &mb : ubench::buildSuite())
+        EXPECT_EQ(seen[mb.name]++, 0) << mb.name;
+}
+
+TEST(Suite, IdleIsEmptyEverythingElseIsNot)
+{
+    for (const auto &mb : ubench::buildSuite()) {
+        if (mb.family == ubench::Family::Idle)
+            EXPECT_TRUE(mb.demand.empty());
+        else
+            EXPECT_FALSE(mb.demand.empty()) << mb.name;
+    }
+}
+
+TEST(Suite, MicrobenchmarksCarryNoCounterDistortion)
+{
+    // Register-only synthetic loops exercise no replay activity.
+    for (const auto &mb : ubench::buildSuite())
+        EXPECT_DOUBLE_EQ(mb.demand.counter_distortion, 0.0) << mb.name;
+}
+
+/**
+ * Fig. 5A behaviour: increasing the arithmetic-intensity knob N must
+ * monotonically raise the stressed-unit utilization and lower the
+ * DRAM utilization.
+ */
+class ArithmeticSweep
+    : public ::testing::TestWithParam<ubench::Family>
+{
+};
+
+TEST_P(ArithmeticSweep, IntensityTradesMemoryForCompute)
+{
+    const ubench::Family fam = GetParam();
+    const Component unit =
+            fam == ubench::Family::Int  ? Component::Int
+            : fam == ubench::Family::SP ? Component::SP
+            : fam == ubench::Family::DP ? Component::DP
+                                        : Component::SF;
+    double prev_unit = -1.0;
+    double prev_dram = 2.0;
+    for (const auto &mb : ubench::buildFamily(fam)) {
+        const auto u = utilAtRef(mb.demand);
+        EXPECT_GE(u[componentIndex(unit)], prev_unit - 1e-9)
+                << mb.name;
+        EXPECT_LE(u[componentIndex(Component::Dram)], prev_dram + 1e-9)
+                << mb.name;
+        prev_unit = u[componentIndex(unit)];
+        prev_dram = u[componentIndex(Component::Dram)];
+    }
+    // The sweep must span from memory-dominated to compute-dominated.
+    EXPECT_GT(prev_unit, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ArithmeticSweep,
+                         ::testing::Values(ubench::Family::Int,
+                                           ubench::Family::SP,
+                                           ubench::Family::DP,
+                                           ubench::Family::SF));
+
+TEST(Suite, SharedFamilyStressesSharedMemory)
+{
+    const auto fam = ubench::buildFamily(ubench::Family::Shared);
+    const auto u0 = utilAtRef(fam.front().demand);
+    EXPECT_GT(u0[componentIndex(Component::Shared)], 0.7);
+    // The intensity knob shifts the bottleneck toward INT.
+    const auto un = utilAtRef(fam.back().demand);
+    EXPECT_GT(un[componentIndex(Component::Int)],
+              un[componentIndex(Component::Shared)]);
+}
+
+TEST(Suite, L2FamilyStressesL2)
+{
+    const auto fam = ubench::buildFamily(ubench::Family::L2);
+    const auto u0 = utilAtRef(fam.front().demand);
+    EXPECT_GT(u0[componentIndex(Component::L2)], 0.7);
+    EXPECT_LT(u0[componentIndex(Component::Dram)], 0.2);
+}
+
+TEST(Suite, DramFamilyStressesDram)
+{
+    const auto fam = ubench::buildFamily(ubench::Family::Dram);
+    const auto u0 = utilAtRef(fam.front().demand);
+    EXPECT_GT(u0[componentIndex(Component::Dram)], 0.8);
+    // Adding FMAs per load raises SP utilization.
+    const auto un = utilAtRef(fam.back().demand);
+    EXPECT_GT(un[componentIndex(Component::SP)], 0.5);
+}
+
+TEST(Suite, MixesTouchMultipleComponents)
+{
+    for (const auto &mb : ubench::buildFamily(ubench::Family::Mix)) {
+        const auto u = utilAtRef(mb.demand);
+        int active = 0;
+        for (double x : u)
+            active += x > 0.10;
+        EXPECT_GE(active, 3) << mb.name;
+    }
+}
+
+TEST(Suite, LoopBodiesExistForLoopFamilies)
+{
+    for (const auto &mb : ubench::buildSuite()) {
+        const bool loop_family = mb.family != ubench::Family::Mix &&
+                                 mb.family != ubench::Family::Idle;
+        EXPECT_EQ(mb.loop.has_value(), loop_family) << mb.name;
+        if (mb.loop) {
+            EXPECT_FALSE(mb.loop->body.empty()) << mb.name;
+            EXPECT_GE(mb.loop->trip_count, 1u) << mb.name;
+        }
+    }
+}
+
+TEST(Suite, SuiteCoversTheUtilizationSpace)
+{
+    // Across the whole suite every component must be stressed hard
+    // somewhere — the estimator needs that coverage to identify every
+    // omega (Sec. IV's design goal).
+    gpu::ComponentArray best{};
+    for (const auto &mb : ubench::buildSuite()) {
+        const auto u = utilAtRef(mb.demand);
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+            best[i] = std::max(best[i], u[i]);
+    }
+    for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+        EXPECT_GT(best[i], 0.6)
+                << componentName(static_cast<Component>(i));
+}
+
+TEST(Suite, InvalidKnobsPanic)
+{
+    EXPECT_THROW(ubench::makeArithmetic(ubench::Family::SP, 0),
+                 std::logic_error);
+    EXPECT_THROW(ubench::makeDram(-1), std::logic_error);
+    EXPECT_THROW(ubench::makeArithmetic(ubench::Family::L2, 4),
+                 std::logic_error);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of multi-kernel applications and the Sec. V-A time-weighted
+ * measurement / prediction path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/campaign.hh"
+#include "core/metrics.hh"
+#include "core/predictor.hh"
+#include "workloads/multi_kernel.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+model::CampaignOptions
+fastOpts()
+{
+    model::CampaignOptions o;
+    o.power_repetitions = 2;
+    return o;
+}
+
+TEST(MultiKernel, AppsAreWellFormed)
+{
+    const auto apps = workloads::multiKernelApps();
+    ASSERT_GE(apps.size(), 4u);
+    for (const auto &app : apps) {
+        EXPECT_FALSE(app.name.empty());
+        EXPECT_GE(app.kernels.size(), 2u) << app.name;
+        for (const auto &k : app.kernels)
+            EXPECT_FALSE(k.empty()) << app.name;
+    }
+}
+
+TEST(MultiKernel, WeightedPowerLiesBetweenKernelExtremes)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto ref = board.descriptor().referenceConfig();
+    const auto apps = workloads::multiKernelApps();
+    for (const auto &app : apps) {
+        const auto m = model::measureKernelSequence(
+                board, app.name, app.kernels, {ref}, fastOpts());
+        ASSERT_EQ(m.power_w.size(), 1u);
+        double lo = 1e9, hi = 0.0;
+        for (const auto &k : app.kernels) {
+            const auto km =
+                    model::measureApp(board, k, {ref}, fastOpts());
+            lo = std::min(lo, km.power_w[0]);
+            hi = std::max(hi, km.power_w[0]);
+        }
+        EXPECT_GE(m.power_w[0], lo - 2.0) << app.name;
+        EXPECT_LE(m.power_w[0], hi + 2.0) << app.name;
+    }
+}
+
+TEST(MultiKernel, WeightsFollowExecutionTime)
+{
+    // An application made of one long kernel and one short kernel must
+    // report power close to the long kernel's.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto ref = board.descriptor().referenceConfig();
+    const auto apps = workloads::multiKernelApps();
+    // KMEANS-multi: the membership kernel is 5x the sums kernel.
+    const auto &km = *std::find_if(
+            apps.begin(), apps.end(), [](const auto &a) {
+                return a.name == "KMEANS-multi";
+            });
+    const auto m = model::measureKernelSequence(
+            board, km.name, km.kernels, {ref}, fastOpts());
+    const auto long_k = model::measureApp(board, km.kernels[0], {ref},
+                                          fastOpts());
+    const auto short_k = model::measureApp(board, km.kernels[1],
+                                           {ref}, fastOpts());
+    EXPECT_LT(std::abs(m.power_w[0] - long_k.power_w[0]),
+              std::abs(m.power_w[0] - short_k.power_w[0]));
+}
+
+TEST(MultiKernel, UtilizationIsTimeWeightedBlend)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    const auto ref = board.descriptor().referenceConfig();
+    const auto apps = workloads::multiKernelApps();
+    for (const auto &app : apps) {
+        const auto m = model::measureKernelSequence(
+                board, app.name, app.kernels, {ref}, fastOpts());
+        for (double u : m.util) {
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+        // The blend cannot exceed the max of the members.
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i) {
+            double mx = 0.0;
+            for (const auto &k : app.kernels) {
+                const auto km = model::measureApp(board, k, {ref},
+                                                  fastOpts());
+                mx = std::max(mx, km.util[i]);
+            }
+            EXPECT_LE(m.util[i], mx + 0.05);
+        }
+    }
+}
+
+TEST(MultiKernel, WeightedPredictionTracksWeightedMeasurement)
+{
+    // Full pipeline: train, then predict the composite applications
+    // with Predictor::atWeighted across several configurations.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    model::CampaignOptions o;
+    o.power_repetitions = 3;
+    const auto data = model::runTrainingCampaign(
+            board, ubench::buildSuite(), o);
+    const auto fit = model::ModelEstimator().estimate(data);
+    model::Predictor predictor(fit.model);
+    const auto ref = board.descriptor().referenceConfig();
+
+    const std::vector<gpu::FreqConfig> configs = {
+        ref, {595, 3505}, {1164, 3505}, {975, 810}};
+
+    for (const auto &app : workloads::multiKernelApps()) {
+        // Per-kernel profiling for the weighted prediction.
+        cupti::Profiler profiler(board, 3);
+        std::vector<model::Predictor::WeightedKernel> wks;
+        for (const auto &k : app.kernels) {
+            const auto rm = profiler.profile(k, ref);
+            wks.push_back({model::utilizationsFromMetrics(
+                                   rm, board.descriptor(), ref),
+                           rm.time_s});
+        }
+        const auto meas = model::measureKernelSequence(
+                board, app.name, app.kernels, configs, o);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const double pred =
+                    predictor.atWeighted(wks, configs[i]).total_w;
+            EXPECT_NEAR(pred, meas.power_w[i],
+                        0.15 * meas.power_w[i])
+                    << app.name << " @ (" << configs[i].core_mhz
+                    << "," << configs[i].mem_mhz << ")";
+        }
+    }
+}
+
+TEST(MultiKernel, EmptySequencePanics)
+{
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    EXPECT_THROW(model::measureKernelSequence(
+                         board, "empty", {},
+                         {board.descriptor().referenceConfig()}),
+                 std::logic_error);
+}
+
+} // namespace

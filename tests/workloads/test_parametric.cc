@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests of the first-principles parametric workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvml/device.hh"
+#include "sim/perf_model.hh"
+#include "sim/physical_gpu.hh"
+#include "workloads/parametric.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+const gpu::DeviceDescriptor &titanx()
+{
+    return gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+}
+
+TEST(Parametric, GemmFlopCountIsExact)
+{
+    const auto d = workloads::gemm(1024, titanx());
+    // 2 n^3 flops = n^3 FMAs = n^3 / 32 warp instructions.
+    EXPECT_DOUBLE_EQ(d.warps_sp, 1024.0 * 1024.0 * 1024.0 / 32.0);
+}
+
+TEST(Parametric, GemmBecomesComputeBoundAtLargeSizes)
+{
+    const sim::AnalyticPerfModel perf;
+    const auto ref = titanx().referenceConfig();
+    const auto small = perf.execute(titanx(),
+                                    workloads::gemm(128, titanx()),
+                                    ref);
+    const auto large = perf.execute(titanx(),
+                                    workloads::gemm(4096, titanx()),
+                                    ref);
+    EXPECT_GT(large.util[componentIndex(Component::SP)],
+              small.util[componentIndex(Component::SP)]);
+    EXPECT_GT(large.util[componentIndex(Component::SP)], 0.6);
+    // Arithmetic intensity grows with n: DRAM share falls.
+    EXPECT_LT(large.util[componentIndex(Component::Dram)],
+              small.util[componentIndex(Component::Dram)] + 0.3);
+}
+
+TEST(Parametric, SmallGemmIsL2Resident)
+{
+    // 3 * 4 * 128^2 bytes = 192 KiB << 3 MiB: no capacity misses.
+    const auto d = workloads::gemm(128, titanx());
+    EXPECT_LE(d.bytes_dram_rd + d.bytes_dram_wr,
+              3.0 * 4.0 * 128.0 * 128.0 + 1.0);
+}
+
+TEST(Parametric, StencilBytesPerCellAreExact)
+{
+    const auto d = workloads::stencil2d(512, titanx());
+    EXPECT_DOUBLE_EQ(d.bytes_l2_rd, 5.0 * 4.0 * 512.0 * 512.0);
+    EXPECT_DOUBLE_EQ(d.bytes_l2_wr, 4.0 * 512.0 * 512.0);
+}
+
+TEST(Parametric, TriadIsMemoryBound)
+{
+    const sim::AnalyticPerfModel perf;
+    const auto prof = perf.execute(
+            titanx(), workloads::streamTriad(1 << 26, titanx()),
+            titanx().referenceConfig());
+    EXPECT_GT(prof.util[componentIndex(Component::Dram)], 0.85);
+    EXPECT_LT(prof.util[componentIndex(Component::SP)], 0.2);
+}
+
+TEST(Parametric, TriadStreamsEverythingAtLargeSizes)
+{
+    const auto d = workloads::streamTriad(1 << 26, titanx());
+    // 768 MiB working set: essentially every access misses.
+    EXPECT_GT(d.bytes_dram_rd, 0.95 * d.bytes_l2_rd);
+}
+
+TEST(Parametric, ReductionReadsInputOnce)
+{
+    const auto d = workloads::reduction(1 << 20, titanx());
+    EXPECT_DOUBLE_EQ(d.bytes_l2_rd, 4.0 * (1 << 20));
+}
+
+TEST(Parametric, SpmvScalesWithNonZeros)
+{
+    const auto sparse = workloads::spmv(1 << 16, 1 << 20, titanx());
+    const auto denser = workloads::spmv(1 << 16, 1 << 24, titanx());
+    EXPECT_NEAR(denser.warps_sp / sparse.warps_sp, 16.0, 1e-9);
+    EXPECT_GT(denser.bytes_dram_rd, sparse.bytes_dram_rd);
+}
+
+TEST(Parametric, SpmvDenseVectorReuseDependsOnRowCount)
+{
+    // Same nnz, more rows -> bigger x working set -> more x misses.
+    const auto small_x = workloads::spmv(1 << 14, 1 << 24, titanx());
+    const auto large_x = workloads::spmv(1 << 22, 1 << 24, titanx());
+    EXPECT_GT(large_x.bytes_dram_rd, small_x.bytes_dram_rd);
+}
+
+TEST(Parametric, PowerRisesWithGemmSizeThenPlateaus)
+{
+    // The Fig. 9 observation, generated from first principles: small
+    // matrices underutilize the SMs; once the compute units saturate
+    // (n ~ 512 here) power plateaus — and even eases slightly as the
+    // growing arithmetic intensity sheds DRAM power.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board, 5);
+    const auto p64 = dev.measureKernelPower(
+            workloads::gemm(64, titanx()), 3);
+    const auto p512 = dev.measureKernelPower(
+            workloads::gemm(512, titanx()), 3);
+    const auto p4096 = dev.measureKernelPower(
+            workloads::gemm(4096, titanx()), 3);
+    EXPECT_GT(p512.power_w, p64.power_w + 10.0);
+    EXPECT_GT(p4096.power_w, p512.power_w + 10.0);
+    // Beyond saturation (n >= 1024) the power curve flattens.
+    const auto p1024 = dev.measureKernelPower(
+            workloads::gemm(1024, titanx()), 3);
+    EXPECT_NEAR(p4096.power_w, p1024.power_w,
+                0.08 * p1024.power_w);
+}
+
+TEST(Parametric, InvalidParametersPanic)
+{
+    EXPECT_THROW(workloads::gemm(0, titanx()), std::logic_error);
+    EXPECT_THROW(workloads::reduction(1, titanx()), std::logic_error);
+    EXPECT_THROW(workloads::spmv(100, 50, titanx()),
+                 std::logic_error);
+}
+
+} // namespace

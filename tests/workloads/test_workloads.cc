@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests of the Table III validation workloads and the
+ * signature-to-demand inversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/perf_model.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using gpu::Component;
+using gpu::componentIndex;
+
+const gpu::DeviceDescriptor &titanx()
+{
+    return gpu::DeviceDescriptor::get(gpu::DeviceKind::GtxTitanX);
+}
+
+gpu::ComponentArray
+utilAtRef(const sim::KernelDemand &d)
+{
+    static const sim::AnalyticPerfModel perf;
+    return perf.execute(titanx(), d, titanx().referenceConfig()).util;
+}
+
+TEST(Workloads, ValidationSetHas26Applications)
+{
+    EXPECT_EQ(workloads::validationSet().size(), 26u);
+    EXPECT_EQ(workloads::fullValidationSet().size(), 27u);
+    EXPECT_EQ(workloads::fullValidationSet().back().name, "CUBLAS");
+}
+
+TEST(Workloads, NamesAreUniqueAndSuitesMatchTableIII)
+{
+    std::set<std::string> names;
+    std::set<std::string> suites;
+    for (const auto &w : workloads::validationSet()) {
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+        suites.insert(w.suite);
+    }
+    EXPECT_EQ(suites, (std::set<std::string>{"Rodinia", "Parboil",
+                                             "Polybench", "CUDA SDK"}));
+}
+
+TEST(Workloads, SignatureInversionHitsTargets)
+{
+    // A moderate signature must reproduce its target utilizations at
+    // the GTX Titan X reference configuration.
+    workloads::UtilSignature sig;
+    sig.util[componentIndex(Component::SP)] = 0.4;
+    sig.util[componentIndex(Component::L2)] = 0.5;
+    sig.util[componentIndex(Component::Dram)] = 0.6;
+    sig.util[componentIndex(Component::Shared)] = 0.2;
+    const auto d = workloads::demandFromSignature("probe", sig);
+    const auto u = utilAtRef(d);
+    EXPECT_NEAR(u[componentIndex(Component::SP)], 0.4, 0.03);
+    EXPECT_NEAR(u[componentIndex(Component::L2)], 0.5, 0.03);
+    EXPECT_NEAR(u[componentIndex(Component::Dram)], 0.6, 0.03);
+    EXPECT_NEAR(u[componentIndex(Component::Shared)], 0.2, 0.03);
+}
+
+TEST(Workloads, BlackScholesMatchesFig2ALabels)
+{
+    const auto u = utilAtRef(workloads::blackScholes().demand);
+    // Fig. 2A: DRAM 0.85, L2 0.47, SP 0.25, SF 0.19.
+    EXPECT_NEAR(u[componentIndex(Component::Dram)], 0.85, 0.06);
+    EXPECT_NEAR(u[componentIndex(Component::L2)], 0.47, 0.06);
+    EXPECT_NEAR(u[componentIndex(Component::SP)], 0.25, 0.06);
+    EXPECT_NEAR(u[componentIndex(Component::SF)], 0.19, 0.06);
+}
+
+TEST(Workloads, CutcpMatchesFig2BLabels)
+{
+    const auto u = utilAtRef(workloads::cutcp().demand);
+    // Fig. 2B: Shared 0.51, SP ~0.28, INT 0.15, SF 0.11.
+    EXPECT_NEAR(u[componentIndex(Component::Shared)], 0.51, 0.06);
+    EXPECT_NEAR(u[componentIndex(Component::SP)], 0.28, 0.06);
+    EXPECT_NEAR(u[componentIndex(Component::Int)], 0.15, 0.06);
+    EXPECT_NEAR(u[componentIndex(Component::SF)], 0.11, 0.06);
+}
+
+TEST(Workloads, SyrkDoubleIsTheDpHeavyApplication)
+{
+    for (const auto &w : workloads::validationSet()) {
+        const auto u = utilAtRef(w.demand);
+        if (w.name == "SYRK_D")
+            EXPECT_GT(u[componentIndex(Component::DP)], 0.6);
+        else
+            EXPECT_LT(u[componentIndex(Component::DP)], 0.1)
+                    << w.name;
+    }
+}
+
+TEST(Workloads, CublasUtilizationGrowsWithInputSize)
+{
+    // Fig. 9: larger matrices raise SP / shared / power.
+    const auto u64 = utilAtRef(workloads::matrixMulCublas(64).demand);
+    const auto u512 =
+            utilAtRef(workloads::matrixMulCublas(512).demand);
+    const auto u4096 =
+            utilAtRef(workloads::matrixMulCublas(4096).demand);
+    EXPECT_LT(u64[componentIndex(Component::SP)],
+              u512[componentIndex(Component::SP)]);
+    EXPECT_LT(u512[componentIndex(Component::SP)],
+              u4096[componentIndex(Component::SP)]);
+    EXPECT_GT(u4096[componentIndex(Component::SP)], 0.75);
+    EXPECT_LT(u64[componentIndex(Component::Shared)],
+              u4096[componentIndex(Component::Shared)]);
+}
+
+TEST(Workloads, CublasRejectsUnsupportedSizes)
+{
+    EXPECT_THROW(workloads::matrixMulCublas(128), std::runtime_error);
+}
+
+TEST(Workloads, DistortionIsDeterministicAndBounded)
+{
+    const auto a = workloads::validationSet();
+    const auto b = workloads::validationSet();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].demand.counter_distortion,
+                         b[i].demand.counter_distortion);
+        EXPECT_GE(a[i].demand.counter_distortion, -0.25);
+        EXPECT_LE(a[i].demand.counter_distortion, 0.35);
+    }
+    // Not all identical (the per-app replay signature varies).
+    std::set<double> distinct;
+    for (const auto &w : a)
+        distinct.insert(w.demand.counter_distortion);
+    EXPECT_GT(distinct.size(), 10u);
+}
+
+TEST(Workloads, EveryWorkloadRunsOnEveryDevice)
+{
+    const sim::AnalyticPerfModel perf;
+    for (auto kind : gpu::kAllDevices) {
+        const auto &dev = gpu::DeviceDescriptor::get(kind);
+        for (const auto &w : workloads::fullValidationSet()) {
+            const auto prof = perf.execute(dev, w.demand,
+                                           dev.referenceConfig());
+            EXPECT_GT(prof.time_s, 0.0) << w.name;
+            for (double u : prof.util) {
+                EXPECT_GE(u, 0.0);
+                EXPECT_LE(u, 1.0);
+            }
+        }
+    }
+}
+
+TEST(Workloads, InvalidSignatureTimePanics)
+{
+    workloads::UtilSignature sig;
+    EXPECT_THROW(workloads::demandFromSignature("x", sig, 0.0),
+                 std::logic_error);
+}
+
+} // namespace

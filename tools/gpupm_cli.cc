@@ -1,0 +1,259 @@
+/**
+ * @file
+ * gpupm command-line tool.
+ *
+ * Drives the pipeline stages the way a host-side deployment would:
+ *
+ *   gpupm campaign  <device> <out.campaign>   run the training campaign
+ *   gpupm fit       <in.campaign> <out.model> fit the DVFS-aware model
+ *   gpupm train     <device> <out.model>      campaign + fit in one go
+ *   gpupm info      <in.model>                summarize a fitted model
+ *   gpupm predict   <in.model> <app> [fc fm]  predict an application
+ *   gpupm sweep     <in.model> <app>          full V-F sweep table
+ *   gpupm devices                             list supported devices
+ *   gpupm export-cuda <out.cu>                emit the suite as CUDA
+ *
+ * <device> is one of: titanxp, titanx, k40c. <app> is a Table III
+ * abbreviation (e.g. BLCKSC) — the tool profiles it on a fresh
+ * simulated board at the reference configuration before predicting.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "common/table.hh"
+#include "core/campaign.hh"
+#include "core/metrics.hh"
+#include "core/model_io.hh"
+#include "core/predictor.hh"
+#include "ubench/cuda_source.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+std::optional<gpu::DeviceKind>
+parseDevice(const std::string &name)
+{
+    if (name == "titanxp")
+        return gpu::DeviceKind::TitanXp;
+    if (name == "titanx")
+        return gpu::DeviceKind::GtxTitanX;
+    if (name == "k40c")
+        return gpu::DeviceKind::TeslaK40c;
+    return std::nullopt;
+}
+
+std::optional<workloads::Workload>
+findApp(const std::string &name)
+{
+    for (const auto &w : workloads::fullValidationSet())
+        if (w.name == name)
+            return w;
+    return std::nullopt;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  gpupm devices\n"
+                 "  gpupm campaign <titanxp|titanx|k40c> <out>\n"
+                 "  gpupm fit <campaign-file> <out-model>\n"
+                 "  gpupm train <titanxp|titanx|k40c> <out-model>\n"
+                 "  gpupm info <model-file>\n"
+                 "  gpupm predict <model-file> <APP> [fcore fmem]\n"
+                 "  gpupm sweep <model-file> <APP>\n"
+                 "  gpupm export-cuda <out.cu>\n");
+    return 2;
+}
+
+model::TrainingData
+runCampaign(gpu::DeviceKind kind)
+{
+    sim::PhysicalGpu board(kind);
+    std::fprintf(stderr, "running campaign on %s...\n",
+                 board.descriptor().name.c_str());
+    return model::runTrainingCampaign(board, ubench::buildSuite());
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    const auto m = model::loadModel(path);
+    const auto &desc = gpu::DeviceDescriptor::get(m.deviceKind());
+    std::printf("device: %s\n", desc.name.c_str());
+    std::printf("reference: (%d, %d) MHz\n", m.reference().core_mhz,
+                m.reference().mem_mhz);
+    const auto &p = m.params();
+    std::printf("beta: %.2f %.2f %.2f %.2f (W | W/GHz)\n", p.beta0,
+                p.beta1, p.beta2, p.beta3);
+    std::printf("omega (W/GHz):");
+    for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+        std::printf(" %s=%.1f",
+                    std::string(gpu::componentName(
+                            static_cast<gpu::Component>(i))).c_str(),
+                    p.omega[i]);
+    std::printf("\nfitted configurations: %zu\n",
+                m.voltageTable().size());
+    std::printf("core voltage at fmem=%d: %.3f (min clock) .. %.3f "
+                "(max clock)\n",
+                m.reference().mem_mhz,
+                m.voltages({desc.minCoreMhz(), m.reference().mem_mhz})
+                        .core,
+                m.voltages({desc.maxCoreMhz(), m.reference().mem_mhz})
+                        .core);
+    return 0;
+}
+
+gpu::ComponentArray
+profileApp(const model::DvfsPowerModel &m,
+           const workloads::Workload &app)
+{
+    sim::PhysicalGpu board(m.deviceKind());
+    cupti::Profiler profiler(board, 11);
+    const auto rm = profiler.profile(app.demand, m.reference());
+    return model::utilizationsFromMetrics(rm, board.descriptor(),
+                                          m.reference());
+}
+
+int
+cmdPredict(const std::string &path, const std::string &app_name,
+           std::optional<gpu::FreqConfig> cfg)
+{
+    const auto m = model::loadModel(path);
+    const auto app = findApp(app_name);
+    if (!app) {
+        std::fprintf(stderr, "unknown application '%s'\n",
+                     app_name.c_str());
+        return 2;
+    }
+    const auto util = profileApp(m, *app);
+    const gpu::FreqConfig target = cfg.value_or(m.reference());
+    const auto p = m.hasVoltages(target)
+                           ? m.predict(util, target)
+                           : m.predictInterpolated(util, target);
+    std::printf("%s @ (%d, %d) MHz: %.1f W total (constant %.1f W)\n",
+                app->name.c_str(), target.core_mhz, target.mem_mhz,
+                p.total_w, p.constant_w);
+    for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+        std::printf("  %-7s %.1f W\n",
+                    std::string(gpu::componentName(
+                            static_cast<gpu::Component>(i))).c_str(),
+                    p.component_w[i]);
+    return 0;
+}
+
+int
+cmdSweep(const std::string &path, const std::string &app_name)
+{
+    const auto m = model::loadModel(path);
+    const auto app = findApp(app_name);
+    if (!app) {
+        std::fprintf(stderr, "unknown application '%s'\n",
+                     app_name.c_str());
+        return 2;
+    }
+    const auto util = profileApp(m, *app);
+    model::Predictor pred(m);
+    TextTable t({"fcore", "fmem", "predicted W"});
+    t.setTitle(app->name + " across the fitted V-F grid");
+    for (const auto &pt : pred.sweep(util))
+        t.addRow({std::to_string(pt.cfg.core_mhz),
+                  std::to_string(pt.cfg.mem_mhz),
+                  TextTable::num(pt.prediction.total_w, 1)});
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    try {
+        if (cmd == "devices") {
+            for (auto kind : gpu::kAllDevices) {
+                const auto &d = gpu::DeviceDescriptor::get(kind);
+                std::printf("%-8s %s (%s, %zu V-F configs)\n",
+                            kind == gpu::DeviceKind::TitanXp ? "titanxp"
+                            : kind == gpu::DeviceKind::GtxTitanX
+                                    ? "titanx"
+                                    : "k40c",
+                            d.name.c_str(),
+                            std::string(architectureName(
+                                    d.architecture)).c_str(),
+                            d.allConfigs().size());
+            }
+            return 0;
+        }
+        if (cmd == "campaign" && argc == 4) {
+            const auto kind = parseDevice(argv[2]);
+            if (!kind)
+                return usage();
+            model::saveTrainingData(runCampaign(*kind), argv[3]);
+            std::fprintf(stderr, "campaign written to %s\n", argv[3]);
+            return 0;
+        }
+        if (cmd == "fit" && argc == 4) {
+            const auto data = model::loadTrainingData(argv[2]);
+            const auto fit = model::ModelEstimator().estimate(data);
+            std::fprintf(stderr,
+                         "fit: %d iterations, RMSE %.2f W\n",
+                         fit.iterations, fit.rmse_w);
+            model::saveModel(fit.model, argv[3]);
+            std::fprintf(stderr, "model written to %s\n", argv[3]);
+            return 0;
+        }
+        if (cmd == "train" && argc == 4) {
+            const auto kind = parseDevice(argv[2]);
+            if (!kind)
+                return usage();
+            const auto data = runCampaign(*kind);
+            const auto fit = model::ModelEstimator().estimate(data);
+            std::fprintf(stderr,
+                         "fit: %d iterations, RMSE %.2f W\n",
+                         fit.iterations, fit.rmse_w);
+            model::saveModel(fit.model, argv[3]);
+            std::fprintf(stderr, "model written to %s\n", argv[3]);
+            return 0;
+        }
+        if (cmd == "info" && argc == 3)
+            return cmdInfo(argv[2]);
+        if (cmd == "predict" && (argc == 4 || argc == 6)) {
+            std::optional<gpu::FreqConfig> cfg;
+            if (argc == 6)
+                cfg = gpu::FreqConfig{std::atoi(argv[4]),
+                                      std::atoi(argv[5])};
+            return cmdPredict(argv[2], argv[3], cfg);
+        }
+        if (cmd == "sweep" && argc == 4)
+            return cmdSweep(argv[2], argv[3]);
+        if (cmd == "export-cuda" && argc == 3) {
+            std::ofstream out(argv[2]);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", argv[2]);
+                return 1;
+            }
+            out << ubench::cudaSuiteSource();
+            std::fprintf(stderr,
+                         "microbenchmark suite written to %s\n",
+                         argv[2]);
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
