@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thermal.dir/ablation_thermal.cc.o"
+  "CMakeFiles/ablation_thermal.dir/ablation_thermal.cc.o.d"
+  "ablation_thermal"
+  "ablation_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_voltage.dir/ablation_voltage.cc.o"
+  "CMakeFiles/ablation_voltage.dir/ablation_voltage.cc.o.d"
+  "ablation_voltage"
+  "ablation_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

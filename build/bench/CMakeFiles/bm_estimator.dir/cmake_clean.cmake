@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_estimator.dir/bm_estimator.cc.o"
+  "CMakeFiles/bm_estimator.dir/bm_estimator.cc.o.d"
+  "bm_estimator"
+  "bm_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dvfs_impact.dir/fig2_dvfs_impact.cc.o"
+  "CMakeFiles/fig2_dvfs_impact.dir/fig2_dvfs_impact.cc.o.d"
+  "fig2_dvfs_impact"
+  "fig2_dvfs_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dvfs_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

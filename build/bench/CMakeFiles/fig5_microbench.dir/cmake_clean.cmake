@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_microbench.dir/fig5_microbench.cc.o"
+  "CMakeFiles/fig5_microbench.dir/fig5_microbench.cc.o.d"
+  "fig5_microbench"
+  "fig5_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

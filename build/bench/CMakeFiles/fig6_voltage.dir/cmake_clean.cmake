@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_voltage.dir/fig6_voltage.cc.o"
+  "CMakeFiles/fig6_voltage.dir/fig6_voltage.cc.o.d"
+  "fig6_voltage"
+  "fig6_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_validation.dir/fig7_validation.cc.o"
+  "CMakeFiles/fig7_validation.dir/fig7_validation.cc.o.d"
+  "fig7_validation"
+  "fig7_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_error_by_mem.dir/fig8_error_by_mem.cc.o"
+  "CMakeFiles/fig8_error_by_mem.dir/fig8_error_by_mem.cc.o.d"
+  "fig8_error_by_mem"
+  "fig8_error_by_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_error_by_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xval_simulators.dir/xval_simulators.cc.o"
+  "CMakeFiles/xval_simulators.dir/xval_simulators.cc.o.d"
+  "xval_simulators"
+  "xval_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xval_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_power_breakdown.dir/app_power_breakdown.cpp.o"
+  "CMakeFiles/app_power_breakdown.dir/app_power_breakdown.cpp.o.d"
+  "app_power_breakdown"
+  "app_power_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_power_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_microbenchmark.dir/custom_microbenchmark.cpp.o"
+  "CMakeFiles/custom_microbenchmark.dir/custom_microbenchmark.cpp.o.d"
+  "custom_microbenchmark"
+  "custom_microbenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_governor.dir/online_governor.cpp.o"
+  "CMakeFiles/online_governor.dir/online_governor.cpp.o.d"
+  "online_governor"
+  "online_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

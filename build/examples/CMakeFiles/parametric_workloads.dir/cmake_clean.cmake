@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parametric_workloads.dir/parametric_workloads.cpp.o"
+  "CMakeFiles/parametric_workloads.dir/parametric_workloads.cpp.o.d"
+  "parametric_workloads"
+  "parametric_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parametric_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_virtual_sensor.dir/power_virtual_sensor.cpp.o"
+  "CMakeFiles/power_virtual_sensor.dir/power_virtual_sensor.cpp.o.d"
+  "power_virtual_sensor"
+  "power_virtual_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_virtual_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_baselines.dir/baselines.cc.o"
+  "CMakeFiles/gpupm_baselines.dir/baselines.cc.o.d"
+  "libgpupm_baselines.a"
+  "libgpupm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

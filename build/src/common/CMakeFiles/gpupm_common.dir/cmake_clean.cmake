@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_common.dir/logging.cc.o"
+  "CMakeFiles/gpupm_common.dir/logging.cc.o.d"
+  "CMakeFiles/gpupm_common.dir/stats.cc.o"
+  "CMakeFiles/gpupm_common.dir/stats.cc.o.d"
+  "CMakeFiles/gpupm_common.dir/table.cc.o"
+  "CMakeFiles/gpupm_common.dir/table.cc.o.d"
+  "libgpupm_common.a"
+  "libgpupm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

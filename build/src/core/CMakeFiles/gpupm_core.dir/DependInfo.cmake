@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cc" "src/core/CMakeFiles/gpupm_core.dir/backend.cc.o" "gcc" "src/core/CMakeFiles/gpupm_core.dir/backend.cc.o.d"
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/gpupm_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/gpupm_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/gpupm_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/gpupm_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/governor.cc" "src/core/CMakeFiles/gpupm_core.dir/governor.cc.o" "gcc" "src/core/CMakeFiles/gpupm_core.dir/governor.cc.o.d"
+  "/root/repo/src/core/latency_scaler.cc" "src/core/CMakeFiles/gpupm_core.dir/latency_scaler.cc.o" "gcc" "src/core/CMakeFiles/gpupm_core.dir/latency_scaler.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/gpupm_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/gpupm_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/gpupm_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/gpupm_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/power_model.cc" "src/core/CMakeFiles/gpupm_core.dir/power_model.cc.o" "gcc" "src/core/CMakeFiles/gpupm_core.dir/power_model.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/gpupm_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/gpupm_core.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpupm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gpupm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpupm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cupti/CMakeFiles/gpupm_cupti.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/gpupm_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubench/CMakeFiles/gpupm_ubench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_core.dir/backend.cc.o"
+  "CMakeFiles/gpupm_core.dir/backend.cc.o.d"
+  "CMakeFiles/gpupm_core.dir/campaign.cc.o"
+  "CMakeFiles/gpupm_core.dir/campaign.cc.o.d"
+  "CMakeFiles/gpupm_core.dir/estimator.cc.o"
+  "CMakeFiles/gpupm_core.dir/estimator.cc.o.d"
+  "CMakeFiles/gpupm_core.dir/governor.cc.o"
+  "CMakeFiles/gpupm_core.dir/governor.cc.o.d"
+  "CMakeFiles/gpupm_core.dir/latency_scaler.cc.o"
+  "CMakeFiles/gpupm_core.dir/latency_scaler.cc.o.d"
+  "CMakeFiles/gpupm_core.dir/metrics.cc.o"
+  "CMakeFiles/gpupm_core.dir/metrics.cc.o.d"
+  "CMakeFiles/gpupm_core.dir/model_io.cc.o"
+  "CMakeFiles/gpupm_core.dir/model_io.cc.o.d"
+  "CMakeFiles/gpupm_core.dir/power_model.cc.o"
+  "CMakeFiles/gpupm_core.dir/power_model.cc.o.d"
+  "CMakeFiles/gpupm_core.dir/predictor.cc.o"
+  "CMakeFiles/gpupm_core.dir/predictor.cc.o.d"
+  "libgpupm_core.a"
+  "libgpupm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

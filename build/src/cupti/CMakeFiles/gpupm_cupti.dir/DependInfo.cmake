@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cupti/events.cc" "src/cupti/CMakeFiles/gpupm_cupti.dir/events.cc.o" "gcc" "src/cupti/CMakeFiles/gpupm_cupti.dir/events.cc.o.d"
+  "/root/repo/src/cupti/profiler.cc" "src/cupti/CMakeFiles/gpupm_cupti.dir/profiler.cc.o" "gcc" "src/cupti/CMakeFiles/gpupm_cupti.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpupm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpupm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_cupti.dir/events.cc.o"
+  "CMakeFiles/gpupm_cupti.dir/events.cc.o.d"
+  "CMakeFiles/gpupm_cupti.dir/profiler.cc.o"
+  "CMakeFiles/gpupm_cupti.dir/profiler.cc.o.d"
+  "libgpupm_cupti.a"
+  "libgpupm_cupti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_cupti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_gpu.dir/device.cc.o"
+  "CMakeFiles/gpupm_gpu.dir/device.cc.o.d"
+  "libgpupm_gpu.a"
+  "libgpupm_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpupm_gpu.a"
+)

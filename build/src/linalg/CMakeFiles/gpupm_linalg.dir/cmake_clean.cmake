@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_linalg.dir/isotonic.cc.o"
+  "CMakeFiles/gpupm_linalg.dir/isotonic.cc.o.d"
+  "CMakeFiles/gpupm_linalg.dir/lstsq.cc.o"
+  "CMakeFiles/gpupm_linalg.dir/lstsq.cc.o.d"
+  "CMakeFiles/gpupm_linalg.dir/matrix.cc.o"
+  "CMakeFiles/gpupm_linalg.dir/matrix.cc.o.d"
+  "libgpupm_linalg.a"
+  "libgpupm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_nvml.dir/device.cc.o"
+  "CMakeFiles/gpupm_nvml.dir/device.cc.o.d"
+  "libgpupm_nvml.a"
+  "libgpupm_nvml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_nvml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

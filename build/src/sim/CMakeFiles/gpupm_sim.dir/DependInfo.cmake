@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cc" "src/sim/CMakeFiles/gpupm_sim.dir/cache_model.cc.o" "gcc" "src/sim/CMakeFiles/gpupm_sim.dir/cache_model.cc.o.d"
+  "/root/repo/src/sim/device_cycle_sim.cc" "src/sim/CMakeFiles/gpupm_sim.dir/device_cycle_sim.cc.o" "gcc" "src/sim/CMakeFiles/gpupm_sim.dir/device_cycle_sim.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/gpupm_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/gpupm_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/perf_model.cc" "src/sim/CMakeFiles/gpupm_sim.dir/perf_model.cc.o" "gcc" "src/sim/CMakeFiles/gpupm_sim.dir/perf_model.cc.o.d"
+  "/root/repo/src/sim/physical_gpu.cc" "src/sim/CMakeFiles/gpupm_sim.dir/physical_gpu.cc.o" "gcc" "src/sim/CMakeFiles/gpupm_sim.dir/physical_gpu.cc.o.d"
+  "/root/repo/src/sim/ptx.cc" "src/sim/CMakeFiles/gpupm_sim.dir/ptx.cc.o" "gcc" "src/sim/CMakeFiles/gpupm_sim.dir/ptx.cc.o.d"
+  "/root/repo/src/sim/sm_cycle_sim.cc" "src/sim/CMakeFiles/gpupm_sim.dir/sm_cycle_sim.cc.o" "gcc" "src/sim/CMakeFiles/gpupm_sim.dir/sm_cycle_sim.cc.o.d"
+  "/root/repo/src/sim/voltage.cc" "src/sim/CMakeFiles/gpupm_sim.dir/voltage.cc.o" "gcc" "src/sim/CMakeFiles/gpupm_sim.dir/voltage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpupm_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_sim.dir/cache_model.cc.o"
+  "CMakeFiles/gpupm_sim.dir/cache_model.cc.o.d"
+  "CMakeFiles/gpupm_sim.dir/device_cycle_sim.cc.o"
+  "CMakeFiles/gpupm_sim.dir/device_cycle_sim.cc.o.d"
+  "CMakeFiles/gpupm_sim.dir/kernel.cc.o"
+  "CMakeFiles/gpupm_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/gpupm_sim.dir/perf_model.cc.o"
+  "CMakeFiles/gpupm_sim.dir/perf_model.cc.o.d"
+  "CMakeFiles/gpupm_sim.dir/physical_gpu.cc.o"
+  "CMakeFiles/gpupm_sim.dir/physical_gpu.cc.o.d"
+  "CMakeFiles/gpupm_sim.dir/ptx.cc.o"
+  "CMakeFiles/gpupm_sim.dir/ptx.cc.o.d"
+  "CMakeFiles/gpupm_sim.dir/sm_cycle_sim.cc.o"
+  "CMakeFiles/gpupm_sim.dir/sm_cycle_sim.cc.o.d"
+  "CMakeFiles/gpupm_sim.dir/voltage.cc.o"
+  "CMakeFiles/gpupm_sim.dir/voltage.cc.o.d"
+  "libgpupm_sim.a"
+  "libgpupm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

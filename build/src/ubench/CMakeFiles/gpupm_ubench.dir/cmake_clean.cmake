@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_ubench.dir/cuda_source.cc.o"
+  "CMakeFiles/gpupm_ubench.dir/cuda_source.cc.o.d"
+  "CMakeFiles/gpupm_ubench.dir/l2_calibration.cc.o"
+  "CMakeFiles/gpupm_ubench.dir/l2_calibration.cc.o.d"
+  "CMakeFiles/gpupm_ubench.dir/suite.cc.o"
+  "CMakeFiles/gpupm_ubench.dir/suite.cc.o.d"
+  "libgpupm_ubench.a"
+  "libgpupm_ubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/multi_kernel.cc" "src/workloads/CMakeFiles/gpupm_workloads.dir/multi_kernel.cc.o" "gcc" "src/workloads/CMakeFiles/gpupm_workloads.dir/multi_kernel.cc.o.d"
+  "/root/repo/src/workloads/parametric.cc" "src/workloads/CMakeFiles/gpupm_workloads.dir/parametric.cc.o" "gcc" "src/workloads/CMakeFiles/gpupm_workloads.dir/parametric.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/gpupm_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/gpupm_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpupm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpupm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_workloads.dir/multi_kernel.cc.o"
+  "CMakeFiles/gpupm_workloads.dir/multi_kernel.cc.o.d"
+  "CMakeFiles/gpupm_workloads.dir/parametric.cc.o"
+  "CMakeFiles/gpupm_workloads.dir/parametric.cc.o.d"
+  "CMakeFiles/gpupm_workloads.dir/workloads.cc.o"
+  "CMakeFiles/gpupm_workloads.dir/workloads.cc.o.d"
+  "libgpupm_workloads.a"
+  "libgpupm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

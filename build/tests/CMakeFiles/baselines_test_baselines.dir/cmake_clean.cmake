@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_test_baselines.dir/baselines/test_baselines.cc.o"
+  "CMakeFiles/baselines_test_baselines.dir/baselines/test_baselines.cc.o.d"
+  "baselines_test_baselines"
+  "baselines_test_baselines.pdb"
+  "baselines_test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_logging.dir/common/test_logging.cc.o"
+  "CMakeFiles/common_test_logging.dir/common/test_logging.cc.o.d"
+  "common_test_logging"
+  "common_test_logging.pdb"
+  "common_test_logging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

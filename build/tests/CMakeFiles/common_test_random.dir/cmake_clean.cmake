@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_random.dir/common/test_random.cc.o"
+  "CMakeFiles/common_test_random.dir/common/test_random.cc.o.d"
+  "common_test_random"
+  "common_test_random.pdb"
+  "common_test_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

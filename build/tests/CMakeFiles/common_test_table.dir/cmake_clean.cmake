@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_table.dir/common/test_table.cc.o"
+  "CMakeFiles/common_test_table.dir/common/test_table.cc.o.d"
+  "common_test_table"
+  "common_test_table.pdb"
+  "common_test_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_estimator.dir/core/test_estimator.cc.o"
+  "CMakeFiles/core_test_estimator.dir/core/test_estimator.cc.o.d"
+  "core_test_estimator"
+  "core_test_estimator.pdb"
+  "core_test_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

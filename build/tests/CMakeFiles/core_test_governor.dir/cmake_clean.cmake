@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_governor.dir/core/test_governor.cc.o"
+  "CMakeFiles/core_test_governor.dir/core/test_governor.cc.o.d"
+  "core_test_governor"
+  "core_test_governor.pdb"
+  "core_test_governor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_latency_scaler.dir/core/test_latency_scaler.cc.o"
+  "CMakeFiles/core_test_latency_scaler.dir/core/test_latency_scaler.cc.o.d"
+  "core_test_latency_scaler"
+  "core_test_latency_scaler.pdb"
+  "core_test_latency_scaler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_latency_scaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

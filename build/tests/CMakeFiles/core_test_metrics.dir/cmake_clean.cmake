@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_metrics.dir/core/test_metrics.cc.o"
+  "CMakeFiles/core_test_metrics.dir/core/test_metrics.cc.o.d"
+  "core_test_metrics"
+  "core_test_metrics.pdb"
+  "core_test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

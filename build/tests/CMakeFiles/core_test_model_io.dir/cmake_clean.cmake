@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_model_io.dir/core/test_model_io.cc.o"
+  "CMakeFiles/core_test_model_io.dir/core/test_model_io.cc.o.d"
+  "core_test_model_io"
+  "core_test_model_io.pdb"
+  "core_test_model_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_model_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

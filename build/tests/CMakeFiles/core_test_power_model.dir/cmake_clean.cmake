@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_power_model.dir/core/test_power_model.cc.o"
+  "CMakeFiles/core_test_power_model.dir/core/test_power_model.cc.o.d"
+  "core_test_power_model"
+  "core_test_power_model.pdb"
+  "core_test_power_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cupti_test_events.dir/cupti/test_events.cc.o"
+  "CMakeFiles/cupti_test_events.dir/cupti/test_events.cc.o.d"
+  "cupti_test_events"
+  "cupti_test_events.pdb"
+  "cupti_test_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cupti_test_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cupti_test_profiler.dir/cupti/test_profiler.cc.o"
+  "CMakeFiles/cupti_test_profiler.dir/cupti/test_profiler.cc.o.d"
+  "cupti_test_profiler"
+  "cupti_test_profiler.pdb"
+  "cupti_test_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cupti_test_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_test_device.dir/gpu/test_device.cc.o"
+  "CMakeFiles/gpu_test_device.dir/gpu/test_device.cc.o.d"
+  "gpu_test_device"
+  "gpu_test_device.pdb"
+  "gpu_test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test_custom_device.dir/integration/test_custom_device.cc.o"
+  "CMakeFiles/integration_test_custom_device.dir/integration/test_custom_device.cc.o.d"
+  "integration_test_custom_device"
+  "integration_test_custom_device.pdb"
+  "integration_test_custom_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test_custom_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

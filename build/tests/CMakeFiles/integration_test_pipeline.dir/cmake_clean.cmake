@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test_pipeline.dir/integration/test_pipeline.cc.o"
+  "CMakeFiles/integration_test_pipeline.dir/integration/test_pipeline.cc.o.d"
+  "integration_test_pipeline"
+  "integration_test_pipeline.pdb"
+  "integration_test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

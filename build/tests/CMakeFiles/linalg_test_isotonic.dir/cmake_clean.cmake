@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_isotonic.dir/linalg/test_isotonic.cc.o"
+  "CMakeFiles/linalg_test_isotonic.dir/linalg/test_isotonic.cc.o.d"
+  "linalg_test_isotonic"
+  "linalg_test_isotonic.pdb"
+  "linalg_test_isotonic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_isotonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

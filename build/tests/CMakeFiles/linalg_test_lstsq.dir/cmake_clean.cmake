@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_lstsq.dir/linalg/test_lstsq.cc.o"
+  "CMakeFiles/linalg_test_lstsq.dir/linalg/test_lstsq.cc.o.d"
+  "linalg_test_lstsq"
+  "linalg_test_lstsq.pdb"
+  "linalg_test_lstsq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_lstsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

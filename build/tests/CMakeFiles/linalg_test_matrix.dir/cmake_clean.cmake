@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_matrix.dir/linalg/test_matrix.cc.o"
+  "CMakeFiles/linalg_test_matrix.dir/linalg/test_matrix.cc.o.d"
+  "linalg_test_matrix"
+  "linalg_test_matrix.pdb"
+  "linalg_test_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvml_test_device.dir/nvml/test_device.cc.o"
+  "CMakeFiles/nvml_test_device.dir/nvml/test_device.cc.o.d"
+  "nvml_test_device"
+  "nvml_test_device.pdb"
+  "nvml_test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvml_test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

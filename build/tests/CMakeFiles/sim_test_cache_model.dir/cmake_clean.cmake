@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_cache_model.dir/sim/test_cache_model.cc.o"
+  "CMakeFiles/sim_test_cache_model.dir/sim/test_cache_model.cc.o.d"
+  "sim_test_cache_model"
+  "sim_test_cache_model.pdb"
+  "sim_test_cache_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_cache_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_physical_gpu.dir/sim/test_physical_gpu.cc.o"
+  "CMakeFiles/sim_test_physical_gpu.dir/sim/test_physical_gpu.cc.o.d"
+  "sim_test_physical_gpu"
+  "sim_test_physical_gpu.pdb"
+  "sim_test_physical_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_physical_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

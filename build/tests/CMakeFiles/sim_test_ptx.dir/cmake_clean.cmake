@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_ptx.dir/sim/test_ptx.cc.o"
+  "CMakeFiles/sim_test_ptx.dir/sim/test_ptx.cc.o.d"
+  "sim_test_ptx"
+  "sim_test_ptx.pdb"
+  "sim_test_ptx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

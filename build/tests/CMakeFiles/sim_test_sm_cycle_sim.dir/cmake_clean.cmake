@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_sm_cycle_sim.dir/sim/test_sm_cycle_sim.cc.o"
+  "CMakeFiles/sim_test_sm_cycle_sim.dir/sim/test_sm_cycle_sim.cc.o.d"
+  "sim_test_sm_cycle_sim"
+  "sim_test_sm_cycle_sim.pdb"
+  "sim_test_sm_cycle_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_sm_cycle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

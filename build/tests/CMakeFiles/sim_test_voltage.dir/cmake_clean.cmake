@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_voltage.dir/sim/test_voltage.cc.o"
+  "CMakeFiles/sim_test_voltage.dir/sim/test_voltage.cc.o.d"
+  "sim_test_voltage"
+  "sim_test_voltage.pdb"
+  "sim_test_voltage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ubench/test_cuda_source.cc" "tests/CMakeFiles/ubench_test_cuda_source.dir/ubench/test_cuda_source.cc.o" "gcc" "tests/CMakeFiles/ubench_test_cuda_source.dir/ubench/test_cuda_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gpupm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpupm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpupm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cupti/CMakeFiles/gpupm_cupti.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/gpupm_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubench/CMakeFiles/gpupm_ubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpupm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpupm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gpupm_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_test_cuda_source.dir/ubench/test_cuda_source.cc.o"
+  "CMakeFiles/ubench_test_cuda_source.dir/ubench/test_cuda_source.cc.o.d"
+  "ubench_test_cuda_source"
+  "ubench_test_cuda_source.pdb"
+  "ubench_test_cuda_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_test_cuda_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

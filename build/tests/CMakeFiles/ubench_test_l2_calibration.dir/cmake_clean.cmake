@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_test_l2_calibration.dir/ubench/test_l2_calibration.cc.o"
+  "CMakeFiles/ubench_test_l2_calibration.dir/ubench/test_l2_calibration.cc.o.d"
+  "ubench_test_l2_calibration"
+  "ubench_test_l2_calibration.pdb"
+  "ubench_test_l2_calibration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_test_l2_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

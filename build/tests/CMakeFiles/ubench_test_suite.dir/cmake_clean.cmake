@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_test_suite.dir/ubench/test_suite.cc.o"
+  "CMakeFiles/ubench_test_suite.dir/ubench/test_suite.cc.o.d"
+  "ubench_test_suite"
+  "ubench_test_suite.pdb"
+  "ubench_test_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_test_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

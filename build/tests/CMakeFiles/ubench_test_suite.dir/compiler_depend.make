@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ubench_test_suite.
+# This may be replaced when dependencies are built.

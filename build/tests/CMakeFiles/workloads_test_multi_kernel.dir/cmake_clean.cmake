@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test_multi_kernel.dir/workloads/test_multi_kernel.cc.o"
+  "CMakeFiles/workloads_test_multi_kernel.dir/workloads/test_multi_kernel.cc.o.d"
+  "workloads_test_multi_kernel"
+  "workloads_test_multi_kernel.pdb"
+  "workloads_test_multi_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test_multi_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

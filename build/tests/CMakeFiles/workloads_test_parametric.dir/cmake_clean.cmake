@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test_parametric.dir/workloads/test_parametric.cc.o"
+  "CMakeFiles/workloads_test_parametric.dir/workloads/test_parametric.cc.o.d"
+  "workloads_test_parametric"
+  "workloads_test_parametric.pdb"
+  "workloads_test_parametric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test_parametric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

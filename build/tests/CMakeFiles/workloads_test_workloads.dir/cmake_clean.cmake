@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test_workloads.dir/workloads/test_workloads.cc.o"
+  "CMakeFiles/workloads_test_workloads.dir/workloads/test_workloads.cc.o.d"
+  "workloads_test_workloads"
+  "workloads_test_workloads.pdb"
+  "workloads_test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

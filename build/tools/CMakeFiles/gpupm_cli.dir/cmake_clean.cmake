@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_cli.dir/gpupm_cli.cc.o"
+  "CMakeFiles/gpupm_cli.dir/gpupm_cli.cc.o.d"
+  "gpupm"
+  "gpupm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
