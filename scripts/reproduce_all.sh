@@ -9,6 +9,24 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Sanitizer pass: rebuild the core/linalg test binaries under
+# ASan+UBSan and run them, so memory and UB bugs in the numerical
+# kernels and the resilience machinery surface in CI. Skip with
+# GPUPM_SKIP_SANITIZE=1 (e.g. on toolchains without libasan).
+if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
+    cmake -B build-asan -G Ninja -DGPUPM_SANITIZE=ON
+    cmake --build build-asan --target \
+        core_test_metrics core_test_power_model core_test_estimator \
+        core_test_campaign core_test_faults core_test_resilient \
+        core_test_model_io linalg_test_matrix linalg_test_lstsq \
+        linalg_test_isotonic
+    for t in build-asan/tests/core_test_* build-asan/tests/linalg_test_*; do
+        [ -f "$t" ] && [ -x "$t" ] || continue
+        echo "== sanitize: $t"
+        "$t"
+    done
+fi
+
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "==================================================="

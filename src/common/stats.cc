@@ -132,6 +132,46 @@ rmse(std::span<const double> predicted, std::span<const double> measured)
 }
 
 double
+mad(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const double m = median(xs);
+    std::vector<double> dev;
+    dev.reserve(xs.size());
+    for (double x : xs)
+        dev.push_back(std::abs(x - m));
+    return median(dev);
+}
+
+std::vector<bool>
+madOutlierMask(std::span<const double> xs, double threshold,
+               double zero_mad_tol)
+{
+    GPUPM_ASSERT(threshold > 0.0, "threshold=", threshold);
+    std::vector<bool> mask(xs.size(), false);
+    // The median/MAD must be computed over the finite entries only —
+    // a NaN sample would poison std::sort's ordering.
+    std::vector<double> finite;
+    finite.reserve(xs.size());
+    for (double x : xs)
+        if (std::isfinite(x))
+            finite.push_back(x);
+    const double m = median(finite);
+    const double scaled_mad = 1.4826 * mad(finite);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (!std::isfinite(xs[i])) {
+            mask[i] = true;
+        } else if (scaled_mad > 0.0) {
+            mask[i] = std::abs(xs[i] - m) / scaled_mad > threshold;
+        } else {
+            mask[i] = std::abs(xs[i] - m) > zero_mad_tol;
+        }
+    }
+    return mask;
+}
+
+double
 pearson(std::span<const double> xs, std::span<const double> ys)
 {
     GPUPM_ASSERT(xs.size() == ys.size(), "size mismatch ", xs.size(),

@@ -56,6 +56,26 @@ double meanPercentError(std::span<const double> predicted,
 double rmse(std::span<const double> predicted,
             std::span<const double> measured);
 
+/**
+ * Median absolute deviation: median(|x - median(xs)|).
+ * 0 for an empty input. Not scaled to the normal distribution; apply
+ * the 1.4826 consistency factor yourself when a sigma-equivalent is
+ * needed (madOutlierMask does).
+ */
+double mad(std::span<const double> xs);
+
+/**
+ * Robust outlier detection by modified z-score. Entry i is flagged
+ * (mask[i] = true) when |xs[i] - median| / (1.4826 * MAD) exceeds the
+ * threshold, or when xs[i] is not finite. When the MAD is zero (at
+ * least half the samples identical) only non-finite entries and
+ * entries differing from the median by more than `zero_mad_tol` are
+ * flagged, so a noise-free stream is never decimated.
+ */
+std::vector<bool> madOutlierMask(std::span<const double> xs,
+                                 double threshold = 3.5,
+                                 double zero_mad_tol = 1e-9);
+
 /** Pearson correlation coefficient; 0 when either side is constant. */
 double pearson(std::span<const double> xs, std::span<const double> ys);
 

@@ -1,9 +1,31 @@
 #include "backend.hh"
 
+#include "common/logging.hh"
+
 namespace gpupm
 {
 namespace model
 {
+
+std::string_view
+measureErrcName(MeasureErrc code)
+{
+    switch (code) {
+      case MeasureErrc::Transient: return "Transient";
+      case MeasureErrc::ClockRejected: return "ClockRejected";
+      case MeasureErrc::Timeout: return "Timeout";
+      case MeasureErrc::CorruptSample: return "CorruptSample";
+      case MeasureErrc::Quarantined: return "Quarantined";
+      case MeasureErrc::Fatal: return "Fatal";
+    }
+    GPUPM_PANIC("unknown MeasureErrc");
+}
+
+bool
+isRecoverable(MeasureErrc code)
+{
+    return code != MeasureErrc::Fatal;
+}
 
 SimulatedBackend::SimulatedBackend(const sim::PhysicalGpu &board,
                                    std::uint64_t seed)
@@ -14,6 +36,20 @@ const gpu::DeviceDescriptor &
 SimulatedBackend::descriptor() const
 {
     return board_.descriptor();
+}
+
+void
+SimulatedBackend::applyClocks(const gpu::FreqConfig &cfg)
+{
+    const nvml::NvmlStatus st =
+            device_.trySetApplicationClocks(cfg.mem_mhz, cfg.core_mhz);
+    if (st != nvml::NvmlStatus::Success) {
+        throw MeasurementError(
+                MeasureErrc::ClockRejected,
+                detail::concat("driver rejected clocks (", cfg.core_mhz,
+                               ", ", cfg.mem_mhz, ") MHz: ",
+                               nvml::nvmlStatusName(st)));
+    }
 }
 
 cupti::RawMetrics
@@ -28,7 +64,7 @@ SimulatedBackend::measurePower(const sim::KernelDemand &kernel,
                                const gpu::FreqConfig &cfg,
                                int repetitions, double min_duration_s)
 {
-    device_.setApplicationClocks(cfg.mem_mhz, cfg.core_mhz);
+    applyClocks(cfg);
     return device_.measureKernelPower(kernel, repetitions,
                                       min_duration_s);
 }
@@ -36,8 +72,15 @@ SimulatedBackend::measurePower(const sim::KernelDemand &kernel,
 double
 SimulatedBackend::measureIdlePower(const gpu::FreqConfig &cfg)
 {
-    device_.setApplicationClocks(cfg.mem_mhz, cfg.core_mhz);
+    applyClocks(cfg);
     return device_.measureIdlePower();
+}
+
+void
+SimulatedBackend::reseed(std::uint64_t seed)
+{
+    profiler_.reseed(seed);
+    device_.reseed(seed + 1);
 }
 
 } // namespace model

@@ -17,6 +17,9 @@
 #define GPUPM_CORE_BACKEND_HH
 
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "cupti/profiler.hh"
 #include "nvml/device.hh"
@@ -25,6 +28,43 @@ namespace gpupm
 {
 namespace model
 {
+
+/**
+ * Failure taxonomy of the measurement contract. Real stacks fail in
+ * recoverable ways (a flaky counter collection, a driver-rejected
+ * clock request, a wedged sampling thread) that a campaign must
+ * survive; only Fatal marks conditions where retrying is pointless.
+ */
+enum class MeasureErrc
+{
+    Transient,       ///< one-off failure; retrying is reasonable
+    ClockRejected,   ///< the driver refused the V-F request
+    Timeout,         ///< the call exceeded its deadline
+    CorruptSample,   ///< data came back unusable (NaN / impossible)
+    Quarantined,     ///< configuration already quarantined; fail fast
+    Fatal,           ///< unrecoverable; do not retry
+};
+
+/** Display name of a measurement error code. */
+std::string_view measureErrcName(MeasureErrc code);
+
+/** True when a retry of the failed call could plausibly succeed. */
+bool isRecoverable(MeasureErrc code);
+
+/** Typed failure thrown by measurement backends. */
+class MeasurementError : public std::runtime_error
+{
+  public:
+    MeasurementError(MeasureErrc code, const std::string &what)
+        : std::runtime_error(what), code_(code)
+    {}
+
+    MeasureErrc code() const { return code_; }
+    bool recoverable() const { return isRecoverable(code_); }
+
+  private:
+    MeasureErrc code_;
+};
 
 /** Abstract host measurement stack. */
 class MeasurementBackend
@@ -51,6 +91,18 @@ class MeasurementBackend
 
     /** Average idle power at the configuration. */
     virtual double measureIdlePower(const gpu::FreqConfig &cfg) = 0;
+
+    /**
+     * Reset every stochastic stream of the stack (sensor noise,
+     * counter noise, injected faults) to the state a fresh backend
+     * constructed with this seed would have. Checkpointable campaigns
+     * call this before every measurement cell so results depend only
+     * on (seed, cell) — never on how much of the campaign already ran
+     * in this process — which is what makes an interrupted-and-resumed
+     * run bit-identical to an uninterrupted one. The default is a
+     * no-op: real hardware has no replayable entropy.
+     */
+    virtual void reseed(std::uint64_t seed) { (void)seed; }
 };
 
 /** The backend over the simulated substrate. */
@@ -78,7 +130,12 @@ class SimulatedBackend : public MeasurementBackend
 
     double measureIdlePower(const gpu::FreqConfig &cfg) override;
 
+    void reseed(std::uint64_t seed) override;
+
   private:
+    /** Apply clocks or throw a typed ClockRejected error. */
+    void applyClocks(const gpu::FreqConfig &cfg);
+
     const sim::PhysicalGpu &board_;
     cupti::Profiler profiler_;
     nvml::Device device_;

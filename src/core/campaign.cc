@@ -1,7 +1,13 @@
 #include "campaign.hh"
 
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
 #include "common/logging.hh"
+#include "core/faults.hh"
 #include "core/metrics.hh"
+#include "core/model_io.hh"
 
 namespace gpupm
 {
@@ -59,6 +65,302 @@ runTrainingCampaign(const sim::PhysicalGpu &board,
 {
     SimulatedBackend backend(board, opts.seed);
     return runTrainingCampaign(backend, suite, opts);
+}
+
+std::string
+CampaignReport::summary() const
+{
+    std::ostringstream os;
+    os << "campaign report: " << cells_done << "/" << cells_total
+       << " cells done (" << cells_resumed << " resumed, "
+       << cells_failed << " failed)\n";
+    os << "  resilience: " << totals.attempts << " attempts, "
+       << totals.retries << " retries, " << totals.timeouts
+       << " timeouts, " << totals.outliers_rejected
+       << " outliers rejected, " << totals.corrupt_samples
+       << " corrupt samples, " << totals.backoff_total_s
+       << " s backoff\n";
+    if (faults_injected > 0)
+        os << "  faults injected: " << faults_injected << "\n";
+    os << "  quarantined configurations: " << quarantined.size();
+    for (const auto &cfg : quarantined)
+        os << " (" << cfg.core_mhz << "," << cfg.mem_mhz << ")";
+    os << "\n";
+    long flagged = 0;
+    for (const auto &b : benchmarks) {
+        if (b.retries || b.call_failures || b.outliers_rejected ||
+            b.corrupt_samples || b.timeouts) {
+            ++flagged;
+        }
+    }
+    os << "  benchmarks needing recovery: " << flagged << "/"
+       << benchmarks.size() << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * Per-cell seed: depends only on (campaign seed, benchmark, config),
+ * never on execution history, so an interrupted-and-resumed campaign
+ * draws exactly the noise the uninterrupted one would have.
+ */
+std::uint64_t
+cellSeed(std::uint64_t seed, std::size_t b, std::size_t c)
+{
+    const std::uint64_t cell = b * 4096 + c + 1;
+    return seed ^ (cell * 0x9e3779b97f4a7c15ull);
+}
+
+/** Sentinel config index for the reference-profiling cells. */
+constexpr std::size_t kProfileCell = 4000;
+
+} // namespace
+
+ResilientCampaignResult
+runResilientTrainingCampaign(
+        MeasurementBackend &backend,
+        const std::vector<ubench::Microbenchmark> &suite,
+        const ResilientCampaignOptions &opts)
+{
+    GPUPM_ASSERT(!suite.empty(), "empty microbenchmark suite");
+    const gpu::DeviceDescriptor &desc = backend.descriptor();
+    const gpu::FreqConfig reference = desc.referenceConfig();
+    const std::vector<gpu::FreqConfig> grid = desc.allConfigs();
+    const std::size_t nb = suite.size();
+    const std::size_t nc = grid.size();
+    GPUPM_ASSERT(nc < kProfileCell, "grid too large for cell seeding");
+
+    ResilientBackend shield(backend, opts.resilience);
+    const auto *injector =
+            dynamic_cast<const FaultInjectingBackend *>(&backend);
+
+    // Working state: the full dense grid plus per-cell done flags.
+    CampaignCheckpoint ck;
+    ck.seed = opts.base.seed;
+    ck.device = desc.kind;
+    ck.reference = reference;
+    ck.configs = grid;
+    for (const auto &mb : suite)
+        ck.benchmark_names.push_back(mb.name);
+    ck.utils_done.assign(nb, 0);
+    ck.utils.assign(nb, gpu::ComponentArray{});
+    ck.power_done.assign(nb, std::vector<char>(nc, 0));
+    ck.power_w.assign(nb, std::vector<double>(nc, 0.0));
+    ck.report.benchmarks.resize(nb);
+    for (std::size_t b = 0; b < nb; ++b)
+        ck.report.benchmarks[b].name = suite[b].name;
+    ck.report.cells_total = static_cast<long>(nb * (nc + 1));
+
+    // Resume from an existing checkpoint when asked to.
+    const bool checkpointing = !opts.checkpoint_path.empty();
+    if (checkpointing &&
+        std::filesystem::exists(opts.checkpoint_path)) {
+        CampaignCheckpoint prev =
+                loadCampaignCheckpoint(opts.checkpoint_path);
+        GPUPM_FATAL_IF(prev.seed != ck.seed ||
+                               prev.device != ck.device ||
+                               prev.configs != ck.configs ||
+                               prev.benchmark_names !=
+                                       ck.benchmark_names,
+                       "checkpoint '", opts.checkpoint_path,
+                       "' does not match this campaign (different "
+                       "seed, device, grid or suite)");
+        long resumed = 0;
+        for (char d : prev.utils_done)
+            resumed += d ? 1 : 0;
+        for (const auto &row : prev.power_done)
+            for (char d : row)
+                resumed += d ? 1 : 0;
+        ck = std::move(prev);
+        ck.report.cells_resumed = resumed;
+        inform("resuming campaign from '", opts.checkpoint_path,
+               "': ", resumed, " cells already measured");
+    }
+
+    long measured_this_run = 0;
+    long since_checkpoint = 0;
+    bool stopped = false;
+    const auto out_of_budget = [&] {
+        return opts.max_cells > 0 &&
+               measured_this_run >= opts.max_cells;
+    };
+    const auto save = [&] {
+        if (checkpointing)
+            saveCampaignCheckpoint(ck, opts.checkpoint_path);
+        since_checkpoint = 0;
+    };
+    const auto after_cell = [&] {
+        ++measured_this_run;
+        if (++since_checkpoint >= std::max(1, opts.checkpoint_every))
+            save();
+    };
+
+    // Accounting helpers: ascribe counter deltas to one benchmark.
+    ResilienceCounters before = shield.counters();
+    long faults_before = injector ? injector->injected().total() : 0;
+    const auto charge = [&](std::size_t b) {
+        const ResilienceCounters &now = shield.counters();
+        BenchmarkReport &br = ck.report.benchmarks[b];
+        br.retries += now.retries - before.retries;
+        br.call_failures += now.call_failures - before.call_failures;
+        br.timeouts += now.timeouts - before.timeouts;
+        br.outliers_rejected +=
+                now.outliers_rejected - before.outliers_rejected;
+        br.corrupt_samples +=
+                now.corrupt_samples - before.corrupt_samples;
+        if (injector) {
+            const long f = injector->injected().total();
+            br.faults_injected += f - faults_before;
+            faults_before = f;
+        }
+        before = now;
+    };
+
+    // Pass 1: performance events at the reference configuration.
+    for (std::size_t b = 0; b < nb && !stopped; ++b) {
+        if (ck.utils_done[b])
+            continue;
+        if (out_of_budget()) {
+            stopped = true;
+            break;
+        }
+        if (!suite[b].demand.empty()) {
+            shield.reseed(cellSeed(ck.seed, b, kProfileCell));
+            auto e = shield.tryProfileKernel(suite[b].demand,
+                                             reference);
+            charge(b);
+            // Reference profiling feeds every utilization (Eq. 8-10);
+            // a campaign that cannot profile at the reference cannot
+            // train anything.
+            GPUPM_FATAL_IF(!e.ok(), "cannot profile '", suite[b].name,
+                           "' at the reference configuration: ",
+                           e.error().message);
+            ck.utils[b] = utilizationsFromMetrics(e.value(), desc,
+                                                  reference);
+        }
+        ck.utils_done[b] = 1;
+        after_cell();
+    }
+
+    // Pass 2: power at every configuration.
+    for (std::size_t b = 0; b < nb && !stopped; ++b) {
+        for (std::size_t c = 0; c < nc && !stopped; ++c) {
+            if (ck.power_done[b][c])
+                continue;
+            if (out_of_budget()) {
+                stopped = true;
+                break;
+            }
+            const gpu::FreqConfig &cfg = grid[c];
+            if (shield.isQuarantined(cfg))
+                continue; // column is dropped at assembly
+            shield.reseed(cellSeed(ck.seed, b, c));
+            bool ok;
+            if (suite[b].demand.empty()) {
+                auto e = shield.tryMeasureIdlePower(
+                        cfg, opts.base.power_repetitions);
+                ok = e.ok();
+                if (ok)
+                    ck.power_w[b][c] = e.value();
+            } else {
+                auto e = shield.tryMeasurePower(
+                        suite[b].demand, cfg,
+                        opts.base.power_repetitions,
+                        opts.base.min_duration_s);
+                ok = e.ok();
+                if (ok)
+                    ck.power_w[b][c] = e.value().power_w;
+            }
+            charge(b);
+            if (ok) {
+                ck.power_done[b][c] = 1;
+                after_cell();
+            } else {
+                ++ck.report.cells_failed;
+            }
+        }
+    }
+
+    // Totals and quarantine state into the report.
+    {
+        const ResilienceCounters &now = shield.counters();
+        ResilienceCounters &t = ck.report.totals;
+        t.attempts += now.attempts;
+        t.retries += now.retries;
+        t.timeouts += now.timeouts;
+        t.call_failures += now.call_failures;
+        t.corrupt_samples += now.corrupt_samples;
+        t.outliers_rejected += now.outliers_rejected;
+        t.quarantined_calls += now.quarantined_calls;
+        t.backoff_total_s += now.backoff_total_s;
+        if (injector)
+            ck.report.faults_injected +=
+                    injector->injected().total();
+        for (const auto &cfg : shield.quarantined()) {
+            if (std::find(ck.report.quarantined.begin(),
+                          ck.report.quarantined.end(),
+                          cfg) == ck.report.quarantined.end())
+                ck.report.quarantined.push_back(cfg);
+        }
+    }
+    long done = 0;
+    for (char d : ck.utils_done)
+        done += d ? 1 : 0;
+    for (const auto &row : ck.power_done)
+        for (char d : row)
+            done += d ? 1 : 0;
+    ck.report.cells_done = done;
+
+    ResilientCampaignResult res;
+    res.complete = !stopped;
+    res.report = ck.report;
+
+    if (stopped) {
+        save();
+        inform("campaign stopped after ", measured_this_run,
+               " cells this run (checkpointed)");
+        return res;
+    }
+
+    // Assemble the training data over the surviving grid: drop any
+    // configuration that is quarantined or has an unmeasured cell.
+    std::vector<std::size_t> keep;
+    for (std::size_t c = 0; c < nc; ++c) {
+        bool column_ok = !shield.isQuarantined(grid[c]);
+        for (std::size_t b = 0; b < nb && column_ok; ++b)
+            column_ok = ck.power_done[b][c] != 0;
+        if (column_ok)
+            keep.push_back(c);
+    }
+    const bool reference_ok =
+            std::any_of(keep.begin(), keep.end(), [&](std::size_t c) {
+                return grid[c] == reference;
+            });
+    GPUPM_FATAL_IF(!reference_ok,
+                   "the reference configuration failed persistently; "
+                   "no model can be trained from this campaign");
+    if (keep.size() < nc) {
+        warn("dropping ", nc - keep.size(), " of ", nc,
+             " configurations from the training grid");
+    }
+
+    res.data.device = desc.kind;
+    res.data.reference = reference;
+    for (std::size_t c : keep)
+        res.data.configs.push_back(grid[c]);
+    res.data.utils = ck.utils;
+    res.data.power_w.assign(nb, {});
+    for (std::size_t b = 0; b < nb; ++b) {
+        res.data.power_w[b].reserve(keep.size());
+        for (std::size_t c : keep)
+            res.data.power_w[b].push_back(ck.power_w[b][c]);
+    }
+
+    if (checkpointing)
+        save();
+    return res;
 }
 
 AppMeasurement

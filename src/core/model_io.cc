@@ -1,6 +1,11 @@
 #include "model_io.hh"
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <map>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -121,6 +126,475 @@ TrainingData
 loadTrainingData(const std::string &path)
 {
     return deserializeTrainingData(readFile(path));
+}
+
+// ---------------------------------------------------------------------
+// Campaign checkpoints: JSON, hand-rolled (no external dependencies).
+// The writer emits a fixed schema; the reader is a small
+// recursive-descent parser over general JSON, so checkpoints stay
+// readable by standard tooling (jq, python) and edits by such tooling
+// stay readable by us.
+// ---------------------------------------------------------------------
+
+namespace json
+{
+
+/** One parsed JSON value (taggged union over the JSON types). */
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    const Value &
+    at(const std::string &field) const
+    {
+        GPUPM_FATAL_IF(type != Type::Object,
+                       "checkpoint: expected object around '", field,
+                       "'");
+        auto it = object.find(field);
+        GPUPM_FATAL_IF(it == object.end(),
+                       "checkpoint: missing field '", field, "'");
+        return it->second;
+    }
+
+    double
+    num() const
+    {
+        GPUPM_FATAL_IF(type != Type::Number,
+                       "checkpoint: expected a number");
+        return number;
+    }
+
+    long
+    integer() const
+    {
+        return static_cast<long>(num());
+    }
+
+    const std::string &
+    str() const
+    {
+        GPUPM_FATAL_IF(type != Type::String,
+                       "checkpoint: expected a string");
+        return string;
+    }
+
+    const std::vector<Value> &
+    arr() const
+    {
+        GPUPM_FATAL_IF(type != Type::Array,
+                       "checkpoint: expected an array");
+        return array;
+    }
+};
+
+/** Recursive-descent JSON parser (fatal on malformed input). */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    parse()
+    {
+        Value v = parseValue();
+        skipSpace();
+        GPUPM_FATAL_IF(pos_ != text_.size(),
+                       "checkpoint: trailing characters at offset ",
+                       pos_);
+        return v;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        GPUPM_FATAL_IF(pos_ >= text_.size(),
+                       "checkpoint: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        GPUPM_FATAL_IF(peek() != c, "checkpoint: expected '", c,
+                       "' at offset ", pos_, ", got '", text_[pos_],
+                       "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectWord(std::string_view word)
+    {
+        GPUPM_FATAL_IF(text_.compare(pos_, word.size(), word) != 0,
+                       "checkpoint: bad literal at offset ", pos_);
+        pos_ += word.size();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string s;
+        while (true) {
+            GPUPM_FATAL_IF(pos_ >= text_.size(),
+                           "checkpoint: unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return s;
+            if (c == '\\') {
+                GPUPM_FATAL_IF(pos_ >= text_.size(),
+                               "checkpoint: unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case '/': s += '/'; break;
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  case 'r': s += '\r'; break;
+                  default:
+                    GPUPM_FATAL("checkpoint: unsupported escape '\\",
+                                e, "'");
+                }
+            } else {
+                s += c;
+            }
+        }
+    }
+
+    Value
+    parseValue()
+    {
+        const char c = peek();
+        Value v;
+        if (c == '{') {
+            ++pos_;
+            v.type = Value::Type::Object;
+            if (!consume('}')) {
+                do {
+                    skipSpace();
+                    std::string field = parseString();
+                    expect(':');
+                    v.object.emplace(std::move(field), parseValue());
+                } while (consume(','));
+                expect('}');
+            }
+        } else if (c == '[') {
+            ++pos_;
+            v.type = Value::Type::Array;
+            if (!consume(']')) {
+                do {
+                    v.array.push_back(parseValue());
+                } while (consume(','));
+                expect(']');
+            }
+        } else if (c == '"') {
+            v.type = Value::Type::String;
+            v.string = parseString();
+        } else if (c == 't') {
+            expectWord("true");
+            v.type = Value::Type::Bool;
+            v.boolean = true;
+        } else if (c == 'f') {
+            expectWord("false");
+            v.type = Value::Type::Bool;
+        } else if (c == 'n') {
+            expectWord("null");
+        } else {
+            v.type = Value::Type::Number;
+            char *end = nullptr;
+            v.number = std::strtod(text_.c_str() + pos_, &end);
+            GPUPM_FATAL_IF(end == text_.c_str() + pos_,
+                           "checkpoint: bad number at offset ", pos_);
+            pos_ = static_cast<std::size_t>(end - text_.c_str());
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Emit a double at round-trip precision. */
+void
+putNumber(std::ostringstream &os, double x)
+{
+    os << std::setprecision(17) << x;
+}
+
+void
+putString(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default: os << c;
+        }
+    }
+    os << '"';
+}
+
+void
+putConfig(std::ostringstream &os, const gpu::FreqConfig &cfg)
+{
+    os << "[" << cfg.core_mhz << "," << cfg.mem_mhz << "]";
+}
+
+gpu::FreqConfig
+configOf(const Value &v)
+{
+    GPUPM_FATAL_IF(v.arr().size() != 2,
+                   "checkpoint: a config is a [core, mem] pair");
+    return {static_cast<int>(v.arr()[0].num()),
+            static_cast<int>(v.arr()[1].num())};
+}
+
+} // namespace json
+
+std::string
+serializeCampaignCheckpoint(const CampaignCheckpoint &ck)
+{
+    using json::putConfig;
+    using json::putNumber;
+    using json::putString;
+
+    std::ostringstream os;
+    os << "{\n";
+    os << "\"format\":\"gpupm-checkpoint\",\n\"version\":1,\n";
+    os << "\"seed\":" << ck.seed << ",\n";
+    os << "\"device\":" << static_cast<int>(ck.device) << ",\n";
+    os << "\"reference\":";
+    putConfig(os, ck.reference);
+    os << ",\n\"configs\":[";
+    for (std::size_t i = 0; i < ck.configs.size(); ++i) {
+        if (i)
+            os << ",";
+        putConfig(os, ck.configs[i]);
+    }
+    os << "],\n\"benchmarks\":[";
+    for (std::size_t i = 0; i < ck.benchmark_names.size(); ++i) {
+        if (i)
+            os << ",";
+        putString(os, ck.benchmark_names[i]);
+    }
+    os << "],\n\"utils_done\":[";
+    for (std::size_t i = 0; i < ck.utils_done.size(); ++i)
+        os << (i ? "," : "") << (ck.utils_done[i] ? 1 : 0);
+    os << "],\n\"utils\":[";
+    for (std::size_t b = 0; b < ck.utils.size(); ++b) {
+        os << (b ? ",[" : "[");
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i) {
+            if (i)
+                os << ",";
+            putNumber(os, ck.utils[b][i]);
+        }
+        os << "]";
+    }
+    os << "],\n\"power_done\":[";
+    for (std::size_t b = 0; b < ck.power_done.size(); ++b) {
+        os << (b ? ",[" : "[");
+        for (std::size_t c = 0; c < ck.power_done[b].size(); ++c)
+            os << (c ? "," : "") << (ck.power_done[b][c] ? 1 : 0);
+        os << "]";
+    }
+    os << "],\n\"power_w\":[";
+    for (std::size_t b = 0; b < ck.power_w.size(); ++b) {
+        os << (b ? ",\n[" : "\n[");
+        for (std::size_t c = 0; c < ck.power_w[b].size(); ++c) {
+            if (c)
+                os << ",";
+            putNumber(os, ck.power_w[b][c]);
+        }
+        os << "]";
+    }
+    const CampaignReport &r = ck.report;
+    os << "],\n\"report\":{";
+    os << "\"cells_total\":" << r.cells_total << ",";
+    os << "\"cells_done\":" << r.cells_done << ",";
+    os << "\"cells_resumed\":" << r.cells_resumed << ",";
+    os << "\"cells_failed\":" << r.cells_failed << ",";
+    os << "\"faults_injected\":" << r.faults_injected << ",\n";
+    os << "\"attempts\":" << r.totals.attempts << ",";
+    os << "\"retries\":" << r.totals.retries << ",";
+    os << "\"timeouts\":" << r.totals.timeouts << ",";
+    os << "\"call_failures\":" << r.totals.call_failures << ",";
+    os << "\"corrupt_samples\":" << r.totals.corrupt_samples << ",";
+    os << "\"outliers_rejected\":" << r.totals.outliers_rejected
+       << ",";
+    os << "\"quarantined_calls\":" << r.totals.quarantined_calls
+       << ",";
+    os << "\"backoff_total_s\":";
+    putNumber(os, r.totals.backoff_total_s);
+    os << ",\n\"quarantined\":[";
+    for (std::size_t i = 0; i < r.quarantined.size(); ++i) {
+        if (i)
+            os << ",";
+        putConfig(os, r.quarantined[i]);
+    }
+    os << "],\n\"benchmark_reports\":[";
+    for (std::size_t b = 0; b < r.benchmarks.size(); ++b) {
+        const BenchmarkReport &br = r.benchmarks[b];
+        os << (b ? ",\n{" : "\n{");
+        os << "\"name\":";
+        putString(os, br.name);
+        os << ",\"retries\":" << br.retries;
+        os << ",\"call_failures\":" << br.call_failures;
+        os << ",\"timeouts\":" << br.timeouts;
+        os << ",\"outliers_rejected\":" << br.outliers_rejected;
+        os << ",\"corrupt_samples\":" << br.corrupt_samples;
+        os << ",\"faults_injected\":" << br.faults_injected;
+        os << "}";
+    }
+    os << "]}\n}\n";
+    return os.str();
+}
+
+CampaignCheckpoint
+deserializeCampaignCheckpoint(const std::string &text)
+{
+    const json::Value root = json::Parser(text).parse();
+    GPUPM_FATAL_IF(root.at("format").str() != "gpupm-checkpoint" ||
+                           root.at("version").integer() != 1,
+                   "not a gpupm campaign checkpoint");
+
+    CampaignCheckpoint ck;
+    ck.seed = static_cast<std::uint64_t>(root.at("seed").num());
+    const long kind = root.at("device").integer();
+    GPUPM_FATAL_IF(kind < 0 || kind > 2, "bad device kind ", kind);
+    ck.device = static_cast<gpu::DeviceKind>(kind);
+    ck.reference = json::configOf(root.at("reference"));
+    for (const auto &v : root.at("configs").arr())
+        ck.configs.push_back(json::configOf(v));
+    for (const auto &v : root.at("benchmarks").arr())
+        ck.benchmark_names.push_back(v.str());
+
+    const std::size_t nb = ck.benchmark_names.size();
+    const std::size_t nc = ck.configs.size();
+
+    for (const auto &v : root.at("utils_done").arr())
+        ck.utils_done.push_back(v.num() != 0.0 ? 1 : 0);
+    GPUPM_FATAL_IF(ck.utils_done.size() != nb,
+                   "checkpoint: utils_done size mismatch");
+
+    for (const auto &row : root.at("utils").arr()) {
+        GPUPM_FATAL_IF(row.arr().size() != gpu::kNumComponents,
+                       "checkpoint: bad utilization row");
+        gpu::ComponentArray u{};
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+            u[i] = row.arr()[i].num();
+        ck.utils.push_back(u);
+    }
+    GPUPM_FATAL_IF(ck.utils.size() != nb,
+                   "checkpoint: utils size mismatch");
+
+    for (const auto &row : root.at("power_done").arr()) {
+        std::vector<char> flags;
+        for (const auto &v : row.arr())
+            flags.push_back(v.num() != 0.0 ? 1 : 0);
+        GPUPM_FATAL_IF(flags.size() != nc,
+                       "checkpoint: power_done row size mismatch");
+        ck.power_done.push_back(std::move(flags));
+    }
+    GPUPM_FATAL_IF(ck.power_done.size() != nb,
+                   "checkpoint: power_done size mismatch");
+
+    for (const auto &row : root.at("power_w").arr()) {
+        std::vector<double> vals;
+        for (const auto &v : row.arr())
+            vals.push_back(v.num());
+        GPUPM_FATAL_IF(vals.size() != nc,
+                       "checkpoint: power row size mismatch");
+        ck.power_w.push_back(std::move(vals));
+    }
+    GPUPM_FATAL_IF(ck.power_w.size() != nb,
+                   "checkpoint: power size mismatch");
+
+    const json::Value &r = root.at("report");
+    ck.report.cells_total = r.at("cells_total").integer();
+    ck.report.cells_done = r.at("cells_done").integer();
+    ck.report.cells_resumed = r.at("cells_resumed").integer();
+    ck.report.cells_failed = r.at("cells_failed").integer();
+    ck.report.faults_injected = r.at("faults_injected").integer();
+    ck.report.totals.attempts = r.at("attempts").integer();
+    ck.report.totals.retries = r.at("retries").integer();
+    ck.report.totals.timeouts = r.at("timeouts").integer();
+    ck.report.totals.call_failures = r.at("call_failures").integer();
+    ck.report.totals.corrupt_samples =
+            r.at("corrupt_samples").integer();
+    ck.report.totals.outliers_rejected =
+            r.at("outliers_rejected").integer();
+    ck.report.totals.quarantined_calls =
+            r.at("quarantined_calls").integer();
+    ck.report.totals.backoff_total_s = r.at("backoff_total_s").num();
+    for (const auto &v : r.at("quarantined").arr())
+        ck.report.quarantined.push_back(json::configOf(v));
+    for (const auto &v : r.at("benchmark_reports").arr()) {
+        BenchmarkReport br;
+        br.name = v.at("name").str();
+        br.retries = v.at("retries").integer();
+        br.call_failures = v.at("call_failures").integer();
+        br.timeouts = v.at("timeouts").integer();
+        br.outliers_rejected = v.at("outliers_rejected").integer();
+        br.corrupt_samples = v.at("corrupt_samples").integer();
+        br.faults_injected = v.at("faults_injected").integer();
+        ck.report.benchmarks.push_back(std::move(br));
+    }
+    GPUPM_FATAL_IF(ck.report.benchmarks.size() != nb,
+                   "checkpoint: benchmark report size mismatch");
+    return ck;
+}
+
+void
+saveCampaignCheckpoint(const CampaignCheckpoint &ck,
+                       const std::string &path)
+{
+    // Write-then-rename so an interrupted write never corrupts an
+    // existing checkpoint (rename within a directory is atomic on
+    // POSIX filesystems).
+    const std::string tmp = path + ".tmp";
+    writeFile(tmp, serializeCampaignCheckpoint(ck));
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    GPUPM_FATAL_IF(ec, "cannot move checkpoint into place at '", path,
+                   "': ", ec.message());
+}
+
+CampaignCheckpoint
+loadCampaignCheckpoint(const std::string &path)
+{
+    return deserializeCampaignCheckpoint(readFile(path));
 }
 
 } // namespace model

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "core/campaign.hh"
 #include "core/estimator.hh"
 #include "core/power_model.hh"
 
@@ -40,6 +41,28 @@ void saveTrainingData(const TrainingData &data,
 
 /** Read a campaign written by saveTrainingData. */
 TrainingData loadTrainingData(const std::string &path);
+
+/**
+ * Serialize a partially executed campaign as JSON. Doubles are
+ * written at round-trip precision so a resumed campaign reproduces
+ * an uninterrupted one bit-for-bit.
+ */
+std::string serializeCampaignCheckpoint(const CampaignCheckpoint &ck);
+
+/** Parse serializeCampaignCheckpoint output (fatal on error). */
+CampaignCheckpoint
+deserializeCampaignCheckpoint(const std::string &text);
+
+/**
+ * Write a checkpoint to a file. The write goes to a temporary file
+ * first and is renamed into place, so a crash mid-write cannot leave
+ * a truncated checkpoint behind.
+ */
+void saveCampaignCheckpoint(const CampaignCheckpoint &ck,
+                            const std::string &path);
+
+/** Read a checkpoint written by saveCampaignCheckpoint. */
+CampaignCheckpoint loadCampaignCheckpoint(const std::string &path);
 
 } // namespace model
 } // namespace gpupm

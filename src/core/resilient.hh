@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Resilience decorator over measurement backends.
+ *
+ * The Sec. V-A training procedure assumes every NVML read and CUPTI
+ * collection succeeds; production measurement stacks do not. The
+ * ResilientBackend decorator turns a flaky MeasurementBackend into a
+ * dependable one:
+ *
+ *  - bounded retries with exponential backoff and seeded jitter for
+ *    recoverable failures (transients, rejected clock requests);
+ *  - per-call deadlines enforced against the backend's virtual call
+ *    timer, so a wedged call is abandoned and retried;
+ *  - robust power aggregation: repetitions are collected one by one
+ *    and MAD-based outlier rejection discards spikes, stale sensor
+ *    readings and NaN samples before the median is taken;
+ *  - consensus profiling: event collections are repeated and combined
+ *    field-wise by median, so a dropped event group cannot zero a
+ *    utilization;
+ *  - quarantine: a configuration that keeps failing after retries is
+ *    excluded from further measurement and reported, instead of
+ *    wedging the campaign.
+ *
+ * Failures surface as typed Expected results (or as typed
+ * MeasurementError through the plain MeasurementBackend interface) —
+ * never as process-killing panics.
+ */
+
+#ifndef GPUPM_CORE_RESILIENT_HH
+#define GPUPM_CORE_RESILIENT_HH
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "core/faults.hh"
+
+namespace gpupm
+{
+namespace model
+{
+
+/** Typed failure description of a resilient call. */
+struct Status
+{
+    MeasureErrc code = MeasureErrc::Fatal;
+    std::string message;
+
+    bool recoverable() const { return isRecoverable(code); }
+};
+
+/** Value-or-typed-error result of a resilient call. */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : value_(std::move(value)) {}
+    Expected(Status error) : error_(std::move(error)) {}
+
+    bool ok() const { return value_.has_value(); }
+
+    const T &value() const
+    {
+        GPUPM_ASSERT(ok(), "value() on failed Expected: ",
+                     error_->message);
+        return *value_;
+    }
+
+    const Status &error() const
+    {
+        GPUPM_ASSERT(!ok(), "error() on successful Expected");
+        return *error_;
+    }
+
+  private:
+    std::optional<T> value_;
+    std::optional<Status> error_;
+};
+
+/** Recovery-policy knobs. */
+struct ResilientOptions
+{
+    /** Retries per call after the first attempt. */
+    int max_retries = 4;
+    /** Delay before the first retry, seconds (virtual). */
+    double backoff_base_s = 0.05;
+    /** Geometric growth factor of the delay. */
+    double backoff_factor = 2.0;
+    /** Delay ceiling, seconds. */
+    double backoff_max_s = 5.0;
+    /** Uniform jitter applied to each delay: d * (1 ± frac). */
+    double jitter_frac = 0.25;
+    /** Seeds the jitter stream. */
+    std::uint64_t jitter_seed = 77;
+    /** Virtual per-call deadline; beyond it the call counts as hung. */
+    double call_timeout_s = 30.0;
+    /** Exhausted-retry failures at a config before quarantine. */
+    int quarantine_threshold = 2;
+    /** MAD modified-z-score cutoff for power repetitions. */
+    double mad_threshold = 3.5;
+    /** Minimum surviving repetitions for a valid power result. */
+    int min_valid_repetitions = 2;
+    /** Event collections combined per profile (field-wise median). */
+    int profile_repetitions = 3;
+};
+
+/** What the resilience layer had to do, cumulatively. */
+struct ResilienceCounters
+{
+    long attempts = 0;          ///< backend calls issued
+    long retries = 0;           ///< attempts beyond each call's first
+    long timeouts = 0;          ///< attempts abandoned at the deadline
+    long call_failures = 0;     ///< calls that exhausted their retries
+    long corrupt_samples = 0;   ///< NaN / non-finite power samples
+    long outliers_rejected = 0; ///< finite samples rejected by MAD
+    long quarantined_calls = 0; ///< calls refused against quarantine
+    double backoff_total_s = 0.0; ///< virtual seconds spent backing off
+};
+
+/** Resilient decorator; wraps (does not own) an inner backend. */
+class ResilientBackend : public MeasurementBackend
+{
+  public:
+    explicit ResilientBackend(MeasurementBackend &inner,
+                              ResilientOptions opts = {});
+
+    // -- Typed interface ------------------------------------------------
+
+    /** Consensus profile: repeated collections, field-wise median. */
+    Expected<cupti::RawMetrics>
+    tryProfileKernel(const sim::KernelDemand &kernel,
+                     const gpu::FreqConfig &cfg);
+
+    /**
+     * Robust power measurement: `repetitions` single-run measurements
+     * collected independently (each with retries), MAD outlier
+     * rejection, median of the survivors.
+     */
+    Expected<nvml::PowerMeasurement>
+    tryMeasurePower(const sim::KernelDemand &kernel,
+                    const gpu::FreqConfig &cfg, int repetitions,
+                    double min_duration_s);
+
+    /** Robust idle-power measurement (same policy). */
+    Expected<double> tryMeasureIdlePower(const gpu::FreqConfig &cfg,
+                                         int repetitions);
+
+    // -- MeasurementBackend (throws MeasurementError on failure) --------
+
+    const gpu::DeviceDescriptor &descriptor() const override;
+
+    cupti::RawMetrics profileKernel(const sim::KernelDemand &kernel,
+                                    const gpu::FreqConfig &cfg)
+            override;
+
+    nvml::PowerMeasurement measurePower(const sim::KernelDemand &kernel,
+                                        const gpu::FreqConfig &cfg,
+                                        int repetitions,
+                                        double min_duration_s)
+            override;
+
+    double measureIdlePower(const gpu::FreqConfig &cfg) override;
+
+    void reseed(std::uint64_t seed) override;
+
+    // -- Quarantine & accounting ----------------------------------------
+
+    bool isQuarantined(const gpu::FreqConfig &cfg) const;
+
+    /** Quarantined configurations, in quarantine order. */
+    const std::vector<gpu::FreqConfig> &quarantined() const
+    {
+        return quarantine_order_;
+    }
+
+    const ResilienceCounters &counters() const { return counters_; }
+
+    /**
+     * The first `n` backoff delays (jitter applied) the given policy
+     * and seed produce, seconds. Pure: two calls with equal arguments
+     * return equal schedules — the property the retry loop inherits.
+     */
+    static std::vector<double>
+    backoffSchedule(const ResilientOptions &opts, std::uint64_t seed,
+                    int n);
+
+  private:
+    /** One call with retries; empty optional = exhausted retries. */
+    template <typename T>
+    Expected<T> runWithRetries(const gpu::FreqConfig &cfg,
+                               const std::function<T()> &call);
+
+    /** Record an exhausted-retry failure; maybe quarantine. */
+    void notePersistentFailure(const gpu::FreqConfig &cfg);
+
+    /** Deadline check against the inner backend's virtual timer. */
+    void enforceDeadline() const;
+
+    MeasurementBackend &inner_;
+    const CallTimer *timer_; ///< inner as CallTimer, when it is one
+    ResilientOptions opts_;
+    Rng jitter_rng_;
+    ResilienceCounters counters_;
+    std::map<std::pair<int, int>, int> persistent_failures_;
+    std::map<std::pair<int, int>, bool> quarantine_;
+    std::vector<gpu::FreqConfig> quarantine_order_;
+};
+
+} // namespace model
+} // namespace gpupm
+
+#endif // GPUPM_CORE_RESILIENT_HH

@@ -80,11 +80,18 @@ Profiler::dpLeak(gpu::Architecture arch)
 
 Profiler::Profiler(const sim::PhysicalGpu &board, std::uint64_t seed)
     : board_(board),
-      table_(EventTable::get(board.descriptor().kind)),
-      read_noise_(Rng(seed).split(17))
+      table_(EventTable::get(board.descriptor().kind))
 {
+    reseed(seed);
+}
+
+void
+Profiler::reseed(std::uint64_t seed)
+{
+    read_noise_ = Rng(seed).split(17);
     Rng bias_rng = Rng(seed).split(3);
-    const double sigma = biasSigma(board.descriptor().architecture);
+    const double sigma = biasSigma(board_.descriptor().architecture);
+    bias_.clear();
     for (const EventDesc &ev : table_.allEvents()) {
         double b = bias_rng.normal(1.0, sigma);
         // A counter cannot under-report to (or below) zero.

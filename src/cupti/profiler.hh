@@ -94,6 +94,14 @@ class Profiler
     /** The fixed bias applied to an event (exposed for tests). */
     double biasOf(EventId id) const;
 
+    /**
+     * Reset the per-event bias table and the read-noise stream to the
+     * state a freshly constructed Profiler(board, seed) would have.
+     * Used by checkpointable campaigns to make every profiling cell's
+     * randomness independent of collection history.
+     */
+    void reseed(std::uint64_t seed);
+
   private:
     /** Architecture-specific counter accuracy (std of the bias). */
     static double biasSigma(gpu::Architecture arch);

@@ -18,25 +18,59 @@ Device::Device(const sim::PhysicalGpu &board, std::uint64_t seed)
       noise_(Rng(seed).split(7))
 {}
 
+std::string_view
+nvmlStatusName(NvmlStatus status)
+{
+    switch (status) {
+      case NvmlStatus::Success: return "Success";
+      case NvmlStatus::UnsupportedClocks: return "UnsupportedClocks";
+      case NvmlStatus::PowerLimitOutOfRange:
+        return "PowerLimitOutOfRange";
+    }
+    GPUPM_PANIC("unknown NvmlStatus");
+}
+
+NvmlStatus
+Device::trySetPowerLimit(double watts)
+{
+    const double tdp = board_.descriptor().tdp_w;
+    if (watts < 100.0 || watts > tdp)
+        return NvmlStatus::PowerLimitOutOfRange;
+    power_limit_w_ = watts;
+    return NvmlStatus::Success;
+}
+
 void
 Device::setPowerLimit(double watts)
 {
-    const double tdp = board_.descriptor().tdp_w;
-    GPUPM_FATAL_IF(watts < 100.0 || watts > tdp,
-                   "power limit ", watts, " W outside [100, ", tdp,
-                   "] W");
-    power_limit_w_ = watts;
+    GPUPM_FATAL_IF(trySetPowerLimit(watts) != NvmlStatus::Success,
+                   "power limit ", watts, " W outside [100, ",
+                   board_.descriptor().tdp_w, "] W");
+}
+
+NvmlStatus
+Device::trySetApplicationClocks(int mem_mhz, int core_mhz)
+{
+    const gpu::FreqConfig cfg{core_mhz, mem_mhz};
+    if (!board_.descriptor().supports(cfg))
+        return NvmlStatus::UnsupportedClocks;
+    clocks_ = cfg;
+    return NvmlStatus::Success;
 }
 
 void
 Device::setApplicationClocks(int mem_mhz, int core_mhz)
 {
-    const gpu::FreqConfig cfg{core_mhz, mem_mhz};
-    if (!board_.descriptor().supports(cfg)) {
-        GPUPM_FATAL("unsupported application clocks (", core_mhz, ", ",
-                    mem_mhz, ") MHz on ", board_.descriptor().name);
-    }
-    clocks_ = cfg;
+    GPUPM_FATAL_IF(trySetApplicationClocks(mem_mhz, core_mhz) !=
+                           NvmlStatus::Success,
+                   "unsupported application clocks (", core_mhz, ", ",
+                   mem_mhz, ") MHz on ", board_.descriptor().name);
+}
+
+void
+Device::reseed(std::uint64_t seed)
+{
+    noise_ = Rng(seed).split(7);
 }
 
 double

@@ -17,6 +17,8 @@
 #ifndef GPUPM_NVML_DEVICE_HH
 #define GPUPM_NVML_DEVICE_HH
 
+#include <string_view>
+
 #include "common/random.hh"
 #include "sim/physical_gpu.hh"
 
@@ -24,6 +26,26 @@ namespace gpupm
 {
 namespace nvml
 {
+
+/**
+ * Typed outcome of a recoverable NVML-facade request.
+ *
+ * The real driver rejects off-table clock requests and out-of-range
+ * power limits with an error code rather than killing the process; a
+ * measurement harness must be able to observe the rejection and move
+ * on (skip the configuration, retry, re-enumerate the tables). Panics
+ * remain reserved for programmer errors — e.g. measuring an empty
+ * kernel.
+ */
+enum class NvmlStatus
+{
+    Success,
+    UnsupportedClocks,     ///< (mem, core) pair not in the tables
+    PowerLimitOutOfRange,  ///< outside the board's [min, TDP] window
+};
+
+/** Display name of a status code. */
+std::string_view nvmlStatusName(NvmlStatus status);
 
 /** One averaged power measurement of a kernel at a configuration. */
 struct PowerMeasurement
@@ -54,8 +76,16 @@ class Device
     }
 
     /**
-     * Set application clocks. Fatal when the pair is not in the
-     * supported tables — the NVIDIA driver rejects such requests.
+     * Set application clocks. Returns UnsupportedClocks (leaving the
+     * current clocks untouched) when the pair is not in the supported
+     * tables — the NVIDIA driver rejects such requests.
+     */
+    NvmlStatus trySetApplicationClocks(int mem_mhz, int core_mhz);
+
+    /**
+     * Convenience wrapper over trySetApplicationClocks that treats a
+     * rejection as fatal, for call sites that only ever request
+     * table entries.
      */
     void setApplicationClocks(int mem_mhz, int core_mhz);
 
@@ -66,8 +96,12 @@ class Device
      * Board power-management limit (the NVML
      * SetPowerManagementLimit facility). Defaults to the TDP; the
      * board's automatic clock fallback honours the lower of the two.
-     * Fatal outside the board's supported range [100 W, TDP].
+     * Returns PowerLimitOutOfRange (limit unchanged) outside the
+     * board's supported range [100 W, TDP].
      */
+    NvmlStatus trySetPowerLimit(double watts);
+
+    /** Fatal-on-rejection wrapper over trySetPowerLimit. */
     void setPowerLimit(double watts);
 
     /** Current power-management limit, watts. */
@@ -96,6 +130,15 @@ class Device
      */
     gpu::FreqConfig effectiveClocksFor(const sim::KernelDemand &demand)
             const;
+
+    /**
+     * Reset the sensor-noise stream to the state a freshly
+     * constructed Device(board, seed) would have. Campaign
+     * checkpoint/resume re-seeds per measurement cell so an
+     * interrupted run replays the exact byte-identical noise the
+     * uninterrupted run would have drawn.
+     */
+    void reseed(std::uint64_t seed);
 
   private:
     /** One noisy instantaneous sensor reading of a true power. */

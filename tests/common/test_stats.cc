@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/stats.hh"
 
@@ -151,6 +152,48 @@ TEST(Stats, AccumulatorEmptyDefaults)
     EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
     EXPECT_DOUBLE_EQ(acc.minimum(), 0.0);
     EXPECT_DOUBLE_EQ(acc.maximum(), 0.0);
+}
+
+TEST(Stats, MadKnownValue)
+{
+    // median = 3, |x - 3| = {2, 2, 0, 1, 2} -> median 2.
+    EXPECT_DOUBLE_EQ(mad(kSample), 2.0);
+    EXPECT_DOUBLE_EQ(mad({}), 0.0);
+}
+
+TEST(Stats, MadOutlierMaskFlagsSpikes)
+{
+    const std::vector<double> v = {100.0, 100.4, 99.7, 100.1, 600.0};
+    const auto mask = madOutlierMask(v);
+    ASSERT_EQ(mask.size(), v.size());
+    EXPECT_FALSE(mask[0]);
+    EXPECT_FALSE(mask[1]);
+    EXPECT_FALSE(mask[2]);
+    EXPECT_FALSE(mask[3]);
+    EXPECT_TRUE(mask[4]);
+}
+
+TEST(Stats, MadOutlierMaskAlwaysFlagsNonFinite)
+{
+    const std::vector<double> v = {
+        100.0, std::numeric_limits<double>::quiet_NaN(), 100.2,
+        std::numeric_limits<double>::infinity(), 99.9};
+    const auto mask = madOutlierMask(v);
+    EXPECT_FALSE(mask[0]);
+    EXPECT_TRUE(mask[1]);
+    EXPECT_FALSE(mask[2]);
+    EXPECT_TRUE(mask[3]);
+    EXPECT_FALSE(mask[4]);
+}
+
+TEST(Stats, MadOutlierMaskZeroSpreadKeepsEqualValues)
+{
+    // MAD = 0: only entries different from the median are outliers.
+    const std::vector<double> v = {5.0, 5.0, 5.0, 5.0, 7.0};
+    const auto mask = madOutlierMask(v);
+    EXPECT_FALSE(mask[0]);
+    EXPECT_FALSE(mask[3]);
+    EXPECT_TRUE(mask[4]);
 }
 
 } // namespace

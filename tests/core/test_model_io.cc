@@ -181,4 +181,93 @@ TEST(Interpolation, HeldOutConfigsPredictAccurately)
     EXPECT_LT(100.0 * err / n, 10.0);
 }
 
+model::CampaignCheckpoint
+sampleCheckpoint()
+{
+    model::CampaignCheckpoint ck;
+    ck.seed = 42;
+    ck.device = gpu::DeviceKind::GtxTitanX;
+    ck.reference = {975, 3505};
+    ck.configs = {{975, 3505}, {595, 810}};
+    ck.benchmark_names = {"mb_a", "mb \"quoted\"\n"};
+    ck.utils_done = {1, 0};
+    ck.utils.assign(2, gpu::ComponentArray{});
+    ck.utils[0][0] = 0.123456789012345678;
+    ck.utils[0][1] = 1.0 / 3.0;
+    ck.power_done = {{1, 0}, {0, 1}};
+    ck.power_w = {{101.25, 0.0}, {0.0, 57.0 / 7.0}};
+    ck.report.cells_total = 6;
+    ck.report.cells_done = 3;
+    ck.report.cells_failed = 1;
+    ck.report.faults_injected = 9;
+    ck.report.totals.retries = 4;
+    ck.report.totals.backoff_total_s = 0.7071067811865476;
+    ck.report.quarantined = {{595, 810}};
+    ck.report.benchmarks.resize(2);
+    ck.report.benchmarks[0].name = "mb_a";
+    ck.report.benchmarks[0].retries = 3;
+    ck.report.benchmarks[1].name = "mb \"quoted\"\n";
+    ck.report.benchmarks[1].corrupt_samples = 2;
+    return ck;
+}
+
+TEST(ModelIo, CampaignCheckpointRoundTripsExactly)
+{
+    const auto ck = sampleCheckpoint();
+    const auto text = model::serializeCampaignCheckpoint(ck);
+    const auto back = model::deserializeCampaignCheckpoint(text);
+
+    EXPECT_EQ(back.seed, ck.seed);
+    EXPECT_EQ(back.device, ck.device);
+    EXPECT_EQ(back.reference, ck.reference);
+    EXPECT_EQ(back.configs, ck.configs);
+    EXPECT_EQ(back.benchmark_names, ck.benchmark_names);
+    EXPECT_EQ(back.utils_done, ck.utils_done);
+    EXPECT_EQ(back.power_done, ck.power_done);
+    // Doubles round-trip bit-exactly (precision-17 serialization).
+    for (std::size_t b = 0; b < ck.utils.size(); ++b)
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+            EXPECT_DOUBLE_EQ(back.utils[b][i], ck.utils[b][i]);
+    for (std::size_t b = 0; b < ck.power_w.size(); ++b)
+        for (std::size_t c = 0; c < ck.power_w[b].size(); ++c)
+            EXPECT_DOUBLE_EQ(back.power_w[b][c], ck.power_w[b][c]);
+    EXPECT_EQ(back.report.cells_done, ck.report.cells_done);
+    EXPECT_EQ(back.report.cells_failed, ck.report.cells_failed);
+    EXPECT_EQ(back.report.faults_injected, ck.report.faults_injected);
+    EXPECT_EQ(back.report.totals.retries, ck.report.totals.retries);
+    EXPECT_DOUBLE_EQ(back.report.totals.backoff_total_s,
+                     ck.report.totals.backoff_total_s);
+    ASSERT_EQ(back.report.quarantined.size(), 1u);
+    EXPECT_EQ(back.report.quarantined[0], ck.report.quarantined[0]);
+    ASSERT_EQ(back.report.benchmarks.size(), 2u);
+    EXPECT_EQ(back.report.benchmarks[1].name,
+              ck.report.benchmarks[1].name);
+    EXPECT_EQ(back.report.benchmarks[1].corrupt_samples, 2);
+}
+
+TEST(ModelIo, CheckpointSaveIsAtomicAndLoadable)
+{
+    const auto path =
+            (std::filesystem::temp_directory_path() /
+             "gpupm_test_checkpoint.json")
+                    .string();
+    const auto ck = sampleCheckpoint();
+    model::saveCampaignCheckpoint(ck, path);
+    // No temporary file is left behind by the rename-into-place.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    const auto back = model::loadCampaignCheckpoint(path);
+    EXPECT_EQ(back.seed, ck.seed);
+    EXPECT_EQ(back.configs, ck.configs);
+    std::filesystem::remove(path);
+}
+
+TEST(ModelIo, CheckpointRejectsGarbage)
+{
+    EXPECT_THROW(model::deserializeCampaignCheckpoint("not json"),
+                 std::runtime_error);
+    EXPECT_THROW(model::deserializeCampaignCheckpoint(
+                         "{\"format\":\"something-else\"}"),
+                 std::runtime_error);
+}
+
 } // namespace

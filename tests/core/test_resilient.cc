@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests of the resilient backend decorator: retry/backoff schedules,
+ * deadline enforcement, MAD outlier rejection, quarantine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/resilient.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+const gpu::FreqConfig kRef{975, 3505};
+
+sim::KernelDemand
+moderateKernel()
+{
+    sim::KernelDemand d;
+    d.name = "moderate";
+    d.warps_sp = 2e9;
+    d.bytes_dram_rd = 2e9;
+    d.bytes_l2_rd = 2e9;
+    return d;
+}
+
+/**
+ * A scripted backend: returns the next power from a fixed list and
+ * reports a fixed virtual duration per call. Lets the resilience
+ * policy be asserted against exactly known inputs.
+ */
+class ScriptedBackend : public model::MeasurementBackend,
+                        public model::CallTimer
+{
+  public:
+    explicit ScriptedBackend(std::vector<double> powers,
+                             double call_seconds = 1.0)
+        : powers_(std::move(powers)), call_seconds_(call_seconds)
+    {}
+
+    const gpu::DeviceDescriptor &descriptor() const override
+    {
+        return gpu::DeviceDescriptor::get(
+                gpu::DeviceKind::GtxTitanX);
+    }
+
+    cupti::RawMetrics profileKernel(const sim::KernelDemand &,
+                                    const gpu::FreqConfig &) override
+    {
+        cupti::RawMetrics rm;
+        rm.acycles = 1e9;
+        rm.l2_rd_bytes = next();
+        rm.time_s = 0.01;
+        return rm;
+    }
+
+    nvml::PowerMeasurement measurePower(const sim::KernelDemand &,
+                                        const gpu::FreqConfig &, int,
+                                        double) override
+    {
+        nvml::PowerMeasurement m;
+        m.power_w = next();
+        m.kernel_time_s = 0.01;
+        m.run_duration_s = 1.0;
+        m.samples_per_run = 10;
+        m.effective = kRef;
+        return m;
+    }
+
+    double measureIdlePower(const gpu::FreqConfig &) override
+    {
+        return next();
+    }
+
+    double lastCallSeconds() const override { return call_seconds_; }
+
+    int calls() const { return static_cast<int>(cursor_); }
+
+  private:
+    double next()
+    {
+        const double v = powers_.at(cursor_ % powers_.size());
+        ++cursor_;
+        if (std::isinf(v))
+            throw model::MeasurementError(model::MeasureErrc::Transient,
+                                          "scripted transient");
+        return v;
+    }
+
+    std::vector<double> powers_;
+    double call_seconds_;
+    std::size_t cursor_ = 0;
+};
+
+TEST(Resilient, BackoffScheduleIsDeterministicPerSeed)
+{
+    model::ResilientOptions opts;
+    const auto a = model::ResilientBackend::backoffSchedule(opts, 9, 8);
+    const auto b = model::ResilientBackend::backoffSchedule(opts, 9, 8);
+    const auto c =
+            model::ResilientBackend::backoffSchedule(opts, 10, 8);
+    ASSERT_EQ(a.size(), 8u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+    bool any_differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_differs = any_differs || a[i] != c[i];
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(Resilient, BackoffScheduleGrowsGeometricallyToCap)
+{
+    model::ResilientOptions opts;
+    opts.jitter_frac = 0.0; // exact geometric progression
+    const auto d =
+            model::ResilientBackend::backoffSchedule(opts, 1, 10);
+    EXPECT_DOUBLE_EQ(d[0], opts.backoff_base_s);
+    EXPECT_DOUBLE_EQ(d[1], 2.0 * opts.backoff_base_s);
+    EXPECT_DOUBLE_EQ(d[9], opts.backoff_max_s);
+    // With jitter the delays stay within the +/- jitter band.
+    opts.jitter_frac = 0.25;
+    const auto j =
+            model::ResilientBackend::backoffSchedule(opts, 1, 10);
+    for (std::size_t i = 0; i < j.size(); ++i)
+        EXPECT_LE(j[i], opts.backoff_max_s * 1.25 + 1e-12);
+}
+
+TEST(Resilient, RetriesRecoverableFailuresAndSucceeds)
+{
+    // inf entries script transient throws; the retry loop must ride
+    // them out and aggregate the good samples.
+    const double inf = std::numeric_limits<double>::infinity();
+    ScriptedBackend inner({inf, 100.0, inf, inf, 100.4, 99.8});
+    model::ResilientOptions opts;
+    opts.min_valid_repetitions = 2;
+    model::ResilientBackend shield(inner, opts);
+
+    auto e = shield.tryMeasurePower(moderateKernel(), kRef, 3, 1.0);
+    ASSERT_TRUE(e.ok());
+    EXPECT_DOUBLE_EQ(e.value().power_w, 100.0);
+    EXPECT_EQ(shield.counters().retries, 3);
+    EXPECT_GT(shield.counters().backoff_total_s, 0.0);
+    EXPECT_EQ(shield.counters().call_failures, 0);
+}
+
+TEST(Resilient, FatalErrorsAreNotRetried)
+{
+    class FatalBackend : public ScriptedBackend
+    {
+      public:
+        FatalBackend() : ScriptedBackend({0.0}) {}
+        nvml::PowerMeasurement measurePower(const sim::KernelDemand &,
+                                            const gpu::FreqConfig &,
+                                            int, double) override
+        {
+            ++attempts;
+            throw model::MeasurementError(model::MeasureErrc::Fatal,
+                                          "sensor gone");
+        }
+        int attempts = 0;
+    } inner;
+    model::ResilientBackend shield(inner);
+    auto e = shield.tryMeasurePower(moderateKernel(), kRef, 3, 1.0);
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(e.error().code, model::MeasureErrc::Fatal);
+    EXPECT_EQ(inner.attempts, 1);
+    EXPECT_EQ(shield.counters().retries, 0);
+    // The throwing interface surfaces the same typed error.
+    EXPECT_THROW(shield.measurePower(moderateKernel(), kRef, 3, 1.0),
+                 model::MeasurementError);
+}
+
+TEST(Resilient, DeadlineAbandonsWedgedCalls)
+{
+    // Every call "takes" 90 virtual seconds against a 30 s deadline:
+    // all attempts time out, the call fails, and with a threshold of
+    // two failed calls the configuration lands in quarantine.
+    ScriptedBackend inner({100.0}, 90.0);
+    model::ResilientOptions opts;
+    opts.max_retries = 2;
+    opts.call_timeout_s = 30.0;
+    opts.quarantine_threshold = 2;
+    model::ResilientBackend shield(inner, opts);
+
+    auto e = shield.tryMeasurePower(moderateKernel(), kRef, 2, 1.0);
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(shield.counters().timeouts, shield.counters().attempts);
+    EXPECT_GE(shield.counters().call_failures, 2);
+    EXPECT_TRUE(shield.isQuarantined(kRef));
+}
+
+TEST(Resilient, QuarantineFailsFast)
+{
+    ScriptedBackend inner({100.0}, 90.0); // always times out
+    model::ResilientOptions opts;
+    opts.max_retries = 1;
+    opts.quarantine_threshold = 1;
+    model::ResilientBackend shield(inner, opts);
+
+    ASSERT_FALSE(
+            shield.tryMeasurePower(moderateKernel(), kRef, 1, 1.0)
+                    .ok());
+    ASSERT_TRUE(shield.isQuarantined(kRef));
+    ASSERT_EQ(shield.quarantined().size(), 1u);
+    EXPECT_EQ(shield.quarantined()[0], kRef);
+
+    const int calls_before = inner.calls();
+    auto e = shield.tryMeasurePower(moderateKernel(), kRef, 1, 1.0);
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(e.error().code, model::MeasureErrc::Quarantined);
+    // Fail-fast: the inner backend was never called again.
+    EXPECT_EQ(inner.calls(), calls_before);
+    EXPECT_GT(shield.counters().quarantined_calls, 0);
+    // Other configurations stay measurable.
+    EXPECT_FALSE(shield.isQuarantined({595, 810}));
+}
+
+TEST(Resilient, MadRejectsSpikesAndNansFromPowerMedian)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    ScriptedBackend inner({100.0, 100.4, 600.0, 99.8, nan, 100.2});
+    model::ResilientOptions opts;
+    opts.min_valid_repetitions = 2;
+    model::ResilientBackend shield(inner, opts);
+
+    auto e = shield.tryMeasurePower(moderateKernel(), kRef, 6, 1.0);
+    ASSERT_TRUE(e.ok());
+    // Median of the four survivors {100.0, 100.4, 99.8, 100.2}.
+    EXPECT_DOUBLE_EQ(e.value().power_w, 100.1);
+    EXPECT_EQ(shield.counters().outliers_rejected, 1);
+    EXPECT_EQ(shield.counters().corrupt_samples, 1);
+}
+
+TEST(Resilient, TooFewSurvivorsIsACorruptSampleFailure)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    ScriptedBackend inner({nan, nan, nan, 100.0});
+    model::ResilientOptions opts;
+    opts.min_valid_repetitions = 2;
+    model::ResilientBackend shield(inner, opts);
+    auto e = shield.tryMeasurePower(moderateKernel(), kRef, 4, 1.0);
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(e.error().code, model::MeasureErrc::CorruptSample);
+}
+
+TEST(Resilient, ConsensusProfilingOutvotesDroppedEvents)
+{
+    // One of three collections reads l2_rd_bytes = 0 (a dropped event
+    // group); the field-wise median keeps the intact value.
+    ScriptedBackend inner({4e9, 0.0, 4e9});
+    model::ResilientOptions opts;
+    opts.profile_repetitions = 3;
+    model::ResilientBackend shield(inner, opts);
+    auto e = shield.tryProfileKernel(moderateKernel(), kRef);
+    ASSERT_TRUE(e.ok());
+    EXPECT_DOUBLE_EQ(e.value().l2_rd_bytes, 4e9);
+    EXPECT_DOUBLE_EQ(e.value().acycles, 1e9);
+}
+
+TEST(Resilient, IdlePowerUsesSamePolicy)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    ScriptedBackend inner({30.0, nan, 30.2, 29.8});
+    model::ResilientBackend shield(inner);
+    auto e = shield.tryMeasureIdlePower(kRef, 4);
+    ASSERT_TRUE(e.ok());
+    EXPECT_DOUBLE_EQ(e.value(), 30.0);
+    EXPECT_EQ(shield.counters().corrupt_samples, 1);
+}
+
+TEST(Resilient, ExpectedAccessorsAssert)
+{
+    model::Expected<double> good(1.0);
+    EXPECT_TRUE(good.ok());
+    EXPECT_DOUBLE_EQ(good.value(), 1.0);
+    EXPECT_THROW(good.error(), std::logic_error);
+    model::Expected<double> bad(
+            model::Status{model::MeasureErrc::Transient, "x"});
+    EXPECT_FALSE(bad.ok());
+    EXPECT_TRUE(bad.error().recoverable());
+    EXPECT_THROW(bad.value(), std::logic_error);
+}
+
+TEST(Resilient, OptionValidationPanics)
+{
+    ScriptedBackend inner({100.0});
+    model::ResilientOptions opts;
+    opts.max_retries = -1;
+    EXPECT_THROW(model::ResilientBackend(inner, opts),
+                 std::logic_error);
+    opts = {};
+    opts.backoff_factor = 0.5;
+    EXPECT_THROW(model::ResilientBackend(inner, opts),
+                 std::logic_error);
+}
+
+} // namespace

@@ -160,6 +160,43 @@ TEST(NvmlDevice, PowerLimitDefaultsToTdpAndValidatesRange)
     EXPECT_THROW(dev.setPowerLimit(400.0), std::runtime_error);
 }
 
+TEST(NvmlDevice, TrySettersReturnTypedStatusInsteadOfThrowing)
+{
+    // The recoverable driver rejections surface as NvmlStatus codes;
+    // the throwing setters remain as fatal-on-error conveniences.
+    sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
+    nvml::Device dev(board);
+
+    EXPECT_EQ(dev.trySetApplicationClocks(810, 595),
+              nvml::NvmlStatus::Success);
+    EXPECT_EQ(dev.currentClocks().core_mhz, 595);
+    EXPECT_EQ(dev.trySetApplicationClocks(3505, 1000),
+              nvml::NvmlStatus::UnsupportedClocks);
+    // A rejected request leaves the clocks untouched.
+    EXPECT_EQ(dev.currentClocks().core_mhz, 595);
+    EXPECT_EQ(dev.currentClocks().mem_mhz, 810);
+
+    EXPECT_EQ(dev.trySetPowerLimit(180.0), nvml::NvmlStatus::Success);
+    EXPECT_DOUBLE_EQ(dev.powerLimit(), 180.0);
+    EXPECT_EQ(dev.trySetPowerLimit(50.0),
+              nvml::NvmlStatus::PowerLimitOutOfRange);
+    EXPECT_EQ(dev.trySetPowerLimit(400.0),
+              nvml::NvmlStatus::PowerLimitOutOfRange);
+    EXPECT_DOUBLE_EQ(dev.powerLimit(), 180.0);
+}
+
+TEST(NvmlDevice, StatusNamesAreStable)
+{
+    EXPECT_EQ(nvml::nvmlStatusName(nvml::NvmlStatus::Success),
+              "Success");
+    EXPECT_EQ(nvml::nvmlStatusName(
+                      nvml::NvmlStatus::UnsupportedClocks),
+              "UnsupportedClocks");
+    EXPECT_EQ(nvml::nvmlStatusName(
+                      nvml::NvmlStatus::PowerLimitOutOfRange),
+              "PowerLimitOutOfRange");
+}
+
 TEST(NvmlDevice, LowerPowerLimitForcesDeeperClockFallback)
 {
     sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);

@@ -13,19 +13,35 @@
  *   gpupm devices                             list supported devices
  *   gpupm export-cuda <out.cu>                emit the suite as CUDA
  *
+ * campaign/train accept resilience flags:
+ *   --faults=<rate>     inject faults at the given per-call rate
+ *   --fault-seed=<n>    seed of the fault-injection stream
+ *   --retries=<n>       retry budget per measurement call
+ *   --resume=<file>     checkpoint campaign progress to <file> and
+ *                       resume from it when it already exists
+ *
+ * Any of these selects the resilient campaign runner (typed errors,
+ * retry/backoff, MAD outlier rejection, quarantine) and prints its
+ * CampaignReport; without them the legacy fail-fast path runs.
+ *
  * <device> is one of: titanxp, titanx, k40c. <app> is a Table III
  * abbreviation (e.g. BLCKSC) — the tool profiles it on a fresh
  * simulated board at the reference configuration before predicting.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 
+#include <string>
+#include <vector>
+
 #include "common/table.hh"
 #include "core/campaign.hh"
+#include "core/faults.hh"
 #include "core/metrics.hh"
 #include "core/model_io.hh"
 #include "core/predictor.hh"
@@ -36,6 +52,56 @@ namespace
 {
 
 using namespace gpupm;
+
+/** Resilience-related flags shared by campaign/train. */
+struct CliFlags
+{
+    bool resilient = false;      ///< any flag below was given
+    double fault_rate = 0.0;
+    std::uint64_t fault_seed = 2026;
+    int retries = -1;            ///< -1 = policy default
+    std::string checkpoint;
+};
+
+/**
+ * Strip `--key=value` flags from the argument list, returning the
+ * positional arguments. Exits with usage on an unknown flag.
+ */
+std::vector<std::string>
+parseFlags(int argc, char **argv, CliFlags &flags)
+{
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional.push_back(arg);
+            continue;
+        }
+        const auto eq = arg.find('=');
+        const std::string key = arg.substr(0, eq);
+        const std::string val =
+                eq == std::string::npos ? "" : arg.substr(eq + 1);
+        if (key == "--faults") {
+            flags.fault_rate = std::atof(val.c_str());
+            flags.resilient = true;
+        } else if (key == "--fault-seed") {
+            flags.fault_seed = std::strtoull(val.c_str(), nullptr, 10);
+            flags.resilient = true;
+        } else if (key == "--retries") {
+            flags.retries = std::atoi(val.c_str());
+            flags.resilient = true;
+        } else if (key == "--resume" || key == "--checkpoint") {
+            flags.checkpoint = val;
+            flags.resilient = true;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", key.c_str());
+            positional.clear();
+            positional.push_back("--bad-flag");
+            return positional;
+        }
+    }
+    return positional;
+}
 
 std::optional<gpu::DeviceKind>
 parseDevice(const std::string &name)
@@ -67,6 +133,8 @@ usage()
                  "  gpupm campaign <titanxp|titanx|k40c> <out>\n"
                  "  gpupm fit <campaign-file> <out-model>\n"
                  "  gpupm train <titanxp|titanx|k40c> <out-model>\n"
+                 "      campaign/train flags: --faults=<rate> "
+                 "--fault-seed=<n> --retries=<n> --resume=<file>\n"
                  "  gpupm info <model-file>\n"
                  "  gpupm predict <model-file> <APP> [fcore fmem]\n"
                  "  gpupm sweep <model-file> <APP>\n"
@@ -81,6 +149,44 @@ runCampaign(gpu::DeviceKind kind)
     std::fprintf(stderr, "running campaign on %s...\n",
                  board.descriptor().name.c_str());
     return model::runTrainingCampaign(board, ubench::buildSuite());
+}
+
+/**
+ * Run the fault-tolerant campaign path selected by any resilience
+ * flag. Prints the CampaignReport; exits non-zero when a max_cells /
+ * checkpoint split stopped the run before the grid was complete.
+ */
+std::optional<model::TrainingData>
+runResilientCampaign(gpu::DeviceKind kind, const CliFlags &flags)
+{
+    sim::PhysicalGpu board(kind);
+    model::SimulatedBackend backend(board);
+    std::optional<model::FaultInjectingBackend> faulty;
+    model::MeasurementBackend *target = &backend;
+    if (flags.fault_rate > 0.0) {
+        faulty.emplace(backend,
+                       model::FaultSpec::uniform(flags.fault_rate,
+                                                 flags.fault_seed));
+        target = &*faulty;
+    }
+
+    model::ResilientCampaignOptions opts;
+    if (flags.retries >= 0)
+        opts.resilience.max_retries = flags.retries;
+    opts.checkpoint_path = flags.checkpoint;
+
+    std::fprintf(stderr, "running resilient campaign on %s...\n",
+                 board.descriptor().name.c_str());
+    auto result = model::runResilientTrainingCampaign(
+            *target, ubench::buildSuite(), opts);
+    std::fprintf(stderr, "%s", result.report.summary().c_str());
+    if (!result.complete) {
+        std::fprintf(stderr,
+                     "campaign interrupted; progress saved to %s\n",
+                     flags.checkpoint.c_str());
+        return std::nullopt;
+    }
+    return std::move(result.data);
 }
 
 int
@@ -177,9 +283,14 @@ cmdSweep(const std::string &path, const std::string &app_name)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    CliFlags flags;
+    const auto args = parseFlags(argc, argv, flags);
+    if (args.empty())
         return usage();
-    const std::string cmd = argv[1];
+    if (args.front() == "--bad-flag")
+        return usage();
+    const std::string cmd = args.front();
+    const int nargs = static_cast<int>(args.size());
 
     try {
         if (cmd == "devices") {
@@ -197,58 +308,76 @@ main(int argc, char **argv)
             }
             return 0;
         }
-        if (cmd == "campaign" && argc == 4) {
-            const auto kind = parseDevice(argv[2]);
+        if (cmd == "campaign" && nargs == 3) {
+            const auto kind = parseDevice(args[1]);
             if (!kind)
                 return usage();
-            model::saveTrainingData(runCampaign(*kind), argv[3]);
-            std::fprintf(stderr, "campaign written to %s\n", argv[3]);
+            if (flags.resilient) {
+                const auto data = runResilientCampaign(*kind, flags);
+                if (!data)
+                    return 3;
+                model::saveTrainingData(*data, args[2]);
+            } else {
+                model::saveTrainingData(runCampaign(*kind), args[2]);
+            }
+            std::fprintf(stderr, "campaign written to %s\n",
+                         args[2].c_str());
             return 0;
         }
-        if (cmd == "fit" && argc == 4) {
-            const auto data = model::loadTrainingData(argv[2]);
+        if (cmd == "fit" && nargs == 3) {
+            const auto data = model::loadTrainingData(args[1]);
             const auto fit = model::ModelEstimator().estimate(data);
             std::fprintf(stderr,
                          "fit: %d iterations, RMSE %.2f W\n",
                          fit.iterations, fit.rmse_w);
-            model::saveModel(fit.model, argv[3]);
-            std::fprintf(stderr, "model written to %s\n", argv[3]);
+            model::saveModel(fit.model, args[2]);
+            std::fprintf(stderr, "model written to %s\n",
+                         args[2].c_str());
             return 0;
         }
-        if (cmd == "train" && argc == 4) {
-            const auto kind = parseDevice(argv[2]);
+        if (cmd == "train" && nargs == 3) {
+            const auto kind = parseDevice(args[1]);
             if (!kind)
                 return usage();
-            const auto data = runCampaign(*kind);
-            const auto fit = model::ModelEstimator().estimate(data);
+            std::optional<model::TrainingData> data;
+            if (flags.resilient) {
+                data = runResilientCampaign(*kind, flags);
+                if (!data)
+                    return 3;
+            } else {
+                data = runCampaign(*kind);
+            }
+            const auto fit = model::ModelEstimator().estimate(*data);
             std::fprintf(stderr,
                          "fit: %d iterations, RMSE %.2f W\n",
                          fit.iterations, fit.rmse_w);
-            model::saveModel(fit.model, argv[3]);
-            std::fprintf(stderr, "model written to %s\n", argv[3]);
+            model::saveModel(fit.model, args[2]);
+            std::fprintf(stderr, "model written to %s\n",
+                         args[2].c_str());
             return 0;
         }
-        if (cmd == "info" && argc == 3)
-            return cmdInfo(argv[2]);
-        if (cmd == "predict" && (argc == 4 || argc == 6)) {
+        if (cmd == "info" && nargs == 2)
+            return cmdInfo(args[1]);
+        if (cmd == "predict" && (nargs == 3 || nargs == 5)) {
             std::optional<gpu::FreqConfig> cfg;
-            if (argc == 6)
-                cfg = gpu::FreqConfig{std::atoi(argv[4]),
-                                      std::atoi(argv[5])};
-            return cmdPredict(argv[2], argv[3], cfg);
+            if (nargs == 5)
+                cfg = gpu::FreqConfig{std::atoi(args[3].c_str()),
+                                      std::atoi(args[4].c_str())};
+            return cmdPredict(args[1], args[2], cfg);
         }
-        if (cmd == "sweep" && argc == 4)
-            return cmdSweep(argv[2], argv[3]);
-        if (cmd == "export-cuda" && argc == 3) {
-            std::ofstream out(argv[2]);
+        if (cmd == "sweep" && nargs == 3)
+            return cmdSweep(args[1], args[2]);
+        if (cmd == "export-cuda" && nargs == 2) {
+            std::ofstream out(args[1]);
             if (!out) {
-                std::fprintf(stderr, "cannot write %s\n", argv[2]);
+                std::fprintf(stderr, "cannot write %s\n",
+                             args[1].c_str());
                 return 1;
             }
             out << ubench::cudaSuiteSource();
             std::fprintf(stderr,
                          "microbenchmark suite written to %s\n",
-                         argv[2]);
+                         args[1].c_str());
             return 0;
         }
     } catch (const std::exception &e) {
