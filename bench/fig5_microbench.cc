@@ -23,7 +23,7 @@ main()
 
     auto fd = fitDevice(gpu::DeviceKind::GtxTitanX);
     const auto ref = fd.desc().referenceConfig();
-    const std::size_t ref_ci = fd.data.configIndex(ref);
+    const std::size_t ref_ci = fd.data.configIndex(ref).value();
     const auto suite = ubench::buildSuite();
 
     TextTable a({"Microbenchmark", "INT", "SP", "DP", "SF", "Shared",

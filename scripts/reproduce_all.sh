@@ -18,13 +18,17 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
     cmake --build build-asan --target \
         core_test_metrics core_test_power_model core_test_estimator \
         core_test_campaign core_test_faults core_test_resilient \
-        core_test_model_io linalg_test_matrix linalg_test_lstsq \
-        linalg_test_isotonic
+        core_test_model_io core_test_validate linalg_test_matrix \
+        linalg_test_lstsq linalg_test_isotonic gpupm_fuzz_smoke
     for t in build-asan/tests/core_test_* build-asan/tests/linalg_test_*; do
         [ -f "$t" ] && [ -x "$t" ] || continue
         echo "== sanitize: $t"
         "$t"
     done
+    # Parser fuzz smoke under ASan+UBSan: corrupt artifacts must come
+    # back as typed errors, never as crashes or sanitizer findings.
+    echo "== sanitize: gpupm_fuzz_smoke"
+    build-asan/tools/gpupm_fuzz_smoke
 fi
 
 for b in build/bench/*; do

@@ -189,7 +189,10 @@ RefScalingModel::train(const model::TrainingData &data)
 {
     RefScalingModel m;
     m.reference_ = data.reference;
-    const std::size_t ref_ci = data.configIndex(data.reference);
+    const auto ref_lookup = data.configIndex(data.reference);
+    GPUPM_ASSERT(ref_lookup.has_value(),
+                 "reference configuration not in training data");
+    const std::size_t ref_ci = *ref_lookup;
 
     // P(cfg)/P(ref) = s + c * fc/fcr + m * fm/fmr over all
     // microbenchmarks and configs.

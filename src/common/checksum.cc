@@ -1,0 +1,70 @@
+#include "checksum.hh"
+
+#include <array>
+
+namespace gpupm
+{
+namespace checksum
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::string_view bytes)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (unsigned char b : bytes)
+        c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string
+crc32Hex(std::uint32_t crc)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(8, '0');
+    for (int i = 7; i >= 0; --i) {
+        s[i] = digits[crc & 0xFu];
+        crc >>= 4;
+    }
+    return s;
+}
+
+bool
+parseCrc32Hex(std::string_view hex, std::uint32_t &out)
+{
+    if (hex.size() != 8)
+        return false;
+    std::uint32_t v = 0;
+    for (char c : hex) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint32_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace checksum
+} // namespace gpupm

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) for file
+ * payload integrity. Model, campaign and checkpoint files carry the
+ * checksum of their payload in the envelope header so a bit-flipped
+ * or truncated artifact is rejected with a typed error instead of
+ * being parsed into silently-wrong training data or coefficients.
+ */
+
+#ifndef GPUPM_COMMON_CHECKSUM_HH
+#define GPUPM_COMMON_CHECKSUM_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gpupm
+{
+namespace checksum
+{
+
+/** CRC32 of a byte string (poly 0xEDB88320, init/final xor ~0). */
+std::uint32_t crc32(std::string_view bytes);
+
+/** Fixed-width lower-case hex form of a CRC32 ("8-hex-digit"). */
+std::string crc32Hex(std::uint32_t crc);
+
+/** Parse crc32Hex output. @return false on malformed input. */
+bool parseCrc32Hex(std::string_view hex, std::uint32_t &out);
+
+} // namespace checksum
+} // namespace gpupm
+
+#endif // GPUPM_COMMON_CHECKSUM_HH

@@ -1,0 +1,65 @@
+#include "numio.hh"
+
+#include <charconv>
+
+namespace gpupm
+{
+namespace numio
+{
+
+std::string
+formatDouble(double x)
+{
+    // 32 chars covers the longest shortest-round-trip double
+    // ("-2.2250738585072014e-308" is 24) with room to spare.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), x);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+formatLong(long x)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), x);
+    return std::string(buf, res.ptr);
+}
+
+namespace
+{
+
+template <typename T>
+bool
+parseWhole(std::string_view token, T &out)
+{
+    if (token.empty())
+        return false;
+    const auto res =
+            std::from_chars(token.data(), token.data() + token.size(),
+                            out);
+    return res.ec == std::errc() &&
+           res.ptr == token.data() + token.size();
+}
+
+} // namespace
+
+bool
+parseDouble(std::string_view token, double &out)
+{
+    return parseWhole(token, out);
+}
+
+bool
+parseLong(std::string_view token, long &out)
+{
+    return parseWhole(token, out);
+}
+
+bool
+parseU64(std::string_view token, std::uint64_t &out)
+{
+    return parseWhole(token, out);
+}
+
+} // namespace numio
+} // namespace gpupm

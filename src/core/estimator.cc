@@ -66,14 +66,24 @@ minimize1d(F f, double lo, double hi, int iters = 80)
 
 } // namespace
 
-std::size_t
+std::optional<std::size_t>
 TrainingData::configIndex(const gpu::FreqConfig &cfg) const
 {
     for (std::size_t i = 0; i < configs.size(); ++i)
         if (configs[i] == cfg)
             return i;
-    GPUPM_PANIC("configuration (", cfg.core_mhz, ", ", cfg.mem_mhz,
-                ") not in training data");
+    return std::nullopt;
+}
+
+std::string_view
+fitErrcName(FitErrc code)
+{
+    switch (code) {
+      case FitErrc::BadInput: return "BadInput";
+      case FitErrc::DegenerateGrid: return "DegenerateGrid";
+      case FitErrc::NumericalFailure: return "NumericalFailure";
+    }
+    return "Unknown";
 }
 
 ModelEstimator::ModelEstimator(EstimatorOptions opts) : opts_(opts)
@@ -102,7 +112,8 @@ ModelParams
 ModelEstimator::fitCoefficients(
         const TrainingData &data,
         const std::vector<VoltagePair> &voltages,
-        const std::vector<std::size_t> &config_subset) const
+        const std::vector<std::size_t> &config_subset,
+        linalg::LstsqDiagnostics *diag) const
 {
     const std::size_t nb = data.utils.size();
     Matrix a(nb * config_subset.size(), kNumFeatures);
@@ -137,6 +148,9 @@ ModelEstimator::fitCoefficients(
         }
     }
 
+    if (diag)
+        *diag = linalg::designDiagnostics(a);
+
     Vector x;
     if (opts_.nonnegative) {
         x = linalg::nnlsRidge(a, rhs, opts_.ridge);
@@ -160,7 +174,8 @@ ModelEstimator::fitCoefficients(
 std::vector<VoltagePair>
 ModelEstimator::fitVoltages(const TrainingData &data,
                             const ModelParams &params,
-                            const std::vector<VoltagePair> &start) const
+                            const std::vector<VoltagePair> &start,
+                            std::size_t ref_ci) const
 {
     const std::size_t nb = data.utils.size();
     const std::size_t nc = data.configs.size();
@@ -178,7 +193,6 @@ ModelEstimator::fitVoltages(const TrainingData &data,
                      data.utils[b][componentIndex(Component::Dram)];
     }
 
-    const std::size_t ref_ci = data.configIndex(data.reference);
     std::vector<VoltagePair> v(nc);
 
     for (std::size_t ci = 0; ci < nc; ++ci) {
@@ -292,19 +306,74 @@ ModelEstimator::sse(const TrainingData &data, const ModelParams &params,
     return s;
 }
 
-EstimationResult
-ModelEstimator::estimate(const TrainingData &data) const
+namespace
 {
-    GPUPM_ASSERT(!data.utils.empty(), "no training microbenchmarks");
-    GPUPM_ASSERT(data.power_w.size() == data.utils.size(),
-                 "power rows (", data.power_w.size(),
-                 ") != microbenchmarks (", data.utils.size(), ")");
+
+bool
+finiteParams(const ModelParams &p)
+{
+    if (!std::isfinite(p.beta0) || !std::isfinite(p.beta1) ||
+        !std::isfinite(p.beta2) || !std::isfinite(p.beta3))
+        return false;
+    for (double w : p.omega)
+        if (!std::isfinite(w))
+            return false;
+    return true;
+}
+
+bool
+finiteVoltages(const std::vector<VoltagePair> &v)
+{
+    for (const auto &p : v)
+        if (!std::isfinite(p.core) || !std::isfinite(p.mem))
+            return false;
+    return true;
+}
+
+/** BadInput checks on the raw training data. */
+std::optional<FitError>
+checkInput(const TrainingData &data)
+{
+    const auto bad = [](std::string msg) {
+        return FitError{FitErrc::BadInput, std::move(msg), {}, 0};
+    };
+    if (data.utils.empty())
+        return bad("no training microbenchmarks");
+    if (data.configs.empty())
+        return bad("no measured configurations");
+    if (data.power_w.size() != data.utils.size())
+        return bad(detail::concat("power rows (", data.power_w.size(),
+                                  ") != microbenchmarks (",
+                                  data.utils.size(), ")"));
     for (const auto &row : data.power_w)
-        GPUPM_ASSERT(row.size() == data.configs.size(),
-                     "power row size mismatch");
+        if (row.size() != data.configs.size())
+            return bad("power row size mismatch");
+    for (const auto &u : data.utils)
+        for (double x : u)
+            if (!std::isfinite(x))
+                return bad("non-finite utilization in training data");
+    for (const auto &row : data.power_w)
+        for (double p : row)
+            if (!std::isfinite(p))
+                return bad("non-finite power in training data");
+    if (!data.configIndex(data.reference))
+        return bad(detail::concat("reference configuration (",
+                                  data.reference.core_mhz, ", ",
+                                  data.reference.mem_mhz,
+                                  ") not in training data"));
+    return std::nullopt;
+}
+
+} // namespace
+
+FitResult
+ModelEstimator::tryEstimate(const TrainingData &data) const
+{
+    if (auto err = checkInput(data))
+        return *err;
 
     const std::size_t nc = data.configs.size();
-    const std::size_t ref_ci = data.configIndex(data.reference);
+    const std::size_t ref_ci = *data.configIndex(data.reference);
 
     // Step 1: initial coefficient fit on {F1, F2, F3} with V̄ = 1
     // (Eq. 11). F2 perturbs the core clock, F3 the memory clock.
@@ -326,31 +395,85 @@ ModelEstimator::estimate(const TrainingData &data) const
                c.mem_mhz != data.reference.mem_mhz;
     });
 
+    // Identifiability guardrails for the bilinear alternation: with
+    // more than one configuration but no axis-aligned perturbation of
+    // the reference, the Eq. 11 initialization cannot separate the
+    // coefficients from the voltages, and the alternation would
+    // polish garbage. Likewise when every row is idle: the dynamic
+    // coefficients and the voltages only appear as a product.
+    if (opts_.fit_voltages && nc >= 2) {
+        if (subset.size() < 2) {
+            return FitError{
+                FitErrc::DegenerateGrid,
+                "no configuration shares a clock domain with the "
+                "reference: the Eq. 11 initialization cannot identify "
+                "the bilinear voltage/coefficient system",
+                {},
+                0};
+        }
+        std::size_t active_rows = 0;
+        for (const auto &u : data.utils)
+            if (!isIdleRow(u))
+                ++active_rows;
+        if (active_rows < 2) {
+            return FitError{
+                FitErrc::DegenerateGrid,
+                detail::concat(
+                        "only ", active_rows,
+                        " non-idle microbenchmark row(s): the "
+                        "voltage/coefficient product is "
+                        "under-identified"),
+                {},
+                0};
+        }
+    }
+
     std::vector<VoltagePair> voltages(nc); // all (1, 1)
     ModelParams params = fitCoefficients(data, voltages, subset);
 
     EstimationResult res;
     res.sse_history.push_back(sse(data, params, voltages));
 
+    const auto numerical_failure = [&](const char *when) {
+        return FitError{FitErrc::NumericalFailure,
+                        detail::concat("non-finite values while ",
+                                       when, " (iteration ",
+                                       res.iterations, ")"),
+                        res.sse_history, res.iterations};
+    };
+    if (!finiteParams(params) ||
+        !std::isfinite(res.sse_history.back()))
+        return numerical_failure("initializing coefficients");
+
     // All-config index list for step 3.
     std::vector<std::size_t> all(nc);
     for (std::size_t i = 0; i < nc; ++i)
         all[i] = i;
 
+    linalg::LstsqDiagnostics diag;
     if (!opts_.fit_voltages) {
         // Ablation: single step-3 pass with V̄ ≡ 1.
-        params = fitCoefficients(data, voltages, all);
+        params = fitCoefficients(data, voltages, all, &diag);
         res.sse_history.push_back(sse(data, params, voltages));
         res.iterations = 1;
         res.converged = true;
+        if (!finiteParams(params) ||
+            !std::isfinite(res.sse_history.back()))
+            return numerical_failure("fitting coefficients");
     } else {
         for (int it = 0; it < opts_.max_iterations; ++it) {
             // Step 2: voltages given coefficients.
-            voltages = fitVoltages(data, params, voltages);
+            voltages = fitVoltages(data, params, voltages, ref_ci);
+            if (!finiteVoltages(voltages))
+                return numerical_failure("fitting voltages");
             // Step 3: coefficients given voltages, all configs.
-            params = fitCoefficients(data, voltages, all);
+            params = fitCoefficients(data, voltages, all, &diag);
+            if (!finiteParams(params))
+                return numerical_failure("fitting coefficients");
 
             const double s = sse(data, params, voltages);
+            if (!std::isfinite(s))
+                return numerical_failure("evaluating the fit");
             const double prev = res.sse_history.back();
             res.sse_history.push_back(s);
             res.iterations = it + 1;
@@ -363,6 +486,8 @@ ModelEstimator::estimate(const TrainingData &data) const
             }
         }
     }
+    res.condition_number = diag.condition;
+    res.design_rank = diag.rank;
 
     res.model = DvfsPowerModel(data.device, data.reference, params);
     for (std::size_t ci = 0; ci < nc; ++ci)
@@ -372,6 +497,18 @@ ModelEstimator::estimate(const TrainingData &data) const
                      static_cast<double>(nc);
     res.rmse_w = std::sqrt(res.sse_history.back() / n);
     return res;
+}
+
+EstimationResult
+ModelEstimator::estimate(const TrainingData &data) const
+{
+    auto res = tryEstimate(data);
+    if (!res.ok()) {
+        GPUPM_PANIC("model estimation failed [",
+                    fitErrcName(res.error().code), "]: ",
+                    res.error().message);
+    }
+    return res.value();
 }
 
 } // namespace model

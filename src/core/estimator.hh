@@ -25,10 +25,15 @@
 #ifndef GPUPM_CORE_ESTIMATOR_HH
 #define GPUPM_CORE_ESTIMATOR_HH
 
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/power_model.hh"
+#include "core/resilient.hh"
 #include "gpu/device.hh"
+#include "linalg/lstsq.hh"
 
 namespace gpupm
 {
@@ -47,8 +52,9 @@ struct TrainingData
     /** Measured power, power[b][c] for microbenchmark b, config c. */
     std::vector<std::vector<double>> power_w;
 
-    /** Index of a configuration in configs (fatal when absent). */
-    std::size_t configIndex(const gpu::FreqConfig &cfg) const;
+    /** Index of a configuration in configs; nullopt when absent. */
+    std::optional<std::size_t>
+    configIndex(const gpu::FreqConfig &cfg) const;
 };
 
 /** Estimation options (defaults reproduce the paper's setup). */
@@ -82,6 +88,31 @@ struct EstimatorOptions
     double idle_row_weight = 8.0;
 };
 
+/**
+ * Failure taxonomy of the estimator. Only conditions where no sane
+ * model exists are errors; plain non-convergence within the iteration
+ * budget is reported in EstimationResult, not here.
+ */
+enum class FitErrc
+{
+    BadInput,         ///< malformed or non-finite training data
+    DegenerateGrid,   ///< V-F grid cannot identify the bilinear system
+    NumericalFailure, ///< NaN/Inf appeared while iterating
+};
+
+/** Display name of a fit error code. */
+std::string_view fitErrcName(FitErrc code);
+
+/** Typed failure description of a fit, with the iteration trace. */
+struct FitError
+{
+    FitErrc code = FitErrc::BadInput;
+    std::string message;
+    /** SSE per completed iteration up to the failure point. */
+    std::vector<double> sse_history;
+    int iterations = 0;
+};
+
 /** Estimation outcome. */
 struct EstimationResult
 {
@@ -90,7 +121,18 @@ struct EstimationResult
     bool converged = false;
     double rmse_w = 0.0;         ///< final fit RMSE over all samples
     std::vector<double> sse_history;
+    /**
+     * Numerical-conditioning diagnostics of the final coefficient
+     * design matrix (normal-equation conditioning is the square of
+     * this): pivot-ratio condition estimate and effective rank from
+     * the column-pivoted QR.
+     */
+    double condition_number = 0.0;
+    std::size_t design_rank = 0;
 };
+
+/** Value-or-typed-error result of a fit. */
+using FitResult = Expected<EstimationResult, FitError>;
 
 /** The iterative heuristic estimator. */
 class ModelEstimator
@@ -98,7 +140,15 @@ class ModelEstimator
   public:
     explicit ModelEstimator(EstimatorOptions opts = {});
 
-    /** Run the full Sec. III-D algorithm. */
+    /**
+     * Run the full Sec. III-D algorithm with typed error
+     * propagation: malformed data, a grid too sparse to identify the
+     * bilinear system, or a numerical breakdown mid-iteration all
+     * come back as FitError — never as garbage coefficients.
+     */
+    FitResult tryEstimate(const TrainingData &data) const;
+
+    /** tryEstimate, throwing on error (legacy convenience). */
     EstimationResult estimate(const TrainingData &data) const;
 
   private:
@@ -106,13 +156,15 @@ class ModelEstimator
     ModelParams fitCoefficients(
             const TrainingData &data,
             const std::vector<VoltagePair> &voltages,
-            const std::vector<std::size_t> &config_subset) const;
+            const std::vector<std::size_t> &config_subset,
+            linalg::LstsqDiagnostics *diag = nullptr) const;
 
     /** Step 2: per-configuration voltage fit + monotonic projection,
      *  warm-started from the previous iterate. */
     std::vector<VoltagePair> fitVoltages(
             const TrainingData &data, const ModelParams &params,
-            const std::vector<VoltagePair> &start) const;
+            const std::vector<VoltagePair> &start,
+            std::size_t ref_ci) const;
 
     /** Total squared error of a (params, voltages) pair. */
     double sse(const TrainingData &data, const ModelParams &params,

@@ -1,145 +1,415 @@
 #include "model_io.hh"
 
-#include <cstdio>
-#include <cstdlib>
+#include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
-#include <iomanip>
 #include <map>
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include "common/checksum.hh"
 #include "common/logging.hh"
+#include "common/numio.hh"
+#include "core/validate.hh"
 
 namespace gpupm
 {
 namespace model
 {
 
+std::string_view
+ioErrcName(IoErrc code)
+{
+    switch (code) {
+      case IoErrc::IoError: return "io-error";
+      case IoErrc::ParseError: return "parse-error";
+      case IoErrc::VersionMismatch: return "version-mismatch";
+      case IoErrc::ChecksumMismatch: return "checksum-mismatch";
+      case IoErrc::ValidationError: return "validation-error";
+    }
+    return "unknown";
+}
+
+std::string_view
+fileKindName(FileKind kind)
+{
+    switch (kind) {
+      case FileKind::Model: return "model";
+      case FileKind::Campaign: return "campaign";
+      case FileKind::Checkpoint: return "checkpoint";
+    }
+    return "unknown";
+}
+
 namespace
 {
 
-std::string
-readFile(const std::string &path)
+/**
+ * Internal unwinding channel of the parsers: parsing is deeply
+ * recursive and almost every step can fail, so the failure travels as
+ * an exception and is converted to an IoExpected error exactly once,
+ * at the try* boundary. It never escapes this translation unit.
+ */
+struct ParseFail
 {
-    std::ifstream in(path);
-    GPUPM_FATAL_IF(!in, "cannot open '", path, "' for reading");
+    IoStatus status;
+};
+
+template <typename... Args>
+[[noreturn]] void
+failParse(IoErrc code, Args &&...args)
+{
+    throw ParseFail{
+        {code, detail::concat(std::forward<Args>(args)...)}};
+}
+
+/**
+ * Upper bound on any count declared inside a file. Honest artifacts
+ * are far below it (83 benchmarks, a few hundred V-F configurations);
+ * a fuzzed size field must not be able to drive allocation.
+ */
+constexpr std::size_t kMaxCount = 100000;
+/** Upper bound on benchmarks x configurations cells. */
+constexpr std::size_t kMaxCells = 10000000;
+
+/** Whitespace-token scanner for the text payloads. */
+class TokenScanner
+{
+  public:
+    explicit TokenScanner(const std::string &text) : text_(text) {}
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+    std::string_view
+    next(const char *what)
+    {
+        skipSpace();
+        if (pos_ == text_.size())
+            failParse(IoErrc::ParseError,
+                      "unexpected end of input while reading ", what);
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && !isSpace(text_[pos_]))
+            ++pos_;
+        return std::string_view(text_).substr(start, pos_ - start);
+    }
+
+    void
+    expect(std::string_view word)
+    {
+        const auto tok = next(
+                detail::concat("keyword '", word, "'").c_str());
+        if (tok != word)
+            failParse(IoErrc::ParseError, "expected '", word,
+                      "', got '", tok, "'");
+    }
+
+    /** A finite double ("nan"/"inf" tokens are a parse error). */
+    double
+    number(const char *what)
+    {
+        const auto tok = next(what);
+        double v = 0.0;
+        if (!numio::parseDouble(tok, v) || !std::isfinite(v))
+            failParse(IoErrc::ParseError,
+                      "bad or non-finite number for ", what, ": '",
+                      tok, "'");
+        return v;
+    }
+
+    long
+    integer(const char *what)
+    {
+        const auto tok = next(what);
+        long v = 0;
+        if (!numio::parseLong(tok, v))
+            failParse(IoErrc::ParseError, "bad integer for ", what,
+                      ": '", tok, "'");
+        return v;
+    }
+
+    int
+    intValue(const char *what)
+    {
+        const long v = integer(what);
+        if (v < -2147483647L || v > 2147483647L)
+            failParse(IoErrc::ParseError, what, " out of range: ", v);
+        return static_cast<int>(v);
+    }
+
+    /** A declared element count, bounded so it cannot drive OOM. */
+    std::size_t
+    count(const char *what, std::size_t max = kMaxCount)
+    {
+        const long v = integer(what);
+        if (v < 0 || static_cast<std::size_t>(v) > max)
+            failParse(IoErrc::ParseError, "implausible ", what, ": ",
+                      v);
+        return static_cast<std::size_t>(v);
+    }
+
+  private:
+    static bool
+    isSpace(char c)
+    {
+        return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() && isSpace(text_[pos_]))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+gpu::DeviceKind
+deviceKindOf(long kind)
+{
+    if (kind < 0 || kind > 2)
+        failParse(IoErrc::ParseError, "bad device kind ", kind);
+    return static_cast<gpu::DeviceKind>(kind);
+}
+
+// -- v2 envelope -----------------------------------------------------
+
+constexpr std::string_view kEnvelopeMagic = "gpupm-file";
+
+struct Envelope
+{
+    FileKind kind = FileKind::Model;
+    std::string payload;
+};
+
+bool
+hasEnvelope(const std::string &text)
+{
+    return text.rfind(kEnvelopeMagic, 0) == 0;
+}
+
+FileKind
+fileKindOf(std::string_view token)
+{
+    for (FileKind k : {FileKind::Model, FileKind::Campaign,
+                       FileKind::Checkpoint})
+        if (token == fileKindName(k))
+            return k;
+    failParse(IoErrc::ParseError, "unknown artifact kind '", token,
+              "' in envelope");
+}
+
+/**
+ * Verify and strip the envelope, in trust order: kind, version,
+ * declared payload size (truncation), checksum (corruption). Only
+ * then does the payload reach a parser.
+ */
+Envelope
+unwrapEnvelope(const std::string &text)
+{
+    const std::size_t eol = text.find('\n');
+    if (eol == std::string::npos)
+        failParse(IoErrc::ParseError,
+                  "envelope header line is not terminated");
+    const std::string header = text.substr(0, eol);
+
+    TokenScanner s(header);
+    s.expect(kEnvelopeMagic);
+    Envelope env;
+    env.kind = fileKindOf(s.next("artifact kind"));
+    const auto version = s.next("format version");
+    if (version != "v2")
+        failParse(IoErrc::VersionMismatch, "unsupported ",
+                  fileKindName(env.kind), " file version '", version,
+                  "' (this build reads v2 and legacy v0)");
+    s.expect("crc32");
+    std::uint32_t declared_crc = 0;
+    const auto crc_tok = s.next("crc32 value");
+    if (!checksum::parseCrc32Hex(crc_tok, declared_crc))
+        failParse(IoErrc::ParseError, "bad crc32 field '", crc_tok,
+                  "'");
+    s.expect("bytes");
+    const long declared_bytes = s.integer("payload size");
+    if (!s.atEnd())
+        failParse(IoErrc::ParseError,
+                  "trailing tokens in envelope header");
+
+    env.payload = text.substr(eol + 1);
+    if (declared_bytes < 0 ||
+        static_cast<std::size_t>(declared_bytes) != env.payload.size())
+        failParse(IoErrc::ParseError, "envelope declares ",
+                  declared_bytes, " payload bytes but ",
+                  env.payload.size(), " are present (truncated or "
+                  "trailing data)");
+
+    const std::uint32_t actual_crc = checksum::crc32(env.payload);
+    if (actual_crc != declared_crc)
+        failParse(IoErrc::ChecksumMismatch, "payload crc32 ",
+                  checksum::crc32Hex(actual_crc),
+                  " does not match declared ",
+                  checksum::crc32Hex(declared_crc));
+    return env;
+}
+
+// -- File access -----------------------------------------------------
+
+IoExpected<std::string>
+tryReadFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return IoStatus{IoErrc::IoError,
+                        detail::concat("cannot open '", path,
+                                       "' for reading")};
     std::ostringstream os;
     os << in.rdbuf();
+    if (in.bad())
+        return IoStatus{IoErrc::IoError,
+                        detail::concat("read from '", path,
+                                       "' failed")};
     return os.str();
 }
 
-void
-writeFile(const std::string &path, const std::string &text)
+IoExpected<bool>
+tryWriteFile(const std::string &path, const std::string &text)
 {
-    std::ofstream out(path);
-    GPUPM_FATAL_IF(!out, "cannot open '", path, "' for writing");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return IoStatus{IoErrc::IoError,
+                        detail::concat("cannot open '", path,
+                                       "' for writing")};
     out << text;
-    GPUPM_FATAL_IF(!out, "write to '", path, "' failed");
+    out.flush();
+    if (!out)
+        return IoStatus{IoErrc::IoError,
+                        detail::concat("write to '", path,
+                                       "' failed")};
+    return true;
 }
 
-} // namespace
-
-void
-saveModel(const DvfsPowerModel &model, const std::string &path)
-{
-    writeFile(path, model.serialize());
-}
+// -- Model payload ---------------------------------------------------
 
 DvfsPowerModel
-loadModel(const std::string &path)
+parseModelPayload(const std::string &payload)
 {
-    return DvfsPowerModel::deserialize(readFile(path));
+    TokenScanner s(payload);
+    s.expect("gpupm-model");
+    const auto version = s.next("model payload version");
+    if (version != "v1")
+        failParse(IoErrc::VersionMismatch,
+                  "unsupported model payload version '", version,
+                  "'");
+
+    s.expect("device");
+    const gpu::DeviceKind kind =
+            deviceKindOf(s.integer("device kind"));
+
+    s.expect("reference");
+    gpu::FreqConfig ref;
+    ref.core_mhz = s.intValue("reference core MHz");
+    ref.mem_mhz = s.intValue("reference memory MHz");
+
+    s.expect("beta");
+    ModelParams p;
+    p.beta0 = s.number("beta0");
+    p.beta1 = s.number("beta1");
+    p.beta2 = s.number("beta2");
+    p.beta3 = s.number("beta3");
+
+    s.expect("omega");
+    for (double &w : p.omega)
+        w = s.number("omega coefficient");
+
+    s.expect("voltages");
+    const std::size_t n = s.count("voltage pair count");
+    DvfsPowerModel m(kind, ref, p);
+    for (std::size_t i = 0; i < n; ++i) {
+        gpu::FreqConfig cfg;
+        cfg.core_mhz = s.intValue("voltage-table core MHz");
+        cfg.mem_mhz = s.intValue("voltage-table memory MHz");
+        VoltagePair v;
+        v.core = s.number("core voltage");
+        v.mem = s.number("memory voltage");
+        if (v.core <= 0.0 || v.mem <= 0.0)
+            failParse(IoErrc::ParseError,
+                      "non-positive voltage at (", cfg.core_mhz,
+                      ", ", cfg.mem_mhz, ") MHz");
+        m.setVoltages(cfg, v);
+    }
+    if (!s.atEnd())
+        failParse(IoErrc::ParseError,
+                  "trailing content after the voltage table");
+    return m;
 }
 
-std::string
-serializeTrainingData(const TrainingData &data)
-{
-    std::ostringstream os;
-    os.precision(12);
-    os << "gpupm-campaign v1\n";
-    os << "device " << static_cast<int>(data.device) << "\n";
-    os << "reference " << data.reference.core_mhz << " "
-       << data.reference.mem_mhz << "\n";
-    os << "configs " << data.configs.size() << "\n";
-    for (const auto &cfg : data.configs)
-        os << cfg.core_mhz << " " << cfg.mem_mhz << "\n";
-    os << "benchmarks " << data.utils.size() << "\n";
-    for (std::size_t b = 0; b < data.utils.size(); ++b) {
-        for (double u : data.utils[b])
-            os << u << " ";
-        os << "\n";
-        for (double p : data.power_w[b])
-            os << p << " ";
-        os << "\n";
-    }
-    return os.str();
-}
+// -- Campaign payload ------------------------------------------------
 
 TrainingData
-deserializeTrainingData(const std::string &text)
+parseCampaignPayload(const std::string &payload)
 {
-    std::istringstream is(text);
-    std::string tag, version;
-    is >> tag >> version;
-    GPUPM_FATAL_IF(tag != "gpupm-campaign" || version != "v1",
-                   "not a gpupm campaign file");
+    TokenScanner s(payload);
+    s.expect("gpupm-campaign");
+    const auto version = s.next("campaign payload version");
+    if (version != "v1")
+        failParse(IoErrc::VersionMismatch,
+                  "unsupported campaign payload version '", version,
+                  "'");
 
     TrainingData data;
-    int kind = 0;
-    is >> tag >> kind;
-    GPUPM_FATAL_IF(tag != "device", "expected 'device'");
-    GPUPM_FATAL_IF(kind < 0 || kind > 2, "bad device kind ", kind);
-    data.device = static_cast<gpu::DeviceKind>(kind);
+    s.expect("device");
+    data.device = deviceKindOf(s.integer("device kind"));
 
-    is >> tag >> data.reference.core_mhz >> data.reference.mem_mhz;
-    GPUPM_FATAL_IF(tag != "reference", "expected 'reference'");
+    s.expect("reference");
+    data.reference.core_mhz = s.intValue("reference core MHz");
+    data.reference.mem_mhz = s.intValue("reference memory MHz");
 
-    std::size_t nc = 0;
-    is >> tag >> nc;
-    GPUPM_FATAL_IF(tag != "configs", "expected 'configs'");
+    s.expect("configs");
+    const std::size_t nc = s.count("configuration count");
     data.configs.resize(nc);
-    for (auto &cfg : data.configs)
-        is >> cfg.core_mhz >> cfg.mem_mhz;
+    for (auto &cfg : data.configs) {
+        cfg.core_mhz = s.intValue("config core MHz");
+        cfg.mem_mhz = s.intValue("config memory MHz");
+    }
 
-    std::size_t nb = 0;
-    is >> tag >> nb;
-    GPUPM_FATAL_IF(tag != "benchmarks", "expected 'benchmarks'");
+    s.expect("benchmarks");
+    const std::size_t nb = s.count("benchmark count");
+    if (nb != 0 && nc > kMaxCells / nb)
+        failParse(IoErrc::ParseError, "implausible campaign size: ",
+                  nb, " benchmarks x ", nc, " configurations");
     data.utils.resize(nb);
     data.power_w.assign(nb, std::vector<double>(nc));
     for (std::size_t b = 0; b < nb; ++b) {
         for (double &u : data.utils[b])
-            is >> u;
+            u = s.number("utilization");
         for (double &p : data.power_w[b])
-            is >> p;
+            p = s.number("power sample");
     }
-    GPUPM_FATAL_IF(is.fail(), "truncated campaign file");
+    if (!s.atEnd())
+        failParse(IoErrc::ParseError,
+                  "trailing content after the benchmark rows");
     return data;
-}
-
-void
-saveTrainingData(const TrainingData &data, const std::string &path)
-{
-    writeFile(path, serializeTrainingData(data));
-}
-
-TrainingData
-loadTrainingData(const std::string &path)
-{
-    return deserializeTrainingData(readFile(path));
 }
 
 // ---------------------------------------------------------------------
 // Campaign checkpoints: JSON, hand-rolled (no external dependencies).
 // The writer emits a fixed schema; the reader is a small
 // recursive-descent parser over general JSON, so checkpoints stay
-// readable by standard tooling (jq, python) and edits by such tooling
-// stay readable by us.
+// readable by standard tooling (`tail -n +2 ck | jq .`) and edits by
+// such tooling stay readable by us.
 // ---------------------------------------------------------------------
 
 namespace json
 {
 
-/** One parsed JSON value (taggged union over the JSON types). */
+/** One parsed JSON value (tagged union over the JSON types). */
 struct Value
 {
     enum class Type { Null, Bool, Number, String, Array, Object };
@@ -154,47 +424,56 @@ struct Value
     const Value &
     at(const std::string &field) const
     {
-        GPUPM_FATAL_IF(type != Type::Object,
-                       "checkpoint: expected object around '", field,
-                       "'");
+        if (type != Type::Object)
+            failParse(IoErrc::ParseError,
+                      "checkpoint: expected object around '", field,
+                      "'");
         auto it = object.find(field);
-        GPUPM_FATAL_IF(it == object.end(),
-                       "checkpoint: missing field '", field, "'");
+        if (it == object.end())
+            failParse(IoErrc::ParseError,
+                      "checkpoint: missing field '", field, "'");
         return it->second;
     }
 
     double
     num() const
     {
-        GPUPM_FATAL_IF(type != Type::Number,
-                       "checkpoint: expected a number");
+        if (type != Type::Number)
+            failParse(IoErrc::ParseError,
+                      "checkpoint: expected a number");
         return number;
     }
 
     long
     integer() const
     {
-        return static_cast<long>(num());
+        const double d = num();
+        if (!(d >= -9.2e18 && d <= 9.2e18))
+            failParse(IoErrc::ParseError,
+                      "checkpoint: integer field out of range");
+        return static_cast<long>(d);
     }
 
     const std::string &
     str() const
     {
-        GPUPM_FATAL_IF(type != Type::String,
-                       "checkpoint: expected a string");
+        if (type != Type::String)
+            failParse(IoErrc::ParseError,
+                      "checkpoint: expected a string");
         return string;
     }
 
     const std::vector<Value> &
     arr() const
     {
-        GPUPM_FATAL_IF(type != Type::Array,
-                       "checkpoint: expected an array");
+        if (type != Type::Array)
+            failParse(IoErrc::ParseError,
+                      "checkpoint: expected an array");
         return array;
     }
 };
 
-/** Recursive-descent JSON parser (fatal on malformed input). */
+/** Recursive-descent JSON parser (throws ParseFail on bad input). */
 class Parser
 {
   public:
@@ -205,13 +484,17 @@ class Parser
     {
         Value v = parseValue();
         skipSpace();
-        GPUPM_FATAL_IF(pos_ != text_.size(),
-                       "checkpoint: trailing characters at offset ",
-                       pos_);
+        if (pos_ != text_.size())
+            failParse(IoErrc::ParseError,
+                      "checkpoint: trailing characters at offset ",
+                      pos_);
         return v;
     }
 
   private:
+    /** Fuzzed "[[[[[..." must not overflow the parser's stack. */
+    static constexpr int kMaxDepth = 64;
+
     void
     skipSpace()
     {
@@ -225,17 +508,19 @@ class Parser
     peek()
     {
         skipSpace();
-        GPUPM_FATAL_IF(pos_ >= text_.size(),
-                       "checkpoint: unexpected end of input");
+        if (pos_ >= text_.size())
+            failParse(IoErrc::ParseError,
+                      "checkpoint: unexpected end of input");
         return text_[pos_];
     }
 
     void
     expect(char c)
     {
-        GPUPM_FATAL_IF(peek() != c, "checkpoint: expected '", c,
-                       "' at offset ", pos_, ", got '", text_[pos_],
-                       "'");
+        if (peek() != c)
+            failParse(IoErrc::ParseError, "checkpoint: expected '",
+                      c, "' at offset ", pos_, ", got '",
+                      text_[pos_], "'");
         ++pos_;
     }
 
@@ -252,8 +537,9 @@ class Parser
     void
     expectWord(std::string_view word)
     {
-        GPUPM_FATAL_IF(text_.compare(pos_, word.size(), word) != 0,
-                       "checkpoint: bad literal at offset ", pos_);
+        if (text_.compare(pos_, word.size(), word) != 0)
+            failParse(IoErrc::ParseError,
+                      "checkpoint: bad literal at offset ", pos_);
         pos_ += word.size();
     }
 
@@ -263,14 +549,16 @@ class Parser
         expect('"');
         std::string s;
         while (true) {
-            GPUPM_FATAL_IF(pos_ >= text_.size(),
-                           "checkpoint: unterminated string");
+            if (pos_ >= text_.size())
+                failParse(IoErrc::ParseError,
+                          "checkpoint: unterminated string");
             const char c = text_[pos_++];
             if (c == '"')
                 return s;
             if (c == '\\') {
-                GPUPM_FATAL_IF(pos_ >= text_.size(),
-                               "checkpoint: unterminated escape");
+                if (pos_ >= text_.size())
+                    failParse(IoErrc::ParseError,
+                              "checkpoint: unterminated escape");
                 const char e = text_[pos_++];
                 switch (e) {
                   case '"': s += '"'; break;
@@ -280,8 +568,9 @@ class Parser
                   case 't': s += '\t'; break;
                   case 'r': s += '\r'; break;
                   default:
-                    GPUPM_FATAL("checkpoint: unsupported escape '\\",
-                                e, "'");
+                    failParse(IoErrc::ParseError,
+                              "checkpoint: unsupported escape '\\",
+                              e, "'");
                 }
             } else {
                 s += c;
@@ -289,9 +578,35 @@ class Parser
         }
     }
 
+    double
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '+' || c == '-' ||
+                c == '.' || c == 'e' || c == 'E')
+                ++pos_;
+            else
+                break;
+        }
+        const std::string_view tok =
+                std::string_view(text_).substr(start, pos_ - start);
+        double v = 0.0;
+        if (tok.empty() || !numio::parseDouble(tok, v) ||
+            !std::isfinite(v))
+            failParse(IoErrc::ParseError,
+                      "checkpoint: bad number at offset ", start);
+        return v;
+    }
+
     Value
     parseValue()
     {
+        if (++depth_ > kMaxDepth)
+            failParse(IoErrc::ParseError,
+                      "checkpoint: nesting deeper than ", kMaxDepth,
+                      " levels");
         const char c = peek();
         Value v;
         if (c == '{') {
@@ -329,24 +644,21 @@ class Parser
             expectWord("null");
         } else {
             v.type = Value::Type::Number;
-            char *end = nullptr;
-            v.number = std::strtod(text_.c_str() + pos_, &end);
-            GPUPM_FATAL_IF(end == text_.c_str() + pos_,
-                           "checkpoint: bad number at offset ", pos_);
-            pos_ = static_cast<std::size_t>(end - text_.c_str());
+            v.number = parseNumber();
         }
+        --depth_;
         return v;
     }
 
     const std::string &text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
-/** Emit a double at round-trip precision. */
 void
 putNumber(std::ostringstream &os, double x)
 {
-    os << std::setprecision(17) << x;
+    os << numio::formatDouble(x);
 }
 
 void
@@ -369,19 +681,376 @@ putString(std::ostringstream &os, const std::string &s)
 void
 putConfig(std::ostringstream &os, const gpu::FreqConfig &cfg)
 {
-    os << "[" << cfg.core_mhz << "," << cfg.mem_mhz << "]";
+    os << "[" << std::to_string(cfg.core_mhz) << ","
+       << std::to_string(cfg.mem_mhz) << "]";
 }
 
 gpu::FreqConfig
 configOf(const Value &v)
 {
-    GPUPM_FATAL_IF(v.arr().size() != 2,
-                   "checkpoint: a config is a [core, mem] pair");
-    return {static_cast<int>(v.arr()[0].num()),
-            static_cast<int>(v.arr()[1].num())};
+    if (v.arr().size() != 2)
+        failParse(IoErrc::ParseError,
+                  "checkpoint: a config is a [core, mem] pair");
+    const long core = v.arr()[0].integer();
+    const long mem = v.arr()[1].integer();
+    if (core < -2147483647L || core > 2147483647L ||
+        mem < -2147483647L || mem > 2147483647L)
+        failParse(IoErrc::ParseError,
+                  "checkpoint: clock value out of range");
+    return {static_cast<int>(core), static_cast<int>(mem)};
 }
 
 } // namespace json
+
+CampaignCheckpoint
+parseCheckpointPayload(const std::string &payload)
+{
+    const json::Value root = json::Parser(payload).parse();
+    if (root.at("format").str() != "gpupm-checkpoint" ||
+        root.at("version").integer() != 1)
+        failParse(IoErrc::VersionMismatch,
+                  "not a gpupm campaign checkpoint (or unsupported "
+                  "checkpoint schema version)");
+
+    CampaignCheckpoint ck;
+    const double seed = root.at("seed").num();
+    if (!(seed >= 0.0 && seed < 18446744073709551616.0))
+        failParse(IoErrc::ParseError, "checkpoint: bad seed");
+    ck.seed = static_cast<std::uint64_t>(seed);
+    ck.device = deviceKindOf(root.at("device").integer());
+    ck.reference = json::configOf(root.at("reference"));
+    if (root.at("configs").arr().size() > kMaxCount)
+        failParse(IoErrc::ParseError,
+                  "checkpoint: implausible configuration count");
+    for (const auto &v : root.at("configs").arr())
+        ck.configs.push_back(json::configOf(v));
+    for (const auto &v : root.at("benchmarks").arr())
+        ck.benchmark_names.push_back(v.str());
+
+    const std::size_t nb = ck.benchmark_names.size();
+    const std::size_t nc = ck.configs.size();
+    if (nb > kMaxCount || (nb != 0 && nc > kMaxCells / nb))
+        failParse(IoErrc::ParseError,
+                  "checkpoint: implausible campaign size");
+
+    for (const auto &v : root.at("utils_done").arr())
+        ck.utils_done.push_back(v.num() != 0.0 ? 1 : 0);
+    if (ck.utils_done.size() != nb)
+        failParse(IoErrc::ParseError,
+                  "checkpoint: utils_done size mismatch");
+
+    for (const auto &row : root.at("utils").arr()) {
+        if (row.arr().size() != gpu::kNumComponents)
+            failParse(IoErrc::ParseError,
+                      "checkpoint: bad utilization row");
+        gpu::ComponentArray u{};
+        for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+            u[i] = row.arr()[i].num();
+        ck.utils.push_back(u);
+    }
+    if (ck.utils.size() != nb)
+        failParse(IoErrc::ParseError,
+                  "checkpoint: utils size mismatch");
+
+    for (const auto &row : root.at("power_done").arr()) {
+        std::vector<char> flags;
+        for (const auto &v : row.arr())
+            flags.push_back(v.num() != 0.0 ? 1 : 0);
+        if (flags.size() != nc)
+            failParse(IoErrc::ParseError,
+                      "checkpoint: power_done row size mismatch");
+        ck.power_done.push_back(std::move(flags));
+    }
+    if (ck.power_done.size() != nb)
+        failParse(IoErrc::ParseError,
+                  "checkpoint: power_done size mismatch");
+
+    for (const auto &row : root.at("power_w").arr()) {
+        std::vector<double> vals;
+        for (const auto &v : row.arr())
+            vals.push_back(v.num());
+        if (vals.size() != nc)
+            failParse(IoErrc::ParseError,
+                      "checkpoint: power row size mismatch");
+        ck.power_w.push_back(std::move(vals));
+    }
+    if (ck.power_w.size() != nb)
+        failParse(IoErrc::ParseError,
+                  "checkpoint: power size mismatch");
+
+    const json::Value &r = root.at("report");
+    ck.report.cells_total = r.at("cells_total").integer();
+    ck.report.cells_done = r.at("cells_done").integer();
+    ck.report.cells_resumed = r.at("cells_resumed").integer();
+    ck.report.cells_failed = r.at("cells_failed").integer();
+    ck.report.faults_injected = r.at("faults_injected").integer();
+    ck.report.totals.attempts = r.at("attempts").integer();
+    ck.report.totals.retries = r.at("retries").integer();
+    ck.report.totals.timeouts = r.at("timeouts").integer();
+    ck.report.totals.call_failures = r.at("call_failures").integer();
+    ck.report.totals.corrupt_samples =
+            r.at("corrupt_samples").integer();
+    ck.report.totals.outliers_rejected =
+            r.at("outliers_rejected").integer();
+    ck.report.totals.quarantined_calls =
+            r.at("quarantined_calls").integer();
+    ck.report.totals.backoff_total_s = r.at("backoff_total_s").num();
+    for (const auto &v : r.at("quarantined").arr())
+        ck.report.quarantined.push_back(json::configOf(v));
+    for (const auto &v : r.at("benchmark_reports").arr()) {
+        BenchmarkReport br;
+        br.name = v.at("name").str();
+        br.retries = v.at("retries").integer();
+        br.call_failures = v.at("call_failures").integer();
+        br.timeouts = v.at("timeouts").integer();
+        br.outliers_rejected = v.at("outliers_rejected").integer();
+        br.corrupt_samples = v.at("corrupt_samples").integer();
+        br.faults_injected = v.at("faults_injected").integer();
+        ck.report.benchmarks.push_back(std::move(br));
+    }
+    if (ck.report.benchmarks.size() != nb)
+        failParse(IoErrc::ParseError,
+                  "checkpoint: benchmark report size mismatch");
+    return ck;
+}
+
+// -- Shared load policy ----------------------------------------------
+
+/**
+ * The one place the loading policy lives: unwrap (or accept legacy),
+ * parse, optionally validate, and convert the internal unwinding
+ * channel into a typed result.
+ */
+template <typename T>
+IoExpected<T>
+parseWithPolicy(const std::string &text, FileKind want,
+                const LoadOptions &opts,
+                T (*parse_payload)(const std::string &),
+                ValidationReport (*validate)(const T &))
+{
+    try {
+        std::string payload;
+        if (hasEnvelope(text)) {
+            Envelope env = unwrapEnvelope(text);
+            if (env.kind != want)
+                failParse(IoErrc::ParseError, "file holds a ",
+                          fileKindName(env.kind), ", expected a ",
+                          fileKindName(want));
+            payload = std::move(env.payload);
+        } else {
+            if (!opts.allow_legacy)
+                failParse(IoErrc::VersionMismatch,
+                          "legacy (pre-envelope) ",
+                          fileKindName(want),
+                          " file: no version or checksum to verify");
+            payload = text;
+        }
+        T value = parse_payload(payload);
+        if (opts.validate) {
+            const ValidationReport report = validate(value);
+            if (!report.ok())
+                failParse(IoErrc::ValidationError, report.summary());
+        }
+        return value;
+    } catch (const ParseFail &f) {
+        return f.status;
+    } catch (const std::exception &e) {
+        // A parser slipping through on hostile input (e.g. an assert
+        // in a constructor) still surfaces as a typed error, never as
+        // an aborted process.
+        return IoStatus{IoErrc::ParseError, e.what()};
+    }
+}
+
+template <typename T>
+IoExpected<T>
+loadWithPolicy(const std::string &path, FileKind want,
+               const LoadOptions &opts,
+               T (*parse_payload)(const std::string &),
+               ValidationReport (*validate)(const T &))
+{
+    auto text = tryReadFile(path);
+    if (!text.ok())
+        return text.error();
+    auto res = parseWithPolicy<T>(text.value(), want, opts,
+                                  parse_payload, validate);
+    if (!res.ok())
+        return IoStatus{res.error().code,
+                        detail::concat("'", path, "': ",
+                                       res.error().message)};
+    return res;
+}
+
+} // namespace
+
+std::string
+wrapEnvelope(FileKind kind, const std::string &payload)
+{
+    std::string out(kEnvelopeMagic);
+    out += " ";
+    out += fileKindName(kind);
+    out += " v2 crc32 ";
+    out += checksum::crc32Hex(checksum::crc32(payload));
+    out += " bytes ";
+    out += std::to_string(payload.size());
+    out += "\n";
+    out += payload;
+    return out;
+}
+
+IoExpected<FileKind>
+detectFileKind(const std::string &text)
+{
+    try {
+        if (hasEnvelope(text)) {
+            const std::size_t eol = text.find('\n');
+            const std::string header =
+                    eol == std::string::npos ? text
+                                             : text.substr(0, eol);
+            TokenScanner s(header);
+            s.expect(kEnvelopeMagic);
+            return fileKindOf(s.next("artifact kind"));
+        }
+        if (text.rfind("gpupm-model", 0) == 0)
+            return FileKind::Model;
+        if (text.rfind("gpupm-campaign", 0) == 0)
+            return FileKind::Campaign;
+        const std::size_t first =
+                text.find_first_not_of(" \t\r\n");
+        if (first != std::string::npos && text[first] == '{')
+            return FileKind::Checkpoint;
+        failParse(IoErrc::ParseError,
+                  "unrecognized file content (neither a v2 envelope "
+                  "nor a legacy gpupm artifact)");
+    } catch (const ParseFail &f) {
+        return f.status;
+    }
+}
+
+// -- Models ----------------------------------------------------------
+
+std::string
+serializeModel(const DvfsPowerModel &model)
+{
+    return wrapEnvelope(FileKind::Model, model.serialize());
+}
+
+IoExpected<DvfsPowerModel>
+tryParseModel(const std::string &text, const LoadOptions &opts)
+{
+    return parseWithPolicy<DvfsPowerModel>(
+            text, FileKind::Model, opts, parseModelPayload,
+            validateModel);
+}
+
+IoExpected<DvfsPowerModel>
+tryLoadModel(const std::string &path, const LoadOptions &opts)
+{
+    return loadWithPolicy<DvfsPowerModel>(
+            path, FileKind::Model, opts, parseModelPayload,
+            validateModel);
+}
+
+IoExpected<bool>
+trySaveModel(const DvfsPowerModel &model, const std::string &path)
+{
+    return tryWriteFile(path, serializeModel(model));
+}
+
+void
+saveModel(const DvfsPowerModel &model, const std::string &path)
+{
+    const auto res = trySaveModel(model, path);
+    GPUPM_FATAL_IF(!res.ok(), res.error().message);
+}
+
+DvfsPowerModel
+loadModel(const std::string &path)
+{
+    auto res = tryLoadModel(path);
+    GPUPM_FATAL_IF(!res.ok(), "cannot load model [",
+                   ioErrcName(res.error().code), "]: ",
+                   res.error().message);
+    return res.value();
+}
+
+// -- Training campaigns ----------------------------------------------
+
+std::string
+serializeTrainingData(const TrainingData &data)
+{
+    std::ostringstream os;
+    os << "gpupm-campaign v1\n";
+    os << "device " << std::to_string(static_cast<int>(data.device))
+       << "\n";
+    os << "reference " << std::to_string(data.reference.core_mhz)
+       << " " << std::to_string(data.reference.mem_mhz) << "\n";
+    os << "configs " << std::to_string(data.configs.size()) << "\n";
+    for (const auto &cfg : data.configs)
+        os << std::to_string(cfg.core_mhz) << " "
+           << std::to_string(cfg.mem_mhz) << "\n";
+    os << "benchmarks " << std::to_string(data.utils.size()) << "\n";
+    for (std::size_t b = 0; b < data.utils.size(); ++b) {
+        for (double u : data.utils[b])
+            os << numio::formatDouble(u) << " ";
+        os << "\n";
+        for (double p : data.power_w[b])
+            os << numio::formatDouble(p) << " ";
+        os << "\n";
+    }
+    return wrapEnvelope(FileKind::Campaign, os.str());
+}
+
+IoExpected<TrainingData>
+tryParseTrainingData(const std::string &text, const LoadOptions &opts)
+{
+    return parseWithPolicy<TrainingData>(
+            text, FileKind::Campaign, opts, parseCampaignPayload,
+            validateTrainingData);
+}
+
+IoExpected<TrainingData>
+tryLoadTrainingData(const std::string &path, const LoadOptions &opts)
+{
+    return loadWithPolicy<TrainingData>(
+            path, FileKind::Campaign, opts, parseCampaignPayload,
+            validateTrainingData);
+}
+
+IoExpected<bool>
+trySaveTrainingData(const TrainingData &data, const std::string &path)
+{
+    return tryWriteFile(path, serializeTrainingData(data));
+}
+
+TrainingData
+deserializeTrainingData(const std::string &text)
+{
+    auto res = tryParseTrainingData(text);
+    GPUPM_FATAL_IF(!res.ok(), "cannot parse campaign [",
+                   ioErrcName(res.error().code), "]: ",
+                   res.error().message);
+    return res.value();
+}
+
+void
+saveTrainingData(const TrainingData &data, const std::string &path)
+{
+    const auto res = trySaveTrainingData(data, path);
+    GPUPM_FATAL_IF(!res.ok(), res.error().message);
+}
+
+TrainingData
+loadTrainingData(const std::string &path)
+{
+    auto res = tryLoadTrainingData(path);
+    GPUPM_FATAL_IF(!res.ok(), "cannot load campaign [",
+                   ioErrcName(res.error().code), "]: ",
+                   res.error().message);
+    return res.value();
+}
+
+// -- Campaign checkpoints --------------------------------------------
 
 std::string
 serializeCampaignCheckpoint(const CampaignCheckpoint &ck)
@@ -393,8 +1062,9 @@ serializeCampaignCheckpoint(const CampaignCheckpoint &ck)
     std::ostringstream os;
     os << "{\n";
     os << "\"format\":\"gpupm-checkpoint\",\n\"version\":1,\n";
-    os << "\"seed\":" << ck.seed << ",\n";
-    os << "\"device\":" << static_cast<int>(ck.device) << ",\n";
+    os << "\"seed\":" << std::to_string(ck.seed) << ",\n";
+    os << "\"device\":"
+       << std::to_string(static_cast<int>(ck.device)) << ",\n";
     os << "\"reference\":";
     putConfig(os, ck.reference);
     os << ",\n\"configs\":[";
@@ -478,123 +1148,75 @@ serializeCampaignCheckpoint(const CampaignCheckpoint &ck)
         os << "}";
     }
     os << "]}\n}\n";
-    return os.str();
+    return wrapEnvelope(FileKind::Checkpoint, os.str());
+}
+
+IoExpected<CampaignCheckpoint>
+tryParseCampaignCheckpoint(const std::string &text,
+                           const LoadOptions &opts)
+{
+    return parseWithPolicy<CampaignCheckpoint>(
+            text, FileKind::Checkpoint, opts, parseCheckpointPayload,
+            validateCheckpoint);
+}
+
+IoExpected<CampaignCheckpoint>
+tryLoadCampaignCheckpoint(const std::string &path,
+                          const LoadOptions &opts)
+{
+    return loadWithPolicy<CampaignCheckpoint>(
+            path, FileKind::Checkpoint, opts, parseCheckpointPayload,
+            validateCheckpoint);
+}
+
+IoExpected<bool>
+trySaveCampaignCheckpoint(const CampaignCheckpoint &ck,
+                          const std::string &path)
+{
+    // Write-then-rename so an interrupted write never corrupts an
+    // existing checkpoint (rename within a directory is atomic on
+    // POSIX filesystems).
+    const std::string tmp = path + ".tmp";
+    const auto written =
+            tryWriteFile(tmp, serializeCampaignCheckpoint(ck));
+    if (!written.ok())
+        return written;
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        return IoStatus{IoErrc::IoError,
+                        detail::concat("cannot move checkpoint into "
+                                       "place at '",
+                                       path, "': ", ec.message())};
+    return true;
 }
 
 CampaignCheckpoint
 deserializeCampaignCheckpoint(const std::string &text)
 {
-    const json::Value root = json::Parser(text).parse();
-    GPUPM_FATAL_IF(root.at("format").str() != "gpupm-checkpoint" ||
-                           root.at("version").integer() != 1,
-                   "not a gpupm campaign checkpoint");
-
-    CampaignCheckpoint ck;
-    ck.seed = static_cast<std::uint64_t>(root.at("seed").num());
-    const long kind = root.at("device").integer();
-    GPUPM_FATAL_IF(kind < 0 || kind > 2, "bad device kind ", kind);
-    ck.device = static_cast<gpu::DeviceKind>(kind);
-    ck.reference = json::configOf(root.at("reference"));
-    for (const auto &v : root.at("configs").arr())
-        ck.configs.push_back(json::configOf(v));
-    for (const auto &v : root.at("benchmarks").arr())
-        ck.benchmark_names.push_back(v.str());
-
-    const std::size_t nb = ck.benchmark_names.size();
-    const std::size_t nc = ck.configs.size();
-
-    for (const auto &v : root.at("utils_done").arr())
-        ck.utils_done.push_back(v.num() != 0.0 ? 1 : 0);
-    GPUPM_FATAL_IF(ck.utils_done.size() != nb,
-                   "checkpoint: utils_done size mismatch");
-
-    for (const auto &row : root.at("utils").arr()) {
-        GPUPM_FATAL_IF(row.arr().size() != gpu::kNumComponents,
-                       "checkpoint: bad utilization row");
-        gpu::ComponentArray u{};
-        for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
-            u[i] = row.arr()[i].num();
-        ck.utils.push_back(u);
-    }
-    GPUPM_FATAL_IF(ck.utils.size() != nb,
-                   "checkpoint: utils size mismatch");
-
-    for (const auto &row : root.at("power_done").arr()) {
-        std::vector<char> flags;
-        for (const auto &v : row.arr())
-            flags.push_back(v.num() != 0.0 ? 1 : 0);
-        GPUPM_FATAL_IF(flags.size() != nc,
-                       "checkpoint: power_done row size mismatch");
-        ck.power_done.push_back(std::move(flags));
-    }
-    GPUPM_FATAL_IF(ck.power_done.size() != nb,
-                   "checkpoint: power_done size mismatch");
-
-    for (const auto &row : root.at("power_w").arr()) {
-        std::vector<double> vals;
-        for (const auto &v : row.arr())
-            vals.push_back(v.num());
-        GPUPM_FATAL_IF(vals.size() != nc,
-                       "checkpoint: power row size mismatch");
-        ck.power_w.push_back(std::move(vals));
-    }
-    GPUPM_FATAL_IF(ck.power_w.size() != nb,
-                   "checkpoint: power size mismatch");
-
-    const json::Value &r = root.at("report");
-    ck.report.cells_total = r.at("cells_total").integer();
-    ck.report.cells_done = r.at("cells_done").integer();
-    ck.report.cells_resumed = r.at("cells_resumed").integer();
-    ck.report.cells_failed = r.at("cells_failed").integer();
-    ck.report.faults_injected = r.at("faults_injected").integer();
-    ck.report.totals.attempts = r.at("attempts").integer();
-    ck.report.totals.retries = r.at("retries").integer();
-    ck.report.totals.timeouts = r.at("timeouts").integer();
-    ck.report.totals.call_failures = r.at("call_failures").integer();
-    ck.report.totals.corrupt_samples =
-            r.at("corrupt_samples").integer();
-    ck.report.totals.outliers_rejected =
-            r.at("outliers_rejected").integer();
-    ck.report.totals.quarantined_calls =
-            r.at("quarantined_calls").integer();
-    ck.report.totals.backoff_total_s = r.at("backoff_total_s").num();
-    for (const auto &v : r.at("quarantined").arr())
-        ck.report.quarantined.push_back(json::configOf(v));
-    for (const auto &v : r.at("benchmark_reports").arr()) {
-        BenchmarkReport br;
-        br.name = v.at("name").str();
-        br.retries = v.at("retries").integer();
-        br.call_failures = v.at("call_failures").integer();
-        br.timeouts = v.at("timeouts").integer();
-        br.outliers_rejected = v.at("outliers_rejected").integer();
-        br.corrupt_samples = v.at("corrupt_samples").integer();
-        br.faults_injected = v.at("faults_injected").integer();
-        ck.report.benchmarks.push_back(std::move(br));
-    }
-    GPUPM_FATAL_IF(ck.report.benchmarks.size() != nb,
-                   "checkpoint: benchmark report size mismatch");
-    return ck;
+    auto res = tryParseCampaignCheckpoint(text);
+    GPUPM_FATAL_IF(!res.ok(), "cannot parse checkpoint [",
+                   ioErrcName(res.error().code), "]: ",
+                   res.error().message);
+    return res.value();
 }
 
 void
 saveCampaignCheckpoint(const CampaignCheckpoint &ck,
                        const std::string &path)
 {
-    // Write-then-rename so an interrupted write never corrupts an
-    // existing checkpoint (rename within a directory is atomic on
-    // POSIX filesystems).
-    const std::string tmp = path + ".tmp";
-    writeFile(tmp, serializeCampaignCheckpoint(ck));
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    GPUPM_FATAL_IF(ec, "cannot move checkpoint into place at '", path,
-                   "': ", ec.message());
+    const auto res = trySaveCampaignCheckpoint(ck, path);
+    GPUPM_FATAL_IF(!res.ok(), res.error().message);
 }
 
 CampaignCheckpoint
 loadCampaignCheckpoint(const std::string &path)
 {
-    return deserializeCampaignCheckpoint(readFile(path));
+    auto res = tryLoadCampaignCheckpoint(path);
+    GPUPM_FATAL_IF(!res.ok(), "cannot load checkpoint [",
+                   ioErrcName(res.error().code), "]: ",
+                   res.error().message);
+    return res.value();
 }
 
 } // namespace model

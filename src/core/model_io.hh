@@ -1,36 +1,151 @@
 /**
  * @file
- * File persistence for models and training campaigns.
+ * File persistence for models, training campaigns and checkpoints.
  *
  * A real deployment separates the expensive measurement campaign from
  * model fitting and from prediction-time use: the campaign output and
  * the fitted model are both persisted as plain text so they can be
  * archived, diffed and shipped (the virtual-sensor use case ships a
- * model file to machines that have no sensor at all).
+ * model file to machines that have no sensor at all). That makes
+ * these files trust boundaries: they arrive over networks, out of
+ * object stores and from operators' editors, and a corrupt or stale
+ * artifact must surface as a typed, reportable error — never as an
+ * aborted process on the machine that merely tried to read it.
+ *
+ * On-disk format (v2): a one-line envelope followed by the payload,
+ *
+ *     gpupm-file <kind> v2 crc32 <8-hex> bytes <n>\n
+ *     <payload: exactly n bytes>
+ *
+ * where <kind> is model | campaign | checkpoint and the CRC32 (IEEE,
+ * zlib variant) covers the payload bytes. Loaders verify the kind,
+ * version, declared size (truncation) and checksum (corruption)
+ * before parsing, and still accept legacy v0 files — payloads written
+ * before the envelope existed — unless LoadOptions says otherwise.
+ * Checkpoint payloads remain plain JSON: `tail -n +2 ck | jq .`.
+ *
+ * Every loader exists in two forms: a typed `try*` form returning
+ * IoExpected (the deployment-facing API: ParseError, VersionMismatch,
+ * ChecksumMismatch, IoError, ValidationError) and the original
+ * fatal-on-error convenience wrapper used by code that has no
+ * recovery story anyway.
  */
 
 #ifndef GPUPM_CORE_MODEL_IO_HH
 #define GPUPM_CORE_MODEL_IO_HH
 
 #include <string>
+#include <string_view>
 
 #include "core/campaign.hh"
 #include "core/estimator.hh"
 #include "core/power_model.hh"
+#include "core/resilient.hh"
 
 namespace gpupm
 {
 namespace model
 {
 
+// -- Typed error vocabulary of the persistence layer -----------------
+
+/** Failure taxonomy of artifact loading and saving. */
+enum class IoErrc
+{
+    IoError,          ///< open / read / write / rename failed
+    ParseError,       ///< malformed envelope or payload (incl. NaN)
+    VersionMismatch,  ///< recognized format, unsupported version
+    ChecksumMismatch, ///< payload does not match its declared CRC32
+    ValidationError,  ///< parsed cleanly but physically implausible
+};
+
+/** Display name of an I/O error code. */
+std::string_view ioErrcName(IoErrc code);
+
+/** Typed failure description of a persistence operation. */
+struct IoStatus
+{
+    IoErrc code = IoErrc::IoError;
+    std::string message;
+};
+
+/** Value-or-typed-error result of a persistence operation. */
+template <typename T>
+using IoExpected = Expected<T, IoStatus>;
+
+/** Artifact kind carried by a file. */
+enum class FileKind
+{
+    Model,
+    Campaign,
+    Checkpoint,
+};
+
+/** Envelope token of a file kind ("model" | "campaign" | ...). */
+std::string_view fileKindName(FileKind kind);
+
+/** Loader policy knobs. */
+struct LoadOptions
+{
+    /** Accept legacy v0 payloads (no envelope, no checksum). */
+    bool allow_legacy = true;
+    /**
+     * Run the core/validate physical-plausibility checks after
+     * parsing and fail with ValidationError when they find errors.
+     */
+    bool validate = false;
+};
+
+/** Wrap a payload in the versioned, checksummed v2 envelope. */
+std::string wrapEnvelope(FileKind kind, const std::string &payload);
+
+/**
+ * Sniff the artifact kind of file content: the v2 envelope's kind
+ * token, or the legacy payload magic. ParseError when it is neither.
+ */
+IoExpected<FileKind> detectFileKind(const std::string &text);
+
+// -- Models ----------------------------------------------------------
+
+/** Serialize a fitted model (v2 envelope around the text payload). */
+std::string serializeModel(const DvfsPowerModel &model);
+
+/** Parse serializeModel output or a legacy v0 model payload. */
+IoExpected<DvfsPowerModel>
+tryParseModel(const std::string &text, const LoadOptions &opts = {});
+
+/** Read and parse a model file. */
+IoExpected<DvfsPowerModel>
+tryLoadModel(const std::string &path, const LoadOptions &opts = {});
+
+/** Write a fitted model to a file. The value is always `true`. */
+IoExpected<bool> trySaveModel(const DvfsPowerModel &model,
+                              const std::string &path);
+
 /** Write a fitted model to a file (fatal on I/O failure). */
 void saveModel(const DvfsPowerModel &model, const std::string &path);
 
-/** Read a model written by saveModel (fatal on I/O or parse error). */
+/** Read a model written by saveModel (fatal on any error). */
 DvfsPowerModel loadModel(const std::string &path);
 
-/** Serialize a training campaign to text. */
+// -- Training campaigns ----------------------------------------------
+
+/** Serialize a campaign (v2 envelope around the text payload). */
 std::string serializeTrainingData(const TrainingData &data);
+
+/** Parse serializeTrainingData output or a legacy v0 payload. */
+IoExpected<TrainingData>
+tryParseTrainingData(const std::string &text,
+                     const LoadOptions &opts = {});
+
+/** Read and parse a campaign file. */
+IoExpected<TrainingData>
+tryLoadTrainingData(const std::string &path,
+                    const LoadOptions &opts = {});
+
+/** Write a campaign to a file. The value is always `true`. */
+IoExpected<bool> trySaveTrainingData(const TrainingData &data,
+                                     const std::string &path);
 
 /** Parse serializeTrainingData output (fatal on error). */
 TrainingData deserializeTrainingData(const std::string &text);
@@ -39,25 +154,41 @@ TrainingData deserializeTrainingData(const std::string &text);
 void saveTrainingData(const TrainingData &data,
                       const std::string &path);
 
-/** Read a campaign written by saveTrainingData. */
+/** Read a campaign written by saveTrainingData (fatal on error). */
 TrainingData loadTrainingData(const std::string &path);
 
+// -- Campaign checkpoints --------------------------------------------
+
 /**
- * Serialize a partially executed campaign as JSON. Doubles are
- * written at round-trip precision so a resumed campaign reproduces
- * an uninterrupted one bit-for-bit.
+ * Serialize a partially executed campaign (v2 envelope around a JSON
+ * payload). Doubles are written at round-trip precision so a resumed
+ * campaign reproduces an uninterrupted one bit-for-bit.
  */
 std::string serializeCampaignCheckpoint(const CampaignCheckpoint &ck);
+
+/** Parse serializeCampaignCheckpoint output or legacy v0 JSON. */
+IoExpected<CampaignCheckpoint>
+tryParseCampaignCheckpoint(const std::string &text,
+                           const LoadOptions &opts = {});
+
+/** Read and parse a checkpoint file. */
+IoExpected<CampaignCheckpoint>
+tryLoadCampaignCheckpoint(const std::string &path,
+                          const LoadOptions &opts = {});
+
+/**
+ * Write a checkpoint to a file. The write goes to a temporary file
+ * first and is renamed into place, so a crash mid-write cannot leave
+ * a truncated checkpoint behind. The value is always `true`.
+ */
+IoExpected<bool> trySaveCampaignCheckpoint(const CampaignCheckpoint &ck,
+                                           const std::string &path);
 
 /** Parse serializeCampaignCheckpoint output (fatal on error). */
 CampaignCheckpoint
 deserializeCampaignCheckpoint(const std::string &text);
 
-/**
- * Write a checkpoint to a file. The write goes to a temporary file
- * first and is renamed into place, so a crash mid-write cannot leave
- * a truncated checkpoint behind.
- */
+/** Write a checkpoint to a file (fatal on failure). */
 void saveCampaignCheckpoint(const CampaignCheckpoint &ck,
                             const std::string &path);
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/numio.hh"
+#include "core/model_io.hh"
 
 namespace gpupm
 {
@@ -153,22 +155,30 @@ DvfsPowerModel::predict(const gpu::ComponentArray &util,
 std::string
 DvfsPowerModel::serialize() const
 {
+    // Legacy-shaped payload (no envelope); model_io::serializeModel
+    // wraps it in the versioned, checksummed envelope for files.
+    // Numbers go through numio so the encoding does not depend on the
+    // process locale and doubles round-trip bit-exactly.
     std::ostringstream os;
-    os.precision(12);
     os << "gpupm-model v1\n";
-    os << "device " << static_cast<int>(kind_) << "\n";
-    os << "reference " << reference_.core_mhz << " "
-       << reference_.mem_mhz << "\n";
-    os << "beta " << params_.beta0 << " " << params_.beta1 << " "
-       << params_.beta2 << " " << params_.beta3 << "\n";
+    os << "device " << std::to_string(static_cast<int>(kind_))
+       << "\n";
+    os << "reference " << std::to_string(reference_.core_mhz) << " "
+       << std::to_string(reference_.mem_mhz) << "\n";
+    os << "beta " << numio::formatDouble(params_.beta0) << " "
+       << numio::formatDouble(params_.beta1) << " "
+       << numio::formatDouble(params_.beta2) << " "
+       << numio::formatDouble(params_.beta3) << "\n";
     os << "omega";
     for (double w : params_.omega)
-        os << " " << w;
+        os << " " << numio::formatDouble(w);
     os << "\n";
-    os << "voltages " << voltages_.size() << "\n";
+    os << "voltages " << std::to_string(voltages_.size()) << "\n";
     for (const auto &[key, v] : voltages_) {
-        os << key.first << " " << key.second << " " << v.core << " "
-           << v.mem << "\n";
+        os << std::to_string(key.first) << " "
+           << std::to_string(key.second) << " "
+           << numio::formatDouble(v.core) << " "
+           << numio::formatDouble(v.mem) << "\n";
     }
     return os.str();
 }
@@ -176,44 +186,11 @@ DvfsPowerModel::serialize() const
 DvfsPowerModel
 DvfsPowerModel::deserialize(const std::string &text)
 {
-    std::istringstream is(text);
-    std::string tag, version;
-
-    is >> tag >> version;
-    if (tag != "gpupm-model" || version != "v1")
-        GPUPM_FATAL("not a gpupm model: bad header '", tag, " ",
-                    version, "'");
-
-    DvfsPowerModel m;
-    int kind = 0;
-    is >> tag >> kind;
-    GPUPM_ASSERT(tag == "device", "expected 'device', got '", tag, "'");
-    GPUPM_ASSERT(kind >= 0 && kind <= 2, "bad device kind ", kind);
-    m.kind_ = static_cast<gpu::DeviceKind>(kind);
-
-    is >> tag >> m.reference_.core_mhz >> m.reference_.mem_mhz;
-    GPUPM_ASSERT(tag == "reference", "expected 'reference'");
-
-    is >> tag >> m.params_.beta0 >> m.params_.beta1 >>
-            m.params_.beta2 >> m.params_.beta3;
-    GPUPM_ASSERT(tag == "beta", "expected 'beta'");
-
-    is >> tag;
-    GPUPM_ASSERT(tag == "omega", "expected 'omega'");
-    for (double &w : m.params_.omega)
-        is >> w;
-
-    std::size_t n = 0;
-    is >> tag >> n;
-    GPUPM_ASSERT(tag == "voltages", "expected 'voltages'");
-    for (std::size_t i = 0; i < n; ++i) {
-        int fc = 0, fm = 0;
-        VoltagePair v;
-        is >> fc >> fm >> v.core >> v.mem;
-        m.voltages_[{fc, fm}] = v;
-    }
-    GPUPM_ASSERT(!is.fail(), "truncated model text");
-    return m;
+    auto res = tryParseModel(text);
+    GPUPM_FATAL_IF(!res.ok(), "cannot parse model [",
+                   ioErrcName(res.error().code), "]: ",
+                   res.error().message);
+    return res.value();
 }
 
 } // namespace model

@@ -54,13 +54,18 @@ struct Status
     bool recoverable() const { return isRecoverable(code); }
 };
 
-/** Value-or-typed-error result of a resilient call. */
-template <typename T>
+/**
+ * Value-or-typed-error result. The error type defaults to the
+ * measurement Status above; other layers (persistence, estimation)
+ * instantiate it with their own error vocabulary — any type with a
+ * `message` string member works.
+ */
+template <typename T, typename E = Status>
 class Expected
 {
   public:
     Expected(T value) : value_(std::move(value)) {}
-    Expected(Status error) : error_(std::move(error)) {}
+    Expected(E error) : error_(std::move(error)) {}
 
     bool ok() const { return value_.has_value(); }
 
@@ -71,7 +76,7 @@ class Expected
         return *value_;
     }
 
-    const Status &error() const
+    const E &error() const
     {
         GPUPM_ASSERT(!ok(), "error() on successful Expected");
         return *error_;
@@ -79,7 +84,7 @@ class Expected
 
   private:
     std::optional<T> value_;
-    std::optional<Status> error_;
+    std::optional<E> error_;
 };
 
 /** Recovery-policy knobs. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace gpupm
@@ -126,13 +127,33 @@ factorize(const Matrix &a, const Vector &b, double rcond)
     return qr;
 }
 
+/** Read rank/condition diagnostics off a finished factorization. */
+LstsqDiagnostics
+diagnosticsOf(const QrPivot &qr, std::size_t m, std::size_t n)
+{
+    LstsqDiagnostics d;
+    d.rank = qr.rank;
+    d.rank_deficient = qr.rank < std::min(m, n);
+    if (qr.rank > 0) {
+        const double top = std::abs(qr.r(0, 0));
+        const double bottom = std::abs(qr.r(qr.rank - 1, qr.rank - 1));
+        d.condition = bottom > 0.0
+                              ? top / bottom
+                              : std::numeric_limits<double>::infinity();
+    }
+    return d;
+}
+
 } // namespace
 
 Vector
-leastSquares(const Matrix &a, const Vector &b, double rcond)
+leastSquares(const Matrix &a, const Vector &b, double rcond,
+             LstsqDiagnostics *diag)
 {
     const std::size_t n = a.cols();
     QrPivot qr = factorize(a, b, rcond);
+    if (diag)
+        *diag = diagnosticsOf(qr, a.rows(), n);
 
     // Back-substitute over the leading rank-by-rank triangle.
     Vector y(n, 0.0);
@@ -147,6 +168,14 @@ leastSquares(const Matrix &a, const Vector &b, double rcond)
     for (std::size_t i = 0; i < n; ++i)
         x[qr.perm[i]] = y[i];
     return x;
+}
+
+LstsqDiagnostics
+designDiagnostics(const Matrix &a, double rcond)
+{
+    const Vector zero(a.rows(), 0.0);
+    const QrPivot qr = factorize(a, zero, rcond);
+    return diagnosticsOf(qr, a.rows(), a.cols());
 }
 
 Vector

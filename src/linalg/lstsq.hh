@@ -19,6 +19,22 @@ namespace linalg
 {
 
 /**
+ * Numerical-conditioning diagnostics of a design matrix, read off the
+ * column-pivoted QR factorization: the effective rank at the rcond
+ * cutoff and the ratio of the largest to the smallest accepted pivot
+ * magnitude — a cheap, order-of-magnitude estimate of the 2-norm
+ * condition number (the normal equations square it). Estimation-layer
+ * guardrails use these to reject under-identified systems and to
+ * report how trustworthy the fitted coefficients are.
+ */
+struct LstsqDiagnostics
+{
+    std::size_t rank = 0;      ///< numerical rank at the rcond cutoff
+    double condition = 0.0;    ///< |pivot_1| / |pivot_rank| estimate
+    bool rank_deficient = false; ///< rank < min(rows, cols)
+};
+
+/**
  * Solve min_x ||A x - b||_2 via Householder QR with column pivoting.
  *
  * Rank-deficient systems are handled by zeroing the trailing pivots
@@ -29,10 +45,19 @@ namespace linalg
  * @param a  m-by-n design matrix, m >= 1.
  * @param b  right-hand side of dimension m.
  * @param rcond  relative condition cutoff for rank detection.
+ * @param diag  when non-null, receives rank/condition diagnostics.
  * @return  solution vector of dimension n.
  */
 Vector leastSquares(const Matrix &a, const Vector &b,
-                    double rcond = 1e-12);
+                    double rcond = 1e-12,
+                    LstsqDiagnostics *diag = nullptr);
+
+/**
+ * Rank and condition diagnostics of a design matrix without solving
+ * (one pivoted-QR factorization pass).
+ */
+LstsqDiagnostics designDiagnostics(const Matrix &a,
+                                   double rcond = 1e-12);
 
 /**
  * Solve min_x ||A x - b||_2 subject to x >= 0 (Lawson–Hanson active-set

@@ -34,7 +34,8 @@ TEST(Baselines, AbeLinearFitsTrainingDataRoughly)
     const auto abe = baselines::AbeLinearModel::train(data);
     // On the reference configuration (which it trained on) the linear
     // model should be in the right ballpark for most benchmarks.
-    const std::size_t ref_ci = data.configIndex(data.reference);
+    const std::size_t ref_ci =
+            data.configIndex(data.reference).value();
     double err = 0.0;
     for (std::size_t b = 0; b < data.utils.size(); ++b) {
         const double pred =
@@ -77,7 +78,7 @@ TEST(Baselines, CubicOverstatesCoreScalingVsMeasurement)
     const auto &data = titanxData();
     const auto cubic = baselines::CubicScalingModel::train(data);
     const gpu::FreqConfig low{595, 3505};
-    const std::size_t ci = data.configIndex(low);
+    const std::size_t ci = data.configIndex(low).value();
     double signed_err = 0.0;
     for (std::size_t b = 0; b < data.utils.size(); ++b)
         signed_err += cubic.predict(data.utils[b], low) -

@@ -52,6 +52,75 @@ if(rc EQUAL 0)
     message(FATAL_ERROR "unknown app should fail")
 endif()
 
+# Freshly produced artifacts pass validation, human and JSON form.
+execute_process(COMMAND ${CLI} validate ${WORK}/tx.campaign ${WORK}/tx.model
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "validate failed on good artifacts: ${rc}: ${out}")
+endif()
+if(NOT out MATCHES "OK")
+    message(FATAL_ERROR "validate output missing OK: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} validate --json ${WORK}/tx.model
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"ok\":true")
+    message(FATAL_ERROR "validate --json unexpected: ${rc}: ${out}")
+endif()
+
+# A corrupted model is rejected with a non-zero exit by validate and
+# by every consumer, instead of being parsed into silently-wrong
+# coefficients.
+file(READ ${WORK}/tx.model model_text)
+if(model_text MATCHES "crc32 deadbeef")
+    string(REGEX REPLACE "crc32 [0-9a-f]+" "crc32 feedface"
+           corrupt "${model_text}")
+else()
+    string(REGEX REPLACE "crc32 [0-9a-f]+" "crc32 deadbeef"
+           corrupt "${model_text}")
+endif()
+file(WRITE ${WORK}/corrupt.model "${corrupt}")
+execute_process(COMMAND ${CLI} validate ${WORK}/corrupt.model
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "validate accepted a corrupt model: ${out}")
+endif()
+execute_process(COMMAND ${CLI} info ${WORK}/corrupt.model
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "info accepted a corrupt model")
+endif()
+if(NOT err MATCHES "checksum-mismatch")
+    message(FATAL_ERROR "expected checksum-mismatch, got: ${err}")
+endif()
+
+# Legacy (pre-envelope) files still load by default but are rejected
+# under --strict unless --allow-legacy is also given.
+file(READ ${WORK}/tx.model enveloped)
+string(FIND "${enveloped}" "\n" eol)
+math(EXPR start "${eol} + 1")
+string(SUBSTRING "${enveloped}" ${start} -1 legacy)
+file(WRITE ${WORK}/legacy.model "${legacy}")
+execute_process(COMMAND ${CLI} info ${WORK}/legacy.model
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "legacy model should load by default: ${rc}")
+endif()
+execute_process(COMMAND ${CLI} info --strict ${WORK}/legacy.model
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "--strict accepted a legacy model")
+endif()
+if(NOT err MATCHES "version-mismatch")
+    message(FATAL_ERROR "expected version-mismatch, got: ${err}")
+endif()
+execute_process(COMMAND ${CLI} info --strict --allow-legacy
+                        ${WORK}/legacy.model
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--strict --allow-legacy should load: ${rc}")
+endif()
+
 # CUDA export emits all 82 kernels.
 execute_process(COMMAND ${CLI} export-cuda ${WORK}/suite.cu
                 RESULT_VARIABLE rc)

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests of the CRC32 used by the v2 file envelope, pinned to the
+ * standard zlib/IEEE check values so files stay compatible with
+ * external tooling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/checksum.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+TEST(Checksum, MatchesStandardCheckValues)
+{
+    EXPECT_EQ(checksum::crc32(""), 0u);
+    // The canonical CRC-32/ISO-HDLC check value.
+    EXPECT_EQ(checksum::crc32("123456789"), 0xcbf43926u);
+    EXPECT_EQ(checksum::crc32(std::string_view("\0", 1)),
+              0xd202ef8du);
+}
+
+TEST(Checksum, SensitiveToEveryBit)
+{
+    const std::string base = "gpupm payload";
+    const auto ref = checksum::crc32(base);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mut = base;
+            mut[i] ^= static_cast<char>(1 << bit);
+            EXPECT_NE(checksum::crc32(mut), ref)
+                    << "byte " << i << " bit " << bit;
+        }
+    }
+}
+
+TEST(Checksum, HexFormRoundTrips)
+{
+    const auto crc = checksum::crc32("123456789");
+    const auto hex = checksum::crc32Hex(crc);
+    EXPECT_EQ(hex, "cbf43926");
+    EXPECT_EQ(hex.size(), 8u);
+    std::uint32_t back = 0;
+    EXPECT_TRUE(checksum::parseCrc32Hex(hex, back));
+    EXPECT_EQ(back, crc);
+    EXPECT_TRUE(checksum::parseCrc32Hex("00000000", back));
+    EXPECT_EQ(back, 0u);
+
+    EXPECT_FALSE(checksum::parseCrc32Hex("", back));
+    EXPECT_FALSE(checksum::parseCrc32Hex("cbf4392", back));  // short
+    EXPECT_FALSE(checksum::parseCrc32Hex("cbf439260", back)); // long
+    EXPECT_FALSE(checksum::parseCrc32Hex("cbf4392g", back)); // not hex
+}
+
+} // namespace

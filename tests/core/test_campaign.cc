@@ -56,7 +56,8 @@ TEST(Campaign, IdleRowHasZeroUtilAndLowestPower)
     ASSERT_EQ(suite[idle].family, ubench::Family::Idle);
     for (double u : data.utils[idle])
         EXPECT_DOUBLE_EQ(u, 0.0);
-    const std::size_t ref_ci = data.configIndex(data.reference);
+    const std::size_t ref_ci =
+            data.configIndex(data.reference).value();
     for (std::size_t b = 0; b + 1 < suite.size(); ++b)
         EXPECT_GT(data.power_w[b][ref_ci],
                   data.power_w[idle][ref_ci]);

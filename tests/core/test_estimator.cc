@@ -257,9 +257,88 @@ TEST(Estimator, ConfigIndexLookups)
 {
     const auto gen = generatorModel(titanx());
     const auto data = syntheticData(titanx(), gen, 8);
-    EXPECT_EQ(data.configs[data.configIndex({975, 3505})],
+    EXPECT_EQ(data.configs[data.configIndex({975, 3505}).value()],
               (gpu::FreqConfig{975, 3505}));
-    EXPECT_THROW(data.configIndex({1, 2}), std::logic_error);
+    EXPECT_FALSE(data.configIndex({1, 2}).has_value());
+}
+
+/** Keep only the reference and diagonal (both-domain) perturbations:
+ *  the Eq. 11 initialization then has no axis-aligned handle. */
+model::TrainingData
+diagonalOnlyData()
+{
+    const auto gen = generatorModel(titanx());
+    const auto full = syntheticData(titanx(), gen, 12);
+    model::TrainingData diag;
+    diag.device = full.device;
+    diag.reference = full.reference;
+    diag.utils = full.utils;
+    std::vector<std::size_t> keep;
+    for (std::size_t c = 0; c < full.configs.size(); ++c) {
+        const auto &cfg = full.configs[c];
+        const bool is_ref = cfg == full.reference;
+        const bool diagonal =
+                cfg.core_mhz != full.reference.core_mhz &&
+                cfg.mem_mhz != full.reference.mem_mhz;
+        if (is_ref || diagonal) {
+            keep.push_back(c);
+            diag.configs.push_back(cfg);
+        }
+    }
+    diag.power_w.resize(full.power_w.size());
+    for (std::size_t b = 0; b < full.power_w.size(); ++b)
+        for (const std::size_t c : keep)
+            diag.power_w[b].push_back(full.power_w[b][c]);
+    return diag;
+}
+
+TEST(EstimatorGuardrails, NonFiniteInputIsTypedBadInput)
+{
+    const auto gen = generatorModel(titanx());
+    auto nan_util = syntheticData(titanx(), gen, 10);
+    nan_util.utils[2][1] = std::numeric_limits<double>::quiet_NaN();
+    auto res = model::ModelEstimator().tryEstimate(nan_util);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::FitErrc::BadInput);
+
+    auto inf_pow = syntheticData(titanx(), gen, 10);
+    inf_pow.power_w[1][0] = std::numeric_limits<double>::infinity();
+    res = model::ModelEstimator().tryEstimate(inf_pow);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::FitErrc::BadInput);
+}
+
+TEST(EstimatorGuardrails, DiagonalOnlyGridIsDegenerate)
+{
+    const auto data = diagonalOnlyData();
+    ASSERT_GE(data.configs.size(), 2u);
+    auto res = model::ModelEstimator().tryEstimate(data);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::FitErrc::DegenerateGrid);
+    EXPECT_NE(res.error().message.find("shares a clock domain"),
+              std::string::npos)
+            << res.error().message;
+    EXPECT_EQ(model::fitErrcName(res.error().code),
+              "DegenerateGrid");
+
+    // The throwing convenience wrapper surfaces the same condition.
+    EXPECT_THROW(model::ModelEstimator().estimate(data),
+                 std::logic_error);
+}
+
+TEST(EstimatorGuardrails, DiagnosticsReportedOnSuccess)
+{
+    const auto gen = generatorModel(titanx());
+    const auto data = syntheticData(titanx(), gen, 24);
+    auto res = model::ModelEstimator().tryEstimate(data);
+    ASSERT_TRUE(res.ok()) << res.error().message;
+    // Pivot-ratio condition of a usable design is finite and >= 1;
+    // rank covers at least the static + per-component columns probed
+    // by the synthetic pure-utilization rows.
+    EXPECT_GE(res.value().condition_number, 1.0);
+    EXPECT_TRUE(std::isfinite(res.value().condition_number));
+    EXPECT_GT(res.value().design_rank, gpu::kNumComponents);
+    EXPECT_FALSE(res.value().sse_history.empty());
 }
 
 } // namespace

@@ -270,4 +270,263 @@ TEST(ModelIo, CheckpointRejectsGarbage)
                  std::runtime_error);
 }
 
+// ---- v2 envelope, legacy compatibility and malformed-file corpus ----
+
+/** A hand-built model (cheaper than fitting one per test). */
+model::DvfsPowerModel
+handModel()
+{
+    model::ModelParams p;
+    p.beta0 = 52.0;
+    p.beta1 = 10.5;
+    p.beta2 = 15.0;
+    p.beta3 = 7.25;
+    for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+        p.omega[i] = 3.0 + static_cast<double>(i);
+    model::DvfsPowerModel m(gpu::DeviceKind::GtxTitanX, {975, 3505},
+                            p);
+    m.setVoltages({975, 3505}, {1.0, 1.0});
+    m.setVoltages({595, 3505}, {0.85, 1.0});
+    return m;
+}
+
+/** Strip the envelope header line, leaving the legacy v0 payload. */
+std::string
+legacyOf(const std::string &enveloped)
+{
+    return enveloped.substr(enveloped.find('\n') + 1);
+}
+
+/** Corrupt the crc32 field of an envelope header in place. */
+std::string
+stompCrc(std::string text)
+{
+    const auto pos = text.find("crc32 ") + 6;
+    text.replace(pos, 8, text.compare(pos, 8, "00000000") == 0
+                                 ? "ffffffff"
+                                 : "00000000");
+    return text;
+}
+
+TEST(ModelIoV2, EnvelopeShapeAndKindDetection)
+{
+    const auto m = model::serializeModel(handModel());
+    const auto c = model::serializeTrainingData(campaign());
+    const auto k =
+            model::serializeCampaignCheckpoint(sampleCheckpoint());
+    EXPECT_EQ(m.rfind("gpupm-file model v2 crc32 ", 0), 0u) << m;
+    EXPECT_EQ(c.rfind("gpupm-file campaign v2 crc32 ", 0), 0u);
+    EXPECT_EQ(k.rfind("gpupm-file checkpoint v2 crc32 ", 0), 0u);
+
+    EXPECT_EQ(model::detectFileKind(m).value(),
+              model::FileKind::Model);
+    EXPECT_EQ(model::detectFileKind(c).value(),
+              model::FileKind::Campaign);
+    EXPECT_EQ(model::detectFileKind(k).value(),
+              model::FileKind::Checkpoint);
+    // Legacy forms are still recognized.
+    EXPECT_EQ(model::detectFileKind(handModel().serialize()).value(),
+              model::FileKind::Model);
+    EXPECT_EQ(model::detectFileKind(legacyOf(c)).value(),
+              model::FileKind::Campaign);
+    EXPECT_EQ(model::detectFileKind(legacyOf(k)).value(),
+              model::FileKind::Checkpoint);
+    // Unrecognizable content is a typed error, not a crash.
+    auto bad = model::detectFileKind("what even is this");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, model::IoErrc::ParseError);
+    EXPECT_FALSE(model::detectFileKind("").ok());
+}
+
+TEST(ModelIoV2, TypedRoundTripsAllThreeFormats)
+{
+    const auto m0 = handModel();
+    auto m = model::tryParseModel(model::serializeModel(m0));
+    ASSERT_TRUE(m.ok()) << m.error().message;
+    EXPECT_DOUBLE_EQ(m.value().params().beta0, m0.params().beta0);
+    EXPECT_EQ(m.value().voltageTable().size(),
+              m0.voltageTable().size());
+
+    auto c = model::tryParseTrainingData(
+            model::serializeTrainingData(campaign()));
+    ASSERT_TRUE(c.ok()) << c.error().message;
+    EXPECT_EQ(c.value().configs, campaign().configs);
+
+    auto k = model::tryParseCampaignCheckpoint(
+            model::serializeCampaignCheckpoint(sampleCheckpoint()));
+    ASSERT_TRUE(k.ok()) << k.error().message;
+    EXPECT_EQ(k.value().benchmark_names,
+              sampleCheckpoint().benchmark_names);
+}
+
+TEST(ModelIoV2, LegacyFilesLoadByDefaultButNotUnderStrict)
+{
+    const model::LoadOptions strict{.allow_legacy = false,
+                                    .validate = false};
+    const auto lm = handModel().serialize();
+    const auto lc = legacyOf(model::serializeTrainingData(campaign()));
+    const auto lk = legacyOf(
+            model::serializeCampaignCheckpoint(sampleCheckpoint()));
+
+    EXPECT_TRUE(model::tryParseModel(lm).ok());
+    EXPECT_TRUE(model::tryParseTrainingData(lc).ok());
+    EXPECT_TRUE(model::tryParseCampaignCheckpoint(lk).ok());
+
+    for (const auto *legacy : {&lm, &lc, &lk}) {
+        model::IoExpected<model::FileKind> kind =
+                model::detectFileKind(*legacy);
+        ASSERT_TRUE(kind.ok());
+        model::IoStatus err = [&] {
+            switch (kind.value()) {
+              case model::FileKind::Model:
+                return model::tryParseModel(*legacy, strict).error();
+              case model::FileKind::Campaign:
+                return model::tryParseTrainingData(*legacy, strict)
+                        .error();
+              default:
+                return model::tryParseCampaignCheckpoint(*legacy,
+                                                         strict)
+                        .error();
+            }
+        }();
+        EXPECT_EQ(err.code, model::IoErrc::VersionMismatch)
+                << err.message;
+        EXPECT_NE(err.message.find("legacy"), std::string::npos);
+    }
+}
+
+TEST(ModelIoV2, TruncationIsAParseError)
+{
+    const auto text = model::serializeModel(handModel());
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{5}, text.size() / 2,
+          text.size() - 1}) {
+        auto res = model::tryParseModel(text.substr(0, keep));
+        ASSERT_FALSE(res.ok()) << "kept " << keep << " bytes";
+        EXPECT_EQ(res.error().code, model::IoErrc::ParseError)
+                << res.error().message;
+    }
+}
+
+TEST(ModelIoV2, PayloadBitFlipIsAChecksumMismatch)
+{
+    auto text = model::serializeTrainingData(campaign());
+    // Stomp a payload byte without changing the size.
+    const auto pos = text.find('\n') + 10;
+    ASSERT_LT(pos, text.size());
+    text[pos] = text[pos] == 'x' ? 'y' : 'x';
+    auto res = model::tryParseTrainingData(text);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::IoErrc::ChecksumMismatch)
+            << res.error().message;
+}
+
+TEST(ModelIoV2, WrongVersionIsAVersionMismatch)
+{
+    auto text = model::serializeModel(handModel());
+    text.replace(text.find(" v2 "), 4, " v9 ");
+    auto res = model::tryParseModel(text);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::IoErrc::VersionMismatch);
+}
+
+TEST(ModelIoV2, WrongChecksumFieldIsAChecksumMismatch)
+{
+    auto res = model::tryParseCampaignCheckpoint(stompCrc(
+            model::serializeCampaignCheckpoint(sampleCheckpoint())));
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::IoErrc::ChecksumMismatch);
+}
+
+TEST(ModelIoV2, KindMismatchIsAParseError)
+{
+    auto res = model::tryParseTrainingData(
+            model::serializeModel(handModel()));
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::IoErrc::ParseError);
+    EXPECT_NE(res.error().message.find("expected a campaign"),
+              std::string::npos)
+            << res.error().message;
+}
+
+TEST(ModelIoV2, SmuggledNanIsAParseError)
+{
+    auto res = model::tryParseModel(
+            "gpupm-model v1\ndevice 0\nreference 975 3505\n"
+            "beta nan 1 1 1\n");
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::IoErrc::ParseError);
+
+    // JSON checkpoints cannot smuggle non-finite values either.
+    auto ck = model::tryParseCampaignCheckpoint(
+            "{\"format\":\"gpupm-checkpoint\",\"version\":1,"
+            "\"seed\":nan}");
+    ASSERT_FALSE(ck.ok());
+    EXPECT_EQ(ck.error().code, model::IoErrc::ParseError);
+}
+
+TEST(ModelIoV2, HostileSizesAndDepthsAreParseErrors)
+{
+    // A fuzzed count field must not drive a giant allocation.
+    auto big = model::tryParseTrainingData(
+            "gpupm-campaign v1\ndevice 0\nreference 975 3505\n"
+            "configs 999999999\n");
+    ASSERT_FALSE(big.ok());
+    EXPECT_EQ(big.error().code, model::IoErrc::ParseError);
+
+    // Deep JSON nesting must not blow the stack.
+    auto deep =
+            model::tryParseCampaignCheckpoint(std::string(300, '['));
+    ASSERT_FALSE(deep.ok());
+    EXPECT_EQ(deep.error().code, model::IoErrc::ParseError);
+
+    // Out-of-range literals surface as parse errors, not UB.
+    auto huge = model::tryParseModel(
+            "gpupm-model v1\ndevice 0\nreference 975 3505\n"
+            "beta 1e999 1 1 1\n");
+    ASSERT_FALSE(huge.ok());
+    EXPECT_EQ(huge.error().code, model::IoErrc::ParseError);
+}
+
+TEST(ModelIoV2, ValidateOnLoadRejectsImplausibleModels)
+{
+    auto bad = handModel();
+    bad.params().beta1 = -5.0; // negative coefficient: unphysical
+    const model::LoadOptions opts{.allow_legacy = true,
+                                  .validate = true};
+    auto res =
+            model::tryParseModel(model::serializeModel(bad), opts);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::IoErrc::ValidationError);
+    EXPECT_NE(res.error().message.find("coefficient-negative"),
+              std::string::npos)
+            << res.error().message;
+
+    // The same artifact still parses when validation is off.
+    EXPECT_TRUE(
+            model::tryParseModel(model::serializeModel(bad)).ok());
+}
+
+TEST(ModelIoV2, MissingFileIsATypedIoError)
+{
+    auto res = model::tryLoadModel("/nonexistent/dir/x.model");
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, model::IoErrc::IoError);
+    // The path appears in the message for diagnosability.
+    EXPECT_NE(res.error().message.find("/nonexistent/dir/x.model"),
+              std::string::npos);
+}
+
+TEST(ModelIoV2, TypedSaveAndLoadRoundTrip)
+{
+    const std::string path = tempPath("gpupm_test_typed.model");
+    auto saved = model::trySaveModel(handModel(), path);
+    ASSERT_TRUE(saved.ok()) << saved.error().message;
+    auto loaded = model::tryLoadModel(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_DOUBLE_EQ(loaded.value().params().beta3,
+                     handModel().params().beta3);
+    std::remove(path.c_str());
+}
+
 } // namespace

@@ -135,9 +135,12 @@ TEST(PowerModel, DeserializeRejectsGarbage)
 {
     EXPECT_THROW(model::DvfsPowerModel::deserialize("not a model"),
                  std::runtime_error);
+    // A hostile payload surfaces as a typed parse error (wrapped as
+    // runtime_error by the fatal-on-error wrapper), never as an
+    // assertion abort.
     EXPECT_THROW(model::DvfsPowerModel::deserialize(
                          "gpupm-model v1\ndevice 9\n"),
-                 std::logic_error);
+                 std::runtime_error);
 }
 
 TEST(PowerModel, NonPositiveVoltagePanics)

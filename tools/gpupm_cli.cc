@@ -12,6 +12,13 @@
  *   gpupm sweep     <in.model> <app>          full V-F sweep table
  *   gpupm devices                             list supported devices
  *   gpupm export-cuda <out.cu>                emit the suite as CUDA
+ *   gpupm validate  <file>...                 check artifact integrity
+ *
+ * File-trust flags (validate, and every command that loads a file):
+ *   --strict            reject legacy (pre-envelope) files and run
+ *                       physical-plausibility validation on load
+ *   --allow-legacy      with --strict, still accept legacy files
+ *   --json              machine-readable `validate` output
  *
  * campaign/train accept resilience flags:
  *   --faults=<rate>     inject faults at the given per-call rate
@@ -35,6 +42,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 
 #include <string>
 #include <vector>
@@ -45,6 +53,7 @@
 #include "core/metrics.hh"
 #include "core/model_io.hh"
 #include "core/predictor.hh"
+#include "core/validate.hh"
 #include "ubench/cuda_source.hh"
 #include "workloads/workloads.hh"
 
@@ -61,7 +70,20 @@ struct CliFlags
     std::uint64_t fault_seed = 2026;
     int retries = -1;            ///< -1 = policy default
     std::string checkpoint;
+    bool strict = false;         ///< reject legacy files, validate
+    bool allow_legacy = false;   ///< soften --strict for old files
+    bool json = false;           ///< machine-readable validate output
 };
+
+/** Loader policy implied by the file-trust flags. */
+model::LoadOptions
+loadOptionsOf(const CliFlags &flags)
+{
+    model::LoadOptions opts;
+    opts.allow_legacy = !flags.strict || flags.allow_legacy;
+    opts.validate = flags.strict;
+    return opts;
+}
 
 /**
  * Strip `--key=value` flags from the argument list, returning the
@@ -93,6 +115,12 @@ parseFlags(int argc, char **argv, CliFlags &flags)
         } else if (key == "--resume" || key == "--checkpoint") {
             flags.checkpoint = val;
             flags.resilient = true;
+        } else if (key == "--strict") {
+            flags.strict = true;
+        } else if (key == "--allow-legacy") {
+            flags.allow_legacy = true;
+        } else if (key == "--json") {
+            flags.json = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", key.c_str());
             positional.clear();
@@ -138,7 +166,10 @@ usage()
                  "  gpupm info <model-file>\n"
                  "  gpupm predict <model-file> <APP> [fcore fmem]\n"
                  "  gpupm sweep <model-file> <APP>\n"
-                 "  gpupm export-cuda <out.cu>\n");
+                 "  gpupm export-cuda <out.cu>\n"
+                 "  gpupm validate [--json] <file>...\n"
+                 "      file-trust flags (all loading commands): "
+                 "--strict --allow-legacy\n");
     return 2;
 }
 
@@ -189,10 +220,159 @@ runResilientCampaign(gpu::DeviceKind kind, const CliFlags &flags)
     return std::move(result.data);
 }
 
+/** Print a typed load failure and return the CLI exit code. */
 int
-cmdInfo(const std::string &path)
+reportLoadFailure(const model::IoStatus &status)
 {
-    const auto m = model::loadModel(path);
+    std::fprintf(stderr, "error [%s]: %s\n",
+                 std::string(model::ioErrcName(status.code)).c_str(),
+                 status.message.c_str());
+    return 1;
+}
+
+// -- validate --------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Outcome of checking one file: either a load failure or a report. */
+struct FileCheck
+{
+    bool loaded = false;
+    std::string kind;
+    model::IoStatus load_error;
+    model::ValidationReport report;
+};
+
+FileCheck
+checkFile(const std::string &path, const model::LoadOptions &opts)
+{
+    FileCheck fc;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        fc.load_error = {model::IoErrc::IoError,
+                         "cannot open '" + path + "' for reading"};
+        return fc;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string text = os.str();
+
+    const auto kind = model::detectFileKind(text);
+    if (!kind.ok()) {
+        fc.load_error = kind.error();
+        return fc;
+    }
+    fc.kind = std::string(model::fileKindName(kind.value()));
+    switch (kind.value()) {
+      case model::FileKind::Model: {
+        auto res = model::tryParseModel(text, opts);
+        if (!res.ok()) {
+            fc.load_error = res.error();
+            return fc;
+        }
+        fc.loaded = true;
+        fc.report = model::validateModel(res.value());
+        break;
+      }
+      case model::FileKind::Campaign: {
+        auto res = model::tryParseTrainingData(text, opts);
+        if (!res.ok()) {
+            fc.load_error = res.error();
+            return fc;
+        }
+        fc.loaded = true;
+        fc.report = model::validateTrainingData(res.value());
+        break;
+      }
+      case model::FileKind::Checkpoint: {
+        auto res = model::tryParseCampaignCheckpoint(text, opts);
+        if (!res.ok()) {
+            fc.load_error = res.error();
+            return fc;
+        }
+        fc.loaded = true;
+        fc.report = model::validateCheckpoint(res.value());
+        break;
+      }
+    }
+    return fc;
+}
+
+int
+cmdValidate(const std::vector<std::string> &paths,
+            const CliFlags &flags)
+{
+    // Deliberately no `validate` in the LoadOptions: the checks run
+    // explicitly below so the full report is printed, not just the
+    // first-error summary a strict load would produce.
+    model::LoadOptions opts;
+    opts.allow_legacy = !flags.strict || flags.allow_legacy;
+
+    int rc = 0;
+    if (flags.json)
+        std::printf("[");
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        const FileCheck fc = checkFile(paths[i], opts);
+        if (!fc.loaded || !fc.report.ok())
+            rc = 1;
+        if (flags.json) {
+            std::string line = "{\"file\":\"" +
+                               jsonEscape(paths[i]) + "\"";
+            if (!fc.kind.empty())
+                line += ",\"kind\":\"" + fc.kind + "\"";
+            if (fc.loaded) {
+                std::string rep = fc.report.toJson();
+                while (!rep.empty() &&
+                       (rep.back() == '\n' || rep.back() == '\r'))
+                    rep.pop_back();
+                line += ",\"loaded\":true,\"report\":" + rep;
+            } else {
+                line += ",\"loaded\":false,\"error\":{\"code\":\"";
+                line += std::string(
+                        model::ioErrcName(fc.load_error.code));
+                line += "\",\"message\":\"" +
+                        jsonEscape(fc.load_error.message) + "\"}";
+            }
+            line += "}";
+            std::printf("%s%s", i ? "," : "", line.c_str());
+        } else if (!fc.loaded) {
+            std::printf("%s: load failed [%s]: %s\n",
+                        paths[i].c_str(),
+                        std::string(model::ioErrcName(
+                                fc.load_error.code)).c_str(),
+                        fc.load_error.message.c_str());
+        } else {
+            std::printf("%s: %s", paths[i].c_str(),
+                        fc.report.summary().c_str());
+        }
+    }
+    if (flags.json)
+        std::printf("]\n");
+    return rc;
+}
+
+int
+cmdInfo(const std::string &path, const CliFlags &flags)
+{
+    auto res = model::tryLoadModel(path, loadOptionsOf(flags));
+    if (!res.ok())
+        return reportLoadFailure(res.error());
+    const auto m = res.value();
     const auto &desc = gpu::DeviceDescriptor::get(m.deviceKind());
     std::printf("device: %s\n", desc.name.c_str());
     std::printf("reference: (%d, %d) MHz\n", m.reference().core_mhz,
@@ -231,9 +411,12 @@ profileApp(const model::DvfsPowerModel &m,
 
 int
 cmdPredict(const std::string &path, const std::string &app_name,
-           std::optional<gpu::FreqConfig> cfg)
+           std::optional<gpu::FreqConfig> cfg, const CliFlags &flags)
 {
-    const auto m = model::loadModel(path);
+    auto res = model::tryLoadModel(path, loadOptionsOf(flags));
+    if (!res.ok())
+        return reportLoadFailure(res.error());
+    const auto m = res.value();
     const auto app = findApp(app_name);
     if (!app) {
         std::fprintf(stderr, "unknown application '%s'\n",
@@ -257,9 +440,13 @@ cmdPredict(const std::string &path, const std::string &app_name,
 }
 
 int
-cmdSweep(const std::string &path, const std::string &app_name)
+cmdSweep(const std::string &path, const std::string &app_name,
+         const CliFlags &flags)
 {
-    const auto m = model::loadModel(path);
+    auto res = model::tryLoadModel(path, loadOptionsOf(flags));
+    if (!res.ok())
+        return reportLoadFailure(res.error());
+    const auto m = res.value();
     const auto app = findApp(app_name);
     if (!app) {
         std::fprintf(stderr, "unknown application '%s'\n",
@@ -275,6 +462,37 @@ cmdSweep(const std::string &path, const std::string &app_name)
                   std::to_string(pt.cfg.mem_mhz),
                   TextTable::num(pt.prediction.total_w, 1)});
     t.print(std::cout);
+    return 0;
+}
+
+/**
+ * Fit a model from campaign data through the typed estimator path and
+ * persist it: numerical failures print their error code and iteration
+ * trace instead of aborting.
+ */
+int
+fitAndSave(const model::TrainingData &data, const std::string &out)
+{
+    auto res = model::ModelEstimator().tryEstimate(data);
+    if (!res.ok()) {
+        const auto &fe = res.error();
+        std::fprintf(stderr, "fit failed [%s]: %s\n",
+                     std::string(
+                             model::fitErrcName(fe.code)).c_str(),
+                     fe.message.c_str());
+        for (std::size_t i = 0; i < fe.sse_history.size(); ++i)
+            std::fprintf(stderr, "  iteration %zu: SSE %.6g\n",
+                         i + 1, fe.sse_history[i]);
+        return 1;
+    }
+    const auto &fit = res.value();
+    std::fprintf(stderr,
+                 "fit: %d iterations, RMSE %.2f W (design rank %zu, "
+                 "condition %.1e)\n",
+                 fit.iterations, fit.rmse_w, fit.design_rank,
+                 fit.condition_number);
+    model::saveModel(fit.model, out);
+    std::fprintf(stderr, "model written to %s\n", out.c_str());
     return 0;
 }
 
@@ -325,15 +543,11 @@ main(int argc, char **argv)
             return 0;
         }
         if (cmd == "fit" && nargs == 3) {
-            const auto data = model::loadTrainingData(args[1]);
-            const auto fit = model::ModelEstimator().estimate(data);
-            std::fprintf(stderr,
-                         "fit: %d iterations, RMSE %.2f W\n",
-                         fit.iterations, fit.rmse_w);
-            model::saveModel(fit.model, args[2]);
-            std::fprintf(stderr, "model written to %s\n",
-                         args[2].c_str());
-            return 0;
+            auto data = model::tryLoadTrainingData(
+                    args[1], loadOptionsOf(flags));
+            if (!data.ok())
+                return reportLoadFailure(data.error());
+            return fitAndSave(data.value(), args[2]);
         }
         if (cmd == "train" && nargs == 3) {
             const auto kind = parseDevice(args[1]);
@@ -347,26 +561,22 @@ main(int argc, char **argv)
             } else {
                 data = runCampaign(*kind);
             }
-            const auto fit = model::ModelEstimator().estimate(*data);
-            std::fprintf(stderr,
-                         "fit: %d iterations, RMSE %.2f W\n",
-                         fit.iterations, fit.rmse_w);
-            model::saveModel(fit.model, args[2]);
-            std::fprintf(stderr, "model written to %s\n",
-                         args[2].c_str());
-            return 0;
+            return fitAndSave(*data, args[2]);
         }
         if (cmd == "info" && nargs == 2)
-            return cmdInfo(args[1]);
+            return cmdInfo(args[1], flags);
         if (cmd == "predict" && (nargs == 3 || nargs == 5)) {
             std::optional<gpu::FreqConfig> cfg;
             if (nargs == 5)
                 cfg = gpu::FreqConfig{std::atoi(args[3].c_str()),
                                       std::atoi(args[4].c_str())};
-            return cmdPredict(args[1], args[2], cfg);
+            return cmdPredict(args[1], args[2], cfg, flags);
         }
         if (cmd == "sweep" && nargs == 3)
-            return cmdSweep(args[1], args[2]);
+            return cmdSweep(args[1], args[2], flags);
+        if (cmd == "validate" && nargs >= 2)
+            return cmdValidate({args.begin() + 1, args.end()},
+                               flags);
         if (cmd == "export-cuda" && nargs == 2) {
             std::ofstream out(args[1]);
             if (!out) {
