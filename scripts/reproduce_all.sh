@@ -19,8 +19,11 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
         core_test_metrics core_test_power_model core_test_estimator \
         core_test_campaign core_test_faults core_test_resilient \
         core_test_model_io core_test_validate linalg_test_matrix \
-        linalg_test_lstsq linalg_test_isotonic gpupm_fuzz_smoke
-    for t in build-asan/tests/core_test_* build-asan/tests/linalg_test_*; do
+        linalg_test_lstsq linalg_test_isotonic \
+        obs_test_trace obs_test_metrics obs_test_convergence \
+        gpupm_fuzz_smoke gpupm_cli gpupm_trace_check
+    for t in build-asan/tests/core_test_* build-asan/tests/linalg_test_* \
+             build-asan/tests/obs_test_*; do
         [ -f "$t" ] && [ -x "$t" ] || continue
         echo "== sanitize: $t"
         "$t"
@@ -29,7 +32,41 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
     # back as typed errors, never as crashes or sanitizer findings.
     echo "== sanitize: gpupm_fuzz_smoke"
     build-asan/tools/gpupm_fuzz_smoke
+    # The traced measure->fit pipeline under ASan+UBSan: the tracer,
+    # metrics registry and convergence observer run concurrently with
+    # the whole stack, then the artifacts are structurally validated.
+    echo "== sanitize: traced fit pipeline"
+    build-asan/tools/gpupm fit titanx build-asan/obs.model \
+        --trace-out=build-asan/obs.trace.json \
+        --metrics-out=build-asan/obs.metrics.prom \
+        --convergence-out=build-asan/obs.convergence.csv
+    build-asan/tools/gpupm_trace_check trace build-asan/obs.trace.json \
+        campaign backend sim estimator io cli
+    build-asan/tools/gpupm_trace_check metrics build-asan/obs.metrics.prom
+    build-asan/tools/gpupm_trace_check convergence \
+        build-asan/obs.convergence.csv
 fi
+
+# Traced end-to-end reproduction run: campaign -> fit -> sweep with
+# the tracer on, then a per-phase wall-clock table sourced from the
+# trace (gpupm_trace_check summary merges overlapping spans, so the
+# numbers are true per-category wall-clock).
+echo "==================================================="
+echo "== traced pipeline timing"
+echo "==================================================="
+work=build/reproduce_obs
+mkdir -p "$work"
+build/tools/gpupm campaign titanx "$work/tx.campaign" --retries=2 \
+    --trace-out="$work/campaign.trace.json" \
+    --metrics-out="$work/campaign.metrics.prom"
+build/tools/gpupm fit "$work/tx.campaign" "$work/tx.model" \
+    --trace-out="$work/fit.trace.json" \
+    --convergence-out="$work/fit.convergence.csv"
+build/tools/gpupm sweep "$work/tx.model" BLCKSC \
+    --trace-out="$work/sweep.trace.json" > /dev/null
+for phase in campaign fit sweep; do
+    build/tools/gpupm_trace_check summary "$work/$phase.trace.json"
+done
 
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue

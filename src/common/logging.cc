@@ -1,9 +1,65 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace gpupm
 {
+
+namespace
+{
+
+/** GPUPM_LOG is consulted once, at first use. */
+LogLevel
+initialLogLevel()
+{
+    const char *env = std::getenv("GPUPM_LOG");
+    LogLevel level = LogLevel::Info;
+    if (env && *env && !parseLogLevel(env, level)) {
+        std::cerr << "warn: unknown GPUPM_LOG level '" << env
+                  << "' (want debug|info|warn|error)\n";
+    }
+    return level;
+}
+
+std::atomic<LogLevel> &
+levelSlot()
+{
+    static std::atomic<LogLevel> level{initialLogLevel()};
+    return level;
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    levelSlot().store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return levelSlot().load(std::memory_order_relaxed);
+}
+
+bool
+parseLogLevel(std::string_view name, LogLevel &out)
+{
+    if (name == "debug") {
+        out = LogLevel::Debug;
+    } else if (name == "info") {
+        out = LogLevel::Info;
+    } else if (name == "warn" || name == "warning") {
+        out = LogLevel::Warn;
+    } else if (name == "error" || name == "quiet") {
+        out = LogLevel::Error;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 namespace detail
 {
 
@@ -32,6 +88,12 @@ void
 informImpl(const std::string &msg)
 {
     std::cerr << "info: " << msg << "\n";
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::cerr << "debug: " << msg << "\n";
 }
 
 } // namespace detail

@@ -7,6 +7,14 @@
  *            arguments); exits with an error code.
  * warn()   — something is questionable but execution can continue.
  * inform() — a normal status message.
+ * debug()  — chatty diagnostics, off by default.
+ *
+ * Status chatter is gated by a global log level so traced or scripted
+ * runs are not drowned in it: debug() prints at Debug, inform() at
+ * Info and below, warn() at Warn and below; panic/fatal are never
+ * suppressed. The initial level comes from the GPUPM_LOG environment
+ * variable (debug | info | warn | error — a.k.a. quiet); the CLI maps
+ * --verbose and --quiet onto setLogLevel().
  */
 
 #ifndef GPUPM_COMMON_LOGGING_HH
@@ -16,9 +24,31 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace gpupm
 {
+
+/** Severity threshold of the status-message helpers. */
+enum class LogLevel
+{
+    Debug = 0, ///< everything, including debug()
+    Info = 1,  ///< inform() and warn() (the default)
+    Warn = 2,  ///< warn() only
+    Error = 3, ///< nothing but panic/fatal ("quiet")
+};
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+/** Current global log level (initialized from GPUPM_LOG). */
+LogLevel logLevel();
+
+/**
+ * Parse a level name: debug | info | warn[ing] | error | quiet.
+ * Returns false (leaving `out` untouched) on anything else.
+ */
+bool parseLogLevel(std::string_view name, LogLevel &out);
 
 namespace detail
 {
@@ -39,6 +69,7 @@ concat(Args &&...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 } // namespace detail
 
@@ -71,20 +102,34 @@ void informImpl(const std::string &msg);
         } \
     } while (0)
 
-/** Non-fatal warning to stderr. */
+/** Non-fatal warning to stderr (suppressed above Warn). */
 template <typename... Args>
 void
 warn(Args &&...args)
 {
+    if (logLevel() > LogLevel::Warn)
+        return;
     detail::warnImpl(detail::concat(std::forward<Args>(args)...));
 }
 
-/** Informational message to stderr. */
+/** Informational message to stderr (suppressed above Info). */
 template <typename... Args>
 void
 inform(Args &&...args)
 {
+    if (logLevel() > LogLevel::Info)
+        return;
     detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Debug chatter to stderr (printed only at Debug). */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logLevel() > LogLevel::Debug)
+        return;
+    detail::debugImpl(detail::concat(std::forward<Args>(args)...));
 }
 
 } // namespace gpupm

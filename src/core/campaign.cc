@@ -5,9 +5,12 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/numio.hh"
 #include "core/faults.hh"
 #include "core/metrics.hh"
 #include "core/model_io.hh"
+#include "obs/standard.hh"
+#include "obs/trace.hh"
 
 namespace gpupm
 {
@@ -21,6 +24,11 @@ runTrainingCampaign(MeasurementBackend &backend,
 {
     GPUPM_ASSERT(!suite.empty(), "empty microbenchmark suite");
     const gpu::DeviceDescriptor &desc = backend.descriptor();
+    obs::campaignRunsTotal().inc();
+
+    GPUPM_TRACE_SPAN_NAMED(span, "campaign", "campaign.training");
+    span.arg("device", desc.name);
+    span.arg("benchmarks", numio::formatLong((long)suite.size()));
 
     TrainingData data;
     data.device = desc.kind;
@@ -33,6 +41,8 @@ runTrainingCampaign(MeasurementBackend &backend,
             data.utils.push_back(gpu::ComponentArray{});
             continue;
         }
+        GPUPM_TRACE_SPAN_NAMED(pspan, "campaign", "campaign.profile");
+        pspan.arg("benchmark", mb.name);
         const auto rm =
                 backend.profileKernel(mb.demand, data.reference);
         data.utils.push_back(
@@ -42,6 +52,8 @@ runTrainingCampaign(MeasurementBackend &backend,
     // Power at every configuration.
     data.power_w.assign(suite.size(), {});
     for (std::size_t b = 0; b < suite.size(); ++b) {
+        GPUPM_TRACE_SPAN_NAMED(bspan, "campaign", "campaign.power");
+        bspan.arg("benchmark", suite[b].name);
         data.power_w[b].reserve(data.configs.size());
         for (const gpu::FreqConfig &cfg : data.configs) {
             if (suite[b].demand.empty()) {
@@ -76,9 +88,11 @@ CampaignReport::summary() const
        << cells_failed << " failed)\n";
     os << "  resilience: " << totals.attempts << " attempts, "
        << totals.retries << " retries, " << totals.timeouts
-       << " timeouts, " << totals.outliers_rejected
+       << " timeouts, " << totals.call_failures
+       << " calls exhausted, " << totals.outliers_rejected
        << " outliers rejected, " << totals.corrupt_samples
-       << " corrupt samples, " << totals.backoff_total_s
+       << " corrupt samples, " << totals.quarantined_calls
+       << " quarantine refusals, " << totals.backoff_total_s
        << " s backoff\n";
     if (faults_injected > 0)
         os << "  faults injected: " << faults_injected << "\n";
@@ -95,6 +109,68 @@ CampaignReport::summary() const
     }
     os << "  benchmarks needing recovery: " << flagged << "/"
        << benchmarks.size() << "\n";
+    for (const auto &b : benchmarks) {
+        if (!(b.retries || b.call_failures || b.outliers_rejected ||
+              b.corrupt_samples || b.timeouts))
+            continue;
+        os << "    " << b.name << ": " << b.retries << " retries, "
+           << b.timeouts << " timeouts, " << b.call_failures
+           << " failures, " << b.outliers_rejected << " outliers, "
+           << b.corrupt_samples << " corrupt";
+        if (b.faults_injected > 0)
+            os << ", " << b.faults_injected << " faults";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"cells\":{\"total\":" << cells_total
+       << ",\"done\":" << cells_done
+       << ",\"resumed\":" << cells_resumed
+       << ",\"failed\":" << cells_failed << "}";
+    os << ",\"faults_injected\":" << faults_injected;
+    os << ",\"resilience\":{\"attempts\":" << totals.attempts
+       << ",\"retries\":" << totals.retries
+       << ",\"timeouts\":" << totals.timeouts
+       << ",\"call_failures\":" << totals.call_failures
+       << ",\"corrupt_samples\":" << totals.corrupt_samples
+       << ",\"outliers_rejected\":" << totals.outliers_rejected
+       << ",\"quarantined_calls\":" << totals.quarantined_calls
+       << ",\"backoff_seconds\":"
+       << numio::formatDouble(totals.backoff_total_s) << "}";
+    os << ",\"quarantined\":[";
+    for (std::size_t i = 0; i < quarantined.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"core_mhz\":" << quarantined[i].core_mhz
+           << ",\"mem_mhz\":" << quarantined[i].mem_mhz << "}";
+    }
+    os << "],\"benchmarks\":[";
+    bool first = true;
+    for (const auto &b : benchmarks) {
+        // Only the rows with something to report: the common case of
+        // a clean benchmark would bloat the document with zeros.
+        if (!(b.retries || b.call_failures || b.outliers_rejected ||
+              b.corrupt_samples || b.timeouts || b.faults_injected))
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        std::string name;
+        for (char c : b.name)
+            name += (c == '"' || c == '\\') ? '_' : c;
+        os << "{\"name\":\"" << name << "\",\"retries\":" << b.retries
+           << ",\"timeouts\":" << b.timeouts
+           << ",\"call_failures\":" << b.call_failures
+           << ",\"outliers_rejected\":" << b.outliers_rejected
+           << ",\"corrupt_samples\":" << b.corrupt_samples
+           << ",\"faults_injected\":" << b.faults_injected << "}";
+    }
+    os << "]}\n";
     return os.str();
 }
 
@@ -131,6 +207,13 @@ runResilientTrainingCampaign(
     const std::size_t nb = suite.size();
     const std::size_t nc = grid.size();
     GPUPM_ASSERT(nc < kProfileCell, "grid too large for cell seeding");
+    obs::campaignRunsTotal().inc();
+
+    GPUPM_TRACE_SPAN_NAMED(span, "campaign",
+                           "campaign.training-resilient");
+    span.arg("device", desc.name);
+    span.arg("benchmarks", numio::formatLong((long)nb));
+    span.arg("configs", numio::formatLong((long)nc));
 
     ResilientBackend shield(backend, opts.resilience);
     const auto *injector =
@@ -175,6 +258,7 @@ runResilientTrainingCampaign(
                 resumed += d ? 1 : 0;
         ck = std::move(prev);
         ck.report.cells_resumed = resumed;
+        obs::campaignCellsResumedTotal().inc(resumed);
         inform("resuming campaign from '", opts.checkpoint_path,
                "': ", resumed, " cells already measured");
     }
@@ -193,6 +277,7 @@ runResilientTrainingCampaign(
     };
     const auto after_cell = [&] {
         ++measured_this_run;
+        obs::campaignCellsDoneTotal().inc();
         if (++since_checkpoint >= std::max(1, opts.checkpoint_every))
             save();
     };
@@ -219,6 +304,8 @@ runResilientTrainingCampaign(
     };
 
     // Pass 1: performance events at the reference configuration.
+    {
+    GPUPM_TRACE_SPAN("campaign", "campaign.pass.profile");
     for (std::size_t b = 0; b < nb && !stopped; ++b) {
         if (ck.utils_done[b])
             continue;
@@ -227,6 +314,9 @@ runResilientTrainingCampaign(
             break;
         }
         if (!suite[b].demand.empty()) {
+            GPUPM_TRACE_SPAN_NAMED(pspan, "campaign",
+                                   "campaign.profile");
+            pspan.arg("benchmark", suite[b].name);
             shield.reseed(cellSeed(ck.seed, b, kProfileCell));
             auto e = shield.tryProfileKernel(suite[b].demand,
                                              reference);
@@ -243,9 +333,14 @@ runResilientTrainingCampaign(
         ck.utils_done[b] = 1;
         after_cell();
     }
+    }
 
     // Pass 2: power at every configuration.
+    {
+    GPUPM_TRACE_SPAN("campaign", "campaign.pass.power");
     for (std::size_t b = 0; b < nb && !stopped; ++b) {
+        GPUPM_TRACE_SPAN_NAMED(bspan, "campaign", "campaign.power");
+        bspan.arg("benchmark", suite[b].name);
         for (std::size_t c = 0; c < nc && !stopped; ++c) {
             if (ck.power_done[b][c])
                 continue;
@@ -279,8 +374,10 @@ runResilientTrainingCampaign(
                 after_cell();
             } else {
                 ++ck.report.cells_failed;
+                obs::campaignCellsFailedTotal().inc();
             }
         }
+    }
     }
 
     // Totals and quarantine state into the report.
@@ -295,9 +392,12 @@ runResilientTrainingCampaign(
         t.outliers_rejected += now.outliers_rejected;
         t.quarantined_calls += now.quarantined_calls;
         t.backoff_total_s += now.backoff_total_s;
-        if (injector)
+        if (injector) {
             ck.report.faults_injected +=
                     injector->injected().total();
+            obs::campaignFaultsInjectedTotal().inc(
+                    injector->injected().total());
+        }
         for (const auto &cfg : shield.quarantined()) {
             if (std::find(ck.report.quarantined.begin(),
                           ck.report.quarantined.end(),

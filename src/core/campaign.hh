@@ -95,8 +95,16 @@ struct CampaignReport
     std::vector<gpu::FreqConfig> quarantined;
     std::vector<BenchmarkReport> benchmarks;
 
-    /** Human-readable multi-line summary. */
+    /**
+     * Human-readable multi-line summary, including the resilience
+     * totals (retries, timeouts, outliers, corrupt samples,
+     * exhausted calls, quarantine refusals) and the per-benchmark
+     * rows that needed recovery.
+     */
     std::string summary() const;
+
+    /** The same data as a JSON object (CLI --json output). */
+    std::string toJson() const;
 };
 
 /** Knobs of the fault-tolerant campaign runner. */

@@ -5,9 +5,12 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "common/numio.hh"
 #include "gpu/components.hh"
 #include "linalg/isotonic.hh"
 #include "linalg/lstsq.hh"
+#include "obs/standard.hh"
+#include "obs/trace.hh"
 
 namespace gpupm
 {
@@ -366,11 +369,42 @@ checkInput(const TrainingData &data)
 
 } // namespace
 
+namespace
+{
+
+/** Largest per-domain voltage move between two outer iterates. */
+double
+maxVoltageDelta(const std::vector<VoltagePair> &prev,
+                const std::vector<VoltagePair> &next)
+{
+    double dv = 0.0;
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+        dv = std::max(dv, std::abs(next[i].core - prev[i].core));
+        dv = std::max(dv, std::abs(next[i].mem - prev[i].mem));
+    }
+    return dv;
+}
+
+} // namespace
+
 FitResult
 ModelEstimator::tryEstimate(const TrainingData &data) const
 {
+    GPUPM_TRACE_SPAN_NAMED(fit_span, "estimator", "estimator.fit");
+    fit_span.arg("benchmarks", numio::formatLong(
+                                       (long)data.utils.size()));
+    fit_span.arg("configs", numio::formatLong(
+                                    (long)data.configs.size()));
+
+    const auto fail = [&](FitError err) -> FitResult {
+        obs::estimatorFitFailuresTotal().inc();
+        if (opts_.observer)
+            opts_.observer->onDone(false, err.iterations);
+        return err;
+    };
+
     if (auto err = checkInput(data))
-        return *err;
+        return fail(*err);
 
     const std::size_t nc = data.configs.size();
     const std::size_t ref_ci = *data.configIndex(data.reference);
@@ -403,20 +437,20 @@ ModelEstimator::tryEstimate(const TrainingData &data) const
     // coefficients and the voltages only appear as a product.
     if (opts_.fit_voltages && nc >= 2) {
         if (subset.size() < 2) {
-            return FitError{
+            return fail(FitError{
                 FitErrc::DegenerateGrid,
                 "no configuration shares a clock domain with the "
                 "reference: the Eq. 11 initialization cannot identify "
                 "the bilinear voltage/coefficient system",
                 {},
-                0};
+                0});
         }
         std::size_t active_rows = 0;
         for (const auto &u : data.utils)
             if (!isIdleRow(u))
                 ++active_rows;
         if (active_rows < 2) {
-            return FitError{
+            return fail(FitError{
                 FitErrc::DegenerateGrid,
                 detail::concat(
                         "only ", active_rows,
@@ -424,15 +458,41 @@ ModelEstimator::tryEstimate(const TrainingData &data) const
                         "voltage/coefficient product is "
                         "under-identified"),
                 {},
-                0};
+                0});
         }
     }
 
     std::vector<VoltagePair> voltages(nc); // all (1, 1)
-    ModelParams params = fitCoefficients(data, voltages, subset);
+    ModelParams params;
+    {
+        GPUPM_TRACE_SPAN("estimator", "estimator.init");
+        params = fitCoefficients(data, voltages, subset);
+    }
 
     EstimationResult res;
     res.sse_history.push_back(sse(data, params, voltages));
+
+    // Convergence telemetry: one record per outer iteration, plus the
+    // Eq. 11 initialization as iteration 0.
+    const auto emit = [&](int iteration, double sse_now,
+                          double prev_sse, double max_dv,
+                          double condition) {
+        if (!opts_.observer)
+            return;
+        obs::IterationRecord rec;
+        rec.iteration = iteration;
+        rec.sse = sse_now;
+        rec.delta_sse = iteration == 0 ? 0.0 : prev_sse - sse_now;
+        rec.max_dv = max_dv;
+        rec.als_residual =
+                iteration == 0
+                        ? 0.0
+                        : std::abs(prev_sse - sse_now) /
+                                  std::max(prev_sse, 1.0);
+        rec.condition = condition;
+        opts_.observer->onIteration(rec);
+    };
+    emit(0, res.sse_history.back(), 0.0, 0.0, 0.0);
 
     const auto numerical_failure = [&](const char *when) {
         return FitError{FitErrc::NumericalFailure,
@@ -443,7 +503,7 @@ ModelEstimator::tryEstimate(const TrainingData &data) const
     };
     if (!finiteParams(params) ||
         !std::isfinite(res.sse_history.back()))
-        return numerical_failure("initializing coefficients");
+        return fail(numerical_failure("initializing coefficients"));
 
     // All-config index list for step 3.
     std::vector<std::size_t> all(nc);
@@ -459,24 +519,33 @@ ModelEstimator::tryEstimate(const TrainingData &data) const
         res.converged = true;
         if (!finiteParams(params) ||
             !std::isfinite(res.sse_history.back()))
-            return numerical_failure("fitting coefficients");
+            return fail(numerical_failure("fitting coefficients"));
+        emit(1, res.sse_history.back(), res.sse_history.front(), 0.0,
+             diag.condition);
     } else {
         for (int it = 0; it < opts_.max_iterations; ++it) {
+            GPUPM_TRACE_SPAN_NAMED(it_span, "estimator",
+                                   "estimator.iteration");
+            it_span.arg("iteration", numio::formatLong(it + 1));
             // Step 2: voltages given coefficients.
+            const std::vector<VoltagePair> prev_v = voltages;
             voltages = fitVoltages(data, params, voltages, ref_ci);
             if (!finiteVoltages(voltages))
-                return numerical_failure("fitting voltages");
+                return fail(numerical_failure("fitting voltages"));
             // Step 3: coefficients given voltages, all configs.
             params = fitCoefficients(data, voltages, all, &diag);
             if (!finiteParams(params))
-                return numerical_failure("fitting coefficients");
+                return fail(
+                        numerical_failure("fitting coefficients"));
 
             const double s = sse(data, params, voltages);
             if (!std::isfinite(s))
-                return numerical_failure("evaluating the fit");
+                return fail(numerical_failure("evaluating the fit"));
             const double prev = res.sse_history.back();
             res.sse_history.push_back(s);
             res.iterations = it + 1;
+            emit(it + 1, s, prev, maxVoltageDelta(prev_v, voltages),
+                 diag.condition);
             // Relative improvement test with an absolute floor of
             // 1 W^2 so near-perfect (noise-free) fits also terminate.
             if (std::abs(prev - s) <=
@@ -496,6 +565,17 @@ ModelEstimator::tryEstimate(const TrainingData &data) const
     const double n = static_cast<double>(data.utils.size()) *
                      static_cast<double>(nc);
     res.rmse_w = std::sqrt(res.sse_history.back() / n);
+
+    obs::estimatorFitsTotal().inc();
+    obs::estimatorIterationsTotal().inc(res.iterations);
+    obs::estimatorIterationsPerFit().observe(res.iterations);
+    obs::estimatorLastIterations().set(res.iterations);
+    obs::estimatorLastRmseW().set(res.rmse_w);
+    obs::estimatorLastCondition().set(res.condition_number);
+    fit_span.arg("iterations", numio::formatLong(res.iterations));
+    fit_span.arg("converged", res.converged ? "true" : "false");
+    if (opts_.observer)
+        opts_.observer->onDone(res.converged, res.iterations);
     return res;
 }
 

@@ -34,6 +34,7 @@
 #include "core/resilient.hh"
 #include "gpu/device.hh"
 #include "linalg/lstsq.hh"
+#include "obs/convergence.hh"
 
 namespace gpupm
 {
@@ -86,6 +87,13 @@ struct EstimatorOptions
      * — so it earns more weight than one row among 83.
      */
     double idle_row_weight = 8.0;
+    /**
+     * Convergence-telemetry hook: receives one IterationRecord per
+     * outer iteration (and the Eq. 11 initialization as iteration 0).
+     * Not owned; may be null. The pointed-to observer must outlive
+     * the estimate() call.
+     */
+    obs::EstimatorObserver *observer = nullptr;
 };
 
 /**

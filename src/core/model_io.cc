@@ -13,6 +13,8 @@
 #include "common/logging.hh"
 #include "common/numio.hh"
 #include "core/validate.hh"
+#include "obs/standard.hh"
+#include "obs/trace.hh"
 
 namespace gpupm
 {
@@ -281,17 +283,25 @@ tryReadFile(const std::string &path)
 IoExpected<bool>
 tryWriteFile(const std::string &path, const std::string &text)
 {
+    GPUPM_TRACE_SPAN_NAMED(span, "io", "io.write");
+    span.arg("path", path);
+    span.arg("bytes", numio::formatLong((long)text.size()));
     std::ofstream out(path, std::ios::binary);
-    if (!out)
+    if (!out) {
+        obs::ioSaveFailuresTotal().inc();
         return IoStatus{IoErrc::IoError,
                         detail::concat("cannot open '", path,
                                        "' for writing")};
+    }
     out << text;
     out.flush();
-    if (!out)
+    if (!out) {
+        obs::ioSaveFailuresTotal().inc();
         return IoStatus{IoErrc::IoError,
                         detail::concat("write to '", path,
                                        "' failed")};
+    }
+    obs::ioSavesTotal().inc();
     return true;
 }
 
@@ -847,6 +857,7 @@ parseWithPolicy(const std::string &text, FileKind want,
         }
         T value = parse_payload(payload);
         if (opts.validate) {
+            GPUPM_TRACE_SPAN("io", "io.validate");
             const ValidationReport report = validate(value);
             if (!report.ok())
                 failParse(IoErrc::ValidationError, report.summary());
@@ -869,15 +880,23 @@ loadWithPolicy(const std::string &path, FileKind want,
                T (*parse_payload)(const std::string &),
                ValidationReport (*validate)(const T &))
 {
+    GPUPM_TRACE_SPAN_NAMED(span, "io", "io.load");
+    span.arg("path", path);
+    span.arg("kind", std::string(fileKindName(want)));
     auto text = tryReadFile(path);
-    if (!text.ok())
+    if (!text.ok()) {
+        obs::ioLoadFailuresTotal().inc();
         return text.error();
+    }
     auto res = parseWithPolicy<T>(text.value(), want, opts,
                                   parse_payload, validate);
-    if (!res.ok())
+    if (!res.ok()) {
+        obs::ioLoadFailuresTotal().inc();
         return IoStatus{res.error().code,
                         detail::concat("'", path, "': ",
                                        res.error().message)};
+    }
+    obs::ioLoadsTotal().inc();
     return res;
 }
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/numio.hh"
 #include "common/stats.hh"
+#include "obs/standard.hh"
+#include "obs/trace.hh"
 
 namespace gpupm
 {
@@ -83,6 +86,7 @@ ResilientBackend::notePersistentFailure(const gpu::FreqConfig &cfg)
     if (n >= opts_.quarantine_threshold && !isQuarantined(cfg)) {
         quarantine_[key(cfg)] = true;
         quarantine_order_.push_back(cfg);
+        obs::resilientQuarantinedConfigsTotal().inc();
         warn("quarantining configuration (", cfg.core_mhz, ", ",
              cfg.mem_mhz, ") MHz after ", n,
              " persistent measurement failures");
@@ -113,6 +117,7 @@ ResilientBackend::runWithRetries(const gpu::FreqConfig &cfg,
 {
     if (isQuarantined(cfg)) {
         ++counters_.quarantined_calls;
+        obs::resilientQuarantinedCallsTotal().inc();
         return Status{MeasureErrc::Quarantined,
                       detail::concat("configuration (", cfg.core_mhz,
                                      ", ", cfg.mem_mhz,
@@ -126,6 +131,7 @@ ResilientBackend::runWithRetries(const gpu::FreqConfig &cfg,
             // virtual (accounted, not slept) — the simulated substrate
             // has no wall clock to wait on.
             ++counters_.retries;
+            obs::resilientRetriesTotal().inc();
             double d = std::min(
                     opts_.backoff_max_s,
                     opts_.backoff_base_s *
@@ -134,8 +140,10 @@ ResilientBackend::runWithRetries(const gpu::FreqConfig &cfg,
             d *= 1.0 +
                  opts_.jitter_frac * (2.0 * jitter_rng_.uniform() - 1.0);
             counters_.backoff_total_s += d;
+            obs::resilientBackoffSecondsTotal().inc(d);
         }
         ++counters_.attempts;
+        obs::resilientAttemptsTotal().inc();
         try {
             T result = call();
             if (timer_ &&
@@ -143,6 +151,7 @@ ResilientBackend::runWithRetries(const gpu::FreqConfig &cfg,
                 // The call wedged past its deadline; a real harness
                 // would have killed it, so its result is discarded.
                 ++counters_.timeouts;
+                obs::resilientTimeoutsTotal().inc();
                 last = Status{
                     MeasureErrc::Timeout,
                     detail::concat("call exceeded the ",
@@ -158,6 +167,7 @@ ResilientBackend::runWithRetries(const gpu::FreqConfig &cfg,
         }
     }
     ++counters_.call_failures;
+    obs::resilientCallFailuresTotal().inc();
     notePersistentFailure(cfg);
     return last;
 }
@@ -166,6 +176,10 @@ Expected<cupti::RawMetrics>
 ResilientBackend::tryProfileKernel(const sim::KernelDemand &kernel,
                                    const gpu::FreqConfig &cfg)
 {
+    GPUPM_TRACE_SPAN_NAMED(span, "backend", "backend.profile");
+    span.arg("kernel", kernel.name);
+    span.arg("config", numio::formatLong(cfg.core_mhz) + "/" +
+                               numio::formatLong(cfg.mem_mhz));
     std::vector<cupti::RawMetrics> collections;
     Status last{MeasureErrc::Transient, "no collection succeeded"};
     for (int r = 0; r < opts_.profile_repetitions; ++r) {
@@ -203,6 +217,10 @@ ResilientBackend::tryMeasurePower(const sim::KernelDemand &kernel,
                                   int repetitions,
                                   double min_duration_s)
 {
+    GPUPM_TRACE_SPAN_NAMED(span, "backend", "backend.power");
+    span.arg("kernel", kernel.name);
+    span.arg("config", numio::formatLong(cfg.core_mhz) + "/" +
+                               numio::formatLong(cfg.mem_mhz));
     const int reps =
             std::max(repetitions, opts_.min_valid_repetitions);
     std::vector<nvml::PowerMeasurement> runs;
@@ -237,10 +255,13 @@ ResilientBackend::tryMeasurePower(const sim::KernelDemand &kernel,
     std::size_t representative = runs.size();
     for (std::size_t i = 0; i < runs.size(); ++i) {
         if (outlier[i]) {
-            if (std::isfinite(powers[i]))
+            if (std::isfinite(powers[i])) {
                 ++counters_.outliers_rejected;
-            else
+                obs::resilientOutliersRejectedTotal().inc();
+            } else {
                 ++counters_.corrupt_samples;
+                obs::resilientCorruptSamplesTotal().inc();
+            }
         } else {
             if (representative == runs.size())
                 representative = i;
@@ -266,6 +287,9 @@ Expected<double>
 ResilientBackend::tryMeasureIdlePower(const gpu::FreqConfig &cfg,
                                       int repetitions)
 {
+    GPUPM_TRACE_SPAN_NAMED(span, "backend", "backend.idle-power");
+    span.arg("config", numio::formatLong(cfg.core_mhz) + "/" +
+                               numio::formatLong(cfg.mem_mhz));
     const int reps =
             std::max(repetitions, opts_.min_valid_repetitions);
     std::vector<double> samples;
@@ -291,10 +315,13 @@ ResilientBackend::tryMeasureIdlePower(const gpu::FreqConfig &cfg,
     std::vector<double> survivors;
     for (std::size_t i = 0; i < samples.size(); ++i) {
         if (outlier[i]) {
-            if (std::isfinite(samples[i]))
+            if (std::isfinite(samples[i])) {
                 ++counters_.outliers_rejected;
-            else
+                obs::resilientOutliersRejectedTotal().inc();
+            } else {
                 ++counters_.corrupt_samples;
+                obs::resilientCorruptSamplesTotal().inc();
+            }
         } else {
             survivors.push_back(samples[i]);
         }

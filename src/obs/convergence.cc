@@ -1,0 +1,52 @@
+#include "convergence.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/numio.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+void
+ConvergenceRecorder::onIteration(const IterationRecord &rec)
+{
+    records_.push_back(rec);
+}
+
+void
+ConvergenceRecorder::onDone(bool converged, int iterations)
+{
+    converged_ = converged;
+    iterations_ = iterations;
+}
+
+std::string
+ConvergenceRecorder::toCsv() const
+{
+    std::ostringstream os;
+    os << "iteration,sse,delta_sse,max_dv,als_residual,condition\n";
+    for (const IterationRecord &r : records_) {
+        os << r.iteration << "," << numio::formatDouble(r.sse) << ","
+           << numio::formatDouble(r.delta_sse) << ","
+           << numio::formatDouble(r.max_dv) << ","
+           << numio::formatDouble(r.als_residual) << ","
+           << numio::formatDouble(r.condition) << "\n";
+    }
+    return os.str();
+}
+
+bool
+ConvergenceRecorder::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << toCsv();
+    return static_cast<bool>(out);
+}
+
+} // namespace obs
+} // namespace gpupm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Estimator convergence telemetry.
+ *
+ * The Sec. III-D fit is an alternating (ALS-style) heuristic; whether
+ * a model can be trusted depends on how the alternation converged.
+ * The estimator reports one IterationRecord per outer iteration
+ * through the EstimatorObserver hook; ConvergenceRecorder collects
+ * them and renders a CSV (`--convergence-out`) with one row per
+ * iteration, ready for plotting convergence curves:
+ *
+ *   iteration,sse,delta_sse,max_dv,als_residual,condition
+ */
+
+#ifndef GPUPM_OBS_CONVERGENCE_HH
+#define GPUPM_OBS_CONVERGENCE_HH
+
+#include <string>
+#include <vector>
+
+namespace gpupm
+{
+namespace obs
+{
+
+/** Telemetry of one outer estimator iteration. */
+struct IterationRecord
+{
+    /** 0 = the Eq. 11 initialization, then 1, 2, ... */
+    int iteration = 0;
+    /** Total squared error after this iteration, W^2. */
+    double sse = 0.0;
+    /** SSE improvement over the previous iteration (>= 0 when the
+     *  alternation behaves; 0 for the initialization row). */
+    double delta_sse = 0.0;
+    /** max |ΔV̄| over all configurations and both domains vs the
+     *  previous iterate (0 for the initialization row). */
+    double max_dv = 0.0;
+    /** Relative ALS step residual |ΔSSE| / max(SSE, 1): the quantity
+     *  the convergence test thresholds. */
+    double als_residual = 0.0;
+    /** Condition estimate of the coefficient design matrix (0 until
+     *  the first full-grid refit computes one). */
+    double condition = 0.0;
+};
+
+/** Hook the estimator drives; default implementations do nothing. */
+class EstimatorObserver
+{
+  public:
+    virtual ~EstimatorObserver() = default;
+
+    /** One outer iteration (or the initialization, iteration 0). */
+    virtual void onIteration(const IterationRecord &rec)
+    {
+        (void)rec;
+    }
+
+    /** The fit finished. @param converged  tolerance was reached. */
+    virtual void onDone(bool converged, int iterations)
+    {
+        (void)converged;
+        (void)iterations;
+    }
+};
+
+/** Observer that stores every record and renders them as CSV. */
+class ConvergenceRecorder : public EstimatorObserver
+{
+  public:
+    void onIteration(const IterationRecord &rec) override;
+    void onDone(bool converged, int iterations) override;
+
+    const std::vector<IterationRecord> &records() const
+    {
+        return records_;
+    }
+
+    bool converged() const { return converged_; }
+    int iterations() const { return iterations_; }
+
+    /** CSV document: header + one row per record. */
+    std::string toCsv() const;
+
+    /** Write toCsv() to a file; false on I/O failure. */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<IterationRecord> records_;
+    bool converged_ = false;
+    int iterations_ = 0;
+};
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_CONVERGENCE_HH

@@ -1,0 +1,272 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/numio.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Lock-free add for atomic<double> (no fetch_add before C++20 on
+ *  all toolchains; CAS loop is portable and contention here is low). */
+void
+atomicAdd(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+void
+Counter::inc(double v)
+{
+    if (v < 0.0)
+        return;
+    atomicAdd(value_, v);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    GPUPM_ASSERT(!bounds_.empty(), "histogram needs >= 1 bucket");
+    GPUPM_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bucket bounds must be sorted");
+    per_bucket_ = std::make_unique<std::atomic<double>[]>(
+            bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        per_bucket_[i].store(0.0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    const auto it =
+            std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const std::size_t idx =
+            static_cast<std::size_t>(it - bounds_.begin());
+    atomicAdd(per_bucket_[idx], 1.0);
+    atomicAdd(count_, 1.0);
+    atomicAdd(sum_, v);
+}
+
+std::vector<double>
+Histogram::cumulativeCounts() const
+{
+    std::vector<double> out(bounds_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        acc += per_bucket_[i].load(std::memory_order_relaxed);
+        out[i] = acc;
+    }
+    return out;
+}
+
+std::vector<double>
+secondsBuckets()
+{
+    return {1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+}
+
+std::vector<double>
+countBuckets()
+{
+    return {1, 10, 100, 1000, 10000};
+}
+
+std::vector<double>
+iterationBuckets()
+{
+    return {1, 2, 5, 10, 20, 50};
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+// Caller must hold mu_.
+Registry::Entry &
+Registry::entryOf(const std::string &name, Kind kind,
+                  const std::string &help)
+{
+    auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+        GPUPM_ASSERT(it->second.kind == kind,
+                     "metric '", name, "' re-registered as a "
+                     "different type");
+        return it->second;
+    }
+    Entry e;
+    e.kind = kind;
+    e.help = help;
+    return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entryOf(name, Kind::Counter, help);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entryOf(name, Kind::Gauge, help);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    std::vector<double> upper_bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entryOf(name, Kind::Histogram, help);
+    if (!e.histogram)
+        e.histogram =
+                std::make_unique<Histogram>(std::move(upper_bounds));
+    return *e.histogram;
+}
+
+std::size_t
+Registry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_.size();
+}
+
+std::string
+Registry::renderPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    for (const auto &[name, e] : metrics_) {
+        os << "# HELP " << name << " " << e.help << "\n";
+        switch (e.kind) {
+          case Kind::Counter:
+            os << "# TYPE " << name << " counter\n";
+            os << name << " "
+               << numio::formatDouble(e.counter ? e.counter->value()
+                                                : 0.0)
+               << "\n";
+            break;
+          case Kind::Gauge:
+            os << "# TYPE " << name << " gauge\n";
+            os << name << " "
+               << numio::formatDouble(e.gauge ? e.gauge->value() : 0.0)
+               << "\n";
+            break;
+          case Kind::Histogram: {
+            os << "# TYPE " << name << " histogram\n";
+            if (!e.histogram)
+                break;
+            const auto &bounds = e.histogram->upperBounds();
+            const auto cum = e.histogram->cumulativeCounts();
+            for (std::size_t i = 0; i < bounds.size(); ++i) {
+                os << name << "_bucket{le=\""
+                   << numio::formatDouble(bounds[i]) << "\"} "
+                   << numio::formatDouble(cum[i]) << "\n";
+            }
+            os << name << "_bucket{le=\"+Inf\"} "
+               << numio::formatDouble(e.histogram->count()) << "\n";
+            os << name << "_sum "
+               << numio::formatDouble(e.histogram->sum()) << "\n";
+            os << name << "_count "
+               << numio::formatDouble(e.histogram->count()) << "\n";
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
+std::string
+Registry::renderJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &[name, e] : metrics_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n\"" << name << "\":{";
+        switch (e.kind) {
+          case Kind::Counter:
+            os << "\"type\":\"counter\",\"value\":"
+               << numio::formatDouble(e.counter ? e.counter->value()
+                                                : 0.0);
+            break;
+          case Kind::Gauge:
+            os << "\"type\":\"gauge\",\"value\":"
+               << numio::formatDouble(e.gauge ? e.gauge->value()
+                                              : 0.0);
+            break;
+          case Kind::Histogram: {
+            os << "\"type\":\"histogram\"";
+            if (e.histogram) {
+                os << ",\"count\":"
+                   << numio::formatDouble(e.histogram->count())
+                   << ",\"sum\":"
+                   << numio::formatDouble(e.histogram->sum())
+                   << ",\"buckets\":[";
+                const auto &bounds = e.histogram->upperBounds();
+                const auto cum = e.histogram->cumulativeCounts();
+                for (std::size_t i = 0; i < bounds.size(); ++i) {
+                    if (i)
+                        os << ",";
+                    os << "{\"le\":"
+                       << numio::formatDouble(bounds[i])
+                       << ",\"count\":" << numio::formatDouble(cum[i])
+                       << "}";
+                }
+                os << "]";
+            }
+            break;
+          }
+        }
+        os << "}";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+bool
+Registry::writePrometheus(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << renderPrometheus();
+    return static_cast<bool>(out);
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_.clear();
+}
+
+} // namespace obs
+} // namespace gpupm

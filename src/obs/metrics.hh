@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Process-wide metrics registry.
+ *
+ * Counters (monotonic), gauges (set-to-latest) and histograms (fixed
+ * bucket layouts chosen at registration) with lock-free hot paths;
+ * the registry renders them as Prometheus text exposition format
+ * (`gpupm metrics`, `--metrics-out`) and as JSON (`gpupm metrics
+ * --json`). Metric names follow the Prometheus conventions:
+ * `gpupm_<subsystem>_<what>[_total|_seconds|...]` — the standard
+ * names instrumented across the pipeline are listed in standard.hh
+ * and DESIGN.md §9.
+ */
+
+#ifndef GPUPM_OBS_METRICS_HH
+#define GPUPM_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gpupm
+{
+namespace obs
+{
+
+/** Monotonically increasing value (counts, cumulative seconds). */
+class Counter
+{
+  public:
+    /** Add `v` (must be >= 0; negative increments are dropped). */
+    void inc(double v = 1.0);
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Last-written value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Cumulative histogram over a fixed, sorted bucket layout. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double v);
+
+    const std::vector<double> &upperBounds() const { return bounds_; }
+
+    /** Cumulative count of observations <= bounds()[i]. */
+    std::vector<double> cumulativeCounts() const;
+
+    double count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  private:
+    std::vector<double> bounds_; ///< sorted, exclusive of +Inf
+    std::unique_ptr<std::atomic<double>[]> per_bucket_; ///< + overflow
+    std::atomic<double> count_{0.0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Commonly useful bucket layouts. */
+std::vector<double> secondsBuckets();   ///< 100us .. 100s, log-spaced
+std::vector<double> countBuckets();     ///< 1 .. 10000, log-spaced
+std::vector<double> iterationBuckets(); ///< 1 .. 50 fit iterations
+
+/**
+ * Name -> metric map. Registration is idempotent: the first call
+ * creates the metric, later calls return the same instance (a
+ * differing help string or type on re-registration is a programming
+ * error and panics).
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Counter &counter(const std::string &name, const std::string &help);
+    Gauge &gauge(const std::string &name, const std::string &help);
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         std::vector<double> upper_bounds);
+
+    /** Number of registered metric families. */
+    std::size_t size() const;
+
+    /** Prometheus text exposition format (HELP/TYPE + samples). */
+    std::string renderPrometheus() const;
+
+    /** The same data as a JSON object keyed by metric name. */
+    std::string renderJson() const;
+
+    /** Write renderPrometheus() to a file; false on I/O failure. */
+    bool writePrometheus(const std::string &path) const;
+
+    /** Drop every metric (tests only; references die with them). */
+    void reset();
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Entry
+    {
+        Kind kind = Kind::Counter;
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &entryOf(const std::string &name, Kind kind,
+                   const std::string &help);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> metrics_;
+};
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_METRICS_HH

@@ -1,0 +1,242 @@
+#include "standard.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+namespace
+{
+Registry &
+reg()
+{
+    return Registry::global();
+}
+} // namespace
+
+Counter &
+estimatorFitsTotal()
+{
+    return reg().counter("gpupm_estimator_fits_total",
+                         "Completed Sec. III-D fits");
+}
+
+Counter &
+estimatorFitFailuresTotal()
+{
+    return reg().counter("gpupm_estimator_fit_failures_total",
+                         "Fits that returned a typed FitError");
+}
+
+Counter &
+estimatorIterationsTotal()
+{
+    return reg().counter("gpupm_estimator_iterations_total",
+                         "Outer ALS iterations across all fits");
+}
+
+Gauge &
+estimatorLastIterations()
+{
+    return reg().gauge("gpupm_estimator_last_iterations",
+                       "Outer iterations of the most recent fit");
+}
+
+Gauge &
+estimatorLastRmseW()
+{
+    return reg().gauge("gpupm_estimator_last_rmse_watts",
+                       "Final fit RMSE of the most recent fit, W");
+}
+
+Gauge &
+estimatorLastCondition()
+{
+    return reg().gauge(
+            "gpupm_estimator_last_condition",
+            "Design-matrix condition estimate of the most recent fit");
+}
+
+Histogram &
+estimatorIterationsPerFit()
+{
+    return reg().histogram("gpupm_estimator_iterations_per_fit",
+                           "Outer iterations needed per fit",
+                           iterationBuckets());
+}
+
+Counter &
+resilientAttemptsTotal()
+{
+    return reg().counter("gpupm_resilient_attempts_total",
+                         "Backend calls issued (incl. retries)");
+}
+
+Counter &
+resilientRetriesTotal()
+{
+    return reg().counter("gpupm_resilient_retries_total",
+                         "Attempts beyond each call's first");
+}
+
+Counter &
+resilientTimeoutsTotal()
+{
+    return reg().counter("gpupm_resilient_timeouts_total",
+                         "Attempts abandoned at the deadline");
+}
+
+Counter &
+resilientCallFailuresTotal()
+{
+    return reg().counter("gpupm_resilient_call_failures_total",
+                         "Calls that exhausted their retry budget");
+}
+
+Counter &
+resilientOutliersRejectedTotal()
+{
+    return reg().counter("gpupm_resilient_outliers_rejected_total",
+                         "Finite power samples rejected by MAD");
+}
+
+Counter &
+resilientCorruptSamplesTotal()
+{
+    return reg().counter("gpupm_resilient_corrupt_samples_total",
+                         "NaN / non-finite power samples discarded");
+}
+
+Counter &
+resilientQuarantinedCallsTotal()
+{
+    return reg().counter("gpupm_resilient_quarantined_calls_total",
+                         "Calls refused against quarantined configs");
+}
+
+Counter &
+resilientQuarantinedConfigsTotal()
+{
+    return reg().counter("gpupm_resilient_quarantined_configs_total",
+                         "Configurations placed in quarantine");
+}
+
+Counter &
+resilientBackoffSecondsTotal()
+{
+    return reg().counter("gpupm_resilient_backoff_seconds_total",
+                         "Virtual seconds spent backing off");
+}
+
+Counter &
+campaignRunsTotal()
+{
+    return reg().counter("gpupm_campaign_runs_total",
+                         "Training-campaign invocations");
+}
+
+Counter &
+campaignCellsDoneTotal()
+{
+    return reg().counter("gpupm_campaign_cells_done_total",
+                         "Measurement cells completed");
+}
+
+Counter &
+campaignCellsFailedTotal()
+{
+    return reg().counter("gpupm_campaign_cells_failed_total",
+                         "Cells unrecoverable after the full policy");
+}
+
+Counter &
+campaignCellsResumedTotal()
+{
+    return reg().counter("gpupm_campaign_cells_resumed_total",
+                         "Cells restored from a checkpoint");
+}
+
+Counter &
+campaignFaultsInjectedTotal()
+{
+    return reg().counter("gpupm_campaign_faults_injected_total",
+                         "Faults injected during campaigns");
+}
+
+Counter &
+ioLoadsTotal()
+{
+    return reg().counter("gpupm_io_loads_total",
+                         "Artifact loads that succeeded");
+}
+
+Counter &
+ioLoadFailuresTotal()
+{
+    return reg().counter("gpupm_io_load_failures_total",
+                         "Artifact loads that returned a typed error");
+}
+
+Counter &
+ioSavesTotal()
+{
+    return reg().counter("gpupm_io_saves_total",
+                         "Artifact saves that succeeded");
+}
+
+Counter &
+ioSaveFailuresTotal()
+{
+    return reg().counter("gpupm_io_save_failures_total",
+                         "Artifact saves that failed");
+}
+
+Counter &
+simKernelExecutionsTotal()
+{
+    return reg().counter("gpupm_sim_kernel_executions_total",
+                         "Simulated kernel executions");
+}
+
+Histogram &
+simKernelTimeSeconds()
+{
+    return reg().histogram("gpupm_sim_kernel_time_seconds",
+                           "Simulated kernel execution time, seconds",
+                           secondsBuckets());
+}
+
+void
+registerStandardMetrics()
+{
+    estimatorFitsTotal();
+    estimatorFitFailuresTotal();
+    estimatorIterationsTotal();
+    estimatorLastIterations();
+    estimatorLastRmseW();
+    estimatorLastCondition();
+    estimatorIterationsPerFit();
+    resilientAttemptsTotal();
+    resilientRetriesTotal();
+    resilientTimeoutsTotal();
+    resilientCallFailuresTotal();
+    resilientOutliersRejectedTotal();
+    resilientCorruptSamplesTotal();
+    resilientQuarantinedCallsTotal();
+    resilientQuarantinedConfigsTotal();
+    resilientBackoffSecondsTotal();
+    campaignRunsTotal();
+    campaignCellsDoneTotal();
+    campaignCellsFailedTotal();
+    campaignCellsResumedTotal();
+    campaignFaultsInjectedTotal();
+    ioLoadsTotal();
+    ioLoadFailuresTotal();
+    ioSavesTotal();
+    ioSaveFailuresTotal();
+    simKernelExecutionsTotal();
+    simKernelTimeSeconds();
+}
+
+} // namespace obs
+} // namespace gpupm

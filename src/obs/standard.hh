@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The standard gpupm metric catalog.
+ *
+ * Every metric the pipeline instruments lives here as a named
+ * accessor, so instrument sites cannot typo a name and the whole
+ * catalog can be pre-registered (registerStandardMetrics) before a
+ * dump — a `gpupm metrics` run or a `--metrics-out` file always shows
+ * the full schema, with zeros for paths that did not run.
+ */
+
+#ifndef GPUPM_OBS_STANDARD_HH
+#define GPUPM_OBS_STANDARD_HH
+
+#include "obs/metrics.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+// -- Estimator (Sec. III-D fit) --------------------------------------
+
+Counter &estimatorFitsTotal();
+Counter &estimatorFitFailuresTotal();
+Counter &estimatorIterationsTotal();
+Gauge &estimatorLastIterations();
+Gauge &estimatorLastRmseW();
+Gauge &estimatorLastCondition();
+Histogram &estimatorIterationsPerFit();
+
+// -- Resilient measurement backend -----------------------------------
+
+Counter &resilientAttemptsTotal();
+Counter &resilientRetriesTotal();
+Counter &resilientTimeoutsTotal();
+Counter &resilientCallFailuresTotal();
+Counter &resilientOutliersRejectedTotal();
+Counter &resilientCorruptSamplesTotal();
+Counter &resilientQuarantinedCallsTotal();
+Counter &resilientQuarantinedConfigsTotal();
+Counter &resilientBackoffSecondsTotal();
+
+// -- Campaigns -------------------------------------------------------
+
+Counter &campaignRunsTotal();
+Counter &campaignCellsDoneTotal();
+Counter &campaignCellsFailedTotal();
+Counter &campaignCellsResumedTotal();
+Counter &campaignFaultsInjectedTotal();
+
+// -- Artifact I/O ----------------------------------------------------
+
+Counter &ioLoadsTotal();
+Counter &ioLoadFailuresTotal();
+Counter &ioSavesTotal();
+Counter &ioSaveFailuresTotal();
+
+// -- Simulator -------------------------------------------------------
+
+Counter &simKernelExecutionsTotal();
+Histogram &simKernelTimeSeconds();
+
+/**
+ * Register the whole catalog in Registry::global(). Idempotent;
+ * called by the CLI before any dump.
+ */
+void registerStandardMetrics();
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_STANDARD_HH

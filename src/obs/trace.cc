@@ -1,0 +1,191 @@
+#include "trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/numio.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+namespace
+{
+
+/** JSON string escaping for names, categories and args. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::enable()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    epoch_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+void
+Tracer::record(TraceEvent ev)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(ev));
+}
+
+std::int64_t
+Tracer::nowUs() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+}
+
+int
+Tracer::threadOrdinal()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto id = std::this_thread::get_id();
+    auto it = tids_.find(id);
+    if (it == tids_.end())
+        it = tids_.emplace(id, static_cast<int>(tids_.size())).first;
+    return it->second;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+}
+
+std::string
+Tracer::renderChromeTrace() const
+{
+    const auto events = snapshot();
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        if (i)
+            os << ",";
+        os << "\n{\"name\":\"" << jsonEscape(e.name)
+           << "\",\"cat\":\"" << jsonEscape(e.cat)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+           << ",\"ts\":" << numio::formatLong(e.ts_us)
+           << ",\"dur\":" << numio::formatLong(e.dur_us);
+        if (!e.args.empty()) {
+            os << ",\"args\":{";
+            for (std::size_t k = 0; k < e.args.size(); ++k) {
+                if (k)
+                    os << ",";
+                os << "\"" << jsonEscape(e.args[k].first)
+                   << "\":\"" << jsonEscape(e.args[k].second) << "\"";
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return os.str();
+}
+
+bool
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << renderChromeTrace();
+    return static_cast<bool>(out);
+}
+
+SpanGuard::SpanGuard(const char *cat, std::string name)
+{
+    Tracer &t = Tracer::global();
+    if (!t.enabled())
+        return;
+    armed_ = true;
+    ev_.cat = cat;
+    ev_.name = std::move(name);
+    ev_.tid = t.threadOrdinal();
+    start_us_ = t.nowUs();
+}
+
+SpanGuard::~SpanGuard()
+{
+    if (!armed_)
+        return;
+    Tracer &t = Tracer::global();
+    ev_.ts_us = start_us_;
+    ev_.dur_us = t.nowUs() - start_us_;
+    if (ev_.dur_us < 0)
+        ev_.dur_us = 0;
+    t.record(std::move(ev_));
+}
+
+void
+SpanGuard::arg(std::string key, std::string value)
+{
+    if (!armed_)
+        return;
+    ev_.args.emplace_back(std::move(key), std::move(value));
+}
+
+} // namespace obs
+} // namespace gpupm

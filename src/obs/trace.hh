@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Span-based tracer with Chrome trace-event export.
+ *
+ * Instrumented code opens RAII spans (GPUPM_TRACE_SPAN) around units
+ * of work; the global Tracer collects one complete event ("ph":"X")
+ * per span and exports them as Chrome trace-event JSON, loadable in
+ * chrome://tracing and Perfetto. The tracer is off by default: a
+ * disabled SpanGuard reads one relaxed atomic in its constructor and
+ * does nothing else, so instrumentation can stay in hot paths
+ * permanently.
+ *
+ * Span taxonomy (the `cat` field; see DESIGN.md §9):
+ *
+ *   cli        one root span per gpupm subcommand
+ *   campaign   training-campaign passes and per-benchmark work
+ *   backend    resilient measurement calls (profile / power / idle)
+ *   sim        simulated kernel executions
+ *   estimator  Sec. III-D fit, per-iteration spans
+ *   io         artifact load / save / validation
+ */
+
+#ifndef GPUPM_OBS_TRACE_HH
+#define GPUPM_OBS_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gpupm
+{
+namespace obs
+{
+
+/** One completed span, in the Chrome trace-event vocabulary. */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    std::int64_t ts_us = 0;  ///< start, microseconds since enable()
+    std::int64_t dur_us = 0; ///< duration, microseconds
+    int tid = 0;             ///< small per-process thread ordinal
+    /** Optional key/value annotations ("args" in the JSON). */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Process-global span sink. Thread-safe: spans may complete
+ * concurrently from any thread; each is recorded under one lock.
+ */
+class Tracer
+{
+  public:
+    static Tracer &global();
+
+    /** Start collecting; resets the clock epoch and drops old spans. */
+    void enable();
+
+    /** Stop collecting (already-collected spans are kept). */
+    void disable();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Record one completed span. */
+    void record(TraceEvent ev);
+
+    /** Microseconds since the tracer's epoch (monotonic clock). */
+    std::int64_t nowUs() const;
+
+    /** Small ordinal of the calling thread (0 = first seen). */
+    int threadOrdinal();
+
+    /** Copy of everything collected so far. */
+    std::vector<TraceEvent> snapshot() const;
+
+    std::size_t eventCount() const;
+
+    /** Drop all collected spans (the epoch is kept). */
+    void clear();
+
+    /** The collected spans as a Chrome trace-event JSON document. */
+    std::string renderChromeTrace() const;
+
+    /** Write renderChromeTrace() to a file; false on I/O failure. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    Tracer();
+
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+    std::map<std::thread::id, int> tids_;
+};
+
+/**
+ * RAII span: captures the start time on construction, records one
+ * complete event on destruction. When the tracer is disabled at
+ * construction the guard is inert (its destructor does nothing), so
+ * a span that straddles enable() is dropped rather than truncated.
+ */
+class SpanGuard
+{
+  public:
+    SpanGuard(const char *cat, std::string name);
+    ~SpanGuard();
+
+    SpanGuard(const SpanGuard &) = delete;
+    SpanGuard &operator=(const SpanGuard &) = delete;
+
+    /** Annotate the span ("args" in the exported JSON). */
+    void arg(std::string key, std::string value);
+
+    bool armed() const { return armed_; }
+
+  private:
+    bool armed_ = false;
+    std::int64_t start_us_ = 0;
+    TraceEvent ev_;
+};
+
+// Two-level paste so __LINE__ expands before concatenation.
+#define GPUPM_TRACE_CONCAT2(a, b) a##b
+#define GPUPM_TRACE_CONCAT(a, b) GPUPM_TRACE_CONCAT2(a, b)
+
+/** Anonymous scope span: GPUPM_TRACE_SPAN("io", "model.load"). */
+#define GPUPM_TRACE_SPAN(cat, name) \
+    ::gpupm::obs::SpanGuard GPUPM_TRACE_CONCAT(gpupm_span_, \
+                                               __LINE__)(cat, name)
+
+/** Named scope span, for attaching args: span.arg("k", "v"). */
+#define GPUPM_TRACE_SPAN_NAMED(var, cat, name) \
+    ::gpupm::obs::SpanGuard var(cat, name)
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_TRACE_HH

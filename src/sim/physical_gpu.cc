@@ -1,6 +1,9 @@
 #include "physical_gpu.hh"
 
 #include "common/logging.hh"
+#include "common/numio.hh"
+#include "obs/standard.hh"
+#include "obs/trace.hh"
 
 namespace gpupm
 {
@@ -122,7 +125,14 @@ PhysicalGpu::execute(const KernelDemand &demand,
 {
     GPUPM_ASSERT(desc_.supports(cfg), "unsupported config (",
                  cfg.core_mhz, ", ", cfg.mem_mhz, ") on ", desc_.name);
-    return perf_.execute(desc_, demand, cfg);
+    GPUPM_TRACE_SPAN_NAMED(span, "sim", "sim.execute");
+    span.arg("device", desc_.name);
+    span.arg("config", numio::formatLong(cfg.core_mhz) + "/" +
+                               numio::formatLong(cfg.mem_mhz));
+    ExecutionProfile prof = perf_.execute(desc_, demand, cfg);
+    obs::simKernelExecutionsTotal().inc();
+    obs::simKernelTimeSeconds().observe(prof.time_s);
+    return prof;
 }
 
 double

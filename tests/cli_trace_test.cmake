@@ -1,0 +1,84 @@
+# Drives the observability surface of the gpupm CLI end to end:
+# `fit <device>` runs the bundled synthetic resilient campaign
+# in-process and fits from it, with --trace-out / --metrics-out /
+# --convergence-out requested; every artifact is then validated by
+# gpupm_trace_check. Expects CLI, CHECK and WORK to be defined.
+file(MAKE_DIRECTORY ${WORK})
+
+execute_process(COMMAND ${CLI} fit titanx ${WORK}/obs.model
+                        --trace-out=${WORK}/obs.trace.json
+                        --metrics-out=${WORK}/obs.metrics.prom
+                        --convergence-out=${WORK}/obs.convergence.csv
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "traced fit failed: ${rc}: ${err}")
+endif()
+if(NOT err MATCHES "bundled synthetic campaign")
+    message(FATAL_ERROR "expected the synthetic-campaign path: ${err}")
+endif()
+
+# The trace must be structurally valid Chrome trace-event JSON and
+# cover the whole pipeline: campaign, backend, sim, estimator, io and
+# the CLI root span.
+execute_process(COMMAND ${CHECK} trace ${WORK}/obs.trace.json
+                        campaign backend sim estimator io cli
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace validation failed: ${rc}: ${err}")
+endif()
+
+# The per-category summary renders a timing table for every category.
+execute_process(COMMAND ${CHECK} summary ${WORK}/obs.trace.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "wall-clock")
+    message(FATAL_ERROR "trace summary unexpected: ${rc}: ${out}")
+endif()
+
+# The metrics dump is valid Prometheus text and carries both the
+# estimator telemetry and the resilient-backend counters (present
+# even when zero, thanks to pre-registration).
+execute_process(COMMAND ${CHECK} metrics ${WORK}/obs.metrics.prom
+                        gpupm_estimator_iterations_total
+                        gpupm_estimator_fits_total
+                        gpupm_resilient_retries_total
+                        gpupm_resilient_attempts_total
+                        gpupm_campaign_cells_done_total
+                        gpupm_sim_kernel_executions_total
+                        gpupm_io_saves_total
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "metrics validation failed: ${rc}: ${err}")
+endif()
+
+# The convergence CSV has the expected header, gap-free iteration
+# numbering and non-increasing SSE.
+execute_process(COMMAND ${CHECK} convergence ${WORK}/obs.convergence.csv
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "convergence validation failed: ${rc}: ${err}")
+endif()
+
+# `gpupm metrics` dumps the full pre-registered catalog from a cold
+# process, in both exposition formats.
+execute_process(COMMAND ${CLI} metrics
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "gpupm_resilient_retries_total 0")
+    message(FATAL_ERROR "gpupm metrics unexpected: ${rc}: ${out}")
+endif()
+execute_process(COMMAND ${CLI} metrics --json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"gpupm_estimator_fits_total\"")
+    message(FATAL_ERROR "gpupm metrics --json unexpected: ${rc}")
+endif()
+
+# A plain (untraced) run must not write artifacts or slow down: the
+# tracer stays disabled and the files are absent.
+execute_process(COMMAND ${CLI} info ${WORK}/obs.model
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "info on traced-fit model failed: ${rc}")
+endif()
+if(EXISTS ${WORK}/untraced.trace.json)
+    message(FATAL_ERROR "unexpected trace artifact")
+endif()

@@ -62,4 +62,98 @@ TEST(Logging, ConcatJoinsHeterogeneousArguments)
     EXPECT_EQ(gpupm::detail::concat(), "");
 }
 
+/** Restores the global log level on scope exit. */
+class LevelGuard
+{
+  public:
+    LevelGuard() : saved_(gpupm::logLevel()) {}
+    ~LevelGuard() { gpupm::setLogLevel(saved_); }
+
+  private:
+    gpupm::LogLevel saved_;
+};
+
+TEST(Logging, ParseLogLevelAcceptsKnownNames)
+{
+    gpupm::LogLevel level = gpupm::LogLevel::Info;
+    EXPECT_TRUE(gpupm::parseLogLevel("debug", level));
+    EXPECT_EQ(level, gpupm::LogLevel::Debug);
+    EXPECT_TRUE(gpupm::parseLogLevel("info", level));
+    EXPECT_EQ(level, gpupm::LogLevel::Info);
+    EXPECT_TRUE(gpupm::parseLogLevel("warn", level));
+    EXPECT_EQ(level, gpupm::LogLevel::Warn);
+    EXPECT_TRUE(gpupm::parseLogLevel("warning", level));
+    EXPECT_EQ(level, gpupm::LogLevel::Warn);
+    EXPECT_TRUE(gpupm::parseLogLevel("error", level));
+    EXPECT_EQ(level, gpupm::LogLevel::Error);
+    EXPECT_TRUE(gpupm::parseLogLevel("quiet", level));
+    EXPECT_EQ(level, gpupm::LogLevel::Error);
+
+    level = gpupm::LogLevel::Warn;
+    EXPECT_FALSE(gpupm::parseLogLevel("loud", level));
+    EXPECT_EQ(level, gpupm::LogLevel::Warn) << "out left untouched";
+}
+
+TEST(Logging, SetLogLevelRoundTrips)
+{
+    LevelGuard guard;
+    gpupm::setLogLevel(gpupm::LogLevel::Debug);
+    EXPECT_EQ(gpupm::logLevel(), gpupm::LogLevel::Debug);
+    gpupm::setLogLevel(gpupm::LogLevel::Error);
+    EXPECT_EQ(gpupm::logLevel(), gpupm::LogLevel::Error);
+}
+
+TEST(Logging, InformIsSuppressedAboveInfo)
+{
+    LevelGuard guard;
+    gpupm::setLogLevel(gpupm::LogLevel::Warn);
+    testing::internal::CaptureStderr();
+    gpupm::inform("you should not see this");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    gpupm::setLogLevel(gpupm::LogLevel::Info);
+    testing::internal::CaptureStderr();
+    gpupm::inform("hello");
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("hello"), std::string::npos);
+}
+
+TEST(Logging, WarnIsSuppressedOnlyAtError)
+{
+    LevelGuard guard;
+    gpupm::setLogLevel(gpupm::LogLevel::Error);
+    testing::internal::CaptureStderr();
+    gpupm::warn("you should not see this");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    gpupm::setLogLevel(gpupm::LogLevel::Warn);
+    testing::internal::CaptureStderr();
+    gpupm::warn("careful");
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("careful"), std::string::npos);
+}
+
+TEST(Logging, DebugPrintsOnlyAtDebugLevel)
+{
+    LevelGuard guard;
+    gpupm::setLogLevel(gpupm::LogLevel::Info);
+    testing::internal::CaptureStderr();
+    gpupm::debug("hidden diagnostics");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    gpupm::setLogLevel(gpupm::LogLevel::Debug);
+    testing::internal::CaptureStderr();
+    gpupm::debug("visible diagnostics ", 3);
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("visible diagnostics 3"), std::string::npos);
+}
+
+TEST(Logging, PanicAndFatalIgnoreTheLogLevel)
+{
+    LevelGuard guard;
+    gpupm::setLogLevel(gpupm::LogLevel::Error);
+    EXPECT_THROW(GPUPM_PANIC("still thrown"), std::logic_error);
+    EXPECT_THROW(GPUPM_FATAL("still thrown"), std::runtime_error);
+}
+
 } // namespace

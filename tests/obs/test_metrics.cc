@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests of the metrics registry: counter/gauge/histogram semantics,
+ * idempotent registration, the Prometheus and JSON renderings, and a
+ * multi-threaded increment smoke test (the hot paths are lock-free).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/standard.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+/** Isolate every test from the process-global registry. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::Registry::global().reset(); }
+    void TearDown() override { obs::Registry::global().reset(); }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAndDropsNegatives)
+{
+    auto &c = obs::Registry::global().counter("t_total", "help");
+    c.inc();
+    c.inc(2.5);
+    c.inc(-100.0); // monotonic: dropped
+    EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue)
+{
+    auto &g = obs::Registry::global().gauge("t_gauge", "help");
+    g.set(7.0);
+    g.set(-2.0);
+    EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAreCumulative)
+{
+    auto &h = obs::Registry::global().histogram("t_hist", "help",
+                                                {1.0, 10.0, 100.0});
+    h.observe(0.5);   // <= 1
+    h.observe(5.0);   // <= 10
+    h.observe(50.0);  // <= 100
+    h.observe(500.0); // overflow
+    const auto cum = h.cumulativeCounts();
+    ASSERT_EQ(cum.size(), 3u);
+    EXPECT_DOUBLE_EQ(cum[0], 1.0);
+    EXPECT_DOUBLE_EQ(cum[1], 2.0);
+    EXPECT_DOUBLE_EQ(cum[2], 3.0);
+    EXPECT_DOUBLE_EQ(h.count(), 4.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+}
+
+TEST_F(MetricsTest, RegistrationIsIdempotent)
+{
+    auto &a = obs::Registry::global().counter("t_same", "help");
+    auto &b = obs::Registry::global().counter("t_same", "help");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(obs::Registry::global().size(), 1u);
+}
+
+TEST_F(MetricsTest, PrometheusRenderingHasHelpTypeAndInfBucket)
+{
+    auto &reg = obs::Registry::global();
+    reg.counter("t_runs_total", "number of runs").inc(3);
+    reg.histogram("t_lat_seconds", "latency", {0.1, 1.0}).observe(0.5);
+    const std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("# HELP t_runs_total number of runs"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE t_runs_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_runs_total 3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE t_lat_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_lat_seconds_bucket{le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_lat_seconds_count 1"), std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonRenderingIsKeyedByName)
+{
+    auto &reg = obs::Registry::global();
+    reg.counter("t_a_total", "a").inc();
+    reg.gauge("t_b", "b").set(4.0);
+    const std::string json = reg.renderJson();
+    EXPECT_NE(json.find("\"t_a_total\""), std::string::npos);
+    EXPECT_NE(json.find("\"t_b\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"gauge\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreNotLost)
+{
+    auto &reg = obs::Registry::global();
+    auto &c = reg.counter("t_conc_total", "concurrency smoke");
+    auto &h = reg.histogram("t_conc_hist", "concurrency smoke",
+                            {0.25, 0.5, 0.75});
+    constexpr int kThreads = 8;
+    constexpr int kIters = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                c.inc();
+                h.observe((t % 4) * 0.25);
+                // Concurrent (idempotent) registration too.
+                reg.counter("t_conc_total", "concurrency smoke");
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_DOUBLE_EQ(c.value(),
+                     static_cast<double>(kThreads) * kIters);
+    EXPECT_DOUBLE_EQ(h.count(),
+                     static_cast<double>(kThreads) * kIters);
+}
+
+TEST_F(MetricsTest, StandardCatalogPreRegistersEverything)
+{
+    obs::registerStandardMetrics();
+    const std::string text =
+            obs::Registry::global().renderPrometheus();
+    // Untouched paths still appear, with zeros.
+    EXPECT_NE(text.find("gpupm_estimator_iterations_total 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("gpupm_resilient_retries_total 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("gpupm_sim_kernel_executions_total 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("gpupm_io_loads_total 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("gpupm_campaign_runs_total 0"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests of the span tracer and its Chrome trace-event export:
+ * disabled guards are inert, nesting yields balanced containment,
+ * record order is monotonic, and the rendered JSON is structurally
+ * sound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/trace.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+/** Fresh tracer state per test (the tracer is process-global). */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::Tracer::global().enable(); }
+
+    void TearDown() override
+    {
+        obs::Tracer::global().disable();
+        obs::Tracer::global().clear();
+    }
+};
+
+TEST_F(TraceTest, DisabledGuardRecordsNothing)
+{
+    obs::Tracer::global().disable();
+    {
+        GPUPM_TRACE_SPAN("cli", "should-not-appear");
+    }
+    EXPECT_EQ(obs::Tracer::global().eventCount(), 0u);
+}
+
+TEST_F(TraceTest, RecordsCompletedSpansWithArgs)
+{
+    {
+        GPUPM_TRACE_SPAN_NAMED(span, "estimator", "fit");
+        span.arg("device", "titanx");
+    }
+    const auto evs = obs::Tracer::global().snapshot();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].name, "fit");
+    EXPECT_EQ(evs[0].cat, "estimator");
+    EXPECT_GE(evs[0].ts_us, 0);
+    EXPECT_GE(evs[0].dur_us, 0);
+    ASSERT_EQ(evs[0].args.size(), 1u);
+    EXPECT_EQ(evs[0].args[0].first, "device");
+    EXPECT_EQ(evs[0].args[0].second, "titanx");
+}
+
+TEST_F(TraceTest, NestedSpansAreBalancedAndContained)
+{
+    {
+        GPUPM_TRACE_SPAN_NAMED(outer, "campaign", "outer");
+        {
+            GPUPM_TRACE_SPAN("backend", "inner");
+        }
+    }
+    const auto evs = obs::Tracer::global().snapshot();
+    ASSERT_EQ(evs.size(), 2u);
+    // Inner completes (and so records) first; outer must contain it.
+    const auto &inner = evs[0];
+    const auto &outer = evs[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_LE(outer.ts_us, inner.ts_us);
+    EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+}
+
+TEST_F(TraceTest, RecordOrderHasMonotonicEndTimes)
+{
+    for (int i = 0; i < 50; ++i) {
+        GPUPM_TRACE_SPAN("sim", "k");
+    }
+    const auto evs = obs::Tracer::global().snapshot();
+    ASSERT_EQ(evs.size(), 50u);
+    for (std::size_t i = 1; i < evs.size(); ++i) {
+        EXPECT_LE(evs[i - 1].ts_us + evs[i - 1].dur_us,
+                  evs[i].ts_us + evs[i].dur_us);
+        EXPECT_LE(evs[i - 1].ts_us, evs[i].ts_us);
+    }
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctSmallOrdinals)
+{
+    auto work = [] {
+        GPUPM_TRACE_SPAN("backend", "threaded");
+    };
+    std::thread a(work), b(work);
+    a.join();
+    b.join();
+    work();
+    const auto evs = obs::Tracer::global().snapshot();
+    ASSERT_EQ(evs.size(), 3u);
+    // Three distinct threads -> three distinct ordinals, all small.
+    EXPECT_NE(evs[0].tid, evs[1].tid);
+    for (const auto &ev : evs) {
+        EXPECT_GE(ev.tid, 0);
+        EXPECT_LT(ev.tid, 3);
+    }
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsStructurallySound)
+{
+    {
+        GPUPM_TRACE_SPAN_NAMED(span, "io", "load");
+        span.arg("path", "with \"quotes\" and \\slashes\\");
+    }
+    {
+        GPUPM_TRACE_SPAN("estimator", "fit");
+    }
+    const std::string json =
+            obs::Tracer::global().renderChromeTrace();
+
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"io\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    // The quote and backslash in the arg must come out escaped.
+    EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slashes\\\\"),
+              std::string::npos);
+
+    // Balanced braces/brackets (no structural characters can appear
+    // unescaped inside the strings used here).
+    long braces = 0, brackets = 0;
+    bool in_string = false, escaped = false;
+    for (char c : json) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (c == '\\') {
+            escaped = true;
+            continue;
+        }
+        if (c == '"') {
+            in_string = !in_string;
+            continue;
+        }
+        if (in_string)
+            continue;
+        if (c == '{')
+            ++braces;
+        if (c == '}')
+            --braces;
+        if (c == '[')
+            ++brackets;
+        if (c == ']')
+            --brackets;
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST_F(TraceTest, EnableResetsEpochAndDropsOldSpans)
+{
+    {
+        GPUPM_TRACE_SPAN("cli", "before");
+    }
+    EXPECT_EQ(obs::Tracer::global().eventCount(), 1u);
+    obs::Tracer::global().enable();
+    EXPECT_EQ(obs::Tracer::global().eventCount(), 0u);
+    {
+        GPUPM_TRACE_SPAN("cli", "after");
+    }
+    const auto evs = obs::Tracer::global().snapshot();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].name, "after");
+}
+
+TEST_F(TraceTest, SpanStraddlingEnableIsDroppedNotTruncated)
+{
+    obs::Tracer::global().disable();
+    {
+        GPUPM_TRACE_SPAN("cli", "straddler");
+        obs::Tracer::global().enable();
+    }
+    EXPECT_EQ(obs::Tracer::global().eventCount(), 0u);
+}
+
+} // namespace

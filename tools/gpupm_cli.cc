@@ -13,6 +13,20 @@
  *   gpupm devices                             list supported devices
  *   gpupm export-cuda <out.cu>                emit the suite as CUDA
  *   gpupm validate  <file>...                 check artifact integrity
+ *   gpupm metrics   [--json]                  dump the metric catalog
+ *
+ * Observability flags (every command):
+ *   --trace-out=<file>        write a Chrome trace-event JSON of the
+ *                             run (open in chrome://tracing/Perfetto)
+ *   --metrics-out=<file>      write Prometheus text metrics on exit
+ *   --convergence-out=<file>  write a per-iteration estimator
+ *                             convergence CSV (fit/train)
+ *   --verbose / --quiet       log level (also GPUPM_LOG=debug|warn|..)
+ *
+ * `fit` also accepts a device name in place of a campaign file: it
+ * then runs the bundled synthetic resilient campaign in-process and
+ * fits from it, exercising the whole measure→fit→save pipeline in one
+ * traced command.
  *
  * File-trust flags (validate, and every command that loads a file):
  *   --strict            reject legacy (pre-envelope) files and run
@@ -47,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "core/campaign.hh"
 #include "core/faults.hh"
@@ -54,6 +69,10 @@
 #include "core/model_io.hh"
 #include "core/predictor.hh"
 #include "core/validate.hh"
+#include "obs/convergence.hh"
+#include "obs/metrics.hh"
+#include "obs/standard.hh"
+#include "obs/trace.hh"
 #include "ubench/cuda_source.hh"
 #include "workloads/workloads.hh"
 
@@ -72,7 +91,12 @@ struct CliFlags
     std::string checkpoint;
     bool strict = false;         ///< reject legacy files, validate
     bool allow_legacy = false;   ///< soften --strict for old files
-    bool json = false;           ///< machine-readable validate output
+    bool json = false;           ///< machine-readable output
+    std::string trace_out;       ///< Chrome trace-event JSON path
+    std::string metrics_out;     ///< Prometheus text dump path
+    std::string convergence_out; ///< estimator convergence CSV path
+    bool verbose = false;        ///< log level: debug
+    bool quiet = false;          ///< log level: warnings and errors
 };
 
 /** Loader policy implied by the file-trust flags. */
@@ -121,6 +145,16 @@ parseFlags(int argc, char **argv, CliFlags &flags)
             flags.allow_legacy = true;
         } else if (key == "--json") {
             flags.json = true;
+        } else if (key == "--trace-out") {
+            flags.trace_out = val;
+        } else if (key == "--metrics-out") {
+            flags.metrics_out = val;
+        } else if (key == "--convergence-out") {
+            flags.convergence_out = val;
+        } else if (key == "--verbose") {
+            flags.verbose = true;
+        } else if (key == "--quiet") {
+            flags.quiet = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", key.c_str());
             positional.clear();
@@ -159,17 +193,21 @@ usage()
                  "usage:\n"
                  "  gpupm devices\n"
                  "  gpupm campaign <titanxp|titanx|k40c> <out>\n"
-                 "  gpupm fit <campaign-file> <out-model>\n"
+                 "  gpupm fit <campaign-file|device> <out-model>\n"
                  "  gpupm train <titanxp|titanx|k40c> <out-model>\n"
                  "      campaign/train flags: --faults=<rate> "
                  "--fault-seed=<n> --retries=<n> --resume=<file>\n"
+                 "  gpupm metrics [--json]\n"
                  "  gpupm info <model-file>\n"
                  "  gpupm predict <model-file> <APP> [fcore fmem]\n"
                  "  gpupm sweep <model-file> <APP>\n"
                  "  gpupm export-cuda <out.cu>\n"
                  "  gpupm validate [--json] <file>...\n"
                  "      file-trust flags (all loading commands): "
-                 "--strict --allow-legacy\n");
+                 "--strict --allow-legacy\n"
+                 "      observability flags (all commands): "
+                 "--trace-out=<file> --metrics-out=<file> "
+                 "--convergence-out=<file> --verbose --quiet\n");
     return 2;
 }
 
@@ -211,6 +249,8 @@ runResilientCampaign(gpu::DeviceKind kind, const CliFlags &flags)
     auto result = model::runResilientTrainingCampaign(
             *target, ubench::buildSuite(), opts);
     std::fprintf(stderr, "%s", result.report.summary().c_str());
+    if (flags.json)
+        std::printf("%s\n", result.report.toJson().c_str());
     if (!result.complete) {
         std::fprintf(stderr,
                      "campaign interrupted; progress saved to %s\n",
@@ -468,12 +508,26 @@ cmdSweep(const std::string &path, const std::string &app_name,
 /**
  * Fit a model from campaign data through the typed estimator path and
  * persist it: numerical failures print their error code and iteration
- * trace instead of aborting.
+ * trace instead of aborting. With --convergence-out, a per-iteration
+ * telemetry CSV is written whether or not the fit succeeded.
  */
 int
-fitAndSave(const model::TrainingData &data, const std::string &out)
+fitAndSave(const model::TrainingData &data, const std::string &out,
+           const CliFlags &flags)
 {
-    auto res = model::ModelEstimator().tryEstimate(data);
+    obs::ConvergenceRecorder recorder;
+    model::EstimatorOptions eopts;
+    if (!flags.convergence_out.empty())
+        eopts.observer = &recorder;
+    auto res = model::ModelEstimator(eopts).tryEstimate(data);
+    if (!flags.convergence_out.empty()) {
+        if (recorder.writeCsv(flags.convergence_out))
+            std::fprintf(stderr, "convergence CSV written to %s\n",
+                         flags.convergence_out.c_str());
+        else
+            std::fprintf(stderr, "cannot write %s\n",
+                         flags.convergence_out.c_str());
+    }
     if (!res.ok()) {
         const auto &fe = res.error();
         std::fprintf(stderr, "fit failed [%s]: %s\n",
@@ -496,21 +550,63 @@ fitAndSave(const model::TrainingData &data, const std::string &out)
     return 0;
 }
 
-} // namespace
+/** `gpupm metrics`: dump the full pre-registered metric catalog. */
+int
+cmdMetrics(const CliFlags &flags)
+{
+    obs::registerStandardMetrics();
+    auto &reg = obs::Registry::global();
+    std::printf("%s", flags.json ? reg.renderJson().c_str()
+                                 : reg.renderPrometheus().c_str());
+    return 0;
+}
+
+/** True when `path` names a readable file. */
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return static_cast<bool>(in);
+}
+
+/**
+ * Write the observability artifacts requested by --trace-out and
+ * --metrics-out. Runs after the command (and its root span) finished
+ * so the trace is complete; the metric catalog is pre-registered so
+ * every standard counter appears even when its path never ran.
+ */
+void
+writeObservabilityArtifacts(const CliFlags &flags)
+{
+    if (!flags.trace_out.empty()) {
+        auto &tracer = obs::Tracer::global();
+        tracer.disable();
+        if (tracer.writeChromeTrace(flags.trace_out))
+            std::fprintf(stderr, "trace (%zu spans) written to %s\n",
+                         tracer.eventCount(),
+                         flags.trace_out.c_str());
+        else
+            std::fprintf(stderr, "cannot write %s\n",
+                         flags.trace_out.c_str());
+    }
+    if (!flags.metrics_out.empty()) {
+        obs::registerStandardMetrics();
+        if (obs::Registry::global().writePrometheus(flags.metrics_out))
+            std::fprintf(stderr, "metrics written to %s\n",
+                         flags.metrics_out.c_str());
+        else
+            std::fprintf(stderr, "cannot write %s\n",
+                         flags.metrics_out.c_str());
+    }
+}
 
 int
-main(int argc, char **argv)
+dispatch(const std::vector<std::string> &args, const CliFlags &flags)
 {
-    CliFlags flags;
-    const auto args = parseFlags(argc, argv, flags);
-    if (args.empty())
-        return usage();
-    if (args.front() == "--bad-flag")
-        return usage();
     const std::string cmd = args.front();
     const int nargs = static_cast<int>(args.size());
 
-    try {
+    {
         if (cmd == "devices") {
             for (auto kind : gpu::kAllDevices) {
                 const auto &d = gpu::DeviceDescriptor::get(kind);
@@ -543,11 +639,25 @@ main(int argc, char **argv)
             return 0;
         }
         if (cmd == "fit" && nargs == 3) {
+            // Device name instead of a campaign file: run the bundled
+            // synthetic resilient campaign in-process, then fit —
+            // the whole measure→fit→save pipeline in one command.
+            const auto kind = parseDevice(args[1]);
+            if (kind && !fileExists(args[1])) {
+                std::fprintf(stderr,
+                             "no campaign file '%s'; running the "
+                             "bundled synthetic campaign\n",
+                             args[1].c_str());
+                const auto data = runResilientCampaign(*kind, flags);
+                if (!data)
+                    return 3;
+                return fitAndSave(*data, args[2], flags);
+            }
             auto data = model::tryLoadTrainingData(
                     args[1], loadOptionsOf(flags));
             if (!data.ok())
                 return reportLoadFailure(data.error());
-            return fitAndSave(data.value(), args[2]);
+            return fitAndSave(data.value(), args[2], flags);
         }
         if (cmd == "train" && nargs == 3) {
             const auto kind = parseDevice(args[1]);
@@ -561,7 +671,7 @@ main(int argc, char **argv)
             } else {
                 data = runCampaign(*kind);
             }
-            return fitAndSave(*data, args[2]);
+            return fitAndSave(*data, args[2], flags);
         }
         if (cmd == "info" && nargs == 2)
             return cmdInfo(args[1], flags);
@@ -577,6 +687,8 @@ main(int argc, char **argv)
         if (cmd == "validate" && nargs >= 2)
             return cmdValidate({args.begin() + 1, args.end()},
                                flags);
+        if (cmd == "metrics" && nargs == 1)
+            return cmdMetrics(flags);
         if (cmd == "export-cuda" && nargs == 2) {
             std::ofstream out(args[1]);
             if (!out) {
@@ -590,9 +702,39 @@ main(int argc, char **argv)
                          args[1].c_str());
             return 0;
         }
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
     }
     return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliFlags flags;
+    const auto args = parseFlags(argc, argv, flags);
+    if (args.empty())
+        return usage();
+    if (args.front() == "--bad-flag")
+        return usage();
+
+    if (flags.verbose)
+        gpupm::setLogLevel(gpupm::LogLevel::Debug);
+    else if (flags.quiet)
+        gpupm::setLogLevel(gpupm::LogLevel::Warn);
+    if (!flags.trace_out.empty())
+        gpupm::obs::Tracer::global().enable();
+
+    int rc = 1;
+    try {
+        // Scoped so the root span completes before the trace is
+        // written.
+        GPUPM_TRACE_SPAN_NAMED(root, "cli", "cli." + args.front());
+        rc = dispatch(args, flags);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        rc = 1;
+    }
+    writeObservabilityArtifacts(flags);
+    return rc;
 }

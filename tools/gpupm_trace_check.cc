@@ -1,0 +1,624 @@
+/**
+ * @file
+ * gpupm_trace_check: validator for the observability artifacts the
+ * gpupm CLI emits, so tests (and scripts) can assert on them without
+ * a Python or jq dependency.
+ *
+ *   gpupm_trace_check trace <t.json> [cat...]
+ *       Parse a Chrome trace-event JSON file and structurally
+ *       validate every event (complete "X" phase, non-negative
+ *       timestamps and durations, name/cat present). Extra arguments
+ *       are span categories that must appear at least once.
+ *
+ *   gpupm_trace_check summary <t.json>
+ *       Per-category wall-clock table: span count, union wall-clock
+ *       of the category's spans (overlap-merged, so nesting does not
+ *       double-count), and the longest single span.
+ *
+ *   gpupm_trace_check metrics <m.prom> [name...]
+ *       Validate Prometheus text exposition format line by line.
+ *       Extra arguments are metric names that must be exposed.
+ *
+ *   gpupm_trace_check convergence <c.csv>
+ *       Validate an estimator convergence CSV: expected header,
+ *       iterations numbered 0..n without gaps, finite fields, and
+ *       SSE non-increasing from the first real iteration on.
+ *
+ * Exit status: 0 valid, 1 validation failure, 2 usage.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/numio.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+// -- minimal JSON ----------------------------------------------------
+
+/** A parsed JSON value (tree-owning, no sharing). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : object)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+/**
+ * Recursive-descent parser over the whole document. Tolerates any
+ * JSON the tracer can emit; rejects trailing garbage. Errors carry
+ * the byte offset so a truncated file is diagnosable.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &err)
+    {
+        pos_ = 0;
+        if (!value(out, err))
+            return false;
+        skipWs();
+        if (pos_ != text_.size()) {
+            err = "trailing garbage at byte " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    fail(std::string &err, const std::string &what)
+    {
+        err = what + " at byte " + std::to_string(pos_);
+        return false;
+    }
+
+    bool
+    literal(const char *word, std::string &err)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(err, std::string("expected '") + word + "'");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string(std::string &out, std::string &err)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail(err, "expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail(err, "unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail(err, "truncated \\u escape");
+                // The tracer never emits non-ASCII; keep the
+                // codepoint as '?' rather than decoding UTF-16.
+                pos_ += 4;
+                out += '?';
+                break;
+              }
+              default: return fail(err, "bad escape");
+            }
+        }
+        if (pos_ >= text_.size())
+            return fail(err, "unterminated string");
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number(double &out, std::string &err)
+    {
+        std::size_t end = pos_;
+        if (end < text_.size() && (text_[end] == '-'))
+            ++end;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E' || text_[end] == '+' ||
+                text_[end] == '-'))
+            ++end;
+        if (!numio::parseDouble(
+                    std::string_view(text_).substr(pos_, end - pos_),
+                    out))
+            return fail(err, "bad number");
+        pos_ = end;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, std::string &err)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail(err, "unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': {
+            out.kind = JsonValue::Kind::Object;
+            ++pos_;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!string(key, err))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail(err, "expected ':'");
+                ++pos_;
+                JsonValue v;
+                if (!value(v, err))
+                    return false;
+                out.object.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail(err, "expected ',' or '}'");
+            }
+          }
+          case '[': {
+            out.kind = JsonValue::Kind::Array;
+            ++pos_;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue v;
+                if (!value(v, err))
+                    return false;
+                out.array.push_back(std::move(v));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail(err, "expected ',' or ']'");
+            }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.str, err);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", err);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", err);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", err);
+          default:
+            out.kind = JsonValue::Kind::Number;
+            return number(out.number, err);
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return false;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    out = os.str();
+    return true;
+}
+
+// -- trace -----------------------------------------------------------
+
+/** One span's checked essentials, for summary and validation. */
+struct Span
+{
+    std::string cat;
+    double ts = 0.0;
+    double dur = 0.0;
+};
+
+/** Parse + structurally validate a trace file. */
+bool
+loadTrace(const std::string &path, std::vector<Span> &spans)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    JsonValue root;
+    std::string err;
+    if (!JsonParser(text).parse(root, err)) {
+        std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    if (root.kind != JsonValue::Kind::Object) {
+        std::fprintf(stderr, "%s: top level is not an object\n",
+                     path.c_str());
+        return false;
+    }
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || events->kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr, "%s: missing traceEvents array\n",
+                     path.c_str());
+        return false;
+    }
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &ev = events->array[i];
+        auto bad = [&](const char *what) {
+            std::fprintf(stderr, "%s: event %zu: %s\n", path.c_str(),
+                         i, what);
+            return false;
+        };
+        if (ev.kind != JsonValue::Kind::Object)
+            return bad("not an object");
+        const JsonValue *name = ev.find("name");
+        const JsonValue *cat = ev.find("cat");
+        const JsonValue *ph = ev.find("ph");
+        const JsonValue *ts = ev.find("ts");
+        const JsonValue *dur = ev.find("dur");
+        if (!name || name->kind != JsonValue::Kind::String ||
+            name->str.empty())
+            return bad("missing name");
+        if (!cat || cat->kind != JsonValue::Kind::String ||
+            cat->str.empty())
+            return bad("missing cat");
+        if (!ph || ph->str != "X")
+            return bad("phase is not 'X' (complete event)");
+        if (!ts || ts->kind != JsonValue::Kind::Number ||
+            !(ts->number >= 0))
+            return bad("bad ts");
+        if (!dur || dur->kind != JsonValue::Kind::Number ||
+            !(dur->number >= 0))
+            return bad("bad dur");
+        spans.push_back({cat->str, ts->number, dur->number});
+    }
+    return true;
+}
+
+int
+cmdTrace(const std::string &path,
+         const std::vector<std::string> &required)
+{
+    std::vector<Span> spans;
+    if (!loadTrace(path, spans))
+        return 1;
+    std::map<std::string, long> per_cat;
+    for (const auto &s : spans)
+        ++per_cat[s.cat];
+    for (const auto &cat : required) {
+        if (!per_cat.count(cat)) {
+            std::fprintf(stderr,
+                         "%s: required span category '%s' absent\n",
+                         path.c_str(), cat.c_str());
+            return 1;
+        }
+    }
+    std::printf("%s: %zu spans, %zu categories:", path.c_str(),
+                spans.size(), per_cat.size());
+    for (const auto &kv : per_cat)
+        std::printf(" %s=%ld", kv.first.c_str(), kv.second);
+    std::printf("\n");
+    return 0;
+}
+
+/**
+ * Wall-clock of a set of spans: union of their [ts, ts+dur)
+ * intervals, so nested and overlapping spans are not double-counted.
+ */
+double
+unionUs(std::vector<std::pair<double, double>> &ivals)
+{
+    std::sort(ivals.begin(), ivals.end());
+    double total = 0.0, lo = 0.0, hi = -1.0;
+    for (const auto &iv : ivals) {
+        if (iv.first > hi) {
+            if (hi > lo)
+                total += hi - lo;
+            lo = iv.first;
+            hi = iv.first + iv.second;
+        } else {
+            hi = std::max(hi, iv.first + iv.second);
+        }
+    }
+    if (hi > lo)
+        total += hi - lo;
+    return total;
+}
+
+int
+cmdSummary(const std::string &path)
+{
+    std::vector<Span> spans;
+    if (!loadTrace(path, spans))
+        return 1;
+    std::map<std::string,
+             std::vector<std::pair<double, double>>> per_cat;
+    std::map<std::string, double> longest;
+    for (const auto &s : spans) {
+        per_cat[s.cat].emplace_back(s.ts, s.dur);
+        longest[s.cat] = std::max(longest[s.cat], s.dur);
+    }
+    TextTable t({"category", "spans", "wall-clock ms", "longest ms"});
+    t.setTitle("per-category wall-clock (from " + path + ")");
+    for (auto &kv : per_cat)
+        t.addRow({kv.first, std::to_string(kv.second.size()),
+                  TextTable::num(unionUs(kv.second) / 1000.0, 2),
+                  TextTable::num(longest[kv.first] / 1000.0, 2)});
+    t.print(std::cout);
+    return 0;
+}
+
+// -- metrics ---------------------------------------------------------
+
+int
+cmdMetrics(const std::string &path,
+           const std::vector<std::string> &required)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return 1;
+    std::istringstream in(text);
+    std::string line;
+    std::set<std::string> exposed;
+    long lineno = 0, samples = 0;
+    auto bad = [&](const char *what) {
+        std::fprintf(stderr, "%s:%ld: %s: %s\n", path.c_str(), lineno,
+                     what, line.c_str());
+        return 1;
+    };
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            // "# HELP <name> <text>" / "# TYPE <name> <kind>"
+            std::istringstream ls(line);
+            std::string hash, verb, name;
+            ls >> hash >> verb >> name;
+            if (verb != "HELP" && verb != "TYPE")
+                return bad("unknown comment verb");
+            if (name.empty())
+                return bad("comment without metric name");
+            if (verb == "TYPE") {
+                std::string kind;
+                ls >> kind;
+                if (kind != "counter" && kind != "gauge" &&
+                    kind != "histogram")
+                    return bad("unknown metric type");
+            }
+            continue;
+        }
+        // "<name>[{labels}] <value>"
+        const auto sp = line.rfind(' ');
+        if (sp == std::string::npos)
+            return bad("sample without value");
+        double v = 0.0;
+        std::string val = line.substr(sp + 1);
+        if (val != "+Inf" && !numio::parseDouble(val, v))
+            return bad("unparseable sample value");
+        std::string name = line.substr(0, sp);
+        const auto brace = name.find('{');
+        if (brace != std::string::npos) {
+            if (name.back() != '}')
+                return bad("unterminated label set");
+            name = name.substr(0, brace);
+        }
+        if (name.empty())
+            return bad("sample without name");
+        ++samples;
+        // Strip histogram-series suffixes so `foo` covers
+        // foo_bucket / foo_sum / foo_count.
+        for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+            const std::string s(suffix);
+            if (name.size() > s.size() &&
+                name.compare(name.size() - s.size(), s.size(), s) ==
+                        0)
+                exposed.insert(name.substr(0, name.size() - s.size()));
+        }
+        exposed.insert(name);
+    }
+    for (const auto &name : required) {
+        if (!exposed.count(name)) {
+            std::fprintf(stderr,
+                         "%s: required metric '%s' absent\n",
+                         path.c_str(), name.c_str());
+            return 1;
+        }
+    }
+    std::printf("%s: %ld samples, %zu metric names\n", path.c_str(),
+                samples, exposed.size());
+    return 0;
+}
+
+// -- convergence -----------------------------------------------------
+
+int
+cmdConvergence(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return 1;
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) ||
+        line !=
+                "iteration,sse,delta_sse,max_dv,als_residual,"
+                "condition") {
+        std::fprintf(stderr, "%s: bad header: %s\n", path.c_str(),
+                     line.c_str());
+        return 1;
+    }
+    long expected_it = 0, rows = 0;
+    double prev_sse = 0.0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::vector<double> fields;
+        std::istringstream ls(line);
+        std::string cell;
+        while (std::getline(ls, cell, ',')) {
+            double v = 0.0;
+            if (!numio::parseDouble(cell, v) || !std::isfinite(v)) {
+                std::fprintf(stderr, "%s: bad field '%s' in: %s\n",
+                             path.c_str(), cell.c_str(),
+                             line.c_str());
+                return 1;
+            }
+            fields.push_back(v);
+        }
+        if (fields.size() != 6) {
+            std::fprintf(stderr, "%s: expected 6 fields: %s\n",
+                         path.c_str(), line.c_str());
+            return 1;
+        }
+        if (static_cast<long>(fields[0]) != expected_it) {
+            std::fprintf(stderr,
+                         "%s: iteration gap: got %ld, expected %ld\n",
+                         path.c_str(), static_cast<long>(fields[0]),
+                         expected_it);
+            return 1;
+        }
+        // The alternation only accepts SSE-improving steps, so from
+        // the first real iteration on SSE must not increase (tiny
+        // slack for the final, sub-tolerance step).
+        if (expected_it >= 2 &&
+            fields[1] > prev_sse * (1.0 + 1e-9)) {
+            std::fprintf(stderr,
+                         "%s: SSE increased at iteration %ld "
+                         "(%g -> %g)\n",
+                         path.c_str(), expected_it, prev_sse,
+                         fields[1]);
+            return 1;
+        }
+        prev_sse = fields[1];
+        ++expected_it;
+        ++rows;
+    }
+    if (rows < 2) {
+        std::fprintf(stderr,
+                     "%s: only %ld rows (need init + >=1 iteration)\n",
+                     path.c_str(), rows);
+        return 1;
+    }
+    std::printf("%s: %ld iterations, final SSE %g\n", path.c_str(),
+                rows - 1, prev_sse);
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  gpupm_trace_check trace <t.json> [required-cat...]"
+                 "\n"
+                 "  gpupm_trace_check summary <t.json>\n"
+                 "  gpupm_trace_check metrics <m.prom> "
+                 "[required-name...]\n"
+                 "  gpupm_trace_check convergence <c.csv>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    const std::string path = argv[2];
+    std::vector<std::string> rest(argv + 3, argv + argc);
+    if (cmd == "trace")
+        return cmdTrace(path, rest);
+    if (cmd == "summary" && rest.empty())
+        return cmdSummary(path);
+    if (cmd == "metrics")
+        return cmdMetrics(path, rest);
+    if (cmd == "convergence" && rest.empty())
+        return cmdConvergence(path);
+    return usage();
+}
