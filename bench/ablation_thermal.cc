@@ -18,8 +18,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "ablation_thermal");
     using namespace gpupm;
 
     struct Level

@@ -40,8 +40,10 @@ validationMae(const bench::FittedDevice &fd,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "ablation_voltage");
     using bench::fitDevice;
 
     struct Variant

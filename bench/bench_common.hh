@@ -4,22 +4,36 @@
  * simulated board, run the training campaign, fit the model, and
  * measure the validation applications — the steps every figure and
  * table of Sec. V starts from.
+ *
+ * Every binary additionally accepts `--json-out[=<path>]` (default
+ * BENCH_<name>.json) through BenchReporter: a versioned JSON artifact
+ * with build provenance, headline accuracy stats and per-phase
+ * wall-clock derived from the span tracer, consumed by
+ * tools/gpupm_bench_check to gate runtime and accuracy regressions.
  */
 
 #ifndef GPUPM_BENCH_COMMON_HH
 #define GPUPM_BENCH_COMMON_HH
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/numio.hh"
+#include "common/provenance.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/campaign.hh"
 #include "core/predictor.hh"
+#include "obs/trace.hh"
 #include "workloads/workloads.hh"
 
 namespace gpupm
@@ -93,6 +107,117 @@ mape(const std::vector<double> &pred, const std::vector<double> &meas)
 {
     return stats::meanAbsPercentError(pred, meas);
 }
+
+/**
+ * Bench-run telemetry: when the binary was invoked with
+ * `--json-out[=<path>]`, collects headline stats (stat()) and, via
+ * the span tracer enabled for the run's duration, per-category
+ * wall-clock, and writes one versioned JSON artifact on destruction:
+ *
+ *     {"gpupm_bench_version":1, "name":..., "provenance":{...},
+ *      "wall_ms":..., "phases_ms":{...}, "stats":{...}}
+ *
+ * Without the flag the reporter is inert. Construct it first thing in
+ * main() so the wall-clock covers the whole run.
+ */
+class BenchReporter
+{
+  public:
+    BenchReporter(int argc, char **argv, std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--json-out")
+                path_ = "BENCH_" + name_ + ".json";
+            else if (arg.rfind("--json-out=", 0) == 0)
+                path_ = arg.substr(std::strlen("--json-out="));
+        }
+        if (!path_.empty())
+            obs::Tracer::global().enable();
+    }
+
+    BenchReporter(const BenchReporter &) = delete;
+    BenchReporter &operator=(const BenchReporter &) = delete;
+
+    /** Record one scalar result (e.g. a device's MAE in percent). */
+    void stat(const std::string &key, double value)
+    {
+        stats_.emplace_back(key, value);
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    ~BenchReporter()
+    {
+        if (path_.empty())
+            return;
+        const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+        auto &tracer = obs::Tracer::global();
+        tracer.disable();
+
+        // Per-category wall-clock: union of the category's span
+        // intervals, so nested spans are not double-counted.
+        std::map<std::string,
+                 std::vector<std::pair<double, double>>> per_cat;
+        for (const auto &ev : tracer.snapshot())
+            per_cat[ev.cat].emplace_back(
+                    static_cast<double>(ev.ts_us),
+                    static_cast<double>(ev.dur_us));
+        std::ofstream out(path_);
+        if (!out) {
+            gpupm::warn("cannot write ", path_);
+            return;
+        }
+        out << "{\"gpupm_bench_version\":1,\n\"name\":\"" << name_
+            << "\",\n\"provenance\":"
+            << common::toJson(common::collectProvenance())
+            << ",\n\"wall_ms\":" << numio::formatDouble(wall_ms)
+            << ",\n\"phases_ms\":{";
+        bool first = true;
+        for (auto &kv : per_cat) {
+            std::sort(kv.second.begin(), kv.second.end());
+            double total = 0.0, lo = 0.0, hi = -1.0;
+            for (const auto &iv : kv.second) {
+                if (iv.first > hi) {
+                    if (hi > lo)
+                        total += hi - lo;
+                    lo = iv.first;
+                    hi = iv.first + iv.second;
+                } else {
+                    hi = std::max(hi, iv.first + iv.second);
+                }
+            }
+            if (hi > lo)
+                total += hi - lo;
+            out << (first ? "" : ",") << "\"" << kv.first << "\":"
+                << numio::formatDouble(total / 1000.0);
+            first = false;
+        }
+        out << "},\n\"stats\":{";
+        first = true;
+        for (const auto &kv : stats_) {
+            out << (first ? "" : ",") << "\"" << kv.first << "\":"
+                << numio::formatDouble(kv.second);
+            first = false;
+        }
+        out << "}}\n";
+        if (out)
+            gpupm::inform("bench telemetry written to ", path_);
+        else
+            gpupm::warn("cannot write ", path_);
+    }
+
+  private:
+    std::string name_;
+    std::string path_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<std::pair<std::string, double>> stats_;
+};
 
 } // namespace bench
 } // namespace gpupm

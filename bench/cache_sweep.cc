@@ -15,8 +15,10 @@
 #include "sim/cache_model.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "cache_sweep");
     using namespace gpupm;
     using bench::fitDevice;
 

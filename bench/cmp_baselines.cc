@@ -17,8 +17,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "cmp_baselines");
     using namespace gpupm;
     using bench::fitDevice;
 
@@ -27,6 +29,8 @@ main()
     t.setTitle("Sec. VI: validation-set MAE, all models trained on "
                "the same campaign");
 
+    const char *tokens[] = {"titanxp", "titanx", "k40c"};
+    int device_idx = 0;
     for (auto kind : gpu::kAllDevices) {
         auto fd = fitDevice(kind);
         model::Predictor predictor(fd.fit.model);
@@ -54,6 +58,15 @@ main()
                         refscale.predict(app_ref_power, cfg));
             }
         }
+        const std::string tok = tokens[device_idx++];
+        bench_report.stat("proposed_mae_pct_" + tok,
+                          bench::mape(ours, meas));
+        bench_report.stat("abe_mae_pct_" + tok,
+                          bench::mape(p_abe, meas));
+        bench_report.stat("cubic_mae_pct_" + tok,
+                          bench::mape(p_cubic, meas));
+        bench_report.stat("refscale_mae_pct_" + tok,
+                          bench::mape(p_ref, meas));
         t.addRow({fd.desc().name,
                   TextTable::num(bench::mape(ours, meas), 1),
                   TextTable::num(bench::mape(p_abe, meas), 1),

@@ -16,8 +16,10 @@
 #include "core/metrics.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "energy_study");
     using namespace gpupm;
     using bench::fitDevice;
 

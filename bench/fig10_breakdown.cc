@@ -15,8 +15,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "fig10_breakdown");
     using namespace gpupm;
     using bench::fitDevice;
 

@@ -15,8 +15,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "fig2_dvfs_impact");
     using namespace gpupm;
     sim::PhysicalGpu board(gpu::DeviceKind::GtxTitanX);
     const auto &desc = board.descriptor();

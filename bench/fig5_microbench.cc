@@ -16,8 +16,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "fig5_microbench");
     using namespace gpupm;
     using bench::fitDevice;
 

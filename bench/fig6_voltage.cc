@@ -17,8 +17,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "fig6_voltage");
     using namespace gpupm;
     using bench::fitDevice;
 

@@ -15,8 +15,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "fig7_validation");
     using namespace gpupm;
     using bench::fitDevice;
 
@@ -27,6 +29,7 @@ main()
                      "the full V-F grid");
 
     const char *paper_mae[] = {"6.9", "6.0", "12.4"};
+    const char *tokens[] = {"titanxp", "titanx", "k40c"};
     int device_idx = 0;
 
     for (auto kind : gpu::kAllDevices) {
@@ -68,6 +71,10 @@ main()
         bench::saveCsv(per_app,
                        "fig7_per_app_" + std::to_string(device_idx));
 
+        const double mae = bench::mape(pred, meas);
+        bench_report.stat(std::string("mae_pct_") +
+                                  tokens[device_idx],
+                          mae);
         summary.addRow(
                 {fd.desc().name,
                  std::to_string(fd.desc().mem_freqs_mhz.size()) +
@@ -77,7 +84,7 @@ main()
                  std::to_string(pred.size()),
                  TextTable::num(stats::minimum(meas), 0) + " - " +
                          TextTable::num(stats::maximum(meas), 0),
-                 TextTable::num(bench::mape(pred, meas), 1),
+                 TextTable::num(mae, 1),
                  paper_mae[device_idx++]});
     }
 

@@ -13,8 +13,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "fig8_error_by_mem");
     using namespace gpupm;
     using bench::fitDevice;
 
@@ -50,6 +52,8 @@ main()
         }
         t.print(std::cout);
         bench::saveCsv(t, "fig8_fmem" + std::to_string(fm));
+        bench_report.stat("mae_pct_fmem" + std::to_string(fm),
+                          bench::mape(panel_pred, panel_meas));
         std::cout << "panel MAE: "
                   << TextTable::num(
                              bench::mape(panel_pred, panel_meas), 1)
@@ -61,6 +65,8 @@ main()
                         panel_meas.end());
     }
 
+    bench_report.stat("overall_mae_pct",
+                      bench::mape(all_pred, all_meas));
     std::cout << "overall MAE across the 2x core / 4x memory range: "
               << TextTable::num(bench::mape(all_pred, all_meas), 1)
               << "%  (paper: 6.0%)\n";

@@ -10,10 +10,13 @@
 
 #include "common/table.hh"
 #include "cupti/events.hh"
+#include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "table1_events");
     using namespace gpupm;
     using namespace gpupm::cupti;
 

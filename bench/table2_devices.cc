@@ -8,10 +8,13 @@
 
 #include "common/table.hh"
 #include "gpu/device.hh"
+#include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "table2_devices");
     using namespace gpupm;
 
     TextTable t({"Characteristic", "Titan Xp", "GTX Titan X",

@@ -15,8 +15,10 @@
 #include "sim/perf_model.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "xval_simulators");
     using namespace gpupm;
 
     const auto &dev =

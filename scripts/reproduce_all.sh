@@ -21,7 +21,8 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
         core_test_model_io core_test_validate linalg_test_matrix \
         linalg_test_lstsq linalg_test_isotonic \
         obs_test_trace obs_test_metrics obs_test_convergence \
-        gpupm_fuzz_smoke gpupm_cli gpupm_trace_check
+        obs_test_scoreboard core_test_scoreboard_io \
+        gpupm_fuzz_smoke gpupm_cli gpupm_trace_check gpupm_bench_check
     for t in build-asan/tests/core_test_* build-asan/tests/linalg_test_* \
              build-asan/tests/obs_test_*; do
         [ -f "$t" ] && [ -x "$t" ] || continue
@@ -45,6 +46,16 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
     build-asan/tools/gpupm_trace_check metrics build-asan/obs.metrics.prom
     build-asan/tools/gpupm_trace_check convergence \
         build-asan/obs.convergence.csv
+    # The accuracy audit under ASan+UBSan: campaign, fit, validation
+    # residuals, scoreboard serialization and the regression gate all
+    # exercise the same code ctest gates on, now with sanitizers
+    # watching.
+    echo "== sanitize: accuracy audit + scoreboard gate"
+    build-asan/tools/gpupm audit titanx \
+        --scoreboard-out=build-asan/titanx.scoreboard > /dev/null
+    build-asan/tools/gpupm validate build-asan/titanx.scoreboard --strict
+    build-asan/tools/gpupm_bench_check scoreboard \
+        build-asan/titanx.scoreboard bench/golden/titanx.scoreboard.json
 fi
 
 # Traced end-to-end reproduction run: campaign -> fit -> sweep with
@@ -68,10 +79,53 @@ for phase in campaign fit sweep; do
     build/tools/gpupm_trace_check summary "$work/$phase.trace.json"
 done
 
+# Accuracy audit + regression gate: recompute the prediction-error
+# scoreboard on the GTX Titan X and diff it against the checked-in
+# golden. A model/simulator change that shifts the headline MAE by
+# more than the tolerances aborts the reproduction here.
+echo "==================================================="
+echo "== accuracy audit (gpupm audit titanx)"
+echo "==================================================="
+build/tools/gpupm audit titanx \
+    --scoreboard-out="$work/titanx.scoreboard" \
+    --metrics-out="$work/audit.metrics.prom"
+build/tools/gpupm_bench_check scoreboard "$work/titanx.scoreboard" \
+    bench/golden/titanx.scoreboard.json
+
+# Every experiment binary runs with telemetry on; a non-zero exit or
+# invalid telemetry artifact fails the reproduction, and the per-bench
+# wall-clock is reported at the end.
+bench_json=()
+bench_report=""
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
     echo "==================================================="
     echo "== $b"
     echo "==================================================="
-    "$b"
+    start_ms=$(date +%s%3N)
+    case "$name" in
+        bm_estimator)
+            # google-benchmark rejects unknown flags; no telemetry.
+            "$b" || { echo "BENCH FAILED: $name" >&2; exit 1; }
+            ;;
+        *)
+            "$b" --json-out="$work/BENCH_$name.json" \
+                || { echo "BENCH FAILED: $name" >&2; exit 1; }
+            bench_json+=("$work/BENCH_$name.json")
+            ;;
+    esac
+    elapsed_ms=$(( $(date +%s%3N) - start_ms ))
+    bench_report+=$(printf '%-24s %8d ms' "$name" "$elapsed_ms")$'\n'
 done
+build/tools/gpupm_bench_check validate "${bench_json[@]}"
+# The fig7 telemetry is additionally gated against its golden:
+# accuracy stats tightly (deterministic), wall-clock generously (the
+# golden's timing came from a different machine).
+build/tools/gpupm_bench_check bench "$work/BENCH_fig7_validation.json" \
+    bench/golden/BENCH_fig7_validation.json --stat-tol=0.5 \
+    --time-factor=50
+echo "==================================================="
+echo "== per-bench wall-clock"
+echo "==================================================="
+printf '%s' "$bench_report"

@@ -1,0 +1,97 @@
+#include "provenance.hh"
+
+#include <ctime>
+#include <mutex>
+
+#ifndef GPUPM_VERSION_STRING
+#define GPUPM_VERSION_STRING "unknown"
+#endif
+#ifndef GPUPM_BUILD_TYPE
+#define GPUPM_BUILD_TYPE "unknown"
+#endif
+
+namespace gpupm
+{
+namespace common
+{
+
+namespace
+{
+
+std::mutex g_device_mu;
+std::string g_device; // guarded by g_device_mu
+
+/** Minimal JSON string escaping; provenance values are short and
+ *  controlled but a build type or device label must never be able to
+ *  break the artifact's syntax. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Provenance
+collectProvenance(const std::string &device)
+{
+    Provenance p;
+    p.version = GPUPM_VERSION_STRING;
+    p.build_type = GPUPM_BUILD_TYPE;
+    p.device = device.empty() ? provenanceDevice() : device;
+
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    p.timestamp = buf;
+    return p;
+}
+
+void
+setProvenanceDevice(const std::string &device)
+{
+    std::lock_guard<std::mutex> lock(g_device_mu);
+    g_device = device;
+}
+
+std::string
+provenanceDevice()
+{
+    std::lock_guard<std::mutex> lock(g_device_mu);
+    return g_device;
+}
+
+std::string
+toJson(const Provenance &p)
+{
+    std::string out = "{\"version\":\"" + jsonEscape(p.version) +
+                      "\",\"build_type\":\"" + jsonEscape(p.build_type) +
+                      "\",\"device\":\"" + jsonEscape(p.device) +
+                      "\",\"timestamp\":\"" + jsonEscape(p.timestamp) +
+                      "\"}";
+    return out;
+}
+
+} // namespace common
+} // namespace gpupm

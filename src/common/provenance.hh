@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Build provenance stamped into every JSON artifact the toolchain
+ * emits (traces, metric dumps, scoreboards, BENCH_*.json), so a
+ * number in a trajectory can always be attributed to the build and
+ * device that produced it.
+ */
+
+#ifndef GPUPM_COMMON_PROVENANCE_HH
+#define GPUPM_COMMON_PROVENANCE_HH
+
+#include <string>
+
+namespace gpupm
+{
+namespace common
+{
+
+/** Who produced an artifact: build identity + measurement target. */
+struct Provenance
+{
+    std::string version;    ///< project version (CMake PROJECT_VERSION)
+    std::string build_type; ///< CMake build type, e.g. "Release"
+    std::string device;     ///< device kind under test, "" when N/A
+    std::string timestamp;  ///< ISO-8601 UTC wall-clock at collection
+};
+
+/**
+ * Collect the current provenance. `device` overrides the process-wide
+ * device tag (see setProvenanceDevice) when non-empty.
+ */
+Provenance collectProvenance(const std::string &device = "");
+
+/**
+ * Tag artifacts emitted deep in the stack with the device under test.
+ * The CLI sets this as soon as it resolves its device argument.
+ */
+void setProvenanceDevice(const std::string &device);
+
+/** The process-wide device tag ("" until set). */
+std::string provenanceDevice();
+
+/** Render as a JSON object: {"version":...,...,"timestamp":...}. */
+std::string toJson(const Provenance &p);
+
+} // namespace common
+} // namespace gpupm
+
+#endif // GPUPM_COMMON_PROVENANCE_HH

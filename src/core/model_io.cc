@@ -41,6 +41,7 @@ fileKindName(FileKind kind)
       case FileKind::Model: return "model";
       case FileKind::Campaign: return "campaign";
       case FileKind::Checkpoint: return "checkpoint";
+      case FileKind::Scoreboard: return "scoreboard";
     }
     return "unknown";
 }
@@ -202,7 +203,7 @@ FileKind
 fileKindOf(std::string_view token)
 {
     for (FileKind k : {FileKind::Model, FileKind::Campaign,
-                       FileKind::Checkpoint})
+                       FileKind::Checkpoint, FileKind::Scoreboard})
         if (token == fileKindName(k))
             return k;
     failParse(IoErrc::ParseError, "unknown artifact kind '", token,
@@ -824,6 +825,129 @@ parseCheckpointPayload(const std::string &payload)
     return ck;
 }
 
+// -- Scoreboard payload (JSON, schema gpupm_scoreboard_version 1) ----
+
+int
+intOf(const json::Value &v, const char *what)
+{
+    const long x = v.integer();
+    if (x < -2147483647L || x > 2147483647L)
+        failParse(IoErrc::ParseError, "scoreboard: ", what,
+                  " out of range");
+    return static_cast<int>(x);
+}
+
+obs::ScoreStats
+scoreStatsOf(const json::Value &v)
+{
+    obs::ScoreStats st;
+    const long n = v.at("samples").integer();
+    if (n < 0 || static_cast<std::size_t>(n) > kMaxCells)
+        failParse(IoErrc::ParseError,
+                  "scoreboard: implausible sample count ", n);
+    st.samples = n;
+    st.mae_pct = v.at("mae_pct").num();
+    st.rmse_w = v.at("rmse_w").num();
+    st.max_err_pct = v.at("max_err_pct").num();
+    st.mean_measured_w = v.at("mean_measured_w").num();
+    return st;
+}
+
+obs::Scoreboard
+parseScoreboardPayload(const std::string &payload)
+{
+    const json::Value root = json::Parser(payload).parse();
+    if (root.at("gpupm_scoreboard_version").integer() != 1)
+        failParse(IoErrc::VersionMismatch,
+                  "unsupported scoreboard schema version (this build "
+                  "reads version 1)");
+
+    obs::Scoreboard sb;
+    const json::Value &prov = root.at("provenance");
+    sb.provenance.version = prov.at("version").str();
+    sb.provenance.build_type = prov.at("build_type").str();
+    sb.provenance.device = prov.at("device").str();
+    sb.provenance.timestamp = prov.at("timestamp").str();
+
+    sb.device = static_cast<int>(
+            deviceKindOf(root.at("device").integer()));
+    sb.device_name = root.at("device_name").str();
+    sb.reference = json::configOf(root.at("reference"));
+    sb.overall = scoreStatsOf(root.at("summary"));
+
+    const auto &apps = root.at("per_app").arr();
+    if (apps.size() > kMaxCount)
+        failParse(IoErrc::ParseError,
+                  "scoreboard: implausible per-app row count");
+    for (const auto &v : apps)
+        sb.per_app.push_back({v.at("app").str(), scoreStatsOf(v)});
+
+    const auto &cfgs = root.at("per_config").arr();
+    if (cfgs.size() > kMaxCount)
+        failParse(IoErrc::ParseError,
+                  "scoreboard: implausible per-config row count");
+    for (const auto &v : cfgs)
+        sb.per_config.push_back(
+                {gpu::FreqConfig{intOf(v.at("core_mhz"), "core clock"),
+                                 intOf(v.at("mem_mhz"), "mem clock")},
+                 scoreStatsOf(v)});
+
+    for (const auto &[key, out] :
+         {std::pair<const char *, std::vector<obs::MarginalScore> *>{
+                  "core_marginal", &sb.core_marginal},
+          std::pair<const char *, std::vector<obs::MarginalScore> *>{
+                  "mem_marginal", &sb.mem_marginal}}) {
+        const auto &rows = root.at(key).arr();
+        if (rows.size() > kMaxCount)
+            failParse(IoErrc::ParseError,
+                      "scoreboard: implausible marginal row count");
+        for (const auto &v : rows)
+            out->push_back({intOf(v.at("mhz"), "marginal clock"),
+                            scoreStatsOf(v)});
+    }
+
+    const auto &bases = root.at("baselines").arr();
+    if (bases.size() > kMaxCount)
+        failParse(IoErrc::ParseError,
+                  "scoreboard: implausible baseline count");
+    for (const auto &v : bases)
+        sb.baselines.push_back(
+                {v.at("name").str(), v.at("mae_pct").num()});
+
+    // Raw residuals are optional: golden scoreboards are summary-only.
+    const auto it = root.object.find("samples");
+    if (it != root.object.end()) {
+        const auto &rows = it->second.arr();
+        if (rows.size() > kMaxCells)
+            failParse(IoErrc::ParseError,
+                      "scoreboard: implausible residual count");
+        for (const auto &v : rows) {
+            obs::ResidualSample s;
+            s.app = v.at("app").str();
+            s.cfg = {intOf(v.at("core_mhz"), "core clock"),
+                     intOf(v.at("mem_mhz"), "mem clock")};
+            s.measured_w = v.at("measured_w").num();
+            s.predicted_w = v.at("predicted_w").num();
+            s.constant_w = v.at("constant_w").num();
+            const auto &comp = v.at("component_w").arr();
+            if (comp.size() != gpu::kNumComponents)
+                failParse(IoErrc::ParseError,
+                          "scoreboard: bad component vector size ",
+                          comp.size());
+            for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+                s.component_w[i] = comp[i].num();
+            const auto bw = v.object.find("baseline_w");
+            if (v.type == json::Value::Type::Object &&
+                bw != v.object.end())
+                for (const auto &b : bw->second.arr())
+                    s.baseline_w.emplace_back(b.at("name").str(),
+                                              b.at("w").num());
+            sb.samples.push_back(std::move(s));
+        }
+    }
+    return sb;
+}
+
 // -- Shared load policy ----------------------------------------------
 
 /**
@@ -936,8 +1060,15 @@ detectFileKind(const std::string &text)
             return FileKind::Campaign;
         const std::size_t first =
                 text.find_first_not_of(" \t\r\n");
-        if (first != std::string::npos && text[first] == '{')
+        if (first != std::string::npos && text[first] == '{') {
+            // Both legacy JSON payloads start with '{'; a scoreboard
+            // leads with its version key, a checkpoint with "format".
+            const auto probe = text.find(
+                    "\"gpupm_scoreboard_version\"", first);
+            if (probe != std::string::npos && probe < first + 40)
+                return FileKind::Scoreboard;
             return FileKind::Checkpoint;
+        }
         failParse(IoErrc::ParseError,
                   "unrecognized file content (neither a v2 envelope "
                   "nor a legacy gpupm artifact)");
@@ -1236,6 +1367,38 @@ loadCampaignCheckpoint(const std::string &path)
                    ioErrcName(res.error().code), "]: ",
                    res.error().message);
     return res.value();
+}
+
+// -- Accuracy scoreboards --------------------------------------------
+
+std::string
+serializeScoreboard(const obs::Scoreboard &sb, bool include_samples)
+{
+    return wrapEnvelope(FileKind::Scoreboard,
+                        sb.toJson(include_samples));
+}
+
+IoExpected<obs::Scoreboard>
+tryParseScoreboard(const std::string &text, const LoadOptions &opts)
+{
+    return parseWithPolicy<obs::Scoreboard>(
+            text, FileKind::Scoreboard, opts, parseScoreboardPayload,
+            validateScoreboard);
+}
+
+IoExpected<obs::Scoreboard>
+tryLoadScoreboard(const std::string &path, const LoadOptions &opts)
+{
+    return loadWithPolicy<obs::Scoreboard>(
+            path, FileKind::Scoreboard, opts, parseScoreboardPayload,
+            validateScoreboard);
+}
+
+IoExpected<bool>
+trySaveScoreboard(const obs::Scoreboard &sb, const std::string &path,
+                  bool include_samples)
+{
+    return tryWriteFile(path, serializeScoreboard(sb, include_samples));
 }
 
 } // namespace model

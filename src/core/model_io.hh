@@ -41,6 +41,7 @@
 #include "core/estimator.hh"
 #include "core/power_model.hh"
 #include "core/resilient.hh"
+#include "obs/scoreboard.hh"
 
 namespace gpupm
 {
@@ -79,6 +80,7 @@ enum class FileKind
     Model,
     Campaign,
     Checkpoint,
+    Scoreboard,
 };
 
 /** Envelope token of a file kind ("model" | "campaign" | ...). */
@@ -183,6 +185,31 @@ tryLoadCampaignCheckpoint(const std::string &path,
  */
 IoExpected<bool> trySaveCampaignCheckpoint(const CampaignCheckpoint &ck,
                                            const std::string &path);
+
+// -- Accuracy scoreboards --------------------------------------------
+
+/**
+ * Serialize an accuracy scoreboard (v2 envelope around the JSON
+ * payload). Summary-only when include_samples is false — the form
+ * golden scoreboards under bench/golden/ are stored in.
+ */
+std::string serializeScoreboard(const obs::Scoreboard &sb,
+                                bool include_samples = true);
+
+/** Parse serializeScoreboard output or a legacy raw JSON payload. */
+IoExpected<obs::Scoreboard>
+tryParseScoreboard(const std::string &text,
+                   const LoadOptions &opts = {});
+
+/** Read and parse a scoreboard file. */
+IoExpected<obs::Scoreboard>
+tryLoadScoreboard(const std::string &path,
+                  const LoadOptions &opts = {});
+
+/** Write a scoreboard to a file. The value is always `true`. */
+IoExpected<bool> trySaveScoreboard(const obs::Scoreboard &sb,
+                                   const std::string &path,
+                                   bool include_samples = true);
 
 /** Parse serializeCampaignCheckpoint output (fatal on error). */
 CampaignCheckpoint

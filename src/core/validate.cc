@@ -478,5 +478,110 @@ validateCheckpoint(const CampaignCheckpoint &ck)
     return r;
 }
 
+ValidationReport
+validateScoreboard(const obs::Scoreboard &sb)
+{
+    ValidationReport r;
+    r.subject = "scoreboard";
+
+    auto checkStats = [&r](const std::string &where,
+                           const obs::ScoreStats &st) {
+        if (st.samples < 0)
+            r.addError("stats-negative-count",
+                       detail::concat(where, ": negative sample "
+                                             "count ",
+                                      st.samples));
+        const std::pair<const char *, double> fields[] = {
+            {"MAE", st.mae_pct},
+            {"RMSE", st.rmse_w},
+            {"max error", st.max_err_pct},
+            {"mean measured power", st.mean_measured_w},
+        };
+        for (const auto &[what, v] : fields) {
+            if (!std::isfinite(v))
+                r.addError("stats-not-finite",
+                           detail::concat(where, ": non-finite ",
+                                          what));
+            else if (v < 0.0)
+                r.addError("stats-negative",
+                           detail::concat(where, ": negative ", what,
+                                          " (", v, ")"));
+        }
+    };
+
+    checkStats("summary", sb.overall);
+    long app_samples = 0;
+    for (const obs::AppScore &a : sb.per_app) {
+        checkStats(detail::concat("app '", a.app, "'"), a.stats);
+        app_samples += a.stats.samples;
+    }
+    if (!sb.per_app.empty() && app_samples != sb.overall.samples)
+        r.addWarning("per-app-count-mismatch",
+                     detail::concat("per-app sample counts add up to ",
+                                    app_samples, " but the summary "
+                                                 "claims ",
+                                    sb.overall.samples));
+    for (const obs::ConfigScore &c : sb.per_config) {
+        checkStats(detail::concat("config ", c.cfg.core_mhz, "/",
+                                  c.cfg.mem_mhz),
+                   c.stats);
+        if (c.cfg.core_mhz <= 0 || c.cfg.mem_mhz <= 0)
+            r.addError("config-implausible",
+                       detail::concat("non-positive clocks ",
+                                      c.cfg.core_mhz, "/",
+                                      c.cfg.mem_mhz));
+    }
+    for (const auto *marginal : {&sb.core_marginal, &sb.mem_marginal})
+        for (const obs::MarginalScore &m : *marginal)
+            checkStats(detail::concat("marginal ", m.mhz, " MHz"),
+                       m.stats);
+    for (const obs::BaselineScore &b : sb.baselines)
+        if (!std::isfinite(b.mae_pct) || b.mae_pct < 0.0)
+            r.addError("baseline-mae-implausible",
+                       detail::concat("baseline '", b.name,
+                                      "': bad MAE"));
+    if (sb.reference.core_mhz <= 0 || sb.reference.mem_mhz <= 0)
+        r.addWarning("reference-implausible",
+                     detail::concat("reference clocks ",
+                                    sb.reference.core_mhz, "/",
+                                    sb.reference.mem_mhz));
+
+    if (!sb.samples.empty()) {
+        if (static_cast<long>(sb.samples.size()) !=
+            sb.overall.samples)
+            r.addError("summary-samples-inconsistent",
+                       detail::concat("summary claims ",
+                                      sb.overall.samples,
+                                      " samples but ",
+                                      sb.samples.size(),
+                                      " residuals are present"));
+        for (const obs::ResidualSample &s : sb.samples) {
+            if (!std::isfinite(s.measured_w) || s.measured_w < 0.0 ||
+                !std::isfinite(s.predicted_w) || s.predicted_w < 0.0) {
+                r.addError("residual-implausible",
+                           detail::concat("app '", s.app, "' at ",
+                                          s.cfg.core_mhz, "/",
+                                          s.cfg.mem_mhz,
+                                          ": bad power values"));
+                break;
+            }
+        }
+        // The stored summary must agree with one recomputed from the
+        // residuals; a tampered headline number fails validation.
+        obs::Scoreboard copy = sb;
+        copy.recomputeAggregates();
+        const double tol = 1e-6 +
+                           1e-9 * std::abs(sb.overall.mae_pct);
+        if (std::abs(copy.overall.mae_pct - sb.overall.mae_pct) > tol)
+            r.addError("summary-samples-inconsistent",
+                       detail::concat("stored overall MAE ",
+                                      sb.overall.mae_pct,
+                                      "% does not match the value "
+                                      "recomputed from the residuals (",
+                                      copy.overall.mae_pct, "%)"));
+    }
+    return r;
+}
+
 } // namespace model
 } // namespace gpupm

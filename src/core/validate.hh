@@ -31,6 +31,7 @@
 #include "core/campaign.hh"
 #include "core/estimator.hh"
 #include "core/power_model.hh"
+#include "obs/scoreboard.hh"
 
 namespace gpupm
 {
@@ -99,6 +100,15 @@ ValidationReport validateModel(const DvfsPowerModel &model);
  * (done flags vs. grid dimensions, report counters vs. cells).
  */
 ValidationReport validateCheckpoint(const CampaignCheckpoint &ck);
+
+/**
+ * Validate an accuracy scoreboard: finite non-negative error
+ * statistics, plausible clocks, per-app sample counts adding up to
+ * the overall count, and — when raw residuals are present — the
+ * stored summary agreeing with one recomputed from them (a
+ * hand-edited MAE must not survive a --validate load).
+ */
+ValidationReport validateScoreboard(const obs::Scoreboard &sb);
 
 } // namespace model
 } // namespace gpupm

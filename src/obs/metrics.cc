@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/numio.hh"
+#include "common/provenance.hh"
 
 namespace gpupm
 {
@@ -25,6 +26,28 @@ atomicAdd(std::atomic<double> &a, double v)
                                     std::memory_order_relaxed)) {
     }
 }
+
+/** Prometheus label-value escaping (backslash, quote, newline). */
+std::string
+labelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+const double kSummaryQuantiles[] = {0.50, 0.95, 0.99};
+const char *const kQuantileLabels[] = {"0.5", "0.95", "0.99"};
+const char *const kQuantileJsonKeys[] = {"p50", "p95", "p99"};
 
 } // namespace
 
@@ -72,6 +95,32 @@ Histogram::cumulativeCounts() const
     return out;
 }
 
+double
+Histogram::quantileEstimate(double q) const
+{
+    q = std::clamp(q, 0.0, 1.0);
+    const double total = count();
+    if (total <= 0.0)
+        return 0.0;
+    const double target = q * total;
+    const auto cum = cumulativeCounts();
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (cum[i] < target)
+            continue;
+        const double prev = i ? cum[i - 1] : 0.0;
+        const double in_bucket = cum[i] - prev;
+        const double lo = i ? bounds_[i - 1]
+                            : std::min(0.0, bounds_[0]);
+        const double hi = bounds_[i];
+        if (in_bucket <= 0.0)
+            return hi;
+        return lo + (hi - lo) * (target - prev) / in_bucket;
+    }
+    // Rank falls into the +Inf overflow bucket: clamp to the largest
+    // finite bound, as histogram_quantile() does.
+    return bounds_.back();
+}
+
 std::vector<double>
 secondsBuckets()
 {
@@ -88,6 +137,12 @@ std::vector<double>
 iterationBuckets()
 {
     return {1, 2, 5, 10, 20, 50};
+}
+
+std::vector<double>
+errorPctBuckets()
+{
+    return {0.5, 1, 2, 5, 10, 20, 50};
 }
 
 Registry &
@@ -159,6 +214,17 @@ Registry::renderPrometheus() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
+    // Build provenance rides along as the conventional info-style
+    // gauge: constant value 1, identity in the labels.
+    const auto prov = common::collectProvenance();
+    os << "# HELP gpupm_build_info Build provenance (constant 1; "
+          "identity in labels)\n"
+       << "# TYPE gpupm_build_info gauge\n"
+       << "gpupm_build_info{version=\"" << labelEscape(prov.version)
+       << "\",build_type=\"" << labelEscape(prov.build_type)
+       << "\",device=\"" << labelEscape(prov.device)
+       << "\",timestamp=\"" << labelEscape(prov.timestamp)
+       << "\"} 1\n";
     for (const auto &[name, e] : metrics_) {
         os << "# HELP " << name << " " << e.help << "\n";
         switch (e.kind) {
@@ -192,6 +258,13 @@ Registry::renderPrometheus() const
                << numio::formatDouble(e.histogram->sum()) << "\n";
             os << name << "_count "
                << numio::formatDouble(e.histogram->count()) << "\n";
+            for (std::size_t q = 0; q < 3; ++q) {
+                os << name << "{quantile=\"" << kQuantileLabels[q]
+                   << "\"} "
+                   << numio::formatDouble(e.histogram->quantileEstimate(
+                              kSummaryQuantiles[q]))
+                   << "\n";
+            }
             break;
           }
         }
@@ -205,11 +278,10 @@ Registry::renderJson() const
     std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
     os << "{";
-    bool first = true;
+    os << "\n\"provenance\":"
+       << common::toJson(common::collectProvenance());
     for (const auto &[name, e] : metrics_) {
-        if (!first)
-            os << ",";
-        first = false;
+        os << ",";
         os << "\n\"" << name << "\":{";
         switch (e.kind) {
           case Kind::Counter:
@@ -241,6 +313,12 @@ Registry::renderJson() const
                        << "}";
                 }
                 os << "]";
+                for (std::size_t q = 0; q < 3; ++q) {
+                    os << ",\"" << kQuantileJsonKeys[q] << "\":"
+                       << numio::formatDouble(
+                                  e.histogram->quantileEstimate(
+                                          kSummaryQuantiles[q]));
+                }
             }
             break;
           }

@@ -79,6 +79,16 @@ class Histogram
 
     double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+    /**
+     * Quantile estimate (q in [0, 1]) by linear interpolation inside
+     * the bucket holding the target rank — the same estimate
+     * Prometheus' histogram_quantile() would compute server-side, made
+     * available locally so dumps can carry p50/p95/p99 summaries.
+     * Observations in the overflow bucket clamp to the largest finite
+     * bound; an empty histogram yields 0.
+     */
+    double quantileEstimate(double q) const;
+
   private:
     std::vector<double> bounds_; ///< sorted, exclusive of +Inf
     std::unique_ptr<std::atomic<double>[]> per_bucket_; ///< + overflow
@@ -90,6 +100,7 @@ class Histogram
 std::vector<double> secondsBuckets();   ///< 100us .. 100s, log-spaced
 std::vector<double> countBuckets();     ///< 1 .. 10000, log-spaced
 std::vector<double> iterationBuckets(); ///< 1 .. 50 fit iterations
+std::vector<double> errorPctBuckets();  ///< 0.5 .. 50 percent error
 
 /**
  * Name -> metric map. Registration is idempotent: the first call

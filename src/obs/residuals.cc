@@ -1,0 +1,54 @@
+#include "residuals.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/numio.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+double
+ResidualSample::absErrPct() const
+{
+    return std::abs(errPct());
+}
+
+double
+ResidualSample::errPct() const
+{
+    if (measured_w == 0.0)
+        return 0.0;
+    return (predicted_w - measured_w) / measured_w * 100.0;
+}
+
+std::string
+residualCsvHeader()
+{
+    std::ostringstream os;
+    os << "app,core_mhz,mem_mhz,measured_w,predicted_w,err_pct,"
+          "constant_w";
+    for (std::size_t i = 0; i < gpu::kNumComponents; ++i)
+        os << ","
+           << gpu::componentName(static_cast<gpu::Component>(i)) << "_w";
+    return os.str();
+}
+
+std::string
+residualCsvRow(const ResidualSample &s)
+{
+    std::ostringstream os;
+    os << s.app << "," << s.cfg.core_mhz << "," << s.cfg.mem_mhz << ","
+       << numio::formatDouble(s.measured_w) << ","
+       << numio::formatDouble(s.predicted_w) << ","
+       << numio::formatDouble(s.errPct()) << ","
+       << numio::formatDouble(s.constant_w);
+    for (double w : s.component_w)
+        os << "," << numio::formatDouble(w);
+    return os.str();
+}
+
+} // namespace obs
+} // namespace gpupm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Prediction residuals: one sample per (benchmark, V-F configuration)
+ * comparing measured against predicted power, with the per-component
+ * dynamic-power decomposition (Eq. 5-7 terms) and optional baseline
+ * predictions riding along. The scoreboard (scoreboard.hh) aggregates
+ * them into the accuracy views behind Table III and Figs. 7-8.
+ */
+
+#ifndef GPUPM_OBS_RESIDUALS_HH
+#define GPUPM_OBS_RESIDUALS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpu/components.hh"
+#include "gpu/device.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+/** One audited (application, configuration) cell. */
+struct ResidualSample
+{
+    std::string app;            ///< validation application name
+    gpu::FreqConfig cfg{};      ///< requested clocks, MHz
+    double measured_w = 0.0;    ///< median measured average power
+    double predicted_w = 0.0;   ///< model's total prediction
+    double constant_w = 0.0;    ///< static + idle terms (both domains)
+    /** Per-component dynamic contribution, W (Eq. 6-7 terms). */
+    gpu::ComponentArray component_w{};
+    /** Baseline predictions at this cell: (model name, watts). */
+    std::vector<std::pair<std::string, double>> baseline_w;
+
+    /** |pred - meas| / meas * 100; 0 when the measurement is zero. */
+    double absErrPct() const;
+
+    /** Signed (pred - meas) / meas * 100; 0 when measured is zero. */
+    double errPct() const;
+};
+
+/** Header of the per-sample CSV (`gpupm audit --csv`). */
+std::string residualCsvHeader();
+
+/** One CSV row matching residualCsvHeader(). */
+std::string residualCsvRow(const ResidualSample &s);
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_RESIDUALS_HH

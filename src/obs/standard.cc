@@ -206,6 +206,50 @@ simKernelTimeSeconds()
                            secondsBuckets());
 }
 
+Counter &
+accuracyAuditsTotal()
+{
+    return reg().counter("gpupm_accuracy_audits_total",
+                         "Prediction audits (gpupm audit runs)");
+}
+
+Counter &
+accuracySamplesTotal()
+{
+    return reg().counter("gpupm_accuracy_samples_total",
+                         "Residual samples collected across audits");
+}
+
+Gauge &
+accuracyLastMaePct()
+{
+    return reg().gauge("gpupm_accuracy_last_mae_percent",
+                       "Overall MAE of the most recent audit, %");
+}
+
+Gauge &
+accuracyLastRmseW()
+{
+    return reg().gauge("gpupm_accuracy_last_rmse_watts",
+                       "Overall RMSE of the most recent audit, W");
+}
+
+Gauge &
+accuracyLastMaxErrPct()
+{
+    return reg().gauge("gpupm_accuracy_last_max_error_percent",
+                       "Largest absolute error of the most recent "
+                       "audit, %");
+}
+
+Histogram &
+accuracyAbsErrPct()
+{
+    return reg().histogram("gpupm_accuracy_abs_error_percent",
+                           "Per-sample absolute prediction error, %",
+                           errorPctBuckets());
+}
+
 void
 registerStandardMetrics()
 {
@@ -236,6 +280,12 @@ registerStandardMetrics()
     ioSaveFailuresTotal();
     simKernelExecutionsTotal();
     simKernelTimeSeconds();
+    accuracyAuditsTotal();
+    accuracySamplesTotal();
+    accuracyLastMaePct();
+    accuracyLastRmseW();
+    accuracyLastMaxErrPct();
+    accuracyAbsErrPct();
 }
 
 } // namespace obs

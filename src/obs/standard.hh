@@ -61,6 +61,15 @@ Counter &ioSaveFailuresTotal();
 Counter &simKernelExecutionsTotal();
 Histogram &simKernelTimeSeconds();
 
+// -- Prediction accuracy (gpupm audit) -------------------------------
+
+Counter &accuracyAuditsTotal();
+Counter &accuracySamplesTotal();
+Gauge &accuracyLastMaePct();
+Gauge &accuracyLastRmseW();
+Gauge &accuracyLastMaxErrPct();
+Histogram &accuracyAbsErrPct();
+
 /**
  * Register the whole catalog in Registry::global(). Idempotent;
  * called by the CLI before any dump.

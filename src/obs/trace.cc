@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/numio.hh"
+#include "common/provenance.hh"
 
 namespace gpupm
 {
@@ -141,7 +142,8 @@ Tracer::renderChromeTrace() const
         }
         os << "}";
     }
-    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    os << "\n],\"displayTimeUnit\":\"ms\",\"provenance\":"
+       << common::toJson(common::collectProvenance()) << "}\n";
     return os.str();
 }
 

@@ -1,0 +1,153 @@
+# Drives the accuracy-audit surface end to end: `gpupm audit` produces
+# a scoreboard (stdout JSON + --scoreboard-out file + accuracy
+# metrics), `gpupm validate` accepts the persisted artifact, and
+# gpupm_bench_check gates both the scoreboard and the bench telemetry
+# JSON against the checked-in goldens — passing on a faithful run and
+# failing on an injected accuracy regression or time-budget overrun.
+# Expects CLI, CHECK, BENCH_CHECK, GOLDEN_DIR, WORK and the bench
+# binaries BENCH_FIG7, BENCH_FIG8, BENCH_TABLE2 to be defined.
+file(MAKE_DIRECTORY ${WORK})
+
+# -- 1. the audit itself ----------------------------------------------
+execute_process(COMMAND ${CLI} audit titanx --json
+                        --scoreboard-out=${WORK}/titanx.scoreboard
+                        --metrics-out=${WORK}/audit.metrics.prom
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gpupm audit failed: ${rc}: ${err}")
+endif()
+if(NOT out MATCHES "\"gpupm_scoreboard_version\":1")
+    message(FATAL_ERROR "audit --json did not print a scoreboard")
+endif()
+if(NOT out MATCHES "\"provenance\":")
+    message(FATAL_ERROR "audit JSON lacks build provenance")
+endif()
+if(NOT err MATCHES "overall MAE")
+    message(FATAL_ERROR "audit did not report its MAE: ${err}")
+endif()
+
+# The persisted scoreboard is a valid (v2, checksummed) artifact.
+execute_process(COMMAND ${CLI} validate ${WORK}/titanx.scoreboard
+                        --strict
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "scoreboard failed validate: ${rc}: ${err}")
+endif()
+
+# The metrics dump carries the audit telemetry and build provenance.
+execute_process(COMMAND ${CHECK} metrics ${WORK}/audit.metrics.prom
+                        gpupm_accuracy_audits_total
+                        gpupm_accuracy_samples_total
+                        gpupm_accuracy_last_mae_percent
+                        gpupm_accuracy_abs_error_percent
+                        gpupm_build_info
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "accuracy metrics missing: ${rc}: ${err}")
+endif()
+
+# -- 2. the scoreboard regression gate --------------------------------
+# A faithful run passes against the checked-in golden.
+execute_process(COMMAND ${BENCH_CHECK} scoreboard
+                        ${WORK}/titanx.scoreboard
+                        ${GOLDEN_DIR}/titanx.scoreboard.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "scoreboard gate rejected a faithful run: "
+                        "${rc}: ${out}")
+endif()
+
+# An injected accuracy regression (every MAE inflated by prefixing a
+# digit, e.g. 5.47% -> 15.47%) must fail the gate.
+file(READ ${GOLDEN_DIR}/titanx.scoreboard.json golden_text)
+string(REGEX REPLACE "(\"mae_pct\":)" "\\11" tampered_text
+       "${golden_text}")
+if(tampered_text STREQUAL golden_text)
+    message(FATAL_ERROR "regression injection did not change the text")
+endif()
+file(WRITE ${WORK}/tampered.scoreboard.json "${tampered_text}")
+execute_process(COMMAND ${BENCH_CHECK} scoreboard
+                        ${WORK}/tampered.scoreboard.json
+                        ${GOLDEN_DIR}/titanx.scoreboard.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "scoreboard gate missed an injected +10 pp "
+                        "MAE regression: ${out}")
+endif()
+
+# -- 3. bench telemetry (--json-out) ----------------------------------
+foreach(pair "BENCH_TABLE2;table2_devices" "BENCH_FIG7;fig7_validation"
+        "BENCH_FIG8;fig8_error_by_mem")
+    list(GET pair 0 var)
+    list(GET pair 1 name)
+    execute_process(COMMAND ${${var}}
+                            --json-out=${WORK}/BENCH_${name}.json
+                    WORKING_DIRECTORY ${WORK}
+                    RESULT_VARIABLE rc OUTPUT_QUIET
+                    ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${name} --json-out failed: ${rc}: ${err}")
+    endif()
+endforeach()
+
+execute_process(COMMAND ${BENCH_CHECK} validate
+                        ${WORK}/BENCH_table2_devices.json
+                        ${WORK}/BENCH_fig7_validation.json
+                        ${WORK}/BENCH_fig8_error_by_mem.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench telemetry invalid: ${rc}: ${out}")
+endif()
+
+# -- 4. the bench gate ------------------------------------------------
+# Accuracy stats are deterministic, so the run matches the checked-in
+# golden tightly; the time budget is generous because the golden's
+# wall-clock came from a different machine.
+execute_process(COMMAND ${BENCH_CHECK} bench
+                        ${WORK}/BENCH_fig7_validation.json
+                        ${GOLDEN_DIR}/BENCH_fig7_validation.json
+                        --stat-tol=0.5 --time-factor=50
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench gate rejected a faithful fig7 run: "
+                        "${rc}: ${out}")
+endif()
+
+# Self-comparison isolates the two gates from machine speed entirely:
+# identical stats and wall-clock pass a 10x budget and fail a 0.5x one.
+execute_process(COMMAND ${BENCH_CHECK} bench
+                        ${WORK}/BENCH_fig7_validation.json
+                        ${WORK}/BENCH_fig7_validation.json
+                        --time-factor=10
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench self-comparison failed: ${rc}")
+endif()
+execute_process(COMMAND ${BENCH_CHECK} bench
+                        ${WORK}/BENCH_fig7_validation.json
+                        ${WORK}/BENCH_fig7_validation.json
+                        --time-factor=0.5
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "bench gate missed a 2x time-budget overrun "
+                        "(0.5x factor on itself): ${out}")
+endif()
+
+# An injected +10 pp stat regression must fail against the golden.
+file(READ ${WORK}/BENCH_fig7_validation.json bench_text)
+string(REGEX REPLACE "(\"mae_pct_titanx\":)" "\\11" bench_tampered
+       "${bench_text}")
+if(bench_tampered STREQUAL bench_text)
+    message(FATAL_ERROR "bench stat injection did not change the text")
+endif()
+file(WRITE ${WORK}/BENCH_tampered.json "${bench_tampered}")
+execute_process(COMMAND ${BENCH_CHECK} bench
+                        ${WORK}/BENCH_tampered.json
+                        ${GOLDEN_DIR}/BENCH_fig7_validation.json
+                        --time-factor=50
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "bench gate missed an injected stat "
+                        "regression: ${out}")
+endif()

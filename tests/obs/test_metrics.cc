@@ -125,6 +125,77 @@ TEST_F(MetricsTest, ConcurrentIncrementsAreNotLost)
                      static_cast<double>(kThreads) * kIters);
 }
 
+TEST_F(MetricsTest, QuantileOfEmptyHistogramIsZero)
+{
+    auto &h = obs::Registry::global().histogram("t_q_empty", "help",
+                                                {1.0, 10.0});
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(0.99), 0.0);
+}
+
+TEST_F(MetricsTest, QuantileInterpolatesWithinBucket)
+{
+    auto &h = obs::Registry::global().histogram("t_q_interp", "help",
+                                                {10.0, 20.0});
+    // 10 observations, all in the (10, 20] bucket.
+    for (int i = 0; i < 10; ++i)
+        h.observe(15.0);
+    // Median rank 5 of 10 sits halfway through the second bucket.
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(1.0), 20.0);
+    // q=0 clamps to the bucket's lower edge.
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(0.0), 10.0);
+}
+
+TEST_F(MetricsTest, QuantileSpreadAcrossBuckets)
+{
+    auto &h = obs::Registry::global().histogram(
+            "t_q_spread", "help", {1.0, 2.0, 4.0, 8.0});
+    // One observation per bucket: ranks split evenly.
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(3.0);
+    h.observe(6.0);
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(0.25), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(1.0), 8.0);
+}
+
+TEST_F(MetricsTest, QuantileOverflowClampsToLargestBound)
+{
+    auto &h = obs::Registry::global().histogram("t_q_over", "help",
+                                                {1.0, 10.0});
+    h.observe(1000.0); // +Inf overflow bucket
+    h.observe(2000.0);
+    // histogram_quantile() convention: report the largest finite
+    // bound rather than extrapolating into the open bucket.
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(0.99), 10.0);
+    // Out-of-range q values clamp instead of misbehaving: q>1 acts
+    // as q=1; q<0 acts as q=0, landing in the empty first bucket
+    // whose upper bound is reported.
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(7.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantileEstimate(-3.0), 1.0);
+}
+
+TEST_F(MetricsTest, RenderingsCarrySummaryQuantiles)
+{
+    auto &reg = obs::Registry::global();
+    auto &h = reg.histogram("t_q_render", "render", {1.0, 10.0});
+    for (int i = 0; i < 100; ++i)
+        h.observe(0.5);
+    const std::string prom = reg.renderPrometheus();
+    EXPECT_NE(prom.find("t_q_render{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_q_render{quantile=\"0.95\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_q_render{quantile=\"0.99\"}"),
+              std::string::npos);
+    const std::string json = reg.renderJson();
+    EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+    EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 TEST_F(MetricsTest, StandardCatalogPreRegistersEverything)
 {
     obs::registerStandardMetrics();

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Accuracy-scoreboard unit tests: residual statistics, aggregation
+ * into per-app/per-config/marginal views, baseline derivation,
+ * serialization surfaces and the golden-comparison regression gate
+ * (including the injected +2 pp MAE case the gate exists for).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hh"
+#include "obs/residuals.hh"
+#include "obs/scoreboard.hh"
+#include "obs/standard.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+obs::ResidualSample
+sample(const std::string &app, int core, int mem, double meas,
+       double pred)
+{
+    obs::ResidualSample s;
+    s.app = app;
+    s.cfg = {core, mem};
+    s.measured_w = meas;
+    s.predicted_w = pred;
+    s.constant_w = 40.0;
+    for (std::size_t i = 0; i < s.component_w.size(); ++i)
+        s.component_w[i] = 1.0 + static_cast<double>(i);
+    return s;
+}
+
+/** Two apps over a 2x2 grid, with known errors. */
+std::vector<obs::ResidualSample>
+smallSet()
+{
+    std::vector<obs::ResidualSample> v;
+    // app A: exactly 10% over-prediction everywhere.
+    for (int core : {600, 1000})
+        for (int mem : {800, 3500})
+            v.push_back(sample("A", core, mem, 100.0, 110.0));
+    // app B: exact predictions.
+    for (int core : {600, 1000})
+        for (int mem : {800, 3500})
+            v.push_back(sample("B", core, mem, 200.0, 200.0));
+    return v;
+}
+
+TEST(ScoreStats, PooledStatsOverGroup)
+{
+    const auto set = smallSet();
+    std::vector<const obs::ResidualSample *> group;
+    for (const auto &s : set)
+        group.push_back(&s);
+    const auto st = obs::scoreOf(group);
+    EXPECT_EQ(st.samples, 8);
+    EXPECT_NEAR(st.mae_pct, 5.0, 1e-12);  // (4x10% + 4x0%) / 8
+    EXPECT_NEAR(st.max_err_pct, 10.0, 1e-12);
+    EXPECT_NEAR(st.rmse_w, std::sqrt(4 * 100.0 / 8), 1e-12);
+    EXPECT_NEAR(st.mean_measured_w, 150.0, 1e-12);
+}
+
+TEST(ScoreStats, EmptyGroupIsZero)
+{
+    const auto st = obs::scoreOf({});
+    EXPECT_EQ(st.samples, 0);
+    EXPECT_EQ(st.mae_pct, 0.0);
+    EXPECT_EQ(st.rmse_w, 0.0);
+}
+
+TEST(ResidualSample, ErrorPercentages)
+{
+    auto s = sample("A", 600, 800, 100.0, 88.0);
+    EXPECT_NEAR(s.errPct(), -12.0, 1e-12);
+    EXPECT_NEAR(s.absErrPct(), 12.0, 1e-12);
+    s.measured_w = 0.0;
+    EXPECT_EQ(s.errPct(), 0.0);
+    EXPECT_EQ(s.absErrPct(), 0.0);
+}
+
+TEST(Scoreboard, FromSamplesAggregates)
+{
+    const auto sb = obs::Scoreboard::fromSamples(1, "GTX Titan X",
+                                                 {1000, 3500},
+                                                 smallSet());
+    EXPECT_EQ(sb.overall.samples, 8);
+    EXPECT_NEAR(sb.overall.mae_pct, 5.0, 1e-12);
+
+    // Per-app rows keep first-appearance order.
+    ASSERT_EQ(sb.per_app.size(), 2u);
+    EXPECT_EQ(sb.per_app[0].app, "A");
+    EXPECT_NEAR(sb.per_app[0].stats.mae_pct, 10.0, 1e-12);
+    EXPECT_EQ(sb.per_app[1].app, "B");
+    EXPECT_NEAR(sb.per_app[1].stats.mae_pct, 0.0, 1e-12);
+
+    // 4 grid cells, each holding one sample of each app.
+    ASSERT_EQ(sb.per_config.size(), 4u);
+    for (const auto &c : sb.per_config) {
+        EXPECT_EQ(c.stats.samples, 2);
+        EXPECT_NEAR(c.stats.mae_pct, 5.0, 1e-12);
+    }
+    ASSERT_EQ(sb.core_marginal.size(), 2u);
+    EXPECT_EQ(sb.core_marginal[0].mhz, 600);
+    EXPECT_EQ(sb.core_marginal[0].stats.samples, 4);
+    ASSERT_EQ(sb.mem_marginal.size(), 2u);
+    EXPECT_EQ(sb.mem_marginal[0].mhz, 800);
+}
+
+TEST(Scoreboard, BaselinesDerivedFromSampleBaselinePredictions)
+{
+    auto set = smallSet();
+    for (auto &s : set)
+        s.baseline_w = {{"cubic", s.measured_w * 1.2},
+                        {"abe", s.measured_w}};
+    const auto sb = obs::Scoreboard::fromSamples(1, "GTX Titan X",
+                                                 {1000, 3500},
+                                                 std::move(set));
+    ASSERT_EQ(sb.baselines.size(), 2u);
+    // Map-ordered by name.
+    EXPECT_EQ(sb.baselines[0].name, "abe");
+    EXPECT_NEAR(sb.baselines[0].mae_pct, 0.0, 1e-12);
+    EXPECT_EQ(sb.baselines[1].name, "cubic");
+    EXPECT_NEAR(sb.baselines[1].mae_pct, 20.0, 1e-12);
+}
+
+TEST(Scoreboard, SummaryOnlyKeepsLoadedBaselines)
+{
+    obs::Scoreboard sb;
+    sb.baselines = {{"abe", 7.5}};
+    sb.recomputeAggregates(); // no samples: must not clear baselines
+    ASSERT_EQ(sb.baselines.size(), 1u);
+    EXPECT_EQ(sb.baselines[0].name, "abe");
+}
+
+TEST(Scoreboard, TextSurfacesCarryTheViews)
+{
+    auto set = smallSet();
+    for (auto &s : set)
+        s.baseline_w = {{"cubic", s.measured_w * 1.2}};
+    const auto sb = obs::Scoreboard::fromSamples(1, "GTX Titan X",
+                                                 {1000, 3500},
+                                                 std::move(set));
+    const auto text = sb.summaryText();
+    EXPECT_NE(text.find("Per-application accuracy (Fig. 7)"),
+              std::string::npos);
+    EXPECT_NE(text.find("Core-frequency marginal (Fig. 8)"),
+              std::string::npos);
+    EXPECT_NE(text.find("Baseline comparison (Sec. VI)"),
+              std::string::npos);
+
+    const auto csv = sb.samplesCsv();
+    EXPECT_EQ(csv.rfind(obs::residualCsvHeader(), 0), 0u);
+    // Header + one row per sample.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 9);
+}
+
+TEST(Scoreboard, PublishMetricsExportsAccuracyGauges)
+{
+    const auto sb = obs::Scoreboard::fromSamples(1, "GTX Titan X",
+                                                 {1000, 3500},
+                                                 smallSet());
+    const double audits_before = obs::accuracyAuditsTotal().value();
+    sb.publishMetrics();
+    EXPECT_EQ(obs::accuracyAuditsTotal().value(), audits_before + 1);
+    EXPECT_NEAR(obs::accuracyLastMaePct().value(), 5.0, 1e-12);
+    EXPECT_NEAR(obs::accuracyLastMaxErrPct().value(), 10.0, 1e-12);
+    EXPECT_GE(obs::accuracyAbsErrPct().count(), 8.0);
+}
+
+// -- the regression gate ---------------------------------------------
+
+TEST(CompareScoreboards, IdenticalRunPasses)
+{
+    const auto sb = obs::Scoreboard::fromSamples(1, "GTX Titan X",
+                                                 {1000, 3500},
+                                                 smallSet());
+    const auto diff = obs::compareScoreboards(sb, sb);
+    EXPECT_TRUE(diff.ok);
+    EXPECT_TRUE(diff.regressions.empty());
+    EXPECT_NE(diff.summary().find("PASS"), std::string::npos);
+}
+
+TEST(CompareScoreboards, InjectedTwoPointMaeRegressionFails)
+{
+    const auto golden = obs::Scoreboard::fromSamples(
+            1, "GTX Titan X", {1000, 3500}, smallSet());
+    auto run = golden;
+    run.overall.mae_pct += 2.0; // above the 0.5 pp gate
+    const auto diff = obs::compareScoreboards(run, golden);
+    EXPECT_FALSE(diff.ok);
+    ASSERT_FALSE(diff.regressions.empty());
+    EXPECT_NE(diff.regressions.front().find("overall MAE"),
+              std::string::npos);
+    EXPECT_NE(diff.summary().find("FAIL"), std::string::npos);
+}
+
+TEST(CompareScoreboards, DriftWithinTolerancePasses)
+{
+    const auto golden = obs::Scoreboard::fromSamples(
+            1, "GTX Titan X", {1000, 3500}, smallSet());
+    auto run = golden;
+    run.overall.mae_pct += 0.4;
+    EXPECT_TRUE(obs::compareScoreboards(run, golden).ok);
+}
+
+TEST(CompareScoreboards, ImprovementBeyondToleranceIsNoted)
+{
+    const auto golden = obs::Scoreboard::fromSamples(
+            1, "GTX Titan X", {1000, 3500}, smallSet());
+    auto run = golden;
+    run.overall.mae_pct -= 2.0;
+    const auto diff = obs::compareScoreboards(run, golden);
+    EXPECT_TRUE(diff.ok);
+    ASSERT_FALSE(diff.notes.empty());
+    EXPECT_NE(diff.notes.front().find("improved"), std::string::npos);
+}
+
+TEST(CompareScoreboards, PerAppRegressionFails)
+{
+    const auto golden = obs::Scoreboard::fromSamples(
+            1, "GTX Titan X", {1000, 3500}, smallSet());
+    auto run = golden;
+    run.per_app[1].stats.mae_pct += 3.0; // above the 2 pp app gate
+    const auto diff = obs::compareScoreboards(run, golden);
+    EXPECT_FALSE(diff.ok);
+    ASSERT_FALSE(diff.regressions.empty());
+    EXPECT_NE(diff.regressions.front().find("app 'B'"),
+              std::string::npos);
+}
+
+TEST(CompareScoreboards, WorkloadSetChangesAreNotesNotFailures)
+{
+    const auto golden = obs::Scoreboard::fromSamples(
+            1, "GTX Titan X", {1000, 3500}, smallSet());
+    auto run = golden;
+    run.per_app.push_back({"C", {}});
+    run.per_app.erase(run.per_app.begin()); // drop app A
+    const auto diff = obs::compareScoreboards(run, golden);
+    EXPECT_TRUE(diff.ok);
+    EXPECT_EQ(diff.notes.size(), 2u); // C absent-from-golden, A absent
+}
+
+TEST(CompareScoreboards, DeviceMismatchFails)
+{
+    const auto golden = obs::Scoreboard::fromSamples(
+            1, "GTX Titan X", {1000, 3500}, smallSet());
+    auto run = golden;
+    run.device = 2;
+    EXPECT_FALSE(obs::compareScoreboards(run, golden).ok);
+}
+
+TEST(CompareScoreboards, CustomTolerancesApply)
+{
+    const auto golden = obs::Scoreboard::fromSamples(
+            1, "GTX Titan X", {1000, 3500}, smallSet());
+    auto run = golden;
+    run.overall.mae_pct += 1.0;
+    obs::ScoreboardTolerances loose;
+    loose.overall_mae_pp = 1.5;
+    EXPECT_TRUE(obs::compareScoreboards(run, golden, loose).ok);
+    obs::ScoreboardTolerances tight;
+    tight.overall_mae_pp = 0.1;
+    EXPECT_FALSE(obs::compareScoreboards(run, golden, tight).ok);
+}
+
+} // namespace

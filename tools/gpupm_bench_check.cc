@@ -1,0 +1,281 @@
+/**
+ * @file
+ * gpupm_bench_check: regression gate over the accuracy/telemetry
+ * artifacts the bench harness and `gpupm audit` emit, so ctest and
+ * scripts/reproduce_all.sh can fail a build on an accuracy or runtime
+ * regression without a Python or jq dependency.
+ *
+ *   gpupm_bench_check validate <BENCH_*.json>...
+ *       Structurally validate bench telemetry files (version, name,
+ *       provenance, finite non-negative wall-clock and stats).
+ *
+ *   gpupm_bench_check bench <run.json> <golden.json>
+ *                     [--stat-tol=<pp>] [--time-factor=<x>]
+ *       Diff one bench telemetry run against a golden: every stat
+ *       whose key contains "_pct" (an error metric, lower is better)
+ *       may not exceed the golden by more than --stat-tol
+ *       (default 2.0 percentage points), and the run's wall-clock may
+ *       not exceed --time-factor (default 2.0) times the golden's.
+ *
+ *   gpupm_bench_check scoreboard <run> <golden>
+ *                     [--mae-tol=<pp>] [--app-tol=<pp>]
+ *                     [--max-tol=<pp>]
+ *       Diff two accuracy scoreboards (v2 envelope or raw JSON)
+ *       through obs::compareScoreboards: overall MAE, per-app MAE and
+ *       max error are gated by the tolerances (defaults 0.5 / 2.0 /
+ *       5.0 percentage points).
+ *
+ * Exit status: 0 pass, 1 regression or invalid artifact, 2 usage.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/model_io.hh"
+#include "json_lite.hh"
+#include "obs/scoreboard.hh"
+
+namespace
+{
+
+using namespace gpupm;
+using jsonlite::JsonParser;
+using jsonlite::JsonValue;
+using jsonlite::readFile;
+
+/** Parsed essentials of one BENCH_<name>.json telemetry file. */
+struct BenchRun
+{
+    std::string name;
+    double wall_ms = 0.0;
+    std::vector<std::pair<std::string, double>> stats;
+};
+
+/** Load + structurally validate one bench telemetry file. */
+bool
+loadBenchRun(const std::string &path, BenchRun &run)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    JsonValue root;
+    std::string err;
+    if (!JsonParser(text).parse(root, err)) {
+        std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    auto bad = [&](const std::string &what) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), what.c_str());
+        return false;
+    };
+    if (root.kind != JsonValue::Kind::Object)
+        return bad("top level is not an object");
+    const JsonValue *ver = root.find("gpupm_bench_version");
+    if (!ver || ver->kind != JsonValue::Kind::Number ||
+        ver->number != 1.0)
+        return bad("missing or unsupported gpupm_bench_version");
+    const JsonValue *name = root.find("name");
+    if (!name || name->kind != JsonValue::Kind::String ||
+        name->str.empty())
+        return bad("missing name");
+    run.name = name->str;
+    const JsonValue *prov = root.find("provenance");
+    if (!prov || prov->kind != JsonValue::Kind::Object)
+        return bad("missing provenance object");
+    for (const char *key :
+         {"version", "build_type", "device", "timestamp"}) {
+        const JsonValue *f = prov->find(key);
+        if (!f || f->kind != JsonValue::Kind::String)
+            return bad(std::string("provenance missing '") + key +
+                       "'");
+    }
+    const JsonValue *wall = root.find("wall_ms");
+    if (!wall || wall->kind != JsonValue::Kind::Number ||
+        !std::isfinite(wall->number) || wall->number < 0)
+        return bad("missing or implausible wall_ms");
+    run.wall_ms = wall->number;
+    const JsonValue *phases = root.find("phases_ms");
+    if (!phases || phases->kind != JsonValue::Kind::Object)
+        return bad("missing phases_ms object");
+    for (const auto &kv : phases->object)
+        if (kv.second.kind != JsonValue::Kind::Number ||
+            !std::isfinite(kv.second.number) || kv.second.number < 0)
+            return bad("implausible phase duration '" + kv.first +
+                       "'");
+    const JsonValue *stats = root.find("stats");
+    if (!stats || stats->kind != JsonValue::Kind::Object)
+        return bad("missing stats object");
+    for (const auto &kv : stats->object) {
+        if (kv.second.kind != JsonValue::Kind::Number ||
+            !std::isfinite(kv.second.number))
+            return bad("non-finite stat '" + kv.first + "'");
+        run.stats.emplace_back(kv.first, kv.second.number);
+    }
+    return true;
+}
+
+int
+cmdValidate(const std::vector<std::string> &paths)
+{
+    int rc = 0;
+    for (const auto &path : paths) {
+        BenchRun run;
+        if (!loadBenchRun(path, run)) {
+            rc = 1;
+            continue;
+        }
+        std::printf("%s: OK (%s, %zu stats, %.0f ms)\n", path.c_str(),
+                    run.name.c_str(), run.stats.size(), run.wall_ms);
+    }
+    return rc;
+}
+
+/**
+ * Gate a bench run against its golden. Error stats (keys containing
+ * "_pct" — MAE-style, lower is better) may not exceed the golden by
+ * more than stat_tol percentage points; wall-clock may not exceed
+ * time_factor times the golden's. Stats present on only one side are
+ * noted.
+ */
+int
+cmdBench(const std::string &run_path, const std::string &golden_path,
+         double stat_tol, double time_factor)
+{
+    BenchRun run, golden;
+    if (!loadBenchRun(run_path, run) ||
+        !loadBenchRun(golden_path, golden))
+        return 1;
+    if (run.name != golden.name)
+        std::fprintf(stderr,
+                     "note: comparing different benches "
+                     "('%s' vs '%s')\n",
+                     run.name.c_str(), golden.name.c_str());
+
+    int regressions = 0;
+    for (const auto &gkv : golden.stats) {
+        const double *rv = nullptr;
+        for (const auto &rkv : run.stats)
+            if (rkv.first == gkv.first)
+                rv = &rkv.second;
+        if (!rv) {
+            std::printf("note: stat '%s' absent from run\n",
+                        gkv.first.c_str());
+            continue;
+        }
+        const bool error_stat =
+                gkv.first.find("_pct") != std::string::npos;
+        if (error_stat && *rv > gkv.second + stat_tol) {
+            std::printf("REGRESSION: %s %.3f -> %.3f "
+                        "(tolerance +%.2f pp)\n",
+                        gkv.first.c_str(), gkv.second, *rv, stat_tol);
+            ++regressions;
+        }
+    }
+    if (golden.wall_ms > 0 &&
+        run.wall_ms > golden.wall_ms * time_factor) {
+        std::printf("REGRESSION: wall-clock %.0f ms exceeds %.1fx "
+                    "the golden's %.0f ms\n",
+                    run.wall_ms, time_factor, golden.wall_ms);
+        ++regressions;
+    }
+    std::printf("%s vs %s: %s (%d regression(s))\n", run_path.c_str(),
+                golden_path.c_str(), regressions ? "FAIL" : "PASS",
+                regressions);
+    return regressions ? 1 : 0;
+}
+
+int
+cmdScoreboard(const std::string &run_path,
+              const std::string &golden_path,
+              const obs::ScoreboardTolerances &tol)
+{
+    auto run = model::tryLoadScoreboard(run_path);
+    if (!run.ok()) {
+        std::fprintf(stderr, "%s: load failed [%s]: %s\n",
+                     run_path.c_str(),
+                     std::string(model::ioErrcName(run.error().code))
+                             .c_str(),
+                     run.error().message.c_str());
+        return 1;
+    }
+    auto golden = model::tryLoadScoreboard(golden_path);
+    if (!golden.ok()) {
+        std::fprintf(stderr, "%s: load failed [%s]: %s\n",
+                     golden_path.c_str(),
+                     std::string(
+                             model::ioErrcName(golden.error().code))
+                             .c_str(),
+                     golden.error().message.c_str());
+        return 1;
+    }
+    const auto diff = obs::compareScoreboards(run.value(),
+                                              golden.value(), tol);
+    std::printf("%s", diff.summary().c_str());
+    return diff.ok ? 0 : 1;
+}
+
+int
+usage()
+{
+    std::fprintf(
+            stderr,
+            "usage:\n"
+            "  gpupm_bench_check validate <BENCH.json>...\n"
+            "  gpupm_bench_check bench <run.json> <golden.json> "
+            "[--stat-tol=<pp>] [--time-factor=<x>]\n"
+            "  gpupm_bench_check scoreboard <run> <golden> "
+            "[--mae-tol=<pp>] [--app-tol=<pp>] [--max-tol=<pp>]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> positional;
+    double stat_tol = 2.0, time_factor = 2.0;
+    obs::ScoreboardTolerances tol;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional.push_back(arg);
+            continue;
+        }
+        const auto eq = arg.find('=');
+        const std::string key = arg.substr(0, eq);
+        const double val = eq == std::string::npos
+                                   ? 0.0
+                                   : std::atof(arg.c_str() + eq + 1);
+        if (key == "--stat-tol")
+            stat_tol = val;
+        else if (key == "--time-factor")
+            time_factor = val;
+        else if (key == "--mae-tol")
+            tol.overall_mae_pp = val;
+        else if (key == "--app-tol")
+            tol.per_app_mae_pp = val;
+        else if (key == "--max-tol")
+            tol.max_err_pp = val;
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", key.c_str());
+            return usage();
+        }
+    }
+    if (positional.size() < 2)
+        return usage();
+    const std::string cmd = positional.front();
+    if (cmd == "validate")
+        return cmdValidate(
+                {positional.begin() + 1, positional.end()});
+    if (cmd == "bench" && positional.size() == 3)
+        return cmdBench(positional[1], positional[2], stat_tol,
+                        time_factor);
+    if (cmd == "scoreboard" && positional.size() == 3)
+        return cmdScoreboard(positional[1], positional[2], tol);
+    return usage();
+}

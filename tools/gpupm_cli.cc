@@ -14,6 +14,17 @@
  *   gpupm export-cuda <out.cu>                emit the suite as CUDA
  *   gpupm validate  <file>...                 check artifact integrity
  *   gpupm metrics   [--json]                  dump the metric catalog
+ *   gpupm audit     <model|device>            replay the validation set
+ *                                             and score prediction error
+ *
+ * `audit` reproduces the paper's accuracy evaluation (Table III,
+ * Figs. 7-8) as an operational artifact: it measures every validation
+ * application over the device's full V-F grid, predicts each cell with
+ * the model and the Sec. VI baselines, and aggregates the residuals
+ * into a scoreboard (overall / per-app / per-config error). Output is
+ * human tables by default, --json for the summary payload, --csv for
+ * raw residuals, and --scoreboard-out=<file> persists the full
+ * scoreboard for tools/gpupm_bench_check to gate against a golden.
  *
  * Observability flags (every command):
  *   --trace-out=<file>        write a Chrome trace-event JSON of the
@@ -61,7 +72,9 @@
 #include <string>
 #include <vector>
 
+#include "baselines/baselines.hh"
 #include "common/logging.hh"
+#include "common/provenance.hh"
 #include "common/table.hh"
 #include "core/campaign.hh"
 #include "core/faults.hh"
@@ -92,6 +105,8 @@ struct CliFlags
     bool strict = false;         ///< reject legacy files, validate
     bool allow_legacy = false;   ///< soften --strict for old files
     bool json = false;           ///< machine-readable output
+    bool csv = false;            ///< per-sample CSV (audit)
+    std::string scoreboard_out;  ///< audit scoreboard file path
     std::string trace_out;       ///< Chrome trace-event JSON path
     std::string metrics_out;     ///< Prometheus text dump path
     std::string convergence_out; ///< estimator convergence CSV path
@@ -145,6 +160,10 @@ parseFlags(int argc, char **argv, CliFlags &flags)
             flags.allow_legacy = true;
         } else if (key == "--json") {
             flags.json = true;
+        } else if (key == "--csv") {
+            flags.csv = true;
+        } else if (key == "--scoreboard-out") {
+            flags.scoreboard_out = val;
         } else if (key == "--trace-out") {
             flags.trace_out = val;
         } else if (key == "--metrics-out") {
@@ -177,6 +196,18 @@ parseDevice(const std::string &name)
     return std::nullopt;
 }
 
+/** CLI token of a device kind (inverse of parseDevice). */
+const char *
+deviceToken(gpu::DeviceKind kind)
+{
+    switch (kind) {
+      case gpu::DeviceKind::TitanXp: return "titanxp";
+      case gpu::DeviceKind::GtxTitanX: return "titanx";
+      case gpu::DeviceKind::TeslaK40c: return "k40c";
+    }
+    return "unknown";
+}
+
 std::optional<workloads::Workload>
 findApp(const std::string &name)
 {
@@ -202,6 +233,8 @@ usage()
                  "  gpupm predict <model-file> <APP> [fcore fmem]\n"
                  "  gpupm sweep <model-file> <APP>\n"
                  "  gpupm export-cuda <out.cu>\n"
+                 "  gpupm audit <model-file|device> [--json|--csv] "
+                 "[--scoreboard-out=<file>]\n"
                  "  gpupm validate [--json] <file>...\n"
                  "      file-trust flags (all loading commands): "
                  "--strict --allow-legacy\n"
@@ -347,6 +380,16 @@ checkFile(const std::string &path, const model::LoadOptions &opts)
         }
         fc.loaded = true;
         fc.report = model::validateCheckpoint(res.value());
+        break;
+      }
+      case model::FileKind::Scoreboard: {
+        auto res = model::tryParseScoreboard(text, opts);
+        if (!res.ok()) {
+            fc.load_error = res.error();
+            return fc;
+        }
+        fc.loaded = true;
+        fc.report = model::validateScoreboard(res.value());
         break;
       }
     }
@@ -550,6 +593,136 @@ fitAndSave(const model::TrainingData &data, const std::string &out,
     return 0;
 }
 
+/** True when `path` names a readable file. */
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return static_cast<bool>(in);
+}
+
+/**
+ * `gpupm audit <model-file|device>`: replay the full validation set
+ * over the device's V-F grid and score the model's prediction error —
+ * the paper's Table III / Figs. 7-8 evaluation as a repeatable
+ * operational check. With a device name, the bundled campaign is run
+ * and the model fitted in-process (the exact bench/fig7_validation
+ * procedure, 5 power repetitions); with a model file, the stored model
+ * is audited on its own device. The campaign additionally trains the
+ * Sec. VI baselines so the scoreboard carries their deltas.
+ */
+int
+cmdAudit(const std::string &target, const CliFlags &flags)
+{
+    // Same repetition count as the Fig. 7 reproduction, so the audit
+    // MAE is comparable against bench_csv/fig7_summary.csv.
+    model::CampaignOptions copts;
+    copts.power_repetitions = 5;
+
+    auto kind = parseDevice(target);
+    std::optional<model::DvfsPowerModel> m;
+    if (!kind || fileExists(target)) {
+        auto res = model::tryLoadModel(target, loadOptionsOf(flags));
+        if (!res.ok())
+            return reportLoadFailure(res.error());
+        m = res.value();
+        kind = m->deviceKind();
+    }
+    common::setProvenanceDevice(deviceToken(*kind));
+
+    sim::PhysicalGpu board(*kind);
+    const auto &desc = board.descriptor();
+    const auto configs = desc.allConfigs();
+    const auto ref = desc.referenceConfig();
+    std::fprintf(stderr,
+                 "auditing %s: %zu validation apps x %zu V-F "
+                 "configs...\n",
+                 desc.name.c_str(),
+                 workloads::fullValidationSet().size(),
+                 configs.size());
+
+    // The training campaign fits the proposed model when none was
+    // given, and always trains the Sec. VI baselines.
+    model::TrainingData data;
+    {
+        GPUPM_TRACE_SPAN("audit", "audit.campaign");
+        data = model::runTrainingCampaign(board, ubench::buildSuite(),
+                                          copts);
+    }
+    if (!m) {
+        GPUPM_TRACE_SPAN("audit", "audit.fit");
+        auto fit = model::ModelEstimator().tryEstimate(data);
+        if (!fit.ok()) {
+            std::fprintf(stderr, "fit failed [%s]: %s\n",
+                         std::string(model::fitErrcName(
+                                 fit.error().code)).c_str(),
+                         fit.error().message.c_str());
+            return 1;
+        }
+        m = fit.value().model;
+    }
+    const auto abe = baselines::AbeLinearModel::train(data);
+    const auto cubic = baselines::CubicScalingModel::train(data);
+    const auto refscale = baselines::RefScalingModel::train(data);
+
+    model::Predictor predictor(*m);
+    std::vector<obs::ResidualSample> samples;
+    samples.reserve(workloads::fullValidationSet().size() *
+                    configs.size());
+    for (const auto &w : workloads::fullValidationSet()) {
+        GPUPM_TRACE_SPAN("audit", "audit.measure." + w.name);
+        const auto meas =
+                model::measureApp(board, w.demand, configs, copts);
+        double ref_power_w = 0.0;
+        for (std::size_t i = 0; i < meas.configs.size(); ++i)
+            if (meas.configs[i] == ref)
+                ref_power_w = meas.power_w[i];
+        for (std::size_t i = 0; i < meas.configs.size(); ++i) {
+            const auto &cfg = meas.configs[i];
+            const auto p = predictor.at(meas.util, cfg);
+            obs::ResidualSample s;
+            s.app = w.name;
+            s.cfg = cfg;
+            s.measured_w = meas.power_w[i];
+            s.predicted_w = p.total_w;
+            s.constant_w = p.constant_w;
+            s.component_w = p.component_w;
+            s.baseline_w = {
+                    {"abe", abe.predict(meas.util, cfg)},
+                    {"cubic", cubic.predict(meas.util, cfg)},
+                    {"refscale", refscale.predict(ref_power_w, cfg)},
+            };
+            samples.push_back(std::move(s));
+        }
+    }
+
+    const auto sb = obs::Scoreboard::fromSamples(
+            static_cast<int>(*kind), desc.name, ref,
+            std::move(samples));
+    sb.publishMetrics();
+    std::fprintf(stderr,
+                 "audit: %ld samples, overall MAE %.2f%%, RMSE "
+                 "%.2f W, max error %.2f%%\n",
+                 sb.overall.samples, sb.overall.mae_pct,
+                 sb.overall.rmse_w, sb.overall.max_err_pct);
+
+    if (!flags.scoreboard_out.empty()) {
+        auto saved = model::trySaveScoreboard(sb,
+                                              flags.scoreboard_out);
+        if (!saved.ok())
+            return reportLoadFailure(saved.error());
+        std::fprintf(stderr, "scoreboard written to %s\n",
+                     flags.scoreboard_out.c_str());
+    }
+    if (flags.json)
+        std::printf("%s", sb.toJson(false).c_str());
+    else if (flags.csv)
+        std::printf("%s", sb.samplesCsv().c_str());
+    else
+        std::printf("%s", sb.summaryText().c_str());
+    return 0;
+}
+
 /** `gpupm metrics`: dump the full pre-registered metric catalog. */
 int
 cmdMetrics(const CliFlags &flags)
@@ -559,14 +732,6 @@ cmdMetrics(const CliFlags &flags)
     std::printf("%s", flags.json ? reg.renderJson().c_str()
                                  : reg.renderPrometheus().c_str());
     return 0;
-}
-
-/** True when `path` names a readable file. */
-bool
-fileExists(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    return static_cast<bool>(in);
 }
 
 /**
@@ -611,11 +776,7 @@ dispatch(const std::vector<std::string> &args, const CliFlags &flags)
             for (auto kind : gpu::kAllDevices) {
                 const auto &d = gpu::DeviceDescriptor::get(kind);
                 std::printf("%-8s %s (%s, %zu V-F configs)\n",
-                            kind == gpu::DeviceKind::TitanXp ? "titanxp"
-                            : kind == gpu::DeviceKind::GtxTitanX
-                                    ? "titanx"
-                                    : "k40c",
-                            d.name.c_str(),
+                            deviceToken(kind), d.name.c_str(),
                             std::string(architectureName(
                                     d.architecture)).c_str(),
                             d.allConfigs().size());
@@ -689,6 +850,8 @@ dispatch(const std::vector<std::string> &args, const CliFlags &flags)
                                flags);
         if (cmd == "metrics" && nargs == 1)
             return cmdMetrics(flags);
+        if (cmd == "audit" && nargs == 2)
+            return cmdAudit(args[1], flags);
         if (cmd == "export-cuda" && nargs == 2) {
             std::ofstream out(args[1]);
             if (!out) {

@@ -24,6 +24,7 @@
 #include "common/random.hh"
 #include "core/model_io.hh"
 #include "core/validate.hh"
+#include "obs/scoreboard.hh"
 
 namespace
 {
@@ -103,6 +104,28 @@ goldenCheckpoint()
         ck.report.benchmarks.push_back(br);
     }
     return ck;
+}
+
+obs::Scoreboard
+goldenScoreboard()
+{
+    std::vector<obs::ResidualSample> samples;
+    for (const char *app : {"stream", "dgemm"})
+        for (int core : {595, 975})
+            for (int mem : {810, 3505}) {
+                obs::ResidualSample s;
+                s.app = app;
+                s.cfg = {core, mem};
+                s.measured_w = 100.0 + core * 0.05 + mem * 0.01;
+                s.predicted_w = s.measured_w * 1.05;
+                s.constant_w = 40.0;
+                for (std::size_t i = 0; i < s.component_w.size(); ++i)
+                    s.component_w[i] = 0.5 * static_cast<double>(i);
+                s.baseline_w = {{"abe", s.measured_w * 1.15}};
+                samples.push_back(std::move(s));
+            }
+    return obs::Scoreboard::fromSamples(1, "GTX Titan X", {975, 3505},
+                                        std::move(samples));
 }
 
 std::string
@@ -221,12 +244,17 @@ main()
             model::serializeTrainingData(goldenCampaign());
     const auto checkpoint_text =
             model::serializeCampaignCheckpoint(goldenCheckpoint());
+    const auto scoreboard_text =
+            model::serializeScoreboard(goldenScoreboard());
     // Legacy (pre-envelope) forms exercise the v0 compatibility path.
     const auto legacy_model = goldenModel().serialize();
     const auto legacy_campaign =
             campaign_text.substr(campaign_text.find('\n') + 1);
     const auto legacy_checkpoint =
             checkpoint_text.substr(checkpoint_text.find('\n') + 1);
+    // A scoreboard's legacy form is the raw JSON payload (what
+    // `gpupm audit --json` prints and bench/golden/ stores).
+    const auto legacy_scoreboard = goldenScoreboard().toJson(true);
 
     const auto parse_model = [](const std::string &t) {
         return model::tryParseModel(t);
@@ -236,6 +264,9 @@ main()
     };
     const auto parse_checkpoint = [](const std::string &t) {
         return model::tryParseCampaignCheckpoint(t);
+    };
+    const auto parse_scoreboard = [](const std::string &t) {
+        return model::tryParseScoreboard(t);
     };
 
     int rc = 0;
@@ -251,5 +282,9 @@ main()
                      parse_checkpoint, model::validateCheckpoint);
     rc |= fuzzFormat("checkpoint.legacy", legacy_checkpoint,
                      parse_checkpoint, model::validateCheckpoint);
+    rc |= fuzzFormat("scoreboard.v2", scoreboard_text,
+                     parse_scoreboard, model::validateScoreboard);
+    rc |= fuzzFormat("scoreboard.legacy", legacy_scoreboard,
+                     parse_scoreboard, model::validateScoreboard);
     return rc;
 }
