@@ -21,8 +21,11 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
         core_test_model_io core_test_validate linalg_test_matrix \
         linalg_test_lstsq linalg_test_isotonic \
         obs_test_trace obs_test_metrics obs_test_convergence \
-        obs_test_scoreboard core_test_scoreboard_io \
-        gpupm_fuzz_smoke gpupm_cli gpupm_trace_check gpupm_bench_check
+        obs_test_scoreboard obs_test_http_server \
+        obs_test_flight_recorder obs_test_sampler \
+        core_test_scoreboard_io \
+        gpupm_fuzz_smoke gpupm_cli gpupm_trace_check gpupm_bench_check \
+        gpupm_scrape
     for t in build-asan/tests/core_test_* build-asan/tests/linalg_test_* \
              build-asan/tests/obs_test_*; do
         [ -f "$t" ] && [ -x "$t" ] || continue
@@ -56,6 +59,14 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
     build-asan/tools/gpupm validate build-asan/titanx.scoreboard --strict
     build-asan/tools/gpupm_bench_check scoreboard \
         build-asan/titanx.scoreboard bench/golden/titanx.scoreboard.json
+    # The live-telemetry daemon under ASan+UBSan: the HTTP server,
+    # sampling loop and flight recorder run multi-threaded; the scrape
+    # selftest starts the daemon, scrapes every endpoint and requires
+    # a clean SIGTERM exit with the sanitizers watching.
+    echo "== sanitize: gpupm monitor scrape selftest"
+    mkdir -p build-asan/monitor_work
+    build-asan/tools/gpupm_scrape monitor-selftest \
+        build-asan/tools/gpupm titanx --work=build-asan/monitor_work
 fi
 
 # Traced end-to-end reproduction run: campaign -> fit -> sweep with
@@ -91,6 +102,16 @@ build/tools/gpupm audit titanx \
     --metrics-out="$work/audit.metrics.prom"
 build/tools/gpupm_bench_check scoreboard "$work/titanx.scoreboard" \
     bench/golden/titanx.scoreboard.json
+
+# Live-telemetry daemon: start `gpupm monitor` on an ephemeral port,
+# scrape /metrics, /healthz, /scoreboard and /tracez with the bundled
+# scrape client (no curl), and require a clean SIGTERM shutdown.
+echo "==================================================="
+echo "== live monitor scrape (gpupm monitor titanx)"
+echo "==================================================="
+mkdir -p "$work/monitor"
+build/tools/gpupm_scrape monitor-selftest build/tools/gpupm titanx \
+    --work="$work/monitor"
 
 # Every experiment binary runs with telemetry on; a non-zero exit or
 # invalid telemetry artifact fails the reproduction, and the per-bench

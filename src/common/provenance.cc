@@ -9,6 +9,12 @@
 #ifndef GPUPM_BUILD_TYPE
 #define GPUPM_BUILD_TYPE "unknown"
 #endif
+#ifndef GPUPM_GIT_SHA
+#define GPUPM_GIT_SHA "unknown"
+#endif
+#ifndef GPUPM_COMPILER
+#define GPUPM_COMPILER "unknown"
+#endif
 
 namespace gpupm
 {
@@ -57,6 +63,8 @@ collectProvenance(const std::string &device)
     Provenance p;
     p.version = GPUPM_VERSION_STRING;
     p.build_type = GPUPM_BUILD_TYPE;
+    p.git_sha = GPUPM_GIT_SHA;
+    p.compiler = GPUPM_COMPILER;
     p.device = device.empty() ? provenanceDevice() : device;
 
     std::time_t now = std::time(nullptr);
@@ -87,6 +95,8 @@ toJson(const Provenance &p)
 {
     std::string out = "{\"version\":\"" + jsonEscape(p.version) +
                       "\",\"build_type\":\"" + jsonEscape(p.build_type) +
+                      "\",\"git_sha\":\"" + jsonEscape(p.git_sha) +
+                      "\",\"compiler\":\"" + jsonEscape(p.compiler) +
                       "\",\"device\":\"" + jsonEscape(p.device) +
                       "\",\"timestamp\":\"" + jsonEscape(p.timestamp) +
                       "\"}";

@@ -21,6 +21,8 @@ struct Provenance
 {
     std::string version;    ///< project version (CMake PROJECT_VERSION)
     std::string build_type; ///< CMake build type, e.g. "Release"
+    std::string git_sha;    ///< commit at configure time, "unknown" off-git
+    std::string compiler;   ///< compiler id-version, e.g. "GNU-13.2.0"
     std::string device;     ///< device kind under test, "" when N/A
     std::string timestamp;  ///< ISO-8601 UTC wall-clock at collection
 };

@@ -868,6 +868,14 @@ parseScoreboardPayload(const std::string &payload)
     sb.provenance.build_type = prov.at("build_type").str();
     sb.provenance.device = prov.at("device").str();
     sb.provenance.timestamp = prov.at("timestamp").str();
+    // Optional: scoreboards written before the build-info extension
+    // carry neither field.
+    const auto git = prov.object.find("git_sha");
+    if (git != prov.object.end())
+        sb.provenance.git_sha = git->second.str();
+    const auto cxx = prov.object.find("compiler");
+    if (cxx != prov.object.end())
+        sb.provenance.compiler = cxx->second.str();
 
     sb.device = static_cast<int>(
             deviceKindOf(root.at("device").integer()));

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fixed-capacity flight recorder.
+ *
+ * A lock-aware ring buffer retaining the last N spans/samples of a
+ * long-running process (gpupm monitor), so the recent past is always
+ * available — through `GET /tracez` while the process is alive, and
+ * as a post-mortem dump on shutdown or fault. Unlike the Tracer
+ * (trace.hh), which accumulates every span of a bounded batch run for
+ * a complete Chrome trace, the recorder deliberately forgets: memory
+ * stays constant no matter how long the daemon runs.
+ *
+ * Writers take one short mutex hold per record; records carry a
+ * global sequence number so readers can detect wraparound (recorded()
+ * minus capacity() records have been overwritten) and verify
+ * ordering.
+ */
+
+#ifndef GPUPM_OBS_FLIGHT_RECORDER_HH
+#define GPUPM_OBS_FLIGHT_RECORDER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gpupm
+{
+namespace obs
+{
+
+/** One retained event: a completed span, sample or lifecycle mark. */
+struct FlightRecord
+{
+    std::int64_t seq = 0;    ///< global sequence, assigned on record()
+    std::int64_t ts_us = 0;  ///< recorder-epoch timestamp, microseconds
+    std::int64_t dur_us = 0; ///< duration when span-like, else 0
+    std::string kind;        ///< "span" | "sample" | "event"
+    std::string name;        ///< e.g. "monitor.sample", "http.request"
+    std::string detail;      ///< freeform annotation (escaped on render)
+};
+
+/** Bounded, thread-safe ring of the most recent FlightRecords. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(std::size_t capacity);
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Records ever written (>= capacity() once wrapped). */
+    std::int64_t recorded() const;
+
+    /** Microseconds since this recorder was constructed. */
+    std::int64_t nowUs() const;
+
+    /**
+     * Retain one record, overwriting the oldest once full. seq is
+     * assigned here; a zero ts_us is stamped with nowUs().
+     */
+    void record(FlightRecord r);
+
+    /** Convenience: record a span-like entry. */
+    void recordSpan(const std::string &name, std::int64_t dur_us,
+                    std::string detail = "");
+
+    /** Retained records, oldest first (sequence ascending). */
+    std::vector<FlightRecord> snapshot() const;
+
+    /**
+     * JSON document for /tracez and the post-mortem dump:
+     * {"capacity":..,"recorded":..,"dropped":..,"records":[...]}.
+     */
+    std::string renderJson() const;
+
+    /** Drop everything retained (sequence numbering continues). */
+    void clear();
+
+  private:
+    const std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mu_;
+    std::vector<FlightRecord> slots_; ///< slot i holds seq % capacity
+    std::int64_t next_seq_ = 0;       ///< guarded by mu_
+};
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_FLIGHT_RECORDER_HH

@@ -1,0 +1,359 @@
+#include "http_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "obs/standard.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Per-connection socket timeout: a stuck peer cannot hold the
+ *  single-threaded accept loop hostage for longer than this. */
+constexpr int kSocketTimeoutMs = 2000;
+
+/** Accept-loop poll period; bounds stop() latency. */
+constexpr int kPollMs = 100;
+
+bool
+isTokenChar(char c)
+{
+    // RFC 9110 tchar, the characters legal in a method token.
+    static const char *extra = "!#$%&'*+-.^_`|~";
+    return std::isalnum(static_cast<unsigned char>(c)) ||
+           std::strchr(extra, c) != nullptr;
+}
+
+} // namespace
+
+HttpParse
+parseHttpRequest(std::string_view text, HttpRequest &out,
+                 const HttpLimits &limits)
+{
+    const std::size_t head_end = text.find("\r\n\r\n");
+    if (head_end == std::string_view::npos) {
+        // Newline-only termination is tolerated (lenient parsing);
+        // otherwise keep reading — unless the head can no longer fit.
+        const std::size_t lf_end = text.find("\n\n");
+        if (lf_end == std::string_view::npos)
+            return text.size() > limits.max_request_bytes
+                           ? HttpParse::TooLarge
+                           : HttpParse::Incomplete;
+    }
+    if (text.size() > limits.max_request_bytes &&
+        (head_end == std::string_view::npos ||
+         head_end + 4 > limits.max_request_bytes))
+        return HttpParse::TooLarge;
+
+    // Request line: METHOD SP target SP HTTP/x.y
+    const std::size_t line_end = text.find_first_of("\r\n");
+    if (line_end == std::string_view::npos)
+        return HttpParse::Malformed;
+    const std::string_view line = text.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 == 0)
+        return HttpParse::Malformed;
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos || sp2 == sp1 + 1)
+        return HttpParse::Malformed;
+
+    const std::string_view method = line.substr(0, sp1);
+    for (char c : method)
+        if (!isTokenChar(c))
+            return HttpParse::Malformed;
+    const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (target.size() > limits.max_target_bytes)
+        return HttpParse::TooLarge;
+    if (target.empty() || (target[0] != '/' && target != "*"))
+        return HttpParse::Malformed;
+    const std::string_view version = line.substr(sp2 + 1);
+    if (version.rfind("HTTP/", 0) != 0 || version.size() < 8)
+        return HttpParse::Malformed;
+
+    out = HttpRequest{};
+    out.method = std::string(method);
+    out.target = std::string(target);
+    out.version = std::string(version);
+    const std::size_t qmark = out.target.find('?');
+    out.path = out.target.substr(0, qmark);
+    out.query = qmark == std::string::npos
+                        ? ""
+                        : out.target.substr(qmark + 1);
+
+    // Header fields, walked line by line until the blank line.
+    std::size_t cursor = text.find('\n', line_end);
+    if (cursor == std::string_view::npos)
+        return HttpParse::Malformed;
+    ++cursor;
+    while (cursor < text.size()) {
+        std::size_t eol = text.find('\n', cursor);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        std::string_view field = text.substr(cursor, eol - cursor);
+        if (!field.empty() && field.back() == '\r')
+            field.remove_suffix(1);
+        if (field.empty())
+            break; // blank line: end of head
+        const std::size_t colon = field.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            return HttpParse::Malformed;
+        if (out.headers.size() >= limits.max_header_count)
+            return HttpParse::TooLarge;
+        std::string name(field.substr(0, colon));
+        for (char &c : name)
+            c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+        std::string_view value = field.substr(colon + 1);
+        while (!value.empty() &&
+               (value.front() == ' ' || value.front() == '\t'))
+            value.remove_prefix(1);
+        while (!value.empty() &&
+               (value.back() == ' ' || value.back() == '\t'))
+            value.remove_suffix(1);
+        out.headers.emplace_back(std::move(name), std::string(value));
+        cursor = eol == text.size() ? eol : eol + 1;
+    }
+    return HttpParse::Ok;
+}
+
+std::string_view
+httpStatusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+    }
+    return "Unknown";
+}
+
+std::string
+renderHttpResponse(const HttpResponse &resp)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                      std::string(httpStatusReason(resp.status)) +
+                      "\r\n";
+    out += "Content-Type: " + resp.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(resp.body.size()) +
+           "\r\n";
+    if (resp.status == 405)
+        out += "Allow: GET\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += resp.body;
+    return out;
+}
+
+HttpServer::HttpServer(HttpLimits limits) : limits_(limits) {}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::route(std::string path, Handler handler)
+{
+    GPUPM_ASSERT(!running(), "route() must precede start()");
+    routes_[std::move(path)] = std::move(handler);
+}
+
+bool
+HttpServer::start(int port, std::string *err)
+{
+    auto fail = [&](const char *what) {
+        if (err)
+            *err = std::string(what) + ": " + std::strerror(errno);
+        if (listen_fd_ >= 0) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+        }
+        return false;
+    };
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        return fail("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        return fail("bind");
+    if (::listen(listen_fd_, 16) < 0)
+        return fail("listen");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_,
+                      reinterpret_cast<sockaddr *>(&addr), &len) < 0)
+        return fail("getsockname");
+    port_ = ntohs(addr.sin_port);
+
+    // Pre-register the per-endpoint series so the very first scrape
+    // already shows every route with zeros.
+    for (const auto &[path, handler] : routes_) {
+        (void)handler;
+        httpRequestsTotal(path);
+        httpRequestSeconds(path);
+    }
+    httpRequestsRejectedTotal();
+
+    stop_.store(false, std::memory_order_relaxed);
+    running_.store(true, std::memory_order_relaxed);
+    worker_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.load(std::memory_order_relaxed) &&
+        !worker_.joinable())
+        return;
+    stop_.store(true, std::memory_order_relaxed);
+    if (worker_.joinable())
+        worker_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    running_.store(false, std::memory_order_relaxed);
+}
+
+void
+HttpServer::serveLoop()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int n = ::poll(&pfd, 1, kPollMs);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        timeval tv{};
+        tv.tv_sec = kSocketTimeoutMs / 1000;
+        tv.tv_usec = (kSocketTimeoutMs % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        handleConnection(fd);
+        ::close(fd);
+    }
+    running_.store(false, std::memory_order_relaxed);
+}
+
+void
+HttpServer::handleConnection(int fd)
+{
+    std::string buf;
+    HttpRequest req;
+    HttpParse parsed = HttpParse::Incomplete;
+    char chunk[2048];
+    while (parsed == HttpParse::Incomplete) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break; // peer closed / timed out mid-request
+        buf.append(chunk, static_cast<std::size_t>(n));
+        parsed = parseHttpRequest(buf, req, limits_);
+    }
+
+    HttpResponse resp;
+    switch (parsed) {
+      case HttpParse::Ok:
+        resp = dispatch(req);
+        break;
+      case HttpParse::TooLarge:
+        resp.status = 431;
+        resp.body = "request too large\n";
+        httpRequestsRejectedTotal().inc();
+        break;
+      case HttpParse::Malformed:
+      case HttpParse::Incomplete: // EOF before a complete head
+        resp.status = 400;
+        resp.body = "malformed request\n";
+        httpRequestsRejectedTotal().inc();
+        break;
+    }
+
+    const std::string wire = renderHttpResponse(resp);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const ssize_t n = ::send(fd, wire.data() + sent,
+                                 wire.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        sent += static_cast<std::size_t>(n);
+    }
+    served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HttpResponse
+HttpServer::dispatch(const HttpRequest &req) const
+{
+    if (req.method != "GET" && req.method != "HEAD") {
+        httpRequestsRejectedTotal().inc();
+        HttpResponse resp;
+        resp.status = 405;
+        resp.body = "method not allowed (GET only)\n";
+        return resp;
+    }
+    const auto it = routes_.find(req.path);
+    if (it == routes_.end()) {
+        httpRequestsRejectedTotal().inc();
+        HttpResponse resp;
+        resp.status = 404;
+        resp.body = "unknown path '" + req.path + "'\n";
+        return resp;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    HttpResponse resp;
+    try {
+        resp = it->second(req);
+    } catch (const std::exception &e) {
+        resp = HttpResponse{};
+        resp.status = 500;
+        resp.body = std::string("handler failed: ") + e.what() + "\n";
+    }
+    const double seconds =
+            std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    httpRequestsTotal(req.path).inc();
+    httpRequestSeconds(req.path).observe(seconds);
+    if (req.method == "HEAD")
+        resp.body.clear();
+    return resp;
+}
+
+} // namespace obs
+} // namespace gpupm

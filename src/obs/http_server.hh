@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Minimal dependency-free embedded HTTP/1.1 server.
+ *
+ * Serves the live-telemetry endpoints of `gpupm monitor` (/metrics,
+ * /healthz, /scoreboard, /tracez) on plain POSIX sockets: one worker
+ * thread runs a blocking accept loop (poll()ed so stop() is prompt),
+ * each connection is read with a bounded request size, dispatched to
+ * a registered handler, answered with `Connection: close`, and
+ * closed. GET only; anything else is answered 405, unknown paths 404,
+ * oversized or malformed requests 431/400. The request parser is a
+ * pure function so tests can drive it without sockets.
+ *
+ * Every dispatch increments the per-endpoint request counter and
+ * observes the per-endpoint latency histogram from the standard
+ * metric catalog, so the exporter reports on itself.
+ */
+
+#ifndef GPUPM_OBS_HTTP_SERVER_HH
+#define GPUPM_OBS_HTTP_SERVER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gpupm
+{
+namespace obs
+{
+
+/** Request-size bounds enforced while reading and parsing. */
+struct HttpLimits
+{
+    std::size_t max_request_bytes = 8192; ///< head incl. all headers
+    std::size_t max_target_bytes = 2048;  ///< request-target length
+    std::size_t max_header_count = 64;
+};
+
+/** One parsed GET-style request head (no body handling). */
+struct HttpRequest
+{
+    std::string method;  ///< e.g. "GET"
+    std::string target;  ///< raw request-target, e.g. "/metrics?x=1"
+    std::string path;    ///< target up to '?'
+    std::string query;   ///< after '?', "" when absent
+    std::string version; ///< e.g. "HTTP/1.1"
+    std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/** Outcome of parsing a (possibly partial) request head. */
+enum class HttpParse
+{
+    Ok,         ///< complete head parsed into the HttpRequest
+    Incomplete, ///< no terminating blank line yet; read more
+    TooLarge,   ///< exceeds HttpLimits; answer 431 and close
+    Malformed,  ///< not an HTTP/1.x request head; answer 400
+};
+
+/**
+ * Parse one request head from `text` (everything received so far).
+ * Headers after the request line are collected as (name, value)
+ * pairs, names lower-cased. Pure function — the unit tests feed it
+ * truncated and hostile inputs directly.
+ */
+HttpParse parseHttpRequest(std::string_view text, HttpRequest &out,
+                           const HttpLimits &limits = {});
+
+/** One response; the server adds Content-Length and Connection. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/** Reason phrase of the status codes the server emits. */
+std::string_view httpStatusReason(int status);
+
+/** Serialize status line + headers + body, ready to send. */
+std::string renderHttpResponse(const HttpResponse &resp);
+
+/** Blocking-accept-loop server on a worker thread, loopback only. */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    explicit HttpServer(HttpLimits limits = {});
+    ~HttpServer(); ///< stops and joins if still running
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Register a handler for an exact path (before start()). */
+    void route(std::string path, Handler handler);
+
+    /**
+     * Bind 127.0.0.1:`port` (0 picks an ephemeral port), start the
+     * worker thread. False (with *err filled) on socket failure.
+     */
+    bool start(int port, std::string *err = nullptr);
+
+    /** Port actually bound; 0 before a successful start(). */
+    int port() const { return port_; }
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_relaxed);
+    }
+
+    /** Graceful shutdown: stop accepting, join, close the socket. */
+    void stop();
+
+    /** Requests answered (any status) since start(). */
+    long requestsServed() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+    HttpResponse dispatch(const HttpRequest &req) const;
+
+    HttpLimits limits_;
+    std::map<std::string, Handler> routes_;
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> running_{false};
+    std::atomic<long> served_{0};
+    std::thread worker_;
+};
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_HTTP_SERVER_HH

@@ -27,24 +27,6 @@ atomicAdd(std::atomic<double> &a, double v)
     }
 }
 
-/** Prometheus label-value escaping (backslash, quote, newline). */
-std::string
-labelEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '\\' || c == '"')
-            out += '\\';
-        if (c == '\n') {
-            out += "\\n";
-            continue;
-        }
-        out += c;
-    }
-    return out;
-}
-
 const double kSummaryQuantiles[] = {0.50, 0.95, 0.99};
 const char *const kQuantileLabels[] = {"0.5", "0.95", "0.99"};
 const char *const kQuantileJsonKeys[] = {"p50", "p95", "p99"};
@@ -152,29 +134,59 @@ Registry::global()
     return registry;
 }
 
+std::string
+Registry::labelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
 // Caller must hold mu_.
 Registry::Entry &
-Registry::entryOf(const std::string &name, Kind kind,
-                  const std::string &help)
+Registry::entryOf(const std::string &name, const std::string &labels,
+                  Kind kind, const std::string &help)
 {
-    auto it = metrics_.find(name);
-    if (it != metrics_.end()) {
+    auto &family = metrics_[name];
+    auto it = family.find(labels);
+    if (it != family.end()) {
         GPUPM_ASSERT(it->second.kind == kind,
                      "metric '", name, "' re-registered as a "
                      "different type");
         return it->second;
     }
+    if (!family.empty())
+        GPUPM_ASSERT(family.begin()->second.kind == kind,
+                     "metric family '", name, "' holds children of a "
+                     "different type");
     Entry e;
     e.kind = kind;
+    e.labels = labels;
     e.help = help;
-    return metrics_.emplace(name, std::move(e)).first->second;
+    return family.emplace(labels, std::move(e)).first->second;
 }
 
 Counter &
 Registry::counter(const std::string &name, const std::string &help)
 {
+    return counter(name, "", help);
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &labels,
+                  const std::string &help)
+{
     std::lock_guard<std::mutex> lock(mu_);
-    Entry &e = entryOf(name, Kind::Counter, help);
+    Entry &e = entryOf(name, labels, Kind::Counter, help);
     if (!e.counter)
         e.counter = std::make_unique<Counter>();
     return *e.counter;
@@ -183,8 +195,15 @@ Registry::counter(const std::string &name, const std::string &help)
 Gauge &
 Registry::gauge(const std::string &name, const std::string &help)
 {
+    return gauge(name, "", help);
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &labels,
+                const std::string &help)
+{
     std::lock_guard<std::mutex> lock(mu_);
-    Entry &e = entryOf(name, Kind::Gauge, help);
+    Entry &e = entryOf(name, labels, Kind::Gauge, help);
     if (!e.gauge)
         e.gauge = std::make_unique<Gauge>();
     return *e.gauge;
@@ -194,8 +213,16 @@ Histogram &
 Registry::histogram(const std::string &name, const std::string &help,
                     std::vector<double> upper_bounds)
 {
+    return histogram(name, "", help, std::move(upper_bounds));
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &labels,
+                    const std::string &help,
+                    std::vector<double> upper_bounds)
+{
     std::lock_guard<std::mutex> lock(mu_);
-    Entry &e = entryOf(name, Kind::Histogram, help);
+    Entry &e = entryOf(name, labels, Kind::Histogram, help);
     if (!e.histogram)
         e.histogram =
                 std::make_unique<Histogram>(std::move(upper_bounds));
@@ -206,7 +233,10 @@ std::size_t
 Registry::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return metrics_.size();
+    std::size_t n = 0;
+    for (const auto &[name, family] : metrics_)
+        n += family.size();
+    return n;
 }
 
 std::string
@@ -214,59 +244,73 @@ Registry::renderPrometheus() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
-    // Build provenance rides along as the conventional info-style
-    // gauge: constant value 1, identity in the labels.
-    const auto prov = common::collectProvenance();
-    os << "# HELP gpupm_build_info Build provenance (constant 1; "
-          "identity in labels)\n"
-       << "# TYPE gpupm_build_info gauge\n"
-       << "gpupm_build_info{version=\"" << labelEscape(prov.version)
-       << "\",build_type=\"" << labelEscape(prov.build_type)
-       << "\",device=\"" << labelEscape(prov.device)
-       << "\",timestamp=\"" << labelEscape(prov.timestamp)
-       << "\"} 1\n";
-    for (const auto &[name, e] : metrics_) {
-        os << "# HELP " << name << " " << e.help << "\n";
-        switch (e.kind) {
-          case Kind::Counter:
-            os << "# TYPE " << name << " counter\n";
-            os << name << " "
-               << numio::formatDouble(e.counter ? e.counter->value()
-                                                : 0.0)
-               << "\n";
-            break;
-          case Kind::Gauge:
-            os << "# TYPE " << name << " gauge\n";
-            os << name << " "
-               << numio::formatDouble(e.gauge ? e.gauge->value() : 0.0)
-               << "\n";
-            break;
-          case Kind::Histogram: {
-            os << "# TYPE " << name << " histogram\n";
-            if (!e.histogram)
-                break;
-            const auto &bounds = e.histogram->upperBounds();
-            const auto cum = e.histogram->cumulativeCounts();
-            for (std::size_t i = 0; i < bounds.size(); ++i) {
-                os << name << "_bucket{le=\""
-                   << numio::formatDouble(bounds[i]) << "\"} "
-                   << numio::formatDouble(cum[i]) << "\n";
-            }
-            os << name << "_bucket{le=\"+Inf\"} "
-               << numio::formatDouble(e.histogram->count()) << "\n";
-            os << name << "_sum "
-               << numio::formatDouble(e.histogram->sum()) << "\n";
-            os << name << "_count "
-               << numio::formatDouble(e.histogram->count()) << "\n";
-            for (std::size_t q = 0; q < 3; ++q) {
-                os << name << "{quantile=\"" << kQuantileLabels[q]
-                   << "\"} "
-                   << numio::formatDouble(e.histogram->quantileEstimate(
-                              kSummaryQuantiles[q]))
+    // Sample name of a child, with extra labels (le/quantile) merged
+    // into the family's own label body.
+    const auto sample = [](const std::string &name, const Entry &e,
+                           const std::string &extra = "") {
+        if (e.labels.empty() && extra.empty())
+            return name;
+        std::string body = e.labels;
+        if (!extra.empty())
+            body += (body.empty() ? "" : ",") + extra;
+        return name + "{" + body + "}";
+    };
+    for (const auto &[name, family] : metrics_) {
+        bool first = true;
+        for (const auto &[labels, e] : family) {
+            if (first) {
+                os << "# HELP " << name << " " << e.help << "\n";
+                os << "# TYPE " << name << " "
+                   << (e.kind == Kind::Counter     ? "counter"
+                       : e.kind == Kind::Gauge     ? "gauge"
+                                                   : "histogram")
                    << "\n";
+                first = false;
             }
-            break;
-          }
+            switch (e.kind) {
+              case Kind::Counter:
+                os << sample(name, e) << " "
+                   << numio::formatDouble(
+                              e.counter ? e.counter->value() : 0.0)
+                   << "\n";
+                break;
+              case Kind::Gauge:
+                os << sample(name, e) << " "
+                   << numio::formatDouble(e.gauge ? e.gauge->value()
+                                                  : 0.0)
+                   << "\n";
+                break;
+              case Kind::Histogram: {
+                if (!e.histogram)
+                    break;
+                const auto &bounds = e.histogram->upperBounds();
+                const auto cum = e.histogram->cumulativeCounts();
+                for (std::size_t i = 0; i < bounds.size(); ++i) {
+                    os << sample(name + "_bucket", e,
+                                 "le=\"" +
+                                         numio::formatDouble(bounds[i]) +
+                                         "\"")
+                       << " " << numio::formatDouble(cum[i]) << "\n";
+                }
+                os << sample(name + "_bucket", e, "le=\"+Inf\"") << " "
+                   << numio::formatDouble(e.histogram->count()) << "\n";
+                os << sample(name + "_sum", e) << " "
+                   << numio::formatDouble(e.histogram->sum()) << "\n";
+                os << sample(name + "_count", e) << " "
+                   << numio::formatDouble(e.histogram->count()) << "\n";
+                for (std::size_t q = 0; q < 3; ++q) {
+                    os << sample(name, e,
+                                 std::string("quantile=\"") +
+                                         kQuantileLabels[q] + "\"")
+                       << " "
+                       << numio::formatDouble(
+                                  e.histogram->quantileEstimate(
+                                          kSummaryQuantiles[q]))
+                       << "\n";
+                }
+                break;
+              }
+            }
         }
     }
     return os.str();
@@ -280,9 +324,20 @@ Registry::renderJson() const
     os << "{";
     os << "\n\"provenance\":"
        << common::toJson(common::collectProvenance());
-    for (const auto &[name, e] : metrics_) {
+    for (const auto &[family, children] : metrics_) {
+      for (const auto &[labels, e] : children) {
+        std::string name =
+                labels.empty() ? family : family + "{" + labels + "}";
+        // The label body carries quotes; escape them for the JSON key.
+        std::string key;
+        key.reserve(name.size());
+        for (char c : name) {
+            if (c == '"' || c == '\\')
+                key += '\\';
+            key += c;
+        }
         os << ",";
-        os << "\n\"" << name << "\":{";
+        os << "\n\"" << key << "\":{";
         switch (e.kind) {
           case Kind::Counter:
             os << "\"type\":\"counter\",\"value\":"
@@ -324,6 +379,7 @@ Registry::renderJson() const
           }
         }
         os << "}";
+      }
     }
     os << "\n}\n";
     return os.str();

@@ -107,6 +107,12 @@ std::vector<double> errorPctBuckets();  ///< 0.5 .. 50 percent error
  * creates the metric, later calls return the same instance (a
  * differing help string or type on re-registration is a programming
  * error and panics).
+ *
+ * A metric family may carry label sets: the labelled overloads take a
+ * pre-rendered Prometheus label body (`key="value",...`, caller
+ * escapes values) and register one child per distinct body. All
+ * children of a family share its kind and help; the exposition
+ * renders HELP/TYPE once per family.
  */
 class Registry
 {
@@ -118,6 +124,19 @@ class Registry
     Histogram &histogram(const std::string &name,
                          const std::string &help,
                          std::vector<double> upper_bounds);
+
+    /** Labelled children: `labels` is `key="value",...` (no braces). */
+    Counter &counter(const std::string &name, const std::string &labels,
+                     const std::string &help);
+    Gauge &gauge(const std::string &name, const std::string &labels,
+                 const std::string &help);
+    Histogram &histogram(const std::string &name,
+                         const std::string &labels,
+                         const std::string &help,
+                         std::vector<double> upper_bounds);
+
+    /** Prometheus label-value escaping (backslash, quote, newline). */
+    static std::string labelEscape(const std::string &s);
 
     /** Number of registered metric families. */
     std::size_t size() const;
@@ -140,17 +159,19 @@ class Registry
     struct Entry
     {
         Kind kind = Kind::Counter;
+        std::string labels; ///< label body, "" for a bare metric
         std::string help;
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Histogram> histogram;
     };
 
-    Entry &entryOf(const std::string &name, Kind kind,
-                   const std::string &help);
+    Entry &entryOf(const std::string &name, const std::string &labels,
+                   Kind kind, const std::string &help);
 
     mutable std::mutex mu_;
-    std::map<std::string, Entry> metrics_;
+    /** family name -> label body -> child (one "" child when bare). */
+    std::map<std::string, std::map<std::string, Entry>> metrics_;
 };
 
 } // namespace obs

@@ -1,0 +1,261 @@
+#include "sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/numio.hh"
+#include "obs/standard.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Sampler::Sampler(SampleProbe probe,
+                 std::vector<SchedulePoint> schedule,
+                 SamplerOptions opts, FlightRecorder *recorder)
+    : probe_(std::move(probe)), schedule_(std::move(schedule)),
+      opts_(std::move(opts)), recorder_(recorder)
+{
+    GPUPM_ASSERT(static_cast<bool>(probe_), "sampler needs a probe");
+    GPUPM_ASSERT(!schedule_.empty(), "sampler needs a schedule");
+    GPUPM_ASSERT(opts_.period_ms > 0, "sampler period must be > 0");
+}
+
+Sampler::~Sampler()
+{
+    stop();
+}
+
+bool
+Sampler::start(std::string *err)
+{
+    if (running())
+        return true;
+    if (!opts_.events_out.empty()) {
+        events_.open(opts_.events_out,
+                     std::ios::binary | std::ios::trunc);
+        if (!events_) {
+            if (err)
+                *err = "cannot open event log '" + opts_.events_out +
+                       "' for writing";
+            return false;
+        }
+    }
+    started_ = std::chrono::steady_clock::now();
+    stop_.store(false, std::memory_order_relaxed);
+    running_.store(true, std::memory_order_relaxed);
+    worker_ = std::thread([this] { loop(); });
+    return true;
+}
+
+void
+Sampler::stop()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    wake_cv_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+    running_.store(false, std::memory_order_relaxed);
+}
+
+double
+Sampler::lastSampleAgeSeconds() const
+{
+    const std::int64_t last =
+            last_sample_us_.load(std::memory_order_relaxed);
+    if (last < 0)
+        return std::numeric_limits<double>::infinity();
+    const auto now_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - started_)
+                    .count();
+    return static_cast<double>(now_us - last) * 1e-6;
+}
+
+bool
+Sampler::stale() const
+{
+    const double threshold =
+            std::max(5.0 * opts_.period_ms * 1e-3, 2.0);
+    const std::int64_t last =
+            last_sample_us_.load(std::memory_order_relaxed);
+    const auto now_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - started_)
+                    .count();
+    const double age =
+            static_cast<double>(now_us - std::max<std::int64_t>(last, 0)) *
+            1e-6;
+    return age > threshold;
+}
+
+std::vector<ResidualSample>
+Sampler::residualsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(data_mu_);
+    return {residuals_.begin(), residuals_.end()};
+}
+
+Scoreboard
+Sampler::scoreboardSnapshot() const
+{
+    return Scoreboard::fromSamples(opts_.device, opts_.device_name,
+                                   opts_.reference,
+                                   residualsSnapshot());
+}
+
+void
+Sampler::loop()
+{
+    const auto period = std::chrono::milliseconds(opts_.period_ms);
+    auto next = std::chrono::steady_clock::now();
+    std::size_t index = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        if (opts_.duration_s > 0.0) {
+            const double elapsed =
+                    std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started_)
+                            .count();
+            if (elapsed >= opts_.duration_s)
+                break;
+        }
+        tickOnce(index % schedule_.size());
+        ++index;
+        next += period;
+        std::unique_lock<std::mutex> lock(wake_mu_);
+        wake_cv_.wait_until(lock, next, [this] {
+            return stop_.load(std::memory_order_relaxed);
+        });
+    }
+    if (events_.is_open())
+        events_.flush();
+    running_.store(false, std::memory_order_relaxed);
+}
+
+void
+Sampler::tickOnce(std::size_t index)
+{
+    const SchedulePoint &pt = schedule_[index];
+    const auto start = std::chrono::steady_clock::now();
+    MonitorSample s;
+    try {
+        s = probe_(pt.app, pt.cfg);
+    } catch (const std::exception &e) {
+        s.ok = false;
+        s.error = e.what();
+    }
+    const double probe_seconds =
+            std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+    monitorTicksTotal().inc();
+    monitorSampleSeconds().observe(probe_seconds);
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+
+    if (!s.ok) {
+        monitorProbeFailuresTotal().inc();
+        warn("monitor probe failed for ", pt.app, ": ", s.error);
+        if (recorder_)
+            recorder_->recordSpan(
+                    "monitor.probe_failure",
+                    static_cast<std::int64_t>(probe_seconds * 1e6),
+                    pt.app + ": " + s.error);
+        return;
+    }
+
+    ResidualSample r;
+    r.app = s.app.empty() ? pt.app : s.app;
+    r.cfg = s.cfg;
+    r.measured_w = s.measured_w;
+    r.predicted_w = s.predicted_w;
+    {
+        std::lock_guard<std::mutex> lock(data_mu_);
+        residuals_.push_back(r);
+        while (residuals_.size() > opts_.max_samples)
+            residuals_.pop_front();
+    }
+
+    accuracySamplesTotal().inc();
+    accuracyAbsErrPct().observe(r.absErrPct());
+    monitorLastMeasuredW().set(r.measured_w);
+    monitorLastPredictedW().set(r.predicted_w);
+    last_sample_us_.store(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - started_)
+                    .count(),
+            std::memory_order_relaxed);
+
+    if (recorder_) {
+        std::ostringstream detail;
+        detail << r.app << " @ (" << r.cfg.core_mhz << ", "
+               << r.cfg.mem_mhz << ") MHz: measured "
+               << numio::formatDouble(r.measured_w) << " W, predicted "
+               << numio::formatDouble(r.predicted_w) << " W";
+        FlightRecord rec;
+        rec.kind = "sample";
+        rec.name = "monitor.sample";
+        rec.dur_us = static_cast<std::int64_t>(probe_seconds * 1e6);
+        rec.detail = detail.str();
+        recorder_->record(std::move(rec));
+    }
+    logEvent(s, probe_seconds);
+}
+
+void
+Sampler::logEvent(const MonitorSample &s, double probe_seconds)
+{
+    if (!events_.is_open())
+        return;
+    ResidualSample r;
+    r.measured_w = s.measured_w;
+    r.predicted_w = s.predicted_w;
+    events_ << "{\"tick\":" << ticks_.load(std::memory_order_relaxed)
+            << ",\"app\":\"" << jsonEscape(s.app)
+            << "\",\"core_mhz\":" << s.cfg.core_mhz
+            << ",\"mem_mhz\":" << s.cfg.mem_mhz << ",\"measured_w\":"
+            << numio::formatDouble(s.measured_w) << ",\"predicted_w\":"
+            << numio::formatDouble(s.predicted_w)
+            << ",\"abs_err_pct\":"
+            << numio::formatDouble(r.absErrPct())
+            << ",\"probe_seconds\":"
+            << numio::formatDouble(probe_seconds) << "}\n";
+    events_.flush();
+}
+
+} // namespace obs
+} // namespace gpupm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Online sampling loop behind `gpupm monitor`.
+ *
+ * The paper's model is a *run-time* power model: its operational use
+ * (sensorless estimation, DVFS management) consumes predictions as a
+ * live, continuously sampled signal. The Sampler provides that
+ * signal: a worker thread ticks at a configurable period over a
+ * configurable (application, V-F configuration) schedule, calls a
+ * probe that measures and predicts one cell, and feeds the resulting
+ * residual into the accuracy aggregators (obs::residuals /
+ * obs::scoreboard), the metrics registry and the flight recorder —
+ * optionally appending one NDJSON line per sample to a structured
+ * event log.
+ *
+ * The probe is injected as a callback so this layer stays free of
+ * simulator/predictor dependencies (obs must not depend on core);
+ * the CLI wires in the simulated NVML device + Predictor.
+ */
+
+#ifndef GPUPM_OBS_SAMPLER_HH
+#define GPUPM_OBS_SAMPLER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpu/device.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/residuals.hh"
+#include "obs/scoreboard.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+/** One live measured-vs-predicted observation from the probe. */
+struct MonitorSample
+{
+    std::string app;
+    gpu::FreqConfig cfg{};
+    double measured_w = 0.0;
+    double predicted_w = 0.0;
+    bool ok = true;    ///< false: error is set, sample is discarded
+    std::string error; ///< probe failure description
+};
+
+/** Measure + predict one (application, configuration) cell. Runs on
+ *  the sampler thread; must be safe to call back to back. */
+using SampleProbe = std::function<MonitorSample(
+        const std::string &app, const gpu::FreqConfig &cfg)>;
+
+/** One schedule entry; the loop round-robins over the schedule. */
+struct SchedulePoint
+{
+    std::string app;
+    gpu::FreqConfig cfg{};
+};
+
+struct SamplerOptions
+{
+    int period_ms = 250;      ///< tick period
+    double duration_s = 0.0;  ///< stop after this long; 0 = until stop()
+    std::string events_out;   ///< NDJSON event log path; "" = off
+    std::size_t max_samples = 10000; ///< residuals retained (ring)
+
+    /** Identity stamped onto scoreboard snapshots. */
+    int device = 0;
+    std::string device_name;
+    gpu::FreqConfig reference{};
+};
+
+/** Periodic measure→predict→audit loop on a worker thread. */
+class Sampler
+{
+  public:
+    Sampler(SampleProbe probe, std::vector<SchedulePoint> schedule,
+            SamplerOptions opts, FlightRecorder *recorder = nullptr);
+    ~Sampler(); ///< stops and joins if still running
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Open the event log and start ticking. False + *err on failure. */
+    bool start(std::string *err = nullptr);
+
+    /** Signal the loop to finish the current tick and join it. */
+    void stop();
+
+    /** True from start() until the loop exits (duration or stop()). */
+    bool running() const
+    {
+        return running_.load(std::memory_order_relaxed);
+    }
+
+    /** Ticks completed (successful or failed probes). */
+    long ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+    /** Seconds since the last completed sample; +inf before any. */
+    double lastSampleAgeSeconds() const;
+
+    /**
+     * Sampler staleness: true once the last completed sample is older
+     * than max(5 periods, 2 s). Freshly started loops are not stale
+     * (age is measured from start() until the first sample lands).
+     */
+    bool stale() const;
+
+    /** Copy of the retained residual window, oldest first. */
+    std::vector<ResidualSample> residualsSnapshot() const;
+
+    /** Live scoreboard over the retained residual window. */
+    Scoreboard scoreboardSnapshot() const;
+
+    const SamplerOptions &options() const { return opts_; }
+
+  private:
+    void loop();
+    void tickOnce(std::size_t index);
+    void logEvent(const MonitorSample &s, double probe_seconds);
+
+    SampleProbe probe_;
+    std::vector<SchedulePoint> schedule_;
+    SamplerOptions opts_;
+    FlightRecorder *recorder_; ///< optional, not owned
+
+    std::thread worker_;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> running_{false};
+    std::atomic<long> ticks_{0};
+    std::mutex wake_mu_;
+    std::condition_variable wake_cv_;
+
+    mutable std::mutex data_mu_;
+    std::deque<ResidualSample> residuals_; ///< guarded by data_mu_
+    std::chrono::steady_clock::time_point started_{};
+    std::atomic<std::int64_t> last_sample_us_{-1}; ///< since started_
+
+    std::ofstream events_; ///< sampler-thread only after start()
+};
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_SAMPLER_HH

@@ -1,5 +1,9 @@
 #include "standard.hh"
 
+#include <chrono>
+
+#include "common/provenance.hh"
+
 namespace gpupm
 {
 namespace obs
@@ -12,6 +16,10 @@ reg()
 {
     return Registry::global();
 }
+
+/** Static-init capture; close enough to process start for uptime. */
+const std::chrono::steady_clock::time_point g_process_start =
+        std::chrono::steady_clock::now();
 } // namespace
 
 Counter &
@@ -250,6 +258,109 @@ accuracyAbsErrPct()
                            errorPctBuckets());
 }
 
+Gauge &
+buildInfo()
+{
+    const auto p = common::collectProvenance();
+    const auto esc = Registry::labelEscape;
+    Gauge &g = reg().gauge(
+            "gpupm_build_info",
+            "version=\"" + esc(p.version) + "\",build_type=\"" +
+                    esc(p.build_type) + "\",git_sha=\"" +
+                    esc(p.git_sha) + "\",compiler=\"" +
+                    esc(p.compiler) + "\",device=\"" + esc(p.device) +
+                    "\"",
+            "Build provenance (constant 1; identity in labels)");
+    g.set(1.0);
+    return g;
+}
+
+Gauge &
+processUptimeSeconds()
+{
+    return reg().gauge("gpupm_process_uptime_seconds",
+                       "Seconds since process start");
+}
+
+void
+touchProcessMetrics()
+{
+    const auto now = std::chrono::steady_clock::now();
+    processUptimeSeconds().set(
+            std::chrono::duration<double>(now - g_process_start)
+                    .count());
+}
+
+Counter &
+httpRequestsTotal(const std::string &path)
+{
+    return reg().counter(
+            "gpupm_http_requests_total",
+            "path=\"" + Registry::labelEscape(path) + "\"",
+            "HTTP requests served, by endpoint");
+}
+
+Histogram &
+httpRequestSeconds(const std::string &path)
+{
+    return reg().histogram(
+            "gpupm_http_request_seconds",
+            "path=\"" + Registry::labelEscape(path) + "\"",
+            "HTTP request handling latency, by endpoint",
+            secondsBuckets());
+}
+
+Counter &
+httpRequestsRejectedTotal()
+{
+    return reg().counter("gpupm_http_requests_rejected_total",
+                         "Requests refused before dispatch (parse "
+                         "error, unknown path, bad method, oversize)");
+}
+
+Counter &
+monitorTicksTotal()
+{
+    return reg().counter("gpupm_monitor_ticks_total",
+                         "Sampling-loop ticks completed");
+}
+
+Counter &
+monitorProbeFailuresTotal()
+{
+    return reg().counter("gpupm_monitor_probe_failures_total",
+                         "Sampling-loop probes that failed");
+}
+
+Gauge &
+monitorLastMeasuredW()
+{
+    return reg().gauge("gpupm_monitor_last_measured_watts",
+                       "Most recent measured average power, W");
+}
+
+Gauge &
+monitorLastPredictedW()
+{
+    return reg().gauge("gpupm_monitor_last_predicted_watts",
+                       "Most recent model prediction, W");
+}
+
+Gauge &
+monitorSampleAgeSeconds()
+{
+    return reg().gauge("gpupm_monitor_sample_age_seconds",
+                       "Seconds since the last completed sample");
+}
+
+Histogram &
+monitorSampleSeconds()
+{
+    return reg().histogram("gpupm_monitor_sample_seconds",
+                           "Wall-clock cost of one probe, seconds",
+                           secondsBuckets());
+}
+
 void
 registerStandardMetrics()
 {
@@ -286,6 +397,15 @@ registerStandardMetrics()
     accuracyLastRmseW();
     accuracyLastMaxErrPct();
     accuracyAbsErrPct();
+    buildInfo();
+    processUptimeSeconds();
+    httpRequestsRejectedTotal();
+    monitorTicksTotal();
+    monitorProbeFailuresTotal();
+    monitorLastMeasuredW();
+    monitorLastPredictedW();
+    monitorSampleAgeSeconds();
+    monitorSampleSeconds();
 }
 
 } // namespace obs

@@ -70,6 +70,44 @@ Gauge &accuracyLastRmseW();
 Gauge &accuracyLastMaxErrPct();
 Histogram &accuracyAbsErrPct();
 
+// -- Process identity & liveness -------------------------------------
+
+/**
+ * `gpupm_build_info{version=...,build_type=...,git_sha=...,
+ * compiler=...,device=...} 1` — the Prometheus build-info convention:
+ * constant value 1, identity in the labels, so every scrape is
+ * attributable to the build that produced it. The device label is the
+ * process-wide provenance device at first registration.
+ */
+Gauge &buildInfo();
+
+/** `gpupm_process_uptime_seconds` (set by touchProcessMetrics). */
+Gauge &processUptimeSeconds();
+
+/**
+ * Refresh the process-liveness gauges (uptime). Call before any
+ * exposition render; the /metrics endpoint and the CLI dumps do.
+ */
+void touchProcessMetrics();
+
+// -- Embedded HTTP exporter (gpupm monitor) --------------------------
+
+/** Per-endpoint request counter: `gpupm_http_requests_total{path=..}`. */
+Counter &httpRequestsTotal(const std::string &path);
+/** Per-endpoint latency histogram, seconds. */
+Histogram &httpRequestSeconds(const std::string &path);
+/** Requests refused before dispatch (parse error, 404, 405, 431). */
+Counter &httpRequestsRejectedTotal();
+
+// -- Live sampling loop (gpupm monitor) ------------------------------
+
+Counter &monitorTicksTotal();
+Counter &monitorProbeFailuresTotal();
+Gauge &monitorLastMeasuredW();
+Gauge &monitorLastPredictedW();
+Gauge &monitorSampleAgeSeconds();
+Histogram &monitorSampleSeconds();
+
 /**
  * Register the whole catalog in Registry::global(). Idempotent;
  * called by the CLI before any dump.

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the flight recorder: capacity/wraparound semantics,
+ * sequence ordering under concurrent writers, the JSON rendering and
+ * clear().
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+obs::FlightRecord
+rec(const std::string &name)
+{
+    obs::FlightRecord r;
+    r.kind = "event";
+    r.name = name;
+    return r;
+}
+
+TEST(FlightRecorder, RetainsEverythingUntilFull)
+{
+    obs::FlightRecorder fr(8);
+    EXPECT_EQ(fr.capacity(), 8u);
+    for (int i = 0; i < 5; ++i)
+        fr.record(rec("e" + std::to_string(i)));
+    EXPECT_EQ(fr.recorded(), 5);
+    const auto snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), 5u);
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].seq, static_cast<std::int64_t>(i));
+        EXPECT_EQ(snap[i].name, "e" + std::to_string(i));
+    }
+}
+
+TEST(FlightRecorder, WrapsAroundKeepingTheNewest)
+{
+    obs::FlightRecorder fr(8);
+    // 2.5x capacity: the oldest 12 of 20 must be forgotten.
+    for (int i = 0; i < 20; ++i)
+        fr.record(rec("e" + std::to_string(i)));
+    EXPECT_EQ(fr.recorded(), 20);
+    const auto snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), 8u);
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].seq, static_cast<std::int64_t>(12 + i));
+        EXPECT_EQ(snap[i].name, "e" + std::to_string(12 + i));
+    }
+}
+
+TEST(FlightRecorder, TimestampsAreMonotonicAndStamped)
+{
+    obs::FlightRecorder fr(4);
+    fr.recordSpan("a", 7, "first");
+    fr.recordSpan("b", 9, "second");
+    const auto snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_GE(snap[0].ts_us, 0);
+    EXPECT_GE(snap[1].ts_us, snap[0].ts_us);
+    EXPECT_EQ(snap[0].dur_us, 7);
+    EXPECT_EQ(snap[1].detail, "second");
+    EXPECT_EQ(snap[0].kind, "span");
+}
+
+TEST(FlightRecorder, ConcurrentWritersLoseNothingButTheOldest)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 1000;
+    obs::FlightRecorder fr(256);
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t)
+        writers.emplace_back([&fr, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                fr.record(rec("w" + std::to_string(t) + "." +
+                              std::to_string(i)));
+        });
+    for (auto &w : writers)
+        w.join();
+
+    EXPECT_EQ(fr.recorded(), kThreads * kPerThread);
+    const auto snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), fr.capacity());
+    // Exactly the last capacity() sequence numbers survive, each
+    // once, in ascending order.
+    std::set<std::int64_t> seqs;
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        if (i > 0)
+            EXPECT_EQ(snap[i].seq, snap[i - 1].seq + 1);
+        seqs.insert(snap[i].seq);
+    }
+    EXPECT_EQ(seqs.size(), fr.capacity());
+    EXPECT_EQ(*seqs.rbegin(), kThreads * kPerThread - 1);
+    EXPECT_EQ(*seqs.begin(),
+              kThreads * kPerThread -
+                      static_cast<std::int64_t>(fr.capacity()));
+}
+
+TEST(FlightRecorder, RenderJsonReportsDropsAndEscapes)
+{
+    obs::FlightRecorder fr(2);
+    fr.recordSpan("first", 1);
+    fr.recordSpan("second", 2);
+    fr.recordSpan("quote", 3, "say \"hi\"\n");
+    const std::string json = fr.renderJson();
+    EXPECT_NE(json.find("\"capacity\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"recorded\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\":1"), std::string::npos);
+    EXPECT_NE(json.find("\\\"hi\\\"\\n"), std::string::npos);
+    EXPECT_EQ(json.find("\"name\":\"first\""), std::string::npos)
+            << "dropped record leaked into the rendering";
+    EXPECT_NE(json.find("\"name\":\"quote\""), std::string::npos);
+}
+
+TEST(FlightRecorder, ClearForgetsButSequenceContinues)
+{
+    obs::FlightRecorder fr(4);
+    fr.recordSpan("a", 0);
+    fr.recordSpan("b", 0);
+    fr.clear();
+    EXPECT_TRUE(fr.snapshot().empty());
+    fr.recordSpan("c", 0);
+    const auto snap = fr.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].seq, 2) << "clear() must not reuse sequences";
+}
+
+} // namespace

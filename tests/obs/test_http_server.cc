@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests of the embedded HTTP server: the pure request-head parser
+ * against truncated, oversized and hostile inputs, response
+ * rendering, and a loopback round trip through a live server
+ * (200 / 404 / 405 / 400, graceful stop).
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/http_server.hh"
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+// -- parser ----------------------------------------------------------
+
+TEST(HttpParser, ParsesWellFormedGet)
+{
+    obs::HttpRequest req;
+    const auto st = obs::parseHttpRequest(
+            "GET /metrics?x=1 HTTP/1.1\r\nHost: a\r\n"
+            "Accept: text/plain\r\n\r\n",
+            req);
+    ASSERT_EQ(st, obs::HttpParse::Ok);
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.target, "/metrics?x=1");
+    EXPECT_EQ(req.path, "/metrics");
+    EXPECT_EQ(req.query, "x=1");
+    EXPECT_EQ(req.version, "HTTP/1.1");
+    ASSERT_EQ(req.headers.size(), 2u);
+    EXPECT_EQ(req.headers[0].first, "host"); // names lower-cased
+    EXPECT_EQ(req.headers[0].second, "a");
+    EXPECT_EQ(req.headers[1].second, "text/plain");
+}
+
+TEST(HttpParser, ToleratesBareNewlineTermination)
+{
+    obs::HttpRequest req;
+    EXPECT_EQ(obs::parseHttpRequest("GET / HTTP/1.0\n\n", req),
+              obs::HttpParse::Ok);
+    EXPECT_EQ(req.path, "/");
+}
+
+TEST(HttpParser, TruncatedRequestLinesAreIncomplete)
+{
+    obs::HttpRequest req;
+    for (const char *partial :
+         {"", "G", "GET", "GET /metr", "GET /metrics HTTP/1.1",
+          "GET /metrics HTTP/1.1\r\n", "GET /metrics HTTP/1.1\r\nHo"})
+        EXPECT_EQ(obs::parseHttpRequest(partial, req),
+                  obs::HttpParse::Incomplete)
+                << "partial: '" << partial << "'";
+}
+
+TEST(HttpParser, OversizedHeadIsTooLarge)
+{
+    obs::HttpLimits limits;
+    limits.max_request_bytes = 128;
+    obs::HttpRequest req;
+    // Unterminated and already past the cap: cannot ever complete.
+    const std::string big = "GET / HTTP/1.1\r\nX: " +
+                            std::string(200, 'a');
+    EXPECT_EQ(obs::parseHttpRequest(big, req, limits),
+              obs::HttpParse::TooLarge);
+    // Terminated but the head alone exceeds the cap.
+    const std::string done = "GET / HTTP/1.1\r\nX: " +
+                             std::string(200, 'a') + "\r\n\r\n";
+    EXPECT_EQ(obs::parseHttpRequest(done, req, limits),
+              obs::HttpParse::TooLarge);
+}
+
+TEST(HttpParser, OversizedTargetAndHeaderCount)
+{
+    obs::HttpLimits limits;
+    limits.max_target_bytes = 16;
+    obs::HttpRequest req;
+    const std::string long_target =
+            "GET /" + std::string(32, 'x') + " HTTP/1.1\r\n\r\n";
+    EXPECT_EQ(obs::parseHttpRequest(long_target, req, limits),
+              obs::HttpParse::TooLarge);
+
+    obs::HttpLimits few;
+    few.max_header_count = 2;
+    std::string many = "GET / HTTP/1.1\r\n";
+    for (int i = 0; i < 4; ++i)
+        many += "H" + std::to_string(i) + ": v\r\n";
+    many += "\r\n";
+    EXPECT_EQ(obs::parseHttpRequest(many, req, few),
+              obs::HttpParse::TooLarge);
+}
+
+TEST(HttpParser, MalformedRequestsAreRejected)
+{
+    obs::HttpRequest req;
+    for (const char *bad :
+         {"GET\r\n\r\n",                     // no target
+          "GET  HTTP/1.1\r\n\r\n",           // empty target
+          "GET metrics HTTP/1.1\r\n\r\n",    // target not absolute
+          "GET / FTP/1.1\r\n\r\n",           // not an HTTP version
+          "GET / HTTP/\r\n\r\n",             // truncated version
+          "G@T / HTTP/1.1\r\n\r\n",          // illegal method char
+          "GET / HTTP/1.1\r\nnocolon\r\n\r\n",
+          "GET / HTTP/1.1\r\n: novalue\r\n\r\n"})
+        EXPECT_EQ(obs::parseHttpRequest(bad, req),
+                  obs::HttpParse::Malformed)
+                << "input: '" << bad << "'";
+}
+
+TEST(HttpResponse, RenderCarriesLengthAndClose)
+{
+    obs::HttpResponse resp;
+    resp.body = "hello\n";
+    const std::string wire = obs::renderHttpResponse(resp);
+    EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 6\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_EQ(wire.substr(wire.size() - 6), "hello\n");
+
+    resp.status = 405;
+    EXPECT_NE(obs::renderHttpResponse(resp).find("Allow: GET\r\n"),
+              std::string::npos);
+}
+
+// -- live server round trip ------------------------------------------
+
+/** Blocking one-shot client against 127.0.0.1:port. */
+std::string
+rawExchange(int port, const std::string &request)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string out;
+    char chunk[2048];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        out.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+    return out;
+}
+
+class HttpServerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::Registry::global().reset(); }
+    void TearDown() override { obs::Registry::global().reset(); }
+};
+
+TEST_F(HttpServerTest, ServesRoutesAndErrorPaths)
+{
+    obs::HttpServer server;
+    server.route("/ping", [](const obs::HttpRequest &req) {
+        obs::HttpResponse resp;
+        resp.body = "pong query=" + req.query + "\n";
+        return resp;
+    });
+    server.route("/boom", [](const obs::HttpRequest &)
+                         -> obs::HttpResponse {
+        throw std::runtime_error("handler exploded");
+    });
+
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+    ASSERT_GT(server.port(), 0);
+
+    const std::string ok = rawExchange(
+            server.port(),
+            "GET /ping?q=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+    EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(ok.find("pong query=q=1"), std::string::npos);
+
+    const std::string head = rawExchange(
+            server.port(), "HEAD /ping HTTP/1.1\r\n\r\n");
+    EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_EQ(head.find("pong"), std::string::npos); // no body
+
+    EXPECT_NE(rawExchange(server.port(),
+                          "GET /missing HTTP/1.1\r\n\r\n")
+                      .find("HTTP/1.1 404"),
+              std::string::npos);
+    EXPECT_NE(rawExchange(server.port(),
+                          "POST /ping HTTP/1.1\r\n\r\n")
+                      .find("HTTP/1.1 405"),
+              std::string::npos);
+    EXPECT_NE(rawExchange(server.port(), "garbage\r\n\r\n")
+                      .find("HTTP/1.1 400"),
+              std::string::npos);
+    EXPECT_NE(rawExchange(server.port(),
+                          "GET /boom HTTP/1.1\r\n\r\n")
+                      .find("HTTP/1.1 500"),
+              std::string::npos);
+
+    EXPECT_GE(server.requestsServed(), 6L);
+    server.stop();
+    EXPECT_FALSE(server.running());
+    // Stop is idempotent and restart on the same object is allowed.
+    server.stop();
+}
+
+} // namespace

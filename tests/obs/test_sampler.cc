@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests of the online sampling loop with a fake probe: tick
+ * accounting, residual/scoreboard snapshots, probe-failure handling,
+ * staleness, the NDJSON event log, and duration-bounded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "obs/standard.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+class SamplerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::Registry::global().reset(); }
+    void TearDown() override { obs::Registry::global().reset(); }
+
+    std::vector<obs::SchedulePoint> schedule_{
+            {"APP1", {595, 3505}},
+            {"APP2", {1000, 3505}},
+    };
+};
+
+obs::SamplerOptions
+fastOptions()
+{
+    obs::SamplerOptions o;
+    o.period_ms = 5;
+    o.device = 1;
+    o.device_name = "Fake GPU";
+    o.reference = {1000, 3505};
+    return o;
+}
+
+TEST_F(SamplerTest, TicksRoundRobinAndAggregate)
+{
+    std::atomic<int> calls{0};
+    auto probe = [&](const std::string &app,
+                     const gpu::FreqConfig &cfg) {
+        calls.fetch_add(1);
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        s.measured_w = 100.0;
+        s.predicted_w = app == "APP1" ? 110.0 : 100.0;
+        return s;
+    };
+    obs::Sampler sampler(probe, schedule_, fastOptions());
+    std::string err;
+    ASSERT_TRUE(sampler.start(&err)) << err;
+    while (sampler.ticks() < 6)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    EXPECT_EQ(calls.load(), sampler.ticks());
+
+    const auto residuals = sampler.residualsSnapshot();
+    ASSERT_GE(residuals.size(), 6u);
+    // Round-robin: consecutive samples alternate over the schedule.
+    EXPECT_EQ(residuals[0].app, "APP1");
+    EXPECT_EQ(residuals[1].app, "APP2");
+    EXPECT_EQ(residuals[2].app, "APP1");
+
+    const auto sb = sampler.scoreboardSnapshot();
+    EXPECT_EQ(sb.device_name, "Fake GPU");
+    EXPECT_EQ(sb.overall.samples,
+              static_cast<long>(residuals.size()));
+    // APP1 errs by 10%, APP2 by 0% — overall MAE sits in between.
+    EXPECT_GT(sb.overall.mae_pct, 0.0);
+    EXPECT_LT(sb.overall.mae_pct, 10.1);
+    EXPECT_FALSE(sampler.stale());
+    EXPECT_LT(sampler.lastSampleAgeSeconds(), 5.0);
+}
+
+TEST_F(SamplerTest, ProbeFailuresAreCountedNotAggregated)
+{
+    obs::FlightRecorder recorder(16);
+    auto probe = [](const std::string &app,
+                    const gpu::FreqConfig &cfg) -> obs::MonitorSample {
+        if (app == "APP2")
+            throw std::runtime_error("sensor detached");
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        s.measured_w = 50.0;
+        s.predicted_w = 50.0;
+        return s;
+    };
+    obs::Sampler sampler(probe, schedule_, fastOptions(), &recorder);
+    ASSERT_TRUE(sampler.start());
+    while (sampler.ticks() < 4)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    sampler.stop();
+
+    for (const auto &r : sampler.residualsSnapshot())
+        EXPECT_EQ(r.app, "APP1"); // failures never become residuals
+    EXPECT_GE(obs::monitorProbeFailuresTotal().value(), 1.0);
+
+    bool saw_failure_record = false;
+    for (const auto &rec : recorder.snapshot())
+        if (rec.name == "monitor.probe_failure")
+            saw_failure_record = true;
+    EXPECT_TRUE(saw_failure_record);
+}
+
+TEST_F(SamplerTest, DurationBoundsTheRun)
+{
+    auto o = fastOptions();
+    o.duration_s = 0.05;
+    auto probe = [](const std::string &app,
+                    const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        s.measured_w = 1.0;
+        s.predicted_w = 1.0;
+        return s;
+    };
+    obs::Sampler sampler(probe, schedule_, o);
+    ASSERT_TRUE(sampler.start());
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (sampler.running() &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(sampler.running()) << "duration did not stop it";
+    sampler.stop();
+    EXPECT_GE(sampler.ticks(), 1L);
+}
+
+TEST_F(SamplerTest, EventLogIsWellFormedNdjson)
+{
+    auto o = fastOptions();
+    o.events_out = "sampler_events_test.ndjson";
+    auto probe = [](const std::string &app,
+                    const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        s.measured_w = 123.5;
+        s.predicted_w = 120.25;
+        return s;
+    };
+    obs::Sampler sampler(probe, schedule_, o);
+    ASSERT_TRUE(sampler.start());
+    while (sampler.ticks() < 3)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    sampler.stop();
+
+    std::ifstream in(o.events_out);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"app\":\"APP"), std::string::npos);
+        EXPECT_NE(line.find("\"measured_w\":123.5"),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"predicted_w\":120.25"),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"abs_err_pct\":"), std::string::npos);
+    }
+    EXPECT_GE(lines, 3);
+    in.close();
+    std::remove(o.events_out.c_str());
+}
+
+TEST_F(SamplerTest, ResidualWindowIsBounded)
+{
+    auto o = fastOptions();
+    o.period_ms = 1;
+    o.max_samples = 4;
+    auto probe = [](const std::string &app,
+                    const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        s.measured_w = 1.0;
+        s.predicted_w = 1.0;
+        return s;
+    };
+    obs::Sampler sampler(probe, schedule_, o);
+    ASSERT_TRUE(sampler.start());
+    while (sampler.ticks() < 12)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    sampler.stop();
+    EXPECT_LE(sampler.residualsSnapshot().size(), 4u);
+}
+
+TEST_F(SamplerTest, AgeIsInfiniteBeforeAnySample)
+{
+    auto probe = [](const std::string &app,
+                    const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        return s;
+    };
+    obs::Sampler sampler(probe, schedule_, fastOptions());
+    EXPECT_TRUE(std::isinf(sampler.lastSampleAgeSeconds()));
+}
+
+} // namespace

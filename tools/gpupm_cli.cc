@@ -61,13 +61,18 @@
  * simulated board at the reference configuration before predicting.
  */
 
+#include <chrono>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include <string>
 #include <vector>
@@ -83,7 +88,10 @@
 #include "core/predictor.hh"
 #include "core/validate.hh"
 #include "obs/convergence.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/http_server.hh"
 #include "obs/metrics.hh"
+#include "obs/sampler.hh"
 #include "obs/standard.hh"
 #include "obs/trace.hh"
 #include "ubench/cuda_source.hh"
@@ -112,6 +120,14 @@ struct CliFlags
     std::string convergence_out; ///< estimator convergence CSV path
     bool verbose = false;        ///< log level: debug
     bool quiet = false;          ///< log level: warnings and errors
+    bool show_version = false;   ///< --version anywhere on the line
+
+    // `monitor` flags.
+    int port = 9090;          ///< HTTP port; 0 = ephemeral
+    int period_ms = 250;      ///< sampling period
+    double duration_s = 0.0;  ///< stop after this long; 0 = forever
+    std::string events_out;   ///< NDJSON event log path
+    std::string port_file;    ///< write the bound port here (tests)
 };
 
 /** Loader policy implied by the file-trust flags. */
@@ -125,12 +141,62 @@ loadOptionsOf(const CliFlags &flags)
 }
 
 /**
- * Strip `--key=value` flags from the argument list, returning the
- * positional arguments. Exits with usage on an unknown flag.
+ * Parse a human duration: "2s", "500ms", "1m", or a bare number of
+ * seconds. Negative on malformed input.
+ */
+double
+parseDuration(const std::string &text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || value < 0.0)
+        return -1.0;
+    const std::string unit(end);
+    if (unit.empty() || unit == "s")
+        return value;
+    if (unit == "ms")
+        return value * 1e-3;
+    if (unit == "m")
+        return value * 60.0;
+    return -1.0;
+}
+
+/** True when the flag consumes a value (`--key=v` or `--key v`). */
+bool
+flagTakesValue(const std::string &key)
+{
+    static const char *value_flags[] = {
+            "--faults",         "--fault-seed",  "--retries",
+            "--resume",         "--checkpoint",  "--scoreboard-out",
+            "--trace-out",      "--metrics-out", "--convergence-out",
+            "--port",           "--period-ms",   "--duration",
+            "--events-out",     "--port-file",
+    };
+    for (const char *f : value_flags)
+        if (key == f)
+            return true;
+    return false;
+}
+
+/**
+ * Strip `--key=value` / `--key value` flags from the argument list,
+ * returning the positional arguments. Flags may appear anywhere,
+ * including before the subcommand or positionals. An unknown flag (or
+ * a value flag missing its value) is reported by name on stderr and
+ * the sentinel "--bad-flag" is returned as the only positional; the
+ * caller exits 2 without the generic usage text, so the message names
+ * the actual problem.
  */
 std::vector<std::string>
 parseFlags(int argc, char **argv, CliFlags &flags)
 {
+    const auto bad = [](const char *what, const std::string &key) {
+        std::fprintf(stderr, "gpupm: %s '%s' (run 'gpupm' with no "
+                             "arguments for usage)\n",
+                     what, key.c_str());
+        return std::vector<std::string>{"--bad-flag"};
+    };
+
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -140,8 +206,13 @@ parseFlags(int argc, char **argv, CliFlags &flags)
         }
         const auto eq = arg.find('=');
         const std::string key = arg.substr(0, eq);
-        const std::string val =
+        std::string val =
                 eq == std::string::npos ? "" : arg.substr(eq + 1);
+        if (eq == std::string::npos && flagTakesValue(key)) {
+            if (i + 1 >= argc)
+                return bad("flag is missing its value", key);
+            val = argv[++i];
+        }
         if (key == "--faults") {
             flags.fault_rate = std::atof(val.c_str());
             flags.resilient = true;
@@ -174,11 +245,23 @@ parseFlags(int argc, char **argv, CliFlags &flags)
             flags.verbose = true;
         } else if (key == "--quiet") {
             flags.quiet = true;
+        } else if (key == "--version") {
+            flags.show_version = true;
+        } else if (key == "--port") {
+            flags.port = std::atoi(val.c_str());
+        } else if (key == "--period-ms") {
+            flags.period_ms = std::atoi(val.c_str());
+        } else if (key == "--duration") {
+            const double d = parseDuration(val);
+            if (d < 0.0)
+                return bad("bad duration for flag", key);
+            flags.duration_s = d;
+        } else if (key == "--events-out") {
+            flags.events_out = val;
+        } else if (key == "--port-file") {
+            flags.port_file = val;
         } else {
-            std::fprintf(stderr, "unknown flag '%s'\n", key.c_str());
-            positional.clear();
-            positional.push_back("--bad-flag");
-            return positional;
+            return bad("unknown flag", key);
         }
     }
     return positional;
@@ -235,6 +318,10 @@ usage()
                  "  gpupm export-cuda <out.cu>\n"
                  "  gpupm audit <model-file|device> [--json|--csv] "
                  "[--scoreboard-out=<file>]\n"
+                 "  gpupm monitor <titanxp|titanx|k40c> "
+                 "[--port=<n>] [--period-ms=<n>] "
+                 "[--duration=<2s|500ms>] [--events-out=<file>]\n"
+                 "  gpupm version [--json]   (also: gpupm --version)\n"
                  "  gpupm validate [--json] <file>...\n"
                  "      file-trust flags (all loading commands): "
                  "--strict --allow-legacy\n"
@@ -728,9 +815,264 @@ int
 cmdMetrics(const CliFlags &flags)
 {
     obs::registerStandardMetrics();
+    obs::touchProcessMetrics();
     auto &reg = obs::Registry::global();
     std::printf("%s", flags.json ? reg.renderJson().c_str()
                                  : reg.renderPrometheus().c_str());
+    return 0;
+}
+
+/** `gpupm version` / `gpupm --version`: the build-info block. */
+int
+cmdVersion(const CliFlags &flags)
+{
+    const auto p = common::collectProvenance();
+    if (flags.json) {
+        std::printf("%s\n", common::toJson(p).c_str());
+        return 0;
+    }
+    std::printf("gpupm %s (%s)\n", p.version.c_str(),
+                p.build_type.c_str());
+    std::printf("git sha:  %s\n", p.git_sha.c_str());
+    std::printf("compiler: %s\n", p.compiler.c_str());
+    if (!p.device.empty())
+        std::printf("device:   %s\n", p.device.c_str());
+    return 0;
+}
+
+// -- monitor ---------------------------------------------------------
+
+/** Set by SIGINT/SIGTERM; the monitor main loop polls it. */
+volatile std::sig_atomic_t g_monitor_stop = 0;
+
+extern "C" void
+monitorSignalHandler(int)
+{
+    g_monitor_stop = 1;
+}
+
+/** JSON number or -1 when not finite (age before the first sample). */
+std::string
+jsonFiniteOr(double v, const char *fallback)
+{
+    if (!std::isfinite(v))
+        return fallback;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+/**
+ * `gpupm monitor <device>`: the long-running telemetry daemon. Trains
+ * a model of the device in-process (same procedure as
+ * `gpupm fit <device>`), then runs the online sampling loop — measure
+ * the simulated NVML device, predict with the model, feed the residual
+ * into the live aggregators — while an embedded HTTP server exposes
+ * /metrics, /healthz, /scoreboard and /tracez on loopback. SIGINT or
+ * SIGTERM (or --duration elapsing) shuts everything down cleanly and
+ * dumps the flight recorder's recent past to stderr.
+ */
+int
+cmdMonitor(const std::string &device, const CliFlags &flags)
+{
+    const auto kind = parseDevice(device);
+    if (!kind) {
+        std::fprintf(stderr,
+                     "unknown device '%s' (expected titanxp, titanx "
+                     "or k40c)\n",
+                     device.c_str());
+        return 2;
+    }
+    if (flags.period_ms <= 0) {
+        std::fprintf(stderr, "--period-ms must be positive\n");
+        return 2;
+    }
+    common::setProvenanceDevice(deviceToken(*kind));
+    obs::registerStandardMetrics();
+
+    sim::PhysicalGpu board(*kind);
+    const auto &desc = board.descriptor();
+
+    // A fresh model of the board under watch, fitted in-process.
+    std::fprintf(stderr, "monitor: training %s model in-process...\n",
+                 desc.name.c_str());
+    model::CampaignOptions copts;
+    copts.power_repetitions = 3;
+    const auto data = model::runTrainingCampaign(
+            board, ubench::buildSuite(), copts);
+    auto fit = model::ModelEstimator().tryEstimate(data);
+    if (!fit.ok()) {
+        std::fprintf(stderr, "fit failed [%s]: %s\n",
+                     std::string(model::fitErrcName(
+                             fit.error().code)).c_str(),
+                     fit.error().message.c_str());
+        return 1;
+    }
+    const model::DvfsPowerModel m = fit.value().model;
+    model::Predictor predictor(m);
+
+    // Schedule: every validation app at the slowest, reference and
+    // fastest V-F configuration, round-robinned. Utilizations are
+    // profiled once at the reference configuration (Sec. III-E); the
+    // run-time loop never re-profiles, exactly as the paper's
+    // operational use case prescribes.
+    const auto configs = desc.allConfigs();
+    const auto ref = desc.referenceConfig();
+    const std::vector<gpu::FreqConfig> points{configs.front(), ref,
+                                              configs.back()};
+    std::map<std::string, gpu::ComponentArray> utils;
+    std::map<std::string, sim::KernelDemand> demands;
+    std::vector<obs::SchedulePoint> schedule;
+    {
+        cupti::Profiler profiler(board, 11);
+        for (const auto &w : workloads::fullValidationSet()) {
+            const auto rm = profiler.profile(w.demand, ref);
+            utils[w.name] =
+                    model::utilizationsFromMetrics(rm, desc, ref);
+            demands[w.name] = w.demand;
+            for (const auto &cfg : points)
+                schedule.push_back({w.name, cfg});
+        }
+    }
+
+    obs::FlightRecorder recorder(256);
+    nvml::Device dev(board);
+    auto probe = [&](const std::string &app,
+                     const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        dev.setApplicationClocks(cfg.mem_mhz, cfg.core_mhz);
+        const auto pm =
+                dev.measureKernelPower(demands.at(app), 2, 0.05);
+        s.measured_w = pm.power_w;
+        s.predicted_w = predictor.at(utils.at(app), cfg).total_w;
+        return s;
+    };
+
+    obs::SamplerOptions sopts;
+    sopts.period_ms = flags.period_ms;
+    sopts.duration_s = flags.duration_s;
+    sopts.events_out = flags.events_out;
+    sopts.device = static_cast<int>(*kind);
+    sopts.device_name = desc.name;
+    sopts.reference = ref;
+    obs::Sampler sampler(probe, std::move(schedule), sopts,
+                         &recorder);
+
+    const auto started = std::chrono::steady_clock::now();
+    obs::HttpServer server;
+    server.route("/", [](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.body = "gpupm monitor endpoints:\n"
+                    "  /metrics     Prometheus text exposition\n"
+                    "  /healthz     JSON liveness + provenance\n"
+                    "  /scoreboard  live accuracy scoreboard JSON\n"
+                    "  /tracez      flight recorder (recent spans)\n";
+        return resp;
+    });
+    server.route("/metrics", [&](const obs::HttpRequest &) {
+        obs::touchProcessMetrics();
+        const double age = sampler.lastSampleAgeSeconds();
+        if (std::isfinite(age))
+            obs::monitorSampleAgeSeconds().set(age);
+        obs::HttpResponse resp;
+        resp.content_type =
+                "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = obs::Registry::global().renderPrometheus();
+        return resp;
+    });
+    server.route("/healthz", [&](const obs::HttpRequest &) {
+        const bool stale = sampler.stale();
+        const double uptime =
+                std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+        std::ostringstream os;
+        os << "{\"status\":\"" << (stale ? "stale" : "ok")
+           << "\",\"uptime_seconds\":" << jsonFiniteOr(uptime, "0")
+           << ",\"ticks\":" << sampler.ticks()
+           << ",\"last_sample_age_seconds\":"
+           << jsonFiniteOr(sampler.lastSampleAgeSeconds(), "-1")
+           << ",\"provenance\":"
+           << common::toJson(common::collectProvenance()) << "}\n";
+        obs::HttpResponse resp;
+        resp.status = stale ? 503 : 200;
+        resp.content_type = "application/json";
+        resp.body = os.str();
+        return resp;
+    });
+    server.route("/scoreboard", [&](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.content_type = "application/json";
+        resp.body = sampler.scoreboardSnapshot().toJson(false);
+        return resp;
+    });
+    server.route("/tracez", [&](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.content_type = "application/json";
+        resp.body = recorder.renderJson();
+        return resp;
+    });
+
+    std::string err;
+    if (!server.start(flags.port, &err)) {
+        std::fprintf(stderr,
+                     "monitor: cannot start HTTP server: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    if (!flags.port_file.empty()) {
+        std::ofstream pf(flags.port_file, std::ios::trunc);
+        pf << server.port() << "\n";
+        if (!pf)
+            std::fprintf(stderr, "monitor: cannot write %s\n",
+                         flags.port_file.c_str());
+    }
+    if (!sampler.start(&err)) {
+        std::fprintf(stderr, "monitor: %s\n", err.c_str());
+        server.stop();
+        return 1;
+    }
+    recorder.recordSpan("monitor.start", 0,
+                        desc.name + " on 127.0.0.1:" +
+                                std::to_string(server.port()));
+    std::fprintf(stderr,
+                 "monitor: listening on 127.0.0.1:%d (period %d ms, "
+                 "%zu schedule points)\n",
+                 server.port(), flags.period_ms,
+                 utils.size() * points.size());
+
+    g_monitor_stop = 0;
+    std::signal(SIGINT, monitorSignalHandler);
+    std::signal(SIGTERM, monitorSignalHandler);
+    while (!g_monitor_stop && sampler.running())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::fprintf(stderr,
+                 "monitor: shutting down (%ld ticks, %ld requests "
+                 "served)\n",
+                 sampler.ticks(), server.requestsServed());
+    sampler.stop();
+    server.stop();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    recorder.recordSpan("monitor.stop", 0, "clean shutdown");
+
+    // Post-mortem: the recorder's recent past, oldest of the tail
+    // first, so a crash log always ends with what just happened.
+    const auto tail = recorder.snapshot();
+    const std::size_t show = std::min<std::size_t>(tail.size(), 5);
+    std::fprintf(stderr,
+                 "monitor: flight recorder tail (%zu of %lld "
+                 "recorded):\n",
+                 show, static_cast<long long>(recorder.recorded()));
+    for (std::size_t i = tail.size() - show; i < tail.size(); ++i)
+        std::fprintf(stderr, "  #%lld +%.3fs [%s] %s: %s\n",
+                     static_cast<long long>(tail[i].seq),
+                     static_cast<double>(tail[i].ts_us) * 1e-6,
+                     tail[i].kind.c_str(), tail[i].name.c_str(),
+                     tail[i].detail.c_str());
     return 0;
 }
 
@@ -756,6 +1098,7 @@ writeObservabilityArtifacts(const CliFlags &flags)
     }
     if (!flags.metrics_out.empty()) {
         obs::registerStandardMetrics();
+        obs::touchProcessMetrics();
         if (obs::Registry::global().writePrometheus(flags.metrics_out))
             std::fprintf(stderr, "metrics written to %s\n",
                          flags.metrics_out.c_str());
@@ -850,8 +1193,30 @@ dispatch(const std::vector<std::string> &args, const CliFlags &flags)
                                flags);
         if (cmd == "metrics" && nargs == 1)
             return cmdMetrics(flags);
-        if (cmd == "audit" && nargs == 2)
+        if (cmd == "version" && nargs == 1)
+            return cmdVersion(flags);
+        if (cmd == "monitor" && nargs == 2)
+            return cmdMonitor(args[1], flags);
+        if (cmd == "monitor") {
+            std::fprintf(stderr,
+                         "monitor needs exactly one device argument "
+                         "(titanxp, titanx or k40c), got %d\n",
+                         nargs - 1);
+            return 2;
+        }
+        if (cmd == "audit") {
+            // Flags are stripped by parseFlags wherever they appear,
+            // so the only way to get here with nargs != 2 is a wrong
+            // positional count — say so instead of the generic usage.
+            if (nargs != 2) {
+                std::fprintf(stderr,
+                             "audit needs exactly one "
+                             "<model-file|device> argument, got %d\n",
+                             nargs - 1);
+                return 2;
+            }
             return cmdAudit(args[1], flags);
+        }
         if (cmd == "export-cuda" && nargs == 2) {
             std::ofstream out(args[1]);
             if (!out) {
@@ -876,9 +1241,11 @@ main(int argc, char **argv)
 {
     CliFlags flags;
     const auto args = parseFlags(argc, argv, flags);
+    if (!args.empty() && args.front() == "--bad-flag")
+        return 2; // parseFlags already named the offending flag
+    if (flags.show_version)
+        return cmdVersion(flags);
     if (args.empty())
-        return usage();
-    if (args.front() == "--bad-flag")
         return usage();
 
     if (flags.verbose)

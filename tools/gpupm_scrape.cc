@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Minimal HTTP scrape client for the `gpupm monitor` endpoints.
+ *
+ * Exists so the test suite can exercise the live-telemetry daemon
+ * without external tools (no curl dependency in CI). Two modes:
+ *
+ *   gpupm_scrape get <port> <path> [--expect=<substr>]...
+ *                    [--status=<code>] [--method=<verb>]
+ *       one GET (or <verb>) against 127.0.0.1:<port>, body on
+ *       stdout; exits non-zero when the status or any expected
+ *       substring does not match.
+ *
+ *   gpupm_scrape monitor-selftest <gpupm-binary> <device>
+ *                    --work=<dir>
+ *       the full acceptance flow of the cli_monitor_scrape ctest:
+ *       fork/exec `gpupm monitor <device>` on an ephemeral port,
+ *       wait for the port file, scrape /metrics, /healthz,
+ *       /scoreboard and /tracez, assert sane values plus the 404/405
+ *       error paths, SIGTERM the daemon and require a clean exit 0.
+ *       A cmake -P script cannot background a process, so the
+ *       orchestration lives here.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace
+{
+
+/** One blocking HTTP exchange against 127.0.0.1:port. */
+bool
+httpExchange(int port, const std::string &method,
+             const std::string &path, int *status, std::string *body,
+             std::string *err)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        *err = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+
+    const std::string req = method + " " + path +
+                            " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                            "Connection: close\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < req.size()) {
+        const ssize_t n = ::send(fd, req.data() + sent,
+                                 req.size() - sent, 0);
+        if (n <= 0) {
+            *err = std::string("send: ") + std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string response;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            *err = std::string("recv: ") + std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break; // Connection: close — the server ends the stream
+        response.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    // Status line: HTTP/1.1 NNN Reason
+    const std::size_t sp = response.find(' ');
+    if (response.rfind("HTTP/", 0) != 0 ||
+        sp == std::string::npos || sp + 4 > response.size()) {
+        *err = "malformed response: " + response.substr(0, 40);
+        return false;
+    }
+    *status = std::atoi(response.c_str() + sp + 1);
+    const std::size_t head_end = response.find("\r\n\r\n");
+    *body = head_end == std::string::npos
+                    ? ""
+                    : response.substr(head_end + 4);
+    return true;
+}
+
+int
+fail(const std::string &what)
+{
+    std::fprintf(stderr, "gpupm_scrape: FAIL: %s\n", what.c_str());
+    return 1;
+}
+
+/** Scrape once and require a status plus body substrings. */
+int
+checkEndpoint(int port, const std::string &method,
+              const std::string &path, int want_status,
+              const std::vector<std::string> &expects,
+              std::string *body_out = nullptr)
+{
+    int status = 0;
+    std::string body, err;
+    if (!httpExchange(port, method, path, &status, &body, &err))
+        return fail(method + " " + path + ": " + err);
+    if (status != want_status)
+        return fail(method + " " + path + ": status " +
+                    std::to_string(status) + ", want " +
+                    std::to_string(want_status));
+    for (const auto &e : expects)
+        if (body.find(e) == std::string::npos)
+            return fail(method + " " + path + ": body lacks '" + e +
+                        "'");
+    if (body_out)
+        *body_out = body;
+    std::fprintf(stderr, "gpupm_scrape: ok %s %s (%d, %zu bytes)\n",
+                 method.c_str(), path.c_str(), status, body.size());
+    return 0;
+}
+
+/** Value of the first `name value` sample line in Prometheus text. */
+double
+metricValue(const std::string &prom, const std::string &name)
+{
+    std::size_t pos = 0;
+    while ((pos = prom.find(name, pos)) != std::string::npos) {
+        // Must start a line and not be a HELP/TYPE or _bucket line.
+        if (pos > 0 && prom[pos - 1] != '\n') {
+            pos += name.size();
+            continue;
+        }
+        const std::size_t eol = prom.find('\n', pos);
+        const std::string line = prom.substr(pos, eol - pos);
+        const std::size_t sp = line.rfind(' ');
+        if (sp == std::string::npos)
+            return -1.0;
+        const std::string head = line.substr(0, sp);
+        if (head != name && head.rfind(name + "{", 0) != 0) {
+            pos += name.size();
+            continue;
+        }
+        return std::atof(line.c_str() + sp + 1);
+    }
+    return -1.0;
+}
+
+int
+cmdGet(int argc, char **argv)
+{
+    if (argc < 4)
+        return fail("usage: gpupm_scrape get <port> <path> "
+                    "[--expect=<s>]... [--status=<n>] "
+                    "[--method=<verb>]");
+    const int port = std::atoi(argv[2]);
+    const std::string path = argv[3];
+    int want_status = 200;
+    std::string method = "GET";
+    std::vector<std::string> expects;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--expect=", 0) == 0)
+            expects.push_back(arg.substr(9));
+        else if (arg.rfind("--status=", 0) == 0)
+            want_status = std::atoi(arg.c_str() + 9);
+        else if (arg.rfind("--method=", 0) == 0)
+            method = arg.substr(9);
+        else
+            return fail("unknown argument '" + arg + "'");
+    }
+    std::string body;
+    const int rc = checkEndpoint(port, method, path, want_status,
+                                 expects, &body);
+    if (rc == 0)
+        std::fwrite(body.data(), 1, body.size(), stdout);
+    return rc;
+}
+
+int
+cmdMonitorSelftest(int argc, char **argv)
+{
+    if (argc < 4)
+        return fail("usage: gpupm_scrape monitor-selftest "
+                    "<gpupm-binary> <device> --work=<dir>");
+    const std::string gpupm = argv[2];
+    const std::string device = argv[3];
+    std::string work = ".";
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--work=", 0) == 0)
+            work = arg.substr(7);
+        else
+            return fail("unknown argument '" + arg + "'");
+    }
+    const std::string port_file = work + "/monitor.port";
+    const std::string events_file = work + "/monitor.ndjson";
+    std::remove(port_file.c_str());
+    std::remove(events_file.c_str());
+
+    // The daemon gets a generous self-destruct so a hung test cannot
+    // leak a process past the ctest timeout.
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return fail(std::string("fork: ") + std::strerror(errno));
+    if (pid == 0) {
+        const std::string port_arg = "--port-file=" + port_file;
+        const std::string events_arg = "--events-out=" + events_file;
+        ::execl(gpupm.c_str(), gpupm.c_str(), "monitor",
+                device.c_str(), "--port=0", "--period-ms=50",
+                "--duration=60s", port_arg.c_str(),
+                events_arg.c_str(), static_cast<char *>(nullptr));
+        std::fprintf(stderr, "exec %s: %s\n", gpupm.c_str(),
+                     std::strerror(errno));
+        _exit(127);
+    }
+
+    // The monitor trains its model before listening; poll the port
+    // file until it appears (or the child dies).
+    int port = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+        int wstatus = 0;
+        if (::waitpid(pid, &wstatus, WNOHANG) == pid)
+            return fail("monitor exited before listening (status " +
+                        std::to_string(wstatus) + ")");
+        std::ifstream pf(port_file);
+        if (pf >> port && port > 0)
+            break;
+        port = 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    auto killAndFail = [&](const std::string &what) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return fail(what);
+    };
+    if (port <= 0)
+        return killAndFail("no port file after 30 s");
+    std::fprintf(stderr, "gpupm_scrape: monitor up on port %d\n",
+                 port);
+
+    // Let the sampling loop land a handful of ticks first.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+    std::string prom;
+    if (checkEndpoint(port, "GET", "/metrics", 200,
+                      {"gpupm_build_info{",
+                       "gpupm_process_uptime_seconds",
+                       "gpupm_accuracy_samples_total",
+                       "gpupm_accuracy_abs_error_percent_bucket",
+                       "gpupm_monitor_ticks_total",
+                       "gpupm_http_request_seconds_bucket{path=\""
+                       "/metrics\"",
+                       "git_sha="},
+                      &prom) != 0)
+        return killAndFail("/metrics check failed");
+    const double ticks =
+            metricValue(prom, "gpupm_monitor_ticks_total");
+    const double samples =
+            metricValue(prom, "gpupm_accuracy_samples_total");
+    const double measured =
+            metricValue(prom, "gpupm_monitor_last_measured_watts");
+    if (ticks < 1.0)
+        return killAndFail("gpupm_monitor_ticks_total not > 0");
+    if (samples < 1.0)
+        return killAndFail("gpupm_accuracy_samples_total not > 0");
+    if (measured < 10.0 || measured > 1000.0)
+        return killAndFail("gpupm_monitor_last_measured_watts "
+                           "implausible: " +
+                           std::to_string(measured));
+
+    if (checkEndpoint(port, "GET", "/healthz", 200,
+                      {"\"status\":\"ok\"", "\"provenance\":",
+                       "\"git_sha\"",
+                       "\"device\":\"" + device + "\""}) != 0)
+        return killAndFail("/healthz check failed");
+    if (checkEndpoint(port, "GET", "/scoreboard", 200,
+                      {"\"gpupm_scoreboard_version\"",
+                       "\"summary\":", "\"per_app\":"}) != 0)
+        return killAndFail("/scoreboard check failed");
+    if (checkEndpoint(port, "GET", "/tracez", 200,
+                      {"\"records\":", "monitor.sample",
+                       "monitor.start"}) != 0)
+        return killAndFail("/tracez check failed");
+
+    // A second /metrics scrape must show the first one accounted.
+    if (checkEndpoint(port, "GET", "/metrics", 200, {}, &prom) != 0)
+        return killAndFail("second /metrics scrape failed");
+    if (metricValue(prom, "gpupm_http_requests_total{path=\""
+                          "/metrics\"}") < 1.0)
+        return killAndFail("/metrics requests not counted");
+
+    // Error paths: unknown route and non-GET method.
+    if (checkEndpoint(port, "GET", "/nope", 404, {"unknown path"}) !=
+        0)
+        return killAndFail("404 check failed");
+    if (checkEndpoint(port, "POST", "/metrics", 405,
+                      {"method not allowed"}) != 0)
+        return killAndFail("405 check failed");
+
+    // Graceful shutdown: SIGTERM must produce a clean exit 0.
+    if (::kill(pid, SIGTERM) != 0)
+        return killAndFail(std::string("kill: ") +
+                           std::strerror(errno));
+    int wstatus = 0;
+    for (int waited_ms = 0;; waited_ms += 50) {
+        const pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
+        if (r == pid)
+            break;
+        if (waited_ms >= 10000)
+            return killAndFail("monitor did not exit within 10 s of "
+                               "SIGTERM");
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0)
+        return fail("monitor exit status " +
+                    std::to_string(wstatus) + " after SIGTERM");
+
+    // The event log must hold at least one well-formed NDJSON line.
+    std::ifstream ev(events_file);
+    std::string line;
+    if (!std::getline(ev, line) ||
+        line.find("\"measured_w\":") == std::string::npos ||
+        line.find("\"predicted_w\":") == std::string::npos)
+        return fail("event log missing or malformed: " + events_file);
+
+    std::fprintf(stderr,
+                 "gpupm_scrape: monitor selftest passed (clean "
+                 "SIGTERM exit)\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage:\n"
+                     "  gpupm_scrape get <port> <path> "
+                     "[--expect=<s>]... [--status=<n>] "
+                     "[--method=<verb>]\n"
+                     "  gpupm_scrape monitor-selftest <gpupm-binary> "
+                     "<device> --work=<dir>\n");
+        return 2;
+    }
+    const std::string mode = argv[1];
+    if (mode == "get")
+        return cmdGet(argc, argv);
+    if (mode == "monitor-selftest")
+        return cmdMonitorSelftest(argc, argv);
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+}
