@@ -69,6 +69,32 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
         build-asan/tools/gpupm titanx --work=build-asan/monitor_work
 fi
 
+# ThreadSanitizer pass: rebuild the concurrent machinery — the fleet
+# work-stealing pool, watchdog and supervisor, plus the HTTP server
+# and metrics registry it publishes through — under TSan and run
+# their tests. A data race in the fleet stack is an accuracy bug (the
+# chaos gate leans on deterministic merges), so this gate is not
+# optional for fleet changes. Skip with GPUPM_SKIP_TSAN=1.
+if [ "${GPUPM_SKIP_TSAN:-0}" != "1" ]; then
+    cmake -B build-tsan -G Ninja -DGPUPM_TSAN=ON
+    cmake --build build-tsan --target \
+        fleet_test_pool fleet_test_watchdog fleet_test_chaos \
+        fleet_test_shard_io fleet_test_supervisor \
+        fleet_test_chaos_gate obs_test_http_server \
+        obs_test_metrics gpupm_cli
+    for t in build-tsan/tests/fleet_test_* \
+             build-tsan/tests/obs_test_http_server \
+             build-tsan/tests/obs_test_metrics; do
+        [ -f "$t" ] && [ -x "$t" ] || continue
+        echo "== tsan: $t"
+        "$t"
+    done
+    # A whole fleet campaign through the CLI with TSan watching the
+    # pool, watchdog, checkpoint writers and metrics publication.
+    echo "== tsan: gpupm fleet"
+    build-tsan/tools/gpupm fleet 24 --shards=6 --faults > /dev/null
+fi
+
 # Traced end-to-end reproduction run: campaign -> fit -> sweep with
 # the tracer on, then a per-phase wall-clock table sourced from the
 # trace (gpupm_trace_check summary merges overlapping spans, so the
@@ -146,6 +172,12 @@ build/tools/gpupm_bench_check validate "${bench_json[@]}"
 build/tools/gpupm_bench_check bench "$work/BENCH_fig7_validation.json" \
     bench/golden/BENCH_fig7_validation.json --stat-tol=0.5 \
     --time-factor=50
+# The fleet-campaign telemetry is gated the same way: merged accuracy
+# marginals tightly (deterministic by design — the chaos gate depends
+# on it), wall-clock generously. A missing golden is a named
+# `missing-golden` failure (exit 3), never a silent skip.
+build/tools/gpupm_bench_check bench "$work/BENCH_fleet_campaign.json" \
+    bench/golden/BENCH_fleet.json --stat-tol=0.5 --time-factor=50
 echo "==================================================="
 echo "== per-bench wall-clock"
 echo "==================================================="

@@ -17,6 +17,37 @@ namespace gpupm
 namespace model
 {
 
+namespace
+{
+
+/**
+ * The measured grid: the device's full configuration list, or the
+ * intersection with opts.config_subset (reference always kept, device
+ * order preserved so campaigns stay deterministic).
+ */
+std::vector<gpu::FreqConfig>
+campaignGrid(const gpu::DeviceDescriptor &desc,
+             const CampaignOptions &opts)
+{
+    const std::vector<gpu::FreqConfig> all = desc.allConfigs();
+    if (opts.config_subset.empty())
+        return all;
+    const gpu::FreqConfig ref = desc.referenceConfig();
+    std::vector<gpu::FreqConfig> grid;
+    for (const gpu::FreqConfig &cfg : all) {
+        const bool wanted =
+                cfg == ref ||
+                std::find(opts.config_subset.begin(),
+                          opts.config_subset.end(),
+                          cfg) != opts.config_subset.end();
+        if (wanted)
+            grid.push_back(cfg);
+    }
+    return grid;
+}
+
+} // namespace
+
 TrainingData
 runTrainingCampaign(MeasurementBackend &backend,
                     const std::vector<ubench::Microbenchmark> &suite,
@@ -33,7 +64,7 @@ runTrainingCampaign(MeasurementBackend &backend,
     TrainingData data;
     data.device = desc.kind;
     data.reference = desc.referenceConfig();
-    data.configs = desc.allConfigs();
+    data.configs = campaignGrid(desc, opts);
 
     // Performance events at the reference configuration only.
     for (const auto &mb : suite) {
@@ -203,7 +234,8 @@ runResilientTrainingCampaign(
     GPUPM_ASSERT(!suite.empty(), "empty microbenchmark suite");
     const gpu::DeviceDescriptor &desc = backend.descriptor();
     const gpu::FreqConfig reference = desc.referenceConfig();
-    const std::vector<gpu::FreqConfig> grid = desc.allConfigs();
+    const std::vector<gpu::FreqConfig> grid =
+            campaignGrid(desc, opts.base);
     const std::size_t nb = suite.size();
     const std::size_t nc = grid.size();
     GPUPM_ASSERT(nc < kProfileCell, "grid too large for cell seeding");
@@ -240,16 +272,32 @@ runResilientTrainingCampaign(
     const bool checkpointing = !opts.checkpoint_path.empty();
     if (checkpointing &&
         std::filesystem::exists(opts.checkpoint_path)) {
-        CampaignCheckpoint prev =
-                loadCampaignCheckpoint(opts.checkpoint_path);
-        GPUPM_FATAL_IF(prev.seed != ck.seed ||
-                               prev.device != ck.device ||
-                               prev.configs != ck.configs ||
-                               prev.benchmark_names !=
-                                       ck.benchmark_names,
-                       "checkpoint '", opts.checkpoint_path,
-                       "' does not match this campaign (different "
-                       "seed, device, grid or suite)");
+        // A torn or corrupt checkpoint (crash mid-write, bit rot) is
+        // a recoverable condition: the campaign restarts from scratch
+        // rather than aborting, and cells are only ever counted from
+        // a checkpoint that passed the envelope's size and CRC32
+        // checks — a valid prefix resumes, anything else re-runs, and
+        // no cell can be double-counted either way.
+        auto prev_res =
+                tryLoadCampaignCheckpoint(opts.checkpoint_path);
+        if (!prev_res.ok()) {
+            warn("ignoring unusable checkpoint '",
+                       opts.checkpoint_path, "' [",
+                       ioErrcName(prev_res.error().code),
+                       "]: ", prev_res.error().message);
+        } else if (prev_res.value().seed != ck.seed ||
+                   prev_res.value().device != ck.device ||
+                   prev_res.value().configs != ck.configs ||
+                   prev_res.value().benchmark_names !=
+                           ck.benchmark_names) {
+            // A checkpoint that LOADS but belongs to a different
+            // campaign is a user error (wrong --resume path), not a
+            // recoverable fault: proceeding would overwrite it.
+            GPUPM_FATAL("checkpoint '", opts.checkpoint_path,
+                        "' does not match this campaign (different "
+                        "seed, device, grid or suite)");
+        } else {
+        CampaignCheckpoint prev = std::move(prev_res.value());
         long resumed = 0;
         for (char d : prev.utils_done)
             resumed += d ? 1 : 0;
@@ -261,6 +309,7 @@ runResilientTrainingCampaign(
         obs::campaignCellsResumedTotal().inc(resumed);
         inform("resuming campaign from '", opts.checkpoint_path,
                "': ", resumed, " cells already measured");
+        }
     }
 
     long measured_this_run = 0;

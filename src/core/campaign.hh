@@ -39,6 +39,13 @@ struct CampaignOptions
     double min_duration_s = 1.0;
     /** Seed of the sensor / counter noise streams. */
     std::uint64_t seed = 42;
+    /**
+     * When non-empty, restrict the measured grid to these
+     * configurations (the reference configuration is always kept, and
+     * device grid order is preserved); empty measures the full grid.
+     * Fleet campaigns use small subsets to bound per-device cost.
+     */
+    std::vector<gpu::FreqConfig> config_subset;
 };
 
 /** Ground-truth-free view of one measured application. */

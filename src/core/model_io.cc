@@ -42,6 +42,8 @@ fileKindName(FileKind kind)
       case FileKind::Campaign: return "campaign";
       case FileKind::Checkpoint: return "checkpoint";
       case FileKind::Scoreboard: return "scoreboard";
+      case FileKind::FleetShard: return "fleetshard";
+      case FileKind::Fleet: return "fleet";
     }
     return "unknown";
 }
@@ -203,7 +205,8 @@ FileKind
 fileKindOf(std::string_view token)
 {
     for (FileKind k : {FileKind::Model, FileKind::Campaign,
-                       FileKind::Checkpoint, FileKind::Scoreboard})
+                       FileKind::Checkpoint, FileKind::Scoreboard,
+                       FileKind::FleetShard, FileKind::Fleet})
         if (token == fileKindName(k))
             return k;
     failParse(IoErrc::ParseError, "unknown artifact kind '", token,
@@ -1049,6 +1052,46 @@ wrapEnvelope(FileKind kind, const std::string &payload)
     return out;
 }
 
+IoExpected<std::string>
+tryUnwrapEnvelope(const std::string &text, FileKind want)
+{
+    try {
+        Envelope env = unwrapEnvelope(text);
+        if (env.kind != want)
+            failParse(IoErrc::ParseError, "file holds a ",
+                      fileKindName(env.kind), ", expected a ",
+                      fileKindName(want));
+        return std::move(env.payload);
+    } catch (const ParseFail &f) {
+        return f.status;
+    } catch (const std::exception &e) {
+        return IoStatus{IoErrc::ParseError, e.what()};
+    }
+}
+
+IoExpected<std::string>
+tryReadFileText(const std::string &path)
+{
+    return tryReadFile(path);
+}
+
+IoExpected<bool>
+tryWriteFileAtomic(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    const auto written = tryWriteFile(tmp, text);
+    if (!written.ok())
+        return written;
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        return IoStatus{IoErrc::IoError,
+                        detail::concat("cannot move '", tmp,
+                                       "' into place at '", path,
+                                       "': ", ec.message())};
+    return true;
+}
+
 IoExpected<FileKind>
 detectFileKind(const std::string &text)
 {
@@ -1334,19 +1377,7 @@ trySaveCampaignCheckpoint(const CampaignCheckpoint &ck,
     // Write-then-rename so an interrupted write never corrupts an
     // existing checkpoint (rename within a directory is atomic on
     // POSIX filesystems).
-    const std::string tmp = path + ".tmp";
-    const auto written =
-            tryWriteFile(tmp, serializeCampaignCheckpoint(ck));
-    if (!written.ok())
-        return written;
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec)
-        return IoStatus{IoErrc::IoError,
-                        detail::concat("cannot move checkpoint into "
-                                       "place at '",
-                                       path, "': ", ec.message())};
-    return true;
+    return tryWriteFileAtomic(path, serializeCampaignCheckpoint(ck));
 }
 
 CampaignCheckpoint

@@ -81,6 +81,8 @@ enum class FileKind
     Campaign,
     Checkpoint,
     Scoreboard,
+    FleetShard, ///< one shard's device outcomes (src/fleet)
+    Fleet,      ///< merged fleet scoreboard (src/fleet)
 };
 
 /** Envelope token of a file kind ("model" | "campaign" | ...). */
@@ -100,6 +102,29 @@ struct LoadOptions
 
 /** Wrap a payload in the versioned, checksummed v2 envelope. */
 std::string wrapEnvelope(FileKind kind, const std::string &payload);
+
+/**
+ * Verify and strip a v2 envelope of the expected kind: magic, kind,
+ * version, declared payload size and CRC32 are checked in trust order
+ * and the payload returned. Typed errors (ParseError /
+ * VersionMismatch / ChecksumMismatch), never an exception — the
+ * fleet-shard checkpoint loader runs this on files a crashed or
+ * chaos-killed writer may have torn.
+ */
+IoExpected<std::string> tryUnwrapEnvelope(const std::string &text,
+                                          FileKind want);
+
+/** Read a whole file as bytes (typed IoError on failure). */
+IoExpected<std::string> tryReadFileText(const std::string &path);
+
+/**
+ * Write a file crash-safely: the bytes go to `path + ".tmp"` first
+ * and are renamed into place (atomic within a POSIX directory), so an
+ * interrupted writer can never leave a truncated file at `path`. The
+ * value is always `true`.
+ */
+IoExpected<bool> tryWriteFileAtomic(const std::string &path,
+                                    const std::string &text);
 
 /**
  * Sniff the artifact kind of file content: the v2 envelope's kind

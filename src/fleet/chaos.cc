@@ -1,0 +1,68 @@
+#include "chaos.hh"
+
+namespace gpupm
+{
+namespace fleet
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: avalanche a composed decision key. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform [0,1) derived from a decision key. */
+double
+unit(std::uint64_t key)
+{
+    return static_cast<double>(mix(key) >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+ChaosDecision
+chaosForAttempt(const ChaosSpec &spec, int shard, int attempt)
+{
+    ChaosDecision d;
+    if (attempt >= spec.max_faulty_attempts)
+        return d;
+    const std::uint64_t key =
+            mix(spec.seed ^ 0xc4a05u) ^
+            (static_cast<std::uint64_t>(shard) << 20) ^
+            static_cast<std::uint64_t>(attempt);
+    // One draw decides both, mutually exclusively, so the combined
+    // fault rate is simply kill + stall.
+    const double roll = unit(key);
+    d.kill = roll < spec.shard_kill_rate;
+    d.stall = !d.kill &&
+              roll < spec.shard_kill_rate + spec.shard_stall_rate;
+    return d;
+}
+
+bool
+chaosPoisonsDevice(const ChaosSpec &spec, long device_id)
+{
+    if (spec.poison_fraction <= 0.0)
+        return false;
+    const std::uint64_t key = mix(spec.seed ^ 0xde7ec7u) ^
+                              static_cast<std::uint64_t>(device_id);
+    return unit(key) < spec.poison_fraction;
+}
+
+bool
+chaosPoisonIsNan(const ChaosSpec &spec, long device_id)
+{
+    const std::uint64_t key = mix(spec.seed ^ 0xf1a7u) ^
+                              static_cast<std::uint64_t>(device_id);
+    return (mix(key) & 1u) == 0u;
+}
+
+} // namespace fleet
+} // namespace gpupm

@@ -1,0 +1,46 @@
+#include "fleet.hh"
+
+namespace gpupm
+{
+namespace fleet
+{
+
+std::string_view
+deviceFailKindName(DeviceFailKind kind)
+{
+    switch (kind)
+    {
+        case DeviceFailKind::None:
+            return "none";
+        case DeviceFailKind::MeasureFailed:
+            return "measure-failed";
+        case DeviceFailKind::CorruptData:
+            return "corrupt-data";
+        case DeviceFailKind::FitFailed:
+            return "fit-failed";
+        case DeviceFailKind::ShardQuarantined:
+            return "shard-quarantined";
+        case DeviceFailKind::Cancelled:
+            return "cancelled";
+    }
+    return "none";
+}
+
+DeviceFailKind
+deviceFailKindOf(std::string_view name)
+{
+    static constexpr DeviceFailKind kinds[] = {
+            DeviceFailKind::MeasureFailed,
+            DeviceFailKind::CorruptData,
+            DeviceFailKind::FitFailed,
+            DeviceFailKind::ShardQuarantined,
+            DeviceFailKind::Cancelled,
+    };
+    for (DeviceFailKind k : kinds)
+        if (deviceFailKindName(k) == name)
+            return k;
+    return DeviceFailKind::None;
+}
+
+} // namespace fleet
+} // namespace gpupm

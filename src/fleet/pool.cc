@@ -1,0 +1,131 @@
+#include "pool.hh"
+
+namespace gpupm
+{
+namespace fleet
+{
+
+WorkStealingPool::WorkStealingPool(int threads)
+{
+    const std::size_t n =
+            static_cast<std::size_t>(threads < 1 ? 1 : threads);
+    queues_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+WorkStealingPool::submit(Task task)
+{
+    const std::uint64_t slot =
+            next_queue_.fetch_add(1, std::memory_order_relaxed);
+    submitTo(static_cast<int>(slot % queues_.size()),
+             std::move(task));
+}
+
+void
+WorkStealingPool::submitTo(int worker, Task task)
+{
+    const std::size_t slot = static_cast<std::size_t>(
+            worker < 0 ? 0 : worker) % queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[slot]->mu);
+        queues_[slot]->tasks.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void
+WorkStealingPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool
+WorkStealingPool::popOwn(std::size_t self, Task &out)
+{
+    Queue &q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty())
+        return false;
+    out = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+WorkStealingPool::stealOther(std::size_t self, Task &out)
+{
+    const std::size_t n = queues_.size();
+    for (std::size_t step = 1; step < n; ++step)
+    {
+        Queue &q = *queues_[(self + step) % n];
+        std::lock_guard<std::mutex> lock(q.mu);
+        if (q.tasks.empty())
+            continue;
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(std::size_t self)
+{
+    for (;;)
+    {
+        Task task;
+        if (!popOwn(self, task) && !stealOther(self, task))
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            // Re-check under the lock: a task may have landed
+            // between the failed scan and taking the mutex.
+            work_cv_.wait(lock, [this, self] {
+                if (stop_)
+                    return true;
+                for (const auto &q : queues_)
+                {
+                    std::lock_guard<std::mutex> ql(q->mu);
+                    if (!q->tasks.empty())
+                        return true;
+                }
+                return false;
+            });
+            if (stop_)
+                return;
+            continue;
+        }
+        task();
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--pending_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace fleet
+} // namespace gpupm

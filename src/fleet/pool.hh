@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Work-stealing thread pool of the fleet supervisor.
+ *
+ * Each worker owns a deque protected by its own mutex: it pushes and
+ * pops work at the back (LIFO, cache-warm), and when empty steals
+ * from the *front* of a sibling's deque (FIFO, the oldest — least
+ * cache-relevant — task). External submissions round-robin across
+ * queues. A starved pool therefore self-balances: one queue loaded
+ * with long tasks drains through every idle worker, which the fleet
+ * chaos harness exploits by front-loading sleeper tasks.
+ *
+ * The design goal is simplicity under TSan, not peak throughput:
+ * every queue access is under a mutex (no lock-free deque), which at
+ * fleet-campaign granularity (milliseconds per task) is invisible.
+ */
+
+#ifndef GPUPM_FLEET_POOL_HH
+#define GPUPM_FLEET_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpupm
+{
+namespace fleet
+{
+
+class WorkStealingPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** Start `threads` workers (clamped to at least 1). */
+    explicit WorkStealingPool(int threads);
+
+    /** Waits for submitted work, then joins the workers. */
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /** Enqueue a task (round-robin across worker queues). */
+    void submit(Task task);
+
+    /**
+     * Enqueue to a specific worker's queue (modulo thread count).
+     * Tests use this to force an imbalance that must be stolen.
+     */
+    void submitTo(int worker, Task task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    int threadCount() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /** Tasks executed by a worker other than the enqueued one. */
+    long stealCount() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+    /** Tasks executed so far. */
+    long executedCount() const
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Queue
+    {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    bool popOwn(std::size_t self, Task &out);
+    bool stealOther(std::size_t self, Task &out);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    // Sleep/wake and completion tracking. `pending_` counts
+    // submitted-but-unfinished tasks; both condition variables hang
+    // off the same mutex so wait() cannot miss the last decrement.
+    std::mutex mu_;
+    std::condition_variable work_cv_; ///< workers: new work / stop
+    std::condition_variable idle_cv_; ///< wait(): pending_ hit zero
+    long pending_ = 0;
+    bool stop_ = false;
+
+    std::atomic<std::uint64_t> next_queue_{0};
+    std::atomic<long> steals_{0};
+    std::atomic<long> executed_{0};
+};
+
+} // namespace fleet
+} // namespace gpupm
+
+#endif // GPUPM_FLEET_POOL_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The per-shard / per-device work of a fleet campaign.
+ *
+ * One device instance runs the full single-GPU pipeline in miniature:
+ * a strided microbenchmark campaign over a strided V-F configuration
+ * subset on its jittered simulated board, a model fit through the
+ * typed estimator, and a small validation audit scored exactly like
+ * `gpupm audit`. Every failure is classified into DeviceFailKind —
+ * a device never disappears from the fleet silently.
+ *
+ * Everything here is a pure function of (DeviceSpec, campaign knobs):
+ * no shared mutable state, no wall-clock dependence. That purity is
+ * what the chaos gate leans on — a killed-and-retried shard reproduces
+ * its outcomes bit-for-bit, so the merged fleet scoreboard of a chaos
+ * run equals the fault-free run over the surviving devices.
+ */
+
+#ifndef GPUPM_FLEET_SHARD_HH
+#define GPUPM_FLEET_SHARD_HH
+
+#include <vector>
+
+#include "fleet/fleet.hh"
+#include "fleet/watchdog.hh"
+#include "gpu/device.hh"
+
+namespace gpupm
+{
+namespace fleet
+{
+
+/**
+ * The strided V-F configuration subset a fleet device trains on:
+ * the reference memory clock plus one other (when the device has
+ * one), each with core clocks spread across the supported range,
+ * reference configuration always included — small but still
+ * identifiable by the bilinear estimator.
+ */
+std::vector<gpu::FreqConfig>
+fleetConfigSubset(const gpu::DeviceDescriptor &desc, int max_configs);
+
+/**
+ * Run one device's mini campaign + fit + validation audit.
+ * Cancellation is polled at entry; a cancelled device reports
+ * DeviceFailKind::Cancelled without touching the board.
+ */
+DeviceOutcome runDevice(const DeviceSpec &spec,
+                        const FleetOptions &opts,
+                        const CancelToken &token);
+
+/** One shard attempt's outcome. */
+struct ShardAttemptResult
+{
+    /** True when the watchdog cancelled the attempt mid-shard. */
+    bool cancelled = false;
+    std::vector<DeviceOutcome> outcomes;
+};
+
+/**
+ * Run every device of a shard, polling the cancel token between
+ * devices. On cancellation the remaining devices are marked
+ * Cancelled and the attempt is flagged; the supervisor discards a
+ * cancelled attempt's outcomes and retries the whole shard.
+ */
+ShardAttemptResult runShardAttempt(const ShardSpec &shard,
+                                   const FleetOptions &opts,
+                                   const CancelToken &token);
+
+} // namespace fleet
+} // namespace gpupm
+
+#endif // GPUPM_FLEET_SHARD_HH

@@ -1,0 +1,201 @@
+#include "shard_io.hh"
+
+#include <sstream>
+#include <string_view>
+
+#include "common/checksum.hh"
+#include "common/numio.hh"
+
+namespace gpupm
+{
+namespace fleet
+{
+
+namespace
+{
+
+using model::IoErrc;
+using model::IoExpected;
+using model::IoStatus;
+
+constexpr std::string_view kPayloadMagic = "gpupm-fleetshard-v1";
+
+IoStatus
+parseError(const std::string &message)
+{
+    return IoStatus{IoErrc::ParseError, message};
+}
+
+std::string
+deviceLine(const DeviceSpec &spec)
+{
+    std::ostringstream os;
+    os << spec.id << ' ' << static_cast<int>(spec.kind) << ' '
+       << spec.seed << ' ' << (spec.poison_nan ? 1 : 0) << ' '
+       << (spec.poison_config ? 1 : 0);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+shardCheckpointPath(const std::string &dir, int index)
+{
+    return dir + "/shard-" + std::to_string(index) + ".ck";
+}
+
+std::string
+fleetFingerprint(const FleetOptions &opts, const ShardSpec &shard)
+{
+    std::ostringstream os;
+    os << "fleet-fingerprint-v1\n"
+       << opts.seed << ' ' << numio::formatDouble(opts.jitter_frac)
+       << ' ' << opts.power_repetitions << ' '
+       << numio::formatDouble(opts.min_duration_s) << ' '
+       << opts.suite_stride << ' ' << opts.max_configs << ' '
+       << opts.validation_apps << ' ' << opts.validation_configs
+       << '\n'
+       << "shard " << shard.index << '\n';
+    for (const DeviceSpec &spec : shard.devices)
+        os << deviceLine(spec) << '\n';
+    return checksum::crc32Hex(
+            checksum::crc32(os.str()));
+}
+
+std::string
+serializeShardResult(const ShardResult &result,
+                     const FleetOptions &opts, const ShardSpec &shard)
+{
+    std::ostringstream os;
+    os << kPayloadMagic << '\n'
+       << "fingerprint " << fleetFingerprint(opts, shard) << '\n'
+       << "shard " << result.index << " attempts " << result.attempts
+       << " devices " << result.outcomes.size() << '\n';
+    for (const DeviceOutcome &o : result.outcomes)
+    {
+        os << "device " << o.id << ' ' << static_cast<int>(o.kind)
+           << ' ' << (o.ok ? 1 : 0) << ' '
+           << deviceFailKindName(o.fail) << ' ' << o.stats.samples
+           << ' ' << numio::formatDouble(o.stats.mae_pct)
+           << ' ' << numio::formatDouble(o.stats.rmse_w)
+           << ' '
+           << numio::formatDouble(o.stats.max_err_pct) << ' '
+           << numio::formatDouble(o.stats.mean_measured_w)
+           << ' ' << numio::formatDouble(o.fit_rmse_w) << ' '
+           << o.fit_iterations << '\n';
+        os << "message " << o.message << '\n';
+    }
+    return model::wrapEnvelope(model::FileKind::FleetShard, os.str());
+}
+
+model::IoExpected<ShardResult>
+tryParseShardResult(const std::string &text, const FleetOptions &opts,
+                    const ShardSpec &shard)
+{
+    IoExpected<std::string> payload = model::tryUnwrapEnvelope(
+            text, model::FileKind::FleetShard);
+    if (!payload.ok())
+        return payload.error();
+
+    std::istringstream is(payload.value());
+    std::string line;
+    if (!std::getline(is, line) || line != kPayloadMagic)
+        return parseError("missing fleetshard payload magic");
+
+    if (!std::getline(is, line))
+        return parseError("missing fingerprint line");
+    {
+        std::istringstream ls(line);
+        std::string tag, fp;
+        if (!(ls >> tag >> fp) || tag != "fingerprint")
+            return parseError("malformed fingerprint line");
+        if (fp != fleetFingerprint(opts, shard))
+            return IoStatus{
+                    IoErrc::ValidationError,
+                    "checkpoint fingerprint does not match this "
+                    "fleet configuration"};
+    }
+
+    ShardResult result;
+    long n_devices = 0;
+    {
+        if (!std::getline(is, line))
+            return parseError("missing shard header line");
+        std::istringstream ls(line);
+        std::string t1, t2, t3;
+        if (!(ls >> t1 >> result.index >> t2 >> result.attempts >>
+              t3 >> n_devices) ||
+            t1 != "shard" || t2 != "attempts" || t3 != "devices")
+            return parseError("malformed shard header line");
+        if (result.index != shard.index)
+            return IoStatus{IoErrc::ValidationError,
+                            "checkpoint is for a different shard"};
+        if (n_devices < 0 ||
+            n_devices !=
+                    static_cast<long>(shard.devices.size()))
+            return IoStatus{IoErrc::ValidationError,
+                            "checkpoint device count does not match "
+                            "the shard"};
+    }
+
+    for (long i = 0; i < n_devices; ++i)
+    {
+        if (!std::getline(is, line))
+            return parseError("truncated device list");
+        std::istringstream ls(line);
+        std::string tag, fail_name;
+        DeviceOutcome o;
+        int kind = 0, ok = 0;
+        std::string mae, rmse, maxerr, meanmeas, fitrmse;
+        if (!(ls >> tag >> o.id >> kind >> ok >> fail_name >>
+              o.stats.samples >> mae >> rmse >> maxerr >> meanmeas >>
+              fitrmse >> o.fit_iterations) ||
+            tag != "device")
+            return parseError("malformed device line");
+        if (kind < 0 || kind > 2)
+            return parseError("device kind out of range");
+        o.kind = static_cast<gpu::DeviceKind>(kind);
+        o.ok = ok != 0;
+        o.fail = deviceFailKindOf(fail_name);
+        if (!o.ok && o.fail == DeviceFailKind::None)
+            return parseError("failed device with no failure kind");
+        if (!numio::parseDouble(mae, o.stats.mae_pct) ||
+            !numio::parseDouble(rmse, o.stats.rmse_w) ||
+            !numio::parseDouble(maxerr,
+                                        o.stats.max_err_pct) ||
+            !numio::parseDouble(meanmeas,
+                                        o.stats.mean_measured_w) ||
+            !numio::parseDouble(fitrmse, o.fit_rmse_w))
+            return parseError("unparseable device statistics");
+
+        if (!std::getline(is, line) ||
+            line.rfind("message ", 0) != 0)
+            return parseError("missing device message line");
+        o.message = line.substr(8);
+        result.outcomes.push_back(std::move(o));
+    }
+    result.resumed = true;
+    return result;
+}
+
+model::IoExpected<ShardResult>
+tryLoadShardResult(const std::string &path, const FleetOptions &opts,
+                   const ShardSpec &shard)
+{
+    IoExpected<std::string> text = model::tryReadFileText(path);
+    if (!text.ok())
+        return text.error();
+    return tryParseShardResult(text.value(), opts, shard);
+}
+
+model::IoExpected<bool>
+trySaveShardResult(const ShardResult &result,
+                   const FleetOptions &opts, const ShardSpec &shard,
+                   const std::string &path)
+{
+    return model::tryWriteFileAtomic(
+            path, serializeShardResult(result, opts, shard));
+}
+
+} // namespace fleet
+} // namespace gpupm

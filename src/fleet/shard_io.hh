@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Crash-safe persistence of per-shard fleet results.
+ *
+ * Each completed shard is written as a v2 "fleetshard" envelope
+ * (CRC32 + declared size) around a line-oriented text payload, via
+ * write-to-temp + atomic rename — a killed writer can tear the
+ * temporary file but never the checkpoint itself. A resumed fleet
+ * campaign loads whatever shard checkpoints verify: a torn, corrupt
+ * or stale file comes back as a typed IoStatus and the shard simply
+ * re-runs; nothing aborts and nothing is double-counted.
+ *
+ * Stale checkpoints are rejected by fingerprint: a CRC32 over every
+ * option that shapes device outcomes plus the shard's device specs,
+ * so changing the fleet seed, the campaign knobs or the sharding
+ * invalidates old checkpoints instead of silently merging them.
+ */
+
+#ifndef GPUPM_FLEET_SHARD_IO_HH
+#define GPUPM_FLEET_SHARD_IO_HH
+
+#include <string>
+
+#include "core/model_io.hh"
+#include "fleet/fleet.hh"
+
+namespace gpupm
+{
+namespace fleet
+{
+
+/** Checkpoint path of one shard inside a fleet checkpoint dir. */
+std::string shardCheckpointPath(const std::string &dir, int index);
+
+/**
+ * CRC32 fingerprint of everything that shapes this shard's outcomes:
+ * campaign knobs, jitter, and the shard's device specs (ids, kinds,
+ * seeds, poison flags).
+ */
+std::string fleetFingerprint(const FleetOptions &opts,
+                             const ShardSpec &shard);
+
+/** Serialize a shard result (v2 fleetshard envelope). */
+std::string serializeShardResult(const ShardResult &result,
+                                 const FleetOptions &opts,
+                                 const ShardSpec &shard);
+
+/**
+ * Parse serializeShardResult output, verifying the envelope and the
+ * fingerprint against (opts, shard). Typed errors throughout:
+ * ParseError / ChecksumMismatch / VersionMismatch from the envelope,
+ * ValidationError when the checkpoint is from a different fleet
+ * configuration or shard.
+ */
+model::IoExpected<ShardResult>
+tryParseShardResult(const std::string &text, const FleetOptions &opts,
+                    const ShardSpec &shard);
+
+/** Read + parse + verify a shard checkpoint file. */
+model::IoExpected<ShardResult>
+tryLoadShardResult(const std::string &path, const FleetOptions &opts,
+                   const ShardSpec &shard);
+
+/** Write a shard checkpoint (write-to-temp + atomic rename). */
+model::IoExpected<bool>
+trySaveShardResult(const ShardResult &result, const FleetOptions &opts,
+                   const ShardSpec &shard, const std::string &path);
+
+} // namespace fleet
+} // namespace gpupm
+
+#endif // GPUPM_FLEET_SHARD_IO_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The fleet-campaign supervisor (tentpole of DESIGN.md §12).
+ *
+ * runFleetCampaign() instantiates N simulated device instances,
+ * shards them across the work-stealing pool, and survives injected
+ * failure at every level of the stack:
+ *
+ *  - a shard attempt that hangs is cancelled by the watchdog;
+ *  - a failed or cancelled attempt is retried under seeded
+ *    exponential backoff up to the shard retry budget;
+ *  - a shard past its budget is quarantined — its devices appear in
+ *    the report as shard-quarantined failures, never silently gone;
+ *  - completed shards are checkpointed crash-safely (v2 fleetshard
+ *    envelope, write-to-temp + atomic rename) and resumed on the
+ *    next run, so a killed fleet campaign re-runs only what it lost;
+ *  - poisoned devices (chaos) fail their own mini campaign and are
+ *    reported per-device without taking their shard down.
+ *
+ * The merged scoreboard is deterministic: outcomes depend only on
+ * (DeviceSpec, campaign knobs) and the merge sorts by device id, so
+ * completion order, steal pattern, retries and chaos leave the
+ * accuracy payload bit-identical over the surviving devices.
+ */
+
+#ifndef GPUPM_FLEET_SUPERVISOR_HH
+#define GPUPM_FLEET_SUPERVISOR_HH
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hh"
+#include "fleet/merge.hh"
+
+namespace gpupm
+{
+namespace fleet
+{
+
+/** Everything a fleet campaign produced and survived. */
+struct FleetResult
+{
+    FleetScoreboard scoreboard;
+    /** Per-shard results, ascending shard index. */
+    std::vector<ShardResult> shards;
+
+    long shard_retries = 0;
+    int shards_quarantined = 0;
+    int shards_resumed = 0;
+    long watchdog_fires = 0;
+    long chaos_kills = 0;
+    long chaos_stalls = 0;
+    long pool_steals = 0;
+
+    /** Human-readable campaign + scoreboard summary. */
+    std::string summary() const;
+
+    /** Full JSON report (accuracy + failure + supervisor counters). */
+    std::string toJson() const;
+};
+
+/**
+ * The fleet's device instances: architectures round-robined in the
+ * paper's device order, per-instance seeds derived from (fleet seed,
+ * id), poison flags drawn from the chaos spec.
+ */
+std::vector<DeviceSpec> buildFleetSpecs(const FleetOptions &opts);
+
+/** Contiguous near-even sharding of the device list. */
+std::vector<ShardSpec> shardDevices(
+        const std::vector<DeviceSpec> &devices, int shards);
+
+/** Run a fleet campaign over buildFleetSpecs(opts). */
+FleetResult runFleetCampaign(const FleetOptions &opts);
+
+/**
+ * Run a fleet campaign over an explicit device list (the chaos gate
+ * re-runs exactly the surviving devices of a chaos run).
+ */
+FleetResult runFleetCampaign(const FleetOptions &opts,
+                             const std::vector<DeviceSpec> &devices);
+
+/** Publish gpupm_fleet_* metrics to Registry::global(). */
+void publishFleetMetrics(const FleetResult &result);
+
+} // namespace fleet
+} // namespace gpupm
+
+#endif // GPUPM_FLEET_SUPERVISOR_HH

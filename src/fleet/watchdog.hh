@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deadline watchdog of the fleet supervisor.
+ *
+ * A shard attempt arms the watchdog with a wall-clock deadline and a
+ * cancellation token before starting work, and disarms it when done.
+ * A single scanner thread wakes at the earliest pending deadline; a
+ * deadline that passes while still armed fires: the token is set and
+ * the fire is counted. Cancellation is cooperative — the shard's
+ * device loop polls the token between devices and between
+ * measurements, so a stalled attempt unwinds at the next poll rather
+ * than being destroyed mid-write (which is exactly what keeps the
+ * crash-safe checkpoint invariant intact).
+ */
+
+#ifndef GPUPM_FLEET_WATCHDOG_HH
+#define GPUPM_FLEET_WATCHDOG_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace gpupm
+{
+namespace fleet
+{
+
+/** Shared cancellation flag polled by cooperative shard work. */
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+inline CancelToken
+makeCancelToken()
+{
+    return std::make_shared<std::atomic<bool>>(false);
+}
+
+inline bool
+cancelled(const CancelToken &token)
+{
+    return token && token->load(std::memory_order_acquire);
+}
+
+class Watchdog
+{
+  public:
+    Watchdog();
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Watch `token`: if not disarmed within `deadline_s` seconds, the
+     * token is cancelled. Returns a handle for disarm().
+     */
+    long arm(double deadline_s, CancelToken token);
+
+    /**
+     * Stop watching. Returns false when the entry already fired (or
+     * the handle is unknown), true when disarmed in time.
+     */
+    bool disarm(long id);
+
+    /** Deadlines that expired while still armed. */
+    long firedCount() const
+    {
+        return fired_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Entry
+    {
+        Clock::time_point deadline;
+        CancelToken token;
+    };
+
+    void scanLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<long, Entry> armed_;
+    long next_id_ = 1;
+    bool stop_ = false;
+    std::atomic<long> fired_{0};
+    std::thread scanner_;
+};
+
+} // namespace fleet
+} // namespace gpupm
+
+#endif // GPUPM_FLEET_WATCHDOG_HH

@@ -138,6 +138,7 @@ httpStatusReason(int status)
       case 400: return "Bad Request";
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
       case 431: return "Request Header Fields Too Large";
       case 500: return "Internal Server Error";
       case 503: return "Service Unavailable";
@@ -263,7 +264,6 @@ HttpServer::serveLoop()
         timeval tv{};
         tv.tv_sec = kSocketTimeoutMs / 1000;
         tv.tv_usec = (kSocketTimeoutMs % 1000) * 1000;
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
         handleConnection(fd);
         ::close(fd);
@@ -274,14 +274,43 @@ HttpServer::serveLoop()
 void
 HttpServer::handleConnection(int fd)
 {
+    // Two clocks bound a read: the per-recv idle gap (kSocketTimeoutMs
+    // of silence closes the connection) and the cumulative
+    // read_deadline_ms budget, without which a slowloris client
+    // trickling one byte per idle window would pin the
+    // single-threaded accept loop indefinitely.
+    using clock = std::chrono::steady_clock;
+    const auto deadline =
+            clock::now() +
+            std::chrono::milliseconds(limits_.read_deadline_ms);
+
     std::string buf;
     HttpRequest req;
     HttpParse parsed = HttpParse::Incomplete;
+    bool timed_out = false;
     char chunk[2048];
     while (parsed == HttpParse::Incomplete) {
+        const long remaining_ms =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - clock::now())
+                        .count();
+        if (remaining_ms <= 0) {
+            timed_out = true;
+            break;
+        }
+        const long wait_ms =
+                std::min<long>(remaining_ms, kSocketTimeoutMs);
+        timeval tv{};
+        tv.tv_sec = wait_ms / 1000;
+        tv.tv_usec = (wait_ms % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
         const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            timed_out = true; // idle past the per-recv window
+            break;
+        }
         if (n <= 0)
-            break; // peer closed / timed out mid-request
+            break; // peer closed / error mid-request
         buf.append(chunk, static_cast<std::size_t>(n));
         parsed = parseHttpRequest(buf, req, limits_);
     }
@@ -297,9 +326,14 @@ HttpServer::handleConnection(int fd)
         httpRequestsRejectedTotal().inc();
         break;
       case HttpParse::Malformed:
-      case HttpParse::Incomplete: // EOF before a complete head
-        resp.status = 400;
-        resp.body = "malformed request\n";
+      case HttpParse::Incomplete: // EOF or deadline before a head
+        if (timed_out && parsed == HttpParse::Incomplete) {
+            resp.status = 408;
+            resp.body = "request read deadline exceeded\n";
+        } else {
+            resp.status = 400;
+            resp.body = "malformed request\n";
+        }
         httpRequestsRejectedTotal().inc();
         break;
     }

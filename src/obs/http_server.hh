@@ -40,6 +40,14 @@ struct HttpLimits
     std::size_t max_request_bytes = 8192; ///< head incl. all headers
     std::size_t max_target_bytes = 2048;  ///< request-target length
     std::size_t max_header_count = 64;
+    /**
+     * Cumulative budget for reading one request head, milliseconds.
+     * The per-recv idle timeout alone cannot stop a slowloris-style
+     * client that trickles one byte just inside each idle window and
+     * pins the single-threaded accept loop forever; past this
+     * deadline the connection is answered 408 and closed.
+     */
+    int read_deadline_ms = 5000;
 };
 
 /** One parsed GET-style request head (no body handling). */

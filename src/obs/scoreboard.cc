@@ -78,6 +78,30 @@ scoreOf(const std::vector<const ResidualSample *> &group)
     return st;
 }
 
+ScoreStats
+combineScoreStats(const std::vector<ScoreStats> &groups)
+{
+    ScoreStats out;
+    double mae_sum = 0.0, sq_sum = 0.0, meas_sum = 0.0;
+    for (const ScoreStats &g : groups) {
+        if (g.samples <= 0)
+            continue;
+        const double n = static_cast<double>(g.samples);
+        out.samples += g.samples;
+        mae_sum += g.mae_pct * n;
+        sq_sum += g.rmse_w * g.rmse_w * n;
+        meas_sum += g.mean_measured_w * n;
+        out.max_err_pct = std::max(out.max_err_pct, g.max_err_pct);
+    }
+    if (out.samples > 0) {
+        const double n = static_cast<double>(out.samples);
+        out.mae_pct = mae_sum / n;
+        out.rmse_w = std::sqrt(sq_sum / n);
+        out.mean_measured_w = meas_sum / n;
+    }
+    return out;
+}
+
 Scoreboard
 Scoreboard::fromSamples(int device, std::string device_name,
                         gpu::FreqConfig reference,

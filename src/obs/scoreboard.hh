@@ -33,10 +33,22 @@ struct ScoreStats
     double rmse_w = 0.0;          ///< RMSE in watts
     double max_err_pct = 0.0;     ///< largest |err|, percent
     double mean_measured_w = 0.0; ///< group's mean measured power
+
+    bool operator==(const ScoreStats &) const = default;
 };
 
 /** Compute ScoreStats over a span of samples. */
 ScoreStats scoreOf(const std::vector<const ResidualSample *> &group);
+
+/**
+ * Combine already-aggregated groups into one ScoreStats without the
+ * underlying samples: MAE and mean measured power are sample-weighted
+ * means, RMSE the sample-weighted root of mean squares, max error the
+ * maximum. Exact (equal to scoreOf over the union) because each input
+ * carries its sample count. Fleet merges use this to roll per-device
+ * scores into per-architecture and overall marginals.
+ */
+ScoreStats combineScoreStats(const std::vector<ScoreStats> &groups);
 
 /** Per-application row (Fig. 7). */
 struct AppScore

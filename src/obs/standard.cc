@@ -361,6 +361,98 @@ monitorSampleSeconds()
                            secondsBuckets());
 }
 
+Counter &
+fleetCampaignsTotal()
+{
+    return reg().counter("gpupm_fleet_campaigns_total",
+                         "Fleet campaigns run");
+}
+
+Gauge &
+fleetDevicesTotal()
+{
+    return reg().gauge("gpupm_fleet_devices",
+                       "Device instances in the last fleet campaign");
+}
+
+Gauge &
+fleetDevicesFailed()
+{
+    return reg().gauge(
+            "gpupm_fleet_devices_failed",
+            "Devices without a usable model in the last campaign");
+}
+
+Counter &
+fleetShardRetriesTotal()
+{
+    return reg().counter("gpupm_fleet_shard_retries_total",
+                         "Shard attempts beyond each shard's first");
+}
+
+Counter &
+fleetShardsQuarantinedTotal()
+{
+    return reg().counter(
+            "gpupm_fleet_shards_quarantined_total",
+            "Shards abandoned after the retry budget");
+}
+
+Counter &
+fleetChaosKillsTotal()
+{
+    return reg().counter("gpupm_fleet_chaos_kills_total",
+                         "Chaos-injected shard kills");
+}
+
+Counter &
+fleetChaosStallsTotal()
+{
+    return reg().counter("gpupm_fleet_chaos_stalls_total",
+                         "Chaos-injected shard stalls");
+}
+
+Counter &
+fleetWatchdogFiresTotal()
+{
+    return reg().counter(
+            "gpupm_fleet_watchdog_fires_total",
+            "Shard attempts cancelled at the watchdog deadline");
+}
+
+Counter &
+fleetPoolStealsTotal()
+{
+    return reg().counter("gpupm_fleet_pool_steals_total",
+                         "Tasks stolen across worker queues");
+}
+
+Gauge &
+fleetOverallMaePct()
+{
+    return reg().gauge(
+            "gpupm_fleet_mae_pct",
+            "Merged validation MAE over healthy devices, percent");
+}
+
+Gauge &
+fleetArchMaePct(const std::string &arch)
+{
+    return reg().gauge(
+            "gpupm_fleet_arch_mae_pct",
+            "arch=\"" + Registry::labelEscape(arch) + "\"",
+            "Per-architecture validation MAE, percent");
+}
+
+Gauge &
+fleetArchDevicesOk(const std::string &arch)
+{
+    return reg().gauge(
+            "gpupm_fleet_arch_devices_ok",
+            "arch=\"" + Registry::labelEscape(arch) + "\"",
+            "Per-architecture healthy-device count");
+}
+
 void
 registerStandardMetrics()
 {
@@ -400,6 +492,16 @@ registerStandardMetrics()
     buildInfo();
     processUptimeSeconds();
     httpRequestsRejectedTotal();
+    fleetCampaignsTotal();
+    fleetDevicesTotal();
+    fleetDevicesFailed();
+    fleetShardRetriesTotal();
+    fleetShardsQuarantinedTotal();
+    fleetChaosKillsTotal();
+    fleetChaosStallsTotal();
+    fleetWatchdogFiresTotal();
+    fleetPoolStealsTotal();
+    fleetOverallMaePct();
     monitorTicksTotal();
     monitorProbeFailuresTotal();
     monitorLastMeasuredW();

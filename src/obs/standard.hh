@@ -108,6 +108,23 @@ Gauge &monitorLastPredictedW();
 Gauge &monitorSampleAgeSeconds();
 Histogram &monitorSampleSeconds();
 
+// -- Fleet campaigns (src/fleet) -------------------------------------
+
+Counter &fleetCampaignsTotal();
+Gauge &fleetDevicesTotal();
+Gauge &fleetDevicesFailed();
+Counter &fleetShardRetriesTotal();
+Counter &fleetShardsQuarantinedTotal();
+Counter &fleetChaosKillsTotal();
+Counter &fleetChaosStallsTotal();
+Counter &fleetWatchdogFiresTotal();
+Counter &fleetPoolStealsTotal();
+Gauge &fleetOverallMaePct();
+/** Per-architecture marginal MAE, labelled arch="Pascal"|... */
+Gauge &fleetArchMaePct(const std::string &arch);
+/** Per-architecture healthy-device count, labelled like above. */
+Gauge &fleetArchDevicesOk(const std::string &arch);
+
 /**
  * Register the whole catalog in Registry::global(). Idempotent;
  * called by the CLI before any dump.

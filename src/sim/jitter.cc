@@ -1,0 +1,55 @@
+#include "jitter.hh"
+
+#include <algorithm>
+
+#include "common/random.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+namespace
+{
+
+/**
+ * One multiplicative jitter factor: N(1, frac) clamped to three
+ * sigmas and to a strictly positive floor. The draw order in
+ * jitteredGroundTruth is fixed, so a given (seed, frac) always maps
+ * to the same board.
+ */
+double
+factor(Rng &rng, double frac)
+{
+    const double f = rng.normal(1.0, frac);
+    const double lo = std::max(0.05, 1.0 - 3.0 * frac);
+    const double hi = 1.0 + 3.0 * frac;
+    return std::clamp(f, lo, hi);
+}
+
+} // namespace
+
+GroundTruth
+jitteredGroundTruth(gpu::DeviceKind kind, std::uint64_t instance_seed,
+                    double jitter_frac)
+{
+    GroundTruth truth = PhysicalGpu::defaultGroundTruth(kind);
+    if (jitter_frac <= 0.0)
+        return truth;
+
+    // Stream decorrelated from the measurement-noise streams, which
+    // use the raw seed.
+    Rng rng(instance_seed ^ 0xf1ee7c0ffee12345ull);
+    truth.static_core_w *= factor(rng, jitter_frac);
+    truth.idle_core_w_ghz *= factor(rng, jitter_frac);
+    truth.static_mem_w *= factor(rng, jitter_frac);
+    truth.idle_mem_w_ghz *= factor(rng, jitter_frac);
+    for (double &gamma : truth.gamma_w_ghz)
+        gamma *= factor(rng, jitter_frac);
+    truth.gamma_issue_w_ghz *= factor(rng, jitter_frac);
+    truth.gamma_active_w_ghz *= factor(rng, jitter_frac);
+    return truth;
+}
+
+} // namespace sim
+} // namespace gpupm

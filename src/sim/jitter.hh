@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Per-instance ground-truth jitter: the manufacturing variation that
+ * makes a fleet of nominally identical boards behave differently.
+ *
+ * The paper fits one model per physical GPU; a datacenter deployment
+ * fits thousands, and no two boards of the same SKU share exact
+ * static power or dynamic coefficients (process corners, binning,
+ * thermal paste lottery). jitteredGroundTruth() derives a plausible
+ * per-instance GroundTruth from the architecture default by scaling
+ * every hidden coefficient with a seeded lognormal-ish factor — the
+ * same (kind, seed, fraction) always yields the same board, so fleet
+ * campaigns are reproducible device by device.
+ */
+
+#ifndef GPUPM_SIM_JITTER_HH
+#define GPUPM_SIM_JITTER_HH
+
+#include <cstdint>
+
+#include "sim/physical_gpu.hh"
+
+namespace gpupm
+{
+namespace sim
+{
+
+/**
+ * The architecture's default GroundTruth with every power coefficient
+ * scaled by its own deterministic factor drawn from
+ * N(1, jitter_frac), clamped to [1 - 3*frac, 1 + 3*frac] and kept
+ * strictly positive. Voltage curves and thermal fields are left
+ * untouched so the jittered board stays physically well-formed.
+ */
+GroundTruth jitteredGroundTruth(gpu::DeviceKind kind,
+                                std::uint64_t instance_seed,
+                                double jitter_frac = 0.05);
+
+} // namespace sim
+} // namespace gpupm
+
+#endif // GPUPM_SIM_JITTER_HH

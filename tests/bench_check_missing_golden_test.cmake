@@ -1,0 +1,45 @@
+# A regression gate whose golden file vanished must fail loudly with
+# the named `missing-golden` error (exit 3) instead of skipping — for
+# both the bench-telemetry and the scoreboard subcommands, and
+# regardless of whether the run-side artifact is fine.
+file(MAKE_DIRECTORY ${WORK})
+file(WRITE ${WORK}/run.json "{}")
+
+execute_process(
+    COMMAND ${BENCH_CHECK} bench ${WORK}/run.json ${WORK}/no_such_golden.json
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+    message(FATAL_ERROR "bench with missing golden exited ${rc}, want 3")
+endif()
+if(NOT err MATCHES "missing-golden")
+    message(FATAL_ERROR "bench error lacks the named error: ${err}")
+endif()
+
+execute_process(
+    COMMAND ${BENCH_CHECK} scoreboard ${WORK}/run.json ${WORK}/no_such_golden.sb
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+    message(FATAL_ERROR "scoreboard with missing golden exited ${rc}, want 3")
+endif()
+if(NOT err MATCHES "missing-golden")
+    message(FATAL_ERROR "scoreboard error lacks the named error: ${err}")
+endif()
+
+# An unreadable golden (a directory at the path) is the same failure.
+file(MAKE_DIRECTORY ${WORK}/golden_is_a_dir)
+execute_process(
+    COMMAND ${BENCH_CHECK} bench ${WORK}/run.json ${WORK}/golden_is_a_dir
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+    message(FATAL_ERROR "bench with unreadable golden exited ${rc}, want 3")
+endif()
+
+# A present-but-invalid golden is a normal gate failure (1), not a
+# missing-golden (3): the two conditions stay distinguishable.
+file(WRITE ${WORK}/bad_golden.json "not json")
+execute_process(
+    COMMAND ${BENCH_CHECK} bench ${WORK}/run.json ${WORK}/bad_golden.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "bench with invalid golden exited ${rc}, want 1")
+endif()

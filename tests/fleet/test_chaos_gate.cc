@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The chaos gate (acceptance criterion of the fleet tentpole): a
+ * 200-device fleet campaign runs under shard kills that tear
+ * checkpoints mid-write plus poisoned device instances, completes
+ * with every failure explicitly accounted, and its merged accuracy
+ * scoreboard is BIT-IDENTICAL to a fault-free run restricted to the
+ * surviving devices — graceful degradation with zero silent skew.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fleet/supervisor.hh"
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+class ChaosGateTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::Registry::global().reset(); }
+    void TearDown() override { obs::Registry::global().reset(); }
+};
+
+TEST_F(ChaosGateTest, TwoHundredDeviceFleetSurvivesChaosBitForBit)
+{
+    const std::string dir =
+            (std::filesystem::temp_directory_path() /
+             "gpupm_chaos_gate_test")
+                    .string();
+    std::filesystem::remove_all(dir);
+
+    fleet::FleetOptions chaos_opts;
+    chaos_opts.devices = 200;
+    chaos_opts.shards = 24;
+    chaos_opts.seed = 42;
+    chaos_opts.checkpoint_dir = dir; // kills tear real files here
+    chaos_opts.chaos.seed = 2026;
+    chaos_opts.chaos.shard_kill_rate = 0.35;
+    chaos_opts.chaos.poison_fraction = 0.08;
+    const auto chaos_run = fleet::runFleetCampaign(chaos_opts);
+
+    // The injection actually happened at meaningful volume: >=10%
+    // of shards killed mid-checkpoint, and poisoned devices exist.
+    EXPECT_GE(chaos_run.chaos_kills,
+              static_cast<long>(chaos_opts.shards) / 10 + 1);
+    EXPECT_GE(chaos_run.shard_retries, chaos_run.chaos_kills);
+    EXPECT_GT(chaos_run.scoreboard.devices_failed, 0);
+    EXPECT_EQ(chaos_run.shards_quarantined, 0)
+            << "kills are bounded by max_faulty_attempts and must "
+               "recover within the retry budget";
+
+    // Explicit accounting: the failed devices are exactly the
+    // poisoned ones, each with the failure kind its poison flavor
+    // implies; nothing else was lost and nothing vanished silently.
+    const auto specs = fleet::buildFleetSpecs(chaos_opts);
+    std::set<long> poisoned;
+    for (const auto &spec : specs)
+        if (spec.poison_nan || spec.poison_config)
+            poisoned.insert(spec.id);
+    ASSERT_GT(poisoned.size(), 0u);
+    ASSERT_EQ(chaos_run.scoreboard.failures.size(),
+              poisoned.size());
+    for (const auto &failure : chaos_run.scoreboard.failures) {
+        EXPECT_TRUE(poisoned.count(failure.id))
+                << "device " << failure.id
+                << " failed without being poisoned";
+        const auto &spec =
+                specs[static_cast<std::size_t>(failure.id)];
+        EXPECT_EQ(failure.fail,
+                  spec.poison_nan
+                          ? fleet::DeviceFailKind::CorruptData
+                          : fleet::DeviceFailKind::MeasureFailed);
+    }
+    EXPECT_EQ(chaos_run.scoreboard.devices_ok +
+                      chaos_run.scoreboard.devices_failed,
+              200);
+
+    // Fault-free reference run over exactly the surviving devices:
+    // different sharding, no chaos, no checkpoints — the merged
+    // accuracy payload must still match bit for bit.
+    std::vector<fleet::DeviceSpec> survivors;
+    for (const auto &spec : specs)
+        if (!poisoned.count(spec.id))
+            survivors.push_back(spec);
+    ASSERT_EQ(static_cast<long>(survivors.size()),
+              chaos_run.scoreboard.devices_ok);
+
+    fleet::FleetOptions clean_opts = chaos_opts;
+    clean_opts.chaos = fleet::ChaosSpec{};
+    clean_opts.checkpoint_dir.clear();
+    clean_opts.shards = 7; // sharding must not matter either
+    const auto clean_run =
+            fleet::runFleetCampaign(clean_opts, survivors);
+    EXPECT_EQ(clean_run.scoreboard.devices_failed, 0);
+    EXPECT_EQ(chaos_run.scoreboard.toJson(false),
+              clean_run.scoreboard.toJson(false));
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests of the work-stealing pool: completion accounting, stealing
+ * under a forced imbalance, nested submission from inside a running
+ * task (the supervisor's retry path), and the single-thread clamp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "fleet/pool.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+TEST(WorkStealingPool, ExecutesEverySubmittedTask)
+{
+    fleet::WorkStealingPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 200);
+    EXPECT_EQ(pool.executedCount(), 200);
+}
+
+TEST(WorkStealingPool, StealsFromAnOverloadedQueue)
+{
+    fleet::WorkStealingPool pool(4);
+    ASSERT_EQ(pool.threadCount(), 4);
+    std::atomic<int> ran{0};
+    // Everything lands on worker 0's queue; the other three workers
+    // have nothing of their own and must steal to participate.
+    for (int i = 0; i < 64; ++i)
+        pool.submitTo(0, [&ran] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ran.fetch_add(1);
+        });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 64);
+    EXPECT_GT(pool.stealCount(), 0);
+}
+
+TEST(WorkStealingPool, WaitCoversTasksSubmittedByTasks)
+{
+    // The supervisor's retry path submits follow-up work from inside
+    // a running task; wait() must not return between the parent
+    // finishing and the child starting.
+    fleet::WorkStealingPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        pool.submit([&] {
+            std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            pool.submit([&ran] { ran.fetch_add(1); });
+            ran.fetch_add(1);
+        });
+        ran.fetch_add(1);
+    });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(WorkStealingPool, ClampsToAtLeastOneWorker)
+{
+    fleet::WorkStealingPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran.store(true); });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(WorkStealingPool, WaitWithNoWorkReturnsImmediately)
+{
+    fleet::WorkStealingPool pool(2);
+    pool.wait();
+    EXPECT_EQ(pool.executedCount(), 0);
+}
+
+} // namespace

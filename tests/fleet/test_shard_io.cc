@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests of crash-safe shard persistence: round trip through the v2
+ * fleetshard envelope, fingerprint rejection of stale checkpoints,
+ * and the torn-write sweep — a checkpoint truncated at *every* byte
+ * boundary must come back as a typed error (or, only when whole, the
+ * original result), never abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fleet/shard_io.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+fleet::FleetOptions
+testOpts()
+{
+    fleet::FleetOptions opts;
+    opts.devices = 4;
+    opts.shards = 2;
+    opts.seed = 1234;
+    return opts;
+}
+
+fleet::ShardSpec
+testShard(const fleet::FleetOptions &opts)
+{
+    fleet::ShardSpec shard;
+    shard.index = 1;
+    for (long id = 2; id < opts.devices; ++id) {
+        fleet::DeviceSpec spec;
+        spec.id = id;
+        spec.kind = gpu::kAllDevices[static_cast<std::size_t>(id) %
+                                     gpu::kAllDevices.size()];
+        spec.seed = 1000u + static_cast<std::uint64_t>(id);
+        shard.devices.push_back(spec);
+    }
+    return shard;
+}
+
+/** A shard result with one healthy and one failed device. */
+fleet::ShardResult
+testResult()
+{
+    fleet::ShardResult result;
+    result.index = 1;
+    result.attempts = 2;
+
+    fleet::DeviceOutcome ok;
+    ok.id = 2;
+    ok.kind = gpu::kAllDevices[2 % gpu::kAllDevices.size()];
+    ok.ok = true;
+    ok.stats.samples = 6;
+    ok.stats.mae_pct = 7.25;
+    ok.stats.rmse_w = 11.5;
+    ok.stats.max_err_pct = 19.75;
+    ok.stats.mean_measured_w = 145.125;
+    ok.fit_rmse_w = 3.5;
+    ok.fit_iterations = 12;
+    result.outcomes.push_back(ok);
+
+    fleet::DeviceOutcome bad;
+    bad.id = 3;
+    bad.kind = gpu::kAllDevices[0];
+    bad.ok = false;
+    bad.fail = fleet::DeviceFailKind::CorruptData;
+    bad.message = "campaign produced non-finite samples";
+    result.outcomes.push_back(bad);
+    return result;
+}
+
+TEST(ShardIo, RoundTripPreservesEveryField)
+{
+    const auto opts = testOpts();
+    const auto shard = testShard(opts);
+    const auto result = testResult();
+
+    const std::string text =
+            fleet::serializeShardResult(result, opts, shard);
+    auto parsed = fleet::tryParseShardResult(text, opts, shard);
+    ASSERT_TRUE(parsed.ok())
+            << model::ioErrcName(parsed.error().code) << ": "
+            << parsed.error().message;
+
+    const fleet::ShardResult &rt = parsed.value();
+    EXPECT_EQ(rt.index, result.index);
+    EXPECT_EQ(rt.attempts, result.attempts);
+    EXPECT_TRUE(rt.resumed); // loaded, not re-run
+    ASSERT_EQ(rt.outcomes.size(), result.outcomes.size());
+    for (std::size_t i = 0; i < rt.outcomes.size(); ++i) {
+        fleet::DeviceOutcome expect = result.outcomes[i];
+        EXPECT_EQ(rt.outcomes[i], expect)
+                << "outcome " << i << " changed across the round "
+                << "trip";
+    }
+}
+
+TEST(ShardIo, FingerprintRejectsAForeignConfiguration)
+{
+    const auto opts = testOpts();
+    const auto shard = testShard(opts);
+    const std::string text =
+            fleet::serializeShardResult(testResult(), opts, shard);
+
+    // Any knob that shapes device outcomes invalidates the file.
+    fleet::FleetOptions other = opts;
+    other.seed = opts.seed + 1;
+    auto stale = fleet::tryParseShardResult(text, other, shard);
+    ASSERT_FALSE(stale.ok());
+    EXPECT_EQ(stale.error().code, model::IoErrc::ValidationError);
+
+    other = opts;
+    other.jitter_frac = 0.25;
+    EXPECT_EQ(fleet::tryParseShardResult(text, other, shard)
+                      .error()
+                      .code,
+              model::IoErrc::ValidationError);
+
+    // A different device membership is a different shard.
+    fleet::ShardSpec moved = shard;
+    moved.devices[0].seed ^= 1;
+    EXPECT_EQ(fleet::tryParseShardResult(text, opts, moved)
+                      .error()
+                      .code,
+              model::IoErrc::ValidationError);
+}
+
+TEST(ShardIo, TruncationAtEveryByteIsATypedError)
+{
+    const auto opts = testOpts();
+    const auto shard = testShard(opts);
+    const std::string full =
+            fleet::serializeShardResult(testResult(), opts, shard);
+    ASSERT_GT(full.size(), 100u);
+
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        auto torn = fleet::tryParseShardResult(full.substr(0, cut),
+                                               opts, shard);
+        ASSERT_FALSE(torn.ok()) << "prefix of " << cut
+                                << " bytes parsed as complete";
+        const model::IoErrc code = torn.error().code;
+        EXPECT_TRUE(code == model::IoErrc::ParseError ||
+                    code == model::IoErrc::ChecksumMismatch ||
+                    code == model::IoErrc::VersionMismatch ||
+                    code == model::IoErrc::ValidationError)
+                << "cut=" << cut << " gave "
+                << model::ioErrcName(code);
+    }
+}
+
+TEST(ShardIo, CorruptedPayloadByteIsDetected)
+{
+    const auto opts = testOpts();
+    const auto shard = testShard(opts);
+    std::string text =
+            fleet::serializeShardResult(testResult(), opts, shard);
+    text[text.size() / 2] ^= 0x20;
+    auto corrupt = fleet::tryParseShardResult(text, opts, shard);
+    ASSERT_FALSE(corrupt.ok());
+    EXPECT_EQ(corrupt.error().code,
+              model::IoErrc::ChecksumMismatch);
+}
+
+TEST(ShardIo, SaveAndLoadThroughAFile)
+{
+    const auto opts = testOpts();
+    const auto shard = testShard(opts);
+    const auto result = testResult();
+    const std::string dir =
+            (std::filesystem::temp_directory_path() /
+             "gpupm_shard_io_test")
+                    .string();
+    std::filesystem::create_directories(dir);
+    const std::string path =
+            fleet::shardCheckpointPath(dir, shard.index);
+
+    ASSERT_TRUE(fleet::trySaveShardResult(result, opts, shard, path)
+                        .ok());
+    auto loaded = fleet::tryLoadShardResult(path, opts, shard);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().outcomes, result.outcomes);
+
+    // A missing file is a typed IoError, not a crash.
+    auto missing = fleet::tryLoadShardResult(dir + "/shard-99.ck",
+                                             opts, shard);
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code, model::IoErrc::IoError);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace

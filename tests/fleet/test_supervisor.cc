@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests of the fleet supervisor: clean runs, sharding, watchdog +
+ * retry recovery from stalled attempts, quarantine past the retry
+ * budget with explicit accounting, checkpoint resume, and pool
+ * starvation riding along without correctness impact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "fleet/supervisor.hh"
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+/** Small-but-real fleet options sized for a unit test. */
+fleet::FleetOptions
+fastOpts()
+{
+    fleet::FleetOptions opts;
+    opts.devices = 6;
+    opts.shards = 3;
+    opts.threads = 3;
+    opts.seed = 42;
+    return opts;
+}
+
+class FleetSupervisorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::Registry::global().reset(); }
+    void TearDown() override { obs::Registry::global().reset(); }
+};
+
+TEST_F(FleetSupervisorTest, ShardingIsContiguousAndNearEven)
+{
+    fleet::FleetOptions opts;
+    opts.devices = 7;
+    const auto specs = fleet::buildFleetSpecs(opts);
+    ASSERT_EQ(specs.size(), 7u);
+    const auto shards = fleet::shardDevices(specs, 3);
+    ASSERT_EQ(shards.size(), 3u);
+    EXPECT_EQ(shards[0].devices.size(), 3u);
+    EXPECT_EQ(shards[1].devices.size(), 2u);
+    EXPECT_EQ(shards[2].devices.size(), 2u);
+    long next = 0;
+    for (const auto &shard : shards)
+        for (const auto &spec : shard.devices)
+            EXPECT_EQ(spec.id, next++);
+    // More shards than devices collapses to one device per shard.
+    EXPECT_EQ(fleet::shardDevices(specs, 100).size(), 7u);
+}
+
+TEST_F(FleetSupervisorTest, SpecsRotateArchitecturesWithUniqueSeeds)
+{
+    fleet::FleetOptions opts;
+    opts.devices = 9;
+    const auto specs = fleet::buildFleetSpecs(opts);
+    std::set<std::uint64_t> seeds;
+    for (long id = 0; id < 9; ++id) {
+        EXPECT_EQ(specs[static_cast<std::size_t>(id)].kind,
+                  gpu::kAllDevices[static_cast<std::size_t>(id) %
+                                   gpu::kAllDevices.size()]);
+        seeds.insert(specs[static_cast<std::size_t>(id)].seed);
+    }
+    EXPECT_EQ(seeds.size(), 9u); // per-instance jitter differs
+}
+
+TEST_F(FleetSupervisorTest, CleanFleetTrainsEveryDevice)
+{
+    const auto result = fleet::runFleetCampaign(fastOpts());
+    EXPECT_EQ(result.scoreboard.devices_total, 6);
+    EXPECT_EQ(result.scoreboard.devices_ok, 6);
+    EXPECT_EQ(result.scoreboard.devices_failed, 0);
+    ASSERT_EQ(result.scoreboard.per_arch.size(), 3u);
+    for (const auto &agg : result.scoreboard.per_arch) {
+        EXPECT_EQ(agg.devices_ok, 2);
+        EXPECT_GT(agg.stats.samples, 0);
+        EXPECT_GT(agg.stats.mae_pct, 0.0);
+        EXPECT_LT(agg.stats.mae_pct, 50.0);
+    }
+    EXPECT_EQ(result.shard_retries, 0);
+    EXPECT_EQ(result.shards_quarantined, 0);
+    EXPECT_EQ(result.chaos_kills, 0);
+    EXPECT_EQ(result.watchdog_fires, 0);
+
+    // The report JSON carries the supervisor counters.
+    const std::string json = result.toJson();
+    EXPECT_NE(json.find("\"schema\":\"gpupm_fleet_report_v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"shards_quarantined\":0"),
+              std::string::npos);
+}
+
+TEST_F(FleetSupervisorTest, StalledShardsRecoverThroughRetry)
+{
+    fleet::FleetOptions opts = fastOpts();
+    opts.devices = 3;
+    opts.shards = 3;
+    opts.watchdog_deadline_s = 0.25;
+    opts.chaos.shard_stall_rate = 1.0;
+    opts.chaos.max_faulty_attempts = 1; // attempt 0 stalls, 1 clean
+    const auto result = fleet::runFleetCampaign(opts);
+
+    // Every shard stalled once, was cancelled by the watchdog,
+    // retried, and then completed: full accuracy, no quarantine.
+    EXPECT_EQ(result.scoreboard.devices_ok, 3);
+    EXPECT_EQ(result.chaos_stalls, 3);
+    EXPECT_GE(result.watchdog_fires, 3);
+    EXPECT_GE(result.shard_retries, 3);
+    EXPECT_EQ(result.shards_quarantined, 0);
+}
+
+TEST_F(FleetSupervisorTest, QuarantineKeepsExplicitAccounting)
+{
+    fleet::FleetOptions opts = fastOpts();
+    opts.devices = 4;
+    opts.shards = 2;
+    opts.watchdog_deadline_s = 0.1;
+    opts.shard_retry_budget = 1;
+    opts.chaos.shard_stall_rate = 1.0;
+    opts.chaos.max_faulty_attempts = 100; // never a clean attempt
+    const auto result = fleet::runFleetCampaign(opts);
+
+    EXPECT_EQ(result.shards_quarantined, 2);
+    EXPECT_EQ(result.scoreboard.devices_ok, 0);
+    EXPECT_EQ(result.scoreboard.devices_failed, 4);
+    ASSERT_EQ(result.scoreboard.failures.size(), 4u);
+    for (const auto &failure : result.scoreboard.failures) {
+        EXPECT_EQ(failure.fail,
+                  fleet::DeviceFailKind::ShardQuarantined);
+        EXPECT_NE(failure.message.find("retry budget exhausted"),
+                  std::string::npos);
+    }
+    ASSERT_EQ(result.scoreboard.failures_by_kind.size(), 1u);
+    EXPECT_EQ(result.scoreboard.failures_by_kind[0].first,
+              "shard-quarantined");
+    EXPECT_EQ(result.scoreboard.failures_by_kind[0].second, 4);
+
+    // Degradation is loud in both renderings.
+    EXPECT_NE(result.summary().find("shard-quarantined=4"),
+              std::string::npos);
+    EXPECT_NE(result.scoreboard.toJson(true).find(
+                      "\"devices_failed\":4"),
+              std::string::npos);
+}
+
+TEST_F(FleetSupervisorTest, CheckpointedFleetResumesWithoutRerun)
+{
+    const std::string dir =
+            (std::filesystem::temp_directory_path() /
+             "gpupm_fleet_resume_test")
+                    .string();
+    std::filesystem::remove_all(dir);
+
+    fleet::FleetOptions opts = fastOpts();
+    opts.checkpoint_dir = dir;
+    const auto first = fleet::runFleetCampaign(opts);
+    EXPECT_EQ(first.shards_resumed, 0);
+    EXPECT_EQ(first.scoreboard.devices_ok, 6);
+
+    const auto second = fleet::runFleetCampaign(opts);
+    EXPECT_EQ(second.shards_resumed, 3);
+    for (const auto &shard : second.shards)
+        EXPECT_TRUE(shard.resumed);
+    EXPECT_EQ(second.scoreboard.toJson(true),
+              first.scoreboard.toJson(true));
+
+    // A reconfigured fleet must not resume stale checkpoints.
+    fleet::FleetOptions reseeded = opts;
+    reseeded.seed = opts.seed + 1;
+    const auto third = fleet::runFleetCampaign(reseeded);
+    EXPECT_EQ(third.shards_resumed, 0);
+    EXPECT_EQ(third.scoreboard.devices_ok, 6);
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetSupervisorTest, StarvedPoolStillCompletesTheFleet)
+{
+    fleet::FleetOptions opts = fastOpts();
+    opts.threads = 4;
+    opts.chaos.starve_tasks = 8;
+    opts.chaos.starve_ms = 20;
+    const auto clean = fleet::runFleetCampaign(fastOpts());
+    const auto starved = fleet::runFleetCampaign(opts);
+    EXPECT_EQ(starved.scoreboard.devices_ok, 6);
+    // Starvation changes scheduling, never accuracy.
+    EXPECT_EQ(starved.scoreboard.toJson(false),
+              clean.scoreboard.toJson(false));
+}
+
+} // namespace

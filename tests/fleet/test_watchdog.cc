@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests of the deadline watchdog: a blown deadline cancels the token
+ * and counts as a fire; a disarm in time leaves the token clear.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "fleet/watchdog.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+TEST(Watchdog, FiresPastTheDeadline)
+{
+    fleet::Watchdog wd;
+    const fleet::CancelToken token = fleet::makeCancelToken();
+    const long id = wd.arm(0.02, token);
+
+    // Poll with a generous bound; the scanner wakes at the deadline.
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(5);
+    while (!fleet::cancelled(token) &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    EXPECT_TRUE(fleet::cancelled(token));
+    EXPECT_EQ(wd.firedCount(), 1);
+    // Already fired: disarm reports it was too late.
+    EXPECT_FALSE(wd.disarm(id));
+}
+
+TEST(Watchdog, DisarmInTimeKeepsTheTokenClear)
+{
+    fleet::Watchdog wd;
+    const fleet::CancelToken token = fleet::makeCancelToken();
+    const long id = wd.arm(30.0, token);
+    EXPECT_TRUE(wd.disarm(id));
+    EXPECT_FALSE(fleet::cancelled(token));
+    EXPECT_EQ(wd.firedCount(), 0);
+    // Unknown handles are reported, not fatal.
+    EXPECT_FALSE(wd.disarm(id));
+    EXPECT_FALSE(wd.disarm(123456));
+}
+
+TEST(Watchdog, TracksManyTokensIndependently)
+{
+    fleet::Watchdog wd;
+    const fleet::CancelToken fast = fleet::makeCancelToken();
+    const fleet::CancelToken slow = fleet::makeCancelToken();
+    wd.arm(0.02, fast);
+    const long slow_id = wd.arm(30.0, slow);
+
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(5);
+    while (!fleet::cancelled(fast) &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    EXPECT_TRUE(fleet::cancelled(fast));
+    EXPECT_FALSE(fleet::cancelled(slow));
+    EXPECT_TRUE(wd.disarm(slow_id));
+    EXPECT_EQ(wd.firedCount(), 1);
+}
+
+} // namespace

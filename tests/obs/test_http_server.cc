@@ -217,4 +217,50 @@ TEST_F(HttpServerTest, ServesRoutesAndErrorPaths)
     server.stop();
 }
 
+TEST_F(HttpServerTest, StalledConnectionIsReapedWithA408)
+{
+    // A slowloris-style client sends a partial request head and then
+    // goes quiet. The per-connection read deadline must answer 408
+    // and close, after which a healthy request still succeeds.
+    obs::HttpLimits limits;
+    limits.read_deadline_ms = 200;
+    obs::HttpServer server(limits);
+    server.route("/ping", [](const obs::HttpRequest &) {
+        obs::HttpResponse resp;
+        resp.body = "pong\n";
+        return resp;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char partial[] = "GET /ping HTTP/1.1\r\nHost: s";
+    ASSERT_EQ(::send(fd, partial, sizeof(partial) - 1, 0),
+              static_cast<ssize_t>(sizeof(partial) - 1));
+    // ... and never finish the head. The deadline reaps us.
+    std::string stalled;
+    char chunk[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        stalled.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+    EXPECT_NE(stalled.find("HTTP/1.1 408"), std::string::npos)
+            << "got: " << stalled;
+
+    // The poll slot is free again: a healthy request goes through.
+    const std::string ok = rawExchange(
+            server.port(), "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+    EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(ok.find("pong"), std::string::npos);
+    server.stop();
+}
+
 } // namespace

@@ -25,12 +25,15 @@
  *       max error are gated by the tolerances (defaults 0.5 / 2.0 /
  *       5.0 percentage points).
  *
- * Exit status: 0 pass, 1 regression or invalid artifact, 2 usage.
+ * Exit status: 0 pass, 1 regression or invalid artifact, 2 usage,
+ * 3 missing or unreadable golden (named `missing-golden` error): a
+ * gate whose golden vanished must fail loudly, never skip.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -54,13 +57,48 @@ struct BenchRun
     std::vector<std::pair<std::string, double>> stats;
 };
 
+/**
+ * Exit status for a missing/unreadable golden reference. Distinct
+ * from a regression (1) so callers can tell "the gate fired" from
+ * "the gate could not run at all".
+ */
+constexpr int kMissingGoldenExit = 3;
+
+/**
+ * Named error for an absent or unreadable golden file. The gate must
+ * not silently pass (or be skipped) just because the golden is gone —
+ * that is exactly when a regression would slip through.
+ */
+int
+missingGolden(const std::string &path)
+{
+    std::fprintf(stderr,
+                 "error [missing-golden]: golden file '%s' is "
+                 "missing or unreadable; refusing to skip the gate\n",
+                 path.c_str());
+    return kMissingGoldenExit;
+}
+
+/** True when the path is a regular file whose bytes can be read. */
+bool
+readable(const std::string &path)
+{
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(path, ec) || ec)
+        return false;
+    std::string text;
+    return readFile(path, text);
+}
+
 /** Load + structurally validate one bench telemetry file. */
 bool
 loadBenchRun(const std::string &path, BenchRun &run)
 {
     std::string text;
-    if (!readFile(path, text))
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "%s: cannot read file\n", path.c_str());
         return false;
+    }
     JsonValue root;
     std::string err;
     if (!JsonParser(text).parse(root, err)) {
@@ -145,6 +183,8 @@ int
 cmdBench(const std::string &run_path, const std::string &golden_path,
          double stat_tol, double time_factor)
 {
+    if (!readable(golden_path))
+        return missingGolden(golden_path);
     BenchRun run, golden;
     if (!loadBenchRun(run_path, run) ||
         !loadBenchRun(golden_path, golden))
@@ -193,6 +233,8 @@ cmdScoreboard(const std::string &run_path,
               const std::string &golden_path,
               const obs::ScoreboardTolerances &tol)
 {
+    if (!readable(golden_path))
+        return missingGolden(golden_path);
     auto run = model::tryLoadScoreboard(run_path);
     if (!run.ok()) {
         std::fprintf(stderr, "%s: load failed [%s]: %s\n",

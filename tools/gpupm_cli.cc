@@ -87,6 +87,7 @@
 #include "core/model_io.hh"
 #include "core/predictor.hh"
 #include "core/validate.hh"
+#include "fleet/supervisor.hh"
 #include "obs/convergence.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/http_server.hh"
@@ -128,6 +129,15 @@ struct CliFlags
     double duration_s = 0.0;  ///< stop after this long; 0 = forever
     std::string events_out;   ///< NDJSON event log path
     std::string port_file;    ///< write the bound port here (tests)
+
+    // `fleet` flags.
+    int shards = 4;           ///< shard count
+    int threads = 0;          ///< pool workers; 0 = auto
+    double chaos_kill = 0.0;  ///< shard kill probability per attempt
+    double chaos_stall = 0.0; ///< shard stall probability per attempt
+    double chaos_poison = 0.0; ///< poisoned-device fraction
+    double deadline_s = 120.0; ///< watchdog deadline per attempt
+    std::string fleet_out;    ///< merged fleet report file path
 };
 
 /** Loader policy implied by the file-trust flags. */
@@ -165,12 +175,17 @@ parseDuration(const std::string &text)
 bool
 flagTakesValue(const std::string &key)
 {
+    // `--faults` is absent on purpose: it accepts an optional rate
+    // (`--faults=0.08`) but also works bare as a chaos shorthand.
     static const char *value_flags[] = {
-            "--faults",         "--fault-seed",  "--retries",
+            "--fault-seed",     "--retries",
             "--resume",         "--checkpoint",  "--scoreboard-out",
             "--trace-out",      "--metrics-out", "--convergence-out",
             "--port",           "--period-ms",   "--duration",
-            "--events-out",     "--port-file",
+            "--events-out",     "--port-file",   "--shards",
+            "--threads",        "--chaos-kill-rate",
+            "--chaos-stall-rate", "--chaos-poison", "--deadline",
+            "--fleet-out",
     };
     for (const char *f : value_flags)
         if (key == f)
@@ -214,7 +229,9 @@ parseFlags(int argc, char **argv, CliFlags &flags)
             val = argv[++i];
         }
         if (key == "--faults") {
-            flags.fault_rate = std::atof(val.c_str());
+            // Bare --faults means "inject at a sensible demo rate".
+            flags.fault_rate =
+                    val.empty() ? 0.1 : std::atof(val.c_str());
             flags.resilient = true;
         } else if (key == "--fault-seed") {
             flags.fault_seed = std::strtoull(val.c_str(), nullptr, 10);
@@ -260,6 +277,23 @@ parseFlags(int argc, char **argv, CliFlags &flags)
             flags.events_out = val;
         } else if (key == "--port-file") {
             flags.port_file = val;
+        } else if (key == "--shards") {
+            flags.shards = std::atoi(val.c_str());
+        } else if (key == "--threads") {
+            flags.threads = std::atoi(val.c_str());
+        } else if (key == "--chaos-kill-rate") {
+            flags.chaos_kill = std::atof(val.c_str());
+        } else if (key == "--chaos-stall-rate") {
+            flags.chaos_stall = std::atof(val.c_str());
+        } else if (key == "--chaos-poison") {
+            flags.chaos_poison = std::atof(val.c_str());
+        } else if (key == "--deadline") {
+            const double d = parseDuration(val);
+            if (d < 0.0)
+                return bad("bad duration for flag", key);
+            flags.deadline_s = d;
+        } else if (key == "--fleet-out") {
+            flags.fleet_out = val;
         } else {
             return bad("unknown flag", key);
         }
@@ -321,6 +355,14 @@ usage()
                  "  gpupm monitor <titanxp|titanx|k40c> "
                  "[--port=<n>] [--period-ms=<n>] "
                  "[--duration=<2s|500ms>] [--events-out=<file>]\n"
+                 "  gpupm fleet <num-devices> [--shards=<k>] "
+                 "[--threads=<n>] [--resume=<dir>] "
+                 "[--deadline=<dur>]\n"
+                 "      [--chaos-kill-rate=<p>] "
+                 "[--chaos-stall-rate=<p>] [--chaos-poison=<frac>] "
+                 "[--faults=<rate>]\n"
+                 "      [--fleet-out=<file>] [--json] [--port=<n> "
+                 "--duration=<dur>]   (serve /metrics and /fleet)\n"
                  "  gpupm version [--json]   (also: gpupm --version)\n"
                  "  gpupm validate [--json] <file>...\n"
                  "      file-trust flags (all loading commands): "
@@ -477,6 +519,20 @@ checkFile(const std::string &path, const model::LoadOptions &opts)
         }
         fc.loaded = true;
         fc.report = model::validateScoreboard(res.value());
+        break;
+      }
+      case model::FileKind::FleetShard:
+      case model::FileKind::Fleet: {
+        // Fleet artifacts are envelope-checked here (magic, kind,
+        // size, CRC32); the payload can only be interpreted against
+        // its fleet configuration, which the supervisor does on
+        // resume via the embedded fingerprint.
+        auto payload = model::tryUnwrapEnvelope(text, kind.value());
+        if (!payload.ok()) {
+            fc.load_error = payload.error();
+            return fc;
+        }
+        fc.loaded = true;
         break;
       }
     }
@@ -808,6 +864,106 @@ cmdAudit(const std::string &target, const CliFlags &flags)
     else
         std::printf("%s", sb.summaryText().c_str());
     return 0;
+}
+
+/**
+ * `gpupm fleet <N>`: the fault-tolerant fleet campaign. N simulated
+ * device instances (three architectures, per-instance ground-truth
+ * jitter) are sharded across the work-stealing pool; each shard runs
+ * under a watchdog deadline with seeded retry/backoff, checkpoints
+ * crash-safely when --resume names a directory, and is quarantined —
+ * with explicit per-device accounting — past its retry budget. Chaos
+ * flags inject shard kills, stalls and poisoned devices; --faults is
+ * shorthand for kills + poison at one rate. With --port/--duration
+ * the merged result is served on /fleet next to /metrics for the
+ * monitor's scrape interval.
+ */
+int
+cmdFleet(const std::string &count, const CliFlags &flags)
+{
+    const long n = std::atol(count.c_str());
+    if (n <= 0) {
+        std::fprintf(stderr,
+                     "fleet needs a positive device count, got "
+                     "'%s'\n",
+                     count.c_str());
+        return 2;
+    }
+    obs::registerStandardMetrics();
+
+    fleet::FleetOptions fopts;
+    fopts.devices = n;
+    fopts.shards = flags.shards;
+    fopts.threads = flags.threads;
+    fopts.watchdog_deadline_s = flags.deadline_s;
+    fopts.checkpoint_dir = flags.checkpoint;
+    fopts.chaos.seed = flags.fault_seed;
+    fopts.chaos.shard_kill_rate = flags.chaos_kill;
+    fopts.chaos.shard_stall_rate = flags.chaos_stall;
+    fopts.chaos.poison_fraction = flags.chaos_poison;
+    if (flags.fault_rate > 0.0) {
+        if (fopts.chaos.shard_kill_rate == 0.0)
+            fopts.chaos.shard_kill_rate = flags.fault_rate;
+        if (fopts.chaos.poison_fraction == 0.0)
+            fopts.chaos.poison_fraction = flags.fault_rate;
+    }
+
+    const fleet::FleetResult result = fleet::runFleetCampaign(fopts);
+    std::fprintf(stderr, "%s", result.summary().c_str());
+
+    if (!flags.fleet_out.empty()) {
+        auto saved = model::tryWriteFileAtomic(
+                flags.fleet_out,
+                model::wrapEnvelope(model::FileKind::Fleet,
+                                    result.toJson() + "\n"));
+        if (!saved.ok())
+            return reportLoadFailure(saved.error());
+        std::fprintf(stderr, "fleet report written to %s\n",
+                     flags.fleet_out.c_str());
+    }
+    if (flags.json)
+        std::printf("%s\n", result.toJson().c_str());
+
+    if (flags.duration_s > 0.0) {
+        obs::HttpServer server;
+        server.route("/metrics", [](const obs::HttpRequest &) {
+            obs::touchProcessMetrics();
+            obs::HttpResponse resp;
+            resp.content_type =
+                    "text/plain; version=0.0.4; charset=utf-8";
+            resp.body = obs::Registry::global().renderPrometheus();
+            return resp;
+        });
+        const std::string fleet_json = result.toJson();
+        server.route("/fleet", [fleet_json](const obs::HttpRequest &) {
+            obs::HttpResponse resp;
+            resp.content_type = "application/json";
+            resp.body = fleet_json;
+            return resp;
+        });
+        std::string err;
+        if (!server.start(flags.port, &err)) {
+            std::fprintf(stderr,
+                         "fleet: cannot start HTTP server: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        if (!flags.port_file.empty()) {
+            std::ofstream pf(flags.port_file, std::ios::trunc);
+            pf << server.port() << "\n";
+        }
+        std::fprintf(stderr,
+                     "fleet: serving /metrics and /fleet on "
+                     "127.0.0.1:%d for %.1fs\n",
+                     server.port(), flags.duration_s);
+        std::this_thread::sleep_for(
+                std::chrono::duration<double>(flags.duration_s));
+        server.stop();
+    }
+
+    // Graceful degradation is success; a fleet with zero healthy
+    // devices is not.
+    return result.scoreboard.devices_ok > 0 ? 0 : 1;
 }
 
 /** `gpupm metrics`: dump the full pre-registered metric catalog. */
@@ -1197,6 +1353,15 @@ dispatch(const std::vector<std::string> &args, const CliFlags &flags)
             return cmdVersion(flags);
         if (cmd == "monitor" && nargs == 2)
             return cmdMonitor(args[1], flags);
+        if (cmd == "fleet" && nargs == 2)
+            return cmdFleet(args[1], flags);
+        if (cmd == "fleet") {
+            std::fprintf(stderr,
+                         "fleet needs exactly one <num-devices> "
+                         "argument, got %d\n",
+                         nargs - 1);
+            return 2;
+        }
         if (cmd == "monitor") {
             std::fprintf(stderr,
                          "monitor needs exactly one device argument "
