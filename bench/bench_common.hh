@@ -33,6 +33,7 @@
 #include "common/table.hh"
 #include "core/campaign.hh"
 #include "core/predictor.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "workloads/workloads.hh"
 
@@ -115,10 +116,18 @@ mape(const std::vector<double> &pred, const std::vector<double> &meas)
  * wall-clock, and writes one versioned JSON artifact on destruction:
  *
  *     {"gpupm_bench_version":1, "name":..., "provenance":{...},
- *      "wall_ms":..., "phases_ms":{...}, "stats":{...}}
+ *      "wall_ms":..., "phases_ms":{...}, "cpu":{...}, "stats":{...}}
  *
- * Without the flag the reporter is inert. Construct it first thing in
- * main() so the wall-clock covers the whole run.
+ * The `cpu` block is the sampling profiler's summary (obs/profiler.hh
+ * renderJson: per-category sample shares, per-thread counts, top
+ * functions by self time) — the artifact `gpupm_bench_check profile`
+ * gates per-phase CPU budgets on. `--profile-out[=<path>]` (default
+ * BENCH_<name>.folded) additionally writes the collapsed-stack
+ * profile for flamegraph.pl / speedscope, with or without
+ * `--json-out`.
+ *
+ * Without either flag the reporter is inert. Construct it first thing
+ * in main() so the wall-clock and the profile cover the whole run.
  */
 class BenchReporter
 {
@@ -133,9 +142,21 @@ class BenchReporter
                 path_ = "BENCH_" + name_ + ".json";
             else if (arg.rfind("--json-out=", 0) == 0)
                 path_ = arg.substr(std::strlen("--json-out="));
+            else if (arg == "--profile-out")
+                profile_path_ = "BENCH_" + name_ + ".folded";
+            else if (arg.rfind("--profile-out=", 0) == 0)
+                profile_path_ =
+                        arg.substr(std::strlen("--profile-out="));
         }
         if (!path_.empty())
             obs::Tracer::global().enable();
+        if (!path_.empty() || !profile_path_.empty()) {
+            std::string err;
+            if (obs::Profiler::global().start({}, &err))
+                profiling_ = true;
+            else
+                gpupm::warn("cpu profiler unavailable: ", err);
+        }
     }
 
     BenchReporter(const BenchReporter &) = delete;
@@ -151,6 +172,18 @@ class BenchReporter
 
     ~BenchReporter()
     {
+        obs::CpuProfile prof;
+        if (profiling_) {
+            obs::Profiler::global().stop();
+            prof = obs::Profiler::global().collect();
+            if (!profile_path_.empty()) {
+                if (prof.writeFolded(profile_path_))
+                    gpupm::inform("cpu profile written to ",
+                                  profile_path_);
+                else
+                    gpupm::warn("cannot write ", profile_path_);
+            }
+        }
         if (path_.empty())
             return;
         const double wall_ms =
@@ -198,7 +231,10 @@ class BenchReporter
                 << numio::formatDouble(total / 1000.0);
             first = false;
         }
-        out << "},\n\"stats\":{";
+        out << "}";
+        if (profiling_)
+            out << ",\n\"cpu\":" << prof.renderJson();
+        out << ",\n\"stats\":{";
         first = true;
         for (const auto &kv : stats_) {
             out << (first ? "" : ",") << "\"" << kv.first << "\":"
@@ -215,6 +251,8 @@ class BenchReporter
   private:
     std::string name_;
     std::string path_;
+    std::string profile_path_;
+    bool profiling_ = false;
     std::chrono::steady_clock::time_point start_;
     std::vector<std::pair<std::string, double>> stats_;
 };

@@ -9,6 +9,17 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Static analysis over the observability layer: clang-tidy is optional
+# (the GPUPM_TIDY CMake option wires it into the build when present);
+# here we run the same checks standalone so CI images that carry the
+# tool fail on findings while leaner toolchains skip with a notice.
+if command -v clang-tidy > /dev/null 2>&1; then
+    echo "== clang-tidy: src/obs"
+    clang-tidy -p build --quiet src/obs/*.cc
+else
+    echo "== clang-tidy not found; skipping static analysis pass"
+fi
+
 # Sanitizer pass: rebuild the core/linalg test binaries under
 # ASan+UBSan and run them, so memory and UB bugs in the numerical
 # kernels and the resilience machinery surface in CI. Skip with
@@ -23,7 +34,7 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
         obs_test_trace obs_test_metrics obs_test_convergence \
         obs_test_scoreboard obs_test_http_server \
         obs_test_flight_recorder obs_test_sampler \
-        core_test_scoreboard_io \
+        obs_test_profiler core_test_scoreboard_io \
         gpupm_fuzz_smoke gpupm_cli gpupm_trace_check gpupm_bench_check \
         gpupm_scrape
     for t in build-asan/tests/core_test_* build-asan/tests/linalg_test_* \
@@ -67,6 +78,14 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
     mkdir -p build-asan/monitor_work
     build-asan/tools/gpupm_scrape monitor-selftest \
         build-asan/tools/gpupm titanx --work=build-asan/monitor_work
+    # Profiler smoke under ASan+UBSan: the SIGPROF handler walks raw
+    # frame-pointer chains (itself exempted via no_sanitize), but
+    # start/stop/collect, symbolization and the span-context push/pop
+    # all run instrumented through a real fit.
+    echo "== sanitize: profiler smoke"
+    build-asan/tools/gpupm fit titanx build-asan/prof.model \
+        --profile-out=build-asan/prof.folded
+    test -s build-asan/prof.folded
 fi
 
 # ThreadSanitizer pass: rebuild the concurrent machinery — the fleet
@@ -81,10 +100,11 @@ if [ "${GPUPM_SKIP_TSAN:-0}" != "1" ]; then
         fleet_test_pool fleet_test_watchdog fleet_test_chaos \
         fleet_test_shard_io fleet_test_supervisor \
         fleet_test_chaos_gate obs_test_http_server \
-        obs_test_metrics gpupm_cli
+        obs_test_metrics obs_test_profiler gpupm_cli
     for t in build-tsan/tests/fleet_test_* \
              build-tsan/tests/obs_test_http_server \
-             build-tsan/tests/obs_test_metrics; do
+             build-tsan/tests/obs_test_metrics \
+             build-tsan/tests/obs_test_profiler; do
         [ -f "$t" ] && [ -x "$t" ] || continue
         echo "== tsan: $t"
         "$t"
@@ -93,6 +113,12 @@ if [ "${GPUPM_SKIP_TSAN:-0}" != "1" ]; then
     # pool, watchdog, checkpoint writers and metrics publication.
     echo "== tsan: gpupm fleet"
     build-tsan/tools/gpupm fleet 24 --shards=6 --faults > /dev/null
+    # Profiler over the fleet pool under TSan: SIGPROF lands on worker
+    # threads mid-task while the span context and sample ring are live.
+    echo "== tsan: profiler smoke over fleet"
+    build-tsan/tools/gpupm fleet 24 --shards=6 \
+        --profile-out=build-tsan/fleet.folded > /dev/null
+    test -s build-tsan/fleet.folded
 fi
 
 # Traced end-to-end reproduction run: campaign -> fit -> sweep with
@@ -172,6 +198,11 @@ build/tools/gpupm_bench_check validate "${bench_json[@]}"
 build/tools/gpupm_bench_check bench "$work/BENCH_fig7_validation.json" \
     bench/golden/BENCH_fig7_validation.json --stat-tol=0.5 \
     --time-factor=50
+# The fig7 run's CPU-attribution block (sampled while the bench ran)
+# is gated against its golden: span attribution must hold the 90%
+# floor and no span category may grow its CPU share past the budget.
+build/tools/gpupm_bench_check profile "$work/BENCH_fig7_validation.json" \
+    bench/golden/BENCH_fig7_validation.json --share-tol=15
 # The fleet-campaign telemetry is gated the same way: merged accuracy
 # marginals tightly (deterministic by design — the chaos gate depends
 # on it), wall-clock generously. A missing golden is a named

@@ -1,5 +1,8 @@
 #include "pool.hh"
 
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
+
 namespace gpupm
 {
 namespace fleet
@@ -94,6 +97,10 @@ WorkStealingPool::stealOther(std::size_t self, Task &out)
 void
 WorkStealingPool::workerLoop(std::size_t self)
 {
+    // Per-worker CPU attribution when a profiling run is active
+    // (fleet bench --profile-out, /profilez during a fleet serve).
+    obs::Profiler::setThreadLabel("fleet.worker" +
+                                  std::to_string(self));
     for (;;)
     {
         Task task;
@@ -117,7 +124,13 @@ WorkStealingPool::workerLoop(std::size_t self)
                 return;
             continue;
         }
-        task();
+        {
+            // Tag the task's CPU self-time with the fleet taxonomy;
+            // spans the task opens itself (campaign/estimator/...)
+            // override it for their duration.
+            GPUPM_TRACE_SPAN("fleet", "fleet.task");
+            task();
+        }
         executed_.fetch_add(1, std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> lock(mu_);

@@ -7,7 +7,9 @@
 
 #include "common/logging.hh"
 #include "common/numio.hh"
+#include "obs/profiler.hh"
 #include "obs/standard.hh"
+#include "obs/trace.hh"
 
 namespace gpupm
 {
@@ -141,6 +143,7 @@ Sampler::scoreboardSnapshot() const
 void
 Sampler::loop()
 {
+    Profiler::setThreadLabel("monitor.sampler");
     const auto period = std::chrono::milliseconds(opts_.period_ms);
     auto next = std::chrono::steady_clock::now();
     std::size_t index = 0;
@@ -170,6 +173,9 @@ void
 Sampler::tickOnce(std::size_t index)
 {
     const SchedulePoint &pt = schedule_[index];
+    // Attributes /profilez samples of a live daemon to the sampling
+    // loop (and feeds the tracer when a caller enabled it).
+    GPUPM_TRACE_SPAN("monitor", "monitor.tick");
     const auto start = std::chrono::steady_clock::now();
     MonitorSample s;
     try {

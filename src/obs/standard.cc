@@ -362,6 +362,35 @@ monitorSampleSeconds()
 }
 
 Counter &
+profilerRunsTotal()
+{
+    return reg().counter("gpupm_profiler_runs_total",
+                         "Completed CPU-profiling runs");
+}
+
+Counter &
+profilerSamplesTotal()
+{
+    return reg().counter("gpupm_profiler_samples_total",
+                         "CPU samples retained across profiling runs");
+}
+
+Counter &
+profilerSamplesDroppedTotal()
+{
+    return reg().counter("gpupm_profiler_samples_dropped_total",
+                         "CPU samples lost to ring overflow");
+}
+
+Gauge &
+profilerLastAttributedPct()
+{
+    return reg().gauge(
+            "gpupm_profiler_last_attributed_percent",
+            "Span-attributed share of the most recent profile, %");
+}
+
+Counter &
 fleetCampaignsTotal()
 {
     return reg().counter("gpupm_fleet_campaigns_total",
@@ -492,6 +521,10 @@ registerStandardMetrics()
     buildInfo();
     processUptimeSeconds();
     httpRequestsRejectedTotal();
+    profilerRunsTotal();
+    profilerSamplesTotal();
+    profilerSamplesDroppedTotal();
+    profilerLastAttributedPct();
     fleetCampaignsTotal();
     fleetDevicesTotal();
     fleetDevicesFailed();

@@ -108,6 +108,13 @@ Gauge &monitorLastPredictedW();
 Gauge &monitorSampleAgeSeconds();
 Histogram &monitorSampleSeconds();
 
+// -- Sampling CPU profiler (src/obs/profiler) ------------------------
+
+Counter &profilerRunsTotal();
+Counter &profilerSamplesTotal();
+Counter &profilerSamplesDroppedTotal();
+Gauge &profilerLastAttributedPct();
+
 // -- Fleet campaigns (src/fleet) -------------------------------------
 
 Counter &fleetCampaignsTotal();

@@ -5,6 +5,7 @@
 
 #include "common/numio.hh"
 #include "common/provenance.hh"
+#include "obs/profiler.hh"
 
 namespace gpupm
 {
@@ -159,6 +160,10 @@ Tracer::writeChromeTrace(const std::string &path) const
 
 SpanGuard::SpanGuard(const char *cat, std::string name)
 {
+    if (Profiler::contextEnabled()) {
+        profilerPushSpan(cat, name.c_str());
+        ctx_pushed_ = true;
+    }
     Tracer &t = Tracer::global();
     if (!t.enabled())
         return;
@@ -171,6 +176,8 @@ SpanGuard::SpanGuard(const char *cat, std::string name)
 
 SpanGuard::~SpanGuard()
 {
+    if (ctx_pushed_)
+        profilerPopSpan();
     if (!armed_)
         return;
     Tracer &t = Tracer::global();

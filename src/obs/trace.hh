@@ -108,6 +108,12 @@ class Tracer
  * complete event on destruction. When the tracer is disabled at
  * construction the guard is inert (its destructor does nothing), so
  * a span that straddles enable() is dropped rather than truncated.
+ *
+ * Independently of the tracer, the guard maintains the sampling
+ * profiler's thread-local span context (profiler.hh) while a
+ * profiling run is active, so CPU samples are attributed to the
+ * innermost open span — `--profile-out` works with the tracer off
+ * and vice versa. Each gate is one relaxed atomic load.
  */
 class SpanGuard
 {
@@ -125,6 +131,7 @@ class SpanGuard
 
   private:
     bool armed_ = false;
+    bool ctx_pushed_ = false; ///< profiler span context pushed
     std::int64_t start_us_ = 0;
     TraceEvent ev_;
 };

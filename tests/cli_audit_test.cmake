@@ -151,3 +151,52 @@ if(rc EQUAL 0)
     message(FATAL_ERROR "bench gate missed an injected stat "
                         "regression: ${out}")
 endif()
+
+# -- 5. the CPU-profile gate ------------------------------------------
+# --json-out also starts the sampling profiler, so the fig7 telemetry
+# carries a `cpu` block. Attribution must clear the 90% floor; the
+# share tolerance is wider than the default because a ~200-sample
+# profile on a differently-loaded machine moves a few points.
+execute_process(COMMAND ${BENCH_CHECK} profile
+                        ${WORK}/BENCH_fig7_validation.json
+                        ${GOLDEN_DIR}/BENCH_fig7_validation.json
+                        --share-tol=15
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "profile gate rejected a faithful fig7 run: "
+                        "${rc}: ${out}")
+endif()
+
+# An injected category budget breach (every share inflated by a
+# prefixed digit) must fail.
+file(READ ${WORK}/BENCH_fig7_validation.json profile_text)
+string(REGEX REPLACE "(\"share_pct\":)" "\\19" profile_tampered
+       "${profile_text}")
+if(profile_tampered STREQUAL profile_text)
+    message(FATAL_ERROR "share injection did not change the text")
+endif()
+file(WRITE ${WORK}/BENCH_profile_tampered.json "${profile_tampered}")
+execute_process(COMMAND ${BENCH_CHECK} profile
+                        ${WORK}/BENCH_profile_tampered.json
+                        ${GOLDEN_DIR}/BENCH_fig7_validation.json
+                        --share-tol=15
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "profile gate missed an injected CPU-share "
+                        "breach: ${out}")
+endif()
+
+# A golden that predates the cpu block must be a loud missing-golden
+# (3), never a silent pass.
+string(REGEX REPLACE ",[\r\n ]*\"cpu\":{.*}," "," profile_nocpu
+       "${profile_text}")
+file(WRITE ${WORK}/BENCH_nocpu_golden.json "${profile_nocpu}")
+execute_process(COMMAND ${BENCH_CHECK} profile
+                        ${WORK}/BENCH_fig7_validation.json
+                        ${WORK}/BENCH_nocpu_golden.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+    message(FATAL_ERROR "profile gate vs cpu-less golden returned "
+                        "${rc}, want 3: ${out}${err}")
+endif()

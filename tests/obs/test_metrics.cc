@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -194,6 +195,50 @@ TEST_F(MetricsTest, RenderingsCarrySummaryQuantiles)
     EXPECT_NE(json.find("\"p50\":"), std::string::npos);
     EXPECT_NE(json.find("\"p95\":"), std::string::npos);
     EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST_F(MetricsTest, QuantileTextAndJsonAgree)
+{
+    auto &reg = obs::Registry::global();
+    auto &h = reg.histogram("t_q_agree", "agree", {1.0, 5.0, 25.0});
+    // A skewed distribution so p50/p95/p99 land in three different
+    // buckets — a text/JSON divergence cannot hide behind symmetry.
+    for (int i = 0; i < 60; ++i)
+        h.observe(0.5);
+    for (int i = 0; i < 30; ++i)
+        h.observe(3.0);
+    for (int i = 0; i < 10; ++i)
+        h.observe(20.0);
+    const std::string prom = reg.renderPrometheus();
+    const std::string json = reg.renderJson();
+
+    auto promValue = [&](const char *label) {
+        const std::string key =
+                std::string("t_q_agree{quantile=\"") + label + "\"} ";
+        const auto pos = prom.find(key);
+        EXPECT_NE(pos, std::string::npos) << label;
+        return pos == std::string::npos
+                       ? -1.0
+                       : std::atof(prom.c_str() + pos + key.size());
+    };
+    auto jsonValue = [&](const char *key) {
+        const auto obj = json.find("\"t_q_agree\"");
+        EXPECT_NE(obj, std::string::npos);
+        const std::string k = std::string("\"") + key + "\":";
+        const auto pos = json.find(k, obj);
+        EXPECT_NE(pos, std::string::npos) << key;
+        return pos == std::string::npos
+                       ? -1.0
+                       : std::atof(json.c_str() + pos + k.size());
+    };
+    // Both renderings format the same estimate, so the parsed values
+    // agree exactly; the estimator itself agrees up to formatting.
+    EXPECT_DOUBLE_EQ(promValue("0.5"), jsonValue("p50"));
+    EXPECT_DOUBLE_EQ(promValue("0.95"), jsonValue("p95"));
+    EXPECT_DOUBLE_EQ(promValue("0.99"), jsonValue("p99"));
+    EXPECT_NEAR(promValue("0.5"), h.quantileEstimate(0.50), 1e-6);
+    EXPECT_NEAR(promValue("0.95"), h.quantileEstimate(0.95), 1e-6);
+    EXPECT_NEAR(promValue("0.99"), h.quantileEstimate(0.99), 1e-6);
 }
 
 TEST_F(MetricsTest, StandardCatalogPreRegistersEverything)

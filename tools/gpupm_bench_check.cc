@@ -25,6 +25,15 @@
  *       max error are gated by the tolerances (defaults 0.5 / 2.0 /
  *       5.0 percentage points).
  *
+ *   gpupm_bench_check profile <run.json> <golden.json>
+ *                     [--share-tol=<pp>] [--min-attributed=<pct>]
+ *       Gate the `cpu` attribution block (sampling-profiler summary)
+ *       of a bench telemetry run: span attribution must reach
+ *       --min-attributed (default 90%), and no span category's CPU
+ *       share may exceed the golden's by more than --share-tol
+ *       (default 10 percentage points) — the per-phase CPU budget a
+ *       hot-path regression trips even when wall-clock noise hides it.
+ *
  * Exit status: 0 pass, 1 regression or invalid artifact, 2 usage,
  * 3 missing or unreadable golden (named `missing-golden` error): a
  * gate whose golden vanished must fail loudly, never skip.
@@ -49,12 +58,24 @@ using jsonlite::JsonParser;
 using jsonlite::JsonValue;
 using jsonlite::readFile;
 
+/** Parsed `cpu` attribution block of a bench telemetry file. */
+struct CpuBlock
+{
+    bool present = false;
+    double samples = 0.0;
+    double dropped = 0.0;
+    double attributed_pct = 0.0;
+    /** category -> CPU share in percent of all samples. */
+    std::vector<std::pair<std::string, double>> shares;
+};
+
 /** Parsed essentials of one BENCH_<name>.json telemetry file. */
 struct BenchRun
 {
     std::string name;
     double wall_ms = 0.0;
     std::vector<std::pair<std::string, double>> stats;
+    CpuBlock cpu;
 };
 
 /**
@@ -153,6 +174,42 @@ loadBenchRun(const std::string &path, BenchRun &run)
             return bad("non-finite stat '" + kv.first + "'");
         run.stats.emplace_back(kv.first, kv.second.number);
     }
+    // The `cpu` block (sampling-profiler summary) is optional — older
+    // goldens predate it — but when present it must be well-formed so
+    // `profile` gates never compare garbage.
+    const JsonValue *cpu = root.find("cpu");
+    if (cpu) {
+        if (cpu->kind != JsonValue::Kind::Object)
+            return bad("cpu block is not an object");
+        auto num = [&](const char *key, double &out) {
+            const JsonValue *f = cpu->find(key);
+            if (!f || f->kind != JsonValue::Kind::Number ||
+                !std::isfinite(f->number) || f->number < 0)
+                return false;
+            out = f->number;
+            return true;
+        };
+        if (!num("samples", run.cpu.samples) ||
+            !num("dropped", run.cpu.dropped) ||
+            !num("attributed_pct", run.cpu.attributed_pct))
+            return bad("cpu block missing samples/dropped/"
+                       "attributed_pct");
+        const JsonValue *cats = cpu->find("categories");
+        if (!cats || cats->kind != JsonValue::Kind::Object)
+            return bad("cpu block missing categories object");
+        for (const auto &kv : cats->object) {
+            if (kv.second.kind != JsonValue::Kind::Object)
+                return bad("cpu category '" + kv.first +
+                           "' is not an object");
+            const JsonValue *share = kv.second.find("share_pct");
+            if (!share || share->kind != JsonValue::Kind::Number ||
+                !std::isfinite(share->number) || share->number < 0)
+                return bad("cpu category '" + kv.first +
+                           "' missing share_pct");
+            run.cpu.shares.emplace_back(kv.first, share->number);
+        }
+        run.cpu.present = true;
+    }
     return true;
 }
 
@@ -228,6 +285,93 @@ cmdBench(const std::string &run_path, const std::string &golden_path,
     return regressions ? 1 : 0;
 }
 
+/**
+ * Gate the run's CPU-attribution block against the golden's. Two
+ * checks, both on ratios so they hold across machine speeds:
+ *  - span attribution (percent of samples tagged with a taxonomy
+ *    category) must not fall below min_attributed — instrumentation
+ *    rot (a hot path losing its span) shows up here;
+ *  - each category's CPU share may not exceed the golden's by more
+ *    than share_tol percentage points — a phase silently eating a
+ *    bigger slice of the pie is a budget breach even when total
+ *    wall-clock still fits under `bench`'s time-factor.
+ * Categories that shrank or are new-but-small are fine; a new
+ * category is gated against a zero baseline.
+ */
+int
+cmdProfile(const std::string &run_path,
+           const std::string &golden_path, double share_tol,
+           double min_attributed)
+{
+    if (!readable(golden_path))
+        return missingGolden(golden_path);
+    BenchRun run, golden;
+    if (!loadBenchRun(run_path, run) ||
+        !loadBenchRun(golden_path, golden))
+        return 1;
+    if (!run.cpu.present) {
+        std::fprintf(stderr,
+                     "%s: no cpu block (bench must run with "
+                     "--json-out to embed the profiler summary)\n",
+                     run_path.c_str());
+        return 1;
+    }
+    if (!golden.cpu.present) {
+        std::fprintf(stderr,
+                     "%s: golden has no cpu block; refresh it from a "
+                     "run that embeds the profiler summary\n",
+                     golden_path.c_str());
+        return kMissingGoldenExit;
+    }
+    if (run.cpu.samples < 1) {
+        std::fprintf(stderr,
+                     "%s: cpu block has zero samples; profiler never "
+                     "fired\n",
+                     run_path.c_str());
+        return 1;
+    }
+
+    int regressions = 0;
+    if (run.cpu.attributed_pct < min_attributed) {
+        std::printf("REGRESSION: span attribution %.2f%% below the "
+                    "%.2f%% floor\n",
+                    run.cpu.attributed_pct, min_attributed);
+        ++regressions;
+    }
+    auto goldenShare = [&](const std::string &cat) {
+        for (const auto &kv : golden.cpu.shares)
+            if (kv.first == cat)
+                return kv.second;
+        return 0.0; // new category: budget starts at zero
+    };
+    for (const auto &rkv : run.cpu.shares) {
+        const double budget = goldenShare(rkv.first) + share_tol;
+        if (rkv.second > budget) {
+            std::printf("REGRESSION: category '%s' CPU share %.2f%% "
+                        "exceeds budget %.2f%% (golden %.2f%% + "
+                        "%.2f pp)\n",
+                        rkv.first.c_str(), rkv.second, budget,
+                        goldenShare(rkv.first), share_tol);
+            ++regressions;
+        }
+    }
+    for (const auto &gkv : golden.cpu.shares) {
+        bool found = false;
+        for (const auto &rkv : run.cpu.shares)
+            if (rkv.first == gkv.first)
+                found = true;
+        if (!found)
+            std::printf("note: category '%s' absent from run\n",
+                        gkv.first.c_str());
+    }
+    std::printf("%s vs %s: %s (%.0f samples, %.2f%% attributed, "
+                "%d regression(s))\n",
+                run_path.c_str(), golden_path.c_str(),
+                regressions ? "FAIL" : "PASS", run.cpu.samples,
+                run.cpu.attributed_pct, regressions);
+    return regressions ? 1 : 0;
+}
+
 int
 cmdScoreboard(const std::string &run_path,
               const std::string &golden_path,
@@ -270,7 +414,9 @@ usage()
             "  gpupm_bench_check bench <run.json> <golden.json> "
             "[--stat-tol=<pp>] [--time-factor=<x>]\n"
             "  gpupm_bench_check scoreboard <run> <golden> "
-            "[--mae-tol=<pp>] [--app-tol=<pp>] [--max-tol=<pp>]\n");
+            "[--mae-tol=<pp>] [--app-tol=<pp>] [--max-tol=<pp>]\n"
+            "  gpupm_bench_check profile <run.json> <golden.json> "
+            "[--share-tol=<pp>] [--min-attributed=<pct>]\n");
     return 2;
 }
 
@@ -281,6 +427,7 @@ main(int argc, char **argv)
 {
     std::vector<std::string> positional;
     double stat_tol = 2.0, time_factor = 2.0;
+    double share_tol = 10.0, min_attributed = 90.0;
     obs::ScoreboardTolerances tol;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -303,6 +450,10 @@ main(int argc, char **argv)
             tol.per_app_mae_pp = val;
         else if (key == "--max-tol")
             tol.max_err_pp = val;
+        else if (key == "--share-tol")
+            share_tol = val;
+        else if (key == "--min-attributed")
+            min_attributed = val;
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", key.c_str());
             return usage();
@@ -319,5 +470,8 @@ main(int argc, char **argv)
                         time_factor);
     if (cmd == "scoreboard" && positional.size() == 3)
         return cmdScoreboard(positional[1], positional[2], tol);
+    if (cmd == "profile" && positional.size() == 3)
+        return cmdProfile(positional[1], positional[2], share_tol,
+                          min_attributed);
     return usage();
 }

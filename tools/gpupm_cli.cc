@@ -92,6 +92,7 @@
 #include "obs/flight_recorder.hh"
 #include "obs/http_server.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/sampler.hh"
 #include "obs/standard.hh"
 #include "obs/trace.hh"
@@ -119,6 +120,7 @@ struct CliFlags
     std::string trace_out;       ///< Chrome trace-event JSON path
     std::string metrics_out;     ///< Prometheus text dump path
     std::string convergence_out; ///< estimator convergence CSV path
+    std::string profile_out;     ///< collapsed-stack CPU profile path
     bool verbose = false;        ///< log level: debug
     bool quiet = false;          ///< log level: warnings and errors
     bool show_version = false;   ///< --version anywhere on the line
@@ -181,6 +183,7 @@ flagTakesValue(const std::string &key)
             "--fault-seed",     "--retries",
             "--resume",         "--checkpoint",  "--scoreboard-out",
             "--trace-out",      "--metrics-out", "--convergence-out",
+            "--profile-out",
             "--port",           "--period-ms",   "--duration",
             "--events-out",     "--port-file",   "--shards",
             "--threads",        "--chaos-kill-rate",
@@ -258,6 +261,8 @@ parseFlags(int argc, char **argv, CliFlags &flags)
             flags.metrics_out = val;
         } else if (key == "--convergence-out") {
             flags.convergence_out = val;
+        } else if (key == "--profile-out") {
+            flags.profile_out = val;
         } else if (key == "--verbose") {
             flags.verbose = true;
         } else if (key == "--quiet") {
@@ -369,7 +374,8 @@ usage()
                  "--strict --allow-legacy\n"
                  "      observability flags (all commands): "
                  "--trace-out=<file> --metrics-out=<file> "
-                 "--convergence-out=<file> --verbose --quiet\n");
+                 "--convergence-out=<file> --profile-out=<file> "
+                 "--verbose --quiet\n");
     return 2;
 }
 
@@ -1001,10 +1007,19 @@ cmdVersion(const CliFlags &flags)
 /** Set by SIGINT/SIGTERM; the monitor main loop polls it. */
 volatile std::sig_atomic_t g_monitor_stop = 0;
 
+/** Set by SIGUSR1; the main loop dumps a live diagnostic and clears. */
+volatile std::sig_atomic_t g_monitor_dump = 0;
+
 extern "C" void
 monitorSignalHandler(int)
 {
     g_monitor_stop = 1;
+}
+
+extern "C" void
+monitorDumpHandler(int)
+{
+    g_monitor_dump = 1;
 }
 
 /** JSON number or -1 when not finite (age before the first sample). */
@@ -1124,7 +1139,9 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
                     "  /metrics     Prometheus text exposition\n"
                     "  /healthz     JSON liveness + provenance\n"
                     "  /scoreboard  live accuracy scoreboard JSON\n"
-                    "  /tracez      flight recorder (recent spans)\n";
+                    "  /tracez      flight recorder (recent spans)\n"
+                    "  /profilez    on-demand CPU profile "
+                    "(?seconds=N, collapsed-stack text)\n";
         return resp;
     });
     server.route("/metrics", [&](const obs::HttpRequest &) {
@@ -1170,6 +1187,64 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
         resp.body = recorder.renderJson();
         return resp;
     });
+    server.route("/profilez", [&](const obs::HttpRequest &req) {
+        // On-demand profile: sample the live daemon for N seconds
+        // (?seconds=N, clamped to [0.1, 30], default 1) and return
+        // the collapsed-stack text. Wall-clock sampling by default —
+        // a healthy monitor is mostly idle, and CPU-time sampling of
+        // an idle process truthfully returns nothing; ?mode=cpu
+        // selects it anyway for busy daemons. The sampling sleep runs
+        // on the HTTP worker, so other endpoints queue for the
+        // duration — acceptable for a diagnostic; ?json=1 returns the
+        // summary instead of the folded stacks.
+        double seconds = 1.0;
+        bool as_json = false;
+        obs::ProfilerOptions popts;
+        popts.wall = true;
+        popts.hz = 499;
+        std::istringstream qs(req.query);
+        std::string kv;
+        while (std::getline(qs, kv, '&')) {
+            if (kv.rfind("seconds=", 0) == 0)
+                seconds = std::atof(kv.c_str() + 8);
+            else if (kv == "json" || kv == "json=1")
+                as_json = true;
+            else if (kv == "mode=cpu") {
+                popts.wall = false;
+                popts.hz = 997;
+            }
+        }
+        seconds = std::min(30.0, std::max(0.1, seconds));
+        obs::HttpResponse resp;
+        auto &profiler = obs::Profiler::global();
+        std::string err;
+        if (!profiler.start(popts, &err)) {
+            resp.status = 409;
+            resp.body = "profiler unavailable: " + err + "\n";
+            return resp;
+        }
+        recorder.recordSpan("monitor.profile", 0,
+                            "sampling " + std::to_string(seconds) +
+                                    "s");
+        std::this_thread::sleep_for(
+                std::chrono::duration<double>(seconds));
+        profiler.stop();
+        const auto prof = profiler.collect();
+        obs::profilerRunsTotal().inc();
+        obs::profilerSamplesTotal().inc(
+                static_cast<double>(prof.samples));
+        obs::profilerSamplesDroppedTotal().inc(
+                static_cast<double>(prof.dropped));
+        obs::profilerLastAttributedPct().set(prof.attributedPct());
+        if (as_json) {
+            resp.content_type = "application/json";
+            resp.body = prof.renderJson() + "\n";
+        } else {
+            resp.content_type = "text/plain; charset=utf-8";
+            resp.body = prof.renderFolded();
+        }
+        return resp;
+    });
 
     std::string err;
     if (!server.start(flags.port, &err)) {
@@ -1199,11 +1274,54 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
                  server.port(), flags.period_ms,
                  utils.size() * points.size());
 
+    // SIGUSR1 diagnostic: everything a stuck daemon's operator needs,
+    // dumped to stderr without stopping anything — the recorder's
+    // recent past plus a full metrics snapshot. The handler only sets
+    // a flag; the dump itself runs here on the main loop.
+    const auto dumpDiagnostic = [&recorder, &sampler, &server]() {
+        std::fprintf(stderr,
+                     "monitor: === live diagnostic (SIGUSR1) ===\n");
+        std::fprintf(stderr,
+                     "monitor: %ld ticks, %ld requests served\n",
+                     sampler.ticks(), server.requestsServed());
+        const auto tail = recorder.snapshot();
+        const std::size_t show =
+                std::min<std::size_t>(tail.size(), 10);
+        std::fprintf(stderr,
+                     "monitor: flight recorder tail (%zu of %lld "
+                     "recorded):\n",
+                     show,
+                     static_cast<long long>(recorder.recorded()));
+        for (std::size_t i = tail.size() - show; i < tail.size(); ++i)
+            std::fprintf(stderr, "  #%lld +%.3fs [%s] %s: %s\n",
+                         static_cast<long long>(tail[i].seq),
+                         static_cast<double>(tail[i].ts_us) * 1e-6,
+                         tail[i].kind.c_str(), tail[i].name.c_str(),
+                         tail[i].detail.c_str());
+        obs::touchProcessMetrics();
+        std::fprintf(stderr, "monitor: metrics snapshot:\n%s",
+                     obs::Registry::global().renderJson().c_str());
+        std::fprintf(stderr,
+                     "monitor: === end live diagnostic ===\n");
+    };
+
     g_monitor_stop = 0;
+    g_monitor_dump = 0;
     std::signal(SIGINT, monitorSignalHandler);
     std::signal(SIGTERM, monitorSignalHandler);
-    while (!g_monitor_stop && sampler.running())
+    std::signal(SIGUSR1, monitorDumpHandler);
+    while (!g_monitor_stop && sampler.running()) {
+        if (g_monitor_dump) {
+            g_monitor_dump = 0;
+            dumpDiagnostic();
+        }
+        // A fresh span per iteration (not one for the whole loop):
+        // /profilez arms the profiler mid-run, and only spans opened
+        // while it runs land in its thread-local context — so an
+        // on-demand wall profile attributes the idle wait too.
+        GPUPM_TRACE_SPAN("monitor", "monitor.wait");
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
 
     std::fprintf(stderr,
                  "monitor: shutting down (%ld ticks, %ld requests "
@@ -1213,6 +1331,7 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
     server.stop();
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGUSR1, SIG_DFL);
     recorder.recordSpan("monitor.stop", 0, "clean shutdown");
 
     // Post-mortem: the recorder's recent past, oldest of the tail
@@ -1233,14 +1352,36 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
 }
 
 /**
- * Write the observability artifacts requested by --trace-out and
- * --metrics-out. Runs after the command (and its root span) finished
- * so the trace is complete; the metric catalog is pre-registered so
- * every standard counter appears even when its path never ran.
+ * Write the observability artifacts requested by --trace-out,
+ * --metrics-out and --profile-out. Runs after the command (and its
+ * root span) finished so the trace and profile are complete; the
+ * metric catalog is pre-registered so every standard counter appears
+ * even when its path never ran.
  */
 void
 writeObservabilityArtifacts(const CliFlags &flags)
 {
+    if (!flags.profile_out.empty() &&
+        obs::Profiler::global().running()) {
+        auto &profiler = obs::Profiler::global();
+        profiler.stop();
+        const auto prof = profiler.collect();
+        obs::profilerRunsTotal().inc();
+        obs::profilerSamplesTotal().inc(
+                static_cast<double>(prof.samples));
+        obs::profilerSamplesDroppedTotal().inc(
+                static_cast<double>(prof.dropped));
+        obs::profilerLastAttributedPct().set(prof.attributedPct());
+        if (prof.writeFolded(flags.profile_out))
+            std::fprintf(stderr,
+                         "cpu profile (%ld samples, %.1f%% "
+                         "span-attributed) written to %s\n",
+                         prof.samples, prof.attributedPct(),
+                         flags.profile_out.c_str());
+        else
+            std::fprintf(stderr, "cannot write %s\n",
+                         flags.profile_out.c_str());
+    }
     if (!flags.trace_out.empty()) {
         auto &tracer = obs::Tracer::global();
         tracer.disable();
@@ -1419,6 +1560,12 @@ main(int argc, char **argv)
         gpupm::setLogLevel(gpupm::LogLevel::Warn);
     if (!flags.trace_out.empty())
         gpupm::obs::Tracer::global().enable();
+    if (!flags.profile_out.empty()) {
+        std::string err;
+        if (!gpupm::obs::Profiler::global().start({}, &err))
+            std::fprintf(stderr, "cpu profiler unavailable: %s\n",
+                         err.c_str());
+    }
 
     int rc = 1;
     try {

@@ -7,19 +7,25 @@
  *
  *   gpupm_scrape get <port> <path> [--expect=<substr>]...
  *                    [--status=<code>] [--method=<verb>]
+ *                    [--timeout-ms=<n>]
  *       one GET (or <verb>) against 127.0.0.1:<port>, body on
  *       stdout; exits non-zero when the status or any expected
- *       substring does not match.
+ *       substring does not match. Without an explicit --status any
+ *       HTTP error (status >= 400) fails, so a scripted scrape
+ *       cannot mistake an error page for data; --timeout-ms bounds
+ *       each socket operation (default 5000).
  *
  *   gpupm_scrape monitor-selftest <gpupm-binary> <device>
  *                    --work=<dir>
  *       the full acceptance flow of the cli_monitor_scrape ctest:
  *       fork/exec `gpupm monitor <device>` on an ephemeral port,
  *       wait for the port file, scrape /metrics, /healthz,
- *       /scoreboard and /tracez, assert sane values plus the 404/405
- *       error paths, SIGTERM the daemon and require a clean exit 0.
- *       A cmake -P script cannot background a process, so the
- *       orchestration lives here.
+ *       /scoreboard, /tracez and /profilez (asserting the JSON
+ *       bodies are brace-balanced and the folded profile parses),
+ *       fire SIGUSR1 and require the live diagnostic dump on the
+ *       daemon's stderr, assert the 404/405 error paths, SIGTERM the
+ *       daemon and require a clean exit 0. A cmake -P script cannot
+ *       background a process, so the orchestration lives here.
  */
 
 #include <arpa/inet.h>
@@ -35,6 +41,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,19 +49,24 @@
 namespace
 {
 
-/** One blocking HTTP exchange against 127.0.0.1:port. */
+/** One blocking HTTP exchange against 127.0.0.1:port. Every socket
+ *  operation is bounded by timeout_ms so a wedged server turns into a
+ *  typed failure instead of a hung scrape. */
 bool
 httpExchange(int port, const std::string &method,
-             const std::string &path, int *status, std::string *body,
-             std::string *err)
+             const std::string &path, int timeout_ms, int *status,
+             std::string *body, std::string *err)
 {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
         *err = std::string("socket: ") + std::strerror(errno);
         return false;
     }
+    if (timeout_ms < 1)
+        timeout_ms = 1;
     timeval tv{};
-    tv.tv_sec = 5;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
@@ -121,18 +133,26 @@ fail(const std::string &what)
     return 1;
 }
 
-/** Scrape once and require a status plus body substrings. */
+/**
+ * Scrape once and require a status plus body substrings.
+ * want_status < 0 means "any non-error": the scrape fails on HTTP
+ * status >= 400 instead of demanding one exact code.
+ */
 int
 checkEndpoint(int port, const std::string &method,
               const std::string &path, int want_status,
               const std::vector<std::string> &expects,
-              std::string *body_out = nullptr)
+              std::string *body_out = nullptr, int timeout_ms = 5000)
 {
     int status = 0;
     std::string body, err;
-    if (!httpExchange(port, method, path, &status, &body, &err))
+    if (!httpExchange(port, method, path, timeout_ms, &status, &body,
+                      &err))
         return fail(method + " " + path + ": " + err);
-    if (status != want_status)
+    if (want_status < 0 && status >= 400)
+        return fail(method + " " + path + ": HTTP error status " +
+                    std::to_string(status));
+    if (want_status >= 0 && status != want_status)
         return fail(method + " " + path + ": status " +
                     std::to_string(status) + ", want " +
                     std::to_string(want_status));
@@ -145,6 +165,74 @@ checkEndpoint(int port, const std::string &method,
     std::fprintf(stderr, "gpupm_scrape: ok %s %s (%d, %zu bytes)\n",
                  method.c_str(), path.c_str(), status, body.size());
     return 0;
+}
+
+/**
+ * Structural well-formedness of a JSON body: non-empty, starts with
+ * '{' or '[', and every brace/bracket closes (string-aware, so
+ * braces inside values do not count). Not a full parser — the point
+ * is catching a truncated or interleaved HTTP body, which substring
+ * expectations alone would miss.
+ */
+bool
+jsonBalanced(const std::string &body)
+{
+    std::size_t i = 0;
+    while (i < body.size() && (body[i] == ' ' || body[i] == '\n'))
+        ++i;
+    if (i >= body.size() || (body[i] != '{' && body[i] != '['))
+        return false;
+    int depth = 0;
+    bool in_str = false, esc = false;
+    for (; i < body.size(); ++i) {
+        const char c = body[i];
+        if (esc) {
+            esc = false;
+        } else if (in_str) {
+            if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                in_str = false;
+        } else if (c == '"') {
+            in_str = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_str;
+}
+
+/**
+ * Structural well-formedness of a collapsed-stack profile: at least
+ * one line, every line `frames... count` with a ;-separated stack
+ * and a decimal sample count.
+ */
+bool
+foldedWellFormed(const std::string &body)
+{
+    std::size_t pos = 0;
+    int lines = 0;
+    while (pos < body.size()) {
+        std::size_t eol = body.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = body.size();
+        const std::string line = body.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        const std::size_t sp = line.rfind(' ');
+        if (sp == std::string::npos || sp == 0 ||
+            sp + 1 >= line.size())
+            return false;
+        for (std::size_t j = sp + 1; j < line.size(); ++j)
+            if (line[j] < '0' || line[j] > '9')
+                return false;
+        ++lines;
+    }
+    return lines > 0;
 }
 
 /** Value of the first `name value` sample line in Prometheus text. */
@@ -182,7 +270,9 @@ cmdGet(int argc, char **argv)
                     "[--method=<verb>]");
     const int port = std::atoi(argv[2]);
     const std::string path = argv[3];
-    int want_status = 200;
+    // No explicit --status: accept any non-error, fail on >= 400.
+    int want_status = -1;
+    int timeout_ms = 5000;
     std::string method = "GET";
     std::vector<std::string> expects;
     for (int i = 4; i < argc; ++i) {
@@ -193,12 +283,14 @@ cmdGet(int argc, char **argv)
             want_status = std::atoi(arg.c_str() + 9);
         else if (arg.rfind("--method=", 0) == 0)
             method = arg.substr(9);
+        else if (arg.rfind("--timeout-ms=", 0) == 0)
+            timeout_ms = std::atoi(arg.c_str() + 13);
         else
             return fail("unknown argument '" + arg + "'");
     }
     std::string body;
     const int rc = checkEndpoint(port, method, path, want_status,
-                                 expects, &body);
+                                 expects, &body, timeout_ms);
     if (rc == 0)
         std::fwrite(body.data(), 1, body.size(), stdout);
     return rc;
@@ -222,15 +314,20 @@ cmdMonitorSelftest(int argc, char **argv)
     }
     const std::string port_file = work + "/monitor.port";
     const std::string events_file = work + "/monitor.ndjson";
+    const std::string stderr_file = work + "/monitor.stderr";
     std::remove(port_file.c_str());
     std::remove(events_file.c_str());
+    std::remove(stderr_file.c_str());
 
     // The daemon gets a generous self-destruct so a hung test cannot
-    // leak a process past the ctest timeout.
+    // leak a process past the ctest timeout. Its stderr goes to a
+    // file so the SIGUSR1 diagnostic dump can be asserted on.
     const pid_t pid = ::fork();
     if (pid < 0)
         return fail(std::string("fork: ") + std::strerror(errno));
     if (pid == 0) {
+        if (!std::freopen(stderr_file.c_str(), "w", stderr))
+            _exit(126);
         const std::string port_arg = "--port-file=" + port_file;
         const std::string events_arg = "--events-out=" + events_file;
         ::execl(gpupm.c_str(), gpupm.c_str(), "monitor",
@@ -258,9 +355,16 @@ cmdMonitorSelftest(int argc, char **argv)
         port = 0;
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+    auto dumpStderr = [&] {
+        std::ifstream se(stderr_file);
+        std::string l;
+        while (std::getline(se, l))
+            std::fprintf(stderr, "monitor stderr| %s\n", l.c_str());
+    };
     auto killAndFail = [&](const std::string &what) {
         ::kill(pid, SIGKILL);
         ::waitpid(pid, nullptr, 0);
+        dumpStderr();
         return fail(what);
     };
     if (port <= 0)
@@ -303,14 +407,61 @@ cmdMonitorSelftest(int argc, char **argv)
                        "\"git_sha\"",
                        "\"device\":\"" + device + "\""}) != 0)
         return killAndFail("/healthz check failed");
+    std::string json_body;
     if (checkEndpoint(port, "GET", "/scoreboard", 200,
                       {"\"gpupm_scoreboard_version\"",
-                       "\"summary\":", "\"per_app\":"}) != 0)
+                       "\"summary\":", "\"per_app\":"},
+                      &json_body) != 0)
         return killAndFail("/scoreboard check failed");
+    if (!jsonBalanced(json_body))
+        return killAndFail("/scoreboard body is not balanced JSON");
     if (checkEndpoint(port, "GET", "/tracez", 200,
                       {"\"records\":", "monitor.sample",
-                       "monitor.start"}) != 0)
+                       "monitor.start"},
+                      &json_body) != 0)
         return killAndFail("/tracez check failed");
+    if (!jsonBalanced(json_body))
+        return killAndFail("/tracez body is not balanced JSON");
+
+    // /profilez runs the wall-clock sampling profiler in-place; the
+    // idle daemon sits in its instrumented wait/tick spans, so the
+    // folded profile must parse and carry monitor-attributed stacks.
+    std::string folded;
+    if (checkEndpoint(port, "GET", "/profilez?seconds=0.5", 200,
+                      {"monitor"}, &folded) != 0)
+        return killAndFail("/profilez check failed");
+    if (!foldedWellFormed(folded))
+        return killAndFail("/profilez body is not a folded profile");
+    if (checkEndpoint(port, "GET", "/profilez?seconds=0.2&json=1",
+                      200,
+                      {"\"mode\":\"wall\"", "\"attributed_pct\":",
+                       "\"categories\":"},
+                      &json_body) != 0)
+        return killAndFail("/profilez json check failed");
+    if (!jsonBalanced(json_body))
+        return killAndFail("/profilez json body is not balanced");
+
+    // SIGUSR1 must produce a live diagnostic dump on the daemon's
+    // stderr without disturbing the process.
+    if (::kill(pid, SIGUSR1) != 0)
+        return killAndFail(std::string("kill SIGUSR1: ") +
+                           std::strerror(errno));
+    bool dumped = false;
+    for (int waited_ms = 0; waited_ms < 5000 && !dumped;
+         waited_ms += 100) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        std::ifstream se(stderr_file);
+        std::string text((std::istreambuf_iterator<char>(se)),
+                         std::istreambuf_iterator<char>());
+        dumped = text.find("=== live diagnostic (SIGUSR1) ===") !=
+                         std::string::npos &&
+                 text.find("=== end live diagnostic ===") !=
+                         std::string::npos;
+    }
+    if (!dumped)
+        return killAndFail("no SIGUSR1 diagnostic dump within 5 s");
+    std::fprintf(stderr,
+                 "gpupm_scrape: ok SIGUSR1 live diagnostic dump\n");
 
     // A second /metrics scrape must show the first one accounted.
     if (checkEndpoint(port, "GET", "/metrics", 200, {}, &prom) != 0)
@@ -369,7 +520,7 @@ main(int argc, char **argv)
                      "usage:\n"
                      "  gpupm_scrape get <port> <path> "
                      "[--expect=<s>]... [--status=<n>] "
-                     "[--method=<verb>]\n"
+                     "[--method=<verb>] [--timeout-ms=<n>]\n"
                      "  gpupm_scrape monitor-selftest <gpupm-binary> "
                      "<device> --work=<dir>\n");
         return 2;
