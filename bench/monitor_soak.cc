@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Monitor-soak benchmark: 10k virtually-clocked sampler ticks with
+ * the embedded time-series store and the alert engine enabled, over a
+ * synthetic deterministic probe (no model training — this measures
+ * the observability overhead, not the simulator).
+ *
+ * Gates, in order of importance:
+ *  - the tsdb memory high-water must stay under the bound implied by
+ *    its cardinality and capacity caps (exit 1 otherwise) — the
+ *    store's "bounded by construction" claim, soaked;
+ *  - the injected mid-run accuracy fault must take an alert rule
+ *    through firing and back to resolved (exit 1 otherwise);
+ *  - wall-clock (the per-tick sampling overhead with the store and
+ *    engine on the tick path) is gated generously against
+ *    bench/golden/BENCH_monitor_soak.json via gpupm_bench_check.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "obs/alerts.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "obs/standard.hh"
+#include "obs/tsdb.hh"
+
+int
+main(int argc, char **argv)
+{
+    gpupm::bench::BenchReporter bench_report(argc, argv,
+                                             "monitor_soak");
+    using namespace gpupm;
+    obs::Registry::global().reset();
+
+    constexpr int kTicks = 10'000;
+    constexpr std::int64_t kPeriodUs = 100'000; // 10 Hz virtual clock
+    constexpr int kFaultFrom = 4'000;
+    constexpr int kFaultTo = 5'000;
+
+    // Synthetic probe: smooth measured power, ~4% prediction error in
+    // steady state, 18% inside the fault window. Everything is a pure
+    // function of the tick index — bit-identical across runs.
+    long tick = 0;
+    auto probe = [&tick](const std::string &app,
+                         const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        const double t = static_cast<double>(tick++);
+        s.measured_w = 200.0 + 25.0 * std::sin(t * 0.01);
+        const double err =
+                (tick > kFaultFrom && tick <= kFaultTo) ? 0.18
+                                                        : 0.04;
+        s.predicted_w =
+                s.measured_w * (1.0 + err * std::sin(t * 0.003 + 1.0));
+        return s;
+    };
+    const std::vector<obs::SchedulePoint> schedule{
+            {"SOAK1", {595, 3505}},
+            {"SOAK2", {1000, 3505}},
+            {"SOAK3", {1392, 3505}},
+    };
+
+    obs::Tsdb tsdb;
+    const obs::TsdbOptions &topts = tsdb.options();
+
+    obs::AlertRule rule;
+    rule.name = "soak_mae_high";
+    rule.series = "gpupm_accuracy_rolling_mae_pct";
+    rule.op = obs::AlertOp::Gt;
+    rule.threshold = 8.0; // between the 4% baseline and the 18% fault
+    rule.window_us = 10 * kPeriodUs;
+    rule.for_us = 5 * kPeriodUs;
+    rule.cooldown_us = 50 * kPeriodUs;
+    obs::AlertEngine engine(tsdb, {rule});
+
+    obs::SamplerOptions sopts;
+    sopts.period_ms = static_cast<int>(kPeriodUs / 1000);
+    sopts.rolling_window = 64;
+    sopts.device = 1;
+    sopts.device_name = "Soak GPU";
+    sopts.reference = {1000, 3505};
+    obs::Sampler sampler(probe, schedule, sopts, nullptr, &tsdb,
+                         &engine);
+
+    // Fixed-accounting bound: a pure function of the configured caps.
+    const std::size_t mem_bound =
+            sizeof(obs::Tsdb) + topts.stripes * 512 +
+            topts.max_series *
+                    (topts.raw_capacity * sizeof(obs::TsPoint) +
+                     2 * topts.tier_capacity * sizeof(obs::TsBucket) +
+                     1024);
+
+    std::size_t high_water = 0;
+    const auto loop_start = std::chrono::steady_clock::now();
+    for (int t = 0; t < kTicks; ++t) {
+        sampler.tickSynchronously((t + 1) * kPeriodUs);
+        if (t % 100 == 0)
+            high_water =
+                    std::max(high_water, tsdb.memoryBytes());
+    }
+    const double loop_ms =
+            std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - loop_start)
+                    .count();
+    high_water = std::max(high_water, tsdb.memoryBytes());
+
+    // The fault must have walked the rule through the whole
+    // lifecycle: firing inside the window, resolved after it.
+    bool fired = false, resolved = false;
+    const auto statuses = engine.snapshot();
+    for (const auto &tr : statuses[0].history) {
+        if (tr.state == obs::AlertState::Firing)
+            fired = true;
+        if (tr.state == obs::AlertState::Resolved)
+            resolved = true;
+    }
+
+    const double tick_us = loop_ms * 1000.0 / kTicks;
+    std::cout << "monitor soak: " << kTicks << " ticks, "
+              << tsdb.seriesCount() << " series, "
+              << tsdb.pointsAppended() << " points, high-water "
+              << high_water << " B (bound " << mem_bound << " B), "
+              << gpupm::numio::formatDouble(tick_us)
+              << " us/tick\n";
+    std::cout << "alert lifecycle: fired="
+              << (fired ? "yes" : "NO") << " resolved="
+              << (resolved ? "yes" : "NO") << " (transitions "
+              << obs::alertTransitionsTotal().value() << ")\n";
+
+    bench_report.stat("ticks", kTicks);
+    bench_report.stat("tick_overhead_us", tick_us);
+    bench_report.stat("tsdb_series",
+                      static_cast<double>(tsdb.seriesCount()));
+    bench_report.stat("tsdb_points",
+                      static_cast<double>(tsdb.pointsAppended()));
+    bench_report.stat("tsdb_memory_high_water_bytes",
+                      static_cast<double>(high_water));
+    bench_report.stat("tsdb_memory_bound_bytes",
+                      static_cast<double>(mem_bound));
+    bench_report.stat("alert_transitions",
+                      obs::alertTransitionsTotal().value());
+    // _pct stats are the ones gpupm_bench_check gates tightly: the
+    // steady-state rolling MAE of the synthetic probe and the memory
+    // utilization against the configured bound.
+    bench_report.stat("rolling_mae_pct",
+                      obs::accuracyRollingMaePct().value());
+    bench_report.stat("memory_of_bound_pct",
+                      100.0 * static_cast<double>(high_water) /
+                              static_cast<double>(mem_bound));
+
+    if (high_water > mem_bound) {
+        std::cout << "FAIL: tsdb memory exceeded its bound\n";
+        return 1;
+    }
+    if (!fired || !resolved) {
+        std::cout << "FAIL: alert lifecycle incomplete\n";
+        return 1;
+    }
+    return 0;
+}

@@ -34,7 +34,8 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
         obs_test_trace obs_test_metrics obs_test_convergence \
         obs_test_scoreboard obs_test_http_server \
         obs_test_flight_recorder obs_test_sampler \
-        obs_test_profiler core_test_scoreboard_io \
+        obs_test_profiler obs_test_tsdb obs_test_alerts \
+        core_test_scoreboard_io \
         gpupm_fuzz_smoke gpupm_cli gpupm_trace_check gpupm_bench_check \
         gpupm_scrape
     for t in build-asan/tests/core_test_* build-asan/tests/linalg_test_* \
@@ -100,11 +101,12 @@ if [ "${GPUPM_SKIP_TSAN:-0}" != "1" ]; then
         fleet_test_pool fleet_test_watchdog fleet_test_chaos \
         fleet_test_shard_io fleet_test_supervisor \
         fleet_test_chaos_gate obs_test_http_server \
-        obs_test_metrics obs_test_profiler gpupm_cli
+        obs_test_metrics obs_test_profiler obs_test_tsdb gpupm_cli
     for t in build-tsan/tests/fleet_test_* \
              build-tsan/tests/obs_test_http_server \
              build-tsan/tests/obs_test_metrics \
-             build-tsan/tests/obs_test_profiler; do
+             build-tsan/tests/obs_test_profiler \
+             build-tsan/tests/obs_test_tsdb; do
         [ -f "$t" ] && [ -x "$t" ] || continue
         echo "== tsan: $t"
         "$t"
@@ -156,14 +158,26 @@ build/tools/gpupm_bench_check scoreboard "$work/titanx.scoreboard" \
     bench/golden/titanx.scoreboard.json
 
 # Live-telemetry daemon: start `gpupm monitor` on an ephemeral port,
-# scrape /metrics, /healthz, /scoreboard and /tracez with the bundled
-# scrape client (no curl), and require a clean SIGTERM shutdown.
+# scrape /metrics, /healthz, /scoreboard, /tracez, /alertz and
+# /api/query with the bundled scrape client (no curl), and require a
+# clean SIGTERM shutdown.
 echo "==================================================="
 echo "== live monitor scrape (gpupm monitor titanx)"
 echo "==================================================="
 mkdir -p "$work/monitor"
 build/tools/gpupm_scrape monitor-selftest build/tools/gpupm titanx \
     --work="$work/monitor"
+
+# Drift alerting end to end against the live daemon: an injected
+# accuracy fault must take the built-in drift rule through firing
+# (degraded /healthz, gauge at 1) and back to resolved, with the
+# transitions in the NDJSON event log.
+echo "==================================================="
+echo "== drift-alert demo (gpupm monitor --inject-drift)"
+echo "==================================================="
+mkdir -p "$work/drift"
+build/tools/gpupm_scrape drift-demo build/tools/gpupm titanx \
+    --work="$work/drift"
 
 # Every experiment binary runs with telemetry on; a non-zero exit or
 # invalid telemetry artifact fails the reproduction, and the per-bench
@@ -209,6 +223,14 @@ build/tools/gpupm_bench_check profile "$work/BENCH_fig7_validation.json" \
 # `missing-golden` failure (exit 3), never a silent skip.
 build/tools/gpupm_bench_check bench "$work/BENCH_fleet_campaign.json" \
     bench/golden/BENCH_fleet.json --stat-tol=0.5 --time-factor=50
+# The monitor-soak telemetry budgets the sampling overhead with the
+# time-series store and alert engine on the tick path: deterministic
+# accuracy/memory stats tightly, wall-clock generously. The soak
+# binary itself exits non-zero if the store ever exceeds its memory
+# bound or the injected fault fails to fire and resolve.
+build/tools/gpupm_bench_check bench "$work/BENCH_monitor_soak.json" \
+    bench/golden/BENCH_monitor_soak.json --stat-tol=0.5 \
+    --time-factor=50
 echo "==================================================="
 echo "== per-bench wall-clock"
 echo "==================================================="

@@ -17,7 +17,9 @@
 #include "fleet/shard.hh"
 #include "fleet/shard_io.hh"
 #include "fleet/watchdog.hh"
+#include "gpu/device.hh"
 #include "obs/standard.hh"
+#include "obs/tsdb.hh"
 
 namespace gpupm
 {
@@ -384,6 +386,48 @@ publishFleetMetrics(const FleetResult &result)
         obs::fleetArchMaePct(agg.arch).set(agg.stats.mae_pct);
         obs::fleetArchDevicesOk(agg.arch).set(
                 static_cast<double>(agg.devices_ok));
+    }
+}
+
+void
+publishFleetSeries(const FleetResult &result, obs::Tsdb &tsdb)
+{
+    auto archLabel = [](const std::string &arch) {
+        return std::string("arch=\"") +
+               obs::Registry::labelEscape(arch) + "\"";
+    };
+
+    // Healthy devices are already ascending id; device i lands at a
+    // virtual t = (i+1) s so the series are reproducible run to run.
+    std::map<std::string, std::vector<double>> arch_maes;
+    double overall_sum = 0.0;
+    std::size_t overall_n = 0;
+    std::size_t i = 0;
+    for (const DeviceScore &ds : result.scoreboard.devices)
+    {
+        const std::int64_t t_us =
+                static_cast<std::int64_t>(i + 1) * 1'000'000;
+        const std::string arch = std::string(gpu::architectureName(
+                gpu::DeviceDescriptor::get(ds.kind).architecture));
+        tsdb.append("gpupm_fleet_device_mae_pct{" + archLabel(arch) +
+                            "}",
+                    t_us, ds.stats.mae_pct);
+        auto &maes = arch_maes[arch];
+        maes.push_back(ds.stats.mae_pct);
+        double sum = 0.0;
+        for (double m : maes)
+            sum += m;
+        tsdb.append("gpupm_fleet_arch_mae_pct{" + archLabel(arch) +
+                            "}",
+                    t_us, sum / static_cast<double>(maes.size()));
+        tsdb.append("gpupm_fleet_arch_devices_ok{" + archLabel(arch) +
+                            "}",
+                    t_us, static_cast<double>(maes.size()));
+        overall_sum += ds.stats.mae_pct;
+        ++overall_n;
+        tsdb.append("gpupm_fleet_mae_pct", t_us,
+                    overall_sum / static_cast<double>(overall_n));
+        ++i;
     }
 }
 

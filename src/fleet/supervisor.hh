@@ -34,6 +34,11 @@
 
 namespace gpupm
 {
+namespace obs
+{
+class Tsdb;
+} // namespace obs
+
 namespace fleet
 {
 
@@ -82,6 +87,19 @@ FleetResult runFleetCampaign(const FleetOptions &opts,
 
 /** Publish gpupm_fleet_* metrics to Registry::global(). */
 void publishFleetMetrics(const FleetResult &result);
+
+/**
+ * Publish per-architecture aggregate series into a time-series store
+ * (`gpupm fleet --serve`): for each architecture, the per-device MAE
+ * (`gpupm_fleet_device_mae_pct{arch=...}`) and the cumulative
+ * sample-weighted marginal as devices accrue in id order
+ * (`gpupm_fleet_arch_mae_pct{arch=...}`), plus the fleet-wide
+ * cumulative MAE (`gpupm_fleet_mae_pct`). Device index stands in for
+ * time (device i lands at t = (i+1) s), so the series are a pure
+ * function of the merged scoreboard — queryable drift over the fleet,
+ * deterministic across runs.
+ */
+void publishFleetSeries(const FleetResult &result, obs::Tsdb &tsdb);
 
 } // namespace fleet
 } // namespace gpupm

@@ -385,6 +385,47 @@ Registry::renderJson() const
     return os.str();
 }
 
+std::vector<MetricSample>
+Registry::collectSamples() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<MetricSample> out;
+    for (const auto &[name, family] : metrics_) {
+        for (const auto &[labels, e] : family) {
+            const std::string full =
+                    labels.empty() ? name : name + "{" + labels + "}";
+            switch (e.kind) {
+              case Kind::Counter:
+                out.push_back({full,
+                               e.counter ? e.counter->value() : 0.0,
+                               true});
+                break;
+              case Kind::Gauge:
+                out.push_back({full,
+                               e.gauge ? e.gauge->value() : 0.0,
+                               false});
+                break;
+              case Kind::Histogram: {
+                if (!e.histogram)
+                    break;
+                const std::string sum =
+                        labels.empty()
+                                ? name + "_sum"
+                                : name + "_sum{" + labels + "}";
+                const std::string count =
+                        labels.empty()
+                                ? name + "_count"
+                                : name + "_count{" + labels + "}";
+                out.push_back({sum, e.histogram->sum(), true});
+                out.push_back({count, e.histogram->count(), true});
+                break;
+              }
+            }
+        }
+    }
+    return out;
+}
+
 bool
 Registry::writePrometheus(const std::string &path) const
 {

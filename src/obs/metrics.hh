@@ -103,6 +103,21 @@ std::vector<double> iterationBuckets(); ///< 1 .. 50 fit iterations
 std::vector<double> errorPctBuckets();  ///< 0.5 .. 50 percent error
 
 /**
+ * One numeric sample of a registered metric, as captured by
+ * Registry::collectSamples(). `name` carries the family name plus the
+ * rendered label body (`family{key="value"}`) exactly as the
+ * Prometheus exposition would — the time-series store (tsdb.hh) keys
+ * its series on this string, so a scrape and a tsdb query name the
+ * same signal identically.
+ */
+struct MetricSample
+{
+    std::string name; ///< family, or family{labels}
+    double value = 0.0;
+    bool monotonic = false; ///< counter (or histogram _sum/_count)
+};
+
+/**
  * Name -> metric map. Registration is idempotent: the first call
  * creates the metric, later calls return the same instance (a
  * differing help string or type on re-registration is a programming
@@ -146,6 +161,15 @@ class Registry
 
     /** The same data as a JSON object keyed by metric name. */
     std::string renderJson() const;
+
+    /**
+     * Snapshot every numeric signal: one sample per counter and gauge
+     * child, two per histogram child (`name_sum`, `name_count` — the
+     * rates Prometheus would derive; per-bucket series would multiply
+     * tsdb cardinality for little alerting value). Ordered by family
+     * name then label body, so consumers see a stable order.
+     */
+    std::vector<MetricSample> collectSamples() const;
 
     /** Write renderPrometheus() to a file; false on I/O failure. */
     bool writePrometheus(const std::string &path) const;

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "common/numio.hh"
+#include "obs/alerts.hh"
 #include "obs/profiler.hh"
 #include "obs/standard.hh"
 #include "obs/trace.hh"
+#include "obs/tsdb.hh"
 
 namespace gpupm
 {
@@ -48,13 +51,21 @@ jsonEscape(const std::string &s)
 
 Sampler::Sampler(SampleProbe probe,
                  std::vector<SchedulePoint> schedule,
-                 SamplerOptions opts, FlightRecorder *recorder)
+                 SamplerOptions opts, FlightRecorder *recorder,
+                 Tsdb *tsdb, AlertEngine *alerts)
     : probe_(std::move(probe)), schedule_(std::move(schedule)),
-      opts_(std::move(opts)), recorder_(recorder)
+      opts_(std::move(opts)), recorder_(recorder), tsdb_(tsdb),
+      alerts_(alerts)
 {
     GPUPM_ASSERT(static_cast<bool>(probe_), "sampler needs a probe");
     GPUPM_ASSERT(!schedule_.empty(), "sampler needs a schedule");
     GPUPM_ASSERT(opts_.period_ms > 0, "sampler period must be > 0");
+    // Alert transitions ride the same NDJSON stream as samples. The
+    // engine only fires the sink from evaluate(), which runs on the
+    // tick path — the single thread that owns events_.
+    if (alerts_)
+        alerts_->setEventSink(
+                [this](const std::string &line) { writeEventLine(line); });
 }
 
 Sampler::~Sampler()
@@ -63,20 +74,28 @@ Sampler::~Sampler()
 }
 
 bool
+Sampler::openEvents(std::string *err)
+{
+    if (opts_.events_out.empty() || events_.is_open())
+        return true;
+    events_.open(opts_.events_out, std::ios::binary | std::ios::trunc);
+    if (!events_) {
+        if (err)
+            *err = "cannot open event log '" + opts_.events_out +
+                   "' for writing";
+        return false;
+    }
+    events_bytes_ = 0;
+    return true;
+}
+
+bool
 Sampler::start(std::string *err)
 {
     if (running())
         return true;
-    if (!opts_.events_out.empty()) {
-        events_.open(opts_.events_out,
-                     std::ios::binary | std::ios::trunc);
-        if (!events_) {
-            if (err)
-                *err = "cannot open event log '" + opts_.events_out +
-                       "' for writing";
-            return false;
-        }
-    }
+    if (!openEvents(err))
+        return false;
     started_ = std::chrono::steady_clock::now();
     stop_.store(false, std::memory_order_relaxed);
     running_.store(true, std::memory_order_relaxed);
@@ -156,7 +175,11 @@ Sampler::loop()
             if (elapsed >= opts_.duration_s)
                 break;
         }
-        tickOnce(index % schedule_.size());
+        const std::int64_t now_us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - started_)
+                        .count();
+        tickOnce(index % schedule_.size(), now_us);
         ++index;
         next += period;
         std::unique_lock<std::mutex> lock(wake_mu_);
@@ -170,7 +193,14 @@ Sampler::loop()
 }
 
 void
-Sampler::tickOnce(std::size_t index)
+Sampler::tickSynchronously(std::int64_t t_us)
+{
+    tickOnce(sync_index_ % schedule_.size(), t_us);
+    ++sync_index_;
+}
+
+void
+Sampler::tickOnce(std::size_t index, std::int64_t t_us)
 {
     const SchedulePoint &pt = schedule_[index];
     // Attributes /profilez samples of a live daemon to the sampling
@@ -201,6 +231,13 @@ Sampler::tickOnce(std::size_t index)
                     "monitor.probe_failure",
                     static_cast<std::int64_t>(probe_seconds * 1e6),
                     pt.app + ": " + s.error);
+        // Failed ticks still snapshot the registry and evaluate the
+        // rules: a wedged probe must surface as stale/rate alerts,
+        // not freeze history.
+        if (tsdb_)
+            tsdb_->recordRegistry(Registry::global(), t_us);
+        if (alerts_)
+            alerts_->evaluate(t_us);
         return;
     }
 
@@ -240,6 +277,37 @@ Sampler::tickOnce(std::size_t index)
         recorder_->record(std::move(rec));
     }
     logEvent(s, probe_seconds);
+
+    updateRollingMae();
+    if (tsdb_) {
+        tsdbPointsTotal().inc(
+                static_cast<double>(tsdb_->pointsAppended()) -
+                tsdbPointsTotal().value());
+        tsdb_->recordRegistry(Registry::global(), t_us);
+    }
+    if (alerts_)
+        alerts_->evaluate(t_us);
+}
+
+void
+Sampler::updateRollingMae()
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    {
+        std::lock_guard<std::mutex> lock(data_mu_);
+        const std::size_t window =
+                std::max<std::size_t>(opts_.rolling_window, 1);
+        const std::size_t take =
+                std::min(window, residuals_.size());
+        for (std::size_t i = residuals_.size() - take;
+             i < residuals_.size(); ++i) {
+            sum += residuals_[i].absErrPct();
+            ++n;
+        }
+    }
+    if (n > 0)
+        accuracyRollingMaePct().set(sum / static_cast<double>(n));
 }
 
 void
@@ -250,17 +318,49 @@ Sampler::logEvent(const MonitorSample &s, double probe_seconds)
     ResidualSample r;
     r.measured_w = s.measured_w;
     r.predicted_w = s.predicted_w;
-    events_ << "{\"tick\":" << ticks_.load(std::memory_order_relaxed)
-            << ",\"app\":\"" << jsonEscape(s.app)
-            << "\",\"core_mhz\":" << s.cfg.core_mhz
-            << ",\"mem_mhz\":" << s.cfg.mem_mhz << ",\"measured_w\":"
-            << numio::formatDouble(s.measured_w) << ",\"predicted_w\":"
-            << numio::formatDouble(s.predicted_w)
-            << ",\"abs_err_pct\":"
-            << numio::formatDouble(r.absErrPct())
-            << ",\"probe_seconds\":"
-            << numio::formatDouble(probe_seconds) << "}\n";
+    std::ostringstream os;
+    os << "{\"tick\":" << ticks_.load(std::memory_order_relaxed)
+       << ",\"app\":\"" << jsonEscape(s.app)
+       << "\",\"core_mhz\":" << s.cfg.core_mhz
+       << ",\"mem_mhz\":" << s.cfg.mem_mhz << ",\"measured_w\":"
+       << numio::formatDouble(s.measured_w) << ",\"predicted_w\":"
+       << numio::formatDouble(s.predicted_w) << ",\"abs_err_pct\":"
+       << numio::formatDouble(r.absErrPct()) << ",\"probe_seconds\":"
+       << numio::formatDouble(probe_seconds) << "}";
+    writeEventLine(os.str());
+}
+
+void
+Sampler::writeEventLine(const std::string &line)
+{
+    if (!events_.is_open())
+        return;
+    // Rotation check happens *before* the write, so a line is never
+    // split across generations and `<path>` never exceeds the cap by
+    // more than one line.
+    if (opts_.events_max_bytes > 0 &&
+        events_bytes_ + static_cast<long>(line.size()) + 1 >
+                opts_.events_max_bytes &&
+        events_bytes_ > 0) {
+        events_.close();
+        const std::string rotated = opts_.events_out + ".1";
+        // std::rename replaces an existing destination atomically on
+        // POSIX — readers see either the old or the new `.1`, never a
+        // missing one.
+        std::rename(opts_.events_out.c_str(), rotated.c_str());
+        events_.open(opts_.events_out,
+                     std::ios::binary | std::ios::trunc);
+        events_bytes_ = 0;
+        event_rotations_.fetch_add(1, std::memory_order_relaxed);
+        if (!events_) {
+            warn("event-log rotation failed to reopen '",
+                 opts_.events_out, "'; event logging disabled");
+            return;
+        }
+    }
+    events_ << line << "\n";
     events_.flush();
+    events_bytes_ += static_cast<long>(line.size()) + 1;
 }
 
 } // namespace obs

@@ -41,6 +41,15 @@ namespace gpupm
 {
 namespace obs
 {
+class AlertEngine;
+class Tsdb;
+} // namespace obs
+} // namespace gpupm
+
+namespace gpupm
+{
+namespace obs
+{
 
 /** One live measured-vs-predicted observation from the probe. */
 struct MonitorSample
@@ -70,7 +79,17 @@ struct SamplerOptions
     int period_ms = 250;      ///< tick period
     double duration_s = 0.0;  ///< stop after this long; 0 = until stop()
     std::string events_out;   ///< NDJSON event log path; "" = off
+    /**
+     * Rotate the event log once it exceeds this many bytes: the
+     * current file is atomically renamed to `<events_out>.1` (one
+     * generation, replacing any previous `.1`) and a fresh log is
+     * opened. 0 disables rotation (unbounded growth).
+     */
+    long events_max_bytes = 0;
     std::size_t max_samples = 10000; ///< residuals retained (ring)
+    /** Residuals in the rolling-MAE window feeding
+     *  gpupm_accuracy_rolling_mae_pct (and the drift rule). */
+    std::size_t rolling_window = 64;
 
     /** Identity stamped onto scoreboard snapshots. */
     int device = 0;
@@ -83,7 +102,8 @@ class Sampler
 {
   public:
     Sampler(SampleProbe probe, std::vector<SchedulePoint> schedule,
-            SamplerOptions opts, FlightRecorder *recorder = nullptr);
+            SamplerOptions opts, FlightRecorder *recorder = nullptr,
+            Tsdb *tsdb = nullptr, AlertEngine *alerts = nullptr);
     ~Sampler(); ///< stops and joins if still running
 
     Sampler(const Sampler &) = delete;
@@ -91,6 +111,23 @@ class Sampler
 
     /** Open the event log and start ticking. False + *err on failure. */
     bool start(std::string *err = nullptr);
+
+    /**
+     * Open the event log without starting the worker thread — for
+     * synchronous driving via tickSynchronously() (the `gpupm alerts`
+     * one-shot). start() calls this itself.
+     */
+    bool openEvents(std::string *err = nullptr);
+
+    /**
+     * Run exactly one tick on the calling thread at virtual time
+     * `t_us` (stamped onto tsdb points and alert evaluation instead
+     * of the wall clock), advancing the schedule round-robin. Virtual
+     * time makes two runs at the same device seed byte-identical —
+     * the determinism the drift-demo ctest gate relies on. Do not mix
+     * with a start()ed worker loop.
+     */
+    void tickSynchronously(std::int64_t t_us);
 
     /** Signal the loop to finish the current tick and join it. */
     void stop();
@@ -122,15 +159,25 @@ class Sampler
 
     const SamplerOptions &options() const { return opts_; }
 
+    /** Rotations performed so far (`<events_out>.1` rewrites). */
+    long eventRotations() const
+    {
+        return event_rotations_.load(std::memory_order_relaxed);
+    }
+
   private:
     void loop();
-    void tickOnce(std::size_t index);
+    void tickOnce(std::size_t index, std::int64_t t_us);
     void logEvent(const MonitorSample &s, double probe_seconds);
+    void writeEventLine(const std::string &line);
+    void updateRollingMae();
 
     SampleProbe probe_;
     std::vector<SchedulePoint> schedule_;
     SamplerOptions opts_;
     FlightRecorder *recorder_; ///< optional, not owned
+    Tsdb *tsdb_;               ///< optional, not owned
+    AlertEngine *alerts_;      ///< optional, not owned
 
     std::thread worker_;
     std::atomic<bool> stop_{false};
@@ -145,6 +192,9 @@ class Sampler
     std::atomic<std::int64_t> last_sample_us_{-1}; ///< since started_
 
     std::ofstream events_; ///< sampler-thread only after start()
+    long events_bytes_ = 0; ///< bytes written since (re)open
+    std::atomic<long> event_rotations_{0};
+    std::size_t sync_index_ = 0; ///< tickSynchronously round-robin
 };
 
 } // namespace obs

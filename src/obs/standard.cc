@@ -361,6 +361,59 @@ monitorSampleSeconds()
                            secondsBuckets());
 }
 
+Gauge &
+accuracyRollingMaePct()
+{
+    return reg().gauge(
+            "gpupm_accuracy_rolling_mae_pct",
+            "MAE over the sampler's rolling residual window, percent");
+}
+
+Gauge &
+tsdbSeriesCount()
+{
+    return reg().gauge("gpupm_tsdb_series",
+                       "Live series in the embedded time-series store");
+}
+
+Gauge &
+tsdbMemoryBytes()
+{
+    return reg().gauge("gpupm_tsdb_memory_bytes",
+                       "Accounted tsdb memory footprint, bytes");
+}
+
+Counter &
+tsdbPointsTotal()
+{
+    return reg().counter("gpupm_tsdb_points_total",
+                         "Points appended to the time-series store");
+}
+
+Counter &
+tsdbEvictionsTotal()
+{
+    return reg().counter(
+            "gpupm_tsdb_evictions_total",
+            "Series evicted at the cardinality cap (LRU by write)");
+}
+
+Gauge &
+alertsFiring(const std::string &rule)
+{
+    return reg().gauge(
+            "gpupm_alerts_firing",
+            "rule=\"" + Registry::labelEscape(rule) + "\"",
+            "1 while the rule is firing, 0 otherwise");
+}
+
+Counter &
+alertTransitionsTotal()
+{
+    return reg().counter("gpupm_alert_transitions_total",
+                         "Alert state transitions across all rules");
+}
+
 Counter &
 profilerRunsTotal()
 {
@@ -541,6 +594,12 @@ registerStandardMetrics()
     monitorLastPredictedW();
     monitorSampleAgeSeconds();
     monitorSampleSeconds();
+    accuracyRollingMaePct();
+    tsdbSeriesCount();
+    tsdbMemoryBytes();
+    tsdbPointsTotal();
+    tsdbEvictionsTotal();
+    alertTransitionsTotal();
 }
 
 } // namespace obs

@@ -107,6 +107,19 @@ Gauge &monitorLastMeasuredW();
 Gauge &monitorLastPredictedW();
 Gauge &monitorSampleAgeSeconds();
 Histogram &monitorSampleSeconds();
+/** Rolling MAE over the sampler's last-N residual window, percent. */
+Gauge &accuracyRollingMaePct();
+
+// -- Time-series store & alerting (src/obs/tsdb, src/obs/alerts) -----
+
+Gauge &tsdbSeriesCount();
+Gauge &tsdbMemoryBytes();
+Counter &tsdbPointsTotal();
+Counter &tsdbEvictionsTotal();
+/** 1 while `rule` is firing, 0 otherwise: `gpupm_alerts_firing{rule=..}`. */
+Gauge &alertsFiring(const std::string &rule);
+/** Every alert state transition (pending, firing, resolved, ...). */
+Counter &alertTransitionsTotal();
 
 // -- Sampling CPU profiler (src/obs/profiler) ------------------------
 

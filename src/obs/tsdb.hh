@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Embedded time-series store for the live-telemetry daemon.
+ *
+ * A dependency-free, in-process store behind `gpupm monitor`: every
+ * sampler tick snapshots the metrics registry (Registry::
+ * collectSamples()) and appends one point per series. Series are keyed
+ * by the rendered Prometheus sample name (`family{labels}`), so a
+ * scrape of /metrics and a range query of /api/query name the same
+ * signal identically.
+ *
+ * Memory is bounded by construction, not by hope:
+ *  - each series holds a fixed-capacity raw ring plus two capped
+ *    downsampling tiers (10s and 1m buckets of min/max/sum/count);
+ *    old data falls off the back, never reallocates;
+ *  - total series cardinality is capped (`max_series`); when a stripe
+ *    is full the series with the oldest last write is evicted to make
+ *    room (LRU-by-write), and the eviction is counted.
+ *
+ * Writes are lock-striped: the series map is split across
+ * `stripes` independently locked shards keyed by a hash of the series
+ * name, so the sampler thread and HTTP query threads contend only per
+ * stripe. Queries pick the coarsest tier whose resolution fits the
+ * requested step (step >= 1m -> tier 2, >= 10s -> tier 1, else raw)
+ * and aggregate into step-aligned buckets. DESIGN.md §14 documents
+ * the layout and the retention math.
+ */
+
+#ifndef GPUPM_OBS_TSDB_HH
+#define GPUPM_OBS_TSDB_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics.hh"
+
+namespace gpupm
+{
+namespace obs
+{
+
+/** Sizing knobs; the defaults hold a series under ~8 KiB. */
+struct TsdbOptions
+{
+    std::size_t raw_capacity = 240;  ///< raw points per series
+    std::size_t tier_capacity = 120; ///< buckets per downsample tier
+    std::int64_t tier1_res_us = 10'000'000; ///< 10 s buckets
+    std::int64_t tier2_res_us = 60'000'000; ///< 1 m buckets
+    std::size_t max_series = 512; ///< cardinality cap (all stripes)
+    std::size_t stripes = 8;      ///< lock stripes for writes
+};
+
+/** One raw observation. */
+struct TsPoint
+{
+    std::int64_t t_us = 0;
+    double value = 0.0;
+};
+
+/** One downsampled bucket (min/max/sum/count over its interval). */
+struct TsBucket
+{
+    std::int64_t start_us = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    std::int64_t count = 0;
+
+    void add(double v);
+    void merge(const TsBucket &other);
+    double avg() const { return count > 0 ? sum / count : 0.0; }
+};
+
+/** Range-query request: [start_us, end_us] at `step_us` resolution. */
+struct TsQuery
+{
+    std::string series;
+    std::int64_t start_us = 0;
+    std::int64_t end_us = 0;
+    std::int64_t step_us = 1'000'000;
+};
+
+/** Query result: step-aligned aggregate buckets, empty ones omitted. */
+struct TsQueryResult
+{
+    bool ok = false;
+    std::string error; ///< set when !ok (unknown series, bad range)
+    int tier = 0;      ///< 0 raw, 1 = tier1, 2 = tier2
+    std::int64_t start_us = 0;
+    std::int64_t end_us = 0;
+    std::int64_t step_us = 0;
+    std::vector<TsBucket> points;
+
+    /** Render as a JSON object (stable key order, NaN-free). */
+    std::string toJson(const std::string &series) const;
+};
+
+/**
+ * The store. All methods are thread-safe; append paths take exactly
+ * one stripe lock.
+ */
+class Tsdb
+{
+  public:
+    explicit Tsdb(TsdbOptions opts = {});
+
+    Tsdb(const Tsdb &) = delete;
+    Tsdb &operator=(const Tsdb &) = delete;
+
+    /**
+     * Append one point. Non-finite values are dropped (and counted);
+     * out-of-order timestamps within a series are accepted into the
+     * raw ring but only merge into the downsample tiers while their
+     * bucket is still the newest.
+     */
+    void append(const std::string &series, std::int64_t t_us,
+                double value);
+
+    /**
+     * Snapshot `reg` and append every sample at `t_us` — the sampler
+     * hook. Also refreshes the tsdb self-metrics (series count, memory
+     * bytes) so the store reports on itself.
+     */
+    void recordRegistry(const Registry &reg, std::int64_t t_us);
+
+    /** Range query; picks the tier from `q.step_us` (see file doc). */
+    TsQueryResult query(const TsQuery &q) const;
+
+    /** Sorted names of all live series. */
+    std::vector<std::string> seriesNames() const;
+
+    std::size_t seriesCount() const;
+
+    /**
+     * Fixed per-series accounting: ring + tier capacities at their
+     * configured sizes plus the name. An upper bound that is the same
+     * number the cardinality cap bounds — what the soak test gates.
+     */
+    std::size_t memoryBytes() const;
+
+    /** Largest timestamp ever appended (INT64_MIN when empty). */
+    std::int64_t latestTimestamp() const;
+
+    std::uint64_t pointsAppended() const
+    {
+        return points_appended_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t droppedNotFinite() const
+    {
+        return dropped_not_finite_.load(std::memory_order_relaxed);
+    }
+
+    const TsdbOptions &options() const { return opts_; }
+
+  private:
+    struct Series
+    {
+        std::string name;
+        std::vector<TsPoint> raw; ///< preallocated ring
+        std::size_t raw_head = 0; ///< index of oldest element
+        std::size_t raw_size = 0;
+        std::deque<TsBucket> tier1;
+        std::deque<TsBucket> tier2;
+        std::int64_t last_write_us = 0; ///< for LRU eviction
+    };
+
+    struct Stripe
+    {
+        mutable std::mutex mu;
+        std::vector<Series> series; ///< linear scan; few per stripe
+    };
+
+    Stripe &stripeFor(const std::string &name);
+    const Stripe &stripeFor(const std::string &name) const;
+    static std::size_t hashName(const std::string &name);
+
+    void appendLocked(Series &s, std::int64_t t_us, double value);
+    static void bucketInto(std::deque<TsBucket> &tier,
+                           std::int64_t res_us, std::size_t cap,
+                           std::int64_t t_us, double value);
+
+    TsdbOptions opts_;
+    std::size_t per_stripe_cap_ = 1;
+    std::vector<Stripe> stripes_;
+    std::atomic<std::uint64_t> points_appended_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> dropped_not_finite_{0};
+    std::atomic<std::int64_t> latest_us_;
+};
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_TSDB_HH

@@ -32,8 +32,11 @@ list(LENGTH events n_events)
 if(n_events LESS 1)
     message(FATAL_ERROR "event log is empty")
 endif()
+# Sample lines carry the per-tick audit; alert-transition lines from
+# the rule engine interleave with them.
 foreach(line IN LISTS events)
-    if(NOT line MATCHES "^\\{\"tick\":.*\"abs_err_pct\":.*\\}$")
+    if(NOT line MATCHES "^\\{\"tick\":.*\"abs_err_pct\":.*\\}$" AND
+       NOT line MATCHES "^\\{\"event\":\"alert\".*\"state\":.*\\}$")
         message(FATAL_ERROR "malformed NDJSON event: ${line}")
     endif()
 endforeach()

@@ -14,10 +14,12 @@
 #include <fstream>
 #include <thread>
 
+#include "obs/alerts.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
 #include "obs/standard.hh"
+#include "obs/tsdb.hh"
 
 namespace
 {
@@ -202,6 +204,103 @@ TEST_F(SamplerTest, ResidualWindowIsBounded)
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
     sampler.stop();
     EXPECT_LE(sampler.residualsSnapshot().size(), 4u);
+}
+
+TEST_F(SamplerTest, EventLogRotatesAtByteCapWithoutSplittingLines)
+{
+    auto o = fastOptions();
+    o.events_out = "sampler_rotate_test.ndjson";
+    o.events_max_bytes = 600; // a handful of ~190-byte lines
+    auto probe = [](const std::string &app,
+                    const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        s.measured_w = 100.0;
+        s.predicted_w = 90.0;
+        return s;
+    };
+    obs::Sampler sampler(probe, schedule_, o);
+    std::string err;
+    ASSERT_TRUE(sampler.openEvents(&err)) << err;
+    for (int t = 0; t < 30; ++t)
+        sampler.tickSynchronously((t + 1) * 5000);
+    EXPECT_GE(sampler.eventRotations(), 1L);
+
+    // Both generations exist; every line in both is an intact JSON
+    // object (rotation never splits a line) and the live file stays
+    // within the cap plus at most one line.
+    long total_lines = 0;
+    for (const std::string &path :
+         {o.events_out + ".1", o.events_out}) {
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << path;
+        std::string line;
+        long bytes = 0;
+        while (std::getline(in, line)) {
+            ++total_lines;
+            bytes += static_cast<long>(line.size()) + 1;
+            EXPECT_EQ(line.front(), '{') << path;
+            EXPECT_EQ(line.back(), '}') << path;
+            EXPECT_NE(line.find("\"tick\":"), std::string::npos);
+        }
+        EXPECT_LE(bytes, o.events_max_bytes + 250) << path;
+    }
+    // One generation of history: rotation keeps recent lines, not
+    // all 30 ticks.
+    EXPECT_GE(total_lines, 2L);
+    EXPECT_LT(total_lines, 30L);
+    std::remove(o.events_out.c_str());
+    std::remove((o.events_out + ".1").c_str());
+}
+
+TEST_F(SamplerTest, SynchronousTicksFeedTsdbAndAlerts)
+{
+    auto o = fastOptions();
+    o.rolling_window = 4;
+    auto probe = [](const std::string &app,
+                    const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        s.measured_w = 100.0;
+        s.predicted_w = 80.0; // 20% error, deterministic
+        return s;
+    };
+
+    obs::Tsdb tsdb;
+    obs::AlertRule rule;
+    rule.name = "mae_high";
+    rule.series = "gpupm_accuracy_rolling_mae_pct";
+    rule.op = obs::AlertOp::Gt;
+    rule.threshold = 10.0;
+    rule.window_us = 1'000'000;
+    rule.for_us = 0;
+    rule.cooldown_us = 0;
+    obs::AlertEngine engine(tsdb, {rule});
+    obs::Sampler sampler(probe, schedule_, o, nullptr, &tsdb,
+                         &engine);
+
+    // Virtual time: tick t lands at (t+1) * 100 ms, no wall clock.
+    for (int t = 0; t < 20; ++t)
+        sampler.tickSynchronously((t + 1) * 100'000);
+
+    EXPECT_EQ(sampler.ticks(), 20L);
+    EXPECT_EQ(engine.lastEvaluatedUs(), 20 * 100'000);
+    // The registry snapshot landed every tick: the MAE series holds
+    // one point per tick at exactly 20% error.
+    obs::TsQuery q;
+    q.series = "gpupm_accuracy_rolling_mae_pct";
+    q.start_us = 0;
+    q.end_us = 2'000'000;
+    q.step_us = 100'000;
+    const auto res = tsdb.query(q);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.points.size(), 20u);
+    EXPECT_DOUBLE_EQ(res.points.back().avg(), 20.0);
+    // 20% > 10% with no hysteresis: the rule fires.
+    EXPECT_TRUE(engine.anyFiring());
+    EXPECT_GE(obs::tsdbPointsTotal().value(), 20.0);
 }
 
 TEST_F(SamplerTest, AgeIsInfiniteBeforeAnySample)

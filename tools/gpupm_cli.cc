@@ -69,6 +69,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -79,6 +80,7 @@
 
 #include "baselines/baselines.hh"
 #include "common/logging.hh"
+#include "common/numio.hh"
 #include "common/provenance.hh"
 #include "common/table.hh"
 #include "core/campaign.hh"
@@ -88,6 +90,8 @@
 #include "core/predictor.hh"
 #include "core/validate.hh"
 #include "fleet/supervisor.hh"
+#include "json_lite.hh"
+#include "obs/alerts.hh"
 #include "obs/convergence.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/http_server.hh"
@@ -96,6 +100,7 @@
 #include "obs/sampler.hh"
 #include "obs/standard.hh"
 #include "obs/trace.hh"
+#include "obs/tsdb.hh"
 #include "ubench/cuda_source.hh"
 #include "workloads/workloads.hh"
 
@@ -103,6 +108,10 @@ namespace
 {
 
 using namespace gpupm;
+
+// Defined with the monitor helpers below; cmdFleet reuses it for the
+// fleet-serve /api/query endpoint.
+obs::HttpServer::Handler makeQueryHandler(const obs::Tsdb &tsdb);
 
 /** Resilience-related flags shared by campaign/train. */
 struct CliFlags
@@ -131,6 +140,25 @@ struct CliFlags
     double duration_s = 0.0;  ///< stop after this long; 0 = forever
     std::string events_out;   ///< NDJSON event log path
     std::string port_file;    ///< write the bound port here (tests)
+
+    // `monitor`/`alerts` history + alerting flags.
+    long events_max_bytes = 0;    ///< rotate event log past this; 0=off
+    bool healthz_degraded_503 = false; ///< firing alerts -> HTTP 503
+    std::vector<std::string> alert_specs; ///< --alert rule specs
+    bool no_drift_rule = false;   ///< drop the built-in drift rule
+    // The monitor schedule visits the V-F corners (slowest/ref/
+    // fastest), where model error runs above the full-grid Fig. 7
+    // MAE, so the default tolerance leaves the live baseline
+    // (~8.5/8.7/15 pct for titanxp/titanx/k40c) comfortably inside
+    // the envelope+tolerance threshold.
+    double drift_tolerance = 5.0; ///< pp over the fig7 envelope
+    double drift_window_s = 30.0; ///< drift rule window
+    double drift_for_s = 10.0;    ///< pending -> firing
+    double drift_cooldown_s = 30.0; ///< clear -> resolved
+    std::string drift_golden;     ///< fig7 golden refreshing envelope
+    long rolling_window = 64;     ///< rolling-MAE residual window
+    std::string inject_drift;     ///< from:to:scale fault injection
+    long alert_ticks = 120;       ///< `alerts` one-shot tick count
 
     // `fleet` flags.
     int shards = 4;           ///< shard count
@@ -188,7 +216,10 @@ flagTakesValue(const std::string &key)
             "--events-out",     "--port-file",   "--shards",
             "--threads",        "--chaos-kill-rate",
             "--chaos-stall-rate", "--chaos-poison", "--deadline",
-            "--fleet-out",
+            "--fleet-out",      "--events-max-bytes", "--alert",
+            "--drift-tolerance", "--drift-window", "--drift-for",
+            "--drift-cooldown", "--drift-golden", "--rolling-window",
+            "--inject-drift",   "--ticks",
     };
     for (const char *f : value_flags)
         if (key == f)
@@ -299,6 +330,43 @@ parseFlags(int argc, char **argv, CliFlags &flags)
             flags.deadline_s = d;
         } else if (key == "--fleet-out") {
             flags.fleet_out = val;
+        } else if (key == "--events-max-bytes") {
+            flags.events_max_bytes = std::atol(val.c_str());
+        } else if (key == "--healthz-degraded-503") {
+            flags.healthz_degraded_503 = true;
+        } else if (key == "--alert") {
+            flags.alert_specs.push_back(val);
+        } else if (key == "--no-drift-rule") {
+            flags.no_drift_rule = true;
+        } else if (key == "--drift-tolerance") {
+            flags.drift_tolerance = std::atof(val.c_str());
+        } else if (key == "--drift-window") {
+            const double d = parseDuration(val);
+            if (d < 0.0)
+                return bad("bad duration for flag", key);
+            flags.drift_window_s = d;
+        } else if (key == "--drift-for") {
+            const double d = parseDuration(val);
+            if (d < 0.0)
+                return bad("bad duration for flag", key);
+            flags.drift_for_s = d;
+        } else if (key == "--drift-cooldown") {
+            const double d = parseDuration(val);
+            if (d < 0.0)
+                return bad("bad duration for flag", key);
+            flags.drift_cooldown_s = d;
+        } else if (key == "--drift-golden") {
+            flags.drift_golden = val;
+        } else if (key == "--rolling-window") {
+            flags.rolling_window = std::atol(val.c_str());
+            if (flags.rolling_window <= 0)
+                return bad("bad value for flag", key);
+        } else if (key == "--inject-drift") {
+            flags.inject_drift = val;
+        } else if (key == "--ticks") {
+            flags.alert_ticks = std::atol(val.c_str());
+            if (flags.alert_ticks <= 0)
+                return bad("bad value for flag", key);
         } else {
             return bad("unknown flag", key);
         }
@@ -360,6 +428,19 @@ usage()
                  "  gpupm monitor <titanxp|titanx|k40c> "
                  "[--port=<n>] [--period-ms=<n>] "
                  "[--duration=<2s|500ms>] [--events-out=<file>]\n"
+                 "      [--events-max-bytes=<n>] "
+                 "[--rolling-window=<n>] [--healthz-degraded-503]\n"
+                 "  gpupm alerts <titanxp|titanx|k40c> [--json] "
+                 "[--ticks=<n>] [--period-ms=<n>] "
+                 "[--rolling-window=<n>]\n"
+                 "      alerting flags (monitor/alerts): "
+                 "--alert=NAME:KIND:SERIES:OP:THRESH[:WIN[:FOR[:COOL]]] "
+                 "--no-drift-rule\n"
+                 "      --drift-tolerance=<pp> --drift-window=<dur> "
+                 "--drift-for=<dur> --drift-cooldown=<dur> "
+                 "--drift-golden=<file>\n"
+                 "      --inject-drift=FROM:TO:SCALE   "
+                 "(scale measured power for ticks in [FROM,TO))\n"
                  "  gpupm fleet <num-devices> [--shards=<k>] "
                  "[--threads=<n>] [--resume=<dir>] "
                  "[--deadline=<dur>]\n"
@@ -931,6 +1012,13 @@ cmdFleet(const std::string &count, const CliFlags &flags)
         std::printf("%s\n", result.toJson().c_str());
 
     if (flags.duration_s > 0.0) {
+        // Per-architecture aggregate series: fleet-level drift
+        // (outlier devices, arch marginals moving) is queryable from
+        // the same /api/query shape the monitor serves. Declared
+        // before the server so handlers never outlive the store.
+        obs::Tsdb fleet_tsdb;
+        fleet::publishFleetSeries(result, fleet_tsdb);
+
         obs::HttpServer server;
         server.route("/metrics", [](const obs::HttpRequest &) {
             obs::touchProcessMetrics();
@@ -947,6 +1035,7 @@ cmdFleet(const std::string &count, const CliFlags &flags)
             resp.body = fleet_json;
             return resp;
         });
+        server.route("/api/query", makeQueryHandler(fleet_tsdb));
         std::string err;
         if (!server.start(flags.port, &err)) {
             std::fprintf(stderr,
@@ -1034,6 +1123,248 @@ jsonFiniteOr(double v, const char *fallback)
 }
 
 /**
+ * Parse one `--alert` rule spec. Grammar (DESIGN.md §14):
+ *
+ *   NAME:KIND:SERIES:OP:THRESHOLD[:WINDOW[:FOR[:COOLDOWN]]]
+ *
+ * KIND is `threshold` or `rate` (rate compares the per-second slope
+ * over the window), OP is `gt` or `lt`, durations use the usual
+ * `30s`/`500ms`/`1m` forms. Series names carry no colons, so a plain
+ * split is unambiguous.
+ */
+bool
+parseAlertSpec(const std::string &spec, obs::AlertRule &rule,
+               std::string &err)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    std::istringstream is(spec);
+    while (std::getline(is, cur, ':'))
+        parts.push_back(cur);
+    if (parts.size() < 5 || parts.size() > 8) {
+        err = "expected NAME:KIND:SERIES:OP:THRESHOLD"
+              "[:WINDOW[:FOR[:COOLDOWN]]], got '" +
+              spec + "'";
+        return false;
+    }
+    rule.name = parts[0];
+    if (rule.name.empty()) {
+        err = "rule name must not be empty";
+        return false;
+    }
+    if (parts[1] == "threshold") {
+        rule.kind = obs::AlertKind::Threshold;
+    } else if (parts[1] == "rate") {
+        rule.kind = obs::AlertKind::Rate;
+    } else {
+        err = "unknown rule kind '" + parts[1] +
+              "' (expected threshold or rate)";
+        return false;
+    }
+    rule.series = parts[2];
+    if (parts[3] == "gt") {
+        rule.op = obs::AlertOp::Gt;
+    } else if (parts[3] == "lt") {
+        rule.op = obs::AlertOp::Lt;
+    } else {
+        err = "unknown op '" + parts[3] + "' (expected gt or lt)";
+        return false;
+    }
+    if (!numio::parseDouble(parts[4], rule.threshold)) {
+        err = "bad threshold '" + parts[4] + "'";
+        return false;
+    }
+    const auto duration_us = [&](const std::string &text,
+                                 std::int64_t &out) {
+        const double d = parseDuration(text);
+        if (d < 0.0)
+            return false;
+        out = static_cast<std::int64_t>(d * 1e6);
+        return true;
+    };
+    if (parts.size() > 5 && !duration_us(parts[5], rule.window_us)) {
+        err = "bad window duration '" + parts[5] + "'";
+        return false;
+    }
+    if (parts.size() > 6 && !duration_us(parts[6], rule.for_us)) {
+        err = "bad for duration '" + parts[6] + "'";
+        return false;
+    }
+    if (parts.size() > 7 && !duration_us(parts[7], rule.cooldown_us)) {
+        err = "bad cooldown duration '" + parts[7] + "'";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Per-device MAE envelope from a bench/golden fig7 telemetry file
+ * (`stats.mae_pct_<device>`); nullopt (with a warning) when the file
+ * or the key is missing, falling back to the hard-coded envelope.
+ */
+std::optional<double>
+driftEnvelopeFromGolden(const std::string &path,
+                        const std::string &device)
+{
+    std::string text;
+    if (!jsonlite::readFile(path, text))
+        return std::nullopt;
+    jsonlite::JsonValue root;
+    std::string err;
+    if (!jsonlite::JsonParser(text).parse(root, err)) {
+        std::fprintf(stderr, "drift golden '%s': %s\n", path.c_str(),
+                     err.c_str());
+        return std::nullopt;
+    }
+    const auto *stats = root.find("stats");
+    if (!stats) {
+        std::fprintf(stderr, "drift golden '%s': no stats block\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    const auto *mae = stats->find("mae_pct_" + device);
+    if (!mae ||
+        mae->kind != jsonlite::JsonValue::Kind::Number) {
+        std::fprintf(stderr,
+                     "drift golden '%s': no mae_pct_%s stat\n",
+                     path.c_str(), device.c_str());
+        return std::nullopt;
+    }
+    return mae->number;
+}
+
+/**
+ * Assemble the alert rule set for a monitor/alerts run: the built-in
+ * drift rule (unless --no-drift-rule) plus every --alert spec.
+ * Returns false after printing the offending spec.
+ */
+bool
+buildAlertRules(const CliFlags &flags, const std::string &device,
+                std::vector<obs::AlertRule> &rules)
+{
+    if (!flags.no_drift_rule) {
+        std::optional<double> envelope;
+        if (!flags.drift_golden.empty())
+            envelope = driftEnvelopeFromGolden(flags.drift_golden,
+                                               device);
+        rules.push_back(obs::makeDriftRule(
+                device, flags.drift_tolerance,
+                static_cast<std::int64_t>(flags.drift_window_s * 1e6),
+                static_cast<std::int64_t>(flags.drift_for_s * 1e6),
+                static_cast<std::int64_t>(flags.drift_cooldown_s *
+                                          1e6),
+                envelope));
+    }
+    for (const std::string &spec : flags.alert_specs) {
+        obs::AlertRule rule;
+        std::string err;
+        if (!parseAlertSpec(spec, rule, err)) {
+            std::fprintf(stderr, "bad --alert spec: %s\n",
+                         err.c_str());
+            return false;
+        }
+        rules.push_back(std::move(rule));
+    }
+    return true;
+}
+
+/** Parsed --inject-drift=FROM:TO:SCALE (ticks, measured-W factor). */
+struct DriftInjection
+{
+    long from_tick = 0;
+    long to_tick = 0;
+    double scale = 1.0;
+};
+
+std::optional<DriftInjection>
+parseInjectDrift(const std::string &spec)
+{
+    DriftInjection inj;
+    char extra = 0;
+    if (std::sscanf(spec.c_str(), "%ld:%ld:%lf%c", &inj.from_tick,
+                    &inj.to_tick, &inj.scale, &extra) != 3 ||
+        inj.from_tick < 0 || inj.to_tick < inj.from_tick ||
+        inj.scale <= 0.0)
+        return std::nullopt;
+    return inj;
+}
+
+/**
+ * `/api/query` handler over a time-series store. Query parameters:
+ * `series` (required), `range`/`step` (durations, default 60s / 1s),
+ * or explicit `start_us`/`end_us` for reproducible test queries; the
+ * implicit end is the store's newest timestamp.
+ */
+obs::HttpServer::Handler
+makeQueryHandler(const obs::Tsdb &tsdb)
+{
+    return [&tsdb](const obs::HttpRequest &req) {
+        std::string series;
+        double range_s = 60.0;
+        double step_s = 1.0;
+        std::int64_t start_us = -1;
+        std::int64_t end_us = -1;
+        bool bad = false;
+        std::istringstream qs(req.query);
+        std::string kv;
+        while (std::getline(qs, kv, '&')) {
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos)
+                continue;
+            const std::string key = kv.substr(0, eq);
+            const std::string val = kv.substr(eq + 1);
+            if (key == "series") {
+                series = val;
+            } else if (key == "range") {
+                range_s = parseDuration(val);
+                bad = bad || range_s < 0.0;
+            } else if (key == "step") {
+                step_s = parseDuration(val);
+                bad = bad || step_s <= 0.0;
+            } else if (key == "start_us") {
+                long v = 0;
+                bad = bad || !numio::parseLong(val, v);
+                start_us = v;
+            } else if (key == "end_us") {
+                long v = 0;
+                bad = bad || !numio::parseLong(val, v);
+                end_us = v;
+            }
+        }
+        obs::HttpResponse resp;
+        resp.content_type = "application/json";
+        if (series.empty() || bad) {
+            resp.status = 400;
+            resp.body = "{\"ok\":false,\"error\":\"usage: /api/query"
+                        "?series=<name>&range=60s&step=1s (or "
+                        "start_us/end_us)\"}\n";
+            return resp;
+        }
+        obs::TsQuery q;
+        q.series = series;
+        if (end_us < 0)
+            end_us = tsdb.latestTimestamp();
+        if (end_us == std::numeric_limits<std::int64_t>::min()) {
+            resp.status = 404;
+            resp.body = "{\"ok\":false,\"error\":\"store is "
+                        "empty\"}\n";
+            return resp;
+        }
+        q.end_us = end_us;
+        q.start_us = start_us >= 0
+                             ? start_us
+                             : end_us - static_cast<std::int64_t>(
+                                                range_s * 1e6);
+        q.step_us = static_cast<std::int64_t>(step_s * 1e6);
+        const obs::TsQueryResult res = tsdb.query(q);
+        if (!res.ok)
+            resp.status = 404;
+        resp.body = res.toJson(series) + "\n";
+        return resp;
+    };
+}
+
+/**
  * `gpupm monitor <device>`: the long-running telemetry daemon. Trains
  * a model of the device in-process (same procedure as
  * `gpupm fit <device>`), then runs the online sampling loop — measure
@@ -1106,10 +1437,23 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
         }
     }
 
+    std::optional<DriftInjection> injection;
+    if (!flags.inject_drift.empty()) {
+        injection = parseInjectDrift(flags.inject_drift);
+        if (!injection) {
+            std::fprintf(stderr,
+                         "bad --inject-drift spec '%s' (expected "
+                         "FROM:TO:SCALE)\n",
+                         flags.inject_drift.c_str());
+            return 2;
+        }
+    }
+
     obs::FlightRecorder recorder(256);
     nvml::Device dev(board);
-    auto probe = [&](const std::string &app,
-                     const gpu::FreqConfig &cfg) {
+    auto probe_tick = std::make_shared<std::atomic<long>>(0);
+    auto probe = [&, probe_tick](const std::string &app,
+                                 const gpu::FreqConfig &cfg) {
         obs::MonitorSample s;
         s.app = app;
         s.cfg = cfg;
@@ -1117,19 +1461,36 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
         const auto pm =
                 dev.measureKernelPower(demands.at(app), 2, 0.05);
         s.measured_w = pm.power_w;
+        // Seeded accuracy fault: scale the measurement inside the
+        // tick window so the residuals — and the rolling MAE the
+        // drift rule watches — degrade and recover deterministically.
+        const long tick =
+                probe_tick->fetch_add(1, std::memory_order_relaxed);
+        if (injection && tick >= injection->from_tick &&
+            tick < injection->to_tick)
+            s.measured_w *= injection->scale;
         s.predicted_w = predictor.at(utils.at(app), cfg).total_w;
         return s;
     };
+
+    obs::Tsdb tsdb;
+    std::vector<obs::AlertRule> rules;
+    if (!buildAlertRules(flags, deviceToken(*kind), rules))
+        return 2;
+    obs::AlertEngine engine(tsdb, std::move(rules), &recorder);
 
     obs::SamplerOptions sopts;
     sopts.period_ms = flags.period_ms;
     sopts.duration_s = flags.duration_s;
     sopts.events_out = flags.events_out;
+    sopts.events_max_bytes = flags.events_max_bytes;
+    sopts.rolling_window =
+            static_cast<std::size_t>(flags.rolling_window);
     sopts.device = static_cast<int>(*kind);
     sopts.device_name = desc.name;
     sopts.reference = ref;
-    obs::Sampler sampler(probe, std::move(schedule), sopts,
-                         &recorder);
+    obs::Sampler sampler(probe, std::move(schedule), sopts, &recorder,
+                         &tsdb, &engine);
 
     const auto started = std::chrono::steady_clock::now();
     obs::HttpServer server;
@@ -1141,7 +1502,11 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
                     "  /scoreboard  live accuracy scoreboard JSON\n"
                     "  /tracez      flight recorder (recent spans)\n"
                     "  /profilez    on-demand CPU profile "
-                    "(?seconds=N, collapsed-stack text)\n";
+                    "(?seconds=N, collapsed-stack text)\n"
+                    "  /api/query   tsdb range query (?series=...&"
+                    "range=60s&step=1s)\n"
+                    "  /alertz      alert rules + firing state "
+                    "(?format=text for human output)\n";
         return resp;
     });
     server.route("/metrics", [&](const obs::HttpRequest &) {
@@ -1157,22 +1522,48 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
     });
     server.route("/healthz", [&](const obs::HttpRequest &) {
         const bool stale = sampler.stale();
+        const auto firing = engine.firingRuleNames();
+        // Staleness outranks degradation: a wedged sampler can no
+        // longer evaluate its own rules, so report the harder fault.
+        const char *status = stale ? "stale"
+                             : firing.empty() ? "ok"
+                                              : "degraded";
         const double uptime =
                 std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - started)
                         .count();
         std::ostringstream os;
-        os << "{\"status\":\"" << (stale ? "stale" : "ok")
+        os << "{\"status\":\"" << status
            << "\",\"uptime_seconds\":" << jsonFiniteOr(uptime, "0")
            << ",\"ticks\":" << sampler.ticks()
            << ",\"last_sample_age_seconds\":"
            << jsonFiniteOr(sampler.lastSampleAgeSeconds(), "-1")
-           << ",\"provenance\":"
+           << ",\"firing\":[";
+        for (std::size_t i = 0; i < firing.size(); ++i)
+            os << (i ? "," : "") << "\"" << jsonEscape(firing[i])
+               << "\"";
+        os << "],\"provenance\":"
            << common::toJson(common::collectProvenance()) << "}\n";
         obs::HttpResponse resp;
-        resp.status = stale ? 503 : 200;
+        resp.status = stale ? 503
+                      : (!firing.empty() && flags.healthz_degraded_503)
+                              ? 503
+                              : 200;
         resp.content_type = "application/json";
         resp.body = os.str();
+        return resp;
+    });
+    server.route("/api/query", makeQueryHandler(tsdb));
+    server.route("/alertz", [&](const obs::HttpRequest &req) {
+        const std::int64_t now = engine.lastEvaluatedUs();
+        obs::HttpResponse resp;
+        if (req.query.find("format=text") != std::string::npos) {
+            resp.content_type = "text/plain; charset=utf-8";
+            resp.body = engine.renderText(now);
+        } else {
+            resp.content_type = "application/json";
+            resp.body = engine.renderJson(now) + "\n";
+        }
         return resp;
     });
     server.route("/scoreboard", [&](const obs::HttpRequest &) {
@@ -1352,6 +1743,147 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
 }
 
 /**
+ * `gpupm alerts <device>`: one-shot alert evaluation. Runs the same
+ * in-process train + sample pipeline as `gpupm monitor`, but drives
+ * the sampler synchronously for --ticks virtual ticks (tick i lands
+ * at t = i * period) instead of on a wall-clock thread — no HTTP
+ * server, no sleeps. Virtual time plus the seeded simulated device
+ * make the run a pure function of its flags: two invocations emit
+ * byte-identical JSON, which the cli_alerts_drift ctest gate asserts.
+ * Exit code 1 when any rule is still firing at the final tick, else
+ * 0 — scriptable as a health probe.
+ */
+int
+cmdAlerts(const std::string &device, const CliFlags &flags)
+{
+    const auto kind = parseDevice(device);
+    if (!kind) {
+        std::fprintf(stderr,
+                     "unknown device '%s' (expected titanxp, titanx "
+                     "or k40c)\n",
+                     device.c_str());
+        return 2;
+    }
+    if (flags.period_ms <= 0) {
+        std::fprintf(stderr, "--period-ms must be positive\n");
+        return 2;
+    }
+    std::optional<DriftInjection> injection;
+    if (!flags.inject_drift.empty()) {
+        injection = parseInjectDrift(flags.inject_drift);
+        if (!injection) {
+            std::fprintf(stderr,
+                         "bad --inject-drift spec '%s' (expected "
+                         "FROM:TO:SCALE)\n",
+                         flags.inject_drift.c_str());
+            return 2;
+        }
+    }
+    common::setProvenanceDevice(deviceToken(*kind));
+    obs::registerStandardMetrics();
+
+    sim::PhysicalGpu board(*kind);
+    const auto &desc = board.descriptor();
+    std::fprintf(stderr, "alerts: training %s model in-process...\n",
+                 desc.name.c_str());
+    model::CampaignOptions copts;
+    copts.power_repetitions = 3;
+    const auto data = model::runTrainingCampaign(
+            board, ubench::buildSuite(), copts);
+    auto fit = model::ModelEstimator().tryEstimate(data);
+    if (!fit.ok()) {
+        std::fprintf(stderr, "fit failed [%s]: %s\n",
+                     std::string(model::fitErrcName(
+                             fit.error().code)).c_str(),
+                     fit.error().message.c_str());
+        return 1;
+    }
+    const model::DvfsPowerModel m = fit.value().model;
+    model::Predictor predictor(m);
+
+    const auto configs = desc.allConfigs();
+    const auto ref = desc.referenceConfig();
+    const std::vector<gpu::FreqConfig> points{configs.front(), ref,
+                                              configs.back()};
+    std::map<std::string, gpu::ComponentArray> utils;
+    std::map<std::string, sim::KernelDemand> demands;
+    std::vector<obs::SchedulePoint> schedule;
+    {
+        cupti::Profiler profiler(board, 11);
+        for (const auto &w : workloads::fullValidationSet()) {
+            const auto rm = profiler.profile(w.demand, ref);
+            utils[w.name] =
+                    model::utilizationsFromMetrics(rm, desc, ref);
+            demands[w.name] = w.demand;
+            for (const auto &cfg : points)
+                schedule.push_back({w.name, cfg});
+        }
+    }
+
+    obs::FlightRecorder recorder(256);
+    nvml::Device dev(board);
+    long probe_tick = 0;
+    auto probe = [&](const std::string &app,
+                     const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        dev.setApplicationClocks(cfg.mem_mhz, cfg.core_mhz);
+        const auto pm =
+                dev.measureKernelPower(demands.at(app), 2, 0.05);
+        s.measured_w = pm.power_w;
+        const long tick = probe_tick++;
+        if (injection && tick >= injection->from_tick &&
+            tick < injection->to_tick)
+            s.measured_w *= injection->scale;
+        s.predicted_w = predictor.at(utils.at(app), cfg).total_w;
+        return s;
+    };
+
+    obs::Tsdb tsdb;
+    std::vector<obs::AlertRule> rules;
+    if (!buildAlertRules(flags, deviceToken(*kind), rules))
+        return 2;
+    obs::AlertEngine engine(tsdb, std::move(rules), &recorder);
+
+    obs::SamplerOptions sopts;
+    sopts.period_ms = flags.period_ms;
+    sopts.events_out = flags.events_out;
+    sopts.events_max_bytes = flags.events_max_bytes;
+    sopts.rolling_window =
+            static_cast<std::size_t>(flags.rolling_window);
+    sopts.device = static_cast<int>(*kind);
+    sopts.device_name = desc.name;
+    sopts.reference = ref;
+    obs::Sampler sampler(probe, std::move(schedule), sopts, &recorder,
+                         &tsdb, &engine);
+    std::string err;
+    if (!sampler.openEvents(&err)) {
+        std::fprintf(stderr, "alerts: %s\n", err.c_str());
+        return 1;
+    }
+
+    const std::int64_t period_us =
+            static_cast<std::int64_t>(flags.period_ms) * 1000;
+    for (long tick = 0; tick < flags.alert_ticks; ++tick)
+        sampler.tickSynchronously((tick + 1) * period_us);
+
+    const std::int64_t now = engine.lastEvaluatedUs();
+    if (flags.json)
+        std::printf("%s\n", engine.renderJson(now).c_str());
+    else
+        std::printf("%s", engine.renderText(now).c_str());
+    const auto firing = engine.firingRuleNames();
+    if (!firing.empty()) {
+        std::fprintf(stderr, "alerts: %zu rule(s) firing after %ld "
+                             "ticks\n",
+                     firing.size(), flags.alert_ticks);
+        return 1;
+    }
+    return 0;
+}
+
+/**
  * Write the observability artifacts requested by --trace-out,
  * --metrics-out and --profile-out. Runs after the command (and its
  * root span) finished so the trace and profile are complete; the
@@ -1494,6 +2026,15 @@ dispatch(const std::vector<std::string> &args, const CliFlags &flags)
             return cmdVersion(flags);
         if (cmd == "monitor" && nargs == 2)
             return cmdMonitor(args[1], flags);
+        if (cmd == "alerts" && nargs == 2)
+            return cmdAlerts(args[1], flags);
+        if (cmd == "alerts") {
+            std::fprintf(stderr,
+                         "alerts needs exactly one device argument "
+                         "(titanxp, titanx or k40c), got %d\n",
+                         nargs - 1);
+            return 2;
+        }
         if (cmd == "fleet" && nargs == 2)
             return cmdFleet(args[1], flags);
         if (cmd == "fleet") {

@@ -20,18 +20,29 @@
  *       the full acceptance flow of the cli_monitor_scrape ctest:
  *       fork/exec `gpupm monitor <device>` on an ephemeral port,
  *       wait for the port file, scrape /metrics, /healthz,
- *       /scoreboard, /tracez and /profilez (asserting the JSON
- *       bodies are brace-balanced and the folded profile parses),
- *       fire SIGUSR1 and require the live diagnostic dump on the
- *       daemon's stderr, assert the 404/405 error paths, SIGTERM the
- *       daemon and require a clean exit 0. A cmake -P script cannot
- *       background a process, so the orchestration lives here.
+ *       /scoreboard, /tracez, /profilez, /alertz and /api/query
+ *       (asserting the JSON bodies are brace-balanced and the folded
+ *       profile parses), fire SIGUSR1 and require the live
+ *       diagnostic dump on the daemon's stderr, assert the 404/405
+ *       error paths, SIGTERM the daemon and require a clean exit 0.
+ *       A cmake -P script cannot background a process, so the
+ *       orchestration lives here.
+ *
+ *   gpupm_scrape drift-demo <gpupm-binary> <device> --work=<dir>
+ *       end-to-end drift alerting: start the monitor with a seeded
+ *       accuracy fault (--inject-drift), watch the rolling-MAE
+ *       series degrade through /api/query, require the drift rule
+ *       to go firing on /alertz (with gpupm_alerts_firing=1 in
+ *       /metrics and /healthz degraded) and then resolve once the
+ *       fault window passes, and require the alert transitions in
+ *       the NDJSON event log after a clean SIGTERM exit.
  */
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -296,6 +307,89 @@ cmdGet(int argc, char **argv)
     return rc;
 }
 
+/** A forked `gpupm monitor` daemon under test. */
+struct MonitorProc
+{
+    pid_t pid = -1;
+    int port = 0;
+    std::string port_file;
+    std::string events_file;
+    std::string stderr_file;
+};
+
+/**
+ * Fork/exec `gpupm monitor <device>` on an ephemeral port with the
+ * given extra flags and wait for the port file. The daemon gets a
+ * generous self-destruct (--duration=60s) so a hung test cannot leak
+ * a process past the ctest timeout; its stderr goes to a file so
+ * diagnostics can be asserted on.
+ */
+bool
+spawnMonitor(const std::string &gpupm, const std::string &device,
+             const std::string &work,
+             const std::vector<std::string> &extra_flags,
+             MonitorProc *proc, std::string *err)
+{
+    ::mkdir(work.c_str(), 0755); // fine if it already exists
+    proc->port_file = work + "/monitor.port";
+    proc->events_file = work + "/monitor.ndjson";
+    proc->stderr_file = work + "/monitor.stderr";
+    std::remove(proc->port_file.c_str());
+    std::remove(proc->events_file.c_str());
+    std::remove(proc->stderr_file.c_str());
+
+    proc->pid = ::fork();
+    if (proc->pid < 0) {
+        *err = std::string("fork: ") + std::strerror(errno);
+        return false;
+    }
+    if (proc->pid == 0) {
+        if (!std::freopen(proc->stderr_file.c_str(), "w", stderr))
+            _exit(126);
+        std::vector<std::string> args{gpupm,
+                                      "monitor",
+                                      device,
+                                      "--port=0",
+                                      "--period-ms=50",
+                                      "--duration=60s",
+                                      "--port-file=" + proc->port_file,
+                                      "--events-out=" +
+                                              proc->events_file};
+        args.insert(args.end(), extra_flags.begin(),
+                    extra_flags.end());
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (auto &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(gpupm.c_str(), argv.data());
+        std::fprintf(stderr, "exec %s: %s\n", gpupm.c_str(),
+                     std::strerror(errno));
+        _exit(127);
+    }
+
+    // The monitor trains its model before listening; poll the port
+    // file until it appears (or the child dies).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+        int wstatus = 0;
+        if (::waitpid(proc->pid, &wstatus, WNOHANG) == proc->pid) {
+            proc->pid = -1;
+            *err = "monitor exited before listening (status " +
+                   std::to_string(wstatus) + ")";
+            return false;
+        }
+        std::ifstream pf(proc->port_file);
+        if (pf >> proc->port && proc->port > 0)
+            return true;
+        proc->port = 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    *err = "no port file after 30 s";
+    return false;
+}
+
 int
 cmdMonitorSelftest(int argc, char **argv)
 {
@@ -312,49 +406,20 @@ cmdMonitorSelftest(int argc, char **argv)
         else
             return fail("unknown argument '" + arg + "'");
     }
-    const std::string port_file = work + "/monitor.port";
-    const std::string events_file = work + "/monitor.ndjson";
-    const std::string stderr_file = work + "/monitor.stderr";
-    std::remove(port_file.c_str());
-    std::remove(events_file.c_str());
-    std::remove(stderr_file.c_str());
 
-    // The daemon gets a generous self-destruct so a hung test cannot
-    // leak a process past the ctest timeout. Its stderr goes to a
-    // file so the SIGUSR1 diagnostic dump can be asserted on.
-    const pid_t pid = ::fork();
-    if (pid < 0)
-        return fail(std::string("fork: ") + std::strerror(errno));
-    if (pid == 0) {
-        if (!std::freopen(stderr_file.c_str(), "w", stderr))
-            _exit(126);
-        const std::string port_arg = "--port-file=" + port_file;
-        const std::string events_arg = "--events-out=" + events_file;
-        ::execl(gpupm.c_str(), gpupm.c_str(), "monitor",
-                device.c_str(), "--port=0", "--period-ms=50",
-                "--duration=60s", port_arg.c_str(),
-                events_arg.c_str(), static_cast<char *>(nullptr));
-        std::fprintf(stderr, "exec %s: %s\n", gpupm.c_str(),
-                     std::strerror(errno));
-        _exit(127);
+    MonitorProc proc;
+    std::string spawn_err;
+    if (!spawnMonitor(gpupm, device, work, {}, &proc, &spawn_err)) {
+        if (proc.pid > 0) {
+            ::kill(proc.pid, SIGKILL);
+            ::waitpid(proc.pid, nullptr, 0);
+        }
+        return fail(spawn_err);
     }
-
-    // The monitor trains its model before listening; poll the port
-    // file until it appears (or the child dies).
-    int port = 0;
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::seconds(30);
-    while (std::chrono::steady_clock::now() < deadline) {
-        int wstatus = 0;
-        if (::waitpid(pid, &wstatus, WNOHANG) == pid)
-            return fail("monitor exited before listening (status " +
-                        std::to_string(wstatus) + ")");
-        std::ifstream pf(port_file);
-        if (pf >> port && port > 0)
-            break;
-        port = 0;
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    }
+    const pid_t pid = proc.pid;
+    const int port = proc.port;
+    const std::string events_file = proc.events_file;
+    const std::string stderr_file = proc.stderr_file;
     auto dumpStderr = [&] {
         std::ifstream se(stderr_file);
         std::string l;
@@ -367,8 +432,6 @@ cmdMonitorSelftest(int argc, char **argv)
         dumpStderr();
         return fail(what);
     };
-    if (port <= 0)
-        return killAndFail("no port file after 30 s");
     std::fprintf(stderr, "gpupm_scrape: monitor up on port %d\n",
                  port);
 
@@ -382,6 +445,9 @@ cmdMonitorSelftest(int argc, char **argv)
                        "gpupm_accuracy_samples_total",
                        "gpupm_accuracy_abs_error_percent_bucket",
                        "gpupm_monitor_ticks_total",
+                       "gpupm_tsdb_series",
+                       "gpupm_alerts_firing{rule=\"accuracy_drift_" +
+                               device + "\"}",
                        "gpupm_http_request_seconds_bucket{path=\""
                        "/metrics\"",
                        "git_sha="},
@@ -422,6 +488,35 @@ cmdMonitorSelftest(int argc, char **argv)
         return killAndFail("/tracez check failed");
     if (!jsonBalanced(json_body))
         return killAndFail("/tracez body is not balanced JSON");
+
+    // The alert engine ships with the built-in drift rule; the
+    // embedded store must answer range queries over the live series.
+    if (checkEndpoint(port, "GET", "/alertz", 200,
+                      {"\"rules\":[", "accuracy_drift_" + device,
+                       "\"kind\":\"drift\"", "\"history\":["},
+                      &json_body) != 0)
+        return killAndFail("/alertz check failed");
+    if (!jsonBalanced(json_body))
+        return killAndFail("/alertz body is not balanced JSON");
+    if (checkEndpoint(port, "GET", "/alertz?format=text", 200,
+                      {"alerts @", "accuracy_drift_" + device}) != 0)
+        return killAndFail("/alertz text check failed");
+    if (checkEndpoint(port, "GET",
+                      "/api/query?series=gpupm_accuracy_rolling_mae_"
+                      "pct&range=60s&step=1s",
+                      200,
+                      {"\"ok\":true", "\"points\":[{", "\"avg\":"},
+                      &json_body) != 0)
+        return killAndFail("/api/query check failed");
+    if (!jsonBalanced(json_body))
+        return killAndFail("/api/query body is not balanced JSON");
+    if (checkEndpoint(port, "GET", "/api/query", 400,
+                      {"usage: /api/query"}) != 0)
+        return killAndFail("/api/query missing-series check failed");
+    if (checkEndpoint(port, "GET",
+                      "/api/query?series=no_such_series&range=10s",
+                      404, {}) != 0)
+        return killAndFail("/api/query unknown-series check failed");
 
     // /profilez runs the wall-clock sampling profiler in-place; the
     // idle daemon sits in its instrumented wait/tick spans, so the
@@ -510,6 +605,174 @@ cmdMonitorSelftest(int argc, char **argv)
     return 0;
 }
 
+/**
+ * End-to-end drift alerting against a live daemon: a seeded accuracy
+ * fault degrades the rolling MAE, the drift rule must fire (visible
+ * on /alertz, /metrics and /healthz) and then resolve once the fault
+ * window passes, and the transitions must land in the NDJSON event
+ * log.
+ */
+int
+cmdDriftDemo(int argc, char **argv)
+{
+    if (argc < 4)
+        return fail("usage: gpupm_scrape drift-demo <gpupm-binary> "
+                    "<device> --work=<dir>");
+    const std::string gpupm = argv[2];
+    const std::string device = argv[3];
+    std::string work = ".";
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--work=", 0) == 0)
+            work = arg.substr(7);
+        else
+            return fail("unknown argument '" + arg + "'");
+    }
+    const std::string rule = "accuracy_drift_" + device;
+
+    // Injection window in probe ticks at 50 ms/tick: ~2 s healthy
+    // baseline, ~2 s degraded measurements, recovery afterwards. The
+    // alerting knobs mirror the deterministic `gpupm alerts` ctest;
+    // here the same parameters run against the wall-clock daemon.
+    MonitorProc proc;
+    std::string spawn_err;
+    if (!spawnMonitor(gpupm, device, work,
+                      {"--inject-drift=40:80:1.5",
+                       "--rolling-window=16", "--drift-window=1s",
+                       "--drift-for=250ms", "--drift-cooldown=1s",
+                       "--drift-tolerance=9",
+                       "--healthz-degraded-503"},
+                      &proc, &spawn_err)) {
+        if (proc.pid > 0) {
+            ::kill(proc.pid, SIGKILL);
+            ::waitpid(proc.pid, nullptr, 0);
+        }
+        return fail(spawn_err);
+    }
+    const pid_t pid = proc.pid;
+    const int port = proc.port;
+    auto dumpStderr = [&] {
+        std::ifstream se(proc.stderr_file);
+        std::string l;
+        while (std::getline(se, l))
+            std::fprintf(stderr, "monitor stderr| %s\n", l.c_str());
+    };
+    auto killAndFail = [&](const std::string &what) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        dumpStderr();
+        return fail(what);
+    };
+    std::fprintf(stderr, "gpupm_scrape: monitor up on port %d\n",
+                 port);
+
+    // Poll /alertz until the body carries the wanted marker. The
+    // injection begins ~2 s in and the hysteresis adds ~250 ms, so
+    // 30 s is generous even on a loaded CI box.
+    auto waitAlertz = [&](const std::string &marker,
+                          const char *label) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(30);
+        while (std::chrono::steady_clock::now() < deadline) {
+            int status = 0;
+            std::string body, err;
+            if (httpExchange(port, "GET", "/alertz", 2000, &status,
+                             &body, &err) &&
+                status == 200 &&
+                body.find(marker) != std::string::npos)
+                return true;
+            std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+        }
+        std::fprintf(stderr,
+                     "gpupm_scrape: timed out waiting for %s\n",
+                     label);
+        return false;
+    };
+
+    if (!waitAlertz("\"firing\":[\"" + rule + "\"]",
+                    "drift rule firing"))
+        return killAndFail("drift rule never fired");
+    std::fprintf(stderr, "gpupm_scrape: ok drift rule firing\n");
+
+    // While firing: the gauge must read 1, /healthz must degrade
+    // with the rule name (and 503, since the flag is set), and the
+    // MAE series must be queryable with degraded points in range.
+    std::string prom;
+    if (checkEndpoint(port, "GET", "/metrics", 200, {}, &prom) != 0)
+        return killAndFail("/metrics scrape while firing failed");
+    if (metricValue(prom, "gpupm_alerts_firing{rule=\"" + rule +
+                                  "\"}") != 1.0)
+        return killAndFail("gpupm_alerts_firing not 1 while firing");
+    if (checkEndpoint(port, "GET", "/healthz", 503,
+                      {"\"status\":\"degraded\"", rule}) != 0)
+        return killAndFail("/healthz not degraded while firing");
+    std::string query_body;
+    if (checkEndpoint(port, "GET",
+                      "/api/query?series=gpupm_accuracy_rolling_mae_"
+                      "pct&range=60s&step=1s",
+                      200, {"\"ok\":true", "\"points\":[{"},
+                      &query_body) != 0)
+        return killAndFail("/api/query while firing failed");
+    if (!jsonBalanced(query_body))
+        return killAndFail("/api/query body is not balanced JSON");
+
+    if (!waitAlertz("\"state\":\"resolved\"", "drift rule resolved"))
+        return killAndFail("drift rule never resolved");
+    std::fprintf(stderr, "gpupm_scrape: ok drift rule resolved\n");
+
+    if (checkEndpoint(port, "GET", "/metrics", 200, {}, &prom) != 0)
+        return killAndFail("/metrics scrape after resolve failed");
+    if (metricValue(prom, "gpupm_alerts_firing{rule=\"" + rule +
+                                  "\"}") != 0.0)
+        return killAndFail("gpupm_alerts_firing not 0 after resolve");
+    if (checkEndpoint(port, "GET", "/healthz", 200,
+                      {"\"status\":\"ok\""}) != 0)
+        return killAndFail("/healthz not ok after resolve");
+
+    // Graceful shutdown, then the alert transitions must be in the
+    // NDJSON event log alongside the samples.
+    if (::kill(pid, SIGTERM) != 0)
+        return killAndFail(std::string("kill: ") +
+                           std::strerror(errno));
+    int wstatus = 0;
+    for (int waited_ms = 0;; waited_ms += 50) {
+        const pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
+        if (r == pid)
+            break;
+        if (waited_ms >= 10000)
+            return killAndFail("monitor did not exit within 10 s of "
+                               "SIGTERM");
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0)
+        return fail("monitor exit status " +
+                    std::to_string(wstatus) + " after SIGTERM");
+
+    std::ifstream ev(proc.events_file);
+    std::string line;
+    bool saw_firing = false, saw_resolved = false;
+    while (std::getline(ev, line)) {
+        if (line.find("\"event\":\"alert\"") == std::string::npos ||
+            line.find("\"rule\":\"" + rule + "\"") ==
+                    std::string::npos)
+            continue;
+        if (line.find("\"state\":\"firing\"") != std::string::npos)
+            saw_firing = true;
+        if (line.find("\"state\":\"resolved\"") != std::string::npos)
+            saw_resolved = true;
+    }
+    if (!saw_firing || !saw_resolved)
+        return fail("event log lacks alert firing/resolved "
+                    "transitions: " +
+                    proc.events_file);
+
+    std::fprintf(stderr,
+                 "gpupm_scrape: drift demo passed (fired, resolved, "
+                 "clean SIGTERM exit)\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -522,6 +785,8 @@ main(int argc, char **argv)
                      "[--expect=<s>]... [--status=<n>] "
                      "[--method=<verb>] [--timeout-ms=<n>]\n"
                      "  gpupm_scrape monitor-selftest <gpupm-binary> "
+                     "<device> --work=<dir>\n"
+                     "  gpupm_scrape drift-demo <gpupm-binary> "
                      "<device> --work=<dir>\n");
         return 2;
     }
@@ -530,6 +795,8 @@ main(int argc, char **argv)
         return cmdGet(argc, argv);
     if (mode == "monitor-selftest")
         return cmdMonitorSelftest(argc, argv);
+    if (mode == "drift-demo")
+        return cmdDriftDemo(argc, argv);
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 2;
 }
