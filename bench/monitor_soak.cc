@@ -11,6 +11,11 @@
  *    store's "bounded by construction" claim, soaked;
  *  - the injected mid-run accuracy fault must take an alert rule
  *    through firing and back to resolved (exit 1 otherwise);
+ *  - a second, traced pass replays the identical tick sequence with
+ *    the tracer feeding a bounded TraceStore (per-tick root traces,
+ *    retain-events off): the store must stay inside its byte bound
+ *    and must not evict a single error trace (exit 1 otherwise), and
+ *    the traced per-tick overhead is reported alongside the bare one;
  *  - wall-clock (the per-tick sampling overhead with the store and
  *    engine on the tick path) is gated generously against
  *    bench/golden/BENCH_monitor_soak.json via gpupm_bench_check.
@@ -25,6 +30,8 @@
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
 #include "obs/standard.hh"
+#include "obs/trace.hh"
+#include "obs/trace_store.hh"
 #include "obs/tsdb.hh"
 
 int
@@ -119,7 +126,48 @@ main(int argc, char **argv)
             resolved = true;
     }
 
+    // Traced pass: replay the identical tick sequence (tick counter
+    // rewound, fault window included) with per-tick root traces
+    // feeding a bounded TraceStore in store-only mode — the monitor
+    // daemon's exact configuration. Measures the tracing overhead on
+    // the tick path and soaks the tail-sampler's two contracts: hard
+    // byte bound, zero error-trace loss.
+    tick = 0;
+    obs::Tsdb traced_tsdb;
+    obs::AlertEngine traced_engine(traced_tsdb, {rule});
+    obs::Sampler traced_sampler(probe, schedule, sopts, nullptr,
+                                &traced_tsdb, &traced_engine);
+    obs::TraceStore trace_store;
+    auto &tracer = obs::Tracer::global();
+    tracer.seedIds(42);
+    tracer.attachStore(&trace_store);
+    tracer.setRetainEvents(false); // store-only, like the daemon
+    // BenchReporter already enabled the tracer when reporting; only
+    // enable it here (clearing the phase-1 span buffer) on bare runs.
+    const bool was_enabled = tracer.enabled();
+    if (!was_enabled)
+        tracer.enable();
+    std::size_t trace_high_water = 0;
+    const auto traced_start = std::chrono::steady_clock::now();
+    for (int t = 0; t < kTicks; ++t) {
+        traced_sampler.tickSynchronously((t + 1) * kPeriodUs);
+        if (t % 100 == 0)
+            trace_high_water = std::max(trace_high_water,
+                                        trace_store.memoryBytes());
+    }
+    const double traced_ms =
+            std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - traced_start)
+                    .count();
+    trace_high_water =
+            std::max(trace_high_water, trace_store.memoryBytes());
+    if (!was_enabled)
+        tracer.disable();
+    tracer.attachStore(nullptr);
+    tracer.setRetainEvents(true);
+
     const double tick_us = loop_ms * 1000.0 / kTicks;
+    const double traced_tick_us = traced_ms * 1000.0 / kTicks;
     std::cout << "monitor soak: " << kTicks << " ticks, "
               << tsdb.seriesCount() << " series, "
               << tsdb.pointsAppended() << " points, high-water "
@@ -130,6 +178,15 @@ main(int argc, char **argv)
               << (fired ? "yes" : "NO") << " resolved="
               << (resolved ? "yes" : "NO") << " (transitions "
               << obs::alertTransitionsTotal().value() << ")\n";
+    std::cout << "traced pass: "
+              << gpupm::numio::formatDouble(traced_tick_us)
+              << " us/tick (bare "
+              << gpupm::numio::formatDouble(tick_us) << "), store "
+              << trace_store.traceCount() << " traces, high-water "
+              << trace_high_water << " B (bound "
+              << trace_store.memoryBoundBytes() << " B), errors "
+              << trace_store.errorsOfferedTotal() << " offered / "
+              << trace_store.errorsEvictedTotal() << " evicted\n";
 
     bench_report.stat("ticks", kTicks);
     bench_report.stat("tick_overhead_us", tick_us);
@@ -151,6 +208,40 @@ main(int argc, char **argv)
     bench_report.stat("memory_of_bound_pct",
                       100.0 * static_cast<double>(high_water) /
                               static_cast<double>(mem_bound));
+    bench_report.stat("tick_overhead_traced_us", traced_tick_us);
+    bench_report.stat("trace_store_high_water_bytes",
+                      static_cast<double>(trace_high_water));
+    bench_report.stat("trace_store_bound_bytes",
+                      static_cast<double>(
+                              trace_store.memoryBoundBytes()));
+    bench_report.stat("traces_kept",
+                      static_cast<double>(trace_store.traceCount()));
+    bench_report.stat(
+            "traces_error_offered",
+            static_cast<double>(trace_store.errorsOfferedTotal()));
+    // Deterministically-zero gated stats: tail-sampling contract
+    // violations show up as a nonzero pct against the golden's 0.
+    bench_report.stat(
+            "trace_memory_over_bound_pct",
+            trace_high_water > trace_store.memoryBoundBytes()
+                    ? 100.0 *
+                              static_cast<double>(
+                                      trace_high_water -
+                                      trace_store.memoryBoundBytes()) /
+                              static_cast<double>(
+                                      trace_store.memoryBoundBytes())
+                    : 0.0);
+    bench_report.stat(
+            "trace_error_loss_pct",
+            trace_store.errorsOfferedTotal() > 0
+                    ? 100.0 *
+                              static_cast<double>(
+                                      trace_store
+                                              .errorsEvictedTotal()) /
+                              static_cast<double>(
+                                      trace_store
+                                              .errorsOfferedTotal())
+                    : 0.0);
 
     if (high_water > mem_bound) {
         std::cout << "FAIL: tsdb memory exceeded its bound\n";
@@ -158,6 +249,19 @@ main(int argc, char **argv)
     }
     if (!fired || !resolved) {
         std::cout << "FAIL: alert lifecycle incomplete\n";
+        return 1;
+    }
+    if (trace_high_water > trace_store.memoryBoundBytes()) {
+        std::cout << "FAIL: trace store exceeded its byte bound\n";
+        return 1;
+    }
+    if (trace_store.errorsOfferedTotal() < 1 ||
+        trace_store.errorsEvictedTotal() > 0) {
+        std::cout << "FAIL: tail sampler lost error traces ("
+                  << trace_store.errorsOfferedTotal()
+                  << " offered, "
+                  << trace_store.errorsEvictedTotal()
+                  << " evicted)\n";
         return 1;
     }
     return 0;

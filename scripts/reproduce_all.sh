@@ -31,7 +31,8 @@ if [ "${GPUPM_SKIP_SANITIZE:-0}" != "1" ]; then
         core_test_campaign core_test_faults core_test_resilient \
         core_test_model_io core_test_validate linalg_test_matrix \
         linalg_test_lstsq linalg_test_isotonic \
-        obs_test_trace obs_test_metrics obs_test_convergence \
+        obs_test_trace obs_test_trace_store obs_test_metrics \
+        obs_test_convergence \
         obs_test_scoreboard obs_test_http_server \
         obs_test_flight_recorder obs_test_sampler \
         obs_test_profiler obs_test_tsdb obs_test_alerts \
@@ -100,13 +101,15 @@ if [ "${GPUPM_SKIP_TSAN:-0}" != "1" ]; then
     cmake --build build-tsan --target \
         fleet_test_pool fleet_test_watchdog fleet_test_chaos \
         fleet_test_shard_io fleet_test_supervisor \
-        fleet_test_chaos_gate obs_test_http_server \
-        obs_test_metrics obs_test_profiler obs_test_tsdb gpupm_cli
+        fleet_test_chaos_gate fleet_test_chaos_trace \
+        obs_test_http_server obs_test_metrics obs_test_profiler \
+        obs_test_tsdb obs_test_trace gpupm_cli
     for t in build-tsan/tests/fleet_test_* \
              build-tsan/tests/obs_test_http_server \
              build-tsan/tests/obs_test_metrics \
              build-tsan/tests/obs_test_profiler \
-             build-tsan/tests/obs_test_tsdb; do
+             build-tsan/tests/obs_test_tsdb \
+             build-tsan/tests/obs_test_trace; do
         [ -f "$t" ] && [ -x "$t" ] || continue
         echo "== tsan: $t"
         "$t"
@@ -142,7 +145,20 @@ build/tools/gpupm sweep "$work/tx.model" BLCKSC \
     --trace-out="$work/sweep.trace.json" > /dev/null
 for phase in campaign fit sweep; do
     build/tools/gpupm_trace_check summary "$work/$phase.trace.json"
+    # Referential integrity of the correlation ids: one root per
+    # trace, no orphan parents, children nested in their parents.
+    build/tools/gpupm_trace_check trace "$work/$phase.trace.json"
 done
+
+# Offline per-tick trace replay: every tick's measure -> predict ->
+# audit chain assembles into one trace, the injected fault surfaces
+# as a retained error trace, and the run is deterministic (the
+# cli_traces_replay ctest diffs two runs byte for byte).
+echo "==================================================="
+echo "== per-tick trace replay (gpupm traces titanx)"
+echo "==================================================="
+build/tools/gpupm traces titanx --ticks=20 --period-ms=50 \
+    --inject-drift=5:15:1.5
 
 # Accuracy audit + regression gate: recompute the prediction-error
 # scoreboard on the GTX Titan X and diff it against the checked-in

@@ -52,7 +52,8 @@ WorkStealingPool::submitTo(int worker, Task task)
     }
     {
         std::lock_guard<std::mutex> lock(queues_[slot]->mu);
-        queues_[slot]->tasks.push_back(std::move(task));
+        queues_[slot]->tasks.push_back(
+                Entry{obs::currentTraceContext(), std::move(task)});
     }
     work_cv_.notify_one();
 }
@@ -65,7 +66,7 @@ WorkStealingPool::wait()
 }
 
 bool
-WorkStealingPool::popOwn(std::size_t self, Task &out)
+WorkStealingPool::popOwn(std::size_t self, Entry &out)
 {
     Queue &q = *queues_[self];
     std::lock_guard<std::mutex> lock(q.mu);
@@ -77,7 +78,7 @@ WorkStealingPool::popOwn(std::size_t self, Task &out)
 }
 
 bool
-WorkStealingPool::stealOther(std::size_t self, Task &out)
+WorkStealingPool::stealOther(std::size_t self, Entry &out)
 {
     const std::size_t n = queues_.size();
     for (std::size_t step = 1; step < n; ++step)
@@ -103,7 +104,7 @@ WorkStealingPool::workerLoop(std::size_t self)
                                   std::to_string(self));
     for (;;)
     {
-        Task task;
+        Entry task;
         if (!popOwn(self, task) && !stealOther(self, task))
         {
             std::unique_lock<std::mutex> lock(mu_);
@@ -125,11 +126,14 @@ WorkStealingPool::workerLoop(std::size_t self)
             continue;
         }
         {
-            // Tag the task's CPU self-time with the fleet taxonomy;
-            // spans the task opens itself (campaign/estimator/...)
-            // override it for their duration.
+            // Adopt the submitter's trace context across the thread
+            // hop, then tag the task's CPU self-time with the fleet
+            // taxonomy; spans the task opens itself
+            // (campaign/estimator/...) override it for their
+            // duration.
+            obs::TraceContextScope handoff(task.ctx);
             GPUPM_TRACE_SPAN("fleet", "fleet.task");
-            task();
+            task.task();
         }
         executed_.fetch_add(1, std::memory_order_relaxed);
         {

@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hh"
+
 namespace gpupm
 {
 namespace fleet
@@ -77,15 +79,24 @@ class WorkStealingPool
     }
 
   private:
+    /** A queued task plus the submitter's trace context, captured at
+     *  submitTo() and re-adopted on the executing worker — the hop
+     *  that keeps a shard retry inside its campaign's trace. */
+    struct Entry
+    {
+        obs::TraceContext ctx;
+        Task task;
+    };
+
     struct Queue
     {
         std::mutex mu;
-        std::deque<Task> tasks;
+        std::deque<Entry> tasks;
     };
 
     void workerLoop(std::size_t self);
-    bool popOwn(std::size_t self, Task &out);
-    bool stealOther(std::size_t self, Task &out);
+    bool popOwn(std::size_t self, Entry &out);
+    bool stealOther(std::size_t self, Entry &out);
 
     std::vector<std::unique_ptr<Queue>> queues_;
     std::vector<std::thread> workers_;

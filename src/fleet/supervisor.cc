@@ -19,6 +19,7 @@
 #include "fleet/watchdog.hh"
 #include "gpu/device.hh"
 #include "obs/standard.hh"
+#include "obs/trace.hh"
 #include "obs/tsdb.hh"
 
 namespace gpupm
@@ -111,6 +112,13 @@ struct FleetRun
     void runShardTask(std::size_t si, int attempt)
     {
         const ShardSpec &shard = shards[si];
+        // Child of the worker's fleet.task span (itself inside the
+        // campaign's trace via the submit-time context handoff);
+        // marked error on any failed attempt so chaos casualties are
+        // tail-kept by the trace store.
+        GPUPM_TRACE_SPAN_NAMED(shard_span, "fleet", "fleet.shard");
+        shard_span.arg("shard", std::to_string(shard.index));
+        shard_span.arg("attempt", std::to_string(attempt + 1));
         const std::string ck_path =
                 opts.checkpoint_dir.empty()
                         ? std::string()
@@ -199,6 +207,7 @@ struct FleetRun
             return;
         }
 
+        shard_span.markError(); // every path below is a failure
         if (attempt < opts.shard_retry_budget)
         {
             retries.fetch_add(1, std::memory_order_relaxed);
@@ -320,6 +329,16 @@ runFleetCampaign(const FleetOptions &opts,
 
     FleetResult result;
     {
+        // One trace per campaign: every pool task captures this
+        // context at submission (including retries resubmitted from
+        // worker threads), so all shard/task/watchdog spans assemble
+        // into a single trace when this root closes after wait().
+        GPUPM_TRACE_SPAN_NAMED(campaign_span, "fleet",
+                               "fleet.campaign");
+        campaign_span.arg("devices",
+                          std::to_string(devices.size()));
+        campaign_span.arg("shards", std::to_string(shards.size()));
+
         WorkStealingPool pool(threads);
         Watchdog watchdog;
         FleetRun run{opts, shards, pool, watchdog};

@@ -32,7 +32,8 @@ Watchdog::arm(double deadline_s, CancelToken token)
     {
         std::lock_guard<std::mutex> lock(mu_);
         id = next_id_++;
-        armed_.emplace(id, Entry{deadline, std::move(token)});
+        armed_.emplace(id, Entry{deadline, std::move(token),
+                                 obs::currentTraceContext()});
     }
     cv_.notify_all();
     return id;
@@ -72,6 +73,15 @@ Watchdog::scanLoop()
                 if (it->second.token)
                     it->second.token->store(
                             true, std::memory_order_release);
+                // An instant error span inside the stalled shard's
+                // trace: the cancellation shows up (tail-kept) when
+                // asking /api/traces?error=1 what the watchdog did.
+                {
+                    obs::TraceContextScope attributed(it->second.ctx);
+                    obs::SpanGuard fire("fleet",
+                                        "fleet.watchdog_fire");
+                    fire.markError();
+                }
                 fired_.fetch_add(1, std::memory_order_relaxed);
                 it = armed_.erase(it);
             }

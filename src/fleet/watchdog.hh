@@ -24,6 +24,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.hh"
+
 namespace gpupm
 {
 namespace fleet
@@ -78,6 +80,10 @@ class Watchdog
     {
         Clock::time_point deadline;
         CancelToken token;
+        /** The arming shard's trace context, captured at arm() so a
+         *  fire on the scanner thread is attributed to the stalled
+         *  shard's trace (as an error span). */
+        obs::TraceContext ctx;
     };
 
     void scanLoop();

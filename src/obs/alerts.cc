@@ -7,6 +7,7 @@
 
 #include "common/numio.hh"
 #include "obs/standard.hh"
+#include "obs/trace.hh"
 
 namespace gpupm
 {
@@ -222,7 +223,13 @@ AlertEngine::transition(RuleState &rs, AlertState to,
            << alertStateName(to) << "\",\"t_us\":" << now_us
            << ",\"value\":" << jsonNumberOrNull(rs.last_value)
            << ",\"threshold\":"
-           << numio::formatDouble(rs.rule.threshold) << "}";
+           << numio::formatDouble(rs.rule.threshold);
+        // evaluate() runs on the tick path inside the tick's trace
+        // context, so the transition line joins that tick's trace.
+        if (const auto ctx = currentTraceContext(); ctx.trace_id)
+            os << ",\"trace_id\":\"" << traceIdHex(ctx.trace_id)
+               << "\"";
+        os << "}";
         sink_(os.str());
     }
 }

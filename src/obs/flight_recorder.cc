@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/numio.hh"
+#include "obs/trace.hh"
 
 namespace gpupm
 {
@@ -70,6 +71,8 @@ FlightRecorder::record(FlightRecord r)
 {
     if (r.ts_us == 0)
         r.ts_us = nowUs();
+    if (r.trace_id == 0)
+        r.trace_id = currentTraceContext().trace_id;
     std::lock_guard<std::mutex> lock(mu_);
     r.seq = next_seq_;
     slots_[static_cast<std::size_t>(next_seq_) % slots_.size()] =
@@ -125,7 +128,8 @@ FlightRecorder::renderJson() const
            << ",\"dur_us\":" << r.dur_us << ",\"kind\":\""
            << jsonEscape(r.kind) << "\",\"name\":\""
            << jsonEscape(r.name) << "\",\"detail\":\""
-           << jsonEscape(r.detail) << "\"}";
+           << jsonEscape(r.detail) << "\",\"trace_id\":\""
+           << traceIdHex(r.trace_id) << "\"}";
     }
     os << "]}\n";
     return os.str();

@@ -39,6 +39,10 @@ struct FlightRecord
     std::string kind;        ///< "span" | "sample" | "event"
     std::string name;        ///< e.g. "monitor.sample", "http.request"
     std::string detail;      ///< freeform annotation (escaped on render)
+    /** Correlating trace (trace.hh); stamped from the recording
+     *  thread's context when left 0, so recorder entries join the
+     *  trace store and the NDJSON event log on one ID. */
+    std::uint64_t trace_id = 0;
 };
 
 /** Bounded, thread-safe ring of the most recent FlightRecords. */

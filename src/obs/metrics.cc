@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/numio.hh"
 #include "common/provenance.hh"
+#include "obs/trace.hh"
 
 namespace gpupm
 {
@@ -63,6 +64,31 @@ Histogram::observe(double v)
     atomicAdd(per_bucket_[idx], 1.0);
     atomicAdd(count_, 1.0);
     atomicAdd(sum_, v);
+    // Exemplar capture: remember the trace behind the latest tail
+    // (p99+) observation, when one is active. The quantile estimate
+    // walks a handful of buckets — cheap enough for the hot path,
+    // and only taken once enough mass exists for a stable tail.
+    const TraceContext ctx = currentTraceContext();
+    if (ctx.trace_id && count() >= 10.0 &&
+        v >= quantileEstimate(0.99)) {
+        exemplar_value_.store(v, std::memory_order_relaxed);
+        exemplar_trace_.store(ctx.trace_id,
+                              std::memory_order_relaxed);
+    }
+}
+
+bool
+Histogram::exemplar(std::uint64_t *trace_id, double *value) const
+{
+    const std::uint64_t id =
+            exemplar_trace_.load(std::memory_order_relaxed);
+    if (!id)
+        return false;
+    if (trace_id)
+        *trace_id = id;
+    if (value)
+        *value = exemplar_value_.load(std::memory_order_relaxed);
+    return true;
 }
 
 std::vector<double>
@@ -293,7 +319,17 @@ Registry::renderPrometheus() const
                        << " " << numio::formatDouble(cum[i]) << "\n";
                 }
                 os << sample(name + "_bucket", e, "le=\"+Inf\"") << " "
-                   << numio::formatDouble(e.histogram->count()) << "\n";
+                   << numio::formatDouble(e.histogram->count());
+                // OpenMetrics exemplar on the +Inf bucket: the trace
+                // behind the most recent tail observation.
+                {
+                    std::uint64_t ex_id = 0;
+                    double ex_v = 0.0;
+                    if (e.histogram->exemplar(&ex_id, &ex_v))
+                        os << " # {trace_id=\"" << traceIdHex(ex_id)
+                           << "\"} " << numio::formatDouble(ex_v);
+                }
+                os << "\n";
                 os << sample(name + "_sum", e) << " "
                    << numio::formatDouble(e.histogram->sum()) << "\n";
                 os << sample(name + "_count", e) << " "
@@ -374,6 +410,12 @@ Registry::renderJson() const
                                   e.histogram->quantileEstimate(
                                           kSummaryQuantiles[q]));
                 }
+                std::uint64_t ex_id = 0;
+                double ex_v = 0.0;
+                if (e.histogram->exemplar(&ex_id, &ex_v))
+                    os << ",\"exemplar\":{\"trace_id\":\""
+                       << traceIdHex(ex_id) << "\",\"value\":"
+                       << numio::formatDouble(ex_v) << "}";
             }
             break;
           }

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -89,11 +90,22 @@ class Histogram
      */
     double quantileEstimate(double q) const;
 
+    /**
+     * Exemplar: the trace ID and value of the most recent p99+
+     * observation made inside an active trace (trace.hh context).
+     * Closes the metric→trace loop: a scrape showing a latency
+     * spike names a trace that exhibits it, fetchable from
+     * /api/traces. Returns false while no exemplar was captured.
+     */
+    bool exemplar(std::uint64_t *trace_id, double *value) const;
+
   private:
     std::vector<double> bounds_; ///< sorted, exclusive of +Inf
     std::unique_ptr<std::atomic<double>[]> per_bucket_; ///< + overflow
     std::atomic<double> count_{0.0};
     std::atomic<double> sum_{0.0};
+    std::atomic<std::uint64_t> exemplar_trace_{0};
+    std::atomic<double> exemplar_value_{0.0};
 };
 
 /** Commonly useful bucket layouts. */

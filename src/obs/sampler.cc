@@ -203,16 +203,28 @@ void
 Sampler::tickOnce(std::size_t index, std::int64_t t_us)
 {
     const SchedulePoint &pt = schedule_[index];
-    // Attributes /profilez samples of a live daemon to the sampling
-    // loop (and feeds the tracer when a caller enabled it).
-    GPUPM_TRACE_SPAN("monitor", "monitor.tick");
+    // Each tick is one trace: adopting an empty context makes the
+    // tick span a fresh root even while an outer CLI span is open,
+    // so the measure→audit→tsdb→alert chain below shares one trace
+    // ID — the ID that joins /api/traces, /tracez and the NDJSON
+    // event log. (Also attributes /profilez samples of a live
+    // daemon to the sampling loop.)
+    TraceContextScope fresh_root{TraceContext{}};
+    GPUPM_TRACE_SPAN_NAMED(tick_span, "monitor", "monitor.tick");
+    tick_span.arg("app", pt.app);
+    tick_span.arg("tick",
+                  numio::formatLong(
+                          ticks_.load(std::memory_order_relaxed) + 1));
     const auto start = std::chrono::steady_clock::now();
     MonitorSample s;
-    try {
-        s = probe_(pt.app, pt.cfg);
-    } catch (const std::exception &e) {
-        s.ok = false;
-        s.error = e.what();
+    {
+        GPUPM_TRACE_SPAN("monitor", "monitor.probe");
+        try {
+            s = probe_(pt.app, pt.cfg);
+        } catch (const std::exception &e) {
+            s.ok = false;
+            s.error = e.what();
+        }
     }
     const double probe_seconds =
             std::chrono::duration<double>(
@@ -224,6 +236,7 @@ Sampler::tickOnce(std::size_t index, std::int64_t t_us)
     ticks_.fetch_add(1, std::memory_order_relaxed);
 
     if (!s.ok) {
+        tick_span.markError(); // error traces are tail-kept
         monitorProbeFailuresTotal().inc();
         warn("monitor probe failed for ", pt.app, ": ", s.error);
         if (recorder_)
@@ -234,10 +247,14 @@ Sampler::tickOnce(std::size_t index, std::int64_t t_us)
         // Failed ticks still snapshot the registry and evaluate the
         // rules: a wedged probe must surface as stale/rate alerts,
         // not freeze history.
-        if (tsdb_)
+        if (tsdb_) {
+            GPUPM_TRACE_SPAN("monitor", "monitor.tsdb");
             tsdb_->recordRegistry(Registry::global(), t_us);
-        if (alerts_)
+        }
+        if (alerts_) {
+            GPUPM_TRACE_SPAN("monitor", "monitor.alerts");
             alerts_->evaluate(t_us);
+        }
         return;
     }
 
@@ -247,16 +264,20 @@ Sampler::tickOnce(std::size_t index, std::int64_t t_us)
     r.measured_w = s.measured_w;
     r.predicted_w = s.predicted_w;
     {
-        std::lock_guard<std::mutex> lock(data_mu_);
-        residuals_.push_back(r);
-        while (residuals_.size() > opts_.max_samples)
-            residuals_.pop_front();
-    }
+        GPUPM_TRACE_SPAN("monitor", "monitor.audit");
+        {
+            std::lock_guard<std::mutex> lock(data_mu_);
+            residuals_.push_back(r);
+            while (residuals_.size() > opts_.max_samples)
+                residuals_.pop_front();
+        }
 
-    accuracySamplesTotal().inc();
-    accuracyAbsErrPct().observe(r.absErrPct());
-    monitorLastMeasuredW().set(r.measured_w);
-    monitorLastPredictedW().set(r.predicted_w);
+        accuracySamplesTotal().inc();
+        accuracyAbsErrPct().observe(r.absErrPct());
+        monitorLastMeasuredW().set(r.measured_w);
+        monitorLastPredictedW().set(r.predicted_w);
+        updateRollingMae();
+    }
     last_sample_us_.store(
             std::chrono::duration_cast<std::chrono::microseconds>(
                     std::chrono::steady_clock::now() - started_)
@@ -278,15 +299,24 @@ Sampler::tickOnce(std::size_t index, std::int64_t t_us)
     }
     logEvent(s, probe_seconds);
 
-    updateRollingMae();
     if (tsdb_) {
+        GPUPM_TRACE_SPAN("monitor", "monitor.tsdb");
         tsdbPointsTotal().inc(
                 static_cast<double>(tsdb_->pointsAppended()) -
                 tsdbPointsTotal().value());
         tsdb_->recordRegistry(Registry::global(), t_us);
     }
-    if (alerts_)
+    if (alerts_) {
+        GPUPM_TRACE_SPAN("monitor", "monitor.alerts");
+        const double transitions_before =
+                alertTransitionsTotal().value();
         alerts_->evaluate(t_us);
+        // A tick that moved any alert's state is tail-kept: "which
+        // tick fired this drift alert" stays answerable after the
+        // fact from /api/traces?error=1.
+        if (alertTransitionsTotal().value() != transitions_before)
+            tick_span.markError();
+    }
 }
 
 void
@@ -326,7 +356,12 @@ Sampler::logEvent(const MonitorSample &s, double probe_seconds)
        << numio::formatDouble(s.measured_w) << ",\"predicted_w\":"
        << numio::formatDouble(s.predicted_w) << ",\"abs_err_pct\":"
        << numio::formatDouble(r.absErrPct()) << ",\"probe_seconds\":"
-       << numio::formatDouble(probe_seconds) << "}";
+       << numio::formatDouble(probe_seconds);
+    // Join key into the trace store and the flight recorder; only
+    // present while the tracer is on (the tick span owns the ctx).
+    if (const auto ctx = currentTraceContext(); ctx.trace_id)
+        os << ",\"trace_id\":\"" << traceIdHex(ctx.trace_id) << "\"";
+    os << "}";
     writeEventLine(os.str());
 }
 
@@ -343,11 +378,20 @@ Sampler::writeEventLine(const std::string &line)
                 opts_.events_max_bytes &&
         events_bytes_ > 0) {
         events_.close();
-        const std::string rotated = opts_.events_out + ".1";
-        // std::rename replaces an existing destination atomically on
-        // POSIX — readers see either the old or the new `.1`, never a
-        // missing one.
-        std::rename(opts_.events_out.c_str(), rotated.c_str());
+        // Shift generations oldest-last: `.N-1` -> `.N`, ..., `.1` ->
+        // `.2`, live -> `.1`. std::rename replaces an existing
+        // destination atomically on POSIX — readers see either the
+        // old or the new generation, never a missing one. The oldest
+        // generation falls off the end.
+        const int gens = std::max(opts_.events_max_files, 1);
+        for (int g = gens; g >= 2; --g)
+            std::rename((opts_.events_out + "." +
+                         std::to_string(g - 1))
+                                .c_str(),
+                        (opts_.events_out + "." + std::to_string(g))
+                                .c_str());
+        std::rename(opts_.events_out.c_str(),
+                    (opts_.events_out + ".1").c_str());
         events_.open(opts_.events_out,
                      std::ios::binary | std::ios::trunc);
         events_bytes_ = 0;

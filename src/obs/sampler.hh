@@ -81,11 +81,14 @@ struct SamplerOptions
     std::string events_out;   ///< NDJSON event log path; "" = off
     /**
      * Rotate the event log once it exceeds this many bytes: the
-     * current file is atomically renamed to `<events_out>.1` (one
-     * generation, replacing any previous `.1`) and a fresh log is
-     * opened. 0 disables rotation (unbounded growth).
+     * current file is atomically renamed to `<events_out>.1` (older
+     * generations shift to `.2` .. `.events_max_files`, the oldest
+     * falls off) and a fresh log is opened. 0 disables rotation
+     * (unbounded growth).
      */
     long events_max_bytes = 0;
+    /** Rotated generations retained (`.1` .. `.N`); minimum 1. */
+    int events_max_files = 1;
     std::size_t max_samples = 10000; ///< residuals retained (ring)
     /** Residuals in the rolling-MAE window feeding
      *  gpupm_accuracy_rolling_mae_pct (and the drift rule). */

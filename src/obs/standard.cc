@@ -414,6 +414,35 @@ alertTransitionsTotal()
                          "Alert state transitions across all rules");
 }
 
+Gauge &
+traceStoreTraces()
+{
+    return reg().gauge("gpupm_trace_store_traces",
+                       "Assembled traces resident in the trace store");
+}
+
+Gauge &
+traceStoreMemoryBytes()
+{
+    return reg().gauge("gpupm_trace_store_memory_bytes",
+                       "Accounted trace-store memory footprint, bytes");
+}
+
+Gauge &
+traceStoreOfferedTotal()
+{
+    return reg().gauge("gpupm_trace_store_offered_total",
+                       "Completed traces offered to the store");
+}
+
+Gauge &
+traceStoreEvictedTotal()
+{
+    return reg().gauge(
+            "gpupm_trace_store_evicted_total",
+            "Traces evicted by tail sampling (boring-first)");
+}
+
 Counter &
 profilerRunsTotal()
 {
@@ -600,6 +629,10 @@ registerStandardMetrics()
     tsdbPointsTotal();
     tsdbEvictionsTotal();
     alertTransitionsTotal();
+    traceStoreTraces();
+    traceStoreMemoryBytes();
+    traceStoreOfferedTotal();
+    traceStoreEvictedTotal();
 }
 
 } // namespace obs

@@ -121,6 +121,13 @@ Gauge &alertsFiring(const std::string &rule);
 /** Every alert state transition (pending, firing, resolved, ...). */
 Counter &alertTransitionsTotal();
 
+// -- Trace store (src/obs/trace_store) -------------------------------
+
+Gauge &traceStoreTraces();
+Gauge &traceStoreMemoryBytes();
+Gauge &traceStoreOfferedTotal();
+Gauge &traceStoreEvictedTotal();
+
 // -- Sampling CPU profiler (src/obs/profiler) ------------------------
 
 Counter &profilerRunsTotal();

@@ -1,6 +1,7 @@
 /**
  * @file
- * Span-based tracer with Chrome trace-event export.
+ * Span-based tracer with request-correlated trace IDs and Chrome
+ * trace-event export.
  *
  * Instrumented code opens RAII spans (GPUPM_TRACE_SPAN) around units
  * of work; the global Tracer collects one complete event ("ph":"X")
@@ -10,6 +11,18 @@
  * does nothing else, so instrumentation can stay in hot paths
  * permanently.
  *
+ * Correlation (DESIGN.md §15): every armed span carries a 64-bit
+ * span ID minted from a seeded splitmix64 counter (deterministic
+ * under seedIds(), no rand()). A span opened with no active context
+ * becomes a trace root — its trace ID equals its span ID — and
+ * installs itself as the thread-local context; children inherit the
+ * trace ID and record their parent's span ID. The context crosses
+ * thread boundaries explicitly via TraceContextScope (fleet pool
+ * workers, watchdog fires) and is reset per sampler tick so each
+ * tick's measure→predict→audit→tsdb→alert chain is one trace.
+ * Completed traces assemble in the Tracer and are offered to an
+ * optional bounded TraceStore (trace_store.hh) for tail sampling.
+ *
  * Span taxonomy (the `cat` field; see DESIGN.md §9):
  *
  *   cli        one root span per gpupm subcommand
@@ -18,6 +31,8 @@
  *   sim        simulated kernel executions
  *   estimator  Sec. III-D fit, per-iteration spans
  *   io         artifact load / save / validation
+ *   monitor    sampler ticks and monitor endpoints
+ *   fleet      fleet pool tasks, shards and watchdog fires
  */
 
 #ifndef GPUPM_OBS_TRACE_HH
@@ -38,6 +53,8 @@ namespace gpupm
 namespace obs
 {
 
+class TraceStore;
+
 /** One completed span, in the Chrome trace-event vocabulary. */
 struct TraceEvent
 {
@@ -46,8 +63,49 @@ struct TraceEvent
     std::int64_t ts_us = 0;  ///< start, microseconds since enable()
     std::int64_t dur_us = 0; ///< duration, microseconds
     int tid = 0;             ///< small per-process thread ordinal
+    std::uint64_t trace_id = 0; ///< nonzero for every armed span
+    std::uint64_t span_id = 0;  ///< unique per span; == trace_id at root
+    std::uint64_t parent_span_id = 0; ///< 0 for trace roots
+    bool error = false; ///< markError(): trace is tail-kept
     /** Optional key/value annotations ("args" in the JSON). */
     std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * The propagated part of a span: which trace the current thread is
+ * inside and which span is the would-be parent. An all-zero context
+ * means "no active trace" — the next armed span becomes a root.
+ */
+struct TraceContext
+{
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+};
+
+/** The calling thread's current context ({0,0} outside any span). */
+TraceContext currentTraceContext();
+
+/** 64-bit ID as the canonical fixed-width lowercase hex string. */
+std::string traceIdHex(std::uint64_t id);
+
+/**
+ * RAII adoption of a trace context on the current thread: install
+ * `ctx` (saving whatever was there), restore on destruction. Used to
+ * hand a submitter's context to a fleet pool worker, attribute a
+ * watchdog fire to the stalled shard's trace, and — by adopting an
+ * empty context — force a fresh root per sampler tick.
+ */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(TraceContext ctx);
+    ~TraceContextScope();
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    TraceContext saved_;
 };
 
 /**
@@ -69,6 +127,30 @@ class Tracer
     {
         return enabled_.load(std::memory_order_relaxed);
     }
+
+    /**
+     * Re-seed the deterministic span-ID counter. With the same seed
+     * and the same (single-threaded) span order, a run mints the
+     * same IDs — the `gpupm traces` replay leans on this.
+     */
+    void seedIds(std::uint64_t seed);
+
+    /** Mint the next span ID (splitmix64, never 0). */
+    std::uint64_t mintId();
+
+    /**
+     * Attach (or detach, with nullptr) a store that receives each
+     * fully assembled trace when its root span completes. Pending
+     * partial assemblies are dropped on re-attach.
+     */
+    void attachStore(TraceStore *store);
+
+    /**
+     * When false, record() feeds trace assembly (attachStore) only
+     * and does not retain raw events — long-lived daemons keep the
+     * tracer on without unbounded event growth. Default true.
+     */
+    void setRetainEvents(bool retain);
 
     /** Record one completed span. */
     void record(TraceEvent ev);
@@ -96,11 +178,19 @@ class Tracer
   private:
     Tracer();
 
+    void assembleLocked(TraceEvent ev);
+
     std::atomic<bool> enabled_{false};
     std::chrono::steady_clock::time_point epoch_;
+    std::atomic<std::uint64_t> id_counter_{1};
+    std::uint64_t id_seed_ = 0x677075706d; // "gpupm"
     mutable std::mutex mu_;
     std::vector<TraceEvent> events_;
     std::map<std::thread::id, int> tids_;
+    bool retain_events_ = true;
+    TraceStore *store_ = nullptr;
+    /** Per-trace buckets of completed child spans awaiting the root. */
+    std::map<std::uint64_t, std::vector<TraceEvent>> pending_;
 };
 
 /**
@@ -108,6 +198,8 @@ class Tracer
  * complete event on destruction. When the tracer is disabled at
  * construction the guard is inert (its destructor does nothing), so
  * a span that straddles enable() is dropped rather than truncated.
+ * An armed guard installs itself as the thread-local trace context
+ * for its scope (see TraceContext above).
  *
  * Independently of the tracer, the guard maintains the sampling
  * profiler's thread-local span context (profiler.hh) while a
@@ -127,12 +219,19 @@ class SpanGuard
     /** Annotate the span ("args" in the exported JSON). */
     void arg(std::string key, std::string value);
 
+    /** Flag the span (and so its trace) as an error for tail-keep. */
+    void markError();
+
     bool armed() const { return armed_; }
+    std::uint64_t traceId() const { return ev_.trace_id; }
+    std::uint64_t spanId() const { return ev_.span_id; }
 
   private:
     bool armed_ = false;
-    bool ctx_pushed_ = false; ///< profiler span context pushed
+    bool ctx_pushed_ = false;   ///< profiler span context pushed
+    bool ctx_installed_ = false; ///< thread-local trace ctx swapped
     std::int64_t start_us_ = 0;
+    TraceContext saved_ctx_;
     TraceEvent ev_;
 };
 

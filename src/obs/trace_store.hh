@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Bounded in-memory store of completed traces with tail sampling.
+ *
+ * The Tracer (trace.hh) assembles each trace when its root span
+ * completes and offers it here. The store keeps an exactly-accounted
+ * memory footprint (tsdb-style: every string and span is counted)
+ * under a configured byte bound and trace-count cap, and decides at
+ * admission time which resident trace to evict — tail sampling:
+ *
+ *   1. "boring" traces first — no error span and not among the
+ *      slowest `slow_per_cat` of their root category — oldest first;
+ *   2. then protected-slow traces, fastest first;
+ *   3. error/alert traces only as a last resort, oldest first.
+ *
+ * So 100% of error traces are retained for as long as they alone fit
+ * the bound, plus a reservoir of the slowest traces per category —
+ * the traces worth asking about after the fact. Query surfaces
+ * (/api/traces, `gpupm traces`) filter by category, minimum
+ * duration, error flag and trace ID.
+ */
+
+#ifndef GPUPM_OBS_TRACE_STORE_HH
+#define GPUPM_OBS_TRACE_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpupm
+{
+namespace obs
+{
+
+/** One completed span inside a stored trace. */
+struct StoredSpan
+{
+    std::string name;
+    std::string cat;
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;
+    int tid = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0; ///< 0 for the trace root
+    bool error = false;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** A fully assembled trace (root + all recorded descendants). */
+struct StoredTrace
+{
+    std::uint64_t trace_id = 0;
+    std::string root_name;
+    std::string root_cat;
+    std::int64_t start_us = 0;
+    std::int64_t dur_us = 0;
+    bool error = false;  ///< any span marked error
+    std::uint64_t seq = 0; ///< arrival order (stamped by the store)
+    std::size_t bytes = 0; ///< exact accounted footprint
+    /** Spans in completion order; the root is last. */
+    std::vector<StoredSpan> spans;
+};
+
+struct TraceStoreOptions
+{
+    std::size_t max_bytes = 1u << 20; ///< hard memory bound
+    std::size_t max_traces = 512;     ///< hard count bound
+    std::size_t slow_per_cat = 8; ///< slowest-per-category reservoir
+};
+
+/** Filter for query()/renderJson(). Zero/empty fields match all. */
+struct TraceQuery
+{
+    std::string category;       ///< match root category exactly
+    std::int64_t min_dur_us = 0; ///< root duration at least this
+    bool error_only = false;
+    std::uint64_t trace_id = 0; ///< exact trace ID
+    std::size_t limit = 50;     ///< newest-first result cap
+};
+
+/** Thread-safe bounded trace store; see the file comment. */
+class TraceStore
+{
+  public:
+    explicit TraceStore(TraceStoreOptions opts = TraceStoreOptions{});
+
+    /** Admit one assembled trace, evicting per the tail policy. */
+    void offer(StoredTrace trace);
+
+    /** Matching traces, newest first, capped at q.limit. */
+    std::vector<StoredTrace> query(const TraceQuery &q) const;
+
+    /** The query result as a JSON document (IDs as hex strings). */
+    std::string renderJson(const TraceQuery &q) const;
+
+    const TraceStoreOptions &options() const { return opts_; }
+    std::size_t memoryBytes() const;
+    std::size_t memoryBoundBytes() const { return opts_.max_bytes; }
+    std::size_t traceCount() const;
+    long offeredTotal() const;
+    long evictedTotal() const;
+    long errorsOfferedTotal() const;
+    long errorsEvictedTotal() const;
+
+    void clear();
+
+    /** Exact footprint accounting for one trace (strings included). */
+    static std::size_t footprint(const StoredTrace &trace);
+
+  private:
+    void evictOneLocked();
+    void publishLocked();
+
+    TraceStoreOptions opts_;
+    mutable std::mutex mu_;
+    std::vector<StoredTrace> traces_; ///< seq-ascending arrival order
+    std::size_t bytes_ = 0;
+    std::uint64_t next_seq_ = 1;
+    long offered_ = 0;
+    long evicted_ = 0;
+    long errors_offered_ = 0;
+    long errors_evicted_ = 0;
+};
+
+} // namespace obs
+} // namespace gpupm
+
+#endif // GPUPM_OBS_TRACE_STORE_HH

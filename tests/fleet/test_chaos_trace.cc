@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The tracing chaos gate: a 200-device fleet campaign under shard
+ * kills and poisoned devices runs with the tracer feeding a bounded
+ * TraceStore while a concurrent monitor-style thread mints fresh
+ * per-tick root traces.  Afterwards every stored trace must be fully
+ * assembled (exactly one root, every parent resolving inside its own
+ * trace), span ids must be globally unique across threads, the store
+ * must sit within its byte bound, and — the tail-sampling contract —
+ * not a single error trace may have been evicted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "fleet/supervisor.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "obs/trace_store.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+class ChaosTraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::Registry::global().reset(); }
+    void TearDown() override
+    {
+        auto &tracer = obs::Tracer::global();
+        tracer.disable();
+        tracer.attachStore(nullptr);
+        tracer.setRetainEvents(true);
+        tracer.clear();
+        obs::Registry::global().reset();
+    }
+};
+
+TEST_F(ChaosTraceTest, ChaosCampaignAssemblesBoundedCorrelatedTraces)
+{
+    const std::string dir =
+            (std::filesystem::temp_directory_path() /
+             "gpupm_chaos_trace_test")
+                    .string();
+    std::filesystem::remove_all(dir);
+
+    // A fleet campaign is one giant request (~350 spans per device),
+    // so the store is sized the way cmdFleet sizes its own.
+    obs::TraceStoreOptions sopts;
+    sopts.max_bytes = 64u << 20;
+    sopts.max_traces = 4096;
+    obs::TraceStore store(sopts);
+
+    auto &tracer = obs::Tracer::global();
+    tracer.seedIds(42);
+    tracer.attachStore(&store);
+    tracer.setRetainEvents(false); // store-only: bounded memory
+    tracer.enable();
+
+    // Monitor-style ticker racing the campaign: each tick adopts an
+    // empty context so it roots a fresh trace, exactly like the
+    // sampler loop; every tenth tick is an error tick.
+    constexpr int kTicks = 400;
+    constexpr int kErrorEvery = 10;
+    std::thread ticker([] {
+        for (int t = 0; t < kTicks; ++t) {
+            obs::TraceContextScope fresh{obs::TraceContext{}};
+            GPUPM_TRACE_SPAN_NAMED(tick, "monitor", "monitor.tick");
+            tick.arg("tick", std::to_string(t));
+            {
+                GPUPM_TRACE_SPAN("monitor", "monitor.probe");
+            }
+            if (t % kErrorEvery == 0)
+                tick.markError();
+            std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        }
+    });
+
+    fleet::FleetOptions opts;
+    opts.devices = 200;
+    opts.shards = 24;
+    opts.seed = 42;
+    opts.checkpoint_dir = dir;
+    opts.chaos.seed = 2026;
+    opts.chaos.shard_kill_rate = 0.35;
+    opts.chaos.poison_fraction = 0.08;
+    const auto run = fleet::runFleetCampaign(opts);
+    ticker.join();
+
+    tracer.disable();
+    ASSERT_GT(run.chaos_kills, 0) << "chaos must actually fire";
+
+    // The tail-sampling contract under real chaos: zero error traces
+    // lost, memory within the hard bound at all times (the store
+    // enforces it on every offer; this checks the final state).
+    EXPECT_EQ(store.errorsEvictedTotal(), 0L);
+    EXPECT_LE(store.memoryBytes(), store.memoryBoundBytes());
+    EXPECT_GE(store.offeredTotal(),
+              static_cast<long>(kTicks) + 1L);
+
+    // Every stored trace is fully assembled and ids are globally
+    // unique across the pool workers and the ticker thread.
+    obs::TraceQuery all;
+    all.limit = sopts.max_traces;
+    const auto traces = store.query(all);
+    ASSERT_GT(traces.size(), 0u);
+    std::set<unsigned long long> all_span_ids;
+    for (const auto &t : traces) {
+        std::set<unsigned long long> in_trace;
+        std::size_t roots = 0;
+        for (const auto &s : t.spans) {
+            EXPECT_NE(s.span_id, 0ull);
+            EXPECT_TRUE(all_span_ids.insert(s.span_id).second)
+                    << "duplicate span id across traces";
+            in_trace.insert(s.span_id);
+            if (s.parent_span_id == 0) {
+                ++roots;
+                EXPECT_EQ(s.span_id, t.trace_id)
+                        << "root span id must equal the trace id";
+            }
+        }
+        EXPECT_EQ(roots, 1u) << "trace " << obs::traceIdHex(
+                t.trace_id) << " must have exactly one root";
+        for (const auto &s : t.spans) {
+            if (s.parent_span_id != 0) {
+                EXPECT_TRUE(in_trace.count(s.parent_span_id))
+                        << "orphan parent in trace "
+                        << obs::traceIdHex(t.trace_id);
+            }
+        }
+    }
+
+    // The campaign assembled into one fleet trace carrying the shard
+    // attempts (chaos failures mark it as an error trace, which is
+    // why it must survive the ticker churn).
+    obs::TraceQuery fq;
+    fq.category = "fleet";
+    const auto fleet_traces = store.query(fq);
+    ASSERT_EQ(fleet_traces.size(), 1u);
+    const auto &campaign = fleet_traces[0];
+    EXPECT_EQ(campaign.root_name, "fleet.campaign");
+    EXPECT_TRUE(campaign.error)
+            << "chaos shard failures must flag the campaign trace";
+    EXPECT_GT(campaign.spans.size(),
+              static_cast<std::size_t>(opts.devices));
+    std::size_t shard_spans = 0;
+    std::size_t error_spans = 0;
+    for (const auto &s : campaign.spans) {
+        if (s.name == "fleet.shard")
+            ++shard_spans;
+        if (s.error)
+            ++error_spans;
+    }
+    EXPECT_GE(shard_spans, static_cast<std::size_t>(opts.shards));
+    EXPECT_GE(error_spans,
+              static_cast<std::size_t>(run.chaos_kills));
+
+    // Every error tick the ticker minted is still queryable: 100%
+    // error retention, demonstrated positively.
+    obs::TraceQuery eq;
+    eq.category = "monitor";
+    eq.error_only = true;
+    eq.limit = sopts.max_traces;
+    EXPECT_EQ(store.query(eq).size(),
+              static_cast<std::size_t>(kTicks / kErrorEvery));
+
+    tracer.attachStore(nullptr);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace

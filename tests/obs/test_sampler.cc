@@ -254,6 +254,56 @@ TEST_F(SamplerTest, EventLogRotatesAtByteCapWithoutSplittingLines)
     std::remove((o.events_out + ".1").c_str());
 }
 
+TEST_F(SamplerTest, EventLogKeepsMultipleRotatedGenerations)
+{
+    auto o = fastOptions();
+    o.events_out = "sampler_rotate_gens_test.ndjson";
+    o.events_max_bytes = 600;
+    o.events_max_files = 3; // keep .1 .2 .3 behind the live file
+    auto probe = [](const std::string &app,
+                    const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        s.measured_w = 100.0;
+        s.predicted_w = 90.0;
+        return s;
+    };
+    obs::Sampler sampler(probe, schedule_, o);
+    std::string err;
+    ASSERT_TRUE(sampler.openEvents(&err)) << err;
+    for (int t = 0; t < 60; ++t)
+        sampler.tickSynchronously((t + 1) * 5000);
+    // Enough ticks to roll through every generation at least once.
+    EXPECT_GE(sampler.eventRotations(), 4L);
+
+    // All four files exist; every line everywhere is an intact JSON
+    // object and each file respects the byte cap (+ one line slack).
+    long total_lines = 0;
+    for (const std::string &path :
+         {o.events_out + ".3", o.events_out + ".2",
+          o.events_out + ".1", o.events_out}) {
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << path;
+        std::string line;
+        long bytes = 0;
+        while (std::getline(in, line)) {
+            ++total_lines;
+            bytes += static_cast<long>(line.size()) + 1;
+            EXPECT_EQ(line.front(), '{') << path;
+            EXPECT_EQ(line.back(), '}') << path;
+            EXPECT_NE(line.find("\"tick\":"), std::string::npos);
+        }
+        EXPECT_LE(bytes, o.events_max_bytes + 250) << path;
+    }
+    // Three generations of history hold strictly more of the past
+    // than one, but rotation still discards the oldest ticks.
+    EXPECT_GE(total_lines, 8L);
+    EXPECT_LT(total_lines, 60L);
+    for (const char *suffix : {"", ".1", ".2", ".3"})
+        std::remove((o.events_out + suffix).c_str());
+}
+
 TEST_F(SamplerTest, SynchronousTicksFeedTsdbAndAlerts)
 {
     auto o = fastOptions();

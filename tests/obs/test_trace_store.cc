@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests of the bounded trace store's tail-sampling policy: exact
+ * byte accounting, bound enforcement, boring-first eviction, 100%
+ * error-trace retention, the slowest-per-category reservoir, query
+ * filters, and the JSON rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/standard.hh"
+#include "obs/trace_store.hh"
+
+namespace
+{
+
+using namespace gpupm;
+
+class TraceStoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::Registry::global().reset(); }
+    void TearDown() override { obs::Registry::global().reset(); }
+};
+
+obs::StoredTrace
+makeTrace(std::uint64_t id, const std::string &cat,
+          std::int64_t dur_us, bool error = false,
+          std::size_t extra_spans = 0)
+{
+    obs::StoredTrace t;
+    t.trace_id = id;
+    t.root_name = "root";
+    t.root_cat = cat;
+    t.start_us = static_cast<std::int64_t>(id);
+    t.dur_us = dur_us;
+    t.error = error;
+    for (std::size_t i = 0; i < extra_spans; ++i) {
+        obs::StoredSpan s;
+        s.name = "child";
+        s.cat = cat;
+        s.span_id = id * 1000 + i + 1;
+        s.parent_span_id = id;
+        t.spans.push_back(s);
+    }
+    obs::StoredSpan root;
+    root.name = t.root_name;
+    root.cat = cat;
+    root.span_id = id;
+    root.error = error;
+    t.spans.push_back(root);
+    return t;
+}
+
+TEST_F(TraceStoreTest, FootprintCountsEveryStringAndSpan)
+{
+    auto t = makeTrace(1, "monitor", 100, false, 2);
+    const std::size_t base = obs::TraceStore::footprint(t);
+    t.spans[0].args.emplace_back("key", "0123456789");
+    EXPECT_EQ(obs::TraceStore::footprint(t),
+              base + sizeof(t.spans[0].args[0]) + 3 + 10);
+}
+
+TEST_F(TraceStoreTest, AccountingMatchesResidentTraces)
+{
+    obs::TraceStore store;
+    std::size_t expected = 0;
+    for (int i = 1; i <= 10; ++i) {
+        auto t = makeTrace(static_cast<std::uint64_t>(i), "monitor",
+                           i * 10, false, 3);
+        expected += obs::TraceStore::footprint(t);
+        store.offer(std::move(t));
+    }
+    EXPECT_EQ(store.memoryBytes(), expected);
+    EXPECT_EQ(store.traceCount(), 10u);
+    EXPECT_EQ(store.offeredTotal(), 10L);
+    EXPECT_EQ(store.evictedTotal(), 0L);
+    // The standard gauges track the store exactly.
+    EXPECT_EQ(obs::traceStoreTraces().value(), 10.0);
+    EXPECT_EQ(obs::traceStoreMemoryBytes().value(),
+              static_cast<double>(expected));
+}
+
+TEST_F(TraceStoreTest, CountBoundEvictsOldestBoringFirst)
+{
+    obs::TraceStoreOptions opts;
+    opts.max_traces = 4;
+    opts.slow_per_cat = 1; // only the single slowest is protected
+    obs::TraceStore store(opts);
+    // id 1 is slowest (protected); ids 2..5 boring and fast.
+    store.offer(makeTrace(1, "monitor", 1000));
+    for (std::uint64_t id = 2; id <= 5; ++id)
+        store.offer(makeTrace(id, "monitor", 10));
+    EXPECT_EQ(store.traceCount(), 4u);
+    EXPECT_EQ(store.evictedTotal(), 1L);
+    // The evicted one is id 2 — the oldest non-protected trace.
+    obs::TraceQuery q;
+    q.trace_id = 2;
+    EXPECT_TRUE(store.query(q).empty());
+    q.trace_id = 1;
+    EXPECT_EQ(store.query(q).size(), 1u);
+}
+
+TEST_F(TraceStoreTest, ByteBoundIsNeverExceeded)
+{
+    obs::TraceStoreOptions opts;
+    opts.max_bytes = 4096;
+    obs::TraceStore store(opts);
+    for (std::uint64_t id = 1; id <= 200; ++id) {
+        store.offer(makeTrace(id, "monitor", 50, false, 4));
+        EXPECT_LE(store.memoryBytes(), opts.max_bytes);
+    }
+    EXPECT_GT(store.evictedTotal(), 0L);
+    EXPECT_GT(store.traceCount(), 0u);
+}
+
+TEST_F(TraceStoreTest, ErrorTracesSurviveBoringChurn)
+{
+    obs::TraceStoreOptions opts;
+    opts.max_traces = 8;
+    opts.slow_per_cat = 2;
+    obs::TraceStore store(opts);
+    // Three early error traces, then a flood of boring ones.
+    for (std::uint64_t id = 1; id <= 3; ++id)
+        store.offer(makeTrace(id, "monitor", 10, true));
+    for (std::uint64_t id = 4; id <= 100; ++id)
+        store.offer(makeTrace(id, "monitor", 20));
+    EXPECT_EQ(store.errorsOfferedTotal(), 3L);
+    EXPECT_EQ(store.errorsEvictedTotal(), 0L);
+    obs::TraceQuery q;
+    q.error_only = true;
+    q.limit = 100;
+    EXPECT_EQ(store.query(q).size(), 3u);
+}
+
+TEST_F(TraceStoreTest, ErrorsEvictedOnlyAsLastResort)
+{
+    obs::TraceStoreOptions opts;
+    opts.max_traces = 4;
+    obs::TraceStore store(opts);
+    for (std::uint64_t id = 1; id <= 6; ++id)
+        store.offer(makeTrace(id, "monitor", 10, true));
+    // Nothing but error traces: the bound still holds, oldest go.
+    EXPECT_EQ(store.traceCount(), 4u);
+    EXPECT_EQ(store.errorsEvictedTotal(), 2L);
+    obs::TraceQuery q;
+    q.trace_id = 1;
+    EXPECT_TRUE(store.query(q).empty());
+    q.trace_id = 6;
+    EXPECT_EQ(store.query(q).size(), 1u);
+}
+
+TEST_F(TraceStoreTest, SlowReservoirIsPerCategory)
+{
+    obs::TraceStoreOptions opts;
+    opts.max_traces = 4;
+    opts.slow_per_cat = 1;
+    obs::TraceStore store(opts);
+    store.offer(makeTrace(1, "monitor", 1000)); // slowest monitor
+    store.offer(makeTrace(2, "fleet", 900));    // slowest fleet
+    for (std::uint64_t id = 3; id <= 30; ++id)
+        store.offer(makeTrace(id, "monitor", 1));
+    // Both category champions survived the churn.
+    obs::TraceQuery q;
+    q.trace_id = 1;
+    EXPECT_EQ(store.query(q).size(), 1u);
+    q.trace_id = 2;
+    EXPECT_EQ(store.query(q).size(), 1u);
+}
+
+TEST_F(TraceStoreTest, OversizedTraceIsRejectedAtTheDoor)
+{
+    obs::TraceStoreOptions opts;
+    opts.max_bytes = 512;
+    obs::TraceStore store(opts);
+    auto huge = makeTrace(1, "monitor", 10, false, 50);
+    ASSERT_GT(obs::TraceStore::footprint(huge), opts.max_bytes);
+    store.offer(std::move(huge));
+    EXPECT_EQ(store.traceCount(), 0u);
+    EXPECT_EQ(store.evictedTotal(), 1L);
+    EXPECT_EQ(store.memoryBytes(), 0u);
+}
+
+TEST_F(TraceStoreTest, QueryFiltersCompose)
+{
+    obs::TraceStore store;
+    store.offer(makeTrace(1, "monitor", 100));
+    store.offer(makeTrace(2, "monitor", 5000, true));
+    store.offer(makeTrace(3, "fleet", 9000));
+
+    obs::TraceQuery q;
+    q.category = "monitor";
+    q.limit = 10;
+    EXPECT_EQ(store.query(q).size(), 2u);
+    q.min_dur_us = 1000;
+    EXPECT_EQ(store.query(q).size(), 1u);
+    q.error_only = true;
+    ASSERT_EQ(store.query(q).size(), 1u);
+    EXPECT_EQ(store.query(q)[0].trace_id, 2u);
+    // Newest first.
+    obs::TraceQuery all;
+    const auto res = store.query(all);
+    ASSERT_EQ(res.size(), 3u);
+    EXPECT_EQ(res[0].trace_id, 3u);
+    EXPECT_EQ(res[2].trace_id, 1u);
+    // Limit caps from the newest end.
+    all.limit = 1;
+    ASSERT_EQ(store.query(all).size(), 1u);
+    EXPECT_EQ(store.query(all)[0].trace_id, 3u);
+}
+
+TEST_F(TraceStoreTest, RenderJsonCarriesHexIdsAndCounters)
+{
+    obs::TraceStore store;
+    auto t = makeTrace(0xabcdef0123456789ull, "monitor", 42, true, 1);
+    t.spans[0].args.emplace_back("app", "BLCKSC");
+    store.offer(std::move(t));
+    const std::string json = store.renderJson(obs::TraceQuery{});
+    EXPECT_NE(json.find("\"trace_id\":\"abcdef0123456789\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"errors_offered\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"memory_bound_bytes\":"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"error\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"app\":\"BLCKSC\"}"),
+              std::string::npos);
+    // Clearing zeroes the gauges and the resident set.
+    store.clear();
+    EXPECT_EQ(store.traceCount(), 0u);
+    EXPECT_EQ(store.memoryBytes(), 0u);
+    EXPECT_EQ(obs::traceStoreTraces().value(), 0.0);
+}
+
+} // namespace

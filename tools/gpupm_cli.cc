@@ -61,6 +61,7 @@
  * simulated board at the reference configuration before predicting.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <csignal>
@@ -100,6 +101,7 @@
 #include "obs/sampler.hh"
 #include "obs/standard.hh"
 #include "obs/trace.hh"
+#include "obs/trace_store.hh"
 #include "obs/tsdb.hh"
 #include "ubench/cuda_source.hh"
 #include "workloads/workloads.hh"
@@ -109,9 +111,11 @@ namespace
 
 using namespace gpupm;
 
-// Defined with the monitor helpers below; cmdFleet reuses it for the
-// fleet-serve /api/query endpoint.
+// Defined with the monitor helpers below; cmdFleet reuses them for
+// the fleet-serve /api/query and /api/traces endpoints.
 obs::HttpServer::Handler makeQueryHandler(const obs::Tsdb &tsdb);
+obs::HttpServer::Handler
+makeTracesHandler(const obs::TraceStore &store);
 
 /** Resilience-related flags shared by campaign/train. */
 struct CliFlags
@@ -143,6 +147,7 @@ struct CliFlags
 
     // `monitor`/`alerts` history + alerting flags.
     long events_max_bytes = 0;    ///< rotate event log past this; 0=off
+    int events_max_files = 1;     ///< rotated generations kept (.1..N)
     bool healthz_degraded_503 = false; ///< firing alerts -> HTTP 503
     std::vector<std::string> alert_specs; ///< --alert rule specs
     bool no_drift_rule = false;   ///< drop the built-in drift rule
@@ -168,6 +173,64 @@ struct CliFlags
     double chaos_poison = 0.0; ///< poisoned-device fraction
     double deadline_s = 120.0; ///< watchdog deadline per attempt
     std::string fleet_out;    ///< merged fleet report file path
+};
+
+/**
+ * Turn the global tracer into the store-backed assembly pipeline a
+ * long-lived daemon wants: deterministic ids seeded from the fault
+ * seed, completed traces offered to `store`, and — unless --trace-out
+ * asked for the full Chrome dump — no unbounded in-memory event list.
+ * Returns whether this call enabled the tracer (it must not re-enable
+ * when --trace-out already did: enable() clears the buffer and would
+ * corrupt the straddling `cli.<cmd>` root span).
+ */
+bool
+attachTraceStore(obs::TraceStore &store, const CliFlags &flags)
+{
+    auto &tracer = obs::Tracer::global();
+    tracer.seedIds(flags.fault_seed);
+    tracer.attachStore(&store);
+    if (flags.trace_out.empty())
+        tracer.setRetainEvents(false);
+    if (!tracer.enabled()) {
+        tracer.enable();
+        return true;
+    }
+    return false;
+}
+
+/** Undo attachTraceStore before `store` goes out of scope. */
+void
+detachTraceStore(bool disable_tracer)
+{
+    auto &tracer = obs::Tracer::global();
+    if (disable_tracer)
+        tracer.disable();
+    tracer.attachStore(nullptr);
+    tracer.setRetainEvents(true);
+}
+
+/**
+ * Scoped trace-store attachment: the store plus the global-tracer
+ * wiring, detached in the destructor so no early return can leave the
+ * tracer pointing at a dead store.
+ */
+struct TraceStoreAttachment
+{
+    obs::TraceStore store;
+    bool enabled_here;
+
+    explicit TraceStoreAttachment(
+            const CliFlags &flags,
+            obs::TraceStoreOptions opts = obs::TraceStoreOptions{})
+        : store(opts), enabled_here(attachTraceStore(store, flags))
+    {
+    }
+    ~TraceStoreAttachment() { detachTraceStore(enabled_here); }
+
+    TraceStoreAttachment(const TraceStoreAttachment &) = delete;
+    TraceStoreAttachment &
+    operator=(const TraceStoreAttachment &) = delete;
 };
 
 /** Loader policy implied by the file-trust flags. */
@@ -216,7 +279,8 @@ flagTakesValue(const std::string &key)
             "--events-out",     "--port-file",   "--shards",
             "--threads",        "--chaos-kill-rate",
             "--chaos-stall-rate", "--chaos-poison", "--deadline",
-            "--fleet-out",      "--events-max-bytes", "--alert",
+            "--fleet-out",      "--events-max-bytes",
+            "--events-max-files", "--alert",
             "--drift-tolerance", "--drift-window", "--drift-for",
             "--drift-cooldown", "--drift-golden", "--rolling-window",
             "--inject-drift",   "--ticks",
@@ -332,6 +396,10 @@ parseFlags(int argc, char **argv, CliFlags &flags)
             flags.fleet_out = val;
         } else if (key == "--events-max-bytes") {
             flags.events_max_bytes = std::atol(val.c_str());
+        } else if (key == "--events-max-files") {
+            flags.events_max_files = std::atoi(val.c_str());
+            if (flags.events_max_files < 1)
+                return bad("bad value for flag", key);
         } else if (key == "--healthz-degraded-503") {
             flags.healthz_degraded_503 = true;
         } else if (key == "--alert") {
@@ -429,10 +497,16 @@ usage()
                  "[--port=<n>] [--period-ms=<n>] "
                  "[--duration=<2s|500ms>] [--events-out=<file>]\n"
                  "      [--events-max-bytes=<n>] "
+                 "[--events-max-files=<n>] "
                  "[--rolling-window=<n>] [--healthz-degraded-503]\n"
                  "  gpupm alerts <titanxp|titanx|k40c> [--json] "
                  "[--ticks=<n>] [--period-ms=<n>] "
                  "[--rolling-window=<n>]\n"
+                 "  gpupm traces <titanxp|titanx|k40c> [--json] "
+                 "[--ticks=<n>] [--period-ms=<n>] "
+                 "[--inject-drift=FROM:TO:SCALE]\n"
+                 "      (offline per-tick trace replay; deterministic "
+                 "output, error traces always retained)\n"
                  "      alerting flags (monitor/alerts): "
                  "--alert=NAME:KIND:SERIES:OP:THRESH[:WIN[:FOR[:COOL]]] "
                  "--no-drift-rule\n"
@@ -978,6 +1052,17 @@ cmdFleet(const std::string &count, const CliFlags &flags)
     }
     obs::registerStandardMetrics();
 
+    // The campaign runs under one root trace (fleet.campaign) with
+    // every shard attempt, pool hop and watchdog fire inside it;
+    // assembled traces land here and are served on /api/traces while
+    // --duration keeps the process up. One campaign is one giant
+    // request (~350 spans per device), so the fleet store is sized
+    // for a few hundred devices where the monitor's per-tick store
+    // keeps its tight 1 MiB default.
+    obs::TraceStoreOptions tsopts;
+    tsopts.max_bytes = 32u << 20;
+    TraceStoreAttachment tracing(flags, tsopts);
+
     fleet::FleetOptions fopts;
     fopts.devices = n;
     fopts.shards = flags.shards;
@@ -1036,6 +1121,8 @@ cmdFleet(const std::string &count, const CliFlags &flags)
             return resp;
         });
         server.route("/api/query", makeQueryHandler(fleet_tsdb));
+        server.route("/api/traces",
+                     makeTracesHandler(tracing.store));
         std::string err;
         if (!server.start(flags.port, &err)) {
             std::fprintf(stderr,
@@ -1365,6 +1452,65 @@ makeQueryHandler(const obs::Tsdb &tsdb)
 }
 
 /**
+ * `/api/traces` handler over a tail-sampled trace store. Query
+ * parameters (all optional): `category` (root span category),
+ * `min_ms` (minimum root duration), `error` (0/1 — error traces
+ * only), `trace_id` (16-hex-digit id), `limit` (max traces, default
+ * 50). Malformed values are a 400, never a silent empty result.
+ */
+obs::HttpServer::Handler
+makeTracesHandler(const obs::TraceStore &store)
+{
+    return [&store](const obs::HttpRequest &req) {
+        obs::TraceQuery q;
+        bool bad = false;
+        std::istringstream qs(req.query);
+        std::string kv;
+        while (std::getline(qs, kv, '&')) {
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos)
+                continue;
+            const std::string key = kv.substr(0, eq);
+            const std::string val = kv.substr(eq + 1);
+            if (key == "category") {
+                q.category = val;
+            } else if (key == "min_ms") {
+                const double ms = std::atof(val.c_str());
+                bad = bad || ms < 0.0;
+                q.min_dur_us =
+                        static_cast<std::int64_t>(ms * 1000.0);
+            } else if (key == "error") {
+                bad = bad || (val != "0" && val != "1");
+                q.error_only = val == "1";
+            } else if (key == "trace_id") {
+                char *end = nullptr;
+                q.trace_id =
+                        std::strtoull(val.c_str(), &end, 16);
+                bad = bad || val.empty() || *end != '\0' ||
+                      q.trace_id == 0;
+            } else if (key == "limit") {
+                long n = 0;
+                bad = bad || !numio::parseLong(val, n) || n <= 0;
+                q.limit = static_cast<std::size_t>(n > 0 ? n : 1);
+            } else {
+                bad = true;
+            }
+        }
+        obs::HttpResponse resp;
+        resp.content_type = "application/json";
+        if (bad) {
+            resp.status = 400;
+            resp.body = "{\"ok\":false,\"error\":\"usage: "
+                        "/api/traces?category=<cat>&min_ms=<ms>&"
+                        "error=1&trace_id=<hex>&limit=<n>\"}\n";
+            return resp;
+        }
+        resp.body = store.renderJson(q);
+        return resp;
+    };
+}
+
+/**
  * `gpupm monitor <device>`: the long-running telemetry daemon. Trains
  * a model of the device in-process (same procedure as
  * `gpupm fit <device>`), then runs the online sampling loop — measure
@@ -1391,6 +1537,12 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
     }
     common::setProvenanceDevice(deviceToken(*kind));
     obs::registerStandardMetrics();
+
+    // Request tracing is always on for the daemon: every tick becomes
+    // one assembled trace in the tail-sampled store behind
+    // /api/traces. Declared before sampler and server so neither the
+    // sampler's spans nor the HTTP handlers outlive the store.
+    TraceStoreAttachment tracing(flags);
 
     sim::PhysicalGpu board(*kind);
     const auto &desc = board.descriptor();
@@ -1484,6 +1636,7 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
     sopts.duration_s = flags.duration_s;
     sopts.events_out = flags.events_out;
     sopts.events_max_bytes = flags.events_max_bytes;
+    sopts.events_max_files = flags.events_max_files;
     sopts.rolling_window =
             static_cast<std::size_t>(flags.rolling_window);
     sopts.device = static_cast<int>(*kind);
@@ -1505,6 +1658,8 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
                     "(?seconds=N, collapsed-stack text)\n"
                     "  /api/query   tsdb range query (?series=...&"
                     "range=60s&step=1s)\n"
+                    "  /api/traces  tail-sampled request traces "
+                    "(?category=...&min_ms=...&error=1&trace_id=...)\n"
                     "  /alertz      alert rules + firing state "
                     "(?format=text for human output)\n";
         return resp;
@@ -1554,6 +1709,7 @@ cmdMonitor(const std::string &device, const CliFlags &flags)
         return resp;
     });
     server.route("/api/query", makeQueryHandler(tsdb));
+    server.route("/api/traces", makeTracesHandler(tracing.store));
     server.route("/alertz", [&](const obs::HttpRequest &req) {
         const std::int64_t now = engine.lastEvaluatedUs();
         obs::HttpResponse resp;
@@ -1850,6 +2006,7 @@ cmdAlerts(const std::string &device, const CliFlags &flags)
     sopts.period_ms = flags.period_ms;
     sopts.events_out = flags.events_out;
     sopts.events_max_bytes = flags.events_max_bytes;
+    sopts.events_max_files = flags.events_max_files;
     sopts.rolling_window =
             static_cast<std::size_t>(flags.rolling_window);
     sopts.device = static_cast<int>(*kind);
@@ -1878,6 +2035,230 @@ cmdAlerts(const std::string &device, const CliFlags &flags)
         std::fprintf(stderr, "alerts: %zu rule(s) firing after %ld "
                              "ticks\n",
                      firing.size(), flags.alert_ticks);
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * `gpupm traces <device>`: offline request-trace replay. Runs the
+ * same in-process train + synchronous-tick pipeline as `gpupm
+ * alerts`, but enables request tracing (trace IDs re-seeded from
+ * --fault-seed) for the tick loop and prints the assembled traces
+ * from the tail-sampled store — one trace per tick, spans in
+ * completion order with parent links. Only deterministic fields are
+ * printed (IDs, names, categories, error flags, args — no wall-clock
+ * timestamps or durations), so two invocations with the same flags
+ * emit byte-identical output; the cli_traces ctest gate asserts it.
+ * Exit 1 when the store violated its error-retention invariant
+ * (an error trace was evicted), else 0.
+ */
+int
+cmdTraces(const std::string &device, const CliFlags &flags)
+{
+    const auto kind = parseDevice(device);
+    if (!kind) {
+        std::fprintf(stderr,
+                     "unknown device '%s' (expected titanxp, titanx "
+                     "or k40c)\n",
+                     device.c_str());
+        return 2;
+    }
+    if (flags.period_ms <= 0) {
+        std::fprintf(stderr, "--period-ms must be positive\n");
+        return 2;
+    }
+    std::optional<DriftInjection> injection;
+    if (!flags.inject_drift.empty()) {
+        injection = parseInjectDrift(flags.inject_drift);
+        if (!injection) {
+            std::fprintf(stderr,
+                         "bad --inject-drift spec '%s' (expected "
+                         "FROM:TO:SCALE)\n",
+                         flags.inject_drift.c_str());
+            return 2;
+        }
+    }
+    common::setProvenanceDevice(deviceToken(*kind));
+    obs::registerStandardMetrics();
+
+    sim::PhysicalGpu board(*kind);
+    const auto &desc = board.descriptor();
+    std::fprintf(stderr, "traces: training %s model in-process...\n",
+                 desc.name.c_str());
+    model::CampaignOptions copts;
+    copts.power_repetitions = 3;
+    const auto data = model::runTrainingCampaign(
+            board, ubench::buildSuite(), copts);
+    auto fit = model::ModelEstimator().tryEstimate(data);
+    if (!fit.ok()) {
+        std::fprintf(stderr, "fit failed [%s]: %s\n",
+                     std::string(model::fitErrcName(
+                             fit.error().code)).c_str(),
+                     fit.error().message.c_str());
+        return 1;
+    }
+    const model::DvfsPowerModel m = fit.value().model;
+    model::Predictor predictor(m);
+
+    const auto configs = desc.allConfigs();
+    const auto ref = desc.referenceConfig();
+    const std::vector<gpu::FreqConfig> points{configs.front(), ref,
+                                              configs.back()};
+    std::map<std::string, gpu::ComponentArray> utils;
+    std::map<std::string, sim::KernelDemand> demands;
+    std::vector<obs::SchedulePoint> schedule;
+    {
+        cupti::Profiler profiler(board, 11);
+        for (const auto &w : workloads::fullValidationSet()) {
+            const auto rm = profiler.profile(w.demand, ref);
+            utils[w.name] =
+                    model::utilizationsFromMetrics(rm, desc, ref);
+            demands[w.name] = w.demand;
+            for (const auto &cfg : points)
+                schedule.push_back({w.name, cfg});
+        }
+    }
+
+    obs::FlightRecorder recorder(256);
+    nvml::Device dev(board);
+    long probe_tick = 0;
+    auto probe = [&](const std::string &app,
+                     const gpu::FreqConfig &cfg) {
+        obs::MonitorSample s;
+        s.app = app;
+        s.cfg = cfg;
+        dev.setApplicationClocks(cfg.mem_mhz, cfg.core_mhz);
+        const auto pm =
+                dev.measureKernelPower(demands.at(app), 2, 0.05);
+        s.measured_w = pm.power_w;
+        const long tick = probe_tick++;
+        if (injection && tick >= injection->from_tick &&
+            tick < injection->to_tick)
+            s.measured_w *= injection->scale;
+        s.predicted_w = predictor.at(utils.at(app), cfg).total_w;
+        return s;
+    };
+
+    obs::Tsdb tsdb;
+    std::vector<obs::AlertRule> rules;
+    if (!buildAlertRules(flags, deviceToken(*kind), rules))
+        return 2;
+    obs::AlertEngine engine(tsdb, std::move(rules), &recorder);
+
+    obs::SamplerOptions sopts;
+    sopts.period_ms = flags.period_ms;
+    sopts.events_out = flags.events_out;
+    sopts.events_max_bytes = flags.events_max_bytes;
+    sopts.events_max_files = flags.events_max_files;
+    sopts.rolling_window =
+            static_cast<std::size_t>(flags.rolling_window);
+    sopts.device = static_cast<int>(*kind);
+    sopts.device_name = desc.name;
+    sopts.reference = ref;
+    obs::Sampler sampler(probe, std::move(schedule), sopts, &recorder,
+                         &tsdb, &engine);
+    std::string err;
+    if (!sampler.openEvents(&err)) {
+        std::fprintf(stderr, "traces: %s\n", err.c_str());
+        return 1;
+    }
+
+    // Tracing turns on here, after training, so the store holds
+    // exactly the tick traces: seedIds() inside resets the ID counter
+    // and makes the minted IDs a pure function of the fault seed and
+    // the (single-threaded) span order.
+    TraceStoreAttachment tracing(flags);
+
+    const std::int64_t period_us =
+            static_cast<std::int64_t>(flags.period_ms) * 1000;
+    for (long tick = 0; tick < flags.alert_ticks; ++tick)
+        sampler.tickSynchronously((tick + 1) * period_us);
+
+    obs::TraceQuery all;
+    all.limit = static_cast<std::size_t>(flags.alert_ticks) + 16;
+    auto traces = tracing.store.query(all); // newest first
+    std::reverse(traces.begin(), traces.end()); // arrival order
+
+    const auto &store = tracing.store;
+    if (flags.json) {
+        std::ostringstream os;
+        os << "{\"device\":\"" << deviceToken(*kind)
+           << "\",\"ticks\":" << flags.alert_ticks
+           << ",\"offered\":" << store.offeredTotal()
+           << ",\"stored\":" << traces.size()
+           << ",\"errors_offered\":" << store.errorsOfferedTotal()
+           << ",\"errors_evicted\":" << store.errorsEvictedTotal()
+           << ",\"traces\":[";
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            const auto &t = traces[i];
+            os << (i ? ",\n" : "\n") << "{\"trace_id\":\""
+               << obs::traceIdHex(t.trace_id) << "\",\"root\":\""
+               << jsonEscape(t.root_name) << "\",\"cat\":\""
+               << jsonEscape(t.root_cat) << "\",\"error\":"
+               << (t.error ? "true" : "false") << ",\"spans\":[";
+            for (std::size_t k = 0; k < t.spans.size(); ++k) {
+                const auto &s = t.spans[k];
+                os << (k ? "," : "") << "{\"name\":\""
+                   << jsonEscape(s.name) << "\",\"cat\":\""
+                   << jsonEscape(s.cat) << "\",\"span_id\":\""
+                   << obs::traceIdHex(s.span_id) << "\"";
+                if (s.parent_span_id)
+                    os << ",\"parent_span_id\":\""
+                       << obs::traceIdHex(s.parent_span_id) << "\"";
+                if (s.error)
+                    os << ",\"error\":true";
+                if (!s.args.empty()) {
+                    os << ",\"args\":{";
+                    for (std::size_t a = 0; a < s.args.size(); ++a) {
+                        if (a)
+                            os << ",";
+                        os << "\"" << jsonEscape(s.args[a].first)
+                           << "\":\""
+                           << jsonEscape(s.args[a].second) << "\"";
+                    }
+                    os << "}";
+                }
+                os << "}";
+            }
+            os << "]}";
+        }
+        os << "\n]}\n";
+        std::printf("%s", os.str().c_str());
+    } else {
+        std::printf("%zu trace(s) stored of %ld offered (%ld error "
+                    "trace(s), %ld evicted)\n",
+                    traces.size(), store.offeredTotal(),
+                    store.errorsOfferedTotal(),
+                    store.evictedTotal());
+        for (const auto &t : traces) {
+            std::printf("trace %s %s [%s]%s %zu span(s)\n",
+                        obs::traceIdHex(t.trace_id).c_str(),
+                        t.root_name.c_str(), t.root_cat.c_str(),
+                        t.error ? " ERROR" : "", t.spans.size());
+            for (const auto &s : t.spans) {
+                std::printf("  %s", obs::traceIdHex(s.span_id).c_str());
+                if (s.parent_span_id)
+                    std::printf(" <- %s",
+                                obs::traceIdHex(s.parent_span_id)
+                                        .c_str());
+                else
+                    std::printf(" (root)");
+                std::printf(" %s [%s]%s", s.name.c_str(),
+                            s.cat.c_str(), s.error ? " ERROR" : "");
+                for (const auto &a : s.args)
+                    std::printf(" %s=%s", a.first.c_str(),
+                                a.second.c_str());
+                std::printf("\n");
+            }
+        }
+    }
+
+    if (store.errorsEvictedTotal() > 0) {
+        std::fprintf(stderr,
+                     "traces: tail-sampling invariant violated: %ld "
+                     "error trace(s) evicted\n",
+                     store.errorsEvictedTotal());
         return 1;
     }
     return 0;
@@ -2031,6 +2412,15 @@ dispatch(const std::vector<std::string> &args, const CliFlags &flags)
         if (cmd == "alerts") {
             std::fprintf(stderr,
                          "alerts needs exactly one device argument "
+                         "(titanxp, titanx or k40c), got %d\n",
+                         nargs - 1);
+            return 2;
+        }
+        if (cmd == "traces" && nargs == 2)
+            return cmdTraces(args[1], flags);
+        if (cmd == "traces") {
+            std::fprintf(stderr,
+                         "traces needs exactly one device argument "
                          "(titanxp, titanx or k40c), got %d\n",
                          nargs - 1);
             return 2;

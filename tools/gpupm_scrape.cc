@@ -518,6 +518,27 @@ cmdMonitorSelftest(int argc, char **argv)
                       404, {}) != 0)
         return killAndFail("/api/query unknown-series check failed");
 
+    // /api/traces serves the tail-sampled trace store: every sampler
+    // tick roots a fresh trace, so assembled monitor.tick traces with
+    // correlated span ids must be queryable, filters must compose and
+    // bogus parameters must be rejected with the usage string.
+    if (checkEndpoint(port, "GET", "/api/traces",
+                      200,
+                      {"\"traces\":[", "\"trace_id\":\"",
+                       "monitor.tick", "\"spans\":[",
+                       "\"memory_bound_bytes\":"},
+                      &json_body) != 0)
+        return killAndFail("/api/traces check failed");
+    if (!jsonBalanced(json_body))
+        return killAndFail("/api/traces body is not balanced JSON");
+    if (checkEndpoint(port, "GET",
+                      "/api/traces?category=monitor&min_ms=0&limit=2",
+                      200, {"monitor.tick"}) != 0)
+        return killAndFail("/api/traces filtered check failed");
+    if (checkEndpoint(port, "GET", "/api/traces?error=2", 400,
+                      {"usage: /api/traces"}) != 0)
+        return killAndFail("/api/traces bad-param check failed");
+
     // /profilez runs the wall-clock sampling profiler in-place; the
     // idle daemon sits in its instrumented wait/tick spans, so the
     // folded profile must parse and carry monitor-attributed stacks.
@@ -558,12 +579,18 @@ cmdMonitorSelftest(int argc, char **argv)
     std::fprintf(stderr,
                  "gpupm_scrape: ok SIGUSR1 live diagnostic dump\n");
 
-    // A second /metrics scrape must show the first one accounted.
+    // A second /metrics scrape must show the first one accounted,
+    // the trace-store gauges live, and latency histograms carrying
+    // OpenMetrics exemplars that link back to stored trace ids.
     if (checkEndpoint(port, "GET", "/metrics", 200, {}, &prom) != 0)
         return killAndFail("second /metrics scrape failed");
     if (metricValue(prom, "gpupm_http_requests_total{path=\""
                           "/metrics\"}") < 1.0)
         return killAndFail("/metrics requests not counted");
+    if (metricValue(prom, "gpupm_trace_store_traces") < 1.0)
+        return killAndFail("gpupm_trace_store_traces not > 0");
+    if (prom.find(" # {trace_id=\"") == std::string::npos)
+        return killAndFail("/metrics carries no trace exemplars");
 
     // Error paths: unknown route and non-GET method.
     if (checkEndpoint(port, "GET", "/nope", 404, {"unknown path"}) !=

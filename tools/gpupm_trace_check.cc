@@ -8,7 +8,12 @@
  *       Parse a Chrome trace-event JSON file and structurally
  *       validate every event (complete "X" phase, non-negative
  *       timestamps and durations, name/cat present). Extra arguments
- *       are span categories that must appear at least once.
+ *       are span categories that must appear at least once. When
+ *       spans carry trace IDs (DESIGN.md §15) their referential
+ *       integrity is validated too: span IDs globally unique, every
+ *       parent resolving inside the same trace, exactly one root per
+ *       trace (span ID == trace ID), and children nested inside
+ *       their parent's timespan.
  *
  *   gpupm_trace_check summary <t.json>
  *       Per-category wall-clock table: span count, union wall-clock
@@ -61,7 +66,29 @@ struct Span
     std::string cat;
     double ts = 0.0;
     double dur = 0.0;
+    unsigned long long trace_id = 0; ///< 0 when the file has no IDs
+    unsigned long long span_id = 0;
+    unsigned long long parent_span_id = 0;
 };
+
+/** Parse a 16-digit lowercase-hex ID string; 0 on malformed input. */
+unsigned long long
+parseHexId(const std::string &s)
+{
+    if (s.size() != 16)
+        return 0;
+    unsigned long long v = 0;
+    for (char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<unsigned long long>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<unsigned long long>(c - 'a' + 10);
+        else
+            return 0;
+    }
+    return v;
+}
 
 /** Parse + structurally validate a trace file. */
 bool
@@ -116,8 +143,113 @@ loadTrace(const std::string &path, std::vector<Span> &spans)
         if (!dur || dur->kind != JsonValue::Kind::Number ||
             !(dur->number >= 0))
             return bad("bad dur");
-        spans.push_back({cat->str, ts->number, dur->number});
+        Span span;
+        span.cat = cat->str;
+        span.ts = ts->number;
+        span.dur = dur->number;
+        // Correlation IDs travel as 16-hex-digit strings; a span
+        // either carries a (trace, span) pair or neither.
+        const JsonValue *tid_v = ev.find("trace_id");
+        const JsonValue *sid_v = ev.find("span_id");
+        const JsonValue *pid_v = ev.find("parent_span_id");
+        if (tid_v || sid_v || pid_v) {
+            if (!tid_v || tid_v->kind != JsonValue::Kind::String ||
+                !(span.trace_id = parseHexId(tid_v->str)))
+                return bad("bad trace_id");
+            if (!sid_v || sid_v->kind != JsonValue::Kind::String ||
+                !(span.span_id = parseHexId(sid_v->str)))
+                return bad("bad span_id");
+            if (pid_v) {
+                if (pid_v->kind != JsonValue::Kind::String ||
+                    !(span.parent_span_id = parseHexId(pid_v->str)))
+                    return bad("bad parent_span_id");
+            }
+        }
+        spans.push_back(std::move(span));
     }
+    return true;
+}
+
+/**
+ * Referential integrity of the span IDs in a trace dump. A file with
+ * no IDs at all (pre-correlation artifact) passes vacuously.
+ */
+bool
+checkTraceIds(const std::string &path, const std::vector<Span> &spans)
+{
+    std::map<unsigned long long, const Span *> by_span_id;
+    for (const auto &s : spans) {
+        if (!s.trace_id)
+            continue;
+        if (!by_span_id.emplace(s.span_id, &s).second) {
+            std::fprintf(stderr,
+                         "%s: duplicate span id %016llx\n",
+                         path.c_str(), s.span_id);
+            return false;
+        }
+    }
+    if (by_span_id.empty()) {
+        std::printf("%s: no trace ids (pre-correlation artifact)\n",
+                    path.c_str());
+        return true;
+    }
+    std::map<unsigned long long, long> roots_per_trace;
+    for (const auto &kv : by_span_id) {
+        const Span &s = *kv.second;
+        if (s.parent_span_id == 0) {
+            if (s.span_id != s.trace_id) {
+                std::fprintf(stderr,
+                             "%s: root span %016llx does not name "
+                             "its trace %016llx\n",
+                             path.c_str(), s.span_id, s.trace_id);
+                return false;
+            }
+            ++roots_per_trace[s.trace_id];
+            continue;
+        }
+        const auto parent = by_span_id.find(s.parent_span_id);
+        if (parent == by_span_id.end()) {
+            std::fprintf(stderr,
+                         "%s: span %016llx has orphan parent "
+                         "%016llx\n",
+                         path.c_str(), s.span_id, s.parent_span_id);
+            return false;
+        }
+        const Span &p = *parent->second;
+        if (p.trace_id != s.trace_id) {
+            std::fprintf(stderr,
+                         "%s: span %016llx (trace %016llx) has "
+                         "parent in trace %016llx\n",
+                         path.c_str(), s.span_id, s.trace_id,
+                         p.trace_id);
+            return false;
+        }
+        if (s.ts < p.ts || s.ts + s.dur > p.ts + p.dur) {
+            std::fprintf(stderr,
+                         "%s: span %016llx [%g, %g) escapes parent "
+                         "%016llx [%g, %g)\n",
+                         path.c_str(), s.span_id, s.ts, s.ts + s.dur,
+                         p.span_id, p.ts, p.ts + p.dur);
+            return false;
+        }
+    }
+    long traces = 0;
+    for (const auto &kv : by_span_id) {
+        const Span &s = *kv.second;
+        const auto it = roots_per_trace.find(s.trace_id);
+        const long n = it == roots_per_trace.end() ? 0 : it->second;
+        if (n != 1) {
+            std::fprintf(stderr,
+                         "%s: trace %016llx has %ld roots "
+                         "(expected exactly 1)\n",
+                         path.c_str(), s.trace_id, n);
+            return false;
+        }
+    }
+    traces = static_cast<long>(roots_per_trace.size());
+    std::printf("%s: %zu correlated spans across %ld traces, ids "
+                "consistent\n",
+                path.c_str(), by_span_id.size(), traces);
     return true;
 }
 
@@ -127,6 +259,8 @@ cmdTrace(const std::string &path,
 {
     std::vector<Span> spans;
     if (!loadTrace(path, spans))
+        return 1;
+    if (!checkTraceIds(path, spans))
         return 1;
     std::map<std::string, long> per_cat;
     for (const auto &s : spans)
@@ -234,15 +368,31 @@ cmdMetrics(const std::string &path,
             }
             continue;
         }
-        // "<name>[{labels}] <value>"
-        const auto sp = line.rfind(' ');
+        // "<name>[{labels}] <value>[ # {labels} <exemplar-value>]"
+        std::string sample = line;
+        const auto ex = line.find(" # ");
+        if (ex != std::string::npos) {
+            // OpenMetrics-style exemplar after the sample value:
+            // validate its shape, then strip it.
+            const std::string exemplar = line.substr(ex + 3);
+            const auto close = exemplar.find('}');
+            double exv = 0.0;
+            if (exemplar.empty() || exemplar[0] != '{' ||
+                close == std::string::npos ||
+                close + 2 >= exemplar.size() ||
+                exemplar[close + 1] != ' ' ||
+                !numio::parseDouble(exemplar.substr(close + 2), exv))
+                return bad("malformed exemplar");
+            sample = line.substr(0, ex);
+        }
+        const auto sp = sample.rfind(' ');
         if (sp == std::string::npos)
             return bad("sample without value");
         double v = 0.0;
-        std::string val = line.substr(sp + 1);
+        std::string val = sample.substr(sp + 1);
         if (val != "+Inf" && !numio::parseDouble(val, v))
             return bad("unparseable sample value");
-        std::string name = line.substr(0, sp);
+        std::string name = sample.substr(0, sp);
         const auto brace = name.find('{');
         if (brace != std::string::npos) {
             if (name.back() != '}')
